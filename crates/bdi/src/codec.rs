@@ -1,0 +1,294 @@
+//! The compression/decompression engine (paper Fig. 7).
+
+use crate::choice::ChoiceSet;
+use crate::compressed::CompressedRegister;
+use crate::layout::{BaseSize, ChunkLayout};
+use crate::register::{WarpRegister, WARP_REGISTER_BYTES};
+
+/// A BDI compressor/decompressor pair configured with a [`ChoiceSet`].
+///
+/// This models the compressor unit of Fig. 7: the 128-byte warp register is
+/// split into chunks, each chunk is subtracted from the base (the first
+/// chunk), and sign-extension comparators decide the narrowest delta width
+/// that represents every difference. Subtraction wraps at the chunk width,
+/// exactly as the hardware subtractor array does.
+///
+/// # Example
+///
+/// ```
+/// use bdi::{BdiCodec, ChoiceSet, WarpRegister};
+///
+/// let codec = BdiCodec::default();
+/// let uniform = WarpRegister::splat(0xABCD);
+/// let c = codec.compress(&uniform);
+/// assert_eq!(c.banks_required(), 1); // <4,0>
+/// assert_eq!(codec.decompress(&c), uniform);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BdiCodec {
+    choices: ChoiceSet,
+}
+
+impl BdiCodec {
+    /// Creates a codec that tries the given choices in order.
+    pub fn new(choices: ChoiceSet) -> Self {
+        BdiCodec { choices }
+    }
+
+    /// The configured choice set.
+    pub fn choices(&self) -> &ChoiceSet {
+        &self.choices
+    }
+
+    /// Compresses a warp register with the first fitting choice, or
+    /// returns it uncompressed when no choice fits (or the set is
+    /// disabled).
+    pub fn compress(&self, reg: &WarpRegister) -> CompressedRegister {
+        for choice in self.choices.choices() {
+            if let Some(c) = compress_with_layout(reg, choice.layout()) {
+                return c;
+            }
+        }
+        CompressedRegister::Uncompressed(*reg)
+    }
+
+    /// Reconstructs the original warp register.
+    ///
+    /// Decompression is a single wrapping add of each delta to the base
+    /// (§4), which is why the paper budgets only one cycle for it.
+    pub fn decompress(&self, compressed: &CompressedRegister) -> WarpRegister {
+        decompress(compressed)
+    }
+}
+
+/// Attempts to compress `reg` with one specific ⟨base, delta⟩ layout.
+///
+/// Returns `None` when some chunk's wrapping difference from the base does
+/// not fit the layout's delta width; the hardware would then fall through
+/// to the next choice or store the register uncompressed.
+pub(crate) fn compress_with_layout(
+    reg: &WarpRegister,
+    layout: ChunkLayout,
+) -> Option<CompressedRegister> {
+    let bytes = reg.to_bytes();
+    let chunk_bytes = layout.base().bytes();
+    let mut chunks = bytes.chunks_exact(chunk_bytes).map(|c| read_chunk(c));
+    let base = chunks.next().expect("warp register has at least one chunk");
+    let mut deltas = Vec::with_capacity(layout.chunk_count() - 1);
+    for chunk in chunks {
+        let delta = wrapping_delta(chunk, base, layout.base());
+        if !layout.delta_fits(delta) {
+            return None;
+        }
+        deltas.push(delta);
+    }
+    Some(CompressedRegister::Compressed { layout, base, deltas })
+}
+
+/// Decompresses any [`CompressedRegister`] (free function so callers
+/// without a codec, e.g. the decompressor unit model, can use it too).
+pub(crate) fn decompress(compressed: &CompressedRegister) -> WarpRegister {
+    match compressed {
+        CompressedRegister::Uncompressed(reg) => *reg,
+        CompressedRegister::Compressed { layout, base, deltas } => {
+            let chunk_bytes = layout.base().bytes();
+            let mut bytes = [0u8; WARP_REGISTER_BYTES];
+            write_chunk(&mut bytes[..chunk_bytes], *base);
+            for (i, delta) in deltas.iter().enumerate() {
+                let chunk = base.wrapping_add(*delta as u64) & chunk_mask(layout.base());
+                let off = (i + 1) * chunk_bytes;
+                write_chunk(&mut bytes[off..off + chunk_bytes], chunk);
+            }
+            WarpRegister::from_bytes(&bytes)
+        }
+    }
+}
+
+/// Reads a little-endian chunk of 1–8 bytes as a zero-extended u64.
+fn read_chunk(bytes: &[u8]) -> u64 {
+    let mut buf = [0u8; 8];
+    buf[..bytes.len()].copy_from_slice(bytes);
+    u64::from_le_bytes(buf)
+}
+
+/// Writes the low `out.len()` bytes of `chunk` little-endian.
+fn write_chunk(out: &mut [u8], chunk: u64) {
+    let bytes = chunk.to_le_bytes();
+    out.copy_from_slice(&bytes[..out.len()]);
+}
+
+fn chunk_mask(base: BaseSize) -> u64 {
+    match base.bytes() {
+        8 => u64::MAX,
+        n => (1u64 << (n * 8)) - 1,
+    }
+}
+
+/// Wrapping subtraction at the chunk width, sign-extended to i64 — what
+/// the hardware's fixed-width subtractors compute.
+fn wrapping_delta(chunk: u64, base: u64, width: BaseSize) -> i64 {
+    let mask = chunk_mask(width);
+    let raw = chunk.wrapping_sub(base) & mask;
+    let bits = width.bytes() as u32 * 8;
+    if bits == 64 {
+        raw as i64
+    } else {
+        // Sign-extend from `bits`.
+        let shift = 64 - bits;
+        ((raw << shift) as i64) >> shift
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::choice::{ChoiceSet, FixedChoice};
+
+    fn codec() -> BdiCodec {
+        BdiCodec::new(ChoiceSet::warped_compression())
+    }
+
+    #[test]
+    fn uniform_register_compresses_to_delta0() {
+        let c = codec().compress(&WarpRegister::splat(123));
+        assert_eq!(c.layout().unwrap().delta_bytes(), 0);
+        assert_eq!(c.banks_required(), 1);
+    }
+
+    #[test]
+    fn tid_register_compresses_to_delta1() {
+        let reg = WarpRegister::from_fn(|t| 5000 + t as u32);
+        let c = codec().compress(&reg);
+        assert_eq!(c.layout().unwrap().delta_bytes(), 1);
+        assert_eq!(codec().decompress(&c), reg);
+    }
+
+    #[test]
+    fn wide_strides_compress_to_delta2() {
+        let reg = WarpRegister::from_fn(|t| 1_000_000 + 1000 * t as u32);
+        let c = codec().compress(&reg);
+        assert_eq!(c.layout().unwrap().delta_bytes(), 2);
+        assert_eq!(codec().decompress(&c), reg);
+    }
+
+    #[test]
+    fn random_register_stays_uncompressed() {
+        let reg = WarpRegister::from_fn(|t| (t as u32).wrapping_mul(0x9E37_79B9));
+        let c = codec().compress(&reg);
+        assert!(!c.is_compressed());
+        assert_eq!(codec().decompress(&c), reg);
+    }
+
+    #[test]
+    fn negative_deltas_compress() {
+        let reg = WarpRegister::from_fn(|t| 10_000 - 3 * t as u32);
+        let c = codec().compress(&reg);
+        assert_eq!(c.layout().unwrap().delta_bytes(), 1);
+        assert_eq!(codec().decompress(&c), reg);
+    }
+
+    #[test]
+    fn wrapping_subtraction_matches_hardware() {
+        // base = u32::MAX, others = 0..: the 32-bit wrapping difference is
+        // +1, +2, ... so this compresses with a 1-byte delta even though
+        // the arithmetic difference is huge.
+        let reg = WarpRegister::from_fn(|t| (u32::MAX).wrapping_add(t as u32));
+        let c = codec().compress(&reg);
+        assert_eq!(c.layout().unwrap().delta_bytes(), 1);
+        assert_eq!(codec().decompress(&c), reg);
+    }
+
+    #[test]
+    fn delta_boundary_127_fits_one_byte() {
+        let mut reg = WarpRegister::splat(1000);
+        reg.set_lane(31, 1127);
+        let c = codec().compress(&reg);
+        assert_eq!(c.layout().unwrap().delta_bytes(), 1);
+    }
+
+    #[test]
+    fn delta_boundary_128_needs_two_bytes() {
+        let mut reg = WarpRegister::splat(1000);
+        reg.set_lane(31, 1128);
+        let c = codec().compress(&reg);
+        assert_eq!(c.layout().unwrap().delta_bytes(), 2);
+    }
+
+    #[test]
+    fn delta_boundary_minus_128_fits_one_byte() {
+        let mut reg = WarpRegister::splat(1000);
+        reg.set_lane(31, 1000 - 128);
+        let c = codec().compress(&reg);
+        assert_eq!(c.layout().unwrap().delta_bytes(), 1);
+    }
+
+    #[test]
+    fn delta_boundary_32k_needs_uncompressed() {
+        let mut reg = WarpRegister::splat(1_000_000);
+        reg.set_lane(2, 1_000_000 + 32_768);
+        let c = codec().compress(&reg);
+        assert!(!c.is_compressed());
+    }
+
+    #[test]
+    fn base_is_first_lane_not_best_lane() {
+        // Only the FIRST chunk is the base (implementation simplicity,
+        // §5.1). Lane 0 is the outlier here, so nothing fits.
+        let mut reg = WarpRegister::splat(0);
+        reg.set_lane(0, 0x4000_0000);
+        let c = codec().compress(&reg);
+        assert!(!c.is_compressed());
+    }
+
+    #[test]
+    fn disabled_codec_never_compresses() {
+        let codec = BdiCodec::new(ChoiceSet::disabled());
+        let c = codec.compress(&WarpRegister::splat(0));
+        assert!(!c.is_compressed());
+    }
+
+    #[test]
+    fn single_choice_delta2_stores_extra_bytes_for_uniform_data() {
+        // §6.6: with only <4,2> available, even a perfectly uniform
+        // register burns 5 banks.
+        let codec = BdiCodec::new(ChoiceSet::only(FixedChoice::Delta2));
+        let c = codec.compress(&WarpRegister::splat(7));
+        assert_eq!(c.banks_required(), 5);
+    }
+
+    #[test]
+    fn single_choice_delta0_misses_tid_patterns() {
+        let codec = BdiCodec::new(ChoiceSet::only(FixedChoice::Delta0));
+        let c = codec.compress(&WarpRegister::from_fn(|t| t as u32));
+        assert!(!c.is_compressed());
+    }
+
+    #[test]
+    fn eight_byte_base_round_trips() {
+        let layout = ChunkLayout::new(BaseSize::B8, 2).unwrap();
+        // Pairs of registers with similar 64-bit pattern.
+        let reg = WarpRegister::from_fn(|t| if t % 2 == 0 { 77 + (t / 2) as u32 } else { 0 });
+        let c = compress_with_layout(&reg, layout).expect("should fit 16-bit deltas");
+        assert_eq!(decompress(&c), reg);
+        assert_eq!(c.banks_required(), 3);
+    }
+
+    #[test]
+    fn two_byte_base_round_trips() {
+        let layout = ChunkLayout::new(BaseSize::B2, 1).unwrap();
+        let reg = WarpRegister::from_fn(|_| 0x0005_0004); // 16-bit halves 4,5
+        let c = compress_with_layout(&reg, layout).expect("halfword deltas fit");
+        assert_eq!(decompress(&c), reg);
+        assert_eq!(c.banks_required(), 5);
+    }
+
+    #[test]
+    fn deltas_vector_length_matches_layout() {
+        let reg = WarpRegister::splat(3);
+        let c = compress_with_layout(&reg, FixedChoice::Delta1.layout()).unwrap();
+        match c {
+            CompressedRegister::Compressed { deltas, .. } => assert_eq!(deltas.len(), 31),
+            _ => panic!("expected compressed"),
+        }
+    }
+}

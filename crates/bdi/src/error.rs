@@ -1,0 +1,41 @@
+//! Error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// An invalid ⟨base, delta⟩ combination was requested.
+///
+/// Returned by [`ChunkLayout::new`](crate::ChunkLayout::new) when the delta
+/// width is not narrower than the base or is not a supported width.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LayoutError {
+    /// The requested base width in bytes.
+    pub base_bytes: usize,
+    /// The requested delta width in bytes.
+    pub delta_bytes: usize,
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid BDI layout <{},{}>: delta must be one of 0/1/2/4 bytes and narrower than the base",
+            self.base_bytes, self.delta_bytes
+        )
+    }
+}
+
+impl Error for LayoutError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LayoutError { base_bytes: 4, delta_bytes: 4 };
+        let msg = e.to_string();
+        assert!(msg.contains("<4,4>"));
+        assert!(msg.contains("narrower"));
+    }
+}

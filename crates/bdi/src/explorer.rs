@@ -1,0 +1,130 @@
+//! Full BDI design-space exploration (paper §4, Fig. 5).
+//!
+//! The original BDI algorithm tries every ⟨base, delta⟩ pair and keeps the
+//! one with the highest compression ratio. Warped-compression rejects that
+//! at runtime (too slow / too much energy) but the paper runs it offline to
+//! justify restricting the hardware to 4-byte bases — Fig. 5 shows 8-byte
+//! bases are almost never the best choice. This module reproduces that
+//! study.
+
+use serde::Serialize;
+
+use crate::codec::{compress_with_layout, decompress};
+use crate::layout::{BaseSize, ChunkLayout};
+use crate::register::WarpRegister;
+
+/// The seven ⟨base, delta⟩ parameter pairs the paper's explorer evaluates
+/// on every register write (§4): `<4,0>, <4,1>, <4,2>, <8,0>, <8,1>,
+/// <8,2>, <8,4>`.
+pub const EXPLORER_CHOICES: [(BaseSize, usize); 7] = [
+    (BaseSize::B4, 0),
+    (BaseSize::B4, 1),
+    (BaseSize::B4, 2),
+    (BaseSize::B8, 0),
+    (BaseSize::B8, 1),
+    (BaseSize::B8, 2),
+    (BaseSize::B8, 4),
+];
+
+/// Result of the full-BDI exploration for one register write.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub enum BestChoice {
+    /// The layout achieving the highest compression ratio.
+    Layout(ChunkLayout),
+    /// No explored layout fit; the register is incompressible.
+    Uncompressed,
+}
+
+impl BestChoice {
+    /// The chosen layout, if any.
+    pub fn layout(self) -> Option<ChunkLayout> {
+        match self {
+            BestChoice::Layout(l) => Some(l),
+            BestChoice::Uncompressed => None,
+        }
+    }
+}
+
+/// Runs the full BDI explorer on one register value and returns the
+/// best-compressing ⟨base, delta⟩ pair (ties broken towards the 4-byte
+/// base, which appears first in [`EXPLORER_CHOICES`]).
+///
+/// # Example
+///
+/// ```
+/// use bdi::{explore_best_choice, WarpRegister, BaseSize};
+///
+/// let reg = WarpRegister::from_fn(|t| 40 + t as u32);
+/// let best = explore_best_choice(&reg).layout().unwrap();
+/// assert_eq!(best.base(), BaseSize::B4);
+/// assert_eq!(best.delta_bytes(), 1);
+/// ```
+pub fn explore_best_choice(reg: &WarpRegister) -> BestChoice {
+    let mut best: Option<ChunkLayout> = None;
+    for &(base, delta) in EXPLORER_CHOICES.iter() {
+        let layout = ChunkLayout::new(base, delta).expect("explorer choices are valid");
+        if let Some(c) = compress_with_layout(reg, layout) {
+            debug_assert_eq!(decompress(&c), *reg, "explorer round-trip");
+            match best {
+                Some(b) if b.compressed_len() <= layout.compressed_len() => {}
+                _ => best = Some(layout),
+            }
+        }
+    }
+    match best {
+        Some(layout) => BestChoice::Layout(layout),
+        None => BestChoice::Uncompressed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_register_picks_4_0() {
+        let best = explore_best_choice(&WarpRegister::splat(9)).layout().unwrap();
+        assert_eq!((best.base(), best.delta_bytes()), (BaseSize::B4, 0));
+    }
+
+    #[test]
+    fn tid_pattern_picks_4_1() {
+        let reg = WarpRegister::from_fn(|t| t as u32);
+        let best = explore_best_choice(&reg).layout().unwrap();
+        assert_eq!((best.base(), best.delta_bytes()), (BaseSize::B4, 1));
+    }
+
+    #[test]
+    fn random_register_is_uncompressed() {
+        let reg = WarpRegister::from_fn(|t| (t as u32 + 1).wrapping_mul(0x85EB_CA6B));
+        assert_eq!(explore_best_choice(&reg), BestChoice::Uncompressed);
+    }
+
+    #[test]
+    fn pairwise_similarity_picks_8_byte_base() {
+        // Alternating pattern {X, Y, X, Y, ...} where X and Y differ by a
+        // huge amount: 4-byte deltas blow past 16 bits, but the 64-bit
+        // chunks are all identical, so <8,0> wins. This is the (rare,
+        // per Fig. 5) case where an 8-byte base is strictly better.
+        let reg = WarpRegister::from_fn(|t| if t % 2 == 0 { 0 } else { 0x7000_0000 });
+        let best = explore_best_choice(&reg).layout().unwrap();
+        assert_eq!((best.base(), best.delta_bytes()), (BaseSize::B8, 0));
+    }
+
+    #[test]
+    fn tie_between_4_and_8_base_prefers_4() {
+        // Zero register: <4,0> (4 B) beats <8,0> (8 B) on size, and would
+        // win the tie-break anyway.
+        let best = explore_best_choice(&WarpRegister::ZERO).layout().unwrap();
+        assert_eq!(best.base(), BaseSize::B4);
+    }
+
+    #[test]
+    fn wide_stride_picks_4_2_over_8_4() {
+        // Stride of 1000: 4-byte deltas fit 16 bits (<4,2>, 66 B); 8-byte
+        // chunks differ by ~2^32 multiples so <8,4> does not fit at all.
+        let reg = WarpRegister::from_fn(|t| 1000 * t as u32);
+        let best = explore_best_choice(&reg).layout().unwrap();
+        assert_eq!((best.base(), best.delta_bytes()), (BaseSize::B4, 2));
+    }
+}

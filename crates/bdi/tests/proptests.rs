@@ -1,0 +1,119 @@
+//! Property-based tests for the BDI codec invariants.
+
+use bdi::{
+    explore_best_choice, BdiCodec, ChoiceSet, CompressionIndicator, FixedChoice, WarpRegister,
+    BANK_BYTES, WARP_REGISTER_BYTES, WARP_SIZE,
+};
+use proptest::prelude::*;
+
+fn arb_register() -> impl Strategy<Value = WarpRegister> {
+    prop::array::uniform32(any::<u32>()).prop_map(WarpRegister::new)
+}
+
+/// Registers biased towards the similar-value patterns GPU code produces.
+fn arb_similar_register() -> impl Strategy<Value = WarpRegister> {
+    (any::<u32>(), -300i64..300, prop::array::uniform32(-4i64..4)).prop_map(
+        |(base, stride, jitter)| {
+            WarpRegister::from_fn(|t| {
+                let v = base as i64 + stride * t as i64 + jitter[t % WARP_SIZE];
+                v as u32
+            })
+        },
+    )
+}
+
+proptest! {
+    /// Compress-then-decompress is the identity for every register value.
+    #[test]
+    fn round_trip_identity(reg in arb_register()) {
+        let codec = BdiCodec::default();
+        let c = codec.compress(&reg);
+        prop_assert_eq!(codec.decompress(&c), reg);
+    }
+
+    /// Round trip also holds for the similarity-biased distribution that
+    /// actually exercises the compressed paths.
+    #[test]
+    fn round_trip_identity_similar(reg in arb_similar_register()) {
+        let codec = BdiCodec::default();
+        let c = codec.compress(&reg);
+        prop_assert_eq!(codec.decompress(&c), reg);
+    }
+
+    /// The compressed form never occupies more banks than the raw form.
+    #[test]
+    fn never_expands(reg in arb_register()) {
+        let c = BdiCodec::default().compress(&reg);
+        prop_assert!(c.banks_required() <= WARP_REGISTER_BYTES / BANK_BYTES);
+        prop_assert!(c.stored_len() <= WARP_REGISTER_BYTES);
+    }
+
+    /// The indicator always agrees with the actual bank footprint.
+    #[test]
+    fn indicator_consistent_with_banks(reg in arb_similar_register()) {
+        let c = BdiCodec::default().compress(&reg);
+        prop_assert_eq!(c.indicator().banks_accessed(), if c.is_compressed() { c.banks_required() } else { 8 });
+    }
+
+    /// Nesting (§4): anything <4,0>-compressible is <4,1>-compressible,
+    /// and anything <4,1>-compressible is <4,2>-compressible.
+    #[test]
+    fn choices_are_nested(reg in arb_similar_register()) {
+        let c0 = BdiCodec::new(ChoiceSet::only(FixedChoice::Delta0)).compress(&reg);
+        let c1 = BdiCodec::new(ChoiceSet::only(FixedChoice::Delta1)).compress(&reg);
+        let c2 = BdiCodec::new(ChoiceSet::only(FixedChoice::Delta2)).compress(&reg);
+        if c0.is_compressed() {
+            prop_assert!(c1.is_compressed());
+        }
+        if c1.is_compressed() {
+            prop_assert!(c2.is_compressed());
+        }
+    }
+
+    /// The dynamic scheme picks the smallest fitting choice: its bank count
+    /// is the minimum over the single-choice codecs.
+    #[test]
+    fn dynamic_choice_is_optimal_among_fixed(reg in arb_similar_register()) {
+        let dynamic = BdiCodec::default().compress(&reg);
+        let min_banks = FixedChoice::ALL
+            .iter()
+            .map(|&ch| BdiCodec::new(ChoiceSet::only(ch)).compress(&reg).banks_required())
+            .min()
+            .unwrap();
+        prop_assert_eq!(dynamic.banks_required(), min_banks);
+    }
+
+    /// The full-BDI explorer never does worse than the runtime scheme.
+    #[test]
+    fn explorer_at_least_as_good(reg in arb_similar_register()) {
+        let runtime = BdiCodec::default().compress(&reg);
+        let best = explore_best_choice(&reg);
+        let explorer_len = best.layout().map_or(WARP_REGISTER_BYTES, |l| l.compressed_len());
+        prop_assert!(explorer_len <= runtime.stored_len());
+    }
+
+    /// A masked merge with the full mask equals the new value, with the
+    /// empty mask equals the old value (divergence-handling invariant).
+    #[test]
+    fn merge_mask_extremes(a in arb_register(), b in arb_register()) {
+        prop_assert_eq!(a.merge_masked(&b, u32::MAX), b);
+        prop_assert_eq!(a.merge_masked(&b, 0), a);
+    }
+
+    /// Compressing a register twice (decompress then recompress) is stable:
+    /// the second pass picks the same representation.
+    #[test]
+    fn recompression_is_stable(reg in arb_similar_register()) {
+        let codec = BdiCodec::default();
+        let once = codec.compress(&reg);
+        let twice = codec.compress(&codec.decompress(&once));
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Indicator bits survive the 2-bit hardware encoding.
+    #[test]
+    fn indicator_bit_round_trip(reg in arb_similar_register()) {
+        let ind = BdiCodec::default().compress(&reg).indicator();
+        prop_assert_eq!(CompressionIndicator::from_bits(ind.bits()), ind);
+    }
+}

@@ -1,0 +1,53 @@
+//! Criterion bench: design-choice ablations DESIGN.md calls out.
+//!
+//! Compares the divergence-handling policies of §5.2 (dummy-MOV vs
+//! decompress-merge-recompress) and the single-choice compression sets of
+//! §6.6 on a divergence-heavy workload, reporting simulated wall time so
+//! regressions in either path show up.
+
+use bdi::FixedChoice;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::GpuSim;
+use std::hint::black_box;
+use warped_compression::DesignPoint;
+
+fn bench_divergence_policies(c: &mut Criterion) {
+    let w = gpu_workloads::by_name("dwt2d").expect("dwt2d exists");
+    let mut group = c.benchmark_group("ablation/divergence-policy");
+    group.sample_size(10);
+    for point in [DesignPoint::WarpedCompression, DesignPoint::DecompressMergeRecompress] {
+        group.bench_with_input(BenchmarkId::from_parameter(point.label()), &w, |b, w| {
+            let sim = GpuSim::new(point.config());
+            b.iter(|| {
+                let mut mem = w.fresh_memory();
+                black_box(sim.run(w.kernel(), w.launch(), &mut mem).expect("runs").stats.cycles)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_choice_sets(c: &mut Criterion) {
+    let w = gpu_workloads::by_name("hotspot").expect("hotspot exists");
+    let mut group = c.benchmark_group("ablation/choice-set");
+    group.sample_size(10);
+    let points = [
+        DesignPoint::Only(FixedChoice::Delta0),
+        DesignPoint::Only(FixedChoice::Delta1),
+        DesignPoint::Only(FixedChoice::Delta2),
+        DesignPoint::WarpedCompression,
+    ];
+    for point in points {
+        group.bench_with_input(BenchmarkId::from_parameter(point.label()), &w, |b, w| {
+            let sim = GpuSim::new(point.config());
+            b.iter(|| {
+                let mut mem = w.fresh_memory();
+                black_box(sim.run(w.kernel(), w.launch(), &mut mem).expect("runs").stats.cycles)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_divergence_policies, bench_choice_sets);
+criterion_main!(benches);

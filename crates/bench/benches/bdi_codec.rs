@@ -1,0 +1,54 @@
+//! Criterion bench: raw BDI compressor/decompressor throughput.
+//!
+//! The paper budgets 2 cycles for compression and 1 for decompression;
+//! this bench establishes that the software model is cheap enough for
+//! the per-write/per-read instrumentation the simulator performs.
+
+use bdi::{BdiCodec, ChoiceSet, WarpRegister};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn patterns() -> Vec<(&'static str, WarpRegister)> {
+    vec![
+        ("uniform", WarpRegister::splat(0xABCD)),
+        ("tid-affine", WarpRegister::from_fn(|t| 5000 + t as u32)),
+        ("wide-stride", WarpRegister::from_fn(|t| 1000 * t as u32)),
+        ("random", WarpRegister::from_fn(|t| (t as u32 + 1).wrapping_mul(0x9E37_79B9))),
+    ]
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let codec = BdiCodec::new(ChoiceSet::warped_compression());
+    let mut group = c.benchmark_group("bdi/compress");
+    for (name, reg) in patterns() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &reg, |b, reg| {
+            b.iter(|| black_box(codec.compress(black_box(reg))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_decompress(c: &mut Criterion) {
+    let codec = BdiCodec::new(ChoiceSet::warped_compression());
+    let mut group = c.benchmark_group("bdi/decompress");
+    for (name, reg) in patterns() {
+        let compressed = codec.compress(&reg);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &compressed, |b, compressed| {
+            b.iter(|| black_box(codec.decompress(black_box(compressed))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_explorer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bdi/full-explorer");
+    for (name, reg) in patterns() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &reg, |b, reg| {
+            b.iter(|| black_box(bdi::explore_best_choice(black_box(reg))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compress, bench_decompress, bench_explorer);
+criterion_main!(benches);

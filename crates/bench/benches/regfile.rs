@@ -1,0 +1,61 @@
+//! Criterion bench: register-file substrate hot paths.
+//!
+//! Measures the read/write path of the banked register file with and
+//! without compression footprints, plus the port-arbitration structure —
+//! these dominate simulator cycle cost.
+
+use bdi::{BdiCodec, CompressedRegister, WarpRegister};
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_regfile::{BankPorts, RegFileConfig, RegisterFile, WarpSlot};
+use std::hint::black_box;
+
+fn bench_write_read(c: &mut Criterion) {
+    let codec = BdiCodec::default();
+    let compressed = codec.compress(&WarpRegister::splat(7));
+    let raw = CompressedRegister::Uncompressed(WarpRegister::from_fn(|t| {
+        (t as u32).wrapping_mul(0x9E37_79B9)
+    }));
+
+    let mut group = c.benchmark_group("regfile");
+    group.bench_function("write-compressed", |b| {
+        let mut rf = RegisterFile::new(RegFileConfig { wakeup_latency: 0, ..RegFileConfig::paper_baseline() });
+        rf.allocate_warp(WarpSlot(0), 8, 0).unwrap();
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 1;
+            black_box(rf.write(WarpSlot(0), 3, compressed.clone(), now).unwrap());
+        });
+    });
+    group.bench_function("write-uncompressed", |b| {
+        let mut rf = RegisterFile::new(RegFileConfig { wakeup_latency: 0, ..RegFileConfig::paper_baseline() });
+        rf.allocate_warp(WarpSlot(0), 8, 0).unwrap();
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 1;
+            black_box(rf.write(WarpSlot(0), 3, raw.clone(), now).unwrap());
+        });
+    });
+    group.bench_function("read", |b| {
+        let mut rf = RegisterFile::new(RegFileConfig::paper_baseline());
+        rf.allocate_warp(WarpSlot(0), 8, 0).unwrap();
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 1;
+            black_box(rf.read(WarpSlot(0), 3, now).banks_accessed);
+        });
+    });
+    group.bench_function("ports-arbitration", |b| {
+        let mut ports = BankPorts::new(32);
+        b.iter(|| {
+            ports.begin_cycle();
+            black_box(ports.try_read(0..8));
+            black_box(ports.try_read(8..11));
+            black_box(ports.try_write(0..1));
+            black_box(ports.try_read(0..1));
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_write_read);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench: simulator throughput, baseline vs warped-compression.
+//!
+//! Measures the cost of the compression datapath model itself (not GPU
+//! performance): how much slower a simulated cycle gets when the
+//! compressor/decompressor/gating machinery is active.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::GpuSim;
+use std::hint::black_box;
+use warped_compression::DesignPoint;
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    for name in ["lib", "pathfinder", "bfs"] {
+        let w = gpu_workloads::by_name(name).expect("workload exists");
+        for point in [DesignPoint::Baseline, DesignPoint::WarpedCompression] {
+            let id = BenchmarkId::new(point.label(), name);
+            group.bench_with_input(id, &w, |b, w| {
+                let sim = GpuSim::new(point.config());
+                b.iter(|| {
+                    let mut mem = w.fresh_memory();
+                    let r = sim.run(w.kernel(), w.launch(), &mut mem).expect("runs");
+                    black_box(r.stats.cycles)
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_workloads);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! figures [all | table1 | table2 | table3 | fig2 | fig3 | fig5 | fig8..fig21] [--csv DIR]
+//! ```
+//!
+//! With no arguments, regenerates everything and prints markdown to
+//! stdout. `--csv DIR` additionally writes one CSV per figure into DIR.
+
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use wc_bench::{figures, Campaign, FigureTable};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let mut csv_dir: Option<PathBuf> = None;
+    let mut selections: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--csv" => match it.next() {
+                Some(dir) => csv_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--csv requires a directory argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: figures [all|table1|table2|table3|fig2|fig3|fig5|fig8..fig21]... [--csv DIR]");
+                return ExitCode::SUCCESS;
+            }
+            other => selections.push(other.to_string()),
+        }
+    }
+    if selections.is_empty() {
+        selections.push("all".into());
+    }
+
+    let mut campaign = Campaign::full_suite();
+    let mut tables: Vec<FigureTable> = Vec::new();
+    for sel in &selections {
+        match sel.as_str() {
+            "all" => tables.extend(figures::all(&mut campaign)),
+            "table1" => tables.push(figures::table1()),
+            "table2" => tables.push(figures::table2()),
+            "table3" => tables.push(figures::table3()),
+            "fig2" => tables.push(figures::fig2(&mut campaign)),
+            "fig3" => tables.push(figures::fig3(&mut campaign)),
+            "fig5" => tables.push(figures::fig5(&mut campaign)),
+            "fig8" => tables.push(figures::fig8(&mut campaign)),
+            "fig9" => tables.push(figures::fig9(&mut campaign)),
+            "fig10" => tables.push(figures::fig10(&mut campaign)),
+            "fig11" => tables.push(figures::fig11(&mut campaign)),
+            "fig12" => tables.push(figures::fig12(&mut campaign)),
+            "fig13" => tables.push(figures::fig13(&mut campaign)),
+            "fig14" => tables.push(figures::fig14(&mut campaign)),
+            "fig15" => tables.push(figures::fig15(&mut campaign)),
+            "fig16" => tables.push(figures::fig16(&mut campaign)),
+            "fig17" => tables.push(figures::fig17(&mut campaign)),
+            "fig18" => tables.push(figures::fig18(&mut campaign)),
+            "fig19" => tables.push(figures::fig19(&mut campaign)),
+            "fig20" => tables.push(figures::fig20(&mut campaign)),
+            "fig21" => tables.push(figures::fig21(&mut campaign)),
+            "ablation" => tables.push(figures::ablation_leakage(&mut campaign)),
+            "codec-study" => tables.push(figures::codec_study(&mut campaign)),
+            unknown => {
+                eprintln!("unknown selection: {unknown} (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    for t in &tables {
+        println!("{}", t.to_markdown());
+    }
+    if let Some(dir) = csv_dir {
+        if let Err(e) = fs::create_dir_all(&dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        for t in &tables {
+            let path = dir.join(format!("{}.csv", t.id));
+            if let Err(e) = fs::write(&path, t.to_csv()) {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        eprintln!("wrote {} CSV files", tables.len());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,89 @@
+//! Memoised simulation campaign: one run per (design point, workload).
+
+use std::collections::HashMap;
+
+use gpu_workloads::Workload;
+use warped_compression::{run_suite, DesignPoint, RunOutput};
+
+/// Runs and caches suite results per design point, so the ~20 figures
+/// share simulations instead of re-running them.
+pub struct Campaign {
+    workloads: Vec<Workload>,
+    cache: HashMap<String, Vec<RunOutput>>,
+}
+
+impl Campaign {
+    /// A campaign over an explicit workload list (tests use small lists).
+    pub fn new(workloads: Vec<Workload>) -> Self {
+        assert!(!workloads.is_empty(), "campaign needs at least one workload");
+        Campaign { workloads, cache: HashMap::new() }
+    }
+
+    /// A campaign over the full 18-benchmark suite.
+    pub fn full_suite() -> Self {
+        Campaign::new(gpu_workloads::suite())
+    }
+
+    /// The benchmark names, in figure order.
+    pub fn names(&self) -> Vec<&str> {
+        self.workloads.iter().map(|w| w.name()).collect()
+    }
+
+    /// The workloads themselves.
+    pub fn workloads(&self) -> &[Workload] {
+        &self.workloads
+    }
+
+    /// Results for one design point, simulating on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a simulation fails — the suite workloads are validated
+    /// to run cleanly under every design point, so failure is a bug.
+    pub fn results(&mut self, point: DesignPoint) -> &[RunOutput] {
+        let key = point.label();
+        if !self.cache.contains_key(&key) {
+            let runs = run_suite(&point.config(), &self.workloads)
+                .unwrap_or_else(|e| panic!("design point {key} failed: {e}"));
+            self.cache.insert(key.clone(), runs);
+        }
+        &self.cache[&key]
+    }
+
+    /// Number of design points simulated so far.
+    pub fn points_run(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Campaign {
+        Campaign::new(vec![gpu_workloads::by_name("lib").unwrap()])
+    }
+
+    #[test]
+    fn results_are_memoised() {
+        let mut c = tiny();
+        let cycles_first = c.results(DesignPoint::WarpedCompression)[0].stats.cycles;
+        assert_eq!(c.points_run(), 1);
+        let cycles_again = c.results(DesignPoint::WarpedCompression)[0].stats.cycles;
+        assert_eq!(c.points_run(), 1, "second call must hit the cache");
+        assert_eq!(cycles_first, cycles_again);
+    }
+
+    #[test]
+    fn names_match_workloads() {
+        let c = tiny();
+        assert_eq!(c.names(), vec!["lib"]);
+        assert_eq!(c.workloads().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one workload")]
+    fn empty_campaign_rejected() {
+        let _ = Campaign::new(Vec::new());
+    }
+}

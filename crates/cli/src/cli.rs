@@ -1,0 +1,376 @@
+//! Argument parsing and command dispatch.
+
+use std::error::Error;
+use std::fmt;
+use std::fs;
+
+use bdi::FixedChoice;
+use gpu_sim::{GlobalMemory, GpuSim, LaunchConfig};
+use warped_compression::{run_workload, DesignPoint};
+
+use crate::report::{format_comparison, format_run};
+
+/// A parsed `wcsim` invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// `wcsim list` — print the benchmark suite.
+    List,
+    /// `wcsim designs` — print the available design points.
+    Designs,
+    /// `wcsim run <workload> [--design D]` — run one benchmark (or `all`).
+    Run {
+        /// Benchmark name or `all`.
+        workload: String,
+        /// Design point to simulate.
+        design: DesignPoint,
+    },
+    /// `wcsim compare <workload>` — baseline vs warped-compression report.
+    Compare {
+        /// Benchmark name.
+        workload: String,
+    },
+    /// `wcsim kernel <file.s> --blocks N --tpb N --mem WORDS [--param X]...`
+    /// — assemble and run a custom kernel.
+    Kernel {
+        /// Path to the `.s` source file.
+        path: String,
+        /// Grid blocks.
+        blocks: usize,
+        /// Threads per block.
+        threads_per_block: usize,
+        /// Global memory size in words.
+        mem_words: usize,
+        /// Scalar kernel parameters.
+        params: Vec<u32>,
+        /// Design point to simulate.
+        design: DesignPoint,
+    },
+    /// `wcsim --help`.
+    Help,
+}
+
+/// Argument-parsing failures (message is user-facing).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl Error for ParseError {}
+
+const USAGE: &str = "\
+wcsim — Warped-Compression simulator driver
+
+USAGE:
+  wcsim list                         list the benchmark suite
+  wcsim designs                      list design points for --design
+  wcsim run <workload|all> [--design D]
+  wcsim compare <workload>           baseline vs warped-compression
+  wcsim kernel <file.s> --blocks N --tpb N --mem WORDS
+               [--param X]... [--design D]
+";
+
+/// Known design-point names for `--design`.
+fn design_by_name(name: &str) -> Option<DesignPoint> {
+    Some(match name {
+        "baseline" => DesignPoint::Baseline,
+        "warped" | "warped-compression" => DesignPoint::WarpedCompression,
+        "only40" => DesignPoint::Only(FixedChoice::Delta0),
+        "only41" => DesignPoint::Only(FixedChoice::Delta1),
+        "only42" => DesignPoint::Only(FixedChoice::Delta2),
+        "dmr" | "decompress-merge-recompress" => DesignPoint::DecompressMergeRecompress,
+        "lrr" | "warped-compression-lrr" => DesignPoint::WarpedCompressionLrr,
+        "baseline-lrr" => DesignPoint::BaselineLrr,
+        "drowsy" | "warped-compression-drowsy" => DesignPoint::WarpedCompressionDrowsy,
+        _ => return None,
+    })
+}
+
+const DESIGN_NAMES: &[&str] =
+    &["baseline", "warped", "only40", "only41", "only42", "dmr", "lrr", "baseline-lrr", "drowsy"];
+
+/// Parses command-line arguments (without the program name).
+///
+/// # Errors
+///
+/// [`ParseError`] with a user-facing message on any malformed input.
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseError> {
+    let args: Vec<String> = args.into_iter().collect();
+    let mut it = args.iter().map(String::as_str);
+    let cmd = match it.next() {
+        None | Some("--help") | Some("-h") | Some("help") => return Ok(Command::Help),
+        Some(c) => c,
+    };
+    let rest: Vec<&str> = it.collect();
+
+    let take_design = |rest: &[&str]| -> Result<DesignPoint, ParseError> {
+        match rest.iter().position(|&a| a == "--design") {
+            None => Ok(DesignPoint::WarpedCompression),
+            Some(i) => {
+                let name = rest
+                    .get(i + 1)
+                    .ok_or_else(|| ParseError("--design needs a value".into()))?;
+                design_by_name(name).ok_or_else(|| {
+                    ParseError(format!("unknown design `{name}`; try: {}", DESIGN_NAMES.join(", ")))
+                })
+            }
+        }
+    };
+
+    match cmd {
+        "list" => Ok(Command::List),
+        "designs" => Ok(Command::Designs),
+        "run" => {
+            let workload = rest
+                .iter()
+                .find(|a| !a.starts_with("--") && Some(**a) != rest.iter().position(|&x| x == "--design").and_then(|i| rest.get(i + 1)).copied())
+                .ok_or_else(|| ParseError("run needs a workload name (or `all`)".into()))?
+                .to_string();
+            Ok(Command::Run { workload, design: take_design(&rest)? })
+        }
+        "compare" => {
+            let workload = rest
+                .first()
+                .filter(|a| !a.starts_with("--"))
+                .ok_or_else(|| ParseError("compare needs a workload name".into()))?
+                .to_string();
+            Ok(Command::Compare { workload })
+        }
+        "kernel" => {
+            let path = rest
+                .first()
+                .filter(|a| !a.starts_with("--"))
+                .ok_or_else(|| ParseError("kernel needs a .s file path".into()))?
+                .to_string();
+            let flag = |name: &str| -> Option<&str> {
+                rest.iter().position(|&a| a == name).and_then(|i| rest.get(i + 1)).copied()
+            };
+            let parse_usize = |name: &str| -> Result<usize, ParseError> {
+                flag(name)
+                    .ok_or_else(|| ParseError(format!("kernel needs {name} N")))?
+                    .parse()
+                    .map_err(|_| ParseError(format!("{name} must be a number")))
+            };
+            let mut params = Vec::new();
+            for (i, a) in rest.iter().enumerate() {
+                if *a == "--param" {
+                    let v = rest
+                        .get(i + 1)
+                        .and_then(|v| v.parse::<u32>().ok())
+                        .ok_or_else(|| ParseError("--param needs a u32 value".into()))?;
+                    params.push(v);
+                }
+            }
+            Ok(Command::Kernel {
+                path,
+                blocks: parse_usize("--blocks")?,
+                threads_per_block: parse_usize("--tpb")?,
+                mem_words: parse_usize("--mem")?,
+                params,
+                design: take_design(&rest)?,
+            })
+        }
+        other => Err(ParseError(format!("unknown command `{other}`\n{USAGE}"))),
+    }
+}
+
+/// Executes a parsed command, writing human-readable output to `out`.
+///
+/// # Errors
+///
+/// Returns a boxed error for simulation or I/O failures.
+pub fn run_cli(cmd: &Command, out: &mut dyn fmt::Write) -> Result<(), Box<dyn Error>> {
+    match cmd {
+        Command::Help => {
+            writeln!(out, "{USAGE}")?;
+        }
+        Command::List => {
+            for w in gpu_workloads::suite() {
+                writeln!(out, "{:<12} {}", w.name(), w.description())?;
+            }
+        }
+        Command::Designs => {
+            for name in DESIGN_NAMES {
+                let point = design_by_name(name).expect("listed designs parse");
+                writeln!(out, "{:<14} -> {}", name, point.label())?;
+            }
+        }
+        Command::Run { workload, design } => {
+            let workloads = if workload == "all" {
+                gpu_workloads::suite()
+            } else {
+                vec![gpu_workloads::by_name(workload)
+                    .ok_or_else(|| ParseError(format!("unknown workload `{workload}`")))?]
+            };
+            for w in &workloads {
+                let run = run_workload(&design.config(), w)?;
+                writeln!(out, "{}", format_run(&run, *design))?;
+            }
+        }
+        Command::Compare { workload } => {
+            let w = gpu_workloads::by_name(workload)
+                .ok_or_else(|| ParseError(format!("unknown workload `{workload}`")))?;
+            let base = run_workload(&DesignPoint::Baseline.config(), &w)?;
+            let wc = run_workload(&DesignPoint::WarpedCompression.config(), &w)?;
+            writeln!(out, "{}", format_comparison(&base, &wc))?;
+        }
+        Command::Kernel { path, blocks, threads_per_block, mem_words, params, design } => {
+            let source = fs::read_to_string(path)?;
+            let kernel = simt_isa::assemble(&source)?;
+            let launch =
+                LaunchConfig::new(*blocks, *threads_per_block).with_params(params.clone());
+            let mut memory = GlobalMemory::zeroed(*mem_words);
+            let result = GpuSim::new(design.config()).run(&kernel, &launch, &mut memory)?;
+            writeln!(out, "kernel `{}` under {}:", kernel.name(), design.label())?;
+            writeln!(out, "  cycles:            {}", result.stats.cycles)?;
+            writeln!(out, "  warp instructions: {}", result.stats.instructions)?;
+            writeln!(out, "  compression ratio: {:.3}", result.stats.compression_ratio())?;
+            writeln!(out, "  bank accesses:     {}", result.stats.regfile.total_accesses())?;
+            let shown = memory.words().iter().take(16).collect::<Vec<_>>();
+            writeln!(out, "  mem[0..16]:        {shown:?}")?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Command, ParseError> {
+        parse_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_simple_commands() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&["--help"]).unwrap(), Command::Help);
+        assert_eq!(parse(&["list"]).unwrap(), Command::List);
+        assert_eq!(parse(&["designs"]).unwrap(), Command::Designs);
+    }
+
+    #[test]
+    fn parses_run_with_design() {
+        assert_eq!(
+            parse(&["run", "lib"]).unwrap(),
+            Command::Run { workload: "lib".into(), design: DesignPoint::WarpedCompression }
+        );
+        assert_eq!(
+            parse(&["run", "lib", "--design", "baseline"]).unwrap(),
+            Command::Run { workload: "lib".into(), design: DesignPoint::Baseline }
+        );
+        assert_eq!(
+            parse(&["run", "aes", "--design", "drowsy"]).unwrap(),
+            Command::Run { workload: "aes".into(), design: DesignPoint::WarpedCompressionDrowsy }
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_design_and_command() {
+        assert!(parse(&["run", "lib", "--design", "warp9"]).is_err());
+        assert!(parse(&["frobnicate"]).is_err());
+        assert!(parse(&["run"]).is_err());
+    }
+
+    #[test]
+    fn parses_kernel_command() {
+        let cmd = parse(&[
+            "kernel", "k.s", "--blocks", "2", "--tpb", "64", "--mem", "128", "--param", "7",
+            "--param", "9",
+        ])
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Kernel {
+                path: "k.s".into(),
+                blocks: 2,
+                threads_per_block: 64,
+                mem_words: 128,
+                params: vec![7, 9],
+                design: DesignPoint::WarpedCompression,
+            }
+        );
+    }
+
+    #[test]
+    fn kernel_requires_geometry() {
+        assert!(parse(&["kernel", "k.s", "--blocks", "2"]).is_err());
+    }
+
+    #[test]
+    fn list_command_prints_suite() {
+        let mut out = String::new();
+        run_cli(&Command::List, &mut out).unwrap();
+        for name in gpu_workloads::names() {
+            assert!(out.contains(name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn designs_command_prints_all_names() {
+        let mut out = String::new();
+        run_cli(&Command::Designs, &mut out).unwrap();
+        for d in DESIGN_NAMES {
+            assert!(out.contains(d));
+        }
+    }
+
+    #[test]
+    fn run_command_reports_stats() {
+        let mut out = String::new();
+        run_cli(
+            &Command::Run { workload: "lib".into(), design: DesignPoint::WarpedCompression },
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("lib"));
+        assert!(out.contains("cycles"));
+        assert!(out.contains("compression ratio"));
+    }
+
+    #[test]
+    fn compare_command_reports_saving() {
+        let mut out = String::new();
+        run_cli(&Command::Compare { workload: "lib".into() }, &mut out).unwrap();
+        assert!(out.contains("saving"));
+    }
+
+    #[test]
+    fn unknown_workload_is_an_error() {
+        let mut out = String::new();
+        let err = run_cli(
+            &Command::Run { workload: "nope".into(), design: DesignPoint::Baseline },
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn kernel_command_runs_assembly_from_disk() {
+        let dir = std::env::temp_dir().join("wcsim-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fill.s");
+        fs::write(
+            &path,
+            ".kernel fill regs 2\n mov r0, %gtid\n add r1, r0, param[0]\n st [r0+0], r1\n exit\n",
+        )
+        .unwrap();
+        let cmd = Command::Kernel {
+            path: path.to_string_lossy().into_owned(),
+            blocks: 1,
+            threads_per_block: 32,
+            mem_words: 32,
+            params: vec![5],
+            design: DesignPoint::WarpedCompression,
+        };
+        let mut out = String::new();
+        run_cli(&cmd, &mut out).unwrap();
+        assert!(out.contains("kernel `fill`"));
+        assert!(out.contains("mem[0..16]"));
+        assert!(out.contains('5'));
+    }
+}

@@ -1,0 +1,13 @@
+//! Library backing the `wcsim` command-line tool.
+//!
+//! All command logic lives here (parsing, dispatch, report formatting) so
+//! it is unit-testable; `main.rs` is a thin shell around [`run_cli`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cli;
+mod report;
+
+pub use cli::{parse_args, run_cli, Command, ParseError};
+pub use report::{format_comparison, format_run};

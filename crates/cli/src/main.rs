@@ -1,0 +1,25 @@
+//! `wcsim` — command-line driver for the Warped-Compression simulator.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let cmd = match wc_cli::parse_args(std::env::args().skip(1)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut out = String::new();
+    match wc_cli::run_cli(&cmd, &mut out) {
+        Ok(()) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            print!("{out}");
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Human-readable run reports.
+
+use gpu_power::EnergyParams;
+use warped_compression::{energy_of, DesignPoint, RunOutput};
+
+/// One benchmark's run summary under one design.
+pub fn format_run(run: &RunOutput, design: DesignPoint) -> String {
+    let e = energy_of(&run.stats, &EnergyParams::paper_table3());
+    format!(
+        "{name} [{design}]\n\
+         \x20 cycles:            {cycles}\n\
+         \x20 warp instructions: {instr} ({nondiv:.1}% non-divergent)\n\
+         \x20 dummy MOVs:        {movs}\n\
+         \x20 compression ratio: {ratio:.3}\n\
+         \x20 bank accesses:     {accesses}\n\
+         \x20 energy (nJ):       {energy:.1} (dyn {dynamic:.1}, leak {leak:.1}, comp {comp:.1}, decomp {decomp:.1})",
+        name = run.name,
+        design = design.label(),
+        cycles = run.stats.cycles,
+        instr = run.stats.instructions,
+        nondiv = run.stats.nondivergent_ratio() * 100.0,
+        movs = run.stats.synthetic_movs,
+        ratio = run.stats.compression_ratio(),
+        accesses = run.stats.regfile.total_accesses(),
+        energy = e.total_pj() / 1000.0,
+        dynamic = e.dynamic_pj / 1000.0,
+        leak = e.leakage_pj / 1000.0,
+        comp = e.compression_pj / 1000.0,
+        decomp = e.decompression_pj / 1000.0,
+    )
+}
+
+/// A baseline-vs-warped-compression comparison for one benchmark.
+pub fn format_comparison(base: &RunOutput, wc: &RunOutput) -> String {
+    let p = EnergyParams::paper_table3();
+    let be = energy_of(&base.stats, &p);
+    let we = energy_of(&wc.stats, &p);
+    format!(
+        "{name}: baseline vs warped-compression\n\
+         \x20 cycles:         {bc} -> {wc_c} ({dt:+.2}%)\n\
+         \x20 bank accesses:  {ba} -> {wa} ({da:+.1}%)\n\
+         \x20 energy (nJ):    {bej:.1} -> {wej:.1} (saving {saving:.1}%)\n\
+         \x20 compression:    ratio {ratio:.2}, {comp_pct:.1}% of writes compressed",
+        name = wc.name,
+        bc = base.stats.cycles,
+        wc_c = wc.stats.cycles,
+        dt = (wc.stats.cycles as f64 / base.stats.cycles as f64 - 1.0) * 100.0,
+        ba = base.stats.regfile.total_accesses(),
+        wa = wc.stats.regfile.total_accesses(),
+        da = (wc.stats.regfile.total_accesses() as f64 / base.stats.regfile.total_accesses() as f64
+            - 1.0)
+            * 100.0,
+        bej = be.total_pj() / 1000.0,
+        wej = we.total_pj() / 1000.0,
+        saving = we.savings_vs(&be) * 100.0,
+        ratio = wc.stats.compression_ratio(),
+        comp_pct = if wc.stats.writes == 0 {
+            0.0
+        } else {
+            wc.stats.writes_compressed as f64 / wc.stats.writes as f64 * 100.0
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warped_compression::run_workload;
+
+    #[test]
+    fn reports_contain_key_lines() {
+        let w = gpu_workloads::by_name("lib").unwrap();
+        let base = run_workload(&DesignPoint::Baseline.config(), &w).unwrap();
+        let wc = run_workload(&DesignPoint::WarpedCompression.config(), &w).unwrap();
+
+        let r = format_run(&wc, DesignPoint::WarpedCompression);
+        assert!(r.contains("lib [warped-compression]"));
+        assert!(r.contains("compression ratio"));
+        assert!(r.contains("energy (nJ)"));
+
+        let c = format_comparison(&base, &wc);
+        assert!(c.contains("saving"));
+        assert!(c.contains("bank accesses"));
+    }
+}

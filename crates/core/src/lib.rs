@@ -1,0 +1,52 @@
+//! **Warped-Compression** — the paper's contribution, assembled.
+//!
+//! This is the top-level crate of the reproduction of *Warped-Compression:
+//! Enabling Power Efficient GPUs through Register Compression* (ISCA
+//! 2015). The substrates live in their own crates — [`bdi`] (the
+//! compression algorithm), [`gpu_regfile`] (the banked register file with
+//! power gating), [`gpu_sim`] (the cycle-level SIMT core) and
+//! [`gpu_power`] (the Table 3 energy model). This crate adds the pieces
+//! that are *about the paper itself*:
+//!
+//! * [`similarity`] — the register-value similarity characterisation of
+//!   §3 (Fig. 2's zero / 128 / 32K / random bins),
+//! * [`explorer`] — the full-BDI ⟨base, delta⟩ breakdown of Fig. 5,
+//! * [`design`] — named design points ([`DesignPoint`]): baseline,
+//!   warped-compression, single-choice ablations (§6.6), the
+//!   decompress-merge-recompress divergence alternative (§5.2), and
+//!   latency variants (§6.8),
+//! * [`experiment`] — the driver that runs a workload under a design
+//!   point and returns everything the figures need, plus [`energy_of`]
+//!   to price a finished run under any [`gpu_power::EnergyParams`]
+//!   (the Fig. 17–19 sensitivity sweeps re-price stored runs instead of
+//!   re-simulating).
+//!
+//! # Example
+//!
+//! ```
+//! use warped_compression::{energy_of, run_workload, DesignPoint};
+//! use gpu_power::EnergyParams;
+//!
+//! let pf = gpu_workloads::by_name("pathfinder").unwrap();
+//! let base = run_workload(&DesignPoint::Baseline.config(), &pf)?;
+//! let wc = run_workload(&DesignPoint::WarpedCompression.config(), &pf)?;
+//! let params = EnergyParams::paper_table3();
+//! let saving = energy_of(&wc.stats, &params).savings_vs(&energy_of(&base.stats, &params));
+//! assert!(saving > 0.0, "warped-compression must save register-file energy");
+//! # Ok::<(), gpu_sim::SimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod design;
+pub mod experiment;
+pub mod explorer;
+pub mod similarity;
+pub mod trace;
+
+pub use design::DesignPoint;
+pub use experiment::{energy_of, run_suite, run_workload, RunOutput};
+pub use explorer::ChoiceBreakdown;
+pub use similarity::{SimilarityBin, SimilarityHistogram};
+pub use trace::WriteTrace;

@@ -1,0 +1,537 @@
+//! Textual assembler for the SIMT ISA.
+//!
+//! The syntax mirrors the `Display` output of instructions, with named
+//! labels for control flow:
+//!
+//! ```text
+//! .kernel saxpy regs 4
+//!     mov   r0, %gtid
+//!     mul   r1, r0, param[0]
+//! @loop:
+//!     add   r1, r1, 1
+//!     set.lt r2, r1, 100
+//!     bra   r2, @loop, @done
+//! @done:
+//!     st    [r0+0], r1
+//!     exit
+//! ```
+//!
+//! * labels are `@name:` on their own line and referenced as `@name`,
+//! * `bra pred, @target, @reconv` carries the explicit reconvergence
+//!   label,
+//! * operands are registers (`r12`), immediates (`-7`, `0x1F`), kernel
+//!   parameters (`param[2]`) or specials (`%tid`, `%ctaid`, `%ntid`,
+//!   `%nctaid`, `%gtid`, `%laneid`, `%warpid`),
+//! * memory operands are `[rBASE+OFFSET]` / `[rBASE-OFFSET]`,
+//! * `#`-comments run to end of line.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::builder::{BuildError, KernelBuilder, Label};
+use crate::instr::{AluOp, Instruction};
+use crate::kernel::Kernel;
+use crate::operand::{Operand, Reg, Special};
+
+/// Assembles kernel source text into a validated [`Kernel`].
+///
+/// # Errors
+///
+/// Returns [`AsmError`] with a line number for any syntax problem, and
+/// wraps kernel-validation failures (bad register indices etc.).
+///
+/// # Example
+///
+/// ```
+/// let k = simt_isa::assemble(
+///     ".kernel tiny regs 2\n mov r0, %tid\n add r1, r0, 1\n st [r0+0], r1\n exit\n",
+/// )?;
+/// assert_eq!(k.name(), "tiny");
+/// assert_eq!(k.len(), 4);
+/// # Ok::<(), simt_isa::AsmError>(())
+/// ```
+pub fn assemble(source: &str) -> Result<Kernel, AsmError> {
+    Assembler::new(source).run()
+}
+
+/// Renders a kernel back to assembler syntax that [`assemble`] accepts —
+/// branch targets become generated labels (`@L0`, `@L1`, …).
+///
+/// The round trip `assemble(to_asm(&k))? == k` holds for every valid
+/// kernel (property-tested).
+pub fn to_asm(kernel: &Kernel) -> String {
+    use fmt::Write;
+    // Collect every pc that is a branch/jump target or reconvergence
+    // point and give it a label.
+    let mut targets: Vec<usize> = kernel
+        .instrs()
+        .iter()
+        .flat_map(|i| match *i {
+            Instruction::Bra { target, reconv, .. } => vec![target, reconv],
+            Instruction::Jmp { target } => vec![target],
+            _ => Vec::new(),
+        })
+        .collect();
+    targets.sort_unstable();
+    targets.dedup();
+    let label_of: HashMap<usize, String> =
+        targets.iter().enumerate().map(|(n, &pc)| (pc, format!("L{n}"))).collect();
+
+    let mut out = String::new();
+    writeln!(out, ".kernel {} regs {}", kernel.name(), kernel.num_regs()).unwrap();
+    for (pc, instr) in kernel.instrs().iter().enumerate() {
+        if let Some(l) = label_of.get(&pc) {
+            writeln!(out, "@{l}:").unwrap();
+        }
+        match *instr {
+            Instruction::Bra { pred, target, reconv } => {
+                writeln!(out, "    bra {pred}, @{}, @{}", label_of[&target], label_of[&reconv])
+                    .unwrap();
+            }
+            Instruction::Jmp { target } => {
+                writeln!(out, "    jmp @{}", label_of[&target]).unwrap();
+            }
+            ref other => writeln!(out, "    {other}").unwrap(),
+        }
+    }
+    out
+}
+
+/// Assembly failures, with 1-based source line numbers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line of the offending construct (0 for file-level errors).
+    pub line: usize,
+    /// What went wrong.
+    pub kind: AsmErrorKind,
+}
+
+/// The varieties of assembly failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AsmErrorKind {
+    /// Missing or malformed `.kernel NAME regs N` header.
+    BadHeader,
+    /// An unknown mnemonic.
+    UnknownMnemonic(String),
+    /// An operand that did not parse.
+    BadOperand(String),
+    /// Wrong operand count or shape for the mnemonic.
+    BadOperands,
+    /// A label defined twice.
+    DuplicateLabel(String),
+    /// A referenced label was never defined.
+    UndefinedLabel(String),
+    /// The resolved kernel failed validation.
+    Invalid(String),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            AsmErrorKind::BadHeader => {
+                write!(f, "line {}: expected `.kernel NAME regs N` header", self.line)
+            }
+            AsmErrorKind::UnknownMnemonic(m) => write!(f, "line {}: unknown mnemonic `{m}`", self.line),
+            AsmErrorKind::BadOperand(o) => write!(f, "line {}: cannot parse operand `{o}`", self.line),
+            AsmErrorKind::BadOperands => write!(f, "line {}: wrong operands for mnemonic", self.line),
+            AsmErrorKind::DuplicateLabel(l) => write!(f, "line {}: label `@{l}` defined twice", self.line),
+            AsmErrorKind::UndefinedLabel(l) => write!(f, "line {}: label `@{l}` never defined", self.line),
+            AsmErrorKind::Invalid(e) => write!(f, "line {}: invalid kernel: {e}", self.line),
+        }
+    }
+}
+
+impl Error for AsmError {}
+
+struct Assembler<'a> {
+    source: &'a str,
+}
+
+impl<'a> Assembler<'a> {
+    fn new(source: &'a str) -> Self {
+        Assembler { source }
+    }
+
+    fn run(self) -> Result<Kernel, AsmError> {
+        let mut lines = self
+            .source
+            .lines()
+            .enumerate()
+            .map(|(n, l)| (n + 1, strip_comment(l).trim()))
+            .filter(|(_, l)| !l.is_empty());
+
+        // Header.
+        let (hline, header) = lines.next().ok_or(AsmError { line: 0, kind: AsmErrorKind::BadHeader })?;
+        let (name, num_regs) = parse_header(header)
+            .ok_or(AsmError { line: hline, kind: AsmErrorKind::BadHeader })?;
+
+        let mut b = KernelBuilder::new(name, num_regs);
+        let mut labels: HashMap<String, Label> = HashMap::new();
+        let mut defined: HashMap<String, usize> = HashMap::new();
+        let mut referenced: Vec<(usize, String)> = Vec::new();
+
+        for (line, text) in lines {
+            if let Some(label) = text.strip_prefix('@').and_then(|t| t.strip_suffix(':')) {
+                let label = label.trim().to_string();
+                if defined.contains_key(&label) {
+                    return Err(AsmError { line, kind: AsmErrorKind::DuplicateLabel(label) });
+                }
+                defined.insert(label.clone(), line);
+                let l = *labels.entry(label).or_insert_with(|| b.label());
+                b.bind(l);
+                continue;
+            }
+            parse_instruction(text, line, &mut b, &mut labels, &mut referenced)?;
+        }
+
+        for (line, label) in &referenced {
+            if !defined.contains_key(label) {
+                return Err(AsmError { line: *line, kind: AsmErrorKind::UndefinedLabel(label.clone()) });
+            }
+        }
+        b.build().map_err(|e| match e {
+            BuildError::UnboundLabel(_) => {
+                AsmError { line: 0, kind: AsmErrorKind::UndefinedLabel("<unknown>".into()) }
+            }
+            BuildError::Invalid(k) => AsmError { line: 0, kind: AsmErrorKind::Invalid(k.to_string()) },
+        })
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn parse_header(line: &str) -> Option<(String, u8)> {
+    let rest = line.strip_prefix(".kernel")?.trim();
+    let mut parts = rest.split_whitespace();
+    let name = parts.next()?.to_string();
+    let kw = parts.next()?;
+    if kw != "regs" {
+        return None;
+    }
+    let regs: u8 = parts.next()?.parse().ok()?;
+    if parts.next().is_some() {
+        return None;
+    }
+    Some((name, regs))
+}
+
+fn parse_instruction(
+    text: &str,
+    line: usize,
+    b: &mut KernelBuilder,
+    labels: &mut HashMap<String, Label>,
+    referenced: &mut Vec<(usize, String)>,
+) -> Result<(), AsmError> {
+    let err_operands = || AsmError { line, kind: AsmErrorKind::BadOperands };
+    let (mnemonic, rest) = match text.find(char::is_whitespace) {
+        Some(i) => (&text[..i], text[i..].trim()),
+        None => (text, ""),
+    };
+    let ops: Vec<&str> = if rest.is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',').map(str::trim).collect()
+    };
+
+    let mut label_ref = |name: &str, b: &mut KernelBuilder| -> Label {
+        referenced.push((line, name.to_string()));
+        *labels.entry(name.to_string()).or_insert_with(|| b.label())
+    };
+
+    match mnemonic {
+        "mov" => {
+            let [dst, src] = ops[..] else { return Err(err_operands()) };
+            b.mov(parse_reg(dst, line)?, parse_operand(src, line)?);
+        }
+        "ld" => {
+            let [dst, mem] = ops[..] else { return Err(err_operands()) };
+            let (base, offset) = parse_mem(mem, line)?;
+            b.ld(parse_reg(dst, line)?, base, offset);
+        }
+        "st" => {
+            let [mem, src] = ops[..] else { return Err(err_operands()) };
+            let (base, offset) = parse_mem(mem, line)?;
+            b.st(base, offset, parse_reg(src, line)?);
+        }
+        "bra" => {
+            let [pred, target, reconv] = ops[..] else { return Err(err_operands()) };
+            let t = parse_label_name(target, line)?;
+            let r = parse_label_name(reconv, line)?;
+            let pred = parse_reg(pred, line)?;
+            let (t, r) = (label_ref(&t, b), label_ref(&r, b));
+            b.bra(pred, t, r);
+        }
+        "jmp" => {
+            let [target] = ops[..] else { return Err(err_operands()) };
+            let t = parse_label_name(target, line)?;
+            let t = label_ref(&t, b);
+            b.jmp(t);
+        }
+        "exit" => {
+            if !ops.is_empty() {
+                return Err(err_operands());
+            }
+            b.exit();
+        }
+        other => {
+            let Some(op) = parse_alu_op(other) else {
+                return Err(AsmError { line, kind: AsmErrorKind::UnknownMnemonic(other.to_string()) });
+            };
+            let [dst, a, bb] = ops[..] else { return Err(err_operands()) };
+            b.alu(op, parse_reg(dst, line)?, parse_operand(a, line)?, parse_operand(bb, line)?);
+        }
+    }
+    Ok(())
+}
+
+fn parse_alu_op(m: &str) -> Option<AluOp> {
+    Some(match m {
+        "add" => AluOp::Add,
+        "sub" => AluOp::Sub,
+        "mul" => AluOp::Mul,
+        "div" => AluOp::Div,
+        "rem" => AluOp::Rem,
+        "min" => AluOp::Min,
+        "max" => AluOp::Max,
+        "and" => AluOp::And,
+        "or" => AluOp::Or,
+        "xor" => AluOp::Xor,
+        "shl" => AluOp::Shl,
+        "shr" => AluOp::Shr,
+        "set.lt" => AluOp::SetLt,
+        "set.le" => AluOp::SetLe,
+        "set.eq" => AluOp::SetEq,
+        "set.ne" => AluOp::SetNe,
+        _ => return None,
+    })
+}
+
+fn parse_reg(text: &str, line: usize) -> Result<Reg, AsmError> {
+    let bad = || AsmError { line, kind: AsmErrorKind::BadOperand(text.to_string()) };
+    let idx = text.strip_prefix('r').ok_or_else(bad)?;
+    idx.parse::<u8>().map(Reg).map_err(|_| bad())
+}
+
+fn parse_operand(text: &str, line: usize) -> Result<Operand, AsmError> {
+    let bad = || AsmError { line, kind: AsmErrorKind::BadOperand(text.to_string()) };
+    if let Ok(r) = parse_reg(text, line) {
+        return Ok(Operand::Reg(r));
+    }
+    if let Some(rest) = text.strip_prefix("param[").and_then(|t| t.strip_suffix(']')) {
+        return rest.parse::<u8>().map(Operand::Param).map_err(|_| bad());
+    }
+    if let Some(name) = text.strip_prefix('%') {
+        let s = match name {
+            "tid" => Special::Tid,
+            "ctaid" => Special::Bid,
+            "ntid" => Special::BlockDim,
+            "nctaid" => Special::GridDim,
+            "gtid" => Special::GlobalTid,
+            "laneid" => Special::LaneId,
+            "warpid" => Special::WarpId,
+            _ => return Err(bad()),
+        };
+        return Ok(Operand::Special(s));
+    }
+    parse_imm(text).map(Operand::Imm).ok_or_else(bad)
+}
+
+fn parse_imm(text: &str) -> Option<i32> {
+    let text = text.strip_prefix('+').unwrap_or(text);
+    let (neg, t) = match text.strip_prefix('-') {
+        Some(t) => (true, t),
+        None => (false, text),
+    };
+    let v = if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()?
+    } else {
+        t.parse::<i64>().ok()?
+    };
+    let v = if neg { -v } else { v };
+    i32::try_from(v).ok().or_else(|| u32::try_from(v).ok().map(|u| u as i32))
+}
+
+/// `[rBASE+OFF]` / `[rBASE-OFF]` / `[rBASE]`.
+fn parse_mem(text: &str, line: usize) -> Result<(Reg, i32), AsmError> {
+    let bad = || AsmError { line, kind: AsmErrorKind::BadOperand(text.to_string()) };
+    let inner = text.strip_prefix('[').and_then(|t| t.strip_suffix(']')).ok_or_else(bad)?;
+    let (base_text, offset) = if let Some(i) = inner[1..].find(['+', '-']).map(|i| i + 1) {
+        let (b, o) = inner.split_at(i);
+        (b, parse_imm(o).ok_or_else(bad)?)
+    } else {
+        (inner, 0)
+    };
+    Ok((parse_reg(base_text.trim(), line)?, offset))
+}
+
+fn parse_label_name(text: &str, line: usize) -> Result<String, AsmError> {
+    text.strip_prefix('@')
+        .filter(|t| !t.is_empty())
+        .map(str::to_string)
+        .ok_or(AsmError { line, kind: AsmErrorKind::BadOperand(text.to_string()) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_straight_line_kernel() {
+        let k = assemble(
+            ".kernel t regs 3\n\
+             mov r0, %gtid\n\
+             add r1, r0, 10   # comment\n\
+             mul r2, r1, param[1]\n\
+             st [r0+4], r2\n\
+             exit\n",
+        )
+        .unwrap();
+        assert_eq!(k.name(), "t");
+        assert_eq!(k.num_regs(), 3);
+        assert_eq!(
+            k.instr(1),
+            Some(&Instruction::Alu {
+                op: AluOp::Add,
+                dst: Reg(1),
+                a: Operand::Reg(Reg(0)),
+                b: Operand::Imm(10)
+            })
+        );
+        assert_eq!(k.instr(3), Some(&Instruction::St { base: Reg(0), offset: 4, src: Reg(2) }));
+    }
+
+    #[test]
+    fn assembles_loops_with_forward_and_backward_labels() {
+        let k = assemble(
+            ".kernel loop regs 2\n\
+             mov r0, 0\n\
+             @head:\n\
+             add r0, r0, 1\n\
+             set.lt r1, r0, 5\n\
+             bra r1, @head, @done\n\
+             @done:\n\
+             exit\n",
+        )
+        .unwrap();
+        assert_eq!(k.instr(3), Some(&Instruction::Bra { pred: Reg(1), target: 1, reconv: 4 }));
+    }
+
+    #[test]
+    fn negative_and_hex_immediates() {
+        let k = assemble(".kernel i regs 1\n mov r0, -42\n add r0, r0, 0x1F\n exit\n").unwrap();
+        assert_eq!(k.instr(0), Some(&Instruction::Mov { dst: Reg(0), src: Operand::Imm(-42) }));
+        assert_eq!(
+            k.instr(1),
+            Some(&Instruction::Alu { op: AluOp::Add, dst: Reg(0), a: Reg(0).into(), b: Operand::Imm(31) })
+        );
+    }
+
+    #[test]
+    fn negative_memory_offsets() {
+        let k = assemble(".kernel m regs 2\n ld r1, [r0-3]\n exit\n").unwrap();
+        assert_eq!(k.instr(0), Some(&Instruction::Ld { dst: Reg(1), base: Reg(0), offset: -3 }));
+    }
+
+    #[test]
+    fn all_specials_parse() {
+        for (txt, sp) in [
+            ("%tid", Special::Tid),
+            ("%ctaid", Special::Bid),
+            ("%ntid", Special::BlockDim),
+            ("%nctaid", Special::GridDim),
+            ("%gtid", Special::GlobalTid),
+            ("%laneid", Special::LaneId),
+            ("%warpid", Special::WarpId),
+        ] {
+            let src = format!(".kernel s regs 1\n mov r0, {txt}\n exit\n");
+            let k = assemble(&src).unwrap();
+            assert_eq!(k.instr(0), Some(&Instruction::Mov { dst: Reg(0), src: Operand::Special(sp) }));
+        }
+    }
+
+    #[test]
+    fn missing_header_is_reported() {
+        let e = assemble("mov r0, 1\nexit\n").unwrap_err();
+        assert_eq!(e.kind, AsmErrorKind::BadHeader);
+    }
+
+    #[test]
+    fn unknown_mnemonic_is_reported_with_line() {
+        let e = assemble(".kernel x regs 1\n mov r0, 1\n frobnicate r0, 1, 2\n exit\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert_eq!(e.kind, AsmErrorKind::UnknownMnemonic("frobnicate".into()));
+    }
+
+    #[test]
+    fn undefined_label_is_reported() {
+        let e = assemble(".kernel x regs 1\n jmp @nowhere\n exit\n").unwrap_err();
+        assert_eq!(e.kind, AsmErrorKind::UndefinedLabel("nowhere".into()));
+    }
+
+    #[test]
+    fn duplicate_label_is_reported() {
+        let e = assemble(".kernel x regs 1\n@a:\n exit\n@a:\n exit\n").unwrap_err();
+        assert!(matches!(e.kind, AsmErrorKind::DuplicateLabel(ref l) if l == "a"));
+    }
+
+    #[test]
+    fn register_out_of_range_is_reported() {
+        let e = assemble(".kernel x regs 2\n mov r5, 1\n exit\n").unwrap_err();
+        assert!(matches!(e.kind, AsmErrorKind::Invalid(_)));
+    }
+
+    #[test]
+    fn bad_operand_shapes_are_reported() {
+        for src in [
+            ".kernel x regs 1\n mov r0\n exit\n",
+            ".kernel x regs 1\n add r0, 1\n exit\n",
+            ".kernel x regs 1\n ld r0, r0\n exit\n",
+            ".kernel x regs 1\n exit r0\n exit\n",
+        ] {
+            assert!(assemble(src).is_err(), "should reject: {src}");
+        }
+    }
+
+    #[test]
+    fn round_trip_simple() {
+        let src = ".kernel rt regs 3\n\
+             mov r0, %tid\n\
+             @head:\n\
+             add r1, r0, param[0]\n\
+             set.lt r2, r1, 100\n\
+             bra r2, @head, @out\n\
+             @out:\n\
+             st [r0+0], r1\n\
+             exit\n";
+        let k = assemble(src).unwrap();
+        let k2 = assemble(&to_asm(&k)).unwrap();
+        assert_eq!(k, k2);
+    }
+
+    #[test]
+    fn to_asm_of_workload_scale_kernel_reassembles() {
+        // A kernel with nested control flow, built programmatically.
+        let mut b = KernelBuilder::new("nested", 4);
+        b.mov(Reg(0), Operand::Special(Special::Tid));
+        let merge = b.label();
+        let then = b.label();
+        b.alu(AluOp::SetLt, Reg(1), Reg(0).into(), Operand::Imm(7));
+        b.bra(Reg(1), then, merge);
+        b.mov(Reg(2), Operand::Imm(1));
+        b.jmp(merge);
+        b.bind(then);
+        b.mov(Reg(2), Operand::Imm(2));
+        b.bind(merge);
+        b.st(Reg(0), 0, Reg(2));
+        b.exit();
+        let k = b.build().unwrap();
+        let k2 = assemble(&to_asm(&k)).unwrap();
+        assert_eq!(k, k2);
+    }
+}

@@ -1,0 +1,273 @@
+//! Fluent kernel construction with forward-referencing labels.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::instr::{AluOp, Instruction};
+use crate::kernel::{Kernel, KernelError};
+use crate::operand::{Operand, Reg};
+
+/// An opaque branch-target handle issued by [`KernelBuilder::label`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Builds a [`Kernel`], resolving labels to instruction indices at
+/// [`build`](KernelBuilder::build) time so control flow can reference
+/// code that has not been emitted yet.
+///
+/// # Example
+///
+/// ```
+/// use simt_isa::{AluOp, KernelBuilder, Operand, Reg};
+///
+/// // for (r0 = 0; r0 < 4; r0++) {}
+/// let mut b = KernelBuilder::new("count", 2);
+/// let (r0, r1) = (Reg(0), Reg(1));
+/// b.mov(r0, Operand::Imm(0));
+/// let head = b.here();
+/// b.alu(AluOp::Add, r0, r0.into(), Operand::Imm(1));
+/// b.alu(AluOp::SetLt, r1, r0.into(), Operand::Imm(4));
+/// let exit = b.label();
+/// b.bra(r1, head, exit);
+/// b.bind(exit);
+/// b.exit();
+/// let k = b.build()?;
+/// assert_eq!(k.len(), 5);
+/// # Ok::<(), simt_isa::BuildError>(())
+/// ```
+#[derive(Debug)]
+pub struct KernelBuilder {
+    name: String,
+    num_regs: u8,
+    instrs: Vec<PendingInstr>,
+    bound: HashMap<usize, usize>,
+    next_label: usize,
+}
+
+/// Instructions whose targets may still be unresolved labels.
+#[derive(Clone, Copy, Debug)]
+enum PendingInstr {
+    Ready(Instruction),
+    Bra { pred: Reg, target: Label, reconv: Label },
+    Jmp { target: Label },
+}
+
+impl KernelBuilder {
+    /// Starts a kernel with the given name and per-thread register count.
+    pub fn new(name: impl Into<String>, num_regs: u8) -> Self {
+        KernelBuilder {
+            name: name.into(),
+            num_regs,
+            instrs: Vec::new(),
+            bound: HashMap::new(),
+            next_label: 0,
+        }
+    }
+
+    /// Issues a fresh, unbound label.
+    pub fn label(&mut self) -> Label {
+        let l = Label(self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    /// Issues a label bound to the *next* instruction emitted.
+    pub fn here(&mut self) -> Label {
+        let l = self.label();
+        self.bind(l);
+        l
+    }
+
+    /// Binds `label` to the next instruction emitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound — rebinding is always a bug in
+    /// the kernel under construction.
+    pub fn bind(&mut self, label: Label) {
+        let prev = self.bound.insert(label.0, self.instrs.len());
+        assert!(prev.is_none(), "label {label:?} bound twice");
+    }
+
+    /// Emits `mov dst, src`.
+    pub fn mov(&mut self, dst: Reg, src: Operand) -> &mut Self {
+        self.instrs.push(PendingInstr::Ready(Instruction::Mov { dst, src }));
+        self
+    }
+
+    /// Emits `op dst, a, b`.
+    pub fn alu(&mut self, op: AluOp, dst: Reg, a: Operand, b: Operand) -> &mut Self {
+        self.instrs.push(PendingInstr::Ready(Instruction::Alu { op, dst, a, b }));
+        self
+    }
+
+    /// Emits a global load `dst = mem[base + offset]`.
+    pub fn ld(&mut self, dst: Reg, base: Reg, offset: i32) -> &mut Self {
+        self.instrs.push(PendingInstr::Ready(Instruction::Ld { dst, base, offset }));
+        self
+    }
+
+    /// Emits a global store `mem[base + offset] = src`.
+    pub fn st(&mut self, base: Reg, offset: i32, src: Reg) -> &mut Self {
+        self.instrs.push(PendingInstr::Ready(Instruction::St { base, offset, src }));
+        self
+    }
+
+    /// Emits a conditional branch to `target` reconverging at `reconv`.
+    pub fn bra(&mut self, pred: Reg, target: Label, reconv: Label) -> &mut Self {
+        self.instrs.push(PendingInstr::Bra { pred, target, reconv });
+        self
+    }
+
+    /// Emits an unconditional jump.
+    pub fn jmp(&mut self, target: Label) -> &mut Self {
+        self.instrs.push(PendingInstr::Jmp { target });
+        self
+    }
+
+    /// Emits `exit`.
+    pub fn exit(&mut self) -> &mut Self {
+        self.instrs.push(PendingInstr::Ready(Instruction::Exit));
+        self
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether no instructions have been emitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Resolves all labels and validates the kernel.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::UnboundLabel`] if a referenced label was never bound;
+    /// [`BuildError::Invalid`] if the resolved kernel fails validation.
+    pub fn build(&self) -> Result<Kernel, BuildError> {
+        let resolve = |l: Label| self.bound.get(&l.0).copied().ok_or(BuildError::UnboundLabel(l));
+        let mut instrs = Vec::with_capacity(self.instrs.len());
+        for p in &self.instrs {
+            instrs.push(match *p {
+                PendingInstr::Ready(i) => i,
+                PendingInstr::Bra { pred, target, reconv } => Instruction::Bra {
+                    pred,
+                    target: resolve(target)?,
+                    reconv: resolve(reconv)?,
+                },
+                PendingInstr::Jmp { target } => Instruction::Jmp { target: resolve(target)? },
+            });
+        }
+        Kernel::new(self.name.clone(), instrs, self.num_regs).map_err(BuildError::Invalid)
+    }
+}
+
+/// Failures of [`KernelBuilder::build`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BuildError {
+    /// A branch referenced a label that was never bound.
+    UnboundLabel(Label),
+    /// The resolved instruction sequence failed kernel validation.
+    Invalid(KernelError),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnboundLabel(l) => write!(f, "label {l:?} referenced but never bound"),
+            BuildError::Invalid(e) => write!(f, "invalid kernel: {e}"),
+        }
+    }
+}
+
+impl Error for BuildError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BuildError::Invalid(e) => Some(e),
+            BuildError::UnboundLabel(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_labels_resolve() {
+        let mut b = KernelBuilder::new("fwd", 1);
+        let skip = b.label();
+        b.bra(Reg(0), skip, skip);
+        b.mov(Reg(0), Operand::Imm(1));
+        b.bind(skip);
+        b.exit();
+        let k = b.build().unwrap();
+        match k.instr(0).unwrap() {
+            Instruction::Bra { target, reconv, .. } => {
+                assert_eq!(*target, 2);
+                assert_eq!(*reconv, 2);
+            }
+            other => panic!("expected bra, got {other}"),
+        }
+    }
+
+    #[test]
+    fn unbound_label_errors() {
+        let mut b = KernelBuilder::new("bad", 1);
+        let nowhere = b.label();
+        b.jmp(nowhere);
+        assert_eq!(b.build().unwrap_err(), BuildError::UnboundLabel(nowhere));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn rebinding_panics() {
+        let mut b = KernelBuilder::new("dup", 1);
+        let l = b.label();
+        b.bind(l);
+        b.exit();
+        b.bind(l);
+    }
+
+    #[test]
+    fn invalid_kernel_propagates() {
+        let mut b = KernelBuilder::new("bad-reg", 1);
+        b.mov(Reg(3), Operand::Imm(0));
+        b.exit();
+        match b.build().unwrap_err() {
+            BuildError::Invalid(KernelError::RegisterOutOfRange { reg: 3, .. }) => {}
+            other => panic!("unexpected: {other}"),
+        }
+    }
+
+    #[test]
+    fn here_binds_to_next_instruction() {
+        let mut b = KernelBuilder::new("loop", 2);
+        b.mov(Reg(0), Operand::Imm(0));
+        let head = b.here();
+        b.alu(AluOp::Add, Reg(0), Reg(0).into(), Operand::Imm(1));
+        b.alu(AluOp::SetLt, Reg(1), Reg(0).into(), Operand::Imm(3));
+        let done = b.label();
+        b.bra(Reg(1), head, done);
+        b.bind(done);
+        b.exit();
+        let k = b.build().unwrap();
+        match k.instr(3).unwrap() {
+            Instruction::Bra { target, .. } => assert_eq!(*target, 1),
+            other => panic!("expected bra, got {other}"),
+        }
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut b = KernelBuilder::new("x", 1);
+        assert!(b.is_empty());
+        b.exit();
+        assert_eq!(b.len(), 1);
+        assert!(!b.is_empty());
+    }
+}

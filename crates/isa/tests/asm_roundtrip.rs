@@ -1,0 +1,108 @@
+//! Property test: `assemble(to_asm(k)) == k` for arbitrary valid kernels.
+
+use proptest::prelude::*;
+use simt_isa::{assemble, to_asm, AluOp, Instruction, Kernel, Operand, Reg, Special};
+
+const NUM_REGS: u8 = 8;
+
+fn arb_alu_op() -> impl Strategy<Value = AluOp> {
+    prop::sample::select(vec![
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::Div,
+        AluOp::Rem,
+        AluOp::Min,
+        AluOp::Max,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Shl,
+        AluOp::Shr,
+        AluOp::SetLt,
+        AluOp::SetLe,
+        AluOp::SetEq,
+        AluOp::SetNe,
+    ])
+}
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0..NUM_REGS).prop_map(Reg)
+}
+
+fn arb_special() -> impl Strategy<Value = Special> {
+    prop::sample::select(vec![
+        Special::Tid,
+        Special::Bid,
+        Special::BlockDim,
+        Special::GridDim,
+        Special::GlobalTid,
+        Special::LaneId,
+        Special::WarpId,
+    ])
+}
+
+fn arb_operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        arb_reg().prop_map(Operand::Reg),
+        any::<i32>().prop_map(Operand::Imm),
+        (0u8..4).prop_map(Operand::Param),
+        arb_special().prop_map(Operand::Special),
+    ]
+}
+
+/// An instruction whose branch targets stay inside `0..len`.
+fn arb_instruction(len: usize) -> impl Strategy<Value = Instruction> {
+    prop_oneof![
+        (arb_reg(), arb_operand()).prop_map(|(dst, src)| Instruction::Mov { dst, src }),
+        (arb_alu_op(), arb_reg(), arb_operand(), arb_operand())
+            .prop_map(|(op, dst, a, b)| Instruction::Alu { op, dst, a, b }),
+        (arb_reg(), arb_reg(), -64i32..64)
+            .prop_map(|(dst, base, offset)| Instruction::Ld { dst, base, offset }),
+        (arb_reg(), -64i32..64, arb_reg())
+            .prop_map(|(base, offset, src)| Instruction::St { base, offset, src }),
+        (arb_reg(), 0..len, 0..len)
+            .prop_map(|(pred, target, reconv)| Instruction::Bra { pred, target, reconv }),
+        (0..len).prop_map(|target| Instruction::Jmp { target }),
+        Just(Instruction::Exit),
+    ]
+}
+
+prop_compose! {
+    fn arb_kernel()(len in 2usize..24)(
+        mut instrs in prop::collection::vec(arb_instruction(len), len),
+        name in "[a-z][a-z0-9_]{0,12}",
+    ) -> Kernel {
+        // Kernels must not fall off the end.
+        *instrs.last_mut().expect("len >= 2") = Instruction::Exit;
+        Kernel::new(name, instrs, NUM_REGS).expect("generated kernel is valid")
+    }
+}
+
+proptest! {
+    #[test]
+    fn asm_round_trip(kernel in arb_kernel()) {
+        let text = to_asm(&kernel);
+        let back = assemble(&text)
+            .unwrap_or_else(|e| panic!("re-assembly failed: {e}\n--- asm ---\n{text}"));
+        prop_assert_eq!(back, kernel);
+    }
+
+    /// `to_asm` output is stable: rendering the reassembled kernel gives
+    /// the identical text.
+    #[test]
+    fn asm_rendering_is_stable(kernel in arb_kernel()) {
+        let text = to_asm(&kernel);
+        let back = assemble(&text).expect("round trip");
+        prop_assert_eq!(to_asm(&back), text);
+    }
+
+    /// The plain disassembly never panics and lists every pc.
+    #[test]
+    fn disassembly_lists_every_pc(kernel in arb_kernel()) {
+        let d = kernel.disassemble();
+        for pc in 0..kernel.len() {
+            prop_assert!(d.contains(&format!("@{pc}")), "missing @{pc} in:\n{d}");
+        }
+    }
+}

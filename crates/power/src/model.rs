@@ -1,0 +1,158 @@
+//! The energy model: activity counts × Table 3 constants.
+
+use crate::activity::ActivityCounts;
+use crate::params::EnergyParams;
+use crate::report::EnergyReport;
+
+/// Evaluates register-file energy from activity counters (§6.1).
+///
+/// # Example
+///
+/// ```
+/// use gpu_power::{ActivityCounts, EnergyModel, EnergyParams};
+///
+/// let model = EnergyModel::new(EnergyParams::paper_table3());
+/// let a = ActivityCounts { bank_reads: 100, ..Default::default() };
+/// let r = model.evaluate(&a);
+/// // 100 reads × (7 + 9.6) pJ
+/// assert!((r.dynamic_pj - 1660.0).abs() < 1e-9);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EnergyModel {
+    params: EnergyParams,
+}
+
+impl EnergyModel {
+    /// Creates a model with the given parameters.
+    pub fn new(params: EnergyParams) -> Self {
+        EnergyModel { params }
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> &EnergyParams {
+        &self.params
+    }
+
+    /// Multiplies the activity through the energy constants.
+    pub fn evaluate(&self, activity: &ActivityCounts) -> EnergyReport {
+        let p = &self.params;
+        let dynamic_pj = activity.bank_accesses() as f64 * p.bank_access_total_pj();
+        let low_power_leak = match activity.low_power {
+            crate::LowPowerKind::Gated => 0.0,
+            crate::LowPowerKind::Drowsy => {
+                activity.low_power_bank_cycles as f64
+                    * p.bank_leakage_pj_per_cycle()
+                    * p.drowsy_leakage_fraction
+            }
+        };
+        let leakage_pj =
+            activity.powered_bank_cycles as f64 * p.bank_leakage_pj_per_cycle() + low_power_leak;
+        // Unit leakage accrues whenever any compression hardware exists;
+        // a design with zero activations (the baseline, which has no
+        // compressors at all) is charged nothing.
+        let has_units = activity.compressor_activations > 0 || activity.decompressor_activations > 0;
+        let comp_leak = if has_units {
+            activity.cycles as f64 * p.compressor_leakage_mw * p.num_compressors as f64 / p.clock_ghz
+        } else {
+            0.0
+        };
+        let decomp_leak = if has_units {
+            activity.cycles as f64 * p.decompressor_leakage_mw * p.num_decompressors as f64 / p.clock_ghz
+        } else {
+            0.0
+        };
+        let compression_pj =
+            activity.compressor_activations as f64 * p.compressor_pj * p.comp_decomp_scale + comp_leak;
+        let decompression_pj =
+            activity.decompressor_activations as f64 * p.decompressor_pj * p.comp_decomp_scale + decomp_leak;
+        EnergyReport { dynamic_pj, leakage_pj, compression_pj, decompression_pj }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> EnergyModel {
+        EnergyModel::new(EnergyParams::paper_table3())
+    }
+
+    #[test]
+    fn dynamic_energy_counts_reads_and_writes() {
+        let a = ActivityCounts { bank_reads: 10, bank_writes: 5, ..Default::default() };
+        let r = model().evaluate(&a);
+        assert!((r.dynamic_pj - 15.0 * 16.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn leakage_counts_only_powered_cycles() {
+        let a = ActivityCounts { powered_bank_cycles: 1400, ..Default::default() };
+        let r = model().evaluate(&a);
+        // 1400 bank-cycles × 5.8/1.4 pJ = 5800 pJ.
+        assert!((r.leakage_pj - 5800.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn baseline_without_compression_pays_no_unit_energy() {
+        let a = ActivityCounts { cycles: 1_000_000, bank_reads: 10, ..Default::default() };
+        let r = model().evaluate(&a);
+        assert_eq!(r.compression_pj, 0.0);
+        assert_eq!(r.decompression_pj, 0.0);
+    }
+
+    #[test]
+    fn compression_units_pay_activation_and_leakage() {
+        let a = ActivityCounts {
+            cycles: 1400,
+            compressor_activations: 10,
+            decompressor_activations: 20,
+            ..Default::default()
+        };
+        let r = model().evaluate(&a);
+        // comp: 10×23 + 1400×0.12×2/1.4 ; decomp: 20×21 + 1400×0.08×4/1.4
+        assert!((r.compression_pj - (230.0 + 240.0)).abs() < 1e-9);
+        assert!((r.decompression_pj - (420.0 + 320.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn comp_decomp_scale_multiplies_activations_only() {
+        let params = EnergyParams::paper_table3().with_comp_decomp_scale(2.0);
+        let a = ActivityCounts { cycles: 0, compressor_activations: 10, ..Default::default() };
+        let r = EnergyModel::new(params).evaluate(&a);
+        assert!((r.compression_pj - 460.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn higher_wire_activity_raises_dynamic_energy() {
+        let a = ActivityCounts { bank_reads: 100, ..Default::default() };
+        let low = EnergyModel::new(EnergyParams::paper_table3().with_wire_activity(0.0)).evaluate(&a);
+        let high = EnergyModel::new(EnergyParams::paper_table3().with_wire_activity(1.0)).evaluate(&a);
+        assert!(high.dynamic_pj > low.dynamic_pj);
+        assert!((low.dynamic_pj - 700.0).abs() < 1e-9);
+        assert!((high.dynamic_pj - 100.0 * 26.2).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod drowsy_tests {
+    use super::*;
+    use crate::LowPowerKind;
+
+    #[test]
+    fn drowsy_low_power_cycles_leak_a_fraction() {
+        let model = EnergyModel::new(EnergyParams::paper_table3());
+        let gated = ActivityCounts {
+            powered_bank_cycles: 1000,
+            low_power_bank_cycles: 1000,
+            low_power: LowPowerKind::Gated,
+            ..Default::default()
+        };
+        let drowsy = ActivityCounts { low_power: LowPowerKind::Drowsy, ..gated };
+        let rg = model.evaluate(&gated);
+        let rd = model.evaluate(&drowsy);
+        let per_cycle = EnergyParams::paper_table3().bank_leakage_pj_per_cycle();
+        assert!((rg.leakage_pj - 1000.0 * per_cycle).abs() < 1e-9);
+        assert!((rd.leakage_pj - (1000.0 * per_cycle + 1000.0 * per_cycle * 0.25)).abs() < 1e-9);
+        assert!(rd.leakage_pj > rg.leakage_pj, "drowsy must leak more than gated");
+    }
+}

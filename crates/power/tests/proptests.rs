@@ -1,0 +1,106 @@
+//! Property tests for the energy model: monotonicity and scaling laws
+//! that every figure implicitly relies on.
+
+use gpu_power::{ActivityCounts, EnergyModel, EnergyParams, LowPowerKind};
+use proptest::prelude::*;
+
+fn arb_activity() -> impl Strategy<Value = ActivityCounts> {
+    (
+        0u64..1_000_000,
+        0u64..1_000_000,
+        0u64..10_000_000,
+        0u64..10_000_000,
+        prop_oneof![Just(LowPowerKind::Gated), Just(LowPowerKind::Drowsy)],
+        0u64..1_000_000,
+        0u64..1_000_000,
+        0u64..1_000_000,
+    )
+        .prop_map(
+            |(bank_reads, bank_writes, powered, low, low_power, cycles, comp, decomp)| {
+                ActivityCounts {
+                    bank_reads,
+                    bank_writes,
+                    powered_bank_cycles: powered,
+                    low_power_bank_cycles: low,
+                    low_power,
+                    cycles,
+                    compressor_activations: comp,
+                    decompressor_activations: decomp,
+                }
+            },
+        )
+}
+
+proptest! {
+    /// Energy is non-negative and finite for any activity.
+    #[test]
+    fn energy_is_well_formed(a in arb_activity()) {
+        let r = EnergyModel::new(EnergyParams::paper_table3()).evaluate(&a);
+        for v in [r.dynamic_pj, r.leakage_pj, r.compression_pj, r.decompression_pj] {
+            prop_assert!(v.is_finite() && v >= 0.0, "bad component {v}");
+        }
+        prop_assert!(r.total_pj() >= r.dynamic_pj);
+    }
+
+    /// More bank accesses never cost less dynamic energy.
+    #[test]
+    fn dynamic_energy_is_monotone_in_accesses(a in arb_activity(), extra in 1u64..10_000) {
+        let model = EnergyModel::new(EnergyParams::paper_table3());
+        let more = ActivityCounts { bank_reads: a.bank_reads + extra, ..a };
+        prop_assert!(model.evaluate(&more).dynamic_pj > model.evaluate(&a).dynamic_pj);
+    }
+
+    /// Converting powered bank-cycles into gated ones never increases
+    /// leakage; into drowsy ones saves less than gating but still saves.
+    #[test]
+    fn low_power_cycles_save_leakage(a in arb_activity(), moved in 0u64..10_000) {
+        let model = EnergyModel::new(EnergyParams::paper_table3());
+        let moved = moved.min(a.powered_bank_cycles);
+        let gated = ActivityCounts {
+            powered_bank_cycles: a.powered_bank_cycles - moved,
+            low_power_bank_cycles: a.low_power_bank_cycles + moved,
+            low_power: LowPowerKind::Gated,
+            ..a
+        };
+        let drowsy = ActivityCounts { low_power: LowPowerKind::Drowsy, ..gated };
+        let base = model.evaluate(&ActivityCounts { low_power: LowPowerKind::Gated, ..a });
+        let g = model.evaluate(&gated);
+        let d = model.evaluate(&drowsy);
+        prop_assert!(g.leakage_pj <= base.leakage_pj + 1e-6);
+        prop_assert!(d.leakage_pj >= g.leakage_pj - 1e-6, "drowsy leaks at least as much as gated");
+    }
+
+    /// The Fig. 17 scale factor scales exactly the activation energy.
+    #[test]
+    fn comp_scale_is_linear(a in arb_activity(), scale in 1.0f64..4.0) {
+        let base = EnergyModel::new(EnergyParams::paper_table3()).evaluate(&a);
+        let scaled = EnergyModel::new(EnergyParams::paper_table3().with_comp_decomp_scale(scale))
+            .evaluate(&a);
+        // Subtracting the (unscaled) unit leakage leaves pure activation
+        // energy, which must scale linearly.
+        let base_act = a.compressor_activations as f64 * 23.0;
+        let scaled_act = base_act * scale;
+        prop_assert!((scaled.compression_pj - base.compression_pj - (scaled_act - base_act)).abs() < 1e-6);
+    }
+
+    /// Wire activity scales dynamic energy affinely between the 0%- and
+    /// 100%-activity extremes.
+    #[test]
+    fn wire_activity_is_affine(a in arb_activity(), act in 0.0f64..=1.0) {
+        let at = |w: f64| {
+            EnergyModel::new(EnergyParams::paper_table3().with_wire_activity(w)).evaluate(&a).dynamic_pj
+        };
+        let expected = at(0.0) + (at(1.0) - at(0.0)) * act;
+        prop_assert!((at(act) - expected).abs() < 1e-6 * (1.0 + expected));
+    }
+
+    /// Normalisation round-trips: savings_vs(self) is 0.
+    #[test]
+    fn self_savings_are_zero(a in arb_activity()) {
+        let r = EnergyModel::new(EnergyParams::paper_table3()).evaluate(&a);
+        if r.total_pj() > 0.0 {
+            prop_assert!(r.savings_vs(&r).abs() < 1e-12);
+            prop_assert!((r.normalized_to(&r) - 1.0).abs() < 1e-12);
+        }
+    }
+}

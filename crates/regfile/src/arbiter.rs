@@ -1,0 +1,126 @@
+//! Per-cycle bank-port arbitration.
+//!
+//! Each SRAM bank has one read port and one write port (§2.1). The bank
+//! arbiter grants an operand-collector request only if *every* bank the
+//! (possibly compressed) register occupies has a free port this cycle;
+//! otherwise the request retries next cycle — that is the bank-conflict
+//! stall the paper's operand collector exists to hide.
+
+use std::ops::Range;
+
+/// Tracks which bank ports are claimed in the current cycle.
+///
+/// # Example
+///
+/// ```
+/// use gpu_regfile::BankPorts;
+///
+/// let mut ports = BankPorts::new(32);
+/// assert!(ports.try_read(0..8));   // first operand: banks 0..8
+/// assert!(!ports.try_read(0..1));  // conflicting operand must wait
+/// assert!(ports.try_write(0..3));  // writes use the separate write port
+/// ports.begin_cycle();
+/// assert!(ports.try_read(0..1));   // next cycle, ports are free again
+/// ```
+#[derive(Clone, Debug)]
+pub struct BankPorts {
+    read_busy: Vec<bool>,
+    write_busy: Vec<bool>,
+}
+
+impl BankPorts {
+    /// Creates port state for `num_banks` banks, all free.
+    pub fn new(num_banks: usize) -> Self {
+        BankPorts { read_busy: vec![false; num_banks], write_busy: vec![false; num_banks] }
+    }
+
+    /// Releases all ports for a new cycle.
+    pub fn begin_cycle(&mut self) {
+        self.read_busy.fill(false);
+        self.write_busy.fill(false);
+    }
+
+    /// Attempts to claim the read ports of `banks`; claims all of them
+    /// and returns `true`, or claims none and returns `false`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the configured bank count.
+    pub fn try_read(&mut self, banks: Range<usize>) -> bool {
+        Self::try_claim(&mut self.read_busy, banks)
+    }
+
+    /// Attempts to claim the write ports of `banks` (all-or-nothing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the configured bank count.
+    pub fn try_write(&mut self, banks: Range<usize>) -> bool {
+        Self::try_claim(&mut self.write_busy, banks)
+    }
+
+    fn try_claim(busy: &mut [bool], banks: Range<usize>) -> bool {
+        assert!(banks.end <= busy.len(), "bank range {banks:?} out of bounds");
+        if busy[banks.clone()].iter().any(|&b| b) {
+            return false;
+        }
+        busy[banks].fill(true);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_or_nothing_claims() {
+        let mut p = BankPorts::new(8);
+        assert!(p.try_read(2..5));
+        // Overlapping request fails and must not claim banks 5..6.
+        assert!(!p.try_read(4..6));
+        assert!(p.try_read(5..6));
+    }
+
+    #[test]
+    fn reads_and_writes_use_independent_ports() {
+        let mut p = BankPorts::new(4);
+        assert!(p.try_read(0..4));
+        assert!(p.try_write(0..4));
+        assert!(!p.try_read(0..1));
+        assert!(!p.try_write(3..4));
+    }
+
+    #[test]
+    fn begin_cycle_frees_everything() {
+        let mut p = BankPorts::new(2);
+        assert!(p.try_read(0..2));
+        assert!(p.try_write(0..2));
+        p.begin_cycle();
+        assert!(p.try_read(0..2));
+        assert!(p.try_write(0..2));
+    }
+
+    #[test]
+    fn compressed_register_frees_ports_for_other_requests() {
+        // The §5 payoff: a <4,0>-compressed operand claims one bank, so a
+        // second operand in the same cluster can be serviced this cycle.
+        let mut p = BankPorts::new(8);
+        assert!(p.try_read(0..1)); // compressed operand
+        assert!(!p.try_read(0..8)); // uncompressed neighbour still conflicts on bank 0
+        assert!(p.try_read(1..4)); // ...but a disjoint compressed one fits
+    }
+
+    #[test]
+    fn empty_range_always_succeeds() {
+        let mut p = BankPorts::new(2);
+        assert!(p.try_read(1..1));
+        assert!(p.try_read(1..1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_range_panics() {
+        BankPorts::new(2).try_read(0..3);
+    }
+}

@@ -1,0 +1,52 @@
+//! Banked GPU register file substrate (paper §2.1, Fig. 1 and Fig. 6).
+//!
+//! Models the 128 KB, 32-bank register file of the paper's baseline SM:
+//!
+//! * 32 SRAM banks, each 128 bits wide × 256 entries (4 KB),
+//! * banks grouped into 4 *clusters* of 8 consecutive banks; a warp
+//!   register is statically allocated across the 8 banks of its warp's
+//!   cluster at a fixed entry index,
+//! * one read port and one write port per bank ([`BankPorts`] models the
+//!   per-cycle arbitration),
+//! * per-entry valid bits and bank-level power gating with a wake-up
+//!   latency ([`PowerState`]), enabling the leakage savings of §5.3,
+//! * compression-aware storage: registers are held as
+//!   [`bdi::CompressedRegister`]s, and a compressed register occupies only
+//!   the lowest `n` banks of its cluster, freeing the upper banks for
+//!   gating (which reproduces the within-cluster gating gradient of
+//!   Fig. 10).
+//!
+//! # Example
+//!
+//! ```
+//! use bdi::{BdiCodec, WarpRegister};
+//! use gpu_regfile::{RegFileConfig, RegisterFile, WarpSlot};
+//!
+//! let mut rf = RegisterFile::new(RegFileConfig::paper_baseline());
+//! rf.allocate_warp(WarpSlot(0), 8, 0)?;
+//!
+//! let codec = BdiCodec::default();
+//! let value = WarpRegister::from_fn(|t| 100 + t as u32);
+//! let compressed = codec.compress(&value);
+//! rf.write(WarpSlot(0), 3, compressed, 0).unwrap();
+//!
+//! let read = rf.read(WarpSlot(0), 3, 1);
+//! assert_eq!(codec.decompress(read.register), value);
+//! assert_eq!(read.banks_accessed, 3); // <4,1> spans 3 banks
+//! # Ok::<(), gpu_regfile::RegFileError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arbiter;
+mod bank;
+mod config;
+mod file;
+mod stats;
+
+pub use arbiter::BankPorts;
+pub use bank::{Bank, PowerState};
+pub use config::{GatingMode, RegFileConfig};
+pub use file::{ReadResult, RegFileError, RegisterFile, WarpSlot, WriteError};
+pub use stats::RegFileStats;

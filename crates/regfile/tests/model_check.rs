@@ -1,0 +1,187 @@
+//! Model-based property testing of the register file: a random sequence
+//! of allocate / write / read / free operations is mirrored into a plain
+//! `HashMap` shadow model, and the physical structure's invariants are
+//! checked after every step:
+//!
+//! * reads decompress to exactly the last written value,
+//! * the per-bank valid-entry counts equal the sum of allocated register
+//!   footprints mapped to that bank,
+//! * the compressed census matches the shadow model's count.
+
+use std::collections::HashMap;
+
+use bdi::{BdiCodec, CompressedRegister, WarpRegister};
+use gpu_regfile::{GatingMode, RegFileConfig, RegisterFile, WarpSlot, WriteError};
+use proptest::prelude::*;
+
+const NUM_REGS: usize = 8;
+const SLOTS: usize = 16;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Allocate { slot: usize },
+    Free { slot: usize },
+    Write { slot: usize, reg: usize, value: RegValue },
+    Read { slot: usize, reg: usize },
+}
+
+/// Register-value patterns spanning all compression classes.
+#[derive(Clone, Copy, Debug)]
+enum RegValue {
+    Uniform(u32),
+    Affine { base: u32, stride: u32 },
+    Random(u32),
+}
+
+impl RegValue {
+    fn materialise(self) -> WarpRegister {
+        match self {
+            RegValue::Uniform(v) => WarpRegister::splat(v),
+            RegValue::Affine { base, stride } => {
+                WarpRegister::from_fn(|t| base.wrapping_add(stride.wrapping_mul(t as u32)))
+            }
+            RegValue::Random(seed) => WarpRegister::from_fn(|t| {
+                (seed ^ t as u32).wrapping_mul(0x9E37_79B9).rotate_left(t as u32)
+            }),
+        }
+    }
+}
+
+fn arb_value() -> impl Strategy<Value = RegValue> {
+    prop_oneof![
+        any::<u32>().prop_map(RegValue::Uniform),
+        (any::<u32>(), 0u32..200).prop_map(|(base, stride)| RegValue::Affine { base, stride }),
+        any::<u32>().prop_map(RegValue::Random),
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..SLOTS).prop_map(|slot| Op::Allocate { slot }),
+        (0..SLOTS).prop_map(|slot| Op::Free { slot }),
+        (0..SLOTS, 0..NUM_REGS, arb_value()).prop_map(|(slot, reg, value)| Op::Write { slot, reg, value }),
+        (0..SLOTS, 0..NUM_REGS).prop_map(|(slot, reg)| Op::Read { slot, reg }),
+    ]
+}
+
+/// Sum of footprints per physical bank according to the shadow model.
+fn expected_valid(shadow: &HashMap<usize, Vec<CompressedRegister>>, cfg: &RegFileConfig) -> Vec<usize> {
+    let mut valid = vec![0usize; cfg.num_banks];
+    for (&slot, regs) in shadow {
+        let cluster = slot % cfg.num_clusters();
+        for r in regs {
+            for b in 0..r.banks_required() {
+                valid[cluster * cfg.banks_per_cluster + b] += 1;
+            }
+        }
+    }
+    valid
+}
+
+fn check_invariants(
+    rf: &RegisterFile,
+    shadow: &HashMap<usize, Vec<CompressedRegister>>,
+    codec: &BdiCodec,
+    cfg: &RegFileConfig,
+) -> Result<(), TestCaseError> {
+    // Bank valid-entry counts match the shadow model's footprints.
+    let expected = expected_valid(shadow, cfg);
+    for (b, &want) in expected.iter().enumerate() {
+        prop_assert_eq!(rf.bank(b).valid_entries(), want, "bank {} valid entries", b);
+    }
+    // Census matches.
+    let compressed: usize =
+        shadow.values().flatten().filter(|r| r.is_compressed()).count();
+    let total: usize = shadow.values().map(Vec::len).sum();
+    prop_assert_eq!(rf.compressed_census(), (compressed, total));
+    // Stored values decompress to the shadow values.
+    for (&slot, regs) in shadow {
+        for (reg, want) in regs.iter().enumerate() {
+            let got = rf.peek(WarpSlot(slot), reg).expect("allocated");
+            prop_assert_eq!(codec.decompress(got), codec.decompress(want), "slot {} r{}", slot, reg);
+        }
+    }
+    Ok(())
+}
+
+fn run_model(ops: Vec<Op>, gating: GatingMode) -> Result<(), TestCaseError> {
+    let cfg = RegFileConfig { gating, ..RegFileConfig::paper_baseline() };
+    let mut rf = RegisterFile::new(cfg);
+    let codec = BdiCodec::default();
+    let mut shadow: HashMap<usize, Vec<CompressedRegister>> = HashMap::new();
+    let mut now = 0u64;
+
+    for op in ops {
+        now += 1;
+        match op {
+            Op::Allocate { slot } => {
+                let initial = codec.compress(&WarpRegister::ZERO);
+                match rf.allocate_warp_with(WarpSlot(slot), NUM_REGS, &initial, now) {
+                    Ok(()) => {
+                        prop_assert!(!shadow.contains_key(&slot), "allocated an occupied slot");
+                        shadow.insert(slot, vec![initial.clone(); NUM_REGS]);
+                    }
+                    Err(_) => prop_assert!(shadow.contains_key(&slot), "spurious allocation failure"),
+                }
+            }
+            Op::Free { slot } => {
+                rf.free_warp(WarpSlot(slot), now);
+                shadow.remove(&slot);
+            }
+            Op::Write { slot, reg, value } => {
+                let compressed = codec.compress(&value.materialise());
+                match rf.write(WarpSlot(slot), reg, compressed.clone(), now) {
+                    Ok(banks) => {
+                        prop_assert_eq!(banks, compressed.banks_required());
+                        let regs = shadow.get_mut(&slot).expect("write succeeded on allocated slot");
+                        regs[reg] = compressed;
+                    }
+                    Err(WriteError::Unallocated) => {
+                        prop_assert!(!shadow.contains_key(&slot));
+                    }
+                    Err(WriteError::NotReady { ready_at }) => {
+                        // Retry after the wake-up completes; must succeed.
+                        now = ready_at;
+                        let banks = rf
+                            .write(WarpSlot(slot), reg, compressed.clone(), now)
+                            .expect("retry after wakeup succeeds");
+                        prop_assert_eq!(banks, compressed.banks_required());
+                        shadow.get_mut(&slot).expect("allocated")[reg] = compressed;
+                    }
+                }
+            }
+            Op::Read { slot, reg } => {
+                if let Some(regs) = shadow.get(&slot) {
+                    let got = rf.read(WarpSlot(slot), reg, now);
+                    prop_assert_eq!(got.banks_accessed, regs[reg].banks_required());
+                    prop_assert_eq!(codec.decompress(got.register), codec.decompress(&regs[reg]));
+                }
+            }
+        }
+        check_invariants(&rf, &shadow, &codec, &cfg)?;
+    }
+    // Final stats snapshot is internally consistent.
+    let stats = rf.stats(now + 1);
+    prop_assert_eq!(stats.num_banks(), cfg.num_banks);
+    prop_assert!(stats.total_accesses() >= stats.total_writes());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn model_check_power_gating(ops in prop::collection::vec(arb_op(), 1..80)) {
+        run_model(ops, GatingMode::PowerGate)?;
+    }
+
+    #[test]
+    fn model_check_drowsy(ops in prop::collection::vec(arb_op(), 1..80)) {
+        run_model(ops, GatingMode::Drowsy)?;
+    }
+
+    #[test]
+    fn model_check_no_gating(ops in prop::collection::vec(arb_op(), 1..80)) {
+        run_model(ops, GatingMode::Off)?;
+    }
+}

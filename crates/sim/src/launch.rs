@@ -1,0 +1,101 @@
+//! Kernel launch configuration: grid geometry and scalar parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// A kernel launch: `<<<blocks, threads_per_block>>>(params…)`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LaunchConfig {
+    blocks: usize,
+    threads_per_block: usize,
+    params: Vec<u32>,
+}
+
+impl LaunchConfig {
+    /// A launch with no scalar parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` or `threads_per_block` is zero.
+    pub fn new(blocks: usize, threads_per_block: usize) -> Self {
+        assert!(blocks > 0, "launch needs at least one block");
+        assert!(threads_per_block > 0, "launch needs at least one thread per block");
+        LaunchConfig { blocks, threads_per_block, params: Vec::new() }
+    }
+
+    /// Adds the scalar kernel parameters readable via `Operand::Param(i)`.
+    pub fn with_params(mut self, params: Vec<u32>) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Number of thread blocks in the grid.
+    pub fn blocks(&self) -> usize {
+        self.blocks
+    }
+
+    /// Threads per block.
+    pub fn threads_per_block(&self) -> usize {
+        self.threads_per_block
+    }
+
+    /// Scalar parameter `i`, or 0 when absent (CUDA would fault; a benign
+    /// default keeps kernel authoring forgiving and deterministic).
+    pub fn param(&self, i: usize) -> u32 {
+        self.params.get(i).copied().unwrap_or(0)
+    }
+
+    /// All parameters.
+    pub fn params(&self) -> &[u32] {
+        &self.params
+    }
+
+    /// Warps needed per block at the given warp size.
+    pub fn warps_per_block(&self, warp_size: usize) -> usize {
+        self.threads_per_block.div_ceil(warp_size)
+    }
+
+    /// Total threads in the launch.
+    pub fn total_threads(&self) -> usize {
+        self.blocks * self.threads_per_block
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry() {
+        let l = LaunchConfig::new(3, 96);
+        assert_eq!(l.blocks(), 3);
+        assert_eq!(l.threads_per_block(), 96);
+        assert_eq!(l.warps_per_block(32), 3);
+        assert_eq!(l.total_threads(), 288);
+    }
+
+    #[test]
+    fn partial_warp_rounds_up() {
+        assert_eq!(LaunchConfig::new(1, 33).warps_per_block(32), 2);
+    }
+
+    #[test]
+    fn params_default_to_zero() {
+        let l = LaunchConfig::new(1, 32).with_params(vec![7, 8]);
+        assert_eq!(l.param(0), 7);
+        assert_eq!(l.param(1), 8);
+        assert_eq!(l.param(2), 0);
+        assert_eq!(l.params(), &[7, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn zero_blocks_panics() {
+        let _ = LaunchConfig::new(0, 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "thread per block")]
+    fn zero_threads_panics() {
+        let _ = LaunchConfig::new(1, 0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Per-warp register scoreboard: RAW, WAW and WAR hazard tracking.
+
+use std::collections::HashMap;
+
+/// Tracks pending register reads and writes per (warp slot, register).
+///
+/// An instruction may issue only if
+/// * none of its sources has a pending write (RAW),
+/// * its destination has no pending write (WAW), and
+/// * its destination has no pending read (WAR — operand values are
+///   captured when the collector fetches them, so a later write must not
+///   land first).
+#[derive(Clone, Debug, Default)]
+pub struct Scoreboard {
+    pending_writes: HashMap<(usize, usize), u32>,
+    pending_reads: HashMap<(usize, usize), u32>,
+}
+
+impl Scoreboard {
+    /// An empty scoreboard.
+    pub fn new() -> Self {
+        Scoreboard::default()
+    }
+
+    /// Whether an instruction reading `srcs` and writing `dst` may issue
+    /// on `warp`.
+    pub fn can_issue(&self, warp: usize, srcs: &[usize], dst: Option<usize>) -> bool {
+        if srcs.iter().any(|&r| self.pending_writes.contains_key(&(warp, r))) {
+            return false; // RAW
+        }
+        if let Some(d) = dst {
+            if self.pending_writes.contains_key(&(warp, d)) {
+                return false; // WAW
+            }
+            if self.pending_reads.contains_key(&(warp, d)) {
+                return false; // WAR
+            }
+        }
+        true
+    }
+
+    /// Registers the hazards of an issuing instruction.
+    pub fn issue(&mut self, warp: usize, srcs: &[usize], dst: Option<usize>) {
+        for &r in srcs {
+            *self.pending_reads.entry((warp, r)).or_insert(0) += 1;
+        }
+        if let Some(d) = dst {
+            *self.pending_writes.entry((warp, d)).or_insert(0) += 1;
+        }
+    }
+
+    /// Releases the read reservations (operands captured by the
+    /// collector).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a read was never registered — an accounting bug.
+    pub fn release_reads(&mut self, warp: usize, srcs: &[usize]) {
+        for &r in srcs {
+            let n = self.pending_reads.get_mut(&(warp, r)).expect("release of unregistered read");
+            *n -= 1;
+            if *n == 0 {
+                self.pending_reads.remove(&(warp, r));
+            }
+        }
+    }
+
+    /// Releases the write reservation (result written back).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the write was never registered.
+    pub fn release_write(&mut self, warp: usize, dst: usize) {
+        let n = self.pending_writes.get_mut(&(warp, dst)).expect("release of unregistered write");
+        *n -= 1;
+        if *n == 0 {
+            self.pending_writes.remove(&(warp, dst));
+        }
+    }
+
+    /// Whether the warp has no in-flight register activity.
+    pub fn is_warp_idle(&self, warp: usize) -> bool {
+        !self.pending_writes.keys().any(|&(w, _)| w == warp)
+            && !self.pending_reads.keys().any(|&(w, _)| w == warp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_hazard_blocks() {
+        let mut sb = Scoreboard::new();
+        sb.issue(0, &[1], Some(2));
+        assert!(!sb.can_issue(0, &[2], None)); // RAW on r2
+        sb.release_write(0, 2);
+        assert!(sb.can_issue(0, &[2], None));
+    }
+
+    #[test]
+    fn waw_hazard_blocks() {
+        let mut sb = Scoreboard::new();
+        sb.issue(0, &[], Some(3));
+        assert!(!sb.can_issue(0, &[], Some(3)));
+        sb.release_write(0, 3);
+        assert!(sb.can_issue(0, &[], Some(3)));
+    }
+
+    #[test]
+    fn war_hazard_blocks_until_operands_captured() {
+        let mut sb = Scoreboard::new();
+        sb.issue(0, &[5], Some(6));
+        assert!(!sb.can_issue(0, &[], Some(5))); // WAR on r5
+        sb.release_reads(0, &[5]);
+        assert!(sb.can_issue(0, &[], Some(5)));
+    }
+
+    #[test]
+    fn warps_are_independent() {
+        let mut sb = Scoreboard::new();
+        sb.issue(0, &[1], Some(2));
+        assert!(sb.can_issue(1, &[2], Some(2)));
+        assert!(!sb.is_warp_idle(0));
+        assert!(sb.is_warp_idle(1));
+    }
+
+    #[test]
+    fn duplicate_reads_are_counted() {
+        let mut sb = Scoreboard::new();
+        sb.issue(0, &[1], None);
+        sb.issue(0, &[1], None);
+        sb.release_reads(0, &[1]);
+        assert!(!sb.can_issue(0, &[], Some(1)));
+        sb.release_reads(0, &[1]);
+        assert!(sb.can_issue(0, &[], Some(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered write")]
+    fn unbalanced_write_release_panics() {
+        Scoreboard::new().release_write(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered read")]
+    fn unbalanced_read_release_panics() {
+        Scoreboard::new().release_reads(0, &[1]);
+    }
+}

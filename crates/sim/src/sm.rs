@@ -1,0 +1,1078 @@
+//! The streaming-multiprocessor pipeline: issue → operand collection →
+//! execution → compression-aware writeback.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::mem;
+
+use bdi::{BdiCodec, CompressedRegister, WarpRegister};
+use gpu_regfile::{BankPorts, RegFileError, RegisterFile, WarpSlot, WriteError};
+use simt_isa::{Instruction, Kernel, LatencyClass, Operand, Special};
+
+use crate::config::{DivergencePolicy, GpuConfig, SchedulerPolicy};
+use crate::launch::LaunchConfig;
+use crate::memory::{GlobalMemory, MemoryFault};
+use crate::stats::{SimStats, WriteEvent};
+use crate::warp::WarpState;
+use crate::scoreboard::Scoreboard;
+
+/// Simulation failures.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimError {
+    /// A thread accessed global memory out of range.
+    Memory(MemoryFault),
+    /// The configured cycle cap was exceeded.
+    CycleLimit {
+        /// The cap that was hit.
+        limit: u64,
+    },
+    /// No instruction issued or retired for a very long time — a
+    /// simulator or kernel bug.
+    Deadlock {
+        /// Cycle at which the deadlock was declared.
+        cycle: u64,
+    },
+    /// A block needs more warp slots or register-file entries than the SM
+    /// has.
+    BlockTooLarge {
+        /// Warps the block needs.
+        warps_needed: usize,
+        /// Warp slots the SM can offer for this kernel.
+        slots_available: usize,
+    },
+    /// Register file rejected an allocation (geometry exhausted).
+    RegFile(RegFileError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Memory(m) => write!(f, "memory fault: {m}"),
+            SimError::CycleLimit { limit } => write!(f, "cycle limit of {limit} exceeded"),
+            SimError::Deadlock { cycle } => write!(f, "no forward progress by cycle {cycle}"),
+            SimError::BlockTooLarge { warps_needed, slots_available } => write!(
+                f,
+                "block needs {warps_needed} warps but only {slots_available} slots fit this kernel"
+            ),
+            SimError::RegFile(e) => write!(f, "register file: {e}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Memory(m) => Some(m),
+            SimError::RegFile(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MemoryFault> for SimError {
+    fn from(m: MemoryFault) -> Self {
+        SimError::Memory(m)
+    }
+}
+
+impl From<RegFileError> for SimError {
+    fn from(e: RegFileError) -> Self {
+        SimError::RegFile(e)
+    }
+}
+
+/// Result of a completed simulation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimResult {
+    /// All collected statistics.
+    pub stats: SimStats,
+}
+
+/// The simulator front-end: configure once, run kernels.
+#[derive(Clone, Debug)]
+pub struct GpuSim {
+    cfg: GpuConfig,
+}
+
+impl GpuSim {
+    /// Creates a simulator with the given configuration.
+    pub fn new(cfg: GpuConfig) -> Self {
+        GpuSim { cfg }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// Runs a kernel to completion.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`].
+    pub fn run(
+        &self,
+        kernel: &Kernel,
+        launch: &LaunchConfig,
+        memory: &mut GlobalMemory,
+    ) -> Result<SimResult, SimError> {
+        self.run_observed(kernel, launch, memory, &mut |_| {})
+    }
+
+    /// Runs a kernel, delivering every retired register write to
+    /// `observer` (used for the Fig. 2 / Fig. 5 value characterisations).
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`].
+    pub fn run_observed(
+        &self,
+        kernel: &Kernel,
+        launch: &LaunchConfig,
+        memory: &mut GlobalMemory,
+        observer: &mut dyn FnMut(&WriteEvent),
+    ) -> Result<SimResult, SimError> {
+        self.run_block_range(kernel, launch, memory, 0..launch.blocks(), observer)
+    }
+
+    /// Runs only the blocks in `range` of the launch on this SM — the
+    /// building block of [`run_chip`](Self::run_chip).
+    pub(crate) fn run_block_range(
+        &self,
+        kernel: &Kernel,
+        launch: &LaunchConfig,
+        memory: &mut GlobalMemory,
+        range: std::ops::Range<usize>,
+        observer: &mut dyn FnMut(&WriteEvent),
+    ) -> Result<SimResult, SimError> {
+        Engine::new(&self.cfg, kernel, launch, memory, range, observer)?.run()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Internal pipeline structures
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+struct Fetch {
+    reg: usize,
+    value: Option<WarpRegister>,
+}
+
+#[derive(Clone, Debug)]
+struct Collector {
+    slot: usize,
+    instr: Instruction,
+    mask: u32,
+    divergent: bool,
+    synthetic: bool,
+    fetches: Vec<Fetch>,
+    /// Extra result latency from decompressing compressed operands: the
+    /// decompressor sits *between* the register file and the execution
+    /// units (Fig. 1), a pipelined stage that lengthens the dependent
+    /// path without holding the collector.
+    decomp_extra: u64,
+}
+
+#[derive(Clone, Debug)]
+enum WbState {
+    Await { done_at: u64 },
+    NeedCompressor,
+    Compressing { done_at: u64, compressed: CompressedRegister },
+    Ready { compressed: CompressedRegister, not_before: u64 },
+}
+
+#[derive(Clone, Debug)]
+struct WbEntry {
+    slot: usize,
+    reg: usize,
+    result: WarpRegister,
+    mask: u32,
+    divergent: bool,
+    synthetic: bool,
+    state: WbState,
+}
+
+struct Engine<'a> {
+    cfg: &'a GpuConfig,
+    kernel: &'a Kernel,
+    launch: &'a LaunchConfig,
+    memory: &'a mut GlobalMemory,
+    observer: &'a mut dyn FnMut(&WriteEvent),
+    codec: BdiCodec,
+    regfile: RegisterFile,
+    ports: BankPorts,
+    scoreboard: Scoreboard,
+    warps: Vec<Option<WarpState>>,
+    collectors: Vec<Option<Collector>>,
+    writebacks: Vec<WbEntry>,
+    sched_last: Vec<Option<usize>>,
+    now: u64,
+    comp_starts: usize,
+    decomp_starts: usize,
+    next_block: usize,
+    last_block: usize,
+    launch_seq: u64,
+    num_regs: usize,
+    initial_reg: CompressedRegister,
+    stats: SimStats,
+    last_progress: u64,
+}
+
+/// Declare a deadlock after this many cycles without an issue or retire.
+const DEADLOCK_WINDOW: u64 = 100_000;
+
+impl<'a> Engine<'a> {
+    fn new(
+        cfg: &'a GpuConfig,
+        kernel: &'a Kernel,
+        launch: &'a LaunchConfig,
+        memory: &'a mut GlobalMemory,
+        block_range: std::ops::Range<usize>,
+        observer: &'a mut dyn FnMut(&WriteEvent),
+    ) -> Result<Self, SimError> {
+        let num_regs = kernel.num_regs().max(1) as usize;
+        let regfile = RegisterFile::new(cfg.regfile);
+        let max_resident = cfg.max_warps_per_sm.min(regfile.max_slots(num_regs));
+        let warps_needed = launch.warps_per_block(cfg.warp_size);
+        if warps_needed > max_resident {
+            return Err(SimError::BlockTooLarge { warps_needed, slots_available: max_resident });
+        }
+        let codec = BdiCodec::new(cfg.compression.choices.clone());
+        let initial_reg = if cfg.compression.is_enabled() {
+            codec.compress(&WarpRegister::ZERO)
+        } else {
+            CompressedRegister::Uncompressed(WarpRegister::ZERO)
+        };
+        Ok(Engine {
+            ports: BankPorts::new(cfg.regfile.num_banks),
+            scoreboard: Scoreboard::new(),
+            warps: vec![None; max_resident],
+            collectors: vec![None; cfg.num_collectors],
+            writebacks: Vec::new(),
+            sched_last: vec![None; cfg.num_schedulers],
+            now: 0,
+            comp_starts: 0,
+            decomp_starts: 0,
+            next_block: block_range.start,
+            last_block: block_range.end,
+            launch_seq: 0,
+            num_regs,
+            initial_reg,
+            stats: SimStats::default(),
+            last_progress: 0,
+            cfg,
+            kernel,
+            launch,
+            memory,
+            observer,
+            codec,
+            regfile,
+        })
+    }
+
+    fn run(mut self) -> Result<SimResult, SimError> {
+        self.launch_blocks()?;
+        while !self.is_done() {
+            self.ports.begin_cycle();
+            self.comp_starts = 0;
+            self.decomp_starts = 0;
+            self.writeback_stage();
+            self.collector_stage()?;
+            self.issue_stage();
+            if self.cfg.census_interval > 0 && self.now % self.cfg.census_interval == 0 {
+                self.sample_census();
+            }
+            self.retire_warps();
+            self.launch_blocks()?;
+            self.now += 1;
+            if self.now > self.cfg.max_cycles {
+                return Err(SimError::CycleLimit { limit: self.cfg.max_cycles });
+            }
+            if self.now.saturating_sub(self.last_progress) > DEADLOCK_WINDOW {
+                return Err(SimError::Deadlock { cycle: self.now });
+            }
+        }
+        self.stats.cycles = self.now;
+        self.stats.regfile = self.regfile.stats(self.now);
+        self.stats.gating = self.cfg.regfile.gating;
+        Ok(SimResult { stats: self.stats })
+    }
+
+    fn is_done(&self) -> bool {
+        self.next_block >= self.last_block && self.warps.iter().all(Option::is_none)
+    }
+
+    // -----------------------------------------------------------------
+    // Block launch / warp retirement
+    // -----------------------------------------------------------------
+
+    fn launch_blocks(&mut self) -> Result<(), SimError> {
+        let wpb = self.launch.warps_per_block(self.cfg.warp_size);
+        loop {
+            if self.next_block >= self.last_block {
+                return Ok(());
+            }
+            let free: Vec<usize> =
+                (0..self.warps.len()).filter(|&s| self.warps[s].is_none()).take(wpb).collect();
+            if free.len() < wpb {
+                return Ok(());
+            }
+            let block = self.next_block;
+            let tpb = self.launch.threads_per_block();
+            for (w, &slot) in free.iter().enumerate() {
+                let threads = (tpb - w * self.cfg.warp_size).min(self.cfg.warp_size);
+                self.regfile.allocate_warp_with(WarpSlot(slot), self.num_regs, &self.initial_reg, self.now)?;
+                self.warps[slot] = Some(WarpState::new(slot, block, w, threads, self.launch_seq));
+                self.launch_seq += 1;
+            }
+            self.next_block += 1;
+        }
+    }
+
+    fn retire_warps(&mut self) {
+        for slot in 0..self.warps.len() {
+            let drained_slot = match &self.warps[slot] {
+                Some(w) if w.is_drained() => Some(w.slot),
+                _ => None,
+            };
+            if let Some(s) = drained_slot {
+                debug_assert!(self.scoreboard.is_warp_idle(s));
+                self.regfile.free_warp(WarpSlot(s), self.now);
+                self.warps[s] = None;
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Issue
+    // -----------------------------------------------------------------
+
+    fn issue_stage(&mut self) {
+        for s in 0..self.cfg.num_schedulers {
+            let order = self.schedule_order(s);
+            for slot in order {
+                if self.try_issue(slot) {
+                    self.sched_last[s] = Some(slot);
+                    self.last_progress = self.now;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Candidate warps of scheduler `s`, in policy priority order.
+    fn schedule_order(&self, s: usize) -> Vec<usize> {
+        let mut slots: Vec<usize> = (0..self.warps.len())
+            .filter(|&slot| slot % self.cfg.num_schedulers == s)
+            .filter(|&slot| {
+                matches!(&self.warps[slot], Some(w) if !w.is_done() && !w.blocked)
+            })
+            .collect();
+        match self.cfg.scheduler {
+            SchedulerPolicy::Gto => {
+                slots.sort_by_key(|&slot| self.warps[slot].as_ref().map(|w| w.launch_seq).unwrap_or(u64::MAX));
+                if let Some(last) = self.sched_last[s] {
+                    if let Some(pos) = slots.iter().position(|&x| x == last) {
+                        let greedy = slots.remove(pos);
+                        slots.insert(0, greedy);
+                    }
+                }
+            }
+            SchedulerPolicy::Lrr => {
+                if let Some(last) = self.sched_last[s] {
+                    // Rotate so iteration starts just after `last`.
+                    let split = slots.iter().position(|&x| x > last).unwrap_or(0);
+                    slots.rotate_left(split);
+                }
+            }
+        }
+        slots
+    }
+
+    /// Attempts to issue one instruction from the warp in `slot`.
+    fn try_issue(&mut self, slot: usize) -> bool {
+        let Some(warp) = self.warps[slot].as_ref() else { return false };
+        let Some(pc) = warp.stack.pc() else { return false };
+        let instr = *self.kernel.instr(pc).expect("pc validated by Kernel");
+        let mask = warp.stack.mask();
+        let divergent = warp.is_divergent();
+
+        // §5.2: a divergent write to a compressed register is preceded by
+        // an injected dummy MOV that decompresses it in place.
+        let inject = self.cfg.compression.is_enabled()
+            && self.cfg.compression.divergence == DivergencePolicy::UncompressedWrites
+            && divergent
+            && instr
+                .dst()
+                .map(|d| self.regfile.is_compressed(WarpSlot(slot), d.index()))
+                .unwrap_or(false);
+        let (actual, actual_mask, synthetic) = if inject {
+            let d = instr.dst().expect("inject requires a destination");
+            (
+                Instruction::Mov { dst: d, src: Operand::Reg(d) },
+                self.warps[slot].as_ref().expect("checked").full_mask,
+                true,
+            )
+        } else {
+            (instr, mask, false)
+        };
+
+        let srcs = unique_srcs(&actual);
+        let dst = actual.dst().map(|r| r.index());
+        if !self.scoreboard.can_issue(slot, &srcs, dst) {
+            return false;
+        }
+        // LSU ordering: memory effects happen at dispatch, so a new
+        // load/store must wait until the warp's previous one has
+        // dispatched — otherwise same-address accesses could reorder.
+        let is_mem = actual.latency_class() == LatencyClass::Memory;
+        if is_mem && self.warps[slot].as_ref().expect("checked").pending_mem > 0 {
+            return false;
+        }
+
+        match actual {
+            Instruction::Jmp { target } => {
+                let warp = self.warps[slot].as_mut().expect("checked");
+                warp.stack.jump(target);
+                self.count_issue(divergent, synthetic);
+                true
+            }
+            Instruction::Exit => {
+                let warp = self.warps[slot].as_mut().expect("checked");
+                warp.stack.exit_threads();
+                self.count_issue(divergent, synthetic);
+                true
+            }
+            _ => {
+                let Some(ci) = self.collectors.iter().position(Option::is_none) else {
+                    return false;
+                };
+                self.scoreboard.issue(slot, &srcs, dst);
+                let warp = self.warps[slot].as_mut().expect("checked");
+                warp.inflight += 1;
+                if is_mem {
+                    warp.pending_mem += 1;
+                }
+                match actual {
+                    Instruction::Bra { .. } => warp.blocked = true,
+                    _ if synthetic => {} // pc unchanged; real instruction issues later
+                    _ => warp.stack.advance(),
+                }
+                let fetches = srcs.iter().map(|&reg| Fetch { reg, value: None }).collect();
+                self.collectors[ci] = Some(Collector {
+                    slot,
+                    instr: actual,
+                    mask: actual_mask,
+                    divergent,
+                    synthetic,
+                    fetches,
+                    decomp_extra: 0,
+                });
+                self.count_issue(divergent, synthetic);
+                true
+            }
+        }
+    }
+
+    fn count_issue(&mut self, divergent: bool, synthetic: bool) {
+        if synthetic {
+            self.stats.synthetic_movs += 1;
+        } else {
+            self.stats.instructions += 1;
+            if divergent {
+                self.stats.divergent_instructions += 1;
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Operand collection and dispatch
+    // -----------------------------------------------------------------
+
+    fn collector_stage(&mut self) -> Result<(), SimError> {
+        for ci in 0..self.collectors.len() {
+            let Some(mut c) = self.collectors[ci].take() else { continue };
+            self.fetch_operands(&mut c);
+            if c.fetches.iter().all(|f| f.value.is_some()) {
+                self.dispatch(c)?;
+                self.last_progress = self.now;
+            } else {
+                self.collectors[ci] = Some(c);
+            }
+        }
+        Ok(())
+    }
+
+    fn fetch_operands(&mut self, c: &mut Collector) {
+        let cluster = c.slot % self.cfg.regfile.num_clusters();
+        let bank_base = cluster * self.cfg.regfile.banks_per_cluster;
+        for f in c.fetches.iter_mut().filter(|f| f.value.is_none()) {
+            let indicator = self
+                .regfile
+                .indicator(WarpSlot(c.slot), f.reg)
+                .expect("operand register is allocated");
+            let compressed = indicator.is_compressed();
+            if compressed && self.decomp_starts >= self.cfg.compression.num_decompressors {
+                self.stats.collector_retry_cycles += 1;
+                continue;
+            }
+            let banks = indicator.banks_accessed();
+            if !self.ports.try_read(bank_base..bank_base + banks) {
+                self.stats.collector_retry_cycles += 1;
+                continue;
+            }
+            let read = self.regfile.read(WarpSlot(c.slot), f.reg, self.now);
+            let value = self.codec.decompress(read.register);
+            f.value = Some(value);
+            if compressed {
+                self.decomp_starts += 1;
+                self.stats.decompressor_activations += 1;
+                c.decomp_extra = c.decomp_extra.max(self.cfg.compression.decompression_latency);
+            }
+        }
+    }
+
+    fn dispatch(&mut self, c: Collector) -> Result<(), SimError> {
+        let srcs: Vec<usize> = c.fetches.iter().map(|f| f.reg).collect();
+        self.scoreboard.release_reads(c.slot, &srcs);
+        let values: HashMap<usize, WarpRegister> =
+            c.fetches.iter().map(|f| (f.reg, f.value.expect("dispatch requires all operands"))).collect();
+        let warp = self.warps[c.slot].as_ref().expect("warp alive while in flight");
+        let warp_size = self.cfg.warp_size;
+
+        let eval = |op: Operand, lane: usize| -> u32 {
+            match op {
+                Operand::Reg(r) => values[&r.index()].lane(lane),
+                Operand::Imm(v) => v as u32,
+                Operand::Param(i) => self.launch.param(i as usize),
+                Operand::Special(s) => {
+                    let tid = warp.tid_of_lane(lane, warp_size);
+                    match s {
+                        Special::Tid => tid,
+                        Special::Bid => warp.block as u32,
+                        Special::BlockDim => self.launch.threads_per_block() as u32,
+                        Special::GridDim => self.launch.blocks() as u32,
+                        Special::GlobalTid => {
+                            warp.block as u32 * self.launch.threads_per_block() as u32 + tid
+                        }
+                        Special::LaneId => lane as u32,
+                        Special::WarpId => warp.warp_in_block as u32,
+                    }
+                }
+            }
+        };
+
+        match c.instr {
+            Instruction::Mov { dst, src } => {
+                let result = WarpRegister::from_fn(|lane| eval(src, lane));
+                let done_at = self.now + self.cfg.alu_latency + c.decomp_extra;
+                self.push_writeback(&c, dst.index(), result, done_at);
+            }
+            Instruction::Alu { op, dst, a, b } => {
+                let result = WarpRegister::from_fn(|lane| op.apply(eval(a, lane), eval(b, lane)));
+                let latency = match op.latency_class() {
+                    LatencyClass::Sfu => self.cfg.sfu_latency,
+                    _ => self.cfg.alu_latency,
+                };
+                let done_at = self.now + latency + c.decomp_extra;
+                self.push_writeback(&c, dst.index(), result, done_at);
+            }
+            Instruction::Ld { dst, base, offset } => {
+                let mut result = WarpRegister::ZERO;
+                for lane in 0..warp_size {
+                    if c.mask & (1 << lane) != 0 {
+                        let addr = values[&base.index()].lane(lane).wrapping_add(offset as u32);
+                        result.set_lane(lane, self.memory.load(addr)?);
+                    }
+                }
+                let done_at = self.now + self.cfg.mem_latency + c.decomp_extra;
+                self.push_writeback(&c, dst.index(), result, done_at);
+                let warp = self.warps[c.slot].as_mut().expect("warp alive");
+                warp.pending_mem -= 1;
+            }
+            Instruction::St { base, offset, src } => {
+                for lane in 0..warp_size {
+                    if c.mask & (1 << lane) != 0 {
+                        let addr = values[&base.index()].lane(lane).wrapping_add(offset as u32);
+                        self.memory.store(addr, values[&src.index()].lane(lane))?;
+                    }
+                }
+                let warp = self.warps[c.slot].as_mut().expect("warp alive");
+                warp.inflight -= 1;
+                warp.pending_mem -= 1;
+            }
+            Instruction::Bra { pred, target, reconv } => {
+                let pv = &values[&pred.index()];
+                let mut taken = 0u32;
+                for lane in 0..warp_size {
+                    if c.mask & (1 << lane) != 0 && pv.lane(lane) != 0 {
+                        taken |= 1 << lane;
+                    }
+                }
+                let warp = self.warps[c.slot].as_mut().expect("warp alive");
+                warp.stack.branch(taken, target, reconv);
+                warp.blocked = false;
+                warp.inflight -= 1;
+            }
+            Instruction::Jmp { .. } | Instruction::Exit => {
+                unreachable!("control-only instructions issue without a collector")
+            }
+        }
+        Ok(())
+    }
+
+    fn push_writeback(&mut self, c: &Collector, reg: usize, result: WarpRegister, done_at: u64) {
+        self.writebacks.push(WbEntry {
+            slot: c.slot,
+            reg,
+            result,
+            mask: c.mask,
+            divergent: c.divergent,
+            synthetic: c.synthetic,
+            state: WbState::Await { done_at },
+        });
+    }
+
+    // -----------------------------------------------------------------
+    // Writeback: merge → compress → bank write
+    // -----------------------------------------------------------------
+
+    fn writeback_stage(&mut self) {
+        let entries = mem::take(&mut self.writebacks);
+        for mut e in entries {
+            loop {
+                match self.step_writeback(&mut e) {
+                    StepOutcome::Progress => continue,
+                    StepOutcome::Stalled => {
+                        self.writebacks.push(e);
+                        break;
+                    }
+                    StepOutcome::Retired => {
+                        self.last_progress = self.now;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    fn step_writeback(&mut self, e: &mut WbEntry) -> StepOutcome {
+        let comp = &self.cfg.compression;
+        match &e.state {
+            WbState::Await { done_at } => {
+                if self.now < *done_at {
+                    return StepOutcome::Stalled;
+                }
+                self.merge_result(e);
+                let skip_compressor = !comp.is_enabled()
+                    || e.synthetic
+                    || (e.divergent && comp.divergence == DivergencePolicy::UncompressedWrites);
+                e.state = if skip_compressor {
+                    WbState::Ready {
+                        compressed: CompressedRegister::Uncompressed(e.result),
+                        not_before: self.now,
+                    }
+                } else {
+                    WbState::NeedCompressor
+                };
+                StepOutcome::Progress
+            }
+            WbState::NeedCompressor => {
+                if self.comp_starts >= comp.num_compressors {
+                    return StepOutcome::Stalled;
+                }
+                self.comp_starts += 1;
+                self.stats.compressor_activations += 1;
+                let compressed = self.codec.compress(&e.result);
+                e.state = WbState::Compressing { done_at: self.now + comp.compression_latency, compressed };
+                StepOutcome::Progress
+            }
+            WbState::Compressing { done_at, compressed } => {
+                if self.now < *done_at {
+                    return StepOutcome::Stalled;
+                }
+                e.state = WbState::Ready { compressed: compressed.clone(), not_before: self.now };
+                StepOutcome::Progress
+            }
+            WbState::Ready { compressed, not_before } => {
+                if self.now < *not_before {
+                    return StepOutcome::Stalled;
+                }
+                let cluster = e.slot % self.cfg.regfile.num_clusters();
+                let bank_base = cluster * self.cfg.regfile.banks_per_cluster;
+                let banks = compressed.banks_required();
+                if !self.ports.try_write(bank_base..bank_base + banks) {
+                    return StepOutcome::Stalled;
+                }
+                match self.regfile.write(WarpSlot(e.slot), e.reg, compressed.clone(), self.now) {
+                    Ok(_) => {
+                        self.retire_write(e, compressed.is_compressed());
+                        StepOutcome::Retired
+                    }
+                    Err(WriteError::NotReady { ready_at }) => {
+                        e.state =
+                            WbState::Ready { compressed: compressed.clone(), not_before: ready_at };
+                        StepOutcome::Stalled
+                    }
+                    Err(WriteError::Unallocated) => {
+                        unreachable!("warp cannot drain with writes in flight")
+                    }
+                }
+            }
+        }
+    }
+
+    /// Folds the old register value into the inactive lanes of a partial
+    /// write, charging energy according to the divergence policy.
+    fn merge_result(&mut self, e: &mut WbEntry) {
+        if e.mask == u32::MAX {
+            return;
+        }
+        let comp = &self.cfg.compression;
+        let use_counted_read = comp.is_enabled()
+            && comp.divergence == DivergencePolicy::DecompressMergeRecompress
+            && e.divergent;
+        let old = if use_counted_read {
+            // The rejected §5.2 alternative: the destination is read (and
+            // decompressed) before the merge, costing bank reads and a
+            // decompressor activation.
+            let read = self.regfile.read(WarpSlot(e.slot), e.reg, self.now);
+            if read.register.is_compressed() {
+                self.stats.decompressor_activations += 1;
+            }
+            self.codec.decompress(read.register)
+        } else {
+            // Per-lane write enables: merging costs nothing.
+            let stored = self
+                .regfile
+                .peek(WarpSlot(e.slot), e.reg)
+                .expect("destination register is allocated");
+            self.codec.decompress(stored)
+        };
+        e.result = old.merge_masked(&e.result, e.mask);
+    }
+
+    fn retire_write(&mut self, e: &WbEntry, compressed: bool) {
+        self.stats.writes += 1;
+        if compressed {
+            self.stats.writes_compressed += 1;
+        }
+        if !e.synthetic {
+            let logical = bdi::WARP_REGISTER_BYTES as u64;
+            let stored = match &e.state {
+                WbState::Ready { compressed, .. } => compressed.stored_len() as u64,
+                _ => unreachable!("retire only from Ready"),
+            };
+            if e.divergent {
+                self.stats.div_logical_bytes += logical;
+                self.stats.div_stored_bytes += stored;
+            } else {
+                self.stats.nondiv_logical_bytes += logical;
+                self.stats.nondiv_stored_bytes += stored;
+            }
+        }
+        (self.observer)(&WriteEvent { value: e.result, divergent: e.divergent, synthetic: e.synthetic });
+        self.scoreboard.release_write(e.slot, e.reg);
+        let warp = self.warps[e.slot].as_mut().expect("warp alive while in flight");
+        warp.inflight -= 1;
+    }
+
+    // -----------------------------------------------------------------
+    // Census (Fig. 12)
+    // -----------------------------------------------------------------
+
+    fn sample_census(&mut self) {
+        for slot in 0..self.warps.len() {
+            let Some(w) = self.warps[slot].as_ref() else { continue };
+            if w.is_done() {
+                continue;
+            }
+            let divergent = w.is_divergent();
+            let (compressed, total) = self.regfile.warp_census(WarpSlot(slot));
+            if divergent {
+                self.stats.census.div_compressed += compressed as u64;
+                self.stats.census.div_total += total as u64;
+            } else {
+                self.stats.census.nondiv_compressed += compressed as u64;
+                self.stats.census.nondiv_total += total as u64;
+            }
+        }
+    }
+}
+
+enum StepOutcome {
+    Progress,
+    Stalled,
+    Retired,
+}
+
+/// Unique source registers of an instruction, in first-use order.
+fn unique_srcs(instr: &Instruction) -> Vec<usize> {
+    let mut srcs: Vec<usize> = Vec::new();
+    for r in instr.src_regs() {
+        if !srcs.contains(&r.index()) {
+            srcs.push(r.index());
+        }
+    }
+    srcs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simt_isa::{AluOp, KernelBuilder, Reg};
+
+    fn run_kernel(
+        cfg: GpuConfig,
+        kernel: &Kernel,
+        launch: &LaunchConfig,
+        memory: &mut GlobalMemory,
+    ) -> SimResult {
+        GpuSim::new(cfg).run(kernel, launch, memory).expect("simulation succeeds")
+    }
+
+    /// mem[gtid] = gtid * 2 + 1
+    fn affine_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("affine", 3);
+        b.mov(Reg(0), Operand::Special(Special::GlobalTid));
+        b.alu(AluOp::Mul, Reg(1), Reg(0).into(), Operand::Imm(2));
+        b.alu(AluOp::Add, Reg(2), Reg(1).into(), Operand::Imm(1));
+        b.st(Reg(0), 0, Reg(2));
+        b.exit();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn straight_line_kernel_computes_correctly_baseline() {
+        let kernel = affine_kernel();
+        let mut mem = GlobalMemory::zeroed(128);
+        run_kernel(GpuConfig::baseline(), &kernel, &LaunchConfig::new(2, 64), &mut mem);
+        for i in 0..128 {
+            assert_eq!(mem.word(i), (i * 2 + 1) as u32, "word {i}");
+        }
+    }
+
+    #[test]
+    fn straight_line_kernel_computes_correctly_compressed() {
+        let kernel = affine_kernel();
+        let mut mem = GlobalMemory::zeroed(128);
+        let r = run_kernel(GpuConfig::warped_compression(), &kernel, &LaunchConfig::new(2, 64), &mut mem);
+        for i in 0..128 {
+            assert_eq!(mem.word(i), (i * 2 + 1) as u32, "word {i}");
+        }
+        // Affine values compress; some writes must be compressed.
+        assert!(r.stats.writes_compressed > 0);
+        assert!(r.stats.compression_ratio() > 1.0);
+    }
+
+    #[test]
+    fn compressed_run_accesses_fewer_banks() {
+        let kernel = affine_kernel();
+        let launch = LaunchConfig::new(2, 64);
+        let mut m1 = GlobalMemory::zeroed(128);
+        let base = run_kernel(GpuConfig::baseline(), &kernel, &launch, &mut m1);
+        let mut m2 = GlobalMemory::zeroed(128);
+        let wc = run_kernel(GpuConfig::warped_compression(), &kernel, &launch, &mut m2);
+        assert!(
+            wc.stats.regfile.total_accesses() < base.stats.regfile.total_accesses(),
+            "wc {} vs base {}",
+            wc.stats.regfile.total_accesses(),
+            base.stats.regfile.total_accesses()
+        );
+    }
+
+    #[test]
+    fn divergent_kernel_counts_divergence() {
+        // if (tid < 16) r1 = 1 else r1 = 2; mem[gtid] = r1
+        let mut b = KernelBuilder::new("div", 3);
+        b.mov(Reg(0), Operand::Special(Special::Tid));
+        b.alu(AluOp::SetLt, Reg(1), Reg(0).into(), Operand::Imm(16));
+        let then = b.label();
+        let merge = b.label();
+        b.bra(Reg(1), then, merge);
+        b.mov(Reg(2), Operand::Imm(2)); // else path (fallthrough)
+        b.jmp(merge);
+        b.bind(then);
+        b.mov(Reg(2), Operand::Imm(1));
+        b.bind(merge);
+        b.mov(Reg(0), Operand::Special(Special::GlobalTid));
+        b.st(Reg(0), 0, Reg(2));
+        b.exit();
+        let kernel = b.build().unwrap();
+
+        let mut mem = GlobalMemory::zeroed(32);
+        let r = run_kernel(GpuConfig::warped_compression(), &kernel, &LaunchConfig::new(1, 32), &mut mem);
+        for i in 0..32 {
+            assert_eq!(mem.word(i), if i < 16 { 1 } else { 2 }, "word {i}");
+        }
+        assert!(r.stats.divergent_instructions > 0);
+        assert!(r.stats.nondivergent_ratio() < 1.0);
+    }
+
+    #[test]
+    fn divergent_writes_to_compressed_registers_inject_movs() {
+        // r2 starts compressed (uniform write), then a divergent write
+        // hits it -> dummy MOV must be injected.
+        let mut b = KernelBuilder::new("movinject", 3);
+        b.mov(Reg(0), Operand::Special(Special::Tid));
+        b.mov(Reg(2), Operand::Imm(7)); // compressed <4,0>
+        b.alu(AluOp::SetLt, Reg(1), Reg(0).into(), Operand::Imm(8));
+        let then = b.label();
+        let merge = b.label();
+        b.bra(Reg(1), then, merge);
+        b.jmp(merge);
+        b.bind(then);
+        b.alu(AluOp::Mul, Reg(2), Reg(0).into(), Reg(0).into()); // divergent write to r2
+        b.bind(merge);
+        b.st(Reg(0), 0, Reg(2));
+        b.exit();
+        let kernel = b.build().unwrap();
+
+        let mut mem = GlobalMemory::zeroed(32);
+        let r = run_kernel(GpuConfig::warped_compression(), &kernel, &LaunchConfig::new(1, 32), &mut mem);
+        assert!(r.stats.synthetic_movs > 0, "expected injected MOVs");
+        for i in 0..32u32 {
+            assert_eq!(mem.word(i as usize), if i < 8 { i * i } else { 7 });
+        }
+    }
+
+    #[test]
+    fn no_movs_without_compression() {
+        let mut b = KernelBuilder::new("nomov", 3);
+        b.mov(Reg(0), Operand::Special(Special::Tid));
+        b.mov(Reg(2), Operand::Imm(7));
+        b.alu(AluOp::SetLt, Reg(1), Reg(0).into(), Operand::Imm(8));
+        let then = b.label();
+        let merge = b.label();
+        b.bra(Reg(1), then, merge);
+        b.jmp(merge);
+        b.bind(then);
+        b.mov(Reg(2), Operand::Imm(9));
+        b.bind(merge);
+        b.exit();
+        let kernel = b.build().unwrap();
+        let mut mem = GlobalMemory::zeroed(1);
+        let r = run_kernel(GpuConfig::baseline(), &kernel, &LaunchConfig::new(1, 32), &mut mem);
+        assert_eq!(r.stats.synthetic_movs, 0);
+    }
+
+    #[test]
+    fn loop_kernel_terminates_and_counts() {
+        // for (i = 0; i < 10; i++) acc += i; mem[gtid] = acc
+        let mut b = KernelBuilder::new("loop", 4);
+        b.mov(Reg(0), Operand::Imm(0)); // i
+        b.mov(Reg(1), Operand::Imm(0)); // acc
+        let head = b.here();
+        b.alu(AluOp::Add, Reg(1), Reg(1).into(), Reg(0).into());
+        b.alu(AluOp::Add, Reg(0), Reg(0).into(), Operand::Imm(1));
+        b.alu(AluOp::SetLt, Reg(2), Reg(0).into(), Operand::Imm(10));
+        let exit = b.label();
+        b.bra(Reg(2), head, exit);
+        b.bind(exit);
+        b.mov(Reg(3), Operand::Special(Special::GlobalTid));
+        b.st(Reg(3), 0, Reg(1));
+        b.exit();
+        let kernel = b.build().unwrap();
+        let mut mem = GlobalMemory::zeroed(32);
+        let r = run_kernel(GpuConfig::warped_compression(), &kernel, &LaunchConfig::new(1, 32), &mut mem);
+        for i in 0..32 {
+            assert_eq!(mem.word(i), 45);
+        }
+        assert!(r.stats.instructions >= 4 * 10);
+    }
+
+    #[test]
+    fn memory_fault_is_reported() {
+        let mut b = KernelBuilder::new("oob", 1);
+        b.mov(Reg(0), Operand::Imm(1_000_000));
+        b.st(Reg(0), 0, Reg(0));
+        b.exit();
+        let kernel = b.build().unwrap();
+        let mut mem = GlobalMemory::zeroed(4);
+        let err = GpuSim::new(GpuConfig::baseline())
+            .run(&kernel, &LaunchConfig::new(1, 32), &mut mem)
+            .unwrap_err();
+        assert!(matches!(err, SimError::Memory(_)));
+    }
+
+    #[test]
+    fn block_too_large_is_reported() {
+        let kernel = affine_kernel();
+        let mut mem = GlobalMemory::zeroed(4);
+        // 49 warps per block exceeds the 48-slot SM.
+        let err = GpuSim::new(GpuConfig::baseline())
+            .run(&kernel, &LaunchConfig::new(1, 49 * 32), &mut mem)
+            .unwrap_err();
+        assert!(matches!(err, SimError::BlockTooLarge { .. }));
+    }
+
+    #[test]
+    fn many_blocks_round_robin_through_slots() {
+        let kernel = affine_kernel();
+        let mut mem = GlobalMemory::zeroed(32 * 64);
+        run_kernel(GpuConfig::warped_compression(), &kernel, &LaunchConfig::new(64, 32), &mut mem);
+        for i in 0..(32 * 64) {
+            assert_eq!(mem.word(i), (i * 2 + 1) as u32);
+        }
+    }
+
+    #[test]
+    fn lrr_scheduler_also_completes() {
+        let mut cfg = GpuConfig::warped_compression();
+        cfg.scheduler = SchedulerPolicy::Lrr;
+        let kernel = affine_kernel();
+        let mut mem = GlobalMemory::zeroed(256);
+        run_kernel(cfg, &kernel, &LaunchConfig::new(4, 64), &mut mem);
+        for i in 0..256 {
+            assert_eq!(mem.word(i), (i * 2 + 1) as u32);
+        }
+    }
+
+    #[test]
+    fn observer_sees_register_writes() {
+        let kernel = affine_kernel();
+        let mut mem = GlobalMemory::zeroed(32);
+        let mut events = Vec::new();
+        GpuSim::new(GpuConfig::warped_compression())
+            .run_observed(&kernel, &LaunchConfig::new(1, 32), &mut mem, &mut |e| events.push(*e))
+            .unwrap();
+        assert_eq!(events.len() as u64, 3); // three register-writing instructions
+        assert!(events.iter().all(|e| !e.divergent && !e.synthetic));
+        // First write is gtid: 0..32.
+        assert_eq!(events[0].value.lane(5), 5);
+    }
+
+    #[test]
+    fn compression_latency_slows_execution() {
+        let kernel = affine_kernel();
+        let launch = LaunchConfig::new(4, 64);
+        let run_at = |cl: u64, dl: u64| {
+            let mut cfg = GpuConfig::warped_compression();
+            cfg.compression.compression_latency = cl;
+            cfg.compression.decompression_latency = dl;
+            let mut mem = GlobalMemory::zeroed(256);
+            run_kernel(cfg, &kernel, &launch, &mut mem).stats.cycles
+        };
+        let fast = run_at(2, 1);
+        let slow = run_at(8, 8);
+        assert!(slow >= fast, "slow {slow} < fast {fast}");
+    }
+
+    #[test]
+    fn gated_cycles_appear_only_with_compression() {
+        let kernel = affine_kernel();
+        let launch = LaunchConfig::new(2, 64);
+        let mut m1 = GlobalMemory::zeroed(128);
+        let base = run_kernel(GpuConfig::baseline(), &kernel, &launch, &mut m1);
+        assert_eq!(base.stats.regfile.gated_cycles.iter().sum::<u64>(), 0);
+        let mut m2 = GlobalMemory::zeroed(128);
+        // Short kernel: disable the gating hysteresis so the gated
+        // intervals are visible within the run.
+        let mut cfg = GpuConfig::warped_compression();
+        cfg.regfile.gating_hysteresis = 0;
+        let wc = run_kernel(cfg, &kernel, &launch, &mut m2);
+        assert!(wc.stats.regfile.gated_cycles.iter().sum::<u64>() > 0);
+    }
+}

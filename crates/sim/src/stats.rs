@@ -1,0 +1,194 @@
+//! Simulation statistics and the register-write observation hook.
+
+use bdi::WarpRegister;
+use gpu_regfile::{GatingMode, RegFileStats};
+use serde::{Deserialize, Serialize};
+
+/// One retired register write, delivered to the observer callback.
+///
+/// The `warped-compression` crate uses this stream for the value
+/// similarity characterisation (Fig. 2) and the full-BDI breakdown
+/// (Fig. 5).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WriteEvent {
+    /// The full merged register value as stored.
+    pub value: WarpRegister,
+    /// Whether the producing instruction executed divergently.
+    pub divergent: bool,
+    /// Whether this was an injected dummy MOV rather than program code.
+    pub synthetic: bool,
+}
+
+/// The Fig. 12 census: compressed-register counts sampled periodically,
+/// bucketed by the sampled warp's divergence phase.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CensusStats {
+    /// Compressed registers observed while the owning warp was
+    /// non-divergent.
+    pub nondiv_compressed: u64,
+    /// Registers observed while the owning warp was non-divergent.
+    pub nondiv_total: u64,
+    /// Compressed registers observed during divergence.
+    pub div_compressed: u64,
+    /// Registers observed during divergence.
+    pub div_total: u64,
+}
+
+impl CensusStats {
+    /// Fraction of registers compressed in non-divergent phases.
+    pub fn nondiv_fraction(&self) -> f64 {
+        fraction(self.nondiv_compressed, self.nondiv_total)
+    }
+
+    /// Fraction of registers compressed in divergent phases, or `None`
+    /// if the benchmark never diverged (the paper's "N/A" bars).
+    pub fn div_fraction(&self) -> Option<f64> {
+        (self.div_total > 0).then(|| fraction(self.div_compressed, self.div_total))
+    }
+}
+
+fn fraction(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Aggregate statistics of one simulation run.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Warp instructions issued from program code (excludes injected
+    /// MOVs).
+    pub instructions: u64,
+    /// Injected dummy MOV instructions (§5.2, Fig. 11).
+    pub synthetic_movs: u64,
+    /// Program instructions issued while the warp was divergent (Fig. 3).
+    pub divergent_instructions: u64,
+    /// Register writes retired.
+    pub writes: u64,
+    /// Register writes stored in compressed form.
+    pub writes_compressed: u64,
+    /// Logical bytes of non-divergent register writes (128 × writes).
+    pub nondiv_logical_bytes: u64,
+    /// Bytes actually stored for non-divergent writes.
+    pub nondiv_stored_bytes: u64,
+    /// Logical bytes of divergent register writes.
+    pub div_logical_bytes: u64,
+    /// Bytes actually stored for divergent writes.
+    pub div_stored_bytes: u64,
+    /// Compressor-unit activations.
+    pub compressor_activations: u64,
+    /// Decompressor-unit activations.
+    pub decompressor_activations: u64,
+    /// Cycles an issue opportunity was lost to bank-port conflicts
+    /// (operand fetch retries).
+    pub collector_retry_cycles: u64,
+    /// The Fig. 12 census samples.
+    pub census: CensusStats,
+    /// Register file bank counters (reads/writes/gating).
+    pub regfile: RegFileStats,
+    /// The leakage-management mode the run used (needed to price the
+    /// low-power bank-cycles: gated cycles leak nothing, drowsy cycles
+    /// leak a fraction).
+    pub gating: GatingMode,
+}
+
+impl SimStats {
+    /// Total instructions including injected MOVs.
+    pub fn total_instructions(&self) -> u64 {
+        self.instructions + self.synthetic_movs
+    }
+
+    /// Fraction of program instructions that executed non-divergently
+    /// (Fig. 3; paper average 79 %).
+    pub fn nondivergent_ratio(&self) -> f64 {
+        if self.instructions == 0 {
+            return 1.0;
+        }
+        1.0 - self.divergent_instructions as f64 / self.instructions as f64
+    }
+
+    /// Injected-MOV fraction of total instructions (Fig. 11; paper <2 %).
+    pub fn mov_fraction(&self) -> f64 {
+        let total = self.total_instructions();
+        if total == 0 {
+            return 0.0;
+        }
+        self.synthetic_movs as f64 / total as f64
+    }
+
+    /// Compression ratio of non-divergent register writes (Fig. 8 first
+    /// bars; paper average 2.5).
+    pub fn compression_ratio_nondiv(&self) -> f64 {
+        ratio(self.nondiv_logical_bytes, self.nondiv_stored_bytes)
+    }
+
+    /// Compression ratio of divergent register writes (Fig. 8 second
+    /// bars; paper average 1.3), or `None` without divergence.
+    pub fn compression_ratio_div(&self) -> Option<f64> {
+        (self.div_logical_bytes > 0).then(|| ratio(self.div_logical_bytes, self.div_stored_bytes))
+    }
+
+    /// Overall compression ratio across all writes.
+    pub fn compression_ratio(&self) -> f64 {
+        ratio(
+            self.nondiv_logical_bytes + self.div_logical_bytes,
+            self.nondiv_stored_bytes + self.div_stored_bytes,
+        )
+    }
+}
+
+fn ratio(logical: u64, stored: u64) -> f64 {
+    if stored == 0 {
+        1.0
+    } else {
+        logical as f64 / stored as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn census_fractions() {
+        let c = CensusStats { nondiv_compressed: 75, nondiv_total: 100, div_compressed: 10, div_total: 40 };
+        assert!((c.nondiv_fraction() - 0.75).abs() < 1e-12);
+        assert!((c.div_fraction().unwrap() - 0.25).abs() < 1e-12);
+        let none = CensusStats::default();
+        assert_eq!(none.div_fraction(), None);
+        assert_eq!(none.nondiv_fraction(), 0.0);
+    }
+
+    #[test]
+    fn ratios() {
+        let s = SimStats {
+            instructions: 100,
+            divergent_instructions: 21,
+            synthetic_movs: 2,
+            nondiv_logical_bytes: 1280,
+            nondiv_stored_bytes: 512,
+            div_logical_bytes: 128,
+            div_stored_bytes: 128,
+            ..Default::default()
+        };
+        assert!((s.nondivergent_ratio() - 0.79).abs() < 1e-12);
+        assert!((s.mov_fraction() - 2.0 / 102.0).abs() < 1e-12);
+        assert!((s.compression_ratio_nondiv() - 2.5).abs() < 1e-12);
+        assert!((s.compression_ratio_div().unwrap() - 1.0).abs() < 1e-12);
+        assert!((s.compression_ratio() - 1408.0 / 640.0).abs() < 1e-12);
+        assert_eq!(s.total_instructions(), 102);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = SimStats::default();
+        assert_eq!(s.nondivergent_ratio(), 1.0);
+        assert_eq!(s.mov_fraction(), 0.0);
+        assert_eq!(s.compression_ratio(), 1.0);
+        assert_eq!(s.compression_ratio_div(), None);
+    }
+}

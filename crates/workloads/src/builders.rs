@@ -1,0 +1,214 @@
+//! Shared kernel-construction idioms and input generators.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simt_isa::{AluOp, KernelBuilder, Operand, Reg};
+
+/// Deterministic RNG for workload inputs; `salt` separates streams per
+/// workload so adding one never perturbs another.
+pub fn rng(salt: u64) -> StdRng {
+    StdRng::seed_from_u64(0x5EED_CAFE ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Random words uniform in `[lo, hi)` — dynamic range is the knob that
+/// controls value similarity (§3).
+pub fn random_words(salt: u64, n: usize, lo: u32, hi: u32) -> Vec<u32> {
+    let mut r = rng(salt);
+    (0..n).map(|_| r.gen_range(lo..hi)).collect()
+}
+
+/// Emits `if (pred != 0) { body }` with proper reconvergence.
+///
+/// `tmp` is clobbered with the inverted predicate.
+pub fn if_then(
+    b: &mut KernelBuilder,
+    pred: Reg,
+    tmp: Reg,
+    body: impl FnOnce(&mut KernelBuilder),
+) {
+    let merge = b.label();
+    b.alu(AluOp::SetEq, tmp, pred.into(), Operand::Imm(0));
+    b.bra(tmp, merge, merge);
+    body(b);
+    b.bind(merge);
+}
+
+/// Emits `if (pred != 0) { then } else { other }` with reconvergence.
+pub fn if_then_else(
+    b: &mut KernelBuilder,
+    pred: Reg,
+    then_body: impl FnOnce(&mut KernelBuilder),
+    else_body: impl FnOnce(&mut KernelBuilder),
+) {
+    let then_l = b.label();
+    let merge = b.label();
+    b.bra(pred, then_l, merge);
+    else_body(b);
+    b.jmp(merge);
+    b.bind(then_l);
+    then_body(b);
+    b.bind(merge);
+}
+
+/// Emits a counted loop `for (i = 0; i < trip; ++i) { body }`.
+///
+/// `i` is the induction register, `tmp` holds the continuation predicate,
+/// and `trip` may be any operand (usually a `Param` or `Imm`). The body
+/// must not clobber `i` or `tmp`.
+pub fn counted_loop(
+    b: &mut KernelBuilder,
+    i: Reg,
+    tmp: Reg,
+    trip: Operand,
+    body: impl FnOnce(&mut KernelBuilder),
+) {
+    b.mov(i, Operand::Imm(0));
+    // Guard empty trips.
+    let exit = b.label();
+    b.alu(AluOp::SetLt, tmp, Operand::Imm(0), trip);
+    let head = b.label();
+    b.bra(tmp, head, exit);
+    b.jmp(exit);
+    b.bind(head);
+    body(b);
+    b.alu(AluOp::Add, i, i.into(), Operand::Imm(1));
+    b.alu(AluOp::SetLt, tmp, i.into(), trip);
+    b.bra(tmp, head, exit);
+    b.bind(exit);
+}
+
+/// Emits a loop whose trip count differs per thread (`while (i < bound)`)
+/// — the intra-warp divergence pattern of BFS/SpMV.
+pub fn per_thread_loop(
+    b: &mut KernelBuilder,
+    i: Reg,
+    tmp: Reg,
+    bound: Reg,
+    body: impl FnOnce(&mut KernelBuilder),
+) {
+    b.mov(i, Operand::Imm(0));
+    let exit = b.label();
+    b.alu(AluOp::SetLt, tmp, i.into(), bound.into());
+    let head = b.label();
+    b.bra(tmp, head, exit);
+    b.jmp(exit);
+    b.bind(head);
+    body(b);
+    b.alu(AluOp::Add, i, i.into(), Operand::Imm(1));
+    b.alu(AluOp::SetLt, tmp, i.into(), bound.into());
+    b.bra(tmp, head, exit);
+    b.bind(exit);
+}
+
+/// Re-export to keep kernel modules' imports terse.
+pub use simt_isa::Special;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{GlobalMemory, GpuConfig, GpuSim, LaunchConfig};
+    use simt_isa::Kernel;
+
+    fn run(kernel: &Kernel, threads: usize, mem_words: usize) -> GlobalMemory {
+        let mut mem = GlobalMemory::zeroed(mem_words);
+        GpuSim::new(GpuConfig::warped_compression())
+            .run(kernel, &LaunchConfig::new(1, threads), &mut mem)
+            .expect("kernel runs");
+        mem
+    }
+
+    #[test]
+    fn rng_is_deterministic_and_salted() {
+        assert_eq!(random_words(1, 8, 0, 100), random_words(1, 8, 0, 100));
+        assert_ne!(random_words(1, 8, 0, 100), random_words(2, 8, 0, 100));
+        assert!(random_words(3, 100, 5, 10).iter().all(|&w| (5..10).contains(&w)));
+    }
+
+    #[test]
+    fn if_then_executes_conditionally() {
+        // r3 = (tid < 4) ? 9 : 0; mem[tid] = r3
+        let mut b = KernelBuilder::new("ifthen", 4);
+        b.mov(Reg(0), Operand::Special(Special::Tid));
+        b.mov(Reg(3), Operand::Imm(0));
+        b.alu(AluOp::SetLt, Reg(1), Reg(0).into(), Operand::Imm(4));
+        if_then(&mut b, Reg(1), Reg(2), |b| {
+            b.mov(Reg(3), Operand::Imm(9));
+        });
+        b.st(Reg(0), 0, Reg(3));
+        b.exit();
+        let mem = run(&b.build().unwrap(), 32, 32);
+        for t in 0..32 {
+            assert_eq!(mem.word(t), if t < 4 { 9 } else { 0 }, "tid {t}");
+        }
+    }
+
+    #[test]
+    fn if_then_else_covers_both_paths() {
+        let mut b = KernelBuilder::new("ite", 4);
+        b.mov(Reg(0), Operand::Special(Special::Tid));
+        b.alu(AluOp::Rem, Reg(1), Reg(0).into(), Operand::Imm(2));
+        if_then_else(
+            &mut b,
+            Reg(1),
+            |b| {
+                b.mov(Reg(3), Operand::Imm(111));
+            },
+            |b| {
+                b.mov(Reg(3), Operand::Imm(222));
+            },
+        );
+        b.st(Reg(0), 0, Reg(3));
+        b.exit();
+        let mem = run(&b.build().unwrap(), 32, 32);
+        for t in 0..32 {
+            assert_eq!(mem.word(t), if t % 2 == 1 { 111 } else { 222 }, "tid {t}");
+        }
+    }
+
+    #[test]
+    fn counted_loop_runs_trip_times() {
+        // acc = sum(0..5 of i) = 10; mem[tid] = acc
+        let mut b = KernelBuilder::new("loop", 5);
+        b.mov(Reg(3), Operand::Imm(0));
+        counted_loop(&mut b, Reg(0), Reg(1), Operand::Imm(5), |b| {
+            b.alu(AluOp::Add, Reg(3), Reg(3).into(), Reg(0).into());
+        });
+        b.mov(Reg(4), Operand::Special(Special::Tid));
+        b.st(Reg(4), 0, Reg(3));
+        b.exit();
+        let mem = run(&b.build().unwrap(), 32, 32);
+        assert!(mem.words().iter().all(|&w| w == 10));
+    }
+
+    #[test]
+    fn counted_loop_handles_zero_trip() {
+        let mut b = KernelBuilder::new("zerotrip", 5);
+        b.mov(Reg(3), Operand::Imm(42));
+        counted_loop(&mut b, Reg(0), Reg(1), Operand::Imm(0), |b| {
+            b.mov(Reg(3), Operand::Imm(0));
+        });
+        b.mov(Reg(4), Operand::Special(Special::Tid));
+        b.st(Reg(4), 0, Reg(3));
+        b.exit();
+        let mem = run(&b.build().unwrap(), 32, 32);
+        assert!(mem.words().iter().all(|&w| w == 42));
+    }
+
+    #[test]
+    fn per_thread_loop_diverges_by_bound() {
+        // bound = tid % 4; acc = bound iterations.
+        let mut b = KernelBuilder::new("ptloop", 6);
+        b.mov(Reg(0), Operand::Special(Special::Tid));
+        b.alu(AluOp::Rem, Reg(4), Reg(0).into(), Operand::Imm(4));
+        b.mov(Reg(3), Operand::Imm(0));
+        per_thread_loop(&mut b, Reg(1), Reg(2), Reg(4), |b| {
+            b.alu(AluOp::Add, Reg(3), Reg(3).into(), Operand::Imm(1));
+        });
+        b.st(Reg(0), 0, Reg(3));
+        b.exit();
+        let mem = run(&b.build().unwrap(), 32, 32);
+        for t in 0..32 {
+            assert_eq!(mem.word(t), (t % 4) as u32, "tid {t}");
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! `backprop` (Rodinia): neural-network layer forward pass.
+//!
+//! Reproduced properties: strided affine addressing (`k*N + gtid` — the
+//! addresses differ by 1 between adjacent lanes), small weight/input
+//! ranges, no divergence.
+
+use gpu_sim::{GlobalMemory, LaunchConfig};
+use simt_isa::{AluOp, KernelBuilder, Operand, Reg};
+
+use crate::builders::{counted_loop, random_words, Special};
+use crate::workload::{DivergenceProfile, Workload};
+
+const BLOCK: usize = 64;
+const BLOCKS: usize = 24;
+const N: usize = BLOCK * BLOCKS; // output units
+const INPUTS: usize = 16; // hidden-layer inputs
+
+const W_OFF: i32 = 0; // weights[INPUTS * N] in 0..16
+const X_OFF: i32 = (INPUTS * N) as i32; // inputs[INPUTS] in 0..8
+const OUT_OFF: i32 = X_OFF + INPUTS as i32;
+const MEM_WORDS: usize = OUT_OFF as usize + N;
+
+/// Builds the backprop workload.
+pub fn build() -> Workload {
+    let mut words = vec![0u32; MEM_WORDS];
+    words[..INPUTS * N].copy_from_slice(&random_words(0x41, INPUTS * N, 0, 16));
+    words[INPUTS * N..INPUTS * N + INPUTS].copy_from_slice(&random_words(0x42, INPUTS, 0, 8));
+    let launch = LaunchConfig::new(BLOCKS, BLOCK)
+        .with_params(vec![INPUTS as u32, N as u32]);
+    Workload::new(
+        "backprop",
+        "Rodinia backprop layer: strided weight addressing (affine in tid), small operand ranges, fully convergent",
+        kernel(),
+        launch,
+        GlobalMemory::from_words(words),
+        DivergenceProfile::None,
+    )
+}
+
+fn kernel() -> simt_isa::Kernel {
+    let gtid = Reg(0);
+    let k = Reg(1);
+    let tmp = Reg(2);
+    let addr = Reg(3);
+    let w = Reg(4);
+    let x = Reg(5);
+    let acc = Reg(6);
+    let prod = Reg(7);
+
+    let mut b = KernelBuilder::new("backprop", 8);
+    b.mov(gtid, Operand::Special(Special::GlobalTid));
+    b.mov(acc, Operand::Imm(0));
+    counted_loop(&mut b, k, tmp, Operand::Param(0), |b| {
+        // addr = k*N + gtid  (affine: lanes differ by exactly 1)
+        b.alu(AluOp::Mul, addr, k.into(), Operand::Param(1));
+        b.alu(AluOp::Add, addr, addr.into(), gtid.into());
+        b.ld(w, addr, W_OFF);
+        b.ld(x, k, X_OFF); // uniform across the warp
+        b.alu(AluOp::Mul, prod, w.into(), x.into());
+        b.alu(AluOp::Add, acc, acc.into(), prod.into());
+    });
+    b.st(gtid, OUT_OFF, acc);
+    b.exit();
+    b.build().expect("backprop kernel is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{GpuConfig, GpuSim};
+
+    #[test]
+    fn matches_reference_dot_products() {
+        let w = build();
+        let mut mem = w.fresh_memory();
+        let weights: Vec<u32> = mem.words()[..INPUTS * N].to_vec();
+        let xs: Vec<u32> = mem.words()[INPUTS * N..INPUTS * N + INPUTS].to_vec();
+        let r = GpuSim::new(GpuConfig::warped_compression())
+            .run(w.kernel(), w.launch(), &mut mem)
+            .unwrap();
+        for unit in 0..N {
+            let expected: u32 = (0..INPUTS).map(|k| weights[k * N + unit] * xs[k]).sum();
+            assert_eq!(mem.word(OUT_OFF as usize + unit), expected, "unit {unit}");
+        }
+        assert_eq!(r.stats.divergent_instructions, 0);
+    }
+}

@@ -1,0 +1,124 @@
+//! `bfs` (Rodinia): breadth-first search frontier expansion.
+//!
+//! Reproduced properties: heavy branch divergence (per-thread edge counts
+//! differ, and only frontier nodes do work at all) and mixed value
+//! similarity — neighbour indices are random, so divergent-phase writes
+//! compress poorly (the paper calls BFS out as losing compressed
+//! registers during divergence, Fig. 12).
+
+use gpu_sim::{GlobalMemory, LaunchConfig};
+use simt_isa::{AluOp, KernelBuilder, Operand, Reg};
+
+use crate::builders::{counted_loop, if_then, per_thread_loop, random_words, rng, Special};
+use crate::workload::{DivergenceProfile, Workload};
+
+use rand::Rng;
+
+const BLOCK: usize = 64;
+const BLOCKS: usize = 24;
+const N: usize = BLOCK * BLOCKS; // nodes
+const MAX_DEG: usize = 6;
+
+const DEGREE_OFF: i32 = 0; // degree[N] in 0..MAX_DEG
+const OFFSET_OFF: i32 = N as i32; // edge start offset[N]
+const FRONTIER_OFF: i32 = 2 * N as i32; // frontier flag[N] in {0,1}
+const COST_OFF: i32 = 3 * N as i32; // cost[N]
+const EDGES_OFF: i32 = 4 * N as i32; // edges[sum degree]
+
+/// Builds the bfs workload.
+pub fn build() -> Workload {
+    let degrees = random_words(0x21, N, 0, (MAX_DEG + 1) as u32);
+    let mut offsets = Vec::with_capacity(N);
+    let mut total = 0u32;
+    for &d in &degrees {
+        offsets.push(total);
+        total += d;
+    }
+    let edges = random_words(0x22, total as usize, 0, N as u32);
+    let mut frontier_rng = rng(0x23);
+    let frontier: Vec<u32> = (0..N).map(|_| u32::from(frontier_rng.gen_bool(0.6))).collect();
+
+    let mem_words = EDGES_OFF as usize + total as usize;
+    let mut words = vec![0u32; mem_words];
+    words[..N].copy_from_slice(&degrees);
+    words[N..2 * N].copy_from_slice(&offsets);
+    words[2 * N..3 * N].copy_from_slice(&frontier);
+    // cost[] starts zero.
+    words[EDGES_OFF as usize..].copy_from_slice(&edges);
+
+    let launch = LaunchConfig::new(BLOCKS, BLOCK).with_params(vec![1 /* level */]);
+    Workload::new(
+        "bfs",
+        "Rodinia BFS frontier expansion: per-thread edge loops and frontier gating cause heavy divergence; neighbour ids are random",
+        kernel(),
+        launch,
+        GlobalMemory::from_words(words),
+        DivergenceProfile::High,
+    )
+}
+
+fn kernel() -> simt_isa::Kernel {
+    let gtid = Reg(0);
+    let flag = Reg(1);
+    let deg = Reg(2);
+    let base = Reg(3);
+    let i = Reg(4);
+    let tmp = Reg(5);
+    let tmp2 = Reg(6);
+    let edge = Reg(7);
+    let addr = Reg(8);
+    let level = Reg(9);
+
+    let mut b = KernelBuilder::new("bfs", 10);
+    b.mov(gtid, Operand::Special(Special::GlobalTid));
+    // Convergent preprocessing: hash the node id into a tentative cost
+    // seed (the CUDA kernel's index arithmetic / visited bookkeeping).
+    // This is the convergent bulk of the kernel; divergence is confined
+    // to the frontier expansion below, as in the real benchmark.
+    b.mov(level, Operand::Imm(0));
+    counted_loop(&mut b, i, tmp, Operand::Imm(12), |b| {
+        b.alu(AluOp::Add, tmp2, gtid.into(), i.into());
+        b.alu(AluOp::Shl, edge, tmp2.into(), Operand::Imm(3));
+        b.alu(AluOp::Xor, level, level.into(), edge.into());
+        b.alu(AluOp::And, level, level.into(), Operand::Imm(0xFFFF));
+    });
+    b.ld(flag, gtid, FRONTIER_OFF);
+    if_then(&mut b, flag, tmp, |b| {
+        b.ld(deg, gtid, DEGREE_OFF);
+        b.ld(base, gtid, OFFSET_OFF);
+        b.alu(AluOp::Add, level, Operand::Param(0), Operand::Imm(1));
+        per_thread_loop(b, i, tmp, deg, |b| {
+            // edge = edges[base + i]; cost[edge] = level
+            b.alu(AluOp::Add, addr, base.into(), i.into());
+            b.ld(edge, addr, EDGES_OFF);
+            b.alu(AluOp::Add, tmp2, edge.into(), Operand::Imm(0));
+            b.st(tmp2, COST_OFF, level);
+        });
+    });
+    b.exit();
+    b.build().expect("bfs kernel is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{GpuConfig, GpuSim};
+
+    #[test]
+    fn diverges_heavily_and_marks_neighbours() {
+        let w = build();
+        let mut mem = w.fresh_memory();
+        let r = GpuSim::new(GpuConfig::warped_compression())
+            .run(w.kernel(), w.launch(), &mut mem)
+            .unwrap();
+        // Per-thread loop bounds guarantee a large divergent fraction.
+        assert!(
+            r.stats.nondivergent_ratio() < 0.8,
+            "expected heavy divergence, got nondiv {}",
+            r.stats.nondivergent_ratio()
+        );
+        // Some nodes were visited (cost set to level+1 = 2).
+        let cost = &mem.words()[COST_OFF as usize..COST_OFF as usize + N];
+        assert!(cost.iter().any(|&c| c == 2));
+    }
+}

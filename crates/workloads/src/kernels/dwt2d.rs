@@ -1,0 +1,99 @@
+//! `dwt2d` (Rodinia): 2-D discrete wavelet transform (Haar-style lifting).
+//!
+//! Reproduced properties: the even/odd lane split (`tid % 2`) diverges
+//! *every* warp on *every* level — dwt2d is one of the paper's
+//! highest-divergence benchmarks — while pixel values keep a narrow 8-bit
+//! dynamic range.
+
+use gpu_sim::{GlobalMemory, LaunchConfig};
+use simt_isa::{AluOp, KernelBuilder, Operand, Reg};
+
+use crate::builders::{counted_loop, if_then_else, random_words, Special};
+use crate::workload::{DivergenceProfile, Workload};
+
+const BLOCK: usize = 64;
+const BLOCKS: usize = 24;
+const N: usize = BLOCK * BLOCKS;
+const LEVELS: usize = 4;
+
+const IMG_OFF: i32 = 0; // pixels[N] in 0..256
+const OUT_OFF: i32 = N as i32;
+const MEM_WORDS: usize = 2 * N;
+
+/// Builds the dwt2d workload.
+pub fn build() -> Workload {
+    let mut words = vec![0u32; MEM_WORDS];
+    words[..N].copy_from_slice(&random_words(0x51, N, 0, 256));
+    let launch = LaunchConfig::new(BLOCKS, BLOCK).with_params(vec![LEVELS as u32]);
+    Workload::new(
+        "dwt2d",
+        "Rodinia DWT2D lifting step: even lanes average, odd lanes difference — every warp diverges every level",
+        kernel(),
+        launch,
+        GlobalMemory::from_words(words),
+        DivergenceProfile::High,
+    )
+}
+
+fn kernel() -> simt_isa::Kernel {
+    let gtid = Reg(0);
+    let lvl = Reg(1);
+    let tmp = Reg(2);
+    let parity = Reg(3);
+    let a = Reg(4);
+    let bb = Reg(5);
+    let out = Reg(6);
+    let pair = Reg(7);
+
+    let mut b = KernelBuilder::new("dwt2d", 8);
+    b.mov(gtid, Operand::Special(Special::GlobalTid));
+    b.ld(out, gtid, IMG_OFF);
+    counted_loop(&mut b, lvl, tmp, Operand::Param(0), |b| {
+        b.alu(AluOp::And, parity, gtid.into(), Operand::Imm(1));
+        // pair = gtid ^ 1 — the lifting partner.
+        b.alu(AluOp::Xor, pair, gtid.into(), Operand::Imm(1));
+        b.ld(a, gtid, IMG_OFF);
+        b.ld(bb, pair, IMG_OFF);
+        if_then_else(
+            b,
+            parity,
+            |b| {
+                // Odd lanes: detail coefficient (difference, kept positive).
+                b.alu(AluOp::Sub, out, a.into(), bb.into());
+                b.alu(AluOp::Max, out, out.into(), Operand::Imm(0));
+            },
+            |b| {
+                // Even lanes: approximation coefficient (average).
+                b.alu(AluOp::Add, out, a.into(), bb.into());
+                b.alu(AluOp::Shr, out, out.into(), Operand::Imm(1));
+            },
+        );
+        b.st(gtid, IMG_OFF, out);
+    });
+    b.st(gtid, OUT_OFF, out);
+    b.exit();
+    b.build().expect("dwt2d kernel is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{GpuConfig, GpuSim};
+
+    #[test]
+    fn diverges_every_level_with_narrow_values() {
+        let w = build();
+        let mut mem = w.fresh_memory();
+        let r = GpuSim::new(GpuConfig::warped_compression())
+            .run(w.kernel(), w.launch(), &mut mem)
+            .unwrap();
+        assert!(
+            r.stats.nondivergent_ratio() < 0.85,
+            "expected heavy divergence, nondiv = {}",
+            r.stats.nondivergent_ratio()
+        );
+        // Coefficients remain 8-bit-ish.
+        let out = &mem.words()[OUT_OFF as usize..];
+        assert!(out.iter().all(|&v| v < 512));
+    }
+}

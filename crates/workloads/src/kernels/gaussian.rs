@@ -1,0 +1,86 @@
+//! `gaussian` (Rodinia): Gaussian elimination row update.
+//!
+//! Reproduced properties: per-block uniform multipliers (the pivot row is
+//! shared), thread-index addressing of the matrix row, and no divergence.
+
+use gpu_sim::{GlobalMemory, LaunchConfig};
+use simt_isa::{AluOp, KernelBuilder, Operand, Reg};
+
+use crate::builders::{counted_loop, random_words, Special};
+use crate::workload::{DivergenceProfile, Workload};
+
+const BLOCK: usize = 64;
+const BLOCKS: usize = 24;
+const COLS: usize = BLOCK * BLOCKS;
+const ROWS: usize = 6;
+
+const PIVOT_OFF: i32 = 0; // pivot row[COLS], 1..100
+const MAT_OFF: i32 = COLS as i32; // matrix[ROWS * COLS], 0..1000
+const MULT_OFF: i32 = MAT_OFF + (ROWS * COLS) as i32; // multipliers[ROWS], 1..8
+const MEM_WORDS: usize = MULT_OFF as usize + ROWS;
+
+/// Builds the gaussian workload.
+pub fn build() -> Workload {
+    let mut words = vec![0u32; MEM_WORDS];
+    words[..COLS].copy_from_slice(&random_words(0x61, COLS, 1, 100));
+    words[COLS..COLS + ROWS * COLS].copy_from_slice(&random_words(0x62, ROWS * COLS, 0, 1000));
+    words[MULT_OFF as usize..].copy_from_slice(&random_words(0x63, ROWS, 1, 8));
+    let launch = LaunchConfig::new(BLOCKS, BLOCK)
+        .with_params(vec![ROWS as u32, COLS as u32]);
+    Workload::new(
+        "gaussian",
+        "Rodinia Gaussian elimination: uniform pivot multipliers, affine row addressing, fully convergent",
+        kernel(),
+        launch,
+        GlobalMemory::from_words(words),
+        DivergenceProfile::None,
+    )
+}
+
+fn kernel() -> simt_isa::Kernel {
+    let gtid = Reg(0);
+    let row = Reg(1);
+    let tmp = Reg(2);
+    let addr = Reg(3);
+    let m = Reg(4);
+    let pivot = Reg(5);
+    let val = Reg(6);
+    let prod = Reg(7);
+
+    let mut b = KernelBuilder::new("gaussian", 8);
+    b.mov(gtid, Operand::Special(Special::GlobalTid));
+    b.ld(pivot, gtid, PIVOT_OFF);
+    counted_loop(&mut b, row, tmp, Operand::Param(0), |b| {
+        // m = multipliers[row] (uniform); a[row][gtid] -= m * pivot[gtid]
+        b.ld(m, row, MULT_OFF);
+        b.alu(AluOp::Mul, addr, row.into(), Operand::Param(1));
+        b.alu(AluOp::Add, addr, addr.into(), gtid.into());
+        b.ld(val, addr, MAT_OFF);
+        b.alu(AluOp::Mul, prod, m.into(), pivot.into());
+        b.alu(AluOp::Sub, val, val.into(), prod.into());
+        // Keep values in a plausible fixed-point band.
+        b.alu(AluOp::Max, val, val.into(), Operand::Imm(0));
+        b.st(addr, MAT_OFF, val);
+    });
+    b.exit();
+    b.build().expect("gaussian kernel is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{GpuConfig, GpuSim};
+
+    #[test]
+    fn eliminates_rows_without_divergence() {
+        let w = build();
+        let mut mem = w.fresh_memory();
+        let before: Vec<u32> = mem.words()[MAT_OFF as usize..MAT_OFF as usize + ROWS * COLS].to_vec();
+        let r = GpuSim::new(GpuConfig::warped_compression())
+            .run(w.kernel(), w.launch(), &mut mem)
+            .unwrap();
+        let after = &mem.words()[MAT_OFF as usize..MAT_OFF as usize + ROWS * COLS];
+        assert_ne!(before.as_slice(), after, "matrix unchanged");
+        assert_eq!(r.stats.divergent_instructions, 0);
+    }
+}

@@ -1,0 +1,117 @@
+//! `histo` (Parboil): histogramming with saturation.
+//!
+//! Reproduced properties: data-dependent bin addresses (scattered
+//! stores), a saturation branch that only some lanes take (moderate
+//! divergence), small bin indices. The CUDA kernel's atomic increments
+//! are modelled as idempotent marker stores so cross-warp timing cannot
+//! change results (our simulator has no atomics).
+
+use gpu_sim::{GlobalMemory, LaunchConfig};
+use simt_isa::{AluOp, KernelBuilder, Operand, Reg};
+
+use crate::builders::{counted_loop, if_then, random_words, Special};
+use crate::workload::{DivergenceProfile, Workload};
+
+const BLOCK: usize = 64;
+const BLOCKS: usize = 24;
+const N: usize = BLOCK * BLOCKS; // input pixels
+const BINS: usize = 64;
+const ITEMS: usize = 4; // pixels per thread
+
+const IN_OFF: i32 = 0; // input[N * ITEMS]: skewed 0..1024
+const FLAG_OFF: i32 = (N * ITEMS) as i32; // bin-touched flags[BINS]
+const SAT_OFF: i32 = FLAG_OFF + BINS as i32; // per-thread saturation count[N]
+const MEM_WORDS: usize = SAT_OFF as usize + N;
+
+/// Builds the histo workload.
+pub fn build() -> Workload {
+    let mut words = vec![0u32; MEM_WORDS];
+    // Skewed distribution like the benchmark's silicon-wafer input: most
+    // values small, a tail of large ones that overflows the bin range and
+    // exercises the saturation branch.
+    let raw = random_words(0xF1, N * ITEMS, 0, 4096);
+    for (w, r) in words[..N * ITEMS].iter_mut().zip(&raw) {
+        *w = if r % 5 == 0 { *r } else { r % 97 };
+    }
+    let launch = LaunchConfig::new(BLOCKS, BLOCK)
+        .with_params(vec![ITEMS as u32, (BINS - 1) as u32]);
+    Workload::new(
+        "histo",
+        "Parboil histogram: scattered data-dependent bin stores with a saturation branch (moderate divergence)",
+        kernel(),
+        launch,
+        GlobalMemory::from_words(words),
+        DivergenceProfile::Low,
+    )
+}
+
+fn kernel() -> simt_isa::Kernel {
+    let gtid = Reg(0);
+    let i = Reg(1);
+    let tmp = Reg(2);
+    let addr = Reg(3);
+    let v = Reg(4);
+    let bin = Reg(5);
+    let cond = Reg(6);
+    let one = Reg(7);
+    let sat = Reg(8);
+
+    let mut b = KernelBuilder::new("histo", 9);
+    b.mov(gtid, Operand::Special(Special::GlobalTid));
+    b.mov(sat, Operand::Imm(0));
+    b.mov(one, Operand::Imm(1));
+    counted_loop(&mut b, i, tmp, Operand::Param(0), |b| {
+        // v = input[i*N + gtid]
+        b.alu(AluOp::Mul, addr, i.into(), Operand::Imm(N as i32));
+        b.alu(AluOp::Add, addr, addr.into(), gtid.into());
+        b.ld(v, addr, IN_OFF);
+        // bin = v / 16, saturated at BINS-1. The clamp is arithmetic
+        // (min), as the compiler would emit; the data-dependent branch
+        // only books the saturation statistic, so it touches a register
+        // that is never rewritten convergently (one dummy MOV per warp,
+        // not one per iteration).
+        b.alu(AluOp::Shr, bin, v.into(), Operand::Imm(4));
+        b.alu(AluOp::SetLt, cond, Operand::Param(1), bin.into());
+        b.alu(AluOp::Min, bin, bin.into(), Operand::Param(1));
+        if_then(b, cond, tmp, |b| {
+            b.alu(AluOp::Add, sat, sat.into(), Operand::Imm(1));
+        });
+        // Mark the bin (idempotent store: races write the same value).
+        b.st(bin, FLAG_OFF, one);
+    });
+    b.st(gtid, SAT_OFF, sat);
+    b.exit();
+    b.build().expect("histo kernel is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{GpuConfig, GpuSim};
+
+    #[test]
+    fn marks_reference_bins_and_counts_saturation() {
+        let w = build();
+        let mut mem = w.fresh_memory();
+        let input: Vec<u32> = mem.words()[..N * ITEMS].to_vec();
+        let r = GpuSim::new(GpuConfig::warped_compression())
+            .run(w.kernel(), w.launch(), &mut mem)
+            .unwrap();
+        let mut expected_flags = vec![0u32; BINS];
+        let mut expected_sat = vec![0u32; N];
+        for t in 0..N {
+            for i in 0..ITEMS {
+                let bin = (input[i * N + t] >> 4) as usize;
+                if bin > BINS - 1 {
+                    expected_flags[BINS - 1] = 1;
+                    expected_sat[t] += 1;
+                } else {
+                    expected_flags[bin] = 1;
+                }
+            }
+        }
+        assert_eq!(&mem.words()[FLAG_OFF as usize..FLAG_OFF as usize + BINS], &expected_flags[..]);
+        assert_eq!(&mem.words()[SAT_OFF as usize..], &expected_sat[..]);
+        assert!(r.stats.divergent_instructions > 0, "saturation branch must diverge");
+    }
+}

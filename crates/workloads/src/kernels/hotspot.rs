@@ -1,0 +1,98 @@
+//! `hotspot` (Rodinia): thermal simulation stencil.
+//!
+//! Reproduced properties: temperature values in a narrow band around an
+//! ambient constant plus small power inputs, neighbour loads at
+//! thread-index offsets, and only boundary-guard divergence.
+
+use gpu_sim::{GlobalMemory, LaunchConfig};
+use simt_isa::{AluOp, KernelBuilder, Operand, Reg};
+
+use crate::builders::{counted_loop, if_then, random_words, Special};
+use crate::workload::{DivergenceProfile, Workload};
+
+const BLOCK: usize = 64;
+const BLOCKS: usize = 24;
+const N: usize = BLOCK * BLOCKS;
+const STEPS: usize = 8;
+
+const TEMP_OFF: i32 = 0; // temp[N]: 3000..3100 (fixed-point kelvin*10)
+const POWER_OFF: i32 = N as i32; // power[N]: 0..50
+const OUT_OFF: i32 = 2 * N as i32;
+const MEM_WORDS: usize = 3 * N;
+
+/// Builds the hotspot workload.
+pub fn build() -> Workload {
+    let mut words = vec![0u32; MEM_WORDS];
+    words[..N].copy_from_slice(&random_words(0x31, N, 3000, 3100));
+    words[N..2 * N].copy_from_slice(&random_words(0x32, N, 0, 50));
+    let launch = LaunchConfig::new(BLOCKS, BLOCK)
+        .with_params(vec![STEPS as u32, N as u32]);
+    Workload::new(
+        "hotspot",
+        "Rodinia HotSpot stencil: narrow-band temperatures, neighbour averaging, boundary-only divergence",
+        kernel(),
+        launch,
+        GlobalMemory::from_words(words),
+        DivergenceProfile::Low,
+    )
+}
+
+fn kernel() -> simt_isa::Kernel {
+    let gtid = Reg(0);
+    let t = Reg(1);
+    let step = Reg(2);
+    let tmp = Reg(3);
+    let left = Reg(4);
+    let right = Reg(5);
+    let power = Reg(6);
+    let delta = Reg(7);
+    let cond = Reg(8);
+    let tmp2 = Reg(9);
+
+    let mut b = KernelBuilder::new("hotspot", 10);
+    b.mov(gtid, Operand::Special(Special::GlobalTid));
+    b.ld(t, gtid, TEMP_OFF);
+    b.ld(power, gtid, POWER_OFF);
+    counted_loop(&mut b, step, tmp, Operand::Param(0), |b| {
+        // Interior guard: 0 < gtid < N-1.
+        b.alu(AluOp::SetLt, cond, Operand::Imm(0), gtid.into());
+        b.alu(AluOp::Sub, tmp2, Operand::Param(1), Operand::Imm(1));
+        b.alu(AluOp::SetLt, tmp2, gtid.into(), tmp2.into());
+        b.alu(AluOp::And, cond, cond.into(), tmp2.into());
+        if_then(b, cond, tmp2, |b| {
+            b.ld(left, gtid, TEMP_OFF - 1);
+            b.ld(right, gtid, TEMP_OFF + 1);
+            // delta = (power + left + right - 2t) / 4
+            b.alu(AluOp::Add, delta, left.into(), right.into());
+            b.alu(AluOp::Sub, delta, delta.into(), t.into());
+            b.alu(AluOp::Sub, delta, delta.into(), t.into());
+            b.alu(AluOp::Add, delta, delta.into(), power.into());
+            // Signed division: delta may be negative (cooling).
+            b.alu(AluOp::Div, delta, delta.into(), Operand::Imm(4));
+            b.alu(AluOp::Add, t, t.into(), delta.into());
+        });
+    });
+    b.st(gtid, OUT_OFF, t);
+    b.exit();
+    b.build().expect("hotspot kernel is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{GpuConfig, GpuSim};
+
+    #[test]
+    fn temperatures_stay_in_band_and_compress_well() {
+        let w = build();
+        let mut mem = w.fresh_memory();
+        let r = GpuSim::new(GpuConfig::warped_compression())
+            .run(w.kernel(), w.launch(), &mut mem)
+            .unwrap();
+        let out = &mem.words()[OUT_OFF as usize..];
+        assert!(out.iter().all(|&v| (2000..4200).contains(&v)), "temperature diverged numerically");
+        // Narrow dynamic range => strong compression.
+        assert!(r.stats.compression_ratio_nondiv() > 1.5, "ratio {}", r.stats.compression_ratio_nondiv());
+        assert!(r.stats.nondivergent_ratio() > 0.7);
+    }
+}

@@ -1,0 +1,112 @@
+//! `kmeans` (Rodinia): nearest-centroid assignment.
+//!
+//! Reproduced properties: uniform centroid loads, small feature ranges,
+//! and a light data-dependent branch when a point switches membership.
+
+use gpu_sim::{GlobalMemory, LaunchConfig};
+use simt_isa::{AluOp, KernelBuilder, Operand, Reg};
+
+use crate::builders::{counted_loop, if_then, random_words, Special};
+use crate::workload::{DivergenceProfile, Workload};
+
+const BLOCK: usize = 64;
+const BLOCKS: usize = 24;
+const N: usize = BLOCK * BLOCKS;
+const K: usize = 5;
+
+const FEAT_OFF: i32 = 0; // features[N] in 0..200
+const CENT_OFF: i32 = N as i32; // centroids[K] in 0..200
+const MEMBER_OFF: i32 = CENT_OFF + K as i32; // old membership[N] in 0..K
+const ASSIGN_OFF: i32 = MEMBER_OFF + N as i32; // new membership[N]
+const CHANGED_OFF: i32 = ASSIGN_OFF + N as i32; // change flags[N]
+const MEM_WORDS: usize = CHANGED_OFF as usize + N;
+
+/// Builds the kmeans workload.
+pub fn build() -> Workload {
+    let mut words = vec![0u32; MEM_WORDS];
+    words[..N].copy_from_slice(&random_words(0x71, N, 0, 200));
+    words[N..N + K].copy_from_slice(&random_words(0x72, K, 0, 200));
+    words[MEMBER_OFF as usize..MEMBER_OFF as usize + N]
+        .copy_from_slice(&random_words(0x73, N, 0, K as u32));
+    let launch = LaunchConfig::new(BLOCKS, BLOCK).with_params(vec![K as u32]);
+    Workload::new(
+        "kmeans",
+        "Rodinia k-means assignment: uniform centroid scans, |x-c| reductions, light membership-change divergence",
+        kernel(),
+        launch,
+        GlobalMemory::from_words(words),
+        DivergenceProfile::Low,
+    )
+}
+
+fn kernel() -> simt_isa::Kernel {
+    let gtid = Reg(0);
+    let x = Reg(1);
+    let k = Reg(2);
+    let tmp = Reg(3);
+    let c = Reg(4);
+    let d = Reg(5);
+    let best_d = Reg(6);
+    let best_k = Reg(7);
+    let isless = Reg(8);
+    let old = Reg(9);
+    let neg = Reg(10);
+
+    let mut b = KernelBuilder::new("kmeans", 11);
+    b.mov(gtid, Operand::Special(Special::GlobalTid));
+    b.ld(x, gtid, FEAT_OFF);
+    b.mov(best_d, Operand::Imm(i32::MAX));
+    b.mov(best_k, Operand::Imm(0));
+    counted_loop(&mut b, k, tmp, Operand::Param(0), |b| {
+        b.ld(c, k, CENT_OFF); // uniform
+        // d = |x - c| via max(x-c, c-x)
+        b.alu(AluOp::Sub, d, x.into(), c.into());
+        b.alu(AluOp::Sub, neg, c.into(), x.into());
+        b.alu(AluOp::Max, d, d.into(), neg.into());
+        // Branch-free argmin update (as real kmeans compiles to selects).
+        b.alu(AluOp::SetLt, isless, d.into(), best_d.into());
+        b.alu(AluOp::Mul, tmp, isless.into(), d.into());
+        b.alu(AluOp::SetEq, neg, isless.into(), Operand::Imm(0));
+        b.alu(AluOp::Mul, best_d, best_d.into(), neg.into());
+        b.alu(AluOp::Add, best_d, best_d.into(), tmp.into());
+        b.alu(AluOp::Mul, tmp, isless.into(), k.into());
+        b.alu(AluOp::Mul, best_k, best_k.into(), neg.into());
+        b.alu(AluOp::Add, best_k, best_k.into(), tmp.into());
+    });
+    b.st(gtid, ASSIGN_OFF, best_k);
+    // if (membership changed) flag it — the divergent part.
+    b.ld(old, gtid, MEMBER_OFF);
+    b.alu(AluOp::SetNe, isless, old.into(), best_k.into());
+    if_then(&mut b, isless, tmp, |b| {
+        b.mov(neg, Operand::Imm(1));
+        b.st(gtid, CHANGED_OFF, neg);
+    });
+    b.exit();
+    b.build().expect("kmeans kernel is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{GpuConfig, GpuSim};
+
+    #[test]
+    fn assigns_nearest_centroid() {
+        let w = build();
+        let mut mem = w.fresh_memory();
+        let feats: Vec<u32> = mem.words()[..N].to_vec();
+        let cents: Vec<u32> = mem.words()[N..N + K].to_vec();
+        GpuSim::new(GpuConfig::warped_compression())
+            .run(w.kernel(), w.launch(), &mut mem)
+            .unwrap();
+        for p in 0..N {
+            let expected = (0..K)
+                .min_by_key(|&k| (feats[p] as i64 - cents[k] as i64).abs())
+                .unwrap() as u32;
+            let got = mem.word(ASSIGN_OFF as usize + p);
+            let d_exp = (feats[p] as i64 - cents[expected as usize] as i64).abs();
+            let d_got = (feats[p] as i64 - cents[got as usize] as i64).abs();
+            assert_eq!(d_got, d_exp, "point {p}: got centroid {got}, expected {expected}");
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! `lavamd` (Rodinia): particle force computation over neighbour lists.
+//!
+//! Reproduced properties: per-particle loop over a fixed neighbour list
+//! with a data-dependent *cutoff* branch — only close pairs compute
+//! forces, so divergence is frequent but shallow — plus mid-range
+//! squared-distance arithmetic.
+
+use gpu_sim::{GlobalMemory, LaunchConfig};
+use simt_isa::{AluOp, KernelBuilder, Operand, Reg};
+
+use crate::builders::{counted_loop, if_then, random_words, Special};
+use crate::workload::{DivergenceProfile, Workload};
+
+const BLOCK: usize = 64;
+const BLOCKS: usize = 24;
+const N: usize = BLOCK * BLOCKS; // particles
+const NEIGHBOURS: usize = 8;
+const CUTOFF_SQ: i32 = 900; // 30^2
+
+const POS_OFF: i32 = 0; // position[N]: 0..256 (1-D coordinates)
+const NBR_OFF: i32 = N as i32; // neighbour ids[N * NEIGHBOURS]
+const FORCE_OFF: i32 = NBR_OFF + (N * NEIGHBOURS) as i32; // force[N]
+const MEM_WORDS: usize = FORCE_OFF as usize + N;
+
+/// Builds the lavamd workload.
+pub fn build() -> Workload {
+    let mut words = vec![0u32; MEM_WORDS];
+    words[..N].copy_from_slice(&random_words(0xF7, N, 0, 256));
+    words[NBR_OFF as usize..NBR_OFF as usize + N * NEIGHBOURS]
+        .copy_from_slice(&random_words(0xF8, N * NEIGHBOURS, 0, N as u32));
+    let launch = LaunchConfig::new(BLOCKS, BLOCK).with_params(vec![NEIGHBOURS as u32]);
+    Workload::new(
+        "lavamd",
+        "Rodinia LavaMD: neighbour-list force loop with a distance-cutoff branch (frequent shallow divergence)",
+        kernel(),
+        launch,
+        GlobalMemory::from_words(words),
+        DivergenceProfile::High,
+    )
+}
+
+fn kernel() -> simt_isa::Kernel {
+    let gtid = Reg(0);
+    let i = Reg(1);
+    let tmp = Reg(2);
+    let my_pos = Reg(3);
+    let addr = Reg(4);
+    let nbr = Reg(5);
+    let npos = Reg(6);
+    let d = Reg(7);
+    let d2 = Reg(8);
+    let cond = Reg(9);
+    let force = Reg(10);
+
+    let mut b = KernelBuilder::new("lavamd", 11);
+    b.mov(gtid, Operand::Special(Special::GlobalTid));
+    b.ld(my_pos, gtid, POS_OFF);
+    b.mov(force, Operand::Imm(0));
+    counted_loop(&mut b, i, tmp, Operand::Param(0), |b| {
+        // nbr = neighbours[gtid*NEIGHBOURS + i]; npos = pos[nbr]
+        b.alu(AluOp::Mul, addr, gtid.into(), Operand::Imm(NEIGHBOURS as i32));
+        b.alu(AluOp::Add, addr, addr.into(), i.into());
+        b.ld(nbr, addr, NBR_OFF);
+        b.ld(npos, nbr, POS_OFF);
+        // d2 = (pos - npos)^2; if (d2 < cutoff^2) force += cutoff^2 - d2
+        b.alu(AluOp::Sub, d, my_pos.into(), npos.into());
+        b.alu(AluOp::Mul, d2, d.into(), d.into());
+        b.alu(AluOp::SetLt, cond, d2.into(), Operand::Imm(CUTOFF_SQ));
+        if_then(b, cond, tmp, |b| {
+            b.alu(AluOp::Sub, d2, Operand::Imm(CUTOFF_SQ), d2.into());
+            b.alu(AluOp::Add, force, force.into(), d2.into());
+        });
+    });
+    b.st(gtid, FORCE_OFF, force);
+    b.exit();
+    b.build().expect("lavamd kernel is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{GpuConfig, GpuSim};
+
+    #[test]
+    fn forces_match_reference_and_cutoff_diverges() {
+        let w = build();
+        let mut mem = w.fresh_memory();
+        let pos: Vec<u32> = mem.words()[..N].to_vec();
+        let nbrs: Vec<u32> =
+            mem.words()[NBR_OFF as usize..NBR_OFF as usize + N * NEIGHBOURS].to_vec();
+        let r = GpuSim::new(GpuConfig::warped_compression())
+            .run(w.kernel(), w.launch(), &mut mem)
+            .unwrap();
+        for p in (0..N).step_by(89) {
+            let mut expected = 0u32;
+            for i in 0..NEIGHBOURS {
+                let npos = pos[nbrs[p * NEIGHBOURS + i] as usize];
+                let d = pos[p].wrapping_sub(npos);
+                let d2 = d.wrapping_mul(d);
+                if (d2 as i32) < CUTOFF_SQ && d2 as i32 >= 0 {
+                    expected = expected.wrapping_add((CUTOFF_SQ as u32).wrapping_sub(d2));
+                }
+            }
+            assert_eq!(mem.word(FORCE_OFF as usize + p), expected, "particle {p}");
+        }
+        assert!(r.stats.nondivergent_ratio() < 0.95, "cutoff must diverge");
+        assert!(r.stats.divergent_instructions > 0);
+    }
+}

@@ -1,0 +1,94 @@
+//! `lib` (GPGPU-Sim suite): LIBOR market-model Monte Carlo.
+//!
+//! The paper singles LIB out (§6.2): "the input data is initialized to
+//! constant values, therefore it has zero dynamic range. As a result,
+//! most of warp registers can be perfectly compressed." We reproduce
+//! exactly that: every input word is the same constant, so nearly every
+//! register the kernel writes is uniform across the warp (⟨4,0⟩).
+
+use gpu_sim::{GlobalMemory, LaunchConfig};
+use simt_isa::{AluOp, KernelBuilder, Operand, Reg};
+
+use crate::builders::{counted_loop, Special};
+use crate::workload::{DivergenceProfile, Workload};
+
+const BLOCK: usize = 64;
+const BLOCKS: usize = 24;
+const N: usize = BLOCK * BLOCKS;
+const MATURITIES: usize = 24; // loop trip, like LIBOR's forward rates
+
+const RATES_OFF: i32 = 0; // rates[MATURITIES], all the same constant
+const LAMBDA_OFF: i32 = MATURITIES as i32; // lambda[MATURITIES], constant
+const OUT_OFF: i32 = 2 * MATURITIES as i32;
+const MEM_WORDS: usize = OUT_OFF as usize + N;
+
+/// Builds the lib workload.
+pub fn build() -> Workload {
+    let kernel = build_kernel();
+    let mut words = vec![0u32; MEM_WORDS];
+    // Zero dynamic range: constant initial forward rates and vols.
+    words[..MATURITIES].fill(50);
+    words[MATURITIES..2 * MATURITIES].fill(3);
+    let launch =
+        LaunchConfig::new(BLOCKS, BLOCK).with_params(vec![MATURITIES as u32]);
+    Workload::new(
+        "lib",
+        "LIBOR Monte Carlo with constant-initialised inputs (zero dynamic range): near-perfect <4,0> compression",
+        kernel,
+        launch,
+        GlobalMemory::from_words(words),
+        DivergenceProfile::None,
+    )
+}
+
+fn build_kernel() -> simt_isa::Kernel {
+    let gtid = Reg(0);
+    let i = Reg(1);
+    let tmp = Reg(2);
+    let rate = Reg(3);
+    let vol = Reg(4);
+    let acc = Reg(5);
+    let drift = Reg(6);
+
+    let mut b = KernelBuilder::new("lib", 7);
+    b.mov(gtid, Operand::Special(Special::GlobalTid));
+    b.mov(acc, Operand::Imm(100));
+    counted_loop(&mut b, i, tmp, Operand::Param(0), |b| {
+        // Uniform loads: every thread reads the same maturity slot.
+        b.ld(rate, i, RATES_OFF);
+        b.ld(vol, i, LAMBDA_OFF);
+        // drift = rate * vol / (rate + 1): uniform arithmetic chain.
+        b.alu(AluOp::Mul, drift, rate.into(), vol.into());
+        b.alu(AluOp::Add, tmp, rate.into(), Operand::Imm(1));
+        b.alu(AluOp::Div, drift, drift.into(), tmp.into());
+        b.alu(AluOp::Add, acc, acc.into(), drift.into());
+    });
+    b.st(gtid, OUT_OFF, acc);
+    b.exit();
+    b.build().expect("lib kernel is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{GpuConfig, GpuSim};
+
+    #[test]
+    fn compresses_almost_everything() {
+        let w = build();
+        let mut mem = w.fresh_memory();
+        let r = GpuSim::new(GpuConfig::warped_compression())
+            .run(w.kernel(), w.launch(), &mut mem)
+            .unwrap();
+        assert_eq!(r.stats.divergent_instructions, 0, "lib never diverges");
+        // Zero dynamic range: compression ratio should be extreme.
+        assert!(
+            r.stats.compression_ratio_nondiv() > 5.0,
+            "ratio {}",
+            r.stats.compression_ratio_nondiv()
+        );
+        // Every thread computes the same payoff.
+        let out = &mem.words()[OUT_OFF as usize..OUT_OFF as usize + N];
+        assert!(out.iter().all(|&v| v == out[0] && v > 100));
+    }
+}

@@ -1,0 +1,87 @@
+//! `lud` (Rodinia): LU decomposition internal-block update.
+//!
+//! Reproduced properties: per-row division by a uniform pivot (SFU
+//! traffic), strided affine addressing, no divergence.
+
+use gpu_sim::{GlobalMemory, LaunchConfig};
+use simt_isa::{AluOp, KernelBuilder, Operand, Reg};
+
+use crate::builders::{counted_loop, random_words, Special};
+use crate::workload::{DivergenceProfile, Workload};
+
+const BLOCK: usize = 64;
+const BLOCKS: usize = 24;
+const COLS: usize = BLOCK * BLOCKS;
+const STEPS: usize = 6;
+
+const MAT_OFF: i32 = 0; // a[STEPS * COLS] in 1..1000 (fixed point)
+const PIV_OFF: i32 = (STEPS * COLS) as i32; // pivots[STEPS] in 2..9
+const OUT_OFF: i32 = PIV_OFF + STEPS as i32;
+const MEM_WORDS: usize = OUT_OFF as usize + COLS;
+
+/// Builds the lud workload.
+pub fn build() -> Workload {
+    let mut words = vec![0u32; MEM_WORDS];
+    words[..STEPS * COLS].copy_from_slice(&random_words(0x81, STEPS * COLS, 1, 1000));
+    words[STEPS * COLS..STEPS * COLS + STEPS].copy_from_slice(&random_words(0x82, STEPS, 2, 9));
+    let launch = LaunchConfig::new(BLOCKS, BLOCK)
+        .with_params(vec![STEPS as u32, COLS as u32]);
+    Workload::new(
+        "lud",
+        "Rodinia LUD perimeter update: divide-by-pivot chains (SFU heavy), affine addressing, convergent",
+        kernel(),
+        launch,
+        GlobalMemory::from_words(words),
+        DivergenceProfile::None,
+    )
+}
+
+fn kernel() -> simt_isa::Kernel {
+    let gtid = Reg(0);
+    let s = Reg(1);
+    let tmp = Reg(2);
+    let addr = Reg(3);
+    let piv = Reg(4);
+    let val = Reg(5);
+    let acc = Reg(6);
+
+    let mut b = KernelBuilder::new("lud", 7);
+    b.mov(gtid, Operand::Special(Special::GlobalTid));
+    b.mov(acc, Operand::Imm(0));
+    counted_loop(&mut b, s, tmp, Operand::Param(0), |b| {
+        b.ld(piv, s, PIV_OFF); // uniform pivot
+        b.alu(AluOp::Mul, addr, s.into(), Operand::Param(1));
+        b.alu(AluOp::Add, addr, addr.into(), gtid.into());
+        b.ld(val, addr, MAT_OFF);
+        // l = a / pivot; a' = a - l*pivot (the LU elimination shape).
+        b.alu(AluOp::Div, val, val.into(), piv.into());
+        b.st(addr, MAT_OFF, val);
+        b.alu(AluOp::Add, acc, acc.into(), val.into());
+    });
+    b.st(gtid, OUT_OFF, acc);
+    b.exit();
+    b.build().expect("lud kernel is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{GpuConfig, GpuSim};
+
+    #[test]
+    fn divides_rows_by_their_pivots() {
+        let w = build();
+        let mut mem = w.fresh_memory();
+        let a0: Vec<u32> = mem.words()[..STEPS * COLS].to_vec();
+        let piv: Vec<u32> = mem.words()[STEPS * COLS..STEPS * COLS + STEPS].to_vec();
+        let r = GpuSim::new(GpuConfig::warped_compression())
+            .run(w.kernel(), w.launch(), &mut mem)
+            .unwrap();
+        for s in 0..STEPS {
+            for c in 0..COLS {
+                assert_eq!(mem.word(s * COLS + c), a0[s * COLS + c] / piv[s]);
+            }
+        }
+        assert_eq!(r.stats.divergent_instructions, 0);
+    }
+}

@@ -1,0 +1,27 @@
+//! One module per benchmark. Each exposes `build() -> Workload`.
+//!
+//! The memory-layout convention: every workload packs its arrays into one
+//! [`gpu_sim::GlobalMemory`]; region base offsets are compile-time
+//! constants baked into load/store offsets (a CUDA kernel would receive
+//! them as pointer parameters — constants keep the synthetic kernels
+//! short without changing the register value patterns, since PTX folds
+//! parameter pointers into address arithmetic the same way).
+
+pub mod aes;
+pub mod backprop;
+pub mod bfs;
+pub mod dwt2d;
+pub mod gaussian;
+pub mod histo;
+pub mod hotspot;
+pub mod kmeans;
+pub mod lavamd;
+pub mod lib_rng;
+pub mod lud;
+pub mod mri_q;
+pub mod nw;
+pub mod pathfinder;
+pub mod sgemm;
+pub mod spmv;
+pub mod srad;
+pub mod stencil;

@@ -1,0 +1,102 @@
+//! `mri-q` (Parboil): MRI reconstruction Q-matrix computation.
+//!
+//! Reproduced properties: a long convergent inner loop over sample
+//! points, phase accumulation through a sine lookup table (fixed-point
+//! stand-in for the trig of the CUDA kernel), mid-range accumulator
+//! values — convergent with moderate similarity.
+
+use gpu_sim::{GlobalMemory, LaunchConfig};
+use simt_isa::{AluOp, KernelBuilder, Operand, Reg};
+
+use crate::builders::{counted_loop, random_words, Special};
+use crate::workload::{DivergenceProfile, Workload};
+
+const BLOCK: usize = 64;
+const BLOCKS: usize = 24;
+const N: usize = BLOCK * BLOCKS; // voxels
+const SAMPLES: usize = 16;
+const TABLE: usize = 256;
+
+const SIN_OFF: i32 = 0; // sine table[256]: 0..2000 fixed point
+const KX_OFF: i32 = TABLE as i32; // sample frequencies[SAMPLES]: 0..64
+const X_OFF: i32 = KX_OFF + SAMPLES as i32; // voxel coordinates[N]: 0..512
+const QR_OFF: i32 = X_OFF + N as i32; // output real[N]
+const MEM_WORDS: usize = QR_OFF as usize + N;
+
+/// Builds the mri-q workload.
+pub fn build() -> Workload {
+    let mut words = vec![0u32; MEM_WORDS];
+    // A discretised half-sine: smooth, narrow second differences.
+    for i in 0..TABLE {
+        let x = i as f64 / TABLE as f64 * std::f64::consts::PI;
+        words[i] = (x.sin() * 2000.0) as u32;
+    }
+    words[KX_OFF as usize..KX_OFF as usize + SAMPLES]
+        .copy_from_slice(&random_words(0xE1, SAMPLES, 1, 64));
+    words[X_OFF as usize..X_OFF as usize + N].copy_from_slice(&random_words(0xE2, N, 0, 512));
+    let launch = LaunchConfig::new(BLOCKS, BLOCK).with_params(vec![SAMPLES as u32]);
+    Workload::new(
+        "mri-q",
+        "Parboil MRI-Q: phase accumulation through a sine table over k-space samples; convergent, mid-range values",
+        kernel(),
+        launch,
+        GlobalMemory::from_words(words),
+        DivergenceProfile::None,
+    )
+}
+
+fn kernel() -> simt_isa::Kernel {
+    let gtid = Reg(0);
+    let s = Reg(1);
+    let tmp = Reg(2);
+    let x = Reg(3);
+    let kx = Reg(4);
+    let phase = Reg(5);
+    let idx = Reg(6);
+    let sv = Reg(7);
+    let qr = Reg(8);
+
+    let mut b = KernelBuilder::new("mri_q", 9);
+    b.mov(gtid, Operand::Special(Special::GlobalTid));
+    b.ld(x, gtid, X_OFF);
+    b.mov(qr, Operand::Imm(0));
+    counted_loop(&mut b, s, tmp, Operand::Param(0), |b| {
+        b.ld(kx, s, KX_OFF); // uniform sample frequency
+        // phase = kx * x; idx = phase mod TABLE; qr += sin[idx]
+        b.alu(AluOp::Mul, phase, kx.into(), x.into());
+        b.alu(AluOp::And, idx, phase.into(), Operand::Imm((TABLE - 1) as i32));
+        b.ld(sv, idx, SIN_OFF);
+        b.alu(AluOp::Add, qr, qr.into(), sv.into());
+    });
+    b.st(gtid, QR_OFF, qr);
+    b.exit();
+    b.build().expect("mri-q kernel is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{GpuConfig, GpuSim};
+
+    #[test]
+    fn accumulates_table_lookups_convergently() {
+        let w = build();
+        let mut mem = w.fresh_memory();
+        let sin: Vec<u32> = mem.words()[..TABLE].to_vec();
+        let kxs: Vec<u32> = mem.words()[KX_OFF as usize..KX_OFF as usize + SAMPLES].to_vec();
+        let xs: Vec<u32> = mem.words()[X_OFF as usize..X_OFF as usize + N].to_vec();
+        let r = GpuSim::new(GpuConfig::warped_compression())
+            .run(w.kernel(), w.launch(), &mut mem)
+            .unwrap();
+        for v in (0..N).step_by(97) {
+            let expected: u32 = kxs
+                .iter()
+                .map(|&kx| sin[(kx.wrapping_mul(xs[v]) & (TABLE as u32 - 1)) as usize])
+                .sum();
+            assert_eq!(mem.word(QR_OFF as usize + v), expected, "voxel {v}");
+        }
+        assert_eq!(r.stats.divergent_instructions, 0);
+        // Accumulators stay mid-range: bounded by SAMPLES * 2000.
+        assert!(mem.words()[QR_OFF as usize..].iter().all(|&q| q <= (SAMPLES as u32) * 2000));
+    }
+}

@@ -1,0 +1,99 @@
+//! `nw` (Rodinia): Needleman-Wunsch sequence alignment anti-diagonal.
+//!
+//! Reproduced properties: small similarity scores (BLOSUM-like 0..15),
+//! max-reduction chains, and boundary-thread divergence on each
+//! anti-diagonal step. The previous-diagonal row is a read-only buffer
+//! (real NW double-buffers diagonals), so runs are timing-independent.
+
+use gpu_sim::{GlobalMemory, LaunchConfig};
+use simt_isa::{AluOp, KernelBuilder, Operand, Reg};
+
+use crate::builders::{counted_loop, if_then, random_words, Special};
+use crate::workload::{DivergenceProfile, Workload};
+
+const BLOCK: usize = 64;
+const BLOCKS: usize = 24;
+const N: usize = BLOCK * BLOCKS;
+const DIAGS: usize = 8;
+const PENALTY: i32 = 10;
+
+const REF_OFF: i32 = 0; // similarity scores[DIAGS * N] in 0..15
+const PREV_OFF: i32 = (DIAGS * N) as i32; // previous diagonal[N] (read-only)
+const SCORE_OFF: i32 = PREV_OFF + N as i32; // output score row[N]
+const MEM_WORDS: usize = SCORE_OFF as usize + N;
+
+/// Builds the nw workload.
+pub fn build() -> Workload {
+    let mut words = vec![0u32; MEM_WORDS];
+    words[..DIAGS * N].copy_from_slice(&random_words(0x91, DIAGS * N, 0, 15));
+    words[PREV_OFF as usize..PREV_OFF as usize + N]
+        .copy_from_slice(&random_words(0x92, N, 0, 30));
+    let launch = LaunchConfig::new(BLOCKS, BLOCK)
+        .with_params(vec![DIAGS as u32, N as u32]);
+    Workload::new(
+        "nw",
+        "Rodinia Needleman-Wunsch: max-of-three DP recurrence with small scores; boundary threads diverge per diagonal",
+        kernel(),
+        launch,
+        GlobalMemory::from_words(words),
+        DivergenceProfile::Low,
+    )
+}
+
+fn kernel() -> simt_isa::Kernel {
+    let gtid = Reg(0);
+    let d = Reg(1);
+    let tmp = Reg(2);
+    let here = Reg(3);
+    let left = Reg(4);
+    let diag = Reg(5);
+    let sim = Reg(6);
+    let cand = Reg(7);
+    let cond = Reg(8);
+    let addr = Reg(9);
+
+    let mut b = KernelBuilder::new("nw", 10);
+    b.mov(gtid, Operand::Special(Special::GlobalTid));
+    b.ld(here, gtid, PREV_OFF);
+    counted_loop(&mut b, d, tmp, Operand::Param(0), |b| {
+        // Interior guard: gtid > 0 (left neighbour exists).
+        b.alu(AluOp::SetLt, cond, Operand::Imm(0), gtid.into());
+        if_then(b, cond, tmp, |b| {
+            b.ld(left, gtid, PREV_OFF - 1);
+            b.ld(diag, gtid, PREV_OFF - 1); // previous-diag approximation
+            // sim = ref[d*N + gtid]
+            b.alu(AluOp::Mul, addr, d.into(), Operand::Param(1));
+            b.alu(AluOp::Add, addr, addr.into(), gtid.into());
+            b.ld(sim, addr, REF_OFF);
+            // score = max(diag + sim, max(left, here) - penalty)
+            b.alu(AluOp::Add, cand, diag.into(), sim.into());
+            b.alu(AluOp::Max, here, here.into(), left.into());
+            b.alu(AluOp::Sub, here, here.into(), Operand::Imm(PENALTY));
+            b.alu(AluOp::Max, here, here.into(), cand.into());
+            b.alu(AluOp::Max, here, here.into(), Operand::Imm(0));
+        });
+    });
+    b.st(gtid, SCORE_OFF, here);
+    b.exit();
+    b.build().expect("nw kernel is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{GpuConfig, GpuSim};
+
+    #[test]
+    fn scores_grow_and_stay_small() {
+        let w = build();
+        let mut mem = w.fresh_memory();
+        let r = GpuSim::new(GpuConfig::warped_compression())
+            .run(w.kernel(), w.launch(), &mut mem)
+            .unwrap();
+        let scores = &mem.words()[SCORE_OFF as usize..];
+        // DP scores stay in a narrow band: at most prev(30) + 30 + 15.
+        assert!(scores.iter().all(|&s| s <= 30 + 30 + 15));
+        assert!(r.stats.divergent_instructions > 0, "boundary guard must diverge");
+        assert!(r.stats.nondivergent_ratio() > 0.5);
+    }
+}

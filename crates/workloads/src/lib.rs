@@ -1,0 +1,109 @@
+//! Synthetic benchmark workloads for the Warped-Compression reproduction.
+//!
+//! The paper evaluates on CUDA benchmarks from Rodinia, Parboil and the
+//! GPGPU-Sim suite. We cannot run CUDA, so each workload here is a kernel
+//! hand-written in [`simt_isa`] that reproduces the *register-value
+//! behaviour* the paper's analysis depends on (§3):
+//!
+//! * thread-index-affine values (array addressing via `tid`) — the first
+//!   source of value similarity,
+//! * input arrays with controlled dynamic range (e.g. `pathfinder`'s 0–9
+//!   wall costs, `lib`'s constant-initialised inputs) — the second source,
+//! * the benchmark's divergence character (`aes` never diverges; `bfs`,
+//!   `dwt2d` and `spmv` diverge heavily).
+//!
+//! Every workload is deterministic: inputs come from a fixed-seed
+//! [`rand`] generator, so every figure regenerated from this crate is
+//! exactly reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use gpu_workloads::{suite, Workload};
+//! use gpu_sim::{GpuConfig, GpuSim};
+//!
+//! let workloads = suite();
+//! assert!(workloads.len() >= 18);
+//! let pf: &Workload = workloads.iter().find(|w| w.name() == "pathfinder").unwrap();
+//! let mut memory = pf.fresh_memory();
+//! let result = GpuSim::new(GpuConfig::warped_compression())
+//!     .run(pf.kernel(), pf.launch(), &mut memory)?;
+//! assert!(result.stats.instructions > 0);
+//! # Ok::<(), gpu_sim::SimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builders;
+mod kernels;
+mod workload;
+
+pub use workload::{DivergenceProfile, Workload};
+
+use kernels as k;
+
+/// The full benchmark suite, in the order the figures present it.
+pub fn suite() -> Vec<Workload> {
+    vec![
+        k::backprop::build(),
+        k::bfs::build(),
+        k::dwt2d::build(),
+        k::gaussian::build(),
+        k::histo::build(),
+        k::hotspot::build(),
+        k::kmeans::build(),
+        k::lavamd::build(),
+        k::lud::build(),
+        k::mri_q::build(),
+        k::nw::build(),
+        k::pathfinder::build(),
+        k::sgemm::build(),
+        k::srad::build(),
+        k::stencil::build(),
+        k::spmv::build(),
+        k::aes::build(),
+        k::lib_rng::build(),
+    ]
+}
+
+/// Looks up one workload by its benchmark name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    suite().into_iter().find(|w| w.name() == name)
+}
+
+/// The benchmark names, figure order.
+pub fn names() -> Vec<&'static str> {
+    suite().iter().map(|w| w.name()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_eighteen_unique_workloads() {
+        let names = names();
+        assert_eq!(names.len(), 18);
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate names: {names:?}");
+    }
+
+    #[test]
+    fn by_name_finds_every_workload() {
+        for name in names() {
+            assert!(by_name(name).is_some(), "{name} missing");
+        }
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let a = by_name("bfs").unwrap();
+        let b = by_name("bfs").unwrap();
+        assert_eq!(a.fresh_memory(), b.fresh_memory());
+        assert_eq!(a.kernel(), b.kernel());
+    }
+}

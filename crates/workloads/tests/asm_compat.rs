@@ -1,0 +1,28 @@
+//! Every suite kernel must round-trip through the textual assembler:
+//! `assemble(to_asm(k)) == k`. This pins the assembler's coverage to the
+//! full instruction vocabulary the real workloads use (all ALU ops,
+//! negative offsets, params, specials, loops, nested reconvergence).
+
+use simt_isa::{assemble, to_asm};
+
+#[test]
+fn all_suite_kernels_round_trip_through_the_assembler() {
+    for w in gpu_workloads::suite() {
+        let text = to_asm(w.kernel());
+        let back = assemble(&text).unwrap_or_else(|e| {
+            panic!("{}: re-assembly failed: {e}\n--- asm ---\n{text}", w.name())
+        });
+        assert_eq!(&back, w.kernel(), "{}: assembler round trip changed the kernel", w.name());
+    }
+}
+
+#[test]
+fn suite_kernels_disassemble_with_stable_length() {
+    for w in gpu_workloads::suite() {
+        let text = to_asm(w.kernel());
+        // One line per instruction plus header and label lines.
+        let instr_lines =
+            text.lines().filter(|l| !l.starts_with('@') && !l.starts_with(".kernel")).count();
+        assert_eq!(instr_lines, w.kernel().len(), "{}", w.name());
+    }
+}

@@ -1,0 +1,72 @@
+//! Design-space exploration (§6.6–§6.8) on one workload: single
+//! compression choices, comp/decomp energy scaling, wire activity, and
+//! latency sweeps — the per-benchmark version of Figs. 15–21.
+//!
+//! Run with: `cargo run --release --example design_space [workload]`
+
+use warped_compression_suite::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "hotspot".into());
+    let w = by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown workload {name}; available: {:?}", workloads_list());
+        std::process::exit(1);
+    });
+    println!("design space exploration on `{name}`\n");
+
+    let params = EnergyParams::paper_table3();
+    let base = run_workload(&DesignPoint::Baseline.config(), &w)?;
+    let base_e = energy_of(&base.stats, &params);
+
+    // --- compression-parameter choices (Figs. 15/16) -------------------
+    println!("{:<28} {:>8} {:>12} {:>10}", "design", "ratio", "energy", "cycles");
+    for point in [
+        DesignPoint::Only(FixedChoice::Delta0),
+        DesignPoint::Only(FixedChoice::Delta1),
+        DesignPoint::Only(FixedChoice::Delta2),
+        DesignPoint::WarpedCompression,
+    ] {
+        let run = run_workload(&point.config(), &w)?;
+        println!(
+            "{:<28} {:>8.2} {:>11.3} {:>10}",
+            point.label(),
+            run.stats.compression_ratio(),
+            energy_of(&run.stats, &params).normalized_to(&base_e),
+            run.stats.cycles,
+        );
+    }
+
+    // --- energy sensitivity (Figs. 17-19) ------------------------------
+    let wc = run_workload(&DesignPoint::WarpedCompression.config(), &w)?;
+    println!("\ncomp/decomp energy scaling (Fig. 17):");
+    for scale in [1.0, 1.5, 2.0, 2.5] {
+        let p = EnergyParams::paper_table3().with_comp_decomp_scale(scale);
+        println!("  {scale:.1}x -> normalised energy {:.3}", energy_of(&wc.stats, &p).normalized_to(&base_e));
+    }
+    println!("wire activity sweep (Fig. 19):");
+    for activity in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let p = EnergyParams::paper_table3().with_wire_activity(activity);
+        let norm = energy_of(&wc.stats, &p).normalized_to(&energy_of(&base.stats, &p));
+        println!("  {:>3.0}% -> normalised energy {:.3}", activity * 100.0, norm);
+    }
+
+    // --- latency sweeps (Figs. 20/21) -----------------------------------
+    println!("\nlatency sweeps (execution time normalised to baseline):");
+    for (label, points) in [
+        ("compression", [(2u64, 1u64), (4, 1), (8, 1)]),
+        ("decompression", [(2, 2), (2, 4), (2, 8)]),
+    ] {
+        print!("  {label}:");
+        for (c, d) in points {
+            let run = run_workload(&DesignPoint::Latency { compression: c, decompression: d }.config(), &w)?;
+            let knob = if label == "compression" { c } else { d };
+            print!("  {knob} cyc -> {:.3}", run.stats.cycles as f64 / base.stats.cycles as f64);
+        }
+        println!();
+    }
+    Ok(())
+}
+
+fn workloads_list() -> Vec<&'static str> {
+    warped_compression_suite::workloads::names()
+}

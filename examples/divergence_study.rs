@@ -1,0 +1,46 @@
+//! Branch divergence and compression (§5.2): compare the paper's
+//! dummy-MOV policy against the rejected decompress-merge-recompress
+//! alternative on the divergence-heavy workloads.
+//!
+//! Run with: `cargo run --release --example divergence_study`
+
+use warped_compression_suite::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = EnergyParams::paper_table3();
+    println!(
+        "{:<12} {:>8} {:>10} {:>10} {:>12} {:>12}",
+        "bench", "nondiv%", "movs(UW)", "ratio-div", "energy UW", "energy DMR"
+    );
+    for name in ["bfs", "dwt2d", "spmv", "pathfinder", "aes"] {
+        let w = by_name(name).expect("workload exists");
+        let base = run_workload(&DesignPoint::Baseline.config(), &w)?;
+        let uw = run_workload(&DesignPoint::WarpedCompression.config(), &w)?;
+        let dmr = run_workload(&DesignPoint::DecompressMergeRecompress.config(), &w)?;
+
+        let base_e = energy_of(&base.stats, &params);
+        let uw_norm = energy_of(&uw.stats, &params).normalized_to(&base_e);
+        let dmr_norm = energy_of(&dmr.stats, &params).normalized_to(&base_e);
+        println!(
+            "{:<12} {:>7.1}% {:>10} {:>10} {:>11.3} {:>11.3}",
+            name,
+            uw.stats.nondivergent_ratio() * 100.0,
+            uw.stats.synthetic_movs,
+            uw.stats
+                .compression_ratio_div()
+                .map(|r| format!("{r:.2}"))
+                .unwrap_or_else(|| "N/A".into()),
+            uw_norm,
+            dmr_norm,
+        );
+    }
+    println!(
+        "\nUW = uncompressed divergent writes + dummy MOVs (the paper's choice);\n\
+         DMR = decompress-merge-recompress (the rejected alternative).\n\
+         Lower normalised energy is better; 1.0 = uncompressed baseline.\n\
+         Note: DMR wins on modelled energy here because the intermediate\n\
+         buffers it needs (the reason §5.2 rejects it) are not charged —\n\
+         the paper's argument is an area/complexity one, not pure energy."
+    );
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! The paper's motivating workload: run the `pathfinder` benchmark
+//! (Fig. 4) under both designs and print the full energy breakdown —
+//! a single-benchmark slice of Fig. 9.
+//!
+//! Run with: `cargo run --release --example pathfinder_energy`
+
+use warped_compression_suite::prelude::*;
+use warped_compression_suite::wc::RunOutput;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = by_name("pathfinder").expect("pathfinder is in the suite");
+    println!("workload: {} — {}", workload.name(), workload.description());
+    println!("kernel:\n{}", workload.kernel().disassemble());
+
+    let base = run_workload(&DesignPoint::Baseline.config(), &workload)?;
+    let wc = run_workload(&DesignPoint::WarpedCompression.config(), &workload)?;
+    let params = EnergyParams::paper_table3();
+
+    print_run("baseline", &base, &params);
+    print_run("warped-compression", &wc, &params);
+
+    let be = energy_of(&base.stats, &params);
+    let we = energy_of(&wc.stats, &params);
+    println!("\nenergy saving: {:.1}%", we.savings_vs(&be) * 100.0);
+    println!(
+        "performance impact: {:+.2}% cycles",
+        (wc.stats.cycles as f64 / base.stats.cycles as f64 - 1.0) * 100.0
+    );
+    println!(
+        "compression ratio: {:.2} non-divergent / {} divergent",
+        wc.stats.compression_ratio_nondiv(),
+        wc.stats
+            .compression_ratio_div()
+            .map(|r| format!("{r:.2}"))
+            .unwrap_or_else(|| "N/A".into())
+    );
+    println!("dummy MOV fraction: {:.2}%", wc.stats.mov_fraction() * 100.0);
+    Ok(())
+}
+
+fn print_run(label: &str, run: &RunOutput, params: &EnergyParams) {
+    let e = energy_of(&run.stats, params);
+    println!("\n== {label} ==");
+    println!("  cycles:            {}", run.stats.cycles);
+    println!("  warp instructions: {}", run.stats.instructions);
+    println!("  bank reads/writes: {} / {}", run.stats.regfile.total_reads(), run.stats.regfile.total_writes());
+    println!("  gated bank-cycles: {}", run.stats.regfile.gated_cycles.iter().sum::<u64>());
+    println!("  energy (nJ): dynamic {:.1}, leakage {:.1}, comp {:.1}, decomp {:.1}, total {:.1}",
+        e.dynamic_pj / 1000.0,
+        e.leakage_pj / 1000.0,
+        e.compression_pj / 1000.0,
+        e.decompression_pj / 1000.0,
+        e.total_pj() / 1000.0
+    );
+}

@@ -1,0 +1,63 @@
+//! Quickstart: compress warp registers, then run a tiny kernel under the
+//! baseline and warped-compression designs and compare energy.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use warped_compression_suite::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. The compression primitive ---------------------------------
+    // A warp register = the 32 per-thread values of one architectural
+    // register. Thread-index arithmetic produces values like these:
+    let tid_affine = WarpRegister::from_fn(|tid| 0x1000 + 4 * tid as u32);
+    let codec = BdiCodec::default();
+    let compressed = codec.compress(&tid_affine);
+    println!(
+        "tid-affine register: {} -> {} bytes ({} of 8 banks), ratio {:.2}",
+        bdi::WARP_REGISTER_BYTES,
+        compressed.stored_len(),
+        compressed.banks_required(),
+        compressed.compression_ratio(),
+    );
+    assert_eq!(codec.decompress(&compressed), tid_affine);
+
+    // --- 2. A kernel on the simulator ---------------------------------
+    // mem[gtid] = gtid * 3 + 7, for 4 blocks of 64 threads.
+    let mut b = KernelBuilder::new("quickstart", 3);
+    b.mov(Reg(0), Operand::Special(Special::GlobalTid));
+    b.alu(AluOp::Mul, Reg(1), Reg(0).into(), Operand::Imm(3));
+    b.alu(AluOp::Add, Reg(2), Reg(1).into(), Operand::Imm(7));
+    b.st(Reg(0), 0, Reg(2));
+    b.exit();
+    let kernel = b.build()?;
+    let launch = LaunchConfig::new(4, 64);
+
+    let mut results = Vec::new();
+    for point in [DesignPoint::Baseline, DesignPoint::WarpedCompression] {
+        let mut memory = GlobalMemory::zeroed(256);
+        let run = GpuSim::new(point.config()).run(&kernel, &launch, &mut memory)?;
+        assert_eq!(memory.word(100), 307, "kernel result must be correct");
+        results.push((point, run.stats));
+    }
+
+    // --- 3. Energy comparison -----------------------------------------
+    let params = EnergyParams::paper_table3();
+    let base = energy_of(&results[0].1, &params);
+    let wc = energy_of(&results[1].1, &params);
+    println!(
+        "baseline: {} bank accesses, {:.1} nJ total",
+        results[0].1.regfile.total_accesses(),
+        base.total_pj() / 1000.0
+    );
+    println!(
+        "warped-compression: {} bank accesses, {:.1} nJ total ({:.1}% saved)",
+        results[1].1.regfile.total_accesses(),
+        wc.total_pj() / 1000.0,
+        wc.savings_vs(&base) * 100.0
+    );
+    println!(
+        "compression ratio of this kernel's writes: {:.2}",
+        results[1].1.compression_ratio()
+    );
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! Umbrella crate for the Warped-Compression (ISCA 2015) reproduction.
+//!
+//! Re-exports the whole stack under one roof so examples and downstream
+//! users need a single dependency:
+//!
+//! * [`bdi`] — Base-Delta-Immediate compression for warp registers,
+//! * [`isa`] — the mini SIMT instruction set,
+//! * [`regfile`] — the banked register file with bank-level power gating,
+//! * [`sim`] — the cycle-level SIMT core simulator,
+//! * [`power`] — the Table 3 energy model,
+//! * [`workloads`] — the 14 synthetic benchmarks,
+//! * [`wc`] — the warped-compression experiment layer (design points,
+//!   similarity characterisation, energy pricing).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use warped_compression_suite::prelude::*;
+//!
+//! let reg = WarpRegister::from_fn(|tid| 0x800 + tid as u32);
+//! let codec = BdiCodec::default();
+//! let compressed = codec.compress(&reg);
+//! assert_eq!(compressed.banks_required(), 3);
+//! ```
+
+pub use bdi;
+pub use gpu_power as power;
+pub use gpu_regfile as regfile;
+pub use gpu_sim as sim;
+pub use gpu_workloads as workloads;
+pub use simt_isa as isa;
+pub use warped_compression as wc;
+
+/// The most common imports for working with the suite.
+pub mod prelude {
+    pub use bdi::{BdiCodec, ChoiceSet, CompressedRegister, FixedChoice, WarpRegister};
+    pub use gpu_power::{EnergyParams, EnergyReport};
+    pub use gpu_sim::{GlobalMemory, GpuConfig, GpuSim, LaunchConfig, SimResult};
+    pub use gpu_workloads::{by_name, suite, Workload};
+    pub use simt_isa::{AluOp, KernelBuilder, Operand, Reg, Special};
+    pub use warped_compression::{energy_of, run_workload, DesignPoint};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_exposes_all_crates() {
+        // Touch one item per re-exported crate.
+        let _ = crate::bdi::WARP_SIZE;
+        let _ = crate::isa::Reg(0);
+        let _ = crate::regfile::RegFileConfig::paper_baseline();
+        let _ = crate::sim::GpuConfig::baseline();
+        let _ = crate::power::EnergyParams::paper_table3();
+        assert_eq!(crate::workloads::names().len(), 18);
+        let _ = crate::wc::DesignPoint::WarpedCompression;
+    }
+}

@@ -1,0 +1,182 @@
+//! Cross-crate integration tests: the full stack from kernel source to
+//! energy report, checking the paper's headline claims hold
+//! qualitatively on the whole suite.
+
+use warped_compression_suite::prelude::*;
+use warped_compression_suite::wc::RunOutput;
+
+fn run_all(point: DesignPoint) -> Vec<RunOutput> {
+    warped_compression_suite::wc::run_suite(&point.config(), &suite()).expect("suite runs cleanly")
+}
+
+#[test]
+fn every_workload_runs_under_both_designs() {
+    let base = run_all(DesignPoint::Baseline);
+    let wc = run_all(DesignPoint::WarpedCompression);
+    assert_eq!(base.len(), 18);
+    assert_eq!(wc.len(), 18);
+    for (b, w) in base.iter().zip(&wc) {
+        assert_eq!(b.name, w.name);
+        assert!(b.stats.cycles > 0 && w.stats.cycles > 0);
+        // Program instruction counts must match: compression never
+        // changes the executed program, only injects MOVs.
+        assert_eq!(b.stats.instructions, w.stats.instructions, "{}", b.name);
+        assert_eq!(b.stats.synthetic_movs, 0, "{}: baseline must not inject MOVs", b.name);
+    }
+}
+
+#[test]
+fn headline_claim_energy_saving_on_suite_average() {
+    // Paper: 25% register-file energy saving on average (Fig. 9).
+    // Shape target: a clearly positive double-digit average saving.
+    let base = run_all(DesignPoint::Baseline);
+    let wc = run_all(DesignPoint::WarpedCompression);
+    let params = EnergyParams::paper_table3();
+    let savings: Vec<f64> = base
+        .iter()
+        .zip(&wc)
+        .map(|(b, w)| energy_of(&w.stats, &params).savings_vs(&energy_of(&b.stats, &params)))
+        .collect();
+    let avg = savings.iter().sum::<f64>() / savings.len() as f64;
+    assert!(avg > 0.10, "average saving {avg:.3} too small: {savings:?}");
+    // Every benchmark must at least not lose energy badly.
+    for (s, r) in savings.iter().zip(&base) {
+        assert!(*s > -0.05, "{} regressed: {s:.3}", r.name);
+    }
+}
+
+#[test]
+fn headline_claim_negligible_performance_impact() {
+    // Paper: 0.1% average slowdown at default latencies (Fig. 13). Our
+    // kernels are far smaller than the CUDA originals so pipeline-depth
+    // effects hide less; the shape target is "small, within a few
+    // percent, never catastrophic".
+    let base = run_all(DesignPoint::Baseline);
+    let wc = run_all(DesignPoint::WarpedCompression);
+    let ratios: Vec<f64> = base
+        .iter()
+        .zip(&wc)
+        .map(|(b, w)| w.stats.cycles as f64 / b.stats.cycles as f64)
+        .collect();
+    let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    assert!(avg < 1.05, "average slowdown {avg:.3} too large: {ratios:?}");
+    for (r, b) in ratios.iter().zip(&base) {
+        assert!(*r < 1.15, "{}: slowdown {r:.3}", b.name);
+    }
+}
+
+#[test]
+fn divergent_compression_ratio_is_lower() {
+    // Paper Fig. 8: non-divergent ~2.5, divergent ~1.3 — measured under
+    // the decompress-merge-recompress assumption as the paper does.
+    let wc = run_all(DesignPoint::DecompressMergeRecompress);
+    let nondiv: Vec<f64> = wc.iter().map(|r| r.stats.compression_ratio_nondiv()).collect();
+    let div: Vec<f64> = wc.iter().filter_map(|r| r.stats.compression_ratio_div()).collect();
+    let nondiv_avg = nondiv.iter().sum::<f64>() / nondiv.len() as f64;
+    let div_avg = div.iter().sum::<f64>() / div.len() as f64;
+    assert!(nondiv_avg > 1.8, "non-divergent ratio {nondiv_avg:.2}");
+    assert!(div_avg < nondiv_avg, "divergent {div_avg:.2} should be below non-divergent {nondiv_avg:.2}");
+}
+
+#[test]
+fn mov_overhead_is_small() {
+    // Paper Fig. 11: dummy MOVs < 2% of instructions. Our kernels are
+    // tiny, so the per-divergence-episode MOV cost is amortised over far
+    // fewer instructions; the shape target is "a small single-digit
+    // percentage, dominated by the divergence-heavy benchmarks".
+    let wc = run_all(DesignPoint::WarpedCompression);
+    let mut fractions: Vec<f64> = Vec::new();
+    for r in &wc {
+        assert!(r.stats.mov_fraction() < 0.06, "{}: MOV fraction {:.3}", r.name, r.stats.mov_fraction());
+        fractions.push(r.stats.mov_fraction());
+    }
+    let avg = fractions.iter().sum::<f64>() / fractions.len() as f64;
+    assert!(avg < 0.03, "average MOV fraction {avg:.3}");
+}
+
+#[test]
+fn divergence_profiles_hold() {
+    use warped_compression_suite::workloads::DivergenceProfile;
+    let wc = run_all(DesignPoint::WarpedCompression);
+    for (w, r) in suite().iter().zip(&wc) {
+        let nondiv = r.stats.nondivergent_ratio();
+        match w.divergence() {
+            DivergenceProfile::None => {
+                assert_eq!(r.stats.divergent_instructions, 0, "{} must not diverge", w.name())
+            }
+            DivergenceProfile::Low => {
+                assert!(r.stats.divergent_instructions > 0, "{} should diverge a little", w.name());
+                assert!(nondiv > 0.5, "{}: nondiv {nondiv:.2}", w.name());
+            }
+            DivergenceProfile::High => {
+                assert!(nondiv < 0.9, "{}: expected heavy divergence, nondiv {nondiv:.2}", w.name())
+            }
+        }
+    }
+}
+
+#[test]
+fn results_identical_across_designs() {
+    // Compression must be semantically invisible: memory contents after
+    // a run match the baseline exactly, for every workload.
+    for w in suite() {
+        let mut m_base = w.fresh_memory();
+        let mut m_wc = w.fresh_memory();
+        GpuSim::new(DesignPoint::Baseline.config())
+            .run(w.kernel(), w.launch(), &mut m_base)
+            .unwrap();
+        GpuSim::new(DesignPoint::WarpedCompression.config())
+            .run(w.kernel(), w.launch(), &mut m_wc)
+            .unwrap();
+        assert_eq!(m_base, m_wc, "{}: compression changed results", w.name());
+    }
+}
+
+#[test]
+fn lrr_scheduler_matches_results_too() {
+    for name in ["pathfinder", "bfs"] {
+        let w = by_name(name).unwrap();
+        let mut m_gto = w.fresh_memory();
+        let mut m_lrr = w.fresh_memory();
+        GpuSim::new(DesignPoint::WarpedCompression.config())
+            .run(w.kernel(), w.launch(), &mut m_gto)
+            .unwrap();
+        GpuSim::new(DesignPoint::WarpedCompressionLrr.config())
+            .run(w.kernel(), w.launch(), &mut m_lrr)
+            .unwrap();
+        assert_eq!(m_gto, m_lrr, "{name}: scheduler changed results");
+    }
+}
+
+#[test]
+fn dmr_policy_matches_results_and_avoids_movs() {
+    for name in ["dwt2d", "bfs"] {
+        let w = by_name(name).unwrap();
+        let mut m_uw = w.fresh_memory();
+        let mut m_dmr = w.fresh_memory();
+        let uw = GpuSim::new(DesignPoint::WarpedCompression.config())
+            .run(w.kernel(), w.launch(), &mut m_uw)
+            .unwrap();
+        let dmr = GpuSim::new(DesignPoint::DecompressMergeRecompress.config())
+            .run(w.kernel(), w.launch(), &mut m_dmr)
+            .unwrap();
+        assert_eq!(m_uw, m_dmr, "{name}: divergence policy changed results");
+        assert_eq!(dmr.stats.synthetic_movs, 0, "{name}: DMR must not inject MOVs");
+        assert!(uw.stats.synthetic_movs > 0, "{name}: UW should inject MOVs");
+    }
+}
+
+#[test]
+fn similarity_matches_compressibility() {
+    // A workload whose writes are mostly non-random must compress well;
+    // lib (constant inputs) is the extreme case the paper highlights.
+    let wc = run_all(DesignPoint::WarpedCompression);
+    let lib = wc.iter().find(|r| r.name == "lib").unwrap();
+    assert!(lib.similarity.nonrandom_fraction(false) > 0.9);
+    assert!(lib.stats.compression_ratio_nondiv() > 5.0);
+    let aes = wc.iter().find(|r| r.name == "aes").unwrap();
+    assert!(
+        aes.similarity.nonrandom_fraction(false) < lib.similarity.nonrandom_fraction(false),
+        "aes must be less similar than lib"
+    );
+}
