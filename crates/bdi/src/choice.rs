@@ -22,7 +22,11 @@ pub enum FixedChoice {
 impl FixedChoice {
     /// All three choices, smallest compressed form first — the order the
     /// compressor prefers, since fewer banks means less energy.
-    pub const ALL: [FixedChoice; 3] = [FixedChoice::Delta0, FixedChoice::Delta1, FixedChoice::Delta2];
+    pub const ALL: [FixedChoice; 3] = [
+        FixedChoice::Delta0,
+        FixedChoice::Delta1,
+        FixedChoice::Delta2,
+    ];
 
     /// The ⟨base, delta⟩ layout this choice denotes.
     pub fn layout(self) -> ChunkLayout {
@@ -65,18 +69,24 @@ pub struct ChoiceSet {
 impl ChoiceSet {
     /// The paper's default: dynamically select among all three choices.
     pub fn warped_compression() -> Self {
-        ChoiceSet { choices: FixedChoice::ALL.to_vec() }
+        ChoiceSet {
+            choices: FixedChoice::ALL.to_vec(),
+        }
     }
 
     /// A single-choice set (the §6.6 ablation).
     pub fn only(choice: FixedChoice) -> Self {
-        ChoiceSet { choices: vec![choice] }
+        ChoiceSet {
+            choices: vec![choice],
+        }
     }
 
     /// An empty set: compression disabled; every register stays
     /// uncompressed.
     pub fn disabled() -> Self {
-        ChoiceSet { choices: Vec::new() }
+        ChoiceSet {
+            choices: Vec::new(),
+        }
     }
 
     /// The choices in preference order.
@@ -98,7 +108,9 @@ impl Default for ChoiceSet {
 
 impl FromIterator<FixedChoice> for ChoiceSet {
     fn from_iter<I: IntoIterator<Item = FixedChoice>>(iter: I) -> Self {
-        ChoiceSet { choices: iter.into_iter().collect() }
+        ChoiceSet {
+            choices: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -186,7 +198,10 @@ mod tests {
 
     #[test]
     fn all_is_ordered_smallest_first() {
-        let sizes: Vec<usize> = FixedChoice::ALL.iter().map(|c| c.layout().compressed_len()).collect();
+        let sizes: Vec<usize> = FixedChoice::ALL
+            .iter()
+            .map(|c| c.layout().compressed_len())
+            .collect();
         assert!(sizes.windows(2).all(|w| w[0] < w[1]));
     }
 
@@ -225,7 +240,10 @@ mod tests {
     #[test]
     fn choice_set_constructors() {
         assert_eq!(ChoiceSet::warped_compression().choices().len(), 3);
-        assert_eq!(ChoiceSet::only(FixedChoice::Delta1).choices(), &[FixedChoice::Delta1]);
+        assert_eq!(
+            ChoiceSet::only(FixedChoice::Delta1).choices(),
+            &[FixedChoice::Delta1]
+        );
         assert!(ChoiceSet::disabled().is_disabled());
         let collected: ChoiceSet = [FixedChoice::Delta2].into_iter().collect();
         assert_eq!(collected.choices(), &[FixedChoice::Delta2]);

@@ -2,8 +2,9 @@
 
 use crate::choice::ChoiceSet;
 use crate::compressed::CompressedRegister;
+use crate::deltas::DeltaArray;
 use crate::layout::{BaseSize, ChunkLayout};
-use crate::register::{WarpRegister, WARP_REGISTER_BYTES};
+use crate::register::{WarpRegister, WARP_REGISTER_BYTES, WARP_SIZE};
 
 /// A BDI compressor/decompressor pair configured with a [`ChoiceSet`].
 ///
@@ -43,7 +44,67 @@ impl BdiCodec {
     /// Compresses a warp register with the first fitting choice, or
     /// returns it uncompressed when no choice fits (or the set is
     /// disabled).
+    ///
+    /// This is a single pass over the 32 lanes, the software analog of the
+    /// hardware's parallel subtractor/comparator array (Fig. 7): every
+    /// lane is subtracted from the base exactly once, two bitwise folds
+    /// classify the narrowest delta width that fits *all* lanes, and the
+    /// first choice at least that wide wins — without re-reading any
+    /// lane. Valid because every runtime choice uses a 4-byte base (so
+    /// all choices see the same deltas) and delta fit is monotone in
+    /// width (the nested-fit property of §4). No heap allocation occurs.
     pub fn compress(&self, reg: &WarpRegister) -> CompressedRegister {
+        let lanes = reg.as_lanes();
+        let base = lanes[0];
+        let mut vals = [0i32; WARP_SIZE - 1];
+        // `any_bits` detects exact-zero deltas; `magnitude` folds the
+        // sign-folded pattern `d ^ (d >> 31)` (= d for d >= 0, !d for
+        // d < 0), which is < 2^(8w-1) exactly when d fits a w-byte
+        // signed delta. One subtract and two ORs per lane.
+        let mut any_bits = 0u32;
+        let mut magnitude = 0u32;
+        for (slot, &lane) in vals.iter_mut().zip(&lanes[1..]) {
+            let d = lane.wrapping_sub(base) as i32;
+            *slot = d;
+            any_bits |= d as u32;
+            magnitude |= (d ^ (d >> 31)) as u32;
+        }
+        let min_width = if any_bits == 0 {
+            0
+        } else if magnitude < 0x80 {
+            1
+        } else if magnitude < 0x8000 {
+            2
+        } else {
+            // A 4-byte delta would not shrink a 4-byte-base register.
+            usize::MAX
+        };
+        for choice in self.choices.choices() {
+            let layout = choice.layout();
+            if layout.delta_bytes() >= min_width {
+                let deltas = if layout.delta_bytes() == 0 {
+                    DeltaArray::zeros(WARP_SIZE - 1)
+                } else {
+                    DeltaArray::from_stored(&vals)
+                };
+                return CompressedRegister::Compressed {
+                    layout,
+                    base: u64::from(base),
+                    deltas,
+                };
+            }
+        }
+        CompressedRegister::Uncompressed(*reg)
+    }
+
+    /// Reference multi-pass compressor: tries each choice independently,
+    /// re-reading every chunk per attempt, exactly like the
+    /// pre-optimisation implementation.
+    ///
+    /// Kept as the oracle the property tests and benches compare the
+    /// single-pass [`compress`](BdiCodec::compress) against; not intended
+    /// for production use.
+    pub fn compress_reference(&self, reg: &WarpRegister) -> CompressedRegister {
         for choice in self.choices.choices() {
             if let Some(c) = compress_with_layout(reg, choice.layout()) {
                 return c;
@@ -72,17 +133,37 @@ pub(crate) fn compress_with_layout(
 ) -> Option<CompressedRegister> {
     let bytes = reg.to_bytes();
     let chunk_bytes = layout.base().bytes();
-    let mut chunks = bytes.chunks_exact(chunk_bytes).map(|c| read_chunk(c));
+    let mut chunks = bytes.chunks_exact(chunk_bytes).map(read_chunk);
     let base = chunks.next().expect("warp register has at least one chunk");
-    let mut deltas = Vec::with_capacity(layout.chunk_count() - 1);
+    if layout.delta_bytes() == 0 {
+        // Zero-width deltas store no payload; every chunk must equal the
+        // base exactly.
+        for chunk in chunks {
+            if chunk != base {
+                return None;
+            }
+        }
+        let deltas = DeltaArray::zeros(layout.chunk_count() - 1);
+        return Some(CompressedRegister::Compressed {
+            layout,
+            base,
+            deltas,
+        });
+    }
+    let mut deltas = DeltaArray::new();
     for chunk in chunks {
         let delta = wrapping_delta(chunk, base, layout.base());
         if !layout.delta_fits(delta) {
             return None;
         }
-        deltas.push(delta);
+        // Fits a <=4-byte signed delta, so the i32 narrowing is lossless.
+        deltas.push(delta as i32);
     }
-    Some(CompressedRegister::Compressed { layout, base, deltas })
+    Some(CompressedRegister::Compressed {
+        layout,
+        base,
+        deltas,
+    })
 }
 
 /// Decompresses any [`CompressedRegister`] (free function so callers
@@ -90,12 +171,16 @@ pub(crate) fn compress_with_layout(
 pub(crate) fn decompress(compressed: &CompressedRegister) -> WarpRegister {
     match compressed {
         CompressedRegister::Uncompressed(reg) => *reg,
-        CompressedRegister::Compressed { layout, base, deltas } => {
+        CompressedRegister::Compressed {
+            layout,
+            base,
+            deltas,
+        } => {
             let chunk_bytes = layout.base().bytes();
             let mut bytes = [0u8; WARP_REGISTER_BYTES];
             write_chunk(&mut bytes[..chunk_bytes], *base);
             for (i, delta) in deltas.iter().enumerate() {
-                let chunk = base.wrapping_add(*delta as u64) & chunk_mask(layout.base());
+                let chunk = base.wrapping_add(delta as u64) & chunk_mask(layout.base());
                 let off = (i + 1) * chunk_bytes;
                 write_chunk(&mut bytes[off..off + chunk_bytes], chunk);
             }
@@ -283,12 +368,56 @@ mod tests {
     }
 
     #[test]
-    fn deltas_vector_length_matches_layout() {
+    fn deltas_length_matches_layout() {
         let reg = WarpRegister::splat(3);
         let c = compress_with_layout(&reg, FixedChoice::Delta1.layout()).unwrap();
         match c {
             CompressedRegister::Compressed { deltas, .. } => assert_eq!(deltas.len(), 31),
             _ => panic!("expected compressed"),
+        }
+    }
+
+    #[test]
+    fn single_pass_matches_reference_on_corner_patterns() {
+        // Deliberate width-boundary and wraparound cases; the broad sweep
+        // lives in the oracle-equivalence property tests.
+        let mut minus_one = WarpRegister::splat(9);
+        minus_one.set_lane(7, 8); // delta -1 must NOT classify as width 0
+        let mut at_127 = WarpRegister::splat(50);
+        at_127.set_lane(3, 177);
+        let mut at_128 = WarpRegister::splat(50);
+        at_128.set_lane(3, 178);
+        let mut at_minus_32768 = WarpRegister::splat(100_000);
+        at_minus_32768.set_lane(30, 100_000 - 32_768);
+        let mut int_min_delta = WarpRegister::splat(0);
+        int_min_delta.set_lane(1, 0x8000_0000); // delta == i32::MIN
+        let patterns = [
+            WarpRegister::splat(0),
+            WarpRegister::splat(u32::MAX),
+            WarpRegister::from_fn(|t| t as u32),
+            WarpRegister::from_fn(|t| (u32::MAX).wrapping_add(t as u32)),
+            WarpRegister::from_fn(|t| (t as u32).wrapping_mul(0x9E37_79B9)),
+            minus_one,
+            at_127,
+            at_128,
+            at_minus_32768,
+            int_min_delta,
+        ];
+        for set in [
+            ChoiceSet::warped_compression(),
+            ChoiceSet::only(FixedChoice::Delta0),
+            ChoiceSet::only(FixedChoice::Delta1),
+            ChoiceSet::only(FixedChoice::Delta2),
+            ChoiceSet::disabled(),
+        ] {
+            let codec = BdiCodec::new(set);
+            for reg in &patterns {
+                assert_eq!(
+                    codec.compress(reg),
+                    codec.compress_reference(reg),
+                    "{reg:?}"
+                );
+            }
         }
     }
 }

@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::choice::CompressionIndicator;
+use crate::deltas::DeltaArray;
 use crate::layout::{ChunkLayout, BANK_BYTES};
 use crate::register::{WarpRegister, WARP_REGISTER_BYTES};
 
@@ -11,8 +12,11 @@ use crate::register::{WarpRegister, WARP_REGISTER_BYTES};
 ///
 /// The compressed form holds the base chunk plus one signed delta per
 /// remaining chunk; deltas are produced by wrapping subtraction at the
-/// chunk width, mirroring the hardware subtractor array of Fig. 7.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+/// chunk width, mirroring the hardware subtractor array of Fig. 7. The
+/// deltas live in an inline [`DeltaArray`], so the whole enum is `Copy`
+/// and moving a compressed register between pipeline stages never
+/// touches the heap — just like the hardware latches it stage to stage.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub enum CompressedRegister {
     /// The register could not (or was chosen not to) be compressed.
     Uncompressed(WarpRegister),
@@ -23,7 +27,7 @@ pub enum CompressedRegister {
         /// The first chunk, kept verbatim (zero-extended to 64 bits).
         base: u64,
         /// Sign-extended deltas for chunks 1..n, in chunk order.
-        deltas: Vec<i64>,
+        deltas: DeltaArray,
     },
 }
 
@@ -90,7 +94,11 @@ mod tests {
     #[test]
     fn compressed_4_1_occupies_three_banks() {
         let layout = ChunkLayout::new(BaseSize::B4, 1).unwrap();
-        let c = CompressedRegister::Compressed { layout, base: 5, deltas: vec![1; 31] };
+        let c = CompressedRegister::Compressed {
+            layout,
+            base: 5,
+            deltas: DeltaArray::filled(31, 1),
+        };
         assert_eq!(c.banks_required(), 3);
         assert_eq!(c.stored_len(), 35);
         assert!(c.is_compressed());
@@ -99,7 +107,11 @@ mod tests {
     #[test]
     fn indicator_of_8_base_layout_falls_back_to_uncompressed() {
         let layout = ChunkLayout::new(BaseSize::B8, 1).unwrap();
-        let c = CompressedRegister::Compressed { layout, base: 0, deltas: vec![0; 15] };
+        let c = CompressedRegister::Compressed {
+            layout,
+            base: 0,
+            deltas: DeltaArray::filled(15, 0),
+        };
         assert_eq!(c.indicator(), CompressionIndicator::Uncompressed);
     }
 }

@@ -33,7 +33,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = LayoutError { base_bytes: 4, delta_bytes: 4 };
+        let e = LayoutError {
+            base_bytes: 4,
+            delta_bytes: 4,
+        };
         let msg = e.to_string();
         assert!(msg.contains("<4,4>"));
         assert!(msg.contains("narrower"));

@@ -11,7 +11,7 @@ use serde::Serialize;
 
 use crate::codec::{compress_with_layout, decompress};
 use crate::layout::{BaseSize, ChunkLayout};
-use crate::register::WarpRegister;
+use crate::register::{WarpRegister, WARP_SIZE};
 
 /// The seven ⟨base, delta⟩ parameter pairs the paper's explorer evaluates
 /// on every register write (§4): `<4,0>, <4,1>, <4,2>, <8,0>, <8,1>,
@@ -60,6 +60,85 @@ impl BestChoice {
 /// assert_eq!(best.delta_bytes(), 1);
 /// ```
 pub fn explore_best_choice(reg: &WarpRegister) -> BestChoice {
+    // Single fused pass: each lane is read once, feeding both the 4-byte
+    // width folds (chunks == lanes) and, in pairs, the 8-byte width
+    // folds. `bits` detects exact-zero deltas; `mag` folds the
+    // sign-folded pattern `d ^ (d >> n-1)`, which is < 2^(8w-1) exactly
+    // when every delta fits a w-byte signed value — the software analog
+    // of the hardware's parallel comparator array (Fig. 7).
+    let lanes = reg.as_lanes();
+    let base4 = lanes[0];
+    let base8 = u64::from(lanes[0]) | (u64::from(lanes[1]) << 32);
+    let (mut bits4, mut mag4) = (0u32, 0u32);
+    let (mut bits8, mut mag8) = (0u64, 0u64);
+    // Lane 1 shares chunk 0 with the base lane, so it only feeds the
+    // 4-byte folds.
+    let d = lanes[1].wrapping_sub(base4) as i32;
+    bits4 |= d as u32;
+    mag4 |= (d ^ (d >> 31)) as u32;
+    for pair in 1..WARP_SIZE / 2 {
+        let (lo, hi) = (lanes[2 * pair], lanes[2 * pair + 1]);
+        for lane in [lo, hi] {
+            let d = lane.wrapping_sub(base4) as i32;
+            bits4 |= d as u32;
+            mag4 |= (d ^ (d >> 31)) as u32;
+        }
+        let chunk = u64::from(lo) | (u64::from(hi) << 32);
+        let d8 = chunk.wrapping_sub(base8) as i64;
+        bits8 |= d8 as u64;
+        mag8 |= (d8 ^ (d8 >> 63)) as u64;
+    }
+    // Narrowest fitting delta width per base; any wider same-base layout
+    // is strictly larger, so only these two candidates can win.
+    let width4 = if bits4 == 0 {
+        Some(0)
+    } else if mag4 < 0x80 {
+        Some(1)
+    } else if mag4 < 0x8000 {
+        Some(2)
+    } else {
+        None
+    };
+    let width8 = if bits8 == 0 {
+        Some(0)
+    } else if mag8 < 0x80 {
+        Some(1)
+    } else if mag8 < 0x8000 {
+        Some(2)
+    } else if mag8 < 0x8000_0000 {
+        Some(4)
+    } else {
+        None
+    };
+    let layout = |base, w: Option<usize>| {
+        w.map(|w| ChunkLayout::new(base, w).expect("explorer widths are valid"))
+    };
+    let best = match (layout(BaseSize::B4, width4), layout(BaseSize::B8, width8)) {
+        (None, None) => BestChoice::Uncompressed,
+        (Some(l), None) | (None, Some(l)) => BestChoice::Layout(l),
+        // Ties break towards the 4-byte base, which the reference scan
+        // visits first.
+        (Some(l4), Some(l8)) => BestChoice::Layout(if l8.compressed_len() < l4.compressed_len() {
+            l8
+        } else {
+            l4
+        }),
+    };
+    debug_assert_eq!(
+        best,
+        explore_best_choice_reference(reg),
+        "single-pass explorer oracle"
+    );
+    best
+}
+
+/// Reference implementation of [`explore_best_choice`]: compresses the
+/// register once per explored layout and keeps the smallest result.
+///
+/// Kept as the oracle the property tests compare the single-pass explorer
+/// against (and re-checked by a `debug_assert` on every exploration in
+/// debug builds); not intended for production use.
+pub fn explore_best_choice_reference(reg: &WarpRegister) -> BestChoice {
     let mut best: Option<ChunkLayout> = None;
     for &(base, delta) in EXPLORER_CHOICES.iter() {
         let layout = ChunkLayout::new(base, delta).expect("explorer choices are valid");
@@ -83,7 +162,9 @@ mod tests {
 
     #[test]
     fn uniform_register_picks_4_0() {
-        let best = explore_best_choice(&WarpRegister::splat(9)).layout().unwrap();
+        let best = explore_best_choice(&WarpRegister::splat(9))
+            .layout()
+            .unwrap();
         assert_eq!((best.base(), best.delta_bytes()), (BaseSize::B4, 0));
     }
 

@@ -15,8 +15,8 @@
 //! paper makes for BDI. The `codec-study` table in `wc-bench` quantifies
 //! the ratio side of that trade-off.
 
-use crate::register::WarpRegister;
 use crate::layout::BANK_BYTES;
+use crate::register::WarpRegister;
 
 /// One FPC word pattern (prefix ordering follows the original paper).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -179,7 +179,11 @@ mod tests {
         // too wide) but FPC compresses the tiny half per-word.
         let reg = WarpRegister::from_fn(|t| if t % 2 == 0 { 3 } else { 0xDEAD_BEEF });
         let bdi = crate::BdiCodec::default().compress(&reg).stored_len();
-        assert!(compressed_len(&reg) < bdi, "FPC {} vs BDI {bdi}", compressed_len(&reg));
+        assert!(
+            compressed_len(&reg) < bdi,
+            "FPC {} vs BDI {bdi}",
+            compressed_len(&reg)
+        );
     }
 
     #[test]
@@ -188,6 +192,10 @@ mod tests {
         // word because no per-word pattern matches.
         let reg = WarpRegister::splat(0x1234_5678);
         let bdi = crate::BdiCodec::default().compress(&reg).stored_len();
-        assert!(bdi < compressed_len(&reg), "BDI {bdi} vs FPC {}", compressed_len(&reg));
+        assert!(
+            bdi < compressed_len(&reg),
+            "BDI {bdi} vs FPC {}",
+            compressed_len(&reg)
+        );
     }
 }

@@ -154,15 +154,69 @@ pub struct TableOneRow {
 /// its static compressed size and bank count. Regenerate it with
 /// [`table_one`] and compare — the unit tests do exactly that.
 pub const TABLE_ONE: [TableOneRow; 9] = [
-    TableOneRow { base_bytes: 1, delta_bytes: 0, compressed_bytes: 1, banks_required: 1, used: false },
-    TableOneRow { base_bytes: 2, delta_bytes: 1, compressed_bytes: 65, banks_required: 5, used: false },
-    TableOneRow { base_bytes: 4, delta_bytes: 0, compressed_bytes: 4, banks_required: 1, used: true },
-    TableOneRow { base_bytes: 4, delta_bytes: 1, compressed_bytes: 35, banks_required: 3, used: true },
-    TableOneRow { base_bytes: 4, delta_bytes: 2, compressed_bytes: 66, banks_required: 5, used: true },
-    TableOneRow { base_bytes: 8, delta_bytes: 0, compressed_bytes: 8, banks_required: 1, used: false },
-    TableOneRow { base_bytes: 8, delta_bytes: 1, compressed_bytes: 23, banks_required: 2, used: false },
-    TableOneRow { base_bytes: 8, delta_bytes: 2, compressed_bytes: 38, banks_required: 3, used: false },
-    TableOneRow { base_bytes: 8, delta_bytes: 4, compressed_bytes: 68, banks_required: 5, used: false },
+    TableOneRow {
+        base_bytes: 1,
+        delta_bytes: 0,
+        compressed_bytes: 1,
+        banks_required: 1,
+        used: false,
+    },
+    TableOneRow {
+        base_bytes: 2,
+        delta_bytes: 1,
+        compressed_bytes: 65,
+        banks_required: 5,
+        used: false,
+    },
+    TableOneRow {
+        base_bytes: 4,
+        delta_bytes: 0,
+        compressed_bytes: 4,
+        banks_required: 1,
+        used: true,
+    },
+    TableOneRow {
+        base_bytes: 4,
+        delta_bytes: 1,
+        compressed_bytes: 35,
+        banks_required: 3,
+        used: true,
+    },
+    TableOneRow {
+        base_bytes: 4,
+        delta_bytes: 2,
+        compressed_bytes: 66,
+        banks_required: 5,
+        used: true,
+    },
+    TableOneRow {
+        base_bytes: 8,
+        delta_bytes: 0,
+        compressed_bytes: 8,
+        banks_required: 1,
+        used: false,
+    },
+    TableOneRow {
+        base_bytes: 8,
+        delta_bytes: 1,
+        compressed_bytes: 23,
+        banks_required: 2,
+        used: false,
+    },
+    TableOneRow {
+        base_bytes: 8,
+        delta_bytes: 2,
+        compressed_bytes: 38,
+        banks_required: 3,
+        used: false,
+    },
+    TableOneRow {
+        base_bytes: 8,
+        delta_bytes: 4,
+        compressed_bytes: 68,
+        banks_required: 5,
+        used: false,
+    },
 ];
 
 /// Recomputes Table 1 from Eq. (1), as a cross-check of the static table.

@@ -40,6 +40,7 @@
 mod choice;
 mod codec;
 mod compressed;
+mod deltas;
 mod error;
 mod explorer;
 pub mod fpc;
@@ -49,7 +50,10 @@ mod register;
 pub use choice::{ChoiceSet, CompressionIndicator, FixedChoice};
 pub use codec::BdiCodec;
 pub use compressed::CompressedRegister;
+pub use deltas::{DeltaArray, MAX_STORED_DELTAS};
 pub use error::LayoutError;
-pub use explorer::{explore_best_choice, BestChoice, EXPLORER_CHOICES};
+pub use explorer::{
+    explore_best_choice, explore_best_choice_reference, BestChoice, EXPLORER_CHOICES,
+};
 pub use layout::{table_one, BaseSize, ChunkLayout, TableOneRow, BANK_BYTES, TABLE_ONE};
 pub use register::{WarpRegister, WARP_REGISTER_BYTES, WARP_SIZE};

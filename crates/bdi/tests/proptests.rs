@@ -1,10 +1,18 @@
 //! Property-based tests for the BDI codec invariants.
 
 use bdi::{
-    explore_best_choice, BdiCodec, ChoiceSet, CompressionIndicator, FixedChoice, WarpRegister,
-    BANK_BYTES, WARP_REGISTER_BYTES, WARP_SIZE,
+    explore_best_choice, explore_best_choice_reference, BdiCodec, ChoiceSet, CompressionIndicator,
+    FixedChoice, WarpRegister, BANK_BYTES, WARP_REGISTER_BYTES, WARP_SIZE,
 };
 use proptest::prelude::*;
+
+/// Every choice-set shape the codec supports, from the full dynamic
+/// scheme down to disabled.
+fn all_choice_sets() -> Vec<ChoiceSet> {
+    let mut sets = vec![ChoiceSet::warped_compression(), ChoiceSet::disabled()];
+    sets.extend(FixedChoice::ALL.iter().map(|&c| ChoiceSet::only(c)));
+    sets
+}
 
 fn arb_register() -> impl Strategy<Value = WarpRegister> {
     prop::array::uniform32(any::<u32>()).prop_map(WarpRegister::new)
@@ -115,5 +123,54 @@ proptest! {
     fn indicator_bit_round_trip(reg in arb_similar_register()) {
         let ind = BdiCodec::default().compress(&reg).indicator();
         prop_assert_eq!(CompressionIndicator::from_bits(ind.bits()), ind);
+    }
+
+    /// The single-pass compressor is bit-identical to the multi-pass
+    /// reference oracle — same choice of layout, same base, same deltas,
+    /// same bank footprint — for every choice-set shape, on uniformly
+    /// random registers.
+    #[test]
+    fn single_pass_matches_oracle(reg in arb_register()) {
+        for set in all_choice_sets() {
+            let codec = BdiCodec::new(set);
+            let fast = codec.compress(&reg);
+            let slow = codec.compress_reference(&reg);
+            prop_assert_eq!(fast.layout(), slow.layout());
+            prop_assert_eq!(fast.banks_required(), slow.banks_required());
+            prop_assert_eq!(fast, slow); // covers base and deltas too
+        }
+    }
+
+    /// Oracle equivalence on the similarity-biased distribution, which
+    /// actually lands in each of the three compressed layouts.
+    #[test]
+    fn single_pass_matches_oracle_similar(reg in arb_similar_register()) {
+        for set in all_choice_sets() {
+            let codec = BdiCodec::new(set);
+            prop_assert_eq!(codec.compress(&reg), codec.compress_reference(&reg));
+        }
+    }
+
+    /// The reference path itself round-trips, so agreement with it is
+    /// agreement with a correct compressor.
+    #[test]
+    fn oracle_round_trips(reg in arb_similar_register()) {
+        let codec = BdiCodec::default();
+        let c = codec.compress_reference(&reg);
+        prop_assert_eq!(codec.decompress(&c), reg);
+    }
+
+    /// The fused single-pass explorer picks the same best choice as the
+    /// seven-layout reference scan.
+    #[test]
+    fn single_pass_explorer_matches_reference(reg in arb_register()) {
+        prop_assert_eq!(explore_best_choice(&reg), explore_best_choice_reference(&reg));
+    }
+
+    /// Explorer oracle equivalence on the similarity-biased distribution,
+    /// where the compressed layouts (including 8-byte bases) actually win.
+    #[test]
+    fn single_pass_explorer_matches_reference_similar(reg in arb_similar_register()) {
+        prop_assert_eq!(explore_best_choice(&reg), explore_best_choice_reference(&reg));
     }
 }

@@ -15,12 +15,20 @@ fn bench_divergence_policies(c: &mut Criterion) {
     let w = gpu_workloads::by_name("dwt2d").expect("dwt2d exists");
     let mut group = c.benchmark_group("ablation/divergence-policy");
     group.sample_size(10);
-    for point in [DesignPoint::WarpedCompression, DesignPoint::DecompressMergeRecompress] {
+    for point in [
+        DesignPoint::WarpedCompression,
+        DesignPoint::DecompressMergeRecompress,
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(point.label()), &w, |b, w| {
             let sim = GpuSim::new(point.config());
             b.iter(|| {
                 let mut mem = w.fresh_memory();
-                black_box(sim.run(w.kernel(), w.launch(), &mut mem).expect("runs").stats.cycles)
+                black_box(
+                    sim.run(w.kernel(), w.launch(), &mut mem)
+                        .expect("runs")
+                        .stats
+                        .cycles,
+                )
             });
         });
     }
@@ -42,7 +50,12 @@ fn bench_choice_sets(c: &mut Criterion) {
             let sim = GpuSim::new(point.config());
             b.iter(|| {
                 let mut mem = w.fresh_memory();
-                black_box(sim.run(w.kernel(), w.launch(), &mut mem).expect("runs").stats.cycles)
+                black_box(
+                    sim.run(w.kernel(), w.launch(), &mut mem)
+                        .expect("runs")
+                        .stats
+                        .cycles,
+                )
             });
         });
     }

@@ -13,7 +13,10 @@ fn patterns() -> Vec<(&'static str, WarpRegister)> {
         ("uniform", WarpRegister::splat(0xABCD)),
         ("tid-affine", WarpRegister::from_fn(|t| 5000 + t as u32)),
         ("wide-stride", WarpRegister::from_fn(|t| 1000 * t as u32)),
-        ("random", WarpRegister::from_fn(|t| (t as u32 + 1).wrapping_mul(0x9E37_79B9))),
+        (
+            "random",
+            WarpRegister::from_fn(|t| (t as u32 + 1).wrapping_mul(0x9E37_79B9)),
+        ),
     ]
 }
 
@@ -28,14 +31,31 @@ fn bench_compress(c: &mut Criterion) {
     group.finish();
 }
 
+/// The pre-optimisation multi-pass compressor, kept as the baseline the
+/// single-pass numbers are compared against.
+fn bench_compress_reference(c: &mut Criterion) {
+    let codec = BdiCodec::new(ChoiceSet::warped_compression());
+    let mut group = c.benchmark_group("bdi/compress-reference");
+    for (name, reg) in patterns() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &reg, |b, reg| {
+            b.iter(|| black_box(codec.compress_reference(black_box(reg))));
+        });
+    }
+    group.finish();
+}
+
 fn bench_decompress(c: &mut Criterion) {
     let codec = BdiCodec::new(ChoiceSet::warped_compression());
     let mut group = c.benchmark_group("bdi/decompress");
     for (name, reg) in patterns() {
         let compressed = codec.compress(&reg);
-        group.bench_with_input(BenchmarkId::from_parameter(name), &compressed, |b, compressed| {
-            b.iter(|| black_box(codec.decompress(black_box(compressed))));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &compressed,
+            |b, compressed| {
+                b.iter(|| black_box(codec.decompress(black_box(compressed))));
+            },
+        );
     }
     group.finish();
 }
@@ -50,5 +70,22 @@ fn bench_explorer(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_compress, bench_decompress, bench_explorer);
+fn bench_explorer_reference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bdi/full-explorer-reference");
+    for (name, reg) in patterns() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &reg, |b, reg| {
+            b.iter(|| black_box(bdi::explore_best_choice_reference(black_box(reg))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_compress,
+    bench_compress_reference,
+    bench_decompress,
+    bench_explorer,
+    bench_explorer_reference,
+);
 criterion_main!(benches);

@@ -18,21 +18,27 @@ fn bench_write_read(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("regfile");
     group.bench_function("write-compressed", |b| {
-        let mut rf = RegisterFile::new(RegFileConfig { wakeup_latency: 0, ..RegFileConfig::paper_baseline() });
+        let mut rf = RegisterFile::new(RegFileConfig {
+            wakeup_latency: 0,
+            ..RegFileConfig::paper_baseline()
+        });
         rf.allocate_warp(WarpSlot(0), 8, 0).unwrap();
         let mut now = 0u64;
         b.iter(|| {
             now += 1;
-            black_box(rf.write(WarpSlot(0), 3, compressed.clone(), now).unwrap());
+            black_box(rf.write(WarpSlot(0), 3, compressed, now).unwrap());
         });
     });
     group.bench_function("write-uncompressed", |b| {
-        let mut rf = RegisterFile::new(RegFileConfig { wakeup_latency: 0, ..RegFileConfig::paper_baseline() });
+        let mut rf = RegisterFile::new(RegFileConfig {
+            wakeup_latency: 0,
+            ..RegFileConfig::paper_baseline()
+        });
         rf.allocate_warp(WarpSlot(0), 8, 0).unwrap();
         let mut now = 0u64;
         b.iter(|| {
             now += 1;
-            black_box(rf.write(WarpSlot(0), 3, raw.clone(), now).unwrap());
+            black_box(rf.write(WarpSlot(0), 3, raw, now).unwrap());
         });
     });
     group.bench_function("read", |b| {

@@ -1,0 +1,138 @@
+//! Records the before/after numbers for the single-pass BDI hot path and
+//! the parallel campaign runner into `results/BENCH_pr1.json`.
+//!
+//! Two measurements:
+//!
+//! * **Codec throughput** (registers/second): the single-pass
+//!   `BdiCodec::compress` vs the retained multi-pass
+//!   `BdiCodec::compress_reference` oracle, on the three reference
+//!   patterns (splat, tid-affine, random).
+//! * **Campaign wall-clock**: a 3-workload × 3-design-point mini campaign
+//!   run serially (direct per-workload loop) vs through the parallel
+//!   `Campaign::prefetch` path, asserting the outputs are identical.
+//!
+//! Set `RAYON_NUM_THREADS` to control the parallel path's thread count.
+
+use std::fs;
+use std::hint::black_box;
+use std::time::Instant;
+
+use bdi::{BdiCodec, ChoiceSet, CompressedRegister, WarpRegister};
+use gpu_workloads::Workload;
+use warped_compression::{run_workload, DesignPoint};
+use wc_bench::Campaign;
+
+/// Registers compressed per second by `f`, timed over ~0.2 s.
+fn regs_per_sec(reg: &WarpRegister, f: impl Fn(&WarpRegister) -> CompressedRegister) -> f64 {
+    // Calibrate a batch size, then time whole batches.
+    let mut batch = 1u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(f(black_box(reg)));
+        }
+        let elapsed = start.elapsed();
+        if elapsed.as_millis() >= 200 {
+            return batch as f64 / elapsed.as_secs_f64();
+        }
+        batch *= 4;
+    }
+}
+
+fn mini_workloads() -> Vec<Workload> {
+    ["lib", "aes", "pathfinder"]
+        .iter()
+        .map(|n| gpu_workloads::by_name(n).expect("suite workload exists"))
+        .collect()
+}
+
+const MINI_POINTS: [DesignPoint; 3] = [
+    DesignPoint::Baseline,
+    DesignPoint::WarpedCompression,
+    DesignPoint::DecompressMergeRecompress,
+];
+
+fn json_f(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+fn main() {
+    let codec = BdiCodec::new(ChoiceSet::warped_compression());
+    let patterns = [
+        ("splat", WarpRegister::splat(0xABCD)),
+        ("tid-affine", WarpRegister::from_fn(|t| 5000 + t as u32)),
+        (
+            "random",
+            WarpRegister::from_fn(|t| (t as u32 + 1).wrapping_mul(0x9E37_79B9)),
+        ),
+    ];
+
+    let mut codec_entries = Vec::new();
+    for (name, reg) in &patterns {
+        let single = regs_per_sec(reg, |r| codec.compress(r));
+        let reference = regs_per_sec(reg, |r| codec.compress_reference(r));
+        let speedup = single / reference;
+        eprintln!(
+            "codec/{name}: single-pass {single:.0} regs/s, reference {reference:.0} regs/s \
+             ({speedup:.2}x)"
+        );
+        codec_entries.push(format!(
+            "    \"{name}\": {{\"single_pass_regs_per_sec\": {}, \"reference_regs_per_sec\": {}, \
+             \"speedup\": {:.2}}}",
+            json_f(single),
+            json_f(reference),
+            speedup
+        ));
+    }
+
+    // Serial: one simulation at a time, no campaign machinery.
+    let workloads = mini_workloads();
+    let serial_start = Instant::now();
+    let mut serial_cycles = Vec::new();
+    for point in MINI_POINTS {
+        let cfg = point.config();
+        for w in &workloads {
+            let out = run_workload(&cfg, w).expect("mini campaign workload runs");
+            serial_cycles.push(out.stats.cycles);
+        }
+    }
+    let serial_s = serial_start.elapsed().as_secs_f64();
+
+    // Parallel: the campaign prefetch path (design points × workloads).
+    let parallel_start = Instant::now();
+    let mut campaign = Campaign::new(mini_workloads());
+    campaign.prefetch(&MINI_POINTS);
+    let parallel_s = parallel_start.elapsed().as_secs_f64();
+    let parallel_cycles: Vec<u64> = MINI_POINTS
+        .iter()
+        .flat_map(|&p| {
+            campaign
+                .results(p)
+                .iter()
+                .map(|r| r.stats.cycles)
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    assert_eq!(
+        serial_cycles, parallel_cycles,
+        "parallel campaign must match serial results"
+    );
+    eprintln!(
+        "campaign (3 workloads x 3 design points): serial {serial_s:.3}s, parallel {parallel_s:.3}s \
+         on {} thread(s)",
+        rayon::current_num_threads()
+    );
+
+    let json = format!
+    (
+        "{{\n  \"codec\": {{\n{}\n  }},\n  \"campaign\": {{\n    \"workloads\": [\"lib\", \"aes\", \"pathfinder\"],\n    \"design_points\": [\"baseline\", \"warped-compression\", \"decompress-merge-recompress\"],\n    \"serial_seconds\": {:.3},\n    \"parallel_seconds\": {:.3},\n    \"speedup\": {:.2},\n    \"threads\": {},\n    \"results_identical\": true\n  }}\n}}\n",
+        codec_entries.join(",\n"),
+        serial_s,
+        parallel_s,
+        serial_s / parallel_s,
+        rayon::current_num_threads()
+    );
+    fs::create_dir_all("results").expect("create results dir");
+    fs::write("results/BENCH_pr1.json", &json).expect("write results/BENCH_pr1.json");
+    println!("{json}");
+}

@@ -45,7 +45,13 @@ pub fn table1() -> FigureTable {
     FigureTable::new(
         "table1",
         "Possible combinations of chunk size",
-        vec!["base (B)".into(), "delta (B)".into(), "comp size (B)".into(), "banks".into(), "used".into()],
+        vec![
+            "base (B)".into(),
+            "delta (B)".into(),
+            "comp size (B)".into(),
+            "banks".into(),
+            "used".into(),
+        ],
         rows,
     )
 }
@@ -59,22 +65,42 @@ pub fn table2() -> FigureTable {
         ("Warp scheduling policy", format!("{:?}", cfg.scheduler)),
         ("SIMT lane width", cfg.warp_size.to_string()),
         ("Max warps / SM", cfg.max_warps_per_sm.to_string()),
-        ("Register file size", format!("{} KB", cfg.regfile.capacity_bytes() / 1024)),
-        ("Max registers / SM", cfg.regfile.total_thread_registers().to_string()),
+        (
+            "Register file size",
+            format!("{} KB", cfg.regfile.capacity_bytes() / 1024),
+        ),
+        (
+            "Max registers / SM",
+            cfg.regfile.total_thread_registers().to_string(),
+        ),
         ("Register banks", cfg.regfile.num_banks.to_string()),
         ("Bit width / bank", format!("{} bit", bdi::BANK_BYTES * 8)),
         ("Entries / bank", cfg.regfile.entries_per_bank.to_string()),
         ("Compressors", cfg.compression.num_compressors.to_string()),
-        ("Decompressors", cfg.compression.num_decompressors.to_string()),
-        ("Compression latency", format!("{} cycles", cfg.compression.compression_latency)),
-        ("Decompression latency", format!("{} cycles", cfg.compression.decompression_latency)),
-        ("Bank wakeup latency", format!("{} cycles", cfg.regfile.wakeup_latency)),
+        (
+            "Decompressors",
+            cfg.compression.num_decompressors.to_string(),
+        ),
+        (
+            "Compression latency",
+            format!("{} cycles", cfg.compression.compression_latency),
+        ),
+        (
+            "Decompression latency",
+            format!("{} cycles", cfg.compression.decompression_latency),
+        ),
+        (
+            "Bank wakeup latency",
+            format!("{} cycles", cfg.regfile.wakeup_latency),
+        ),
     ];
     FigureTable::new(
         "table2",
         "GPU microarchitectural parameters",
         vec!["parameter".into(), "value".into()],
-        kv.into_iter().map(|(k, v)| vec![k.to_string(), v]).collect(),
+        kv.into_iter()
+            .map(|(k, v)| vec![k.to_string(), v])
+            .collect(),
     )
 }
 
@@ -83,20 +109,46 @@ pub fn table3() -> FigureTable {
     let p = paper_params();
     let kv: Vec<(&str, String)> = vec![
         ("Operating voltage (V)", format!("{:.1}", p.voltage_v)),
-        ("Wire capacitance (fF/mm)", format!("{:.0}", p.wire_cap_ff_per_mm)),
-        ("Wire energy (128-bit, pJ/mm)", format!("{:.1}", p.wire_energy_pj())),
-        ("Access energy/bank (pJ)", format!("{:.0}", p.bank_access_pj)),
-        ("Leakage power/bank (mW)", format!("{:.1}", p.bank_leakage_mw)),
-        ("Compression energy/activation (pJ)", format!("{:.0}", p.compressor_pj)),
-        ("Compression leakage (mW)", format!("{:.2}", p.compressor_leakage_mw)),
-        ("Decompression energy/activation (pJ)", format!("{:.0}", p.decompressor_pj)),
-        ("Decompression leakage (mW)", format!("{:.2}", p.decompressor_leakage_mw)),
+        (
+            "Wire capacitance (fF/mm)",
+            format!("{:.0}", p.wire_cap_ff_per_mm),
+        ),
+        (
+            "Wire energy (128-bit, pJ/mm)",
+            format!("{:.1}", p.wire_energy_pj()),
+        ),
+        (
+            "Access energy/bank (pJ)",
+            format!("{:.0}", p.bank_access_pj),
+        ),
+        (
+            "Leakage power/bank (mW)",
+            format!("{:.1}", p.bank_leakage_mw),
+        ),
+        (
+            "Compression energy/activation (pJ)",
+            format!("{:.0}", p.compressor_pj),
+        ),
+        (
+            "Compression leakage (mW)",
+            format!("{:.2}", p.compressor_leakage_mw),
+        ),
+        (
+            "Decompression energy/activation (pJ)",
+            format!("{:.0}", p.decompressor_pj),
+        ),
+        (
+            "Decompression leakage (mW)",
+            format!("{:.2}", p.decompressor_leakage_mw),
+        ),
     ];
     FigureTable::new(
         "table3",
         "Estimated energy and power values (@45nm)",
         vec!["description".into(), "value".into()],
-        kv.into_iter().map(|(k, v)| vec![k.to_string(), v]).collect(),
+        kv.into_iter()
+            .map(|(k, v)| vec![k.to_string(), v])
+            .collect(),
     )
 }
 
@@ -146,9 +198,14 @@ pub fn fig2(campaign: &mut Campaign) -> FigureTable {
 /// Fig. 3: ratio of non-divergent warp instructions.
 pub fn fig3(campaign: &mut Campaign) -> FigureTable {
     let runs = campaign.results(DesignPoint::WarpedCompression);
-    let mut rows: Vec<Vec<String>> =
-        runs.iter().map(|r| vec![r.name.clone(), pct(r.stats.nondivergent_ratio())]).collect();
-    rows.push(vec!["average".into(), pct(mean(runs.iter().map(|r| r.stats.nondivergent_ratio())))]);
+    let mut rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|r| vec![r.name.clone(), pct(r.stats.nondivergent_ratio())])
+        .collect();
+    rows.push(vec![
+        "average".into(),
+        pct(mean(runs.iter().map(|r| r.stats.nondivergent_ratio()))),
+    ]);
     FigureTable::new(
         "fig3",
         "Ratio of non-diverged warp instructions",
@@ -183,10 +240,17 @@ pub fn fig5(campaign: &mut Campaign) -> FigureTable {
     for (b, d) in bdi::EXPLORER_CHOICES {
         avg.push(pct(merged.fraction(b, d)));
     }
-    avg.push(pct(merged.uncompressed() as f64 / merged.total().max(1) as f64));
+    avg.push(pct(
+        merged.uncompressed() as f64 / merged.total().max(1) as f64
+    ));
     avg.push(pct(merged.eight_byte_fraction()));
     rows.push(avg);
-    FigureTable::new("fig5", "Breakdown of <base,delta> best choices (full BDI explorer)", headers, rows)
+    FigureTable::new(
+        "fig5",
+        "Breakdown of <base,delta> best choices (full BDI explorer)",
+        headers,
+        rows,
+    )
 }
 
 /// Fig. 8: compression ratio, divergent vs non-divergent regions.
@@ -204,13 +268,20 @@ pub fn fig8(campaign: &mut Campaign) -> FigureTable {
         rows.push(vec![
             r.name.clone(),
             fmt(r.stats.compression_ratio_nondiv()),
-            r.stats.compression_ratio_div().map(fmt).unwrap_or_else(|| "N/A".into()),
+            r.stats
+                .compression_ratio_div()
+                .map(fmt)
+                .unwrap_or_else(|| "N/A".into()),
         ]);
     }
     rows.push(vec![
         "average".into(),
-        fmt(mean(runs.iter().map(|r| r.stats.compression_ratio_nondiv()))),
-        fmt(mean(runs.iter().filter_map(|r| r.stats.compression_ratio_div()))),
+        fmt(mean(
+            runs.iter().map(|r| r.stats.compression_ratio_nondiv()),
+        )),
+        fmt(mean(
+            runs.iter().filter_map(|r| r.stats.compression_ratio_div()),
+        )),
     ]);
     FigureTable::new(
         "fig8",
@@ -247,10 +318,26 @@ pub fn fig9(campaign: &mut Campaign) -> FigureTable {
         "average".into(),
         fmt(mean(base.iter().map(|b| b.leakage_pj / b.total_pj()))),
         fmt(mean(base.iter().map(|b| b.dynamic_pj / b.total_pj()))),
-        fmt(mean(wc.iter().zip(&base).map(|(w, b)| w.leakage_pj / b.total_pj()))),
-        fmt(mean(wc.iter().zip(&base).map(|(w, b)| w.dynamic_pj / b.total_pj()))),
-        fmt(mean(wc.iter().zip(&base).map(|(w, b)| w.compression_pj / b.total_pj()))),
-        fmt(mean(wc.iter().zip(&base).map(|(w, b)| w.decompression_pj / b.total_pj()))),
+        fmt(mean(
+            wc.iter()
+                .zip(&base)
+                .map(|(w, b)| w.leakage_pj / b.total_pj()),
+        )),
+        fmt(mean(
+            wc.iter()
+                .zip(&base)
+                .map(|(w, b)| w.dynamic_pj / b.total_pj()),
+        )),
+        fmt(mean(
+            wc.iter()
+                .zip(&base)
+                .map(|(w, b)| w.compression_pj / b.total_pj()),
+        )),
+        fmt(mean(
+            wc.iter()
+                .zip(&base)
+                .map(|(w, b)| w.decompression_pj / b.total_pj()),
+        )),
         pct(mean(wc.iter().zip(&base).map(|(w, b)| w.savings_vs(b)))),
     ]);
     FigureTable::new(
@@ -291,9 +378,14 @@ pub fn fig10(campaign: &mut Campaign) -> FigureTable {
 /// Fig. 11: dummy MOV instructions as a fraction of total instructions.
 pub fn fig11(campaign: &mut Campaign) -> FigureTable {
     let runs = campaign.results(DesignPoint::WarpedCompression);
-    let mut rows: Vec<Vec<String>> =
-        runs.iter().map(|r| vec![r.name.clone(), pct(r.stats.mov_fraction())]).collect();
-    rows.push(vec!["average".into(), pct(mean(runs.iter().map(|r| r.stats.mov_fraction())))]);
+    let mut rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|r| vec![r.name.clone(), pct(r.stats.mov_fraction())])
+        .collect();
+    rows.push(vec![
+        "average".into(),
+        pct(mean(runs.iter().map(|r| r.stats.mov_fraction()))),
+    ]);
     FigureTable::new(
         "fig11",
         "Portion of dummy MOV instructions",
@@ -310,13 +402,19 @@ pub fn fig12(campaign: &mut Campaign) -> FigureTable {
         rows.push(vec![
             r.name.clone(),
             pct(r.stats.census.nondiv_fraction()),
-            r.stats.census.div_fraction().map(pct).unwrap_or_else(|| "N/A".into()),
+            r.stats
+                .census
+                .div_fraction()
+                .map(pct)
+                .unwrap_or_else(|| "N/A".into()),
         ]);
     }
     rows.push(vec![
         "average".into(),
         pct(mean(runs.iter().map(|r| r.stats.census.nondiv_fraction()))),
-        pct(mean(runs.iter().filter_map(|r| r.stats.census.div_fraction()))),
+        pct(mean(
+            runs.iter().filter_map(|r| r.stats.census.div_fraction()),
+        )),
     ]);
     FigureTable::new(
         "fig12",
@@ -328,8 +426,11 @@ pub fn fig12(campaign: &mut Campaign) -> FigureTable {
 
 /// Fig. 13: execution-time impact of warped-compression.
 pub fn fig13(campaign: &mut Campaign) -> FigureTable {
-    let base: Vec<u64> =
-        campaign.results(DesignPoint::Baseline).iter().map(|r| r.stats.cycles).collect();
+    let base: Vec<u64> = campaign
+        .results(DesignPoint::Baseline)
+        .iter()
+        .map(|r| r.stats.cycles)
+        .collect();
     let runs = campaign.results(DesignPoint::WarpedCompression);
     let mut rows = Vec::new();
     let mut ratios = Vec::new();
@@ -354,8 +455,11 @@ pub fn fig14(campaign: &mut Campaign) -> FigureTable {
     let wc_gto = energies(campaign.results(DesignPoint::WarpedCompression), &p);
     let base_lrr = energies(campaign.results(DesignPoint::BaselineLrr), &p);
     let wc_lrr = energies(campaign.results(DesignPoint::WarpedCompressionLrr), &p);
-    let names: Vec<String> =
-        campaign.results(DesignPoint::WarpedCompression).iter().map(|r| r.name.clone()).collect();
+    let names: Vec<String> = campaign
+        .results(DesignPoint::WarpedCompression)
+        .iter()
+        .map(|r| r.name.clone())
+        .collect();
     let mut rows = Vec::new();
     for i in 0..names.len() {
         rows.push(vec![
@@ -366,8 +470,18 @@ pub fn fig14(campaign: &mut Campaign) -> FigureTable {
     }
     rows.push(vec![
         "average".into(),
-        fmt(mean(wc_gto.iter().zip(&base_gto).map(|(w, b)| w.normalized_to(b)))),
-        fmt(mean(wc_lrr.iter().zip(&base_lrr).map(|(w, b)| w.normalized_to(b)))),
+        fmt(mean(
+            wc_gto
+                .iter()
+                .zip(&base_gto)
+                .map(|(w, b)| w.normalized_to(b)),
+        )),
+        fmt(mean(
+            wc_lrr
+                .iter()
+                .zip(&base_lrr)
+                .map(|(w, b)| w.normalized_to(b)),
+        )),
     ]);
     FigureTable::new(
         "fig14",
@@ -415,7 +529,13 @@ pub fn fig15(campaign: &mut Campaign) -> FigureTable {
     FigureTable::new(
         "fig15",
         "Compression ratio for various compression parameters",
-        vec!["bench".into(), "<4,0>".into(), "<4,1>".into(), "<4,2>".into(), "warped".into()],
+        vec![
+            "bench".into(),
+            "<4,0>".into(),
+            "<4,1>".into(),
+            "<4,2>".into(),
+            "warped".into(),
+        ],
         rows,
     )
 }
@@ -428,8 +548,11 @@ pub fn fig16(campaign: &mut Campaign) -> FigureTable {
     let d1 = energies(campaign.results(DesignPoint::Only(FixedChoice::Delta1)), &p);
     let d2 = energies(campaign.results(DesignPoint::Only(FixedChoice::Delta2)), &p);
     let wc = energies(campaign.results(DesignPoint::WarpedCompression), &p);
-    let names: Vec<String> =
-        campaign.results(DesignPoint::WarpedCompression).iter().map(|r| r.name.clone()).collect();
+    let names: Vec<String> = campaign
+        .results(DesignPoint::WarpedCompression)
+        .iter()
+        .map(|r| r.name.clone())
+        .collect();
     let mut rows = Vec::new();
     for i in 0..names.len() {
         rows.push(vec![
@@ -441,11 +564,23 @@ pub fn fig16(campaign: &mut Campaign) -> FigureTable {
         ]);
     }
     let avg = |set: &[EnergyReport]| mean(set.iter().zip(&base).map(|(s, b)| s.normalized_to(b)));
-    rows.push(vec!["average".into(), fmt(avg(&d0)), fmt(avg(&d1)), fmt(avg(&d2)), fmt(avg(&wc))]);
+    rows.push(vec![
+        "average".into(),
+        fmt(avg(&d0)),
+        fmt(avg(&d1)),
+        fmt(avg(&d2)),
+        fmt(avg(&wc)),
+    ]);
     FigureTable::new(
         "fig16",
         "Energy consumption for various compression parameters (normalised)",
-        vec!["bench".into(), "<4,0>".into(), "<4,1>".into(), "<4,2>".into(), "warped".into()],
+        vec![
+            "bench".into(),
+            "<4,0>".into(),
+            "<4,1>".into(),
+            "<4,2>".into(),
+            "warped".into(),
+        ],
         rows,
     )
 }
@@ -486,8 +621,11 @@ fn scaled_energy_figure(
     scales: &[f64],
     params_for: impl Fn(f64) -> (EnergyParams, EnergyParams),
 ) -> FigureTable {
-    let base_stats: Vec<_> =
-        campaign.results(DesignPoint::Baseline).iter().map(|r| r.stats.clone()).collect();
+    let base_stats: Vec<_> = campaign
+        .results(DesignPoint::Baseline)
+        .iter()
+        .map(|r| r.stats.clone())
+        .collect();
     let wc_runs = campaign.results(DesignPoint::WarpedCompression);
     let names: Vec<String> = wc_runs.iter().map(|r| r.name.clone()).collect();
     let mut headers = vec!["bench".to_string()];
@@ -515,8 +653,11 @@ fn scaled_energy_figure(
 
 /// Fig. 19: energy vs wire switching activity (suite average).
 pub fn fig19(campaign: &mut Campaign) -> FigureTable {
-    let base_stats: Vec<_> =
-        campaign.results(DesignPoint::Baseline).iter().map(|r| r.stats.clone()).collect();
+    let base_stats: Vec<_> = campaign
+        .results(DesignPoint::Baseline)
+        .iter()
+        .map(|r| r.stats.clone())
+        .collect();
     let wc_runs = campaign.results(DesignPoint::WarpedCompression);
     let mut rows = Vec::new();
     for activity in [0.0, 0.25, 0.5, 0.75, 1.0] {
@@ -532,37 +673,72 @@ pub fn fig19(campaign: &mut Campaign) -> FigureTable {
     FigureTable::new(
         "fig19",
         "Impact of wire activity (normalised energy, suite average)",
-        vec!["wire activity".into(), "normalised energy".into(), "saving".into()],
+        vec![
+            "wire activity".into(),
+            "normalised energy".into(),
+            "saving".into(),
+        ],
         rows,
     )
 }
 
 /// Fig. 20: execution time vs compression latency (2/4/8 cycles).
 pub fn fig20(campaign: &mut Campaign) -> FigureTable {
-    latency_figure(campaign, "fig20", "Execution time vs compression latency", true)
+    latency_figure(
+        campaign,
+        "fig20",
+        "Execution time vs compression latency",
+        true,
+    )
 }
 
 /// Fig. 21: execution time vs decompression latency (2/4/8 cycles).
 pub fn fig21(campaign: &mut Campaign) -> FigureTable {
-    latency_figure(campaign, "fig21", "Execution time vs decompression latency", false)
+    latency_figure(
+        campaign,
+        "fig21",
+        "Execution time vs decompression latency",
+        false,
+    )
 }
 
-fn latency_figure(campaign: &mut Campaign, id: &str, title: &str, vary_compression: bool) -> FigureTable {
-    let base: Vec<u64> =
-        campaign.results(DesignPoint::Baseline).iter().map(|r| r.stats.cycles).collect();
+fn latency_figure(
+    campaign: &mut Campaign,
+    id: &str,
+    title: &str,
+    vary_compression: bool,
+) -> FigureTable {
+    let base: Vec<u64> = campaign
+        .results(DesignPoint::Baseline)
+        .iter()
+        .map(|r| r.stats.cycles)
+        .collect();
     let latencies = [2u64, 4, 8];
     let mut columns = Vec::new();
     for &l in &latencies {
         let point = if vary_compression {
-            DesignPoint::Latency { compression: l, decompression: 1 }
+            DesignPoint::Latency {
+                compression: l,
+                decompression: 1,
+            }
         } else {
-            DesignPoint::Latency { compression: 2, decompression: l }
+            DesignPoint::Latency {
+                compression: 2,
+                decompression: l,
+            }
         };
-        let cycles: Vec<u64> = campaign.results(point).iter().map(|r| r.stats.cycles).collect();
+        let cycles: Vec<u64> = campaign
+            .results(point)
+            .iter()
+            .map(|r| r.stats.cycles)
+            .collect();
         columns.push(cycles);
     }
-    let names: Vec<String> =
-        campaign.results(DesignPoint::Baseline).iter().map(|r| r.name.clone()).collect();
+    let names: Vec<String> = campaign
+        .results(DesignPoint::Baseline)
+        .iter()
+        .map(|r| r.name.clone())
+        .collect();
     let mut headers = vec!["bench".to_string()];
     headers.extend(latencies.iter().map(|l| format!("{l} cycles")));
     let mut rows = Vec::new();
@@ -575,7 +751,9 @@ fn latency_figure(campaign: &mut Campaign, id: &str, title: &str, vary_compressi
     }
     let mut avg = vec!["average".to_string()];
     for col in &columns {
-        avg.push(fmt(mean(col.iter().zip(&base).map(|(&c, &b)| c as f64 / b as f64))));
+        avg.push(fmt(mean(
+            col.iter().zip(&base).map(|(&c, &b)| c as f64 / b as f64),
+        )));
     }
     rows.push(avg);
     FigureTable::new(id, title, headers, rows)
@@ -588,11 +766,17 @@ fn latency_figure(campaign: &mut Campaign, id: &str, title: &str, vary_compressi
 pub fn ablation_leakage(campaign: &mut Campaign) -> FigureTable {
     let p = paper_params();
     let base = energies(campaign.results(DesignPoint::Baseline), &p);
-    let base_cycles: Vec<u64> =
-        campaign.results(DesignPoint::Baseline).iter().map(|r| r.stats.cycles).collect();
+    let base_cycles: Vec<u64> = campaign
+        .results(DesignPoint::Baseline)
+        .iter()
+        .map(|r| r.stats.cycles)
+        .collect();
     let gate = energies(campaign.results(DesignPoint::WarpedCompression), &p);
-    let gate_cycles: Vec<u64> =
-        campaign.results(DesignPoint::WarpedCompression).iter().map(|r| r.stats.cycles).collect();
+    let gate_cycles: Vec<u64> = campaign
+        .results(DesignPoint::WarpedCompression)
+        .iter()
+        .map(|r| r.stats.cycles)
+        .collect();
     let drowsy = energies(campaign.results(DesignPoint::WarpedCompressionDrowsy), &p);
     let drowsy_runs = campaign.results(DesignPoint::WarpedCompressionDrowsy);
     let drowsy_cycles: Vec<u64> = drowsy_runs.iter().map(|r| r.stats.cycles).collect();
@@ -610,10 +794,24 @@ pub fn ablation_leakage(campaign: &mut Campaign) -> FigureTable {
     }
     rows.push(vec![
         "average".into(),
-        fmt(mean(gate.iter().zip(&base).map(|(g, b)| g.normalized_to(b)))),
-        fmt(mean(drowsy.iter().zip(&base).map(|(d, b)| d.normalized_to(b)))),
-        fmt(mean(gate_cycles.iter().zip(&base_cycles).map(|(&g, &b)| g as f64 / b as f64))),
-        fmt(mean(drowsy_cycles.iter().zip(&base_cycles).map(|(&d, &b)| d as f64 / b as f64))),
+        fmt(mean(
+            gate.iter().zip(&base).map(|(g, b)| g.normalized_to(b)),
+        )),
+        fmt(mean(
+            drowsy.iter().zip(&base).map(|(d, b)| d.normalized_to(b)),
+        )),
+        fmt(mean(
+            gate_cycles
+                .iter()
+                .zip(&base_cycles)
+                .map(|(&g, &b)| g as f64 / b as f64),
+        )),
+        fmt(mean(
+            drowsy_cycles
+                .iter()
+                .zip(&base_cycles)
+                .map(|(&d, &b)| d as f64 / b as f64),
+        )),
     ]);
     FigureTable::new(
         "ablation-leakage",
@@ -653,7 +851,8 @@ pub fn codec_study(campaign: &mut Campaign) -> FigureTable {
                 bdi_b += codec.compress(&e.value).stored_len() as u64;
                 full_b += explore_best_choice(&e.value)
                     .layout()
-                    .map_or(WARP_REGISTER_BYTES, |l| l.compressed_len()) as u64;
+                    .map_or(WARP_REGISTER_BYTES, |l| l.compressed_len())
+                    as u64;
                 // FPC can expand; a real design would store raw instead.
                 fpc_b += bdi::fpc::compressed_len(&e.value).min(WARP_REGISTER_BYTES) as u64;
             })
@@ -678,13 +877,55 @@ pub fn codec_study(campaign: &mut Campaign) -> FigureTable {
     FigureTable::new(
         "codec-study",
         "Compression-algorithm exploration: dynamic BDI vs full BDI vs FPC",
-        vec!["bench".into(), "BDI (warped)".into(), "BDI (full)".into(), "FPC".into()],
+        vec![
+            "bench".into(),
+            "BDI (warped)".into(),
+            "BDI (full)".into(),
+            "FPC".into(),
+        ],
         rows,
     )
 }
 
 /// Every figure/table in order, for `figures all`.
 pub fn all(campaign: &mut Campaign) -> Vec<FigureTable> {
+    // Simulate every design point the figures below consult up front, so
+    // the points fan out across threads; each figure call below is then a
+    // cache hit. The output is byte-identical to the lazy serial order.
+    campaign.prefetch(&[
+        DesignPoint::Baseline,
+        DesignPoint::WarpedCompression,
+        DesignPoint::DecompressMergeRecompress,
+        DesignPoint::Only(FixedChoice::Delta0),
+        DesignPoint::Only(FixedChoice::Delta1),
+        DesignPoint::Only(FixedChoice::Delta2),
+        DesignPoint::BaselineLrr,
+        DesignPoint::WarpedCompressionLrr,
+        DesignPoint::Latency {
+            compression: 2,
+            decompression: 1,
+        },
+        DesignPoint::Latency {
+            compression: 4,
+            decompression: 1,
+        },
+        DesignPoint::Latency {
+            compression: 8,
+            decompression: 1,
+        },
+        DesignPoint::Latency {
+            compression: 2,
+            decompression: 2,
+        },
+        DesignPoint::Latency {
+            compression: 2,
+            decompression: 4,
+        },
+        DesignPoint::Latency {
+            compression: 2,
+            decompression: 8,
+        },
+    ]);
     vec![
         table1(),
         table2(),
@@ -729,8 +970,14 @@ mod tests {
 
     #[test]
     fn static_tables_have_expected_entries() {
-        assert!(table2().rows.iter().any(|r| r[0] == "Register banks" && r[1] == "32"));
-        assert!(table3().rows.iter().any(|r| r[0].contains("Wire energy") && r[1] == "9.6"));
+        assert!(table2()
+            .rows
+            .iter()
+            .any(|r| r[0] == "Register banks" && r[1] == "32"));
+        assert!(table3()
+            .rows
+            .iter()
+            .any(|r| r[0].contains("Wire energy") && r[1] == "9.6"));
     }
 
     #[test]
@@ -780,8 +1027,11 @@ mod tests {
         let avg = t.rows.last().unwrap();
         let parse = |s: &String| -> f64 { s.parse().unwrap() };
         let warped = parse(&avg[4]);
-        for i in 1..4 {
-            assert!(warped >= parse(&avg[i]) - 1e-9, "dynamic should dominate column {i}");
+        for (i, cell) in avg.iter().enumerate().take(4).skip(1) {
+            assert!(
+                warped >= parse(cell) - 1e-9,
+                "dynamic should dominate column {i}"
+            );
         }
     }
 
@@ -795,7 +1045,10 @@ mod tests {
         // Both save energy; drowsy saves less leakage so its energy is
         // at least as high as gating's.
         assert!(gate_e < 1.0 && drowsy_e < 1.0);
-        assert!(drowsy_e >= gate_e - 1e-9, "drowsy {drowsy_e} vs gate {gate_e}");
+        assert!(
+            drowsy_e >= gate_e - 1e-9,
+            "drowsy {drowsy_e} vs gate {gate_e}"
+        );
     }
 
     #[test]
@@ -806,7 +1059,10 @@ mod tests {
         let warped: f64 = avg[1].parse().unwrap();
         let full: f64 = avg[2].parse().unwrap();
         let fpc: f64 = avg[3].parse().unwrap();
-        assert!(full >= warped - 1e-9, "full BDI {full} must dominate restricted {warped}");
+        assert!(
+            full >= warped - 1e-9,
+            "full BDI {full} must dominate restricted {warped}"
+        );
         assert!(fpc > 1.0, "FPC should compress the similarity-heavy suite");
     }
 

@@ -25,8 +25,16 @@ impl FigureTable {
         rows: Vec<Vec<String>>,
     ) -> Self {
         let headers: Vec<String> = headers;
-        debug_assert!(rows.iter().all(|r| r.len() == headers.len()), "ragged figure table");
-        FigureTable { id: id.into(), title: title.into(), headers, rows }
+        debug_assert!(
+            rows.iter().all(|r| r.len() == headers.len()),
+            "ragged figure table"
+        );
+        FigureTable {
+            id: id.into(),
+            title: title.into(),
+            headers,
+            rows,
+        }
     }
 
     /// GitHub-flavoured markdown rendering.

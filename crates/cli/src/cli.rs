@@ -89,8 +89,17 @@ fn design_by_name(name: &str) -> Option<DesignPoint> {
     })
 }
 
-const DESIGN_NAMES: &[&str] =
-    &["baseline", "warped", "only40", "only41", "only42", "dmr", "lrr", "baseline-lrr", "drowsy"];
+const DESIGN_NAMES: &[&str] = &[
+    "baseline",
+    "warped",
+    "only40",
+    "only41",
+    "only42",
+    "dmr",
+    "lrr",
+    "baseline-lrr",
+    "drowsy",
+];
 
 /// Parses command-line arguments (without the program name).
 ///
@@ -114,7 +123,10 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                     .get(i + 1)
                     .ok_or_else(|| ParseError("--design needs a value".into()))?;
                 design_by_name(name).ok_or_else(|| {
-                    ParseError(format!("unknown design `{name}`; try: {}", DESIGN_NAMES.join(", ")))
+                    ParseError(format!(
+                        "unknown design `{name}`; try: {}",
+                        DESIGN_NAMES.join(", ")
+                    ))
                 })
             }
         }
@@ -126,10 +138,21 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
         "run" => {
             let workload = rest
                 .iter()
-                .find(|a| !a.starts_with("--") && Some(**a) != rest.iter().position(|&x| x == "--design").and_then(|i| rest.get(i + 1)).copied())
+                .find(|a| {
+                    !a.starts_with("--")
+                        && Some(**a)
+                            != rest
+                                .iter()
+                                .position(|&x| x == "--design")
+                                .and_then(|i| rest.get(i + 1))
+                                .copied()
+                })
                 .ok_or_else(|| ParseError("run needs a workload name (or `all`)".into()))?
                 .to_string();
-            Ok(Command::Run { workload, design: take_design(&rest)? })
+            Ok(Command::Run {
+                workload,
+                design: take_design(&rest)?,
+            })
         }
         "compare" => {
             let workload = rest
@@ -146,7 +169,10 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                 .ok_or_else(|| ParseError("kernel needs a .s file path".into()))?
                 .to_string();
             let flag = |name: &str| -> Option<&str> {
-                rest.iter().position(|&a| a == name).and_then(|i| rest.get(i + 1)).copied()
+                rest.iter()
+                    .position(|&a| a == name)
+                    .and_then(|i| rest.get(i + 1))
+                    .copied()
             };
             let parse_usize = |name: &str| -> Result<usize, ParseError> {
                 flag(name)
@@ -217,18 +243,32 @@ pub fn run_cli(cmd: &Command, out: &mut dyn fmt::Write) -> Result<(), Box<dyn Er
             let wc = run_workload(&DesignPoint::WarpedCompression.config(), &w)?;
             writeln!(out, "{}", format_comparison(&base, &wc))?;
         }
-        Command::Kernel { path, blocks, threads_per_block, mem_words, params, design } => {
+        Command::Kernel {
+            path,
+            blocks,
+            threads_per_block,
+            mem_words,
+            params,
+            design,
+        } => {
             let source = fs::read_to_string(path)?;
             let kernel = simt_isa::assemble(&source)?;
-            let launch =
-                LaunchConfig::new(*blocks, *threads_per_block).with_params(params.clone());
+            let launch = LaunchConfig::new(*blocks, *threads_per_block).with_params(params.clone());
             let mut memory = GlobalMemory::zeroed(*mem_words);
             let result = GpuSim::new(design.config()).run(&kernel, &launch, &mut memory)?;
             writeln!(out, "kernel `{}` under {}:", kernel.name(), design.label())?;
             writeln!(out, "  cycles:            {}", result.stats.cycles)?;
             writeln!(out, "  warp instructions: {}", result.stats.instructions)?;
-            writeln!(out, "  compression ratio: {:.3}", result.stats.compression_ratio())?;
-            writeln!(out, "  bank accesses:     {}", result.stats.regfile.total_accesses())?;
+            writeln!(
+                out,
+                "  compression ratio: {:.3}",
+                result.stats.compression_ratio()
+            )?;
+            writeln!(
+                out,
+                "  bank accesses:     {}",
+                result.stats.regfile.total_accesses()
+            )?;
             let shown = memory.words().iter().take(16).collect::<Vec<_>>();
             writeln!(out, "  mem[0..16]:        {shown:?}")?;
         }
@@ -256,15 +296,24 @@ mod tests {
     fn parses_run_with_design() {
         assert_eq!(
             parse(&["run", "lib"]).unwrap(),
-            Command::Run { workload: "lib".into(), design: DesignPoint::WarpedCompression }
+            Command::Run {
+                workload: "lib".into(),
+                design: DesignPoint::WarpedCompression
+            }
         );
         assert_eq!(
             parse(&["run", "lib", "--design", "baseline"]).unwrap(),
-            Command::Run { workload: "lib".into(), design: DesignPoint::Baseline }
+            Command::Run {
+                workload: "lib".into(),
+                design: DesignPoint::Baseline
+            }
         );
         assert_eq!(
             parse(&["run", "aes", "--design", "drowsy"]).unwrap(),
-            Command::Run { workload: "aes".into(), design: DesignPoint::WarpedCompressionDrowsy }
+            Command::Run {
+                workload: "aes".into(),
+                design: DesignPoint::WarpedCompressionDrowsy
+            }
         );
     }
 
@@ -322,7 +371,10 @@ mod tests {
     fn run_command_reports_stats() {
         let mut out = String::new();
         run_cli(
-            &Command::Run { workload: "lib".into(), design: DesignPoint::WarpedCompression },
+            &Command::Run {
+                workload: "lib".into(),
+                design: DesignPoint::WarpedCompression,
+            },
             &mut out,
         )
         .unwrap();
@@ -334,7 +386,13 @@ mod tests {
     #[test]
     fn compare_command_reports_saving() {
         let mut out = String::new();
-        run_cli(&Command::Compare { workload: "lib".into() }, &mut out).unwrap();
+        run_cli(
+            &Command::Compare {
+                workload: "lib".into(),
+            },
+            &mut out,
+        )
+        .unwrap();
         assert!(out.contains("saving"));
     }
 
@@ -342,7 +400,10 @@ mod tests {
     fn unknown_workload_is_an_error() {
         let mut out = String::new();
         let err = run_cli(
-            &Command::Run { workload: "nope".into(), design: DesignPoint::Baseline },
+            &Command::Run {
+                workload: "nope".into(),
+                design: DesignPoint::Baseline,
+            },
             &mut out,
         )
         .unwrap_err();

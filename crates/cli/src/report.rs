@@ -47,7 +47,8 @@ pub fn format_comparison(base: &RunOutput, wc: &RunOutput) -> String {
         dt = (wc.stats.cycles as f64 / base.stats.cycles as f64 - 1.0) * 100.0,
         ba = base.stats.regfile.total_accesses(),
         wa = wc.stats.regfile.total_accesses(),
-        da = (wc.stats.regfile.total_accesses() as f64 / base.stats.regfile.total_accesses() as f64
+        da = (wc.stats.regfile.total_accesses() as f64
+            / base.stats.regfile.total_accesses() as f64
             - 1.0)
             * 100.0,
         bej = be.total_pj() / 1000.0,

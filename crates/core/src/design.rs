@@ -69,7 +69,10 @@ impl DesignPoint {
                 cfg.regfile.gating = gpu_regfile::GatingMode::Drowsy;
                 cfg
             }
-            DesignPoint::Latency { compression, decompression } => {
+            DesignPoint::Latency {
+                compression,
+                decompression,
+            } => {
                 let mut cfg = GpuConfig::warped_compression();
                 cfg.compression.compression_latency = compression;
                 cfg.compression.decompression_latency = decompression;
@@ -88,7 +91,10 @@ impl DesignPoint {
             DesignPoint::WarpedCompressionLrr => "warped-compression-lrr".into(),
             DesignPoint::BaselineLrr => "baseline-lrr".into(),
             DesignPoint::WarpedCompressionDrowsy => "warped-compression-drowsy".into(),
-            DesignPoint::Latency { compression, decompression } => {
+            DesignPoint::Latency {
+                compression,
+                decompression,
+            } => {
                 format!("latency-c{compression}-d{decompression}")
             }
         }
@@ -115,20 +121,33 @@ mod tests {
     #[test]
     fn dmr_changes_divergence_policy_only() {
         let cfg = DesignPoint::DecompressMergeRecompress.config();
-        assert_eq!(cfg.compression.divergence, DivergencePolicy::DecompressMergeRecompress);
+        assert_eq!(
+            cfg.compression.divergence,
+            DivergencePolicy::DecompressMergeRecompress
+        );
         assert!(cfg.compression.is_enabled());
     }
 
     #[test]
     fn lrr_points_change_scheduler() {
-        assert_eq!(DesignPoint::WarpedCompressionLrr.config().scheduler, SchedulerPolicy::Lrr);
-        assert_eq!(DesignPoint::BaselineLrr.config().scheduler, SchedulerPolicy::Lrr);
+        assert_eq!(
+            DesignPoint::WarpedCompressionLrr.config().scheduler,
+            SchedulerPolicy::Lrr
+        );
+        assert_eq!(
+            DesignPoint::BaselineLrr.config().scheduler,
+            SchedulerPolicy::Lrr
+        );
         assert!(!DesignPoint::BaselineLrr.config().compression.is_enabled());
     }
 
     #[test]
     fn latency_point_sets_both_knobs() {
-        let cfg = DesignPoint::Latency { compression: 8, decompression: 4 }.config();
+        let cfg = DesignPoint::Latency {
+            compression: 8,
+            decompression: 4,
+        }
+        .config();
         assert_eq!(cfg.compression.compression_latency, 8);
         assert_eq!(cfg.compression.decompression_latency, 4);
     }
@@ -145,7 +164,10 @@ mod tests {
             DesignPoint::WarpedCompressionLrr,
             DesignPoint::BaselineLrr,
             DesignPoint::WarpedCompressionDrowsy,
-            DesignPoint::Latency { compression: 4, decompression: 1 },
+            DesignPoint::Latency {
+                compression: 4,
+                decompression: 1,
+            },
         ];
         let mut labels: Vec<String> = points.iter().map(|p| p.label()).collect();
         labels.sort();

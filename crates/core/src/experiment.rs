@@ -4,6 +4,7 @@
 use gpu_power::{ActivityCounts, EnergyModel, EnergyParams, EnergyReport};
 use gpu_sim::{GpuConfig, GpuSim, SimError, SimStats};
 use gpu_workloads::Workload;
+use rayon::prelude::*;
 use serde::Serialize;
 
 use crate::explorer::ChoiceBreakdown;
@@ -44,16 +45,29 @@ pub fn run_workload(cfg: &GpuConfig, workload: &Workload) -> Result<RunOutput, S
             breakdown.record(event);
         },
     )?;
-    Ok(RunOutput { name: workload.name().to_string(), stats: result.stats, similarity, breakdown })
+    Ok(RunOutput {
+        name: workload.name().to_string(),
+        stats: result.stats,
+        similarity,
+        breakdown,
+    })
 }
 
-/// Runs the whole suite under one configuration.
+/// Runs the whole suite under one configuration, simulating workloads in
+/// parallel.
+///
+/// Each workload's simulation is independent (own memory image, own
+/// observers), so they fan out across threads; results come back in
+/// workload order regardless of completion order, and each simulation is
+/// internally deterministic, so the output is identical to a serial run.
+/// Set `RAYON_NUM_THREADS=1` to force serial execution (e.g. for
+/// reproducible wall-clock timing).
 ///
 /// # Errors
 ///
-/// Fails on the first workload that errors.
+/// Fails on the earliest workload (in suite order) that errors.
 pub fn run_suite(cfg: &GpuConfig, workloads: &[Workload]) -> Result<Vec<RunOutput>, SimError> {
-    workloads.iter().map(|w| run_workload(cfg, w)).collect()
+    workloads.par_iter().map(|w| run_workload(cfg, w)).collect()
 }
 
 /// Prices a finished run under the given energy parameters (§6.1).
@@ -85,7 +99,10 @@ mod tests {
         let out = run_workload(&DesignPoint::WarpedCompression.config(), &pathfinder()).unwrap();
         assert_eq!(out.name, "pathfinder");
         assert!(out.similarity.total(false) > 0);
-        assert_eq!(out.similarity.total(false) + out.similarity.total(true), out.breakdown.total());
+        assert_eq!(
+            out.similarity.total(false) + out.similarity.total(true),
+            out.breakdown.total()
+        );
         assert!(out.stats.cycles > 0);
     }
 
@@ -113,8 +130,10 @@ mod tests {
     #[test]
     fn run_suite_covers_all_workloads() {
         // Two tiny workloads to keep the test quick.
-        let workloads: Vec<Workload> =
-            ["lib", "aes"].iter().map(|n| gpu_workloads::by_name(n).unwrap()).collect();
+        let workloads: Vec<Workload> = ["lib", "aes"]
+            .iter()
+            .map(|n| gpu_workloads::by_name(n).unwrap())
+            .collect();
         let outs = run_suite(&DesignPoint::WarpedCompression.config(), &workloads).unwrap();
         assert_eq!(outs.len(), 2);
         assert_eq!(outs[0].name, "lib");

@@ -82,9 +82,15 @@ impl ChoiceBreakdown {
 
     /// Iterates `(layout, count)` over all explorer choices.
     pub fn iter(&self) -> impl Iterator<Item = (ChunkLayout, u64)> + '_ {
-        bdi::EXPLORER_CHOICES.iter().zip(&self.counts).map(|(&(b, d), &c)| {
-            (ChunkLayout::new(b, d).expect("explorer choices are valid"), c)
-        })
+        bdi::EXPLORER_CHOICES
+            .iter()
+            .zip(&self.counts)
+            .map(|(&(b, d), &c)| {
+                (
+                    ChunkLayout::new(b, d).expect("explorer choices are valid"),
+                    c,
+                )
+            })
     }
 
     /// Merges another breakdown (suite aggregation).
@@ -102,7 +108,11 @@ mod tests {
     use bdi::WarpRegister;
 
     fn event(value: WarpRegister) -> WriteEvent {
-        WriteEvent { value, divergent: false, synthetic: false }
+        WriteEvent {
+            value,
+            divergent: false,
+            synthetic: false,
+        }
     }
 
     #[test]
@@ -111,7 +121,9 @@ mod tests {
         b.record(&event(WarpRegister::splat(3))); // <4,0>
         b.record(&event(WarpRegister::from_fn(|t| t as u32))); // <4,1>
         b.record(&event(WarpRegister::from_fn(|t| 1000 * t as u32))); // <4,2>
-        b.record(&event(WarpRegister::from_fn(|t| (t as u32).wrapping_mul(0x9E37_79B9))));
+        b.record(&event(WarpRegister::from_fn(|t| {
+            (t as u32).wrapping_mul(0x9E37_79B9)
+        })));
         assert_eq!(b.count(BaseSize::B4, 0), 1);
         assert_eq!(b.count(BaseSize::B4, 1), 1);
         assert_eq!(b.count(BaseSize::B4, 2), 1);
@@ -124,7 +136,13 @@ mod tests {
     fn eight_byte_fraction_counts_pairwise_patterns() {
         let mut b = ChoiceBreakdown::new();
         // {X, Y, X, Y} with far-apart X/Y: only <8,0> fits.
-        b.record(&event(WarpRegister::from_fn(|t| if t % 2 == 0 { 0 } else { 0x4000_0000 })));
+        b.record(&event(WarpRegister::from_fn(|t| {
+            if t % 2 == 0 {
+                0
+            } else {
+                0x4000_0000
+            }
+        })));
         assert_eq!(b.count(BaseSize::B8, 0), 1);
         assert!((b.eight_byte_fraction() - 1.0).abs() < 1e-12);
     }
@@ -132,7 +150,11 @@ mod tests {
     #[test]
     fn synthetic_ignored_and_merge_works() {
         let mut a = ChoiceBreakdown::new();
-        a.record(&WriteEvent { value: WarpRegister::splat(0), divergent: false, synthetic: true });
+        a.record(&WriteEvent {
+            value: WarpRegister::splat(0),
+            divergent: false,
+            synthetic: true,
+        });
         assert_eq!(a.total(), 0);
         let mut b = ChoiceBreakdown::new();
         b.record(&event(WarpRegister::splat(0)));

@@ -48,8 +48,12 @@ impl SimilarityBin {
     }
 
     /// All bins in Fig. 2 order.
-    pub const ALL: [SimilarityBin; 4] =
-        [SimilarityBin::Zero, SimilarityBin::D128, SimilarityBin::D32k, SimilarityBin::Random];
+    pub const ALL: [SimilarityBin; 4] = [
+        SimilarityBin::Zero,
+        SimilarityBin::D128,
+        SimilarityBin::D32k,
+        SimilarityBin::Random,
+    ];
 }
 
 /// Counts of register writes per bin, split by divergence phase — the
@@ -132,12 +136,19 @@ mod tests {
     use super::*;
 
     fn event(value: WarpRegister, divergent: bool) -> WriteEvent {
-        WriteEvent { value, divergent, synthetic: false }
+        WriteEvent {
+            value,
+            divergent,
+            synthetic: false,
+        }
     }
 
     #[test]
     fn bin_boundaries_match_the_paper() {
-        assert_eq!(SimilarityBin::of(&WarpRegister::splat(7)), SimilarityBin::Zero);
+        assert_eq!(
+            SimilarityBin::of(&WarpRegister::splat(7)),
+            SimilarityBin::Zero
+        );
         let d128 = WarpRegister::from_fn(|t| (t as u32) * 128);
         assert_eq!(SimilarityBin::of(&d128), SimilarityBin::D128);
         let d129 = WarpRegister::from_fn(|t| (t as u32) * 129);
@@ -171,7 +182,11 @@ mod tests {
     #[test]
     fn synthetic_writes_are_ignored() {
         let mut h = SimilarityHistogram::new();
-        h.record(&WriteEvent { value: WarpRegister::splat(0), divergent: false, synthetic: true });
+        h.record(&WriteEvent {
+            value: WarpRegister::splat(0),
+            divergent: false,
+            synthetic: true,
+        });
         assert_eq!(h.total(false), 0);
     }
 

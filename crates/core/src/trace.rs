@@ -76,7 +76,11 @@ impl WriteTrace {
     pub fn similarity(&self) -> SimilarityHistogram {
         let mut h = SimilarityHistogram::new();
         for (value, divergent) in self.iter() {
-            h.record(&WriteEvent { value: *value, divergent, synthetic: false });
+            h.record(&WriteEvent {
+                value: *value,
+                divergent,
+                synthetic: false,
+            });
         }
         h
     }
@@ -85,7 +89,11 @@ impl WriteTrace {
     pub fn breakdown(&self) -> ChoiceBreakdown {
         let mut b = ChoiceBreakdown::new();
         for (value, divergent) in self.iter() {
-            b.record(&WriteEvent { value: *value, divergent, synthetic: false });
+            b.record(&WriteEvent {
+                value: *value,
+                divergent,
+                synthetic: false,
+            });
         }
         b
     }
@@ -105,14 +113,21 @@ mod tests {
     use bdi::FixedChoice;
 
     fn event(value: WarpRegister, divergent: bool) -> WriteEvent {
-        WriteEvent { value, divergent, synthetic: false }
+        WriteEvent {
+            value,
+            divergent,
+            synthetic: false,
+        }
     }
 
     fn sample_trace() -> WriteTrace {
         let mut t = WriteTrace::new();
         t.record(&event(WarpRegister::splat(7), false)); // <4,0>
         t.record(&event(WarpRegister::from_fn(|l| l as u32), false)); // <4,1>
-        t.record(&event(WarpRegister::from_fn(|l| (l as u32).wrapping_mul(0x9E37_79B9)), false));
+        t.record(&event(
+            WarpRegister::from_fn(|l| (l as u32).wrapping_mul(0x9E37_79B9)),
+            false,
+        ));
         t.record(&event(WarpRegister::splat(1), true)); // divergent: stored raw
         t
     }
@@ -128,7 +143,11 @@ mod tests {
     #[test]
     fn synthetic_events_are_skipped() {
         let mut t = WriteTrace::new();
-        t.record(&WriteEvent { value: WarpRegister::ZERO, divergent: false, synthetic: true });
+        t.record(&WriteEvent {
+            value: WarpRegister::ZERO,
+            divergent: false,
+            synthetic: true,
+        });
         assert!(t.is_empty());
     }
 
@@ -176,7 +195,9 @@ mod tests {
         let mut trace = WriteTrace::new();
         let mut memory = w.fresh_memory();
         let result = gpu_sim::GpuSim::new(DesignPoint::WarpedCompression.config())
-            .run_observed(w.kernel(), w.launch(), &mut memory, &mut |e| trace.record(e))
+            .run_observed(w.kernel(), w.launch(), &mut memory, &mut |e| {
+                trace.record(e)
+            })
             .unwrap();
         let offline = trace.compression_ratio_under(&ChoiceSet::warped_compression());
         let online = result.stats.compression_ratio();

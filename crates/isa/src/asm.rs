@@ -75,8 +75,11 @@ pub fn to_asm(kernel: &Kernel) -> String {
         .collect();
     targets.sort_unstable();
     targets.dedup();
-    let label_of: HashMap<usize, String> =
-        targets.iter().enumerate().map(|(n, &pc)| (pc, format!("L{n}"))).collect();
+    let label_of: HashMap<usize, String> = targets
+        .iter()
+        .enumerate()
+        .map(|(n, &pc)| (pc, format!("L{n}")))
+        .collect();
 
     let mut out = String::new();
     writeln!(out, ".kernel {} regs {}", kernel.name(), kernel.num_regs()).unwrap();
@@ -85,9 +88,17 @@ pub fn to_asm(kernel: &Kernel) -> String {
             writeln!(out, "@{l}:").unwrap();
         }
         match *instr {
-            Instruction::Bra { pred, target, reconv } => {
-                writeln!(out, "    bra {pred}, @{}, @{}", label_of[&target], label_of[&reconv])
-                    .unwrap();
+            Instruction::Bra {
+                pred,
+                target,
+                reconv,
+            } => {
+                writeln!(
+                    out,
+                    "    bra {pred}, @{}, @{}",
+                    label_of[&target], label_of[&reconv]
+                )
+                .unwrap();
             }
             Instruction::Jmp { target } => {
                 writeln!(out, "    jmp @{}", label_of[&target]).unwrap();
@@ -130,13 +141,27 @@ impl fmt::Display for AsmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.kind {
             AsmErrorKind::BadHeader => {
-                write!(f, "line {}: expected `.kernel NAME regs N` header", self.line)
+                write!(
+                    f,
+                    "line {}: expected `.kernel NAME regs N` header",
+                    self.line
+                )
             }
-            AsmErrorKind::UnknownMnemonic(m) => write!(f, "line {}: unknown mnemonic `{m}`", self.line),
-            AsmErrorKind::BadOperand(o) => write!(f, "line {}: cannot parse operand `{o}`", self.line),
-            AsmErrorKind::BadOperands => write!(f, "line {}: wrong operands for mnemonic", self.line),
-            AsmErrorKind::DuplicateLabel(l) => write!(f, "line {}: label `@{l}` defined twice", self.line),
-            AsmErrorKind::UndefinedLabel(l) => write!(f, "line {}: label `@{l}` never defined", self.line),
+            AsmErrorKind::UnknownMnemonic(m) => {
+                write!(f, "line {}: unknown mnemonic `{m}`", self.line)
+            }
+            AsmErrorKind::BadOperand(o) => {
+                write!(f, "line {}: cannot parse operand `{o}`", self.line)
+            }
+            AsmErrorKind::BadOperands => {
+                write!(f, "line {}: wrong operands for mnemonic", self.line)
+            }
+            AsmErrorKind::DuplicateLabel(l) => {
+                write!(f, "line {}: label `@{l}` defined twice", self.line)
+            }
+            AsmErrorKind::UndefinedLabel(l) => {
+                write!(f, "line {}: label `@{l}` never defined", self.line)
+            }
             AsmErrorKind::Invalid(e) => write!(f, "line {}: invalid kernel: {e}", self.line),
         }
     }
@@ -162,9 +187,14 @@ impl<'a> Assembler<'a> {
             .filter(|(_, l)| !l.is_empty());
 
         // Header.
-        let (hline, header) = lines.next().ok_or(AsmError { line: 0, kind: AsmErrorKind::BadHeader })?;
-        let (name, num_regs) = parse_header(header)
-            .ok_or(AsmError { line: hline, kind: AsmErrorKind::BadHeader })?;
+        let (hline, header) = lines.next().ok_or(AsmError {
+            line: 0,
+            kind: AsmErrorKind::BadHeader,
+        })?;
+        let (name, num_regs) = parse_header(header).ok_or(AsmError {
+            line: hline,
+            kind: AsmErrorKind::BadHeader,
+        })?;
 
         let mut b = KernelBuilder::new(name, num_regs);
         let mut labels: HashMap<String, Label> = HashMap::new();
@@ -175,7 +205,10 @@ impl<'a> Assembler<'a> {
             if let Some(label) = text.strip_prefix('@').and_then(|t| t.strip_suffix(':')) {
                 let label = label.trim().to_string();
                 if defined.contains_key(&label) {
-                    return Err(AsmError { line, kind: AsmErrorKind::DuplicateLabel(label) });
+                    return Err(AsmError {
+                        line,
+                        kind: AsmErrorKind::DuplicateLabel(label),
+                    });
                 }
                 defined.insert(label.clone(), line);
                 let l = *labels.entry(label).or_insert_with(|| b.label());
@@ -187,14 +220,21 @@ impl<'a> Assembler<'a> {
 
         for (line, label) in &referenced {
             if !defined.contains_key(label) {
-                return Err(AsmError { line: *line, kind: AsmErrorKind::UndefinedLabel(label.clone()) });
+                return Err(AsmError {
+                    line: *line,
+                    kind: AsmErrorKind::UndefinedLabel(label.clone()),
+                });
             }
         }
         b.build().map_err(|e| match e {
-            BuildError::UnboundLabel(_) => {
-                AsmError { line: 0, kind: AsmErrorKind::UndefinedLabel("<unknown>".into()) }
-            }
-            BuildError::Invalid(k) => AsmError { line: 0, kind: AsmErrorKind::Invalid(k.to_string()) },
+            BuildError::UnboundLabel(_) => AsmError {
+                line: 0,
+                kind: AsmErrorKind::UndefinedLabel("<unknown>".into()),
+            },
+            BuildError::Invalid(k) => AsmError {
+                line: 0,
+                kind: AsmErrorKind::Invalid(k.to_string()),
+            },
         })
     }
 }
@@ -228,7 +268,10 @@ fn parse_instruction(
     labels: &mut HashMap<String, Label>,
     referenced: &mut Vec<(usize, String)>,
 ) -> Result<(), AsmError> {
-    let err_operands = || AsmError { line, kind: AsmErrorKind::BadOperands };
+    let err_operands = || AsmError {
+        line,
+        kind: AsmErrorKind::BadOperands,
+    };
     let (mnemonic, rest) = match text.find(char::is_whitespace) {
         Some(i) => (&text[..i], text[i..].trim()),
         None => (text, ""),
@@ -246,21 +289,29 @@ fn parse_instruction(
 
     match mnemonic {
         "mov" => {
-            let [dst, src] = ops[..] else { return Err(err_operands()) };
+            let [dst, src] = ops[..] else {
+                return Err(err_operands());
+            };
             b.mov(parse_reg(dst, line)?, parse_operand(src, line)?);
         }
         "ld" => {
-            let [dst, mem] = ops[..] else { return Err(err_operands()) };
+            let [dst, mem] = ops[..] else {
+                return Err(err_operands());
+            };
             let (base, offset) = parse_mem(mem, line)?;
             b.ld(parse_reg(dst, line)?, base, offset);
         }
         "st" => {
-            let [mem, src] = ops[..] else { return Err(err_operands()) };
+            let [mem, src] = ops[..] else {
+                return Err(err_operands());
+            };
             let (base, offset) = parse_mem(mem, line)?;
             b.st(base, offset, parse_reg(src, line)?);
         }
         "bra" => {
-            let [pred, target, reconv] = ops[..] else { return Err(err_operands()) };
+            let [pred, target, reconv] = ops[..] else {
+                return Err(err_operands());
+            };
             let t = parse_label_name(target, line)?;
             let r = parse_label_name(reconv, line)?;
             let pred = parse_reg(pred, line)?;
@@ -268,7 +319,9 @@ fn parse_instruction(
             b.bra(pred, t, r);
         }
         "jmp" => {
-            let [target] = ops[..] else { return Err(err_operands()) };
+            let [target] = ops[..] else {
+                return Err(err_operands());
+            };
             let t = parse_label_name(target, line)?;
             let t = label_ref(&t, b);
             b.jmp(t);
@@ -281,10 +334,20 @@ fn parse_instruction(
         }
         other => {
             let Some(op) = parse_alu_op(other) else {
-                return Err(AsmError { line, kind: AsmErrorKind::UnknownMnemonic(other.to_string()) });
+                return Err(AsmError {
+                    line,
+                    kind: AsmErrorKind::UnknownMnemonic(other.to_string()),
+                });
             };
-            let [dst, a, bb] = ops[..] else { return Err(err_operands()) };
-            b.alu(op, parse_reg(dst, line)?, parse_operand(a, line)?, parse_operand(bb, line)?);
+            let [dst, a, bb] = ops[..] else {
+                return Err(err_operands());
+            };
+            b.alu(
+                op,
+                parse_reg(dst, line)?,
+                parse_operand(a, line)?,
+                parse_operand(bb, line)?,
+            );
         }
     }
     Ok(())
@@ -313,17 +376,26 @@ fn parse_alu_op(m: &str) -> Option<AluOp> {
 }
 
 fn parse_reg(text: &str, line: usize) -> Result<Reg, AsmError> {
-    let bad = || AsmError { line, kind: AsmErrorKind::BadOperand(text.to_string()) };
+    let bad = || AsmError {
+        line,
+        kind: AsmErrorKind::BadOperand(text.to_string()),
+    };
     let idx = text.strip_prefix('r').ok_or_else(bad)?;
     idx.parse::<u8>().map(Reg).map_err(|_| bad())
 }
 
 fn parse_operand(text: &str, line: usize) -> Result<Operand, AsmError> {
-    let bad = || AsmError { line, kind: AsmErrorKind::BadOperand(text.to_string()) };
+    let bad = || AsmError {
+        line,
+        kind: AsmErrorKind::BadOperand(text.to_string()),
+    };
     if let Ok(r) = parse_reg(text, line) {
         return Ok(Operand::Reg(r));
     }
-    if let Some(rest) = text.strip_prefix("param[").and_then(|t| t.strip_suffix(']')) {
+    if let Some(rest) = text
+        .strip_prefix("param[")
+        .and_then(|t| t.strip_suffix(']'))
+    {
         return rest.parse::<u8>().map(Operand::Param).map_err(|_| bad());
     }
     if let Some(name) = text.strip_prefix('%') {
@@ -354,13 +426,21 @@ fn parse_imm(text: &str) -> Option<i32> {
         t.parse::<i64>().ok()?
     };
     let v = if neg { -v } else { v };
-    i32::try_from(v).ok().or_else(|| u32::try_from(v).ok().map(|u| u as i32))
+    i32::try_from(v)
+        .ok()
+        .or_else(|| u32::try_from(v).ok().map(|u| u as i32))
 }
 
 /// `[rBASE+OFF]` / `[rBASE-OFF]` / `[rBASE]`.
 fn parse_mem(text: &str, line: usize) -> Result<(Reg, i32), AsmError> {
-    let bad = || AsmError { line, kind: AsmErrorKind::BadOperand(text.to_string()) };
-    let inner = text.strip_prefix('[').and_then(|t| t.strip_suffix(']')).ok_or_else(bad)?;
+    let bad = || AsmError {
+        line,
+        kind: AsmErrorKind::BadOperand(text.to_string()),
+    };
+    let inner = text
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(bad)?;
     let (base_text, offset) = if let Some(i) = inner[1..].find(['+', '-']).map(|i| i + 1) {
         let (b, o) = inner.split_at(i);
         (b, parse_imm(o).ok_or_else(bad)?)
@@ -374,7 +454,10 @@ fn parse_label_name(text: &str, line: usize) -> Result<String, AsmError> {
     text.strip_prefix('@')
         .filter(|t| !t.is_empty())
         .map(str::to_string)
-        .ok_or(AsmError { line, kind: AsmErrorKind::BadOperand(text.to_string()) })
+        .ok_or(AsmError {
+            line,
+            kind: AsmErrorKind::BadOperand(text.to_string()),
+        })
 }
 
 #[cfg(test)]
@@ -403,7 +486,14 @@ mod tests {
                 b: Operand::Imm(10)
             })
         );
-        assert_eq!(k.instr(3), Some(&Instruction::St { base: Reg(0), offset: 4, src: Reg(2) }));
+        assert_eq!(
+            k.instr(3),
+            Some(&Instruction::St {
+                base: Reg(0),
+                offset: 4,
+                src: Reg(2)
+            })
+        );
     }
 
     #[test]
@@ -419,23 +509,48 @@ mod tests {
              exit\n",
         )
         .unwrap();
-        assert_eq!(k.instr(3), Some(&Instruction::Bra { pred: Reg(1), target: 1, reconv: 4 }));
+        assert_eq!(
+            k.instr(3),
+            Some(&Instruction::Bra {
+                pred: Reg(1),
+                target: 1,
+                reconv: 4
+            })
+        );
     }
 
     #[test]
     fn negative_and_hex_immediates() {
         let k = assemble(".kernel i regs 1\n mov r0, -42\n add r0, r0, 0x1F\n exit\n").unwrap();
-        assert_eq!(k.instr(0), Some(&Instruction::Mov { dst: Reg(0), src: Operand::Imm(-42) }));
+        assert_eq!(
+            k.instr(0),
+            Some(&Instruction::Mov {
+                dst: Reg(0),
+                src: Operand::Imm(-42)
+            })
+        );
         assert_eq!(
             k.instr(1),
-            Some(&Instruction::Alu { op: AluOp::Add, dst: Reg(0), a: Reg(0).into(), b: Operand::Imm(31) })
+            Some(&Instruction::Alu {
+                op: AluOp::Add,
+                dst: Reg(0),
+                a: Reg(0).into(),
+                b: Operand::Imm(31)
+            })
         );
     }
 
     #[test]
     fn negative_memory_offsets() {
         let k = assemble(".kernel m regs 2\n ld r1, [r0-3]\n exit\n").unwrap();
-        assert_eq!(k.instr(0), Some(&Instruction::Ld { dst: Reg(1), base: Reg(0), offset: -3 }));
+        assert_eq!(
+            k.instr(0),
+            Some(&Instruction::Ld {
+                dst: Reg(1),
+                base: Reg(0),
+                offset: -3
+            })
+        );
     }
 
     #[test]
@@ -451,7 +566,13 @@ mod tests {
         ] {
             let src = format!(".kernel s regs 1\n mov r0, {txt}\n exit\n");
             let k = assemble(&src).unwrap();
-            assert_eq!(k.instr(0), Some(&Instruction::Mov { dst: Reg(0), src: Operand::Special(sp) }));
+            assert_eq!(
+                k.instr(0),
+                Some(&Instruction::Mov {
+                    dst: Reg(0),
+                    src: Operand::Special(sp)
+                })
+            );
         }
     }
 
@@ -463,7 +584,8 @@ mod tests {
 
     #[test]
     fn unknown_mnemonic_is_reported_with_line() {
-        let e = assemble(".kernel x regs 1\n mov r0, 1\n frobnicate r0, 1, 2\n exit\n").unwrap_err();
+        let e =
+            assemble(".kernel x regs 1\n mov r0, 1\n frobnicate r0, 1, 2\n exit\n").unwrap_err();
         assert_eq!(e.line, 3);
         assert_eq!(e.kind, AsmErrorKind::UnknownMnemonic("frobnicate".into()));
     }

@@ -49,8 +49,14 @@ pub struct KernelBuilder {
 #[derive(Clone, Copy, Debug)]
 enum PendingInstr {
     Ready(Instruction),
-    Bra { pred: Reg, target: Label, reconv: Label },
-    Jmp { target: Label },
+    Bra {
+        pred: Reg,
+        target: Label,
+        reconv: Label,
+    },
+    Jmp {
+        target: Label,
+    },
 }
 
 impl KernelBuilder {
@@ -92,31 +98,39 @@ impl KernelBuilder {
 
     /// Emits `mov dst, src`.
     pub fn mov(&mut self, dst: Reg, src: Operand) -> &mut Self {
-        self.instrs.push(PendingInstr::Ready(Instruction::Mov { dst, src }));
+        self.instrs
+            .push(PendingInstr::Ready(Instruction::Mov { dst, src }));
         self
     }
 
     /// Emits `op dst, a, b`.
     pub fn alu(&mut self, op: AluOp, dst: Reg, a: Operand, b: Operand) -> &mut Self {
-        self.instrs.push(PendingInstr::Ready(Instruction::Alu { op, dst, a, b }));
+        self.instrs
+            .push(PendingInstr::Ready(Instruction::Alu { op, dst, a, b }));
         self
     }
 
     /// Emits a global load `dst = mem[base + offset]`.
     pub fn ld(&mut self, dst: Reg, base: Reg, offset: i32) -> &mut Self {
-        self.instrs.push(PendingInstr::Ready(Instruction::Ld { dst, base, offset }));
+        self.instrs
+            .push(PendingInstr::Ready(Instruction::Ld { dst, base, offset }));
         self
     }
 
     /// Emits a global store `mem[base + offset] = src`.
     pub fn st(&mut self, base: Reg, offset: i32, src: Reg) -> &mut Self {
-        self.instrs.push(PendingInstr::Ready(Instruction::St { base, offset, src }));
+        self.instrs
+            .push(PendingInstr::Ready(Instruction::St { base, offset, src }));
         self
     }
 
     /// Emits a conditional branch to `target` reconverging at `reconv`.
     pub fn bra(&mut self, pred: Reg, target: Label, reconv: Label) -> &mut Self {
-        self.instrs.push(PendingInstr::Bra { pred, target, reconv });
+        self.instrs.push(PendingInstr::Bra {
+            pred,
+            target,
+            reconv,
+        });
         self
     }
 
@@ -149,17 +163,28 @@ impl KernelBuilder {
     /// [`BuildError::UnboundLabel`] if a referenced label was never bound;
     /// [`BuildError::Invalid`] if the resolved kernel fails validation.
     pub fn build(&self) -> Result<Kernel, BuildError> {
-        let resolve = |l: Label| self.bound.get(&l.0).copied().ok_or(BuildError::UnboundLabel(l));
+        let resolve = |l: Label| {
+            self.bound
+                .get(&l.0)
+                .copied()
+                .ok_or(BuildError::UnboundLabel(l))
+        };
         let mut instrs = Vec::with_capacity(self.instrs.len());
         for p in &self.instrs {
             instrs.push(match *p {
                 PendingInstr::Ready(i) => i,
-                PendingInstr::Bra { pred, target, reconv } => Instruction::Bra {
+                PendingInstr::Bra {
+                    pred,
+                    target,
+                    reconv,
+                } => Instruction::Bra {
                     pred,
                     target: resolve(target)?,
                     reconv: resolve(reconv)?,
                 },
-                PendingInstr::Jmp { target } => Instruction::Jmp { target: resolve(target)? },
+                PendingInstr::Jmp { target } => Instruction::Jmp {
+                    target: resolve(target)?,
+                },
             });
         }
         Kernel::new(self.name.clone(), instrs, self.num_regs).map_err(BuildError::Invalid)

@@ -199,9 +199,9 @@ impl Instruction {
     /// writes are exactly the events warped-compression compresses.
     pub fn dst(&self) -> Option<Reg> {
         match self {
-            Instruction::Mov { dst, .. } | Instruction::Alu { dst, .. } | Instruction::Ld { dst, .. } => {
-                Some(*dst)
-            }
+            Instruction::Mov { dst, .. }
+            | Instruction::Alu { dst, .. }
+            | Instruction::Ld { dst, .. } => Some(*dst),
             _ => None,
         }
     }
@@ -225,13 +225,18 @@ impl Instruction {
             Instruction::Alu { op, .. } => op.latency_class(),
             Instruction::Mov { .. } => LatencyClass::Alu,
             Instruction::Ld { .. } | Instruction::St { .. } => LatencyClass::Memory,
-            Instruction::Bra { .. } | Instruction::Jmp { .. } | Instruction::Exit => LatencyClass::Control,
+            Instruction::Bra { .. } | Instruction::Jmp { .. } | Instruction::Exit => {
+                LatencyClass::Control
+            }
         }
     }
 
     /// Whether this is a control-flow instruction.
     pub fn is_control(&self) -> bool {
-        matches!(self, Instruction::Bra { .. } | Instruction::Jmp { .. } | Instruction::Exit)
+        matches!(
+            self,
+            Instruction::Bra { .. } | Instruction::Jmp { .. } | Instruction::Exit
+        )
     }
 }
 
@@ -242,7 +247,11 @@ impl fmt::Display for Instruction {
             Instruction::Alu { op, dst, a, b } => write!(f, "{op} {dst}, {a}, {b}"),
             Instruction::Ld { dst, base, offset } => write!(f, "ld {dst}, [{base}{offset:+}]"),
             Instruction::St { base, offset, src } => write!(f, "st [{base}{offset:+}], {src}"),
-            Instruction::Bra { pred, target, reconv } => {
+            Instruction::Bra {
+                pred,
+                target,
+                reconv,
+            } => {
                 write!(f, "bra {pred}, @{target} (reconv @{reconv})")
             }
             Instruction::Jmp { target } => write!(f, "jmp @{target}"),
@@ -279,7 +288,10 @@ mod tests {
     #[test]
     fn division_overflow_does_not_panic() {
         // i32::MIN / -1 overflows a naive div.
-        assert_eq!(AluOp::Div.apply(i32::MIN as u32, (-1i32) as u32), i32::MIN as u32);
+        assert_eq!(
+            AluOp::Div.apply(i32::MIN as u32, (-1i32) as u32),
+            i32::MIN as u32
+        );
     }
 
     #[test]
@@ -298,15 +310,28 @@ mod tests {
 
     #[test]
     fn dst_and_sources() {
-        let i = Instruction::Alu { op: AluOp::Add, dst: Reg(1), a: Reg(2).into(), b: Reg(3).into() };
+        let i = Instruction::Alu {
+            op: AluOp::Add,
+            dst: Reg(1),
+            a: Reg(2).into(),
+            b: Reg(3).into(),
+        };
         assert_eq!(i.dst(), Some(Reg(1)));
         assert_eq!(i.src_regs(), vec![Reg(2), Reg(3)]);
 
-        let st = Instruction::St { base: Reg(4), offset: 0, src: Reg(5) };
+        let st = Instruction::St {
+            base: Reg(4),
+            offset: 0,
+            src: Reg(5),
+        };
         assert_eq!(st.dst(), None);
         assert_eq!(st.src_regs(), vec![Reg(4), Reg(5)]);
 
-        let bra = Instruction::Bra { pred: Reg(6), target: 0, reconv: 1 };
+        let bra = Instruction::Bra {
+            pred: Reg(6),
+            target: 0,
+            reconv: 1,
+        };
         assert_eq!(bra.src_regs(), vec![Reg(6)]);
     }
 
@@ -314,14 +339,23 @@ mod tests {
     fn latency_classes() {
         assert_eq!(AluOp::Add.latency_class(), LatencyClass::Alu);
         assert_eq!(AluOp::Mul.latency_class(), LatencyClass::Sfu);
-        let ld = Instruction::Ld { dst: Reg(0), base: Reg(1), offset: 0 };
+        let ld = Instruction::Ld {
+            dst: Reg(0),
+            base: Reg(1),
+            offset: 0,
+        };
         assert_eq!(ld.latency_class(), LatencyClass::Memory);
         assert!(Instruction::Exit.is_control());
     }
 
     #[test]
     fn display_round_trip_visually() {
-        let i = Instruction::Alu { op: AluOp::SetLt, dst: Reg(1), a: Reg(2).into(), b: Operand::Imm(4) };
+        let i = Instruction::Alu {
+            op: AluOp::SetLt,
+            dst: Reg(1),
+            a: Reg(2).into(),
+            b: Operand::Imm(4),
+        };
         assert_eq!(i.to_string(), "set.lt r1, r2, 4");
     }
 }

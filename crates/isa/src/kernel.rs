@@ -28,7 +28,11 @@ impl Kernel {
     /// # Errors
     ///
     /// Returns a [`KernelError`] describing the first violated invariant.
-    pub fn new(name: impl Into<String>, instrs: Vec<Instruction>, num_regs: u8) -> Result<Self, KernelError> {
+    pub fn new(
+        name: impl Into<String>,
+        instrs: Vec<Instruction>,
+        num_regs: u8,
+    ) -> Result<Self, KernelError> {
         let name = name.into();
         if instrs.is_empty() {
             return Err(KernelError::Empty);
@@ -38,7 +42,11 @@ impl Kernel {
             regs.extend(instr.dst());
             for r in regs {
                 if r.index() >= num_regs as usize {
-                    return Err(KernelError::RegisterOutOfRange { pc, reg: r.index(), num_regs });
+                    return Err(KernelError::RegisterOutOfRange {
+                        pc,
+                        reg: r.index(),
+                        num_regs,
+                    });
                 }
             }
             match *instr {
@@ -50,10 +58,8 @@ impl Kernel {
                         return Err(KernelError::TargetOutOfRange { pc, target: reconv });
                     }
                 }
-                Instruction::Jmp { target } => {
-                    if target >= instrs.len() {
-                        return Err(KernelError::TargetOutOfRange { pc, target });
-                    }
+                Instruction::Jmp { target } if target >= instrs.len() => {
+                    return Err(KernelError::TargetOutOfRange { pc, target });
                 }
                 _ => {}
             }
@@ -62,7 +68,11 @@ impl Kernel {
             Instruction::Exit | Instruction::Jmp { .. } => {}
             _ => return Err(KernelError::FallsOffEnd),
         }
-        Ok(Kernel { name, instrs, num_regs })
+        Ok(Kernel {
+            name,
+            instrs,
+            num_regs,
+        })
     }
 
     /// Kernel name (used in reports and figures).
@@ -143,7 +153,10 @@ impl fmt::Display for KernelError {
                 write!(f, "instruction @{pc} targets out-of-range pc @{target}")
             }
             KernelError::RegisterOutOfRange { pc, reg, num_regs } => {
-                write!(f, "instruction @{pc} references r{reg} but kernel declares {num_regs} registers")
+                write!(
+                    f,
+                    "instruction @{pc} references r{reg} but kernel declares {num_regs} registers"
+                )
             }
             KernelError::FallsOffEnd => f.write_str("kernel does not end in exit or jmp"),
         }
@@ -169,36 +182,65 @@ mod tests {
 
     #[test]
     fn register_bounds_checked() {
-        let bad = Instruction::Mov { dst: Reg(4), src: Operand::Imm(0) };
+        let bad = Instruction::Mov {
+            dst: Reg(4),
+            src: Operand::Imm(0),
+        };
         let err = Kernel::new("k", vec![bad, exit()], 4).unwrap_err();
-        assert_eq!(err, KernelError::RegisterOutOfRange { pc: 0, reg: 4, num_regs: 4 });
+        assert_eq!(
+            err,
+            KernelError::RegisterOutOfRange {
+                pc: 0,
+                reg: 4,
+                num_regs: 4
+            }
+        );
     }
 
     #[test]
     fn branch_targets_checked() {
-        let bad = Instruction::Bra { pred: Reg(0), target: 9, reconv: 1 };
+        let bad = Instruction::Bra {
+            pred: Reg(0),
+            target: 9,
+            reconv: 1,
+        };
         let err = Kernel::new("k", vec![bad, exit()], 1).unwrap_err();
         assert_eq!(err, KernelError::TargetOutOfRange { pc: 0, target: 9 });
     }
 
     #[test]
     fn reconv_targets_checked() {
-        let bad = Instruction::Bra { pred: Reg(0), target: 1, reconv: 7 };
+        let bad = Instruction::Bra {
+            pred: Reg(0),
+            target: 1,
+            reconv: 7,
+        };
         let err = Kernel::new("k", vec![bad, exit()], 1).unwrap_err();
         assert_eq!(err, KernelError::TargetOutOfRange { pc: 0, target: 7 });
     }
 
     #[test]
     fn must_end_in_exit_or_jmp() {
-        let mov = Instruction::Mov { dst: Reg(0), src: Operand::Imm(1) };
-        assert_eq!(Kernel::new("k", vec![mov], 1).unwrap_err(), KernelError::FallsOffEnd);
+        let mov = Instruction::Mov {
+            dst: Reg(0),
+            src: Operand::Imm(1),
+        };
+        assert_eq!(
+            Kernel::new("k", vec![mov], 1).unwrap_err(),
+            KernelError::FallsOffEnd
+        );
         assert!(Kernel::new("k", vec![mov, Instruction::Jmp { target: 0 }], 1).is_ok());
     }
 
     #[test]
     fn valid_kernel_accessors() {
         let instrs = vec![
-            Instruction::Alu { op: AluOp::Add, dst: Reg(0), a: Operand::Imm(1), b: Operand::Imm(2) },
+            Instruction::Alu {
+                op: AluOp::Add,
+                dst: Reg(0),
+                a: Operand::Imm(1),
+                b: Operand::Imm(2),
+            },
             exit(),
         ];
         let k = Kernel::new("adder", instrs.clone(), 1).unwrap();
@@ -215,7 +257,13 @@ mod tests {
     fn disassembly_lists_every_pc() {
         let k = Kernel::new(
             "d",
-            vec![Instruction::Mov { dst: Reg(0), src: Operand::Imm(3) }, exit()],
+            vec![
+                Instruction::Mov {
+                    dst: Reg(0),
+                    src: Operand::Imm(3),
+                },
+                exit(),
+            ],
             1,
         )
         .unwrap();
@@ -228,7 +276,11 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = KernelError::RegisterOutOfRange { pc: 3, reg: 9, num_regs: 4 };
+        let e = KernelError::RegisterOutOfRange {
+            pc: 3,
+            reg: 9,
+            num_regs: 4,
+        };
         assert!(e.to_string().contains("r9"));
     }
 }

@@ -57,12 +57,21 @@ fn arb_instruction(len: usize) -> impl Strategy<Value = Instruction> {
         (arb_reg(), arb_operand()).prop_map(|(dst, src)| Instruction::Mov { dst, src }),
         (arb_alu_op(), arb_reg(), arb_operand(), arb_operand())
             .prop_map(|(op, dst, a, b)| Instruction::Alu { op, dst, a, b }),
-        (arb_reg(), arb_reg(), -64i32..64)
-            .prop_map(|(dst, base, offset)| Instruction::Ld { dst, base, offset }),
-        (arb_reg(), -64i32..64, arb_reg())
-            .prop_map(|(base, offset, src)| Instruction::St { base, offset, src }),
-        (arb_reg(), 0..len, 0..len)
-            .prop_map(|(pred, target, reconv)| Instruction::Bra { pred, target, reconv }),
+        (arb_reg(), arb_reg(), -64i32..64).prop_map(|(dst, base, offset)| Instruction::Ld {
+            dst,
+            base,
+            offset
+        }),
+        (arb_reg(), -64i32..64, arb_reg()).prop_map(|(base, offset, src)| Instruction::St {
+            base,
+            offset,
+            src
+        }),
+        (arb_reg(), 0..len, 0..len).prop_map(|(pred, target, reconv)| Instruction::Bra {
+            pred,
+            target,
+            reconv
+        }),
         (0..len).prop_map(|target| Instruction::Jmp { target }),
         Just(Instruction::Exit),
     ]

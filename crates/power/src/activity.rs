@@ -54,7 +54,11 @@ impl ActivityCounts {
     /// Builds activity counts from a register-file snapshot plus the
     /// simulator's compression-unit counters, assuming power gating (the
     /// paper's design).
-    pub fn from_regfile(stats: &RegFileStats, compressor_activations: u64, decompressor_activations: u64) -> Self {
+    pub fn from_regfile(
+        stats: &RegFileStats,
+        compressor_activations: u64,
+        decompressor_activations: u64,
+    ) -> Self {
         Self::from_regfile_with_mode(
             stats,
             compressor_activations,
@@ -129,7 +133,10 @@ mod tests {
 
     #[test]
     fn gating_mode_conversion() {
-        assert_eq!(LowPowerKind::from(GatingMode::PowerGate), LowPowerKind::Gated);
+        assert_eq!(
+            LowPowerKind::from(GatingMode::PowerGate),
+            LowPowerKind::Gated
+        );
         assert_eq!(LowPowerKind::from(GatingMode::Off), LowPowerKind::Gated);
         assert_eq!(LowPowerKind::from(GatingMode::Drowsy), LowPowerKind::Drowsy);
     }

@@ -50,22 +50,32 @@ impl EnergyModel {
         // Unit leakage accrues whenever any compression hardware exists;
         // a design with zero activations (the baseline, which has no
         // compressors at all) is charged nothing.
-        let has_units = activity.compressor_activations > 0 || activity.decompressor_activations > 0;
+        let has_units =
+            activity.compressor_activations > 0 || activity.decompressor_activations > 0;
         let comp_leak = if has_units {
-            activity.cycles as f64 * p.compressor_leakage_mw * p.num_compressors as f64 / p.clock_ghz
+            activity.cycles as f64 * p.compressor_leakage_mw * p.num_compressors as f64
+                / p.clock_ghz
         } else {
             0.0
         };
         let decomp_leak = if has_units {
-            activity.cycles as f64 * p.decompressor_leakage_mw * p.num_decompressors as f64 / p.clock_ghz
+            activity.cycles as f64 * p.decompressor_leakage_mw * p.num_decompressors as f64
+                / p.clock_ghz
         } else {
             0.0
         };
         let compression_pj =
-            activity.compressor_activations as f64 * p.compressor_pj * p.comp_decomp_scale + comp_leak;
+            activity.compressor_activations as f64 * p.compressor_pj * p.comp_decomp_scale
+                + comp_leak;
         let decompression_pj =
-            activity.decompressor_activations as f64 * p.decompressor_pj * p.comp_decomp_scale + decomp_leak;
-        EnergyReport { dynamic_pj, leakage_pj, compression_pj, decompression_pj }
+            activity.decompressor_activations as f64 * p.decompressor_pj * p.comp_decomp_scale
+                + decomp_leak;
+        EnergyReport {
+            dynamic_pj,
+            leakage_pj,
+            compression_pj,
+            decompression_pj,
+        }
     }
 }
 
@@ -79,14 +89,21 @@ mod tests {
 
     #[test]
     fn dynamic_energy_counts_reads_and_writes() {
-        let a = ActivityCounts { bank_reads: 10, bank_writes: 5, ..Default::default() };
+        let a = ActivityCounts {
+            bank_reads: 10,
+            bank_writes: 5,
+            ..Default::default()
+        };
         let r = model().evaluate(&a);
         assert!((r.dynamic_pj - 15.0 * 16.6).abs() < 1e-9);
     }
 
     #[test]
     fn leakage_counts_only_powered_cycles() {
-        let a = ActivityCounts { powered_bank_cycles: 1400, ..Default::default() };
+        let a = ActivityCounts {
+            powered_bank_cycles: 1400,
+            ..Default::default()
+        };
         let r = model().evaluate(&a);
         // 1400 bank-cycles × 5.8/1.4 pJ = 5800 pJ.
         assert!((r.leakage_pj - 5800.0).abs() < 1e-9);
@@ -94,7 +111,11 @@ mod tests {
 
     #[test]
     fn baseline_without_compression_pays_no_unit_energy() {
-        let a = ActivityCounts { cycles: 1_000_000, bank_reads: 10, ..Default::default() };
+        let a = ActivityCounts {
+            cycles: 1_000_000,
+            bank_reads: 10,
+            ..Default::default()
+        };
         let r = model().evaluate(&a);
         assert_eq!(r.compression_pj, 0.0);
         assert_eq!(r.decompression_pj, 0.0);
@@ -117,16 +138,25 @@ mod tests {
     #[test]
     fn comp_decomp_scale_multiplies_activations_only() {
         let params = EnergyParams::paper_table3().with_comp_decomp_scale(2.0);
-        let a = ActivityCounts { cycles: 0, compressor_activations: 10, ..Default::default() };
+        let a = ActivityCounts {
+            cycles: 0,
+            compressor_activations: 10,
+            ..Default::default()
+        };
         let r = EnergyModel::new(params).evaluate(&a);
         assert!((r.compression_pj - 460.0).abs() < 1e-9);
     }
 
     #[test]
     fn higher_wire_activity_raises_dynamic_energy() {
-        let a = ActivityCounts { bank_reads: 100, ..Default::default() };
-        let low = EnergyModel::new(EnergyParams::paper_table3().with_wire_activity(0.0)).evaluate(&a);
-        let high = EnergyModel::new(EnergyParams::paper_table3().with_wire_activity(1.0)).evaluate(&a);
+        let a = ActivityCounts {
+            bank_reads: 100,
+            ..Default::default()
+        };
+        let low =
+            EnergyModel::new(EnergyParams::paper_table3().with_wire_activity(0.0)).evaluate(&a);
+        let high =
+            EnergyModel::new(EnergyParams::paper_table3().with_wire_activity(1.0)).evaluate(&a);
         assert!(high.dynamic_pj > low.dynamic_pj);
         assert!((low.dynamic_pj - 700.0).abs() < 1e-9);
         assert!((high.dynamic_pj - 100.0 * 26.2).abs() < 1e-9);
@@ -147,12 +177,18 @@ mod drowsy_tests {
             low_power: LowPowerKind::Gated,
             ..Default::default()
         };
-        let drowsy = ActivityCounts { low_power: LowPowerKind::Drowsy, ..gated };
+        let drowsy = ActivityCounts {
+            low_power: LowPowerKind::Drowsy,
+            ..gated
+        };
         let rg = model.evaluate(&gated);
         let rd = model.evaluate(&drowsy);
         let per_cycle = EnergyParams::paper_table3().bank_leakage_pj_per_cycle();
         assert!((rg.leakage_pj - 1000.0 * per_cycle).abs() < 1e-9);
         assert!((rd.leakage_pj - (1000.0 * per_cycle + 1000.0 * per_cycle * 0.25)).abs() < 1e-9);
-        assert!(rd.leakage_pj > rg.leakage_pj, "drowsy must leak more than gated");
+        assert!(
+            rd.leakage_pj > rg.leakage_pj,
+            "drowsy must leak more than gated"
+        );
     }
 }

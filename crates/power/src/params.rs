@@ -126,7 +126,10 @@ impl EnergyParams {
     ///
     /// Panics if `activity` is outside `[0, 1]`.
     pub fn with_wire_activity(mut self, activity: f64) -> Self {
-        assert!((0.0..=1.0).contains(&activity), "wire activity must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&activity),
+            "wire activity must be in [0,1]"
+        );
         self.wire_activity = activity;
         self
     }

@@ -47,7 +47,12 @@ mod tests {
     use super::*;
 
     fn report(d: f64, l: f64, c: f64, x: f64) -> EnergyReport {
-        EnergyReport { dynamic_pj: d, leakage_pj: l, compression_pj: c, decompression_pj: x }
+        EnergyReport {
+            dynamic_pj: d,
+            leakage_pj: l,
+            compression_pj: c,
+            decompression_pj: x,
+        }
     }
 
     #[test]

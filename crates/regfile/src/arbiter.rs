@@ -31,7 +31,10 @@ pub struct BankPorts {
 impl BankPorts {
     /// Creates port state for `num_banks` banks, all free.
     pub fn new(num_banks: usize) -> Self {
-        BankPorts { read_busy: vec![false; num_banks], write_busy: vec![false; num_banks] }
+        BankPorts {
+            read_busy: vec![false; num_banks],
+            write_busy: vec![false; num_banks],
+        }
     }
 
     /// Releases all ports for a new cycle.
@@ -60,7 +63,10 @@ impl BankPorts {
     }
 
     fn try_claim(busy: &mut [bool], banks: Range<usize>) -> bool {
-        assert!(banks.end <= busy.len(), "bank range {banks:?} out of bounds");
+        assert!(
+            banks.end <= busy.len(),
+            "bank range {banks:?} out of bounds"
+        );
         if busy[banks.clone()].iter().any(|&b| b) {
             return false;
         }

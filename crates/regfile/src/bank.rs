@@ -51,7 +51,11 @@ impl Bank {
     pub fn new(gating: bool, hysteresis: u64) -> Self {
         Bank {
             valid_entries: 0,
-            state: if gating { PowerState::Gated { since: 0 } } else { PowerState::On },
+            state: if gating {
+                PowerState::Gated { since: 0 }
+            } else {
+                PowerState::On
+            },
             reads: 0,
             writes: 0,
             gated_cycles: 0,

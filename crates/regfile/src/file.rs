@@ -118,9 +118,14 @@ pub struct RegisterFile {
 impl RegisterFile {
     /// Creates an empty register file with the given geometry.
     pub fn new(cfg: RegFileConfig) -> Self {
-        let banks =
-            (0..cfg.num_banks).map(|_| Bank::new(cfg.gating.is_enabled(), cfg.gating_hysteresis)).collect();
-        RegisterFile { cfg, banks, warps: Vec::new() }
+        let banks = (0..cfg.num_banks)
+            .map(|_| Bank::new(cfg.gating.is_enabled(), cfg.gating_hysteresis))
+            .collect();
+        RegisterFile {
+            cfg,
+            banks,
+            warps: Vec::new(),
+        }
     }
 
     /// The configured geometry.
@@ -154,7 +159,12 @@ impl RegisterFile {
         num_regs: usize,
         now: u64,
     ) -> Result<(), RegFileError> {
-        self.allocate_warp_with(slot, num_regs, &CompressedRegister::Uncompressed(Default::default()), now)
+        self.allocate_warp_with(
+            slot,
+            num_regs,
+            &CompressedRegister::Uncompressed(Default::default()),
+            now,
+        )
     }
 
     /// Like [`allocate_warp`](Self::allocate_warp) but with an explicit
@@ -197,7 +207,10 @@ impl RegisterFile {
             bank.ensure_on(now, 0);
         }
         let regs = (0..num_regs)
-            .map(|_| StoredReg { value: initial.clone(), footprint })
+            .map(|_| StoredReg {
+                value: *initial,
+                footprint,
+            })
             .collect();
         self.warps[slot.0] = Some(WarpAlloc { base_entry, regs });
         Ok(())
@@ -225,7 +238,9 @@ impl RegisterFile {
 
     /// Whether the register currently sits in compressed state.
     pub fn is_compressed(&self, slot: WarpSlot, reg: usize) -> bool {
-        self.stored(slot, reg).map(|s| s.value.is_compressed()).unwrap_or(false)
+        self.stored(slot, reg)
+            .map(|s| s.value.is_compressed())
+            .unwrap_or(false)
     }
 
     /// Reads a register, counting one access on each bank it occupies.
@@ -237,17 +252,27 @@ impl RegisterFile {
     pub fn read(&mut self, slot: WarpSlot, reg: usize, now: u64) -> ReadResult<'_> {
         let cluster = slot.0 % self.cfg.num_clusters();
         let bank_base = cluster * self.cfg.banks_per_cluster;
-        let alloc = self.warps.get(slot.0).and_then(Option::as_ref).expect("read of unallocated warp");
+        let alloc = self
+            .warps
+            .get(slot.0)
+            .and_then(Option::as_ref)
+            .expect("read of unallocated warp");
         let stored = alloc.regs.get(reg).expect("read of unallocated register");
         let footprint = stored.footprint;
         for b in 0..footprint {
-            debug_assert!(self.banks[bank_base + b].is_ready(now), "read hit a gated bank");
+            debug_assert!(
+                self.banks[bank_base + b].is_ready(now),
+                "read hit a gated bank"
+            );
         }
         for b in 0..footprint {
             self.banks[bank_base + b].record_read();
         }
         let alloc = self.warps[slot.0].as_ref().expect("checked above");
-        ReadResult { register: &alloc.regs[reg].value, banks_accessed: footprint }
+        ReadResult {
+            register: &alloc.regs[reg].value,
+            banks_accessed: footprint,
+        }
     }
 
     /// Writes a register value (already compressed or not by the caller's
@@ -326,7 +351,11 @@ impl RegisterFile {
         let Some(alloc) = self.warps.get(slot.0).and_then(Option::as_ref) else {
             return (0, 0);
         };
-        let compressed = alloc.regs.iter().filter(|r| r.value.is_compressed()).count();
+        let compressed = alloc
+            .regs
+            .iter()
+            .filter(|r| r.value.is_compressed())
+            .count();
         (compressed, alloc.regs.len())
     }
 
@@ -368,7 +397,11 @@ impl RegisterFile {
         RegFileStats {
             bank_reads: self.banks.iter().map(Bank::reads).collect(),
             bank_writes: self.banks.iter().map(Bank::writes).collect(),
-            gated_cycles: self.banks.iter().map(|b| b.gated_cycles_at(end_cycle)).collect(),
+            gated_cycles: self
+                .banks
+                .iter()
+                .map(|b| b.gated_cycles_at(end_cycle))
+                .collect(),
             wakeups: self.banks.iter().map(Bank::wakeups).sum(),
             total_cycles: end_cycle,
         }
@@ -392,11 +425,17 @@ mod tests {
     /// Gating with no hysteresis: banks gate the moment they empty, which
     /// makes wake-up timing exact for the tests below.
     fn eager_gating_file() -> RegisterFile {
-        RegisterFile::new(RegFileConfig { gating_hysteresis: 0, ..RegFileConfig::paper_baseline() })
+        RegisterFile::new(RegFileConfig {
+            gating_hysteresis: 0,
+            ..RegFileConfig::paper_baseline()
+        })
     }
 
     fn baseline_file() -> RegisterFile {
-        RegisterFile::new(RegFileConfig { gating: GatingMode::Off, ..RegFileConfig::paper_baseline() })
+        RegisterFile::new(RegFileConfig {
+            gating: GatingMode::Off,
+            ..RegFileConfig::paper_baseline()
+        })
     }
 
     fn compressed_zero() -> CompressedRegister {
@@ -404,8 +443,14 @@ mod tests {
     }
 
     /// Writes, transparently riding out a bank wake-up stall.
-    fn write_retry(rf: &mut RegisterFile, slot: WarpSlot, reg: usize, v: CompressedRegister, now: u64) -> usize {
-        match rf.write(slot, reg, v.clone(), now) {
+    fn write_retry(
+        rf: &mut RegisterFile,
+        slot: WarpSlot,
+        reg: usize,
+        v: CompressedRegister,
+        now: u64,
+    ) -> usize {
+        match rf.write(slot, reg, v, now) {
             Ok(n) => n,
             Err(WriteError::NotReady { ready_at }) => rf.write(slot, reg, v, ready_at).unwrap(),
             Err(e) => panic!("write failed: {e}"),
@@ -415,7 +460,8 @@ mod tests {
     #[test]
     fn allocate_read_write_round_trip() {
         let mut rf = wc_file();
-        rf.allocate_warp_with(WarpSlot(0), 4, &compressed_zero(), 0).unwrap();
+        rf.allocate_warp_with(WarpSlot(0), 4, &compressed_zero(), 0)
+            .unwrap();
         let codec = BdiCodec::default();
         let v = WarpRegister::from_fn(|t| 7 * t as u32);
         write_retry(&mut rf, WarpSlot(0), 2, codec.compress(&v), 0);
@@ -427,7 +473,10 @@ mod tests {
     fn double_allocation_rejected() {
         let mut rf = wc_file();
         rf.allocate_warp(WarpSlot(3), 4, 0).unwrap();
-        assert_eq!(rf.allocate_warp(WarpSlot(3), 4, 0), Err(RegFileError::SlotInUse(WarpSlot(3))));
+        assert_eq!(
+            rf.allocate_warp(WarpSlot(3), 4, 0),
+            Err(RegFileError::SlotInUse(WarpSlot(3)))
+        );
     }
 
     #[test]
@@ -435,7 +484,10 @@ mod tests {
         let mut rf = wc_file();
         // 256 entries / 64 regs = 4 slots per cluster, 16 total (0..16).
         assert!(rf.allocate_warp(WarpSlot(15), 64, 0).is_ok());
-        assert_eq!(rf.allocate_warp(WarpSlot(16), 64, 0), Err(RegFileError::SlotOutOfRange(WarpSlot(16))));
+        assert_eq!(
+            rf.allocate_warp(WarpSlot(16), 64, 0),
+            Err(RegFileError::SlotOutOfRange(WarpSlot(16)))
+        );
     }
 
     #[test]
@@ -459,7 +511,9 @@ mod tests {
         let mut rf = baseline_file();
         rf.allocate_warp(WarpSlot(0), 2, 0).unwrap();
         let v = WarpRegister::from_fn(|t| (t as u32).wrapping_mul(0x9E37_79B9));
-        let banks = rf.write(WarpSlot(0), 0, CompressedRegister::Uncompressed(v), 0).unwrap();
+        let banks = rf
+            .write(WarpSlot(0), 0, CompressedRegister::Uncompressed(v), 0)
+            .unwrap();
         assert_eq!(banks, 8);
         assert_eq!(rf.read(WarpSlot(0), 0, 1).banks_accessed, 8);
     }
@@ -467,7 +521,8 @@ mod tests {
     #[test]
     fn compressed_write_touches_fewer_banks() {
         let mut rf = wc_file();
-        rf.allocate_warp_with(WarpSlot(0), 2, &compressed_zero(), 0).unwrap();
+        rf.allocate_warp_with(WarpSlot(0), 2, &compressed_zero(), 0)
+            .unwrap();
         let codec = BdiCodec::default();
         let banks = rf
             .write(WarpSlot(0), 0, codec.compress(&WarpRegister::splat(9)), 0)
@@ -478,15 +533,19 @@ mod tests {
     #[test]
     fn growing_footprint_requires_wakeup() {
         let mut rf = eager_gating_file();
-        rf.allocate_warp_with(WarpSlot(0), 2, &compressed_zero(), 0).unwrap();
+        rf.allocate_warp_with(WarpSlot(0), 2, &compressed_zero(), 0)
+            .unwrap();
         // Banks 1..8 of cluster 0 are gated (only bank 0 holds the <4,0>
         // zeros). Writing an uncompressed value needs all 8.
         let v = WarpRegister::from_fn(|t| (t as u32).wrapping_mul(0x85EB_CA6B));
-        let err = rf.write(WarpSlot(0), 0, CompressedRegister::Uncompressed(v), 100).unwrap_err();
+        let err = rf
+            .write(WarpSlot(0), 0, CompressedRegister::Uncompressed(v), 100)
+            .unwrap_err();
         assert_eq!(err, WriteError::NotReady { ready_at: 110 });
         // Retry at ready time succeeds.
         assert_eq!(
-            rf.write(WarpSlot(0), 0, CompressedRegister::Uncompressed(v), 110).unwrap(),
+            rf.write(WarpSlot(0), 0, CompressedRegister::Uncompressed(v), 110)
+                .unwrap(),
             8
         );
     }
@@ -494,13 +553,21 @@ mod tests {
     #[test]
     fn shrinking_footprint_gates_upper_banks() {
         let mut rf = eager_gating_file();
-        rf.allocate_warp_with(WarpSlot(0), 1, &compressed_zero(), 0).unwrap();
+        rf.allocate_warp_with(WarpSlot(0), 1, &compressed_zero(), 0)
+            .unwrap();
         let v = WarpRegister::from_fn(|t| (t as u32).wrapping_mul(0x85EB_CA6B));
         // Grow to 8 banks (stalls on the wake-up of banks 1..8 first).
-        write_retry(&mut rf, WarpSlot(0), 0, CompressedRegister::Uncompressed(v), 0);
+        write_retry(
+            &mut rf,
+            WarpSlot(0),
+            0,
+            CompressedRegister::Uncompressed(v),
+            0,
+        );
         // Shrink back to 1 bank: banks 1..8 of cluster 0 empty at cycle 20.
         let codec = BdiCodec::default();
-        rf.write(WarpSlot(0), 0, codec.compress(&WarpRegister::splat(1)), 20).unwrap();
+        rf.write(WarpSlot(0), 0, codec.compress(&WarpRegister::splat(1)), 20)
+            .unwrap();
         let stats = rf.stats(120);
         for b in 1..8 {
             assert_eq!(stats.gated_cycles[b], 100, "bank {b}");
@@ -514,14 +581,15 @@ mod tests {
         // With the default hysteresis, an oscillating footprint close in
         // time never pays a wake-up.
         let mut rf = wc_file();
-        rf.allocate_warp_with(WarpSlot(0), 1, &compressed_zero(), 0).unwrap();
+        rf.allocate_warp_with(WarpSlot(0), 1, &compressed_zero(), 0)
+            .unwrap();
         let wide = CompressedRegister::Uncompressed(WarpRegister::from_fn(|t| {
             (t as u32).wrapping_mul(0x85EB_CA6B)
         }));
         let narrow = BdiCodec::default().compress(&WarpRegister::splat(1));
         for t in 0..20 {
-            rf.write(WarpSlot(0), 0, wide.clone(), t * 10).unwrap();
-            rf.write(WarpSlot(0), 0, narrow.clone(), t * 10 + 5).unwrap();
+            rf.write(WarpSlot(0), 0, wide, t * 10).unwrap();
+            rf.write(WarpSlot(0), 0, narrow, t * 10 + 5).unwrap();
         }
         assert_eq!(rf.stats(200).wakeups, 0);
     }
@@ -538,12 +606,14 @@ mod tests {
     #[test]
     fn census_counts_compressed_registers() {
         let mut rf = wc_file();
-        rf.allocate_warp_with(WarpSlot(0), 3, &compressed_zero(), 0).unwrap();
+        rf.allocate_warp_with(WarpSlot(0), 3, &compressed_zero(), 0)
+            .unwrap();
         assert_eq!(rf.compressed_census(), (3, 3));
         let v = WarpRegister::from_fn(|t| (t as u32).wrapping_mul(0x85EB_CA6B));
         let _ = rf.write(WarpSlot(0), 1, CompressedRegister::Uncompressed(v), 0);
         // First write stalls on wakeup; retry after it completes.
-        rf.write(WarpSlot(0), 1, CompressedRegister::Uncompressed(v), 10).unwrap();
+        rf.write(WarpSlot(0), 1, CompressedRegister::Uncompressed(v), 10)
+            .unwrap();
         assert_eq!(rf.compressed_census(), (2, 3));
     }
 
@@ -553,7 +623,8 @@ mod tests {
         rf.allocate_warp(WarpSlot(0), 2, 0).unwrap(); // cluster 0
         rf.allocate_warp(WarpSlot(1), 2, 0).unwrap(); // cluster 1
         let v = WarpRegister::splat(1);
-        rf.write(WarpSlot(1), 0, CompressedRegister::Uncompressed(v), 0).unwrap();
+        rf.write(WarpSlot(1), 0, CompressedRegister::Uncompressed(v), 0)
+            .unwrap();
         let stats = rf.stats(1);
         assert_eq!(stats.bank_writes[0], 0);
         assert_eq!(stats.bank_writes[8], 1);
@@ -573,7 +644,7 @@ mod tests {
     fn write_to_unallocated_is_an_error() {
         let mut rf = wc_file();
         let v = CompressedRegister::Uncompressed(WarpRegister::ZERO);
-        assert_eq!(rf.write(WarpSlot(0), 0, v.clone(), 0), Err(WriteError::Unallocated));
+        assert_eq!(rf.write(WarpSlot(0), 0, v, 0), Err(WriteError::Unallocated));
         rf.allocate_warp(WarpSlot(0), 2, 0).unwrap();
         assert_eq!(rf.write(WarpSlot(0), 5, v, 0), Err(WriteError::Unallocated));
     }
@@ -590,12 +661,19 @@ mod tests {
     fn indicator_reflects_stored_form() {
         use bdi::CompressionIndicator;
         let mut rf = wc_file();
-        rf.allocate_warp_with(WarpSlot(0), 1, &compressed_zero(), 0).unwrap();
-        assert_eq!(rf.indicator(WarpSlot(0), 0), Some(CompressionIndicator::Delta0));
+        rf.allocate_warp_with(WarpSlot(0), 1, &compressed_zero(), 0)
+            .unwrap();
+        assert_eq!(
+            rf.indicator(WarpSlot(0), 0),
+            Some(CompressionIndicator::Delta0)
+        );
         let codec = BdiCodec::default();
         let v = WarpRegister::from_fn(|t| 100 + t as u32);
         write_retry(&mut rf, WarpSlot(0), 0, codec.compress(&v), 0);
-        assert_eq!(rf.indicator(WarpSlot(0), 0), Some(CompressionIndicator::Delta1));
+        assert_eq!(
+            rf.indicator(WarpSlot(0), 0),
+            Some(CompressionIndicator::Delta1)
+        );
         assert_eq!(rf.indicator(WarpSlot(1), 0), None);
     }
 }

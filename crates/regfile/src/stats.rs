@@ -96,7 +96,12 @@ mod tests {
 
     #[test]
     fn zero_cycles_is_zero_fraction() {
-        let s = RegFileStats { gated_cycles: vec![5], bank_reads: vec![0], bank_writes: vec![0], ..Default::default() };
+        let s = RegFileStats {
+            gated_cycles: vec![5],
+            bank_reads: vec![0],
+            bank_writes: vec![0],
+            ..Default::default()
+        };
         assert_eq!(s.gated_fraction(0), 0.0);
         assert_eq!(s.mean_gated_fraction(), 0.0);
     }

@@ -19,10 +19,21 @@ const SLOTS: usize = 16;
 
 #[derive(Clone, Debug)]
 enum Op {
-    Allocate { slot: usize },
-    Free { slot: usize },
-    Write { slot: usize, reg: usize, value: RegValue },
-    Read { slot: usize, reg: usize },
+    Allocate {
+        slot: usize,
+    },
+    Free {
+        slot: usize,
+    },
+    Write {
+        slot: usize,
+        reg: usize,
+        value: RegValue,
+    },
+    Read {
+        slot: usize,
+        reg: usize,
+    },
 }
 
 /// Register-value patterns spanning all compression classes.
@@ -41,7 +52,9 @@ impl RegValue {
                 WarpRegister::from_fn(|t| base.wrapping_add(stride.wrapping_mul(t as u32)))
             }
             RegValue::Random(seed) => WarpRegister::from_fn(|t| {
-                (seed ^ t as u32).wrapping_mul(0x9E37_79B9).rotate_left(t as u32)
+                (seed ^ t as u32)
+                    .wrapping_mul(0x9E37_79B9)
+                    .rotate_left(t as u32)
             }),
         }
     }
@@ -59,13 +72,20 @@ fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
         (0..SLOTS).prop_map(|slot| Op::Allocate { slot }),
         (0..SLOTS).prop_map(|slot| Op::Free { slot }),
-        (0..SLOTS, 0..NUM_REGS, arb_value()).prop_map(|(slot, reg, value)| Op::Write { slot, reg, value }),
+        (0..SLOTS, 0..NUM_REGS, arb_value()).prop_map(|(slot, reg, value)| Op::Write {
+            slot,
+            reg,
+            value
+        }),
         (0..SLOTS, 0..NUM_REGS).prop_map(|(slot, reg)| Op::Read { slot, reg }),
     ]
 }
 
 /// Sum of footprints per physical bank according to the shadow model.
-fn expected_valid(shadow: &HashMap<usize, Vec<CompressedRegister>>, cfg: &RegFileConfig) -> Vec<usize> {
+fn expected_valid(
+    shadow: &HashMap<usize, Vec<CompressedRegister>>,
+    cfg: &RegFileConfig,
+) -> Vec<usize> {
     let mut valid = vec![0usize; cfg.num_banks];
     for (&slot, regs) in shadow {
         let cluster = slot % cfg.num_clusters();
@@ -90,22 +110,34 @@ fn check_invariants(
         prop_assert_eq!(rf.bank(b).valid_entries(), want, "bank {} valid entries", b);
     }
     // Census matches.
-    let compressed: usize =
-        shadow.values().flatten().filter(|r| r.is_compressed()).count();
+    let compressed: usize = shadow
+        .values()
+        .flatten()
+        .filter(|r| r.is_compressed())
+        .count();
     let total: usize = shadow.values().map(Vec::len).sum();
     prop_assert_eq!(rf.compressed_census(), (compressed, total));
     // Stored values decompress to the shadow values.
     for (&slot, regs) in shadow {
         for (reg, want) in regs.iter().enumerate() {
             let got = rf.peek(WarpSlot(slot), reg).expect("allocated");
-            prop_assert_eq!(codec.decompress(got), codec.decompress(want), "slot {} r{}", slot, reg);
+            prop_assert_eq!(
+                codec.decompress(got),
+                codec.decompress(want),
+                "slot {} r{}",
+                slot,
+                reg
+            );
         }
     }
     Ok(())
 }
 
 fn run_model(ops: Vec<Op>, gating: GatingMode) -> Result<(), TestCaseError> {
-    let cfg = RegFileConfig { gating, ..RegFileConfig::paper_baseline() };
+    let cfg = RegFileConfig {
+        gating,
+        ..RegFileConfig::paper_baseline()
+    };
     let mut rf = RegisterFile::new(cfg);
     let codec = BdiCodec::default();
     let mut shadow: HashMap<usize, Vec<CompressedRegister>> = HashMap::new();
@@ -119,9 +151,11 @@ fn run_model(ops: Vec<Op>, gating: GatingMode) -> Result<(), TestCaseError> {
                 match rf.allocate_warp_with(WarpSlot(slot), NUM_REGS, &initial, now) {
                     Ok(()) => {
                         prop_assert!(!shadow.contains_key(&slot), "allocated an occupied slot");
-                        shadow.insert(slot, vec![initial.clone(); NUM_REGS]);
+                        shadow.insert(slot, vec![initial; NUM_REGS]);
                     }
-                    Err(_) => prop_assert!(shadow.contains_key(&slot), "spurious allocation failure"),
+                    Err(_) => {
+                        prop_assert!(shadow.contains_key(&slot), "spurious allocation failure")
+                    }
                 }
             }
             Op::Free { slot } => {
@@ -130,10 +164,12 @@ fn run_model(ops: Vec<Op>, gating: GatingMode) -> Result<(), TestCaseError> {
             }
             Op::Write { slot, reg, value } => {
                 let compressed = codec.compress(&value.materialise());
-                match rf.write(WarpSlot(slot), reg, compressed.clone(), now) {
+                match rf.write(WarpSlot(slot), reg, compressed, now) {
                     Ok(banks) => {
                         prop_assert_eq!(banks, compressed.banks_required());
-                        let regs = shadow.get_mut(&slot).expect("write succeeded on allocated slot");
+                        let regs = shadow
+                            .get_mut(&slot)
+                            .expect("write succeeded on allocated slot");
                         regs[reg] = compressed;
                     }
                     Err(WriteError::Unallocated) => {
@@ -143,7 +179,7 @@ fn run_model(ops: Vec<Op>, gating: GatingMode) -> Result<(), TestCaseError> {
                         // Retry after the wake-up completes; must succeed.
                         now = ready_at;
                         let banks = rf
-                            .write(WarpSlot(slot), reg, compressed.clone(), now)
+                            .write(WarpSlot(slot), reg, compressed, now)
                             .expect("retry after wakeup succeeds");
                         prop_assert_eq!(banks, compressed.banks_required());
                         shadow.get_mut(&slot).expect("allocated")[reg] = compressed;

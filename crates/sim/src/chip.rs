@@ -72,7 +72,9 @@ impl GpuSim {
             let result = if start < end {
                 self.run_block_range(kernel, launch, memory, start..end, observer)?
             } else {
-                SimResult { stats: SimStats::default() }
+                SimResult {
+                    stats: SimStats::default(),
+                }
             };
             merge_stats(&mut chip, &result.stats);
             per_sm.push(result);
@@ -140,10 +142,14 @@ mod tests {
         let mut cfg = GpuConfig::warped_compression();
         cfg.num_sms = 15;
         let mut m_chip = GlobalMemory::zeroed(30 * 64);
-        let chip = GpuSim::new(cfg.clone()).run_chip(&kernel, &launch, &mut m_chip).unwrap();
+        let chip = GpuSim::new(cfg.clone())
+            .run_chip(&kernel, &launch, &mut m_chip)
+            .unwrap();
 
         let mut m_single = GlobalMemory::zeroed(30 * 64);
-        let single = GpuSim::new(cfg).run(&kernel, &launch, &mut m_single).unwrap();
+        let single = GpuSim::new(cfg)
+            .run(&kernel, &launch, &mut m_single)
+            .unwrap();
 
         assert_eq!(m_chip, m_single, "chip and single-SM results differ");
         assert_eq!(chip.chip.instructions, single.stats.instructions);
@@ -163,14 +169,19 @@ mod tests {
         let mut cfg = GpuConfig::warped_compression();
         cfg.num_sms = 3;
         let mut mem = GlobalMemory::zeroed(7 * 32);
-        let chip = GpuSim::new(cfg).run_chip(&kernel, &launch, &mut mem).unwrap();
+        let chip = GpuSim::new(cfg)
+            .run_chip(&kernel, &launch, &mut mem)
+            .unwrap();
         // ceil(7/3) = 3 blocks on SM0, 3 on SM1, 1 on SM2.
         for i in 0..7 * 32 {
             assert_eq!(mem.word(i), i as u32 + 5);
         }
         let total: u64 = chip.per_sm.iter().map(|r| r.stats.instructions).sum();
         assert_eq!(total, chip.chip.instructions);
-        assert_eq!(chip.per_sm[2].stats.instructions * 3, chip.per_sm[0].stats.instructions);
+        assert_eq!(
+            chip.per_sm[2].stats.instructions * 3,
+            chip.per_sm[0].stats.instructions
+        );
     }
 
     #[test]
@@ -180,9 +191,15 @@ mod tests {
         let mut cfg = GpuConfig::baseline();
         cfg.num_sms = 8;
         let mut mem = GlobalMemory::zeroed(64);
-        let chip = GpuSim::new(cfg).run_chip(&kernel, &launch, &mut mem).unwrap();
-        let busy = chip.per_sm.iter().filter(|r| r.stats.instructions > 0).count();
-        assert!(busy >= 1 && busy <= 2);
+        let chip = GpuSim::new(cfg)
+            .run_chip(&kernel, &launch, &mut mem)
+            .unwrap();
+        let busy = chip
+            .per_sm
+            .iter()
+            .filter(|r| r.stats.instructions > 0)
+            .count();
+        assert!((1..=2).contains(&busy));
         for i in 0..64 {
             assert_eq!(mem.word(i), i as u32 + 5);
         }

@@ -64,7 +64,10 @@ impl CompressionConfig {
 
     /// The uncompressed baseline: no compressor hardware at all.
     pub fn disabled() -> Self {
-        CompressionConfig { choices: ChoiceSet::disabled(), ..CompressionConfig::warped_compression() }
+        CompressionConfig {
+            choices: ChoiceSet::disabled(),
+            ..CompressionConfig::warped_compression()
+        }
     }
 
     /// Whether compression is active.
@@ -125,7 +128,10 @@ impl GpuConfig {
             alu_latency: 4,
             sfu_latency: 16,
             mem_latency: 100,
-            regfile: RegFileConfig { gating: gpu_regfile::GatingMode::Off, ..RegFileConfig::paper_baseline() },
+            regfile: RegFileConfig {
+                gating: gpu_regfile::GatingMode::Off,
+                ..RegFileConfig::paper_baseline()
+            },
             compression: CompressionConfig::disabled(),
             census_interval: 128,
             max_cycles: 200_000_000,

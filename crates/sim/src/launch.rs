@@ -18,8 +18,15 @@ impl LaunchConfig {
     /// Panics if `blocks` or `threads_per_block` is zero.
     pub fn new(blocks: usize, threads_per_block: usize) -> Self {
         assert!(blocks > 0, "launch needs at least one block");
-        assert!(threads_per_block > 0, "launch needs at least one thread per block");
-        LaunchConfig { blocks, threads_per_block, params: Vec::new() }
+        assert!(
+            threads_per_block > 0,
+            "launch needs at least one thread per block"
+        );
+        LaunchConfig {
+            blocks,
+            threads_per_block,
+            params: Vec::new(),
+        }
     }
 
     /// Adds the scalar kernel parameters readable via `Operand::Param(i)`.

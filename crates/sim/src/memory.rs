@@ -16,7 +16,11 @@ pub struct MemoryFault {
 
 impl fmt::Display for MemoryFault {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "global memory access at word {} out of range (size {})", self.addr, self.size)
+        write!(
+            f,
+            "global memory access at word {} out of range (size {})",
+            self.addr, self.size
+        )
     }
 }
 
@@ -35,7 +39,9 @@ pub struct GlobalMemory {
 impl GlobalMemory {
     /// Memory of `size` words, all zero.
     pub fn zeroed(size: usize) -> Self {
-        GlobalMemory { words: vec![0; size] }
+        GlobalMemory {
+            words: vec![0; size],
+        }
     }
 
     /// Memory initialised from the given words.
@@ -59,10 +65,10 @@ impl GlobalMemory {
     ///
     /// [`MemoryFault`] when `addr` is out of range.
     pub fn load(&self, addr: u32) -> Result<u32, MemoryFault> {
-        self.words
-            .get(addr as usize)
-            .copied()
-            .ok_or(MemoryFault { addr, size: self.words.len() })
+        self.words.get(addr as usize).copied().ok_or(MemoryFault {
+            addr,
+            size: self.words.len(),
+        })
     }
 
     /// Stores one word.

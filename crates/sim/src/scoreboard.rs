@@ -25,7 +25,10 @@ impl Scoreboard {
     /// Whether an instruction reading `srcs` and writing `dst` may issue
     /// on `warp`.
     pub fn can_issue(&self, warp: usize, srcs: &[usize], dst: Option<usize>) -> bool {
-        if srcs.iter().any(|&r| self.pending_writes.contains_key(&(warp, r))) {
+        if srcs
+            .iter()
+            .any(|&r| self.pending_writes.contains_key(&(warp, r)))
+        {
             return false; // RAW
         }
         if let Some(d) = dst {
@@ -57,7 +60,10 @@ impl Scoreboard {
     /// Panics if a read was never registered — an accounting bug.
     pub fn release_reads(&mut self, warp: usize, srcs: &[usize]) {
         for &r in srcs {
-            let n = self.pending_reads.get_mut(&(warp, r)).expect("release of unregistered read");
+            let n = self
+                .pending_reads
+                .get_mut(&(warp, r))
+                .expect("release of unregistered read");
             *n -= 1;
             if *n == 0 {
                 self.pending_reads.remove(&(warp, r));
@@ -71,7 +77,10 @@ impl Scoreboard {
     ///
     /// Panics if the write was never registered.
     pub fn release_write(&mut self, warp: usize, dst: usize) {
-        let n = self.pending_writes.get_mut(&(warp, dst)).expect("release of unregistered write");
+        let n = self
+            .pending_writes
+            .get_mut(&(warp, dst))
+            .expect("release of unregistered write");
         *n -= 1;
         if *n == 0 {
             self.pending_writes.remove(&(warp, dst));

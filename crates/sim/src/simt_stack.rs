@@ -46,7 +46,13 @@ impl SimtStack {
     /// thread.
     pub fn new(initial_mask: u32, start_pc: usize) -> Self {
         assert!(initial_mask != 0, "warp needs a non-empty initial mask");
-        SimtStack { entries: vec![Entry { pc: start_pc, mask: initial_mask, reconv: TOP_LEVEL }] }
+        SimtStack {
+            entries: vec![Entry {
+                pc: start_pc,
+                mask: initial_mask,
+                reconv: TOP_LEVEL,
+            }],
+        }
     }
 
     /// Current pc, or `None` once every thread has exited.
@@ -111,8 +117,16 @@ impl SimtStack {
             // fall-through path, then the taken path (runs first).
             let top = self.entries.last_mut().expect("checked non-empty");
             top.pc = reconv;
-            self.entries.push(Entry { pc: fall_pc, mask: fall_mask, reconv });
-            self.entries.push(Entry { pc: target, mask: taken_mask, reconv });
+            self.entries.push(Entry {
+                pc: fall_pc,
+                mask: fall_mask,
+                reconv,
+            });
+            self.entries.push(Entry {
+                pc: target,
+                mask: taken_mask,
+                reconv,
+            });
         }
         self.pop_reconverged();
         diverged
@@ -225,7 +239,7 @@ mod tests {
         assert!(s.branch(0x3, 1, 3));
         assert_eq!((s.pc(), s.mask()), (Some(1), 0x3));
         s.advance(); // pc 2 (branch again)
-        // Now all remaining threads exit the loop.
+                     // Now all remaining threads exit the loop.
         assert!(!s.branch(0x0, 1, 3));
         // Fall-through entry reaches pc 3 == reconv, pops; base entry at 3.
         assert_eq!((s.pc(), s.mask()), (Some(3), 0x7));

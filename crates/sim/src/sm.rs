@@ -13,9 +13,9 @@ use simt_isa::{Instruction, Kernel, LatencyClass, Operand, Special};
 use crate::config::{DivergencePolicy, GpuConfig, SchedulerPolicy};
 use crate::launch::LaunchConfig;
 use crate::memory::{GlobalMemory, MemoryFault};
+use crate::scoreboard::Scoreboard;
 use crate::stats::{SimStats, WriteEvent};
 use crate::warp::WarpState;
-use crate::scoreboard::Scoreboard;
 
 /// Simulation failures.
 #[derive(Clone, Debug, PartialEq)]
@@ -51,7 +51,10 @@ impl fmt::Display for SimError {
             SimError::Memory(m) => write!(f, "memory fault: {m}"),
             SimError::CycleLimit { limit } => write!(f, "cycle limit of {limit} exceeded"),
             SimError::Deadlock { cycle } => write!(f, "no forward progress by cycle {cycle}"),
-            SimError::BlockTooLarge { warps_needed, slots_available } => write!(
+            SimError::BlockTooLarge {
+                warps_needed,
+                slots_available,
+            } => write!(
                 f,
                 "block needs {warps_needed} warps but only {slots_available} slots fit this kernel"
             ),
@@ -177,10 +180,18 @@ struct Collector {
 
 #[derive(Clone, Debug)]
 enum WbState {
-    Await { done_at: u64 },
+    Await {
+        done_at: u64,
+    },
     NeedCompressor,
-    Compressing { done_at: u64, compressed: CompressedRegister },
-    Ready { compressed: CompressedRegister, not_before: u64 },
+    Compressing {
+        done_at: u64,
+        compressed: CompressedRegister,
+    },
+    Ready {
+        compressed: CompressedRegister,
+        not_before: u64,
+    },
 }
 
 #[derive(Clone, Debug)]
@@ -237,7 +248,10 @@ impl<'a> Engine<'a> {
         let max_resident = cfg.max_warps_per_sm.min(regfile.max_slots(num_regs));
         let warps_needed = launch.warps_per_block(cfg.warp_size);
         if warps_needed > max_resident {
-            return Err(SimError::BlockTooLarge { warps_needed, slots_available: max_resident });
+            return Err(SimError::BlockTooLarge {
+                warps_needed,
+                slots_available: max_resident,
+            });
         }
         let codec = BdiCodec::new(cfg.compression.choices.clone());
         let initial_reg = if cfg.compression.is_enabled() {
@@ -281,14 +295,16 @@ impl<'a> Engine<'a> {
             self.writeback_stage();
             self.collector_stage()?;
             self.issue_stage();
-            if self.cfg.census_interval > 0 && self.now % self.cfg.census_interval == 0 {
+            if self.cfg.census_interval > 0 && self.now.is_multiple_of(self.cfg.census_interval) {
                 self.sample_census();
             }
             self.retire_warps();
             self.launch_blocks()?;
             self.now += 1;
             if self.now > self.cfg.max_cycles {
-                return Err(SimError::CycleLimit { limit: self.cfg.max_cycles });
+                return Err(SimError::CycleLimit {
+                    limit: self.cfg.max_cycles,
+                });
             }
             if self.now.saturating_sub(self.last_progress) > DEADLOCK_WINDOW {
                 return Err(SimError::Deadlock { cycle: self.now });
@@ -314,8 +330,10 @@ impl<'a> Engine<'a> {
             if self.next_block >= self.last_block {
                 return Ok(());
             }
-            let free: Vec<usize> =
-                (0..self.warps.len()).filter(|&s| self.warps[s].is_none()).take(wpb).collect();
+            let free: Vec<usize> = (0..self.warps.len())
+                .filter(|&s| self.warps[s].is_none())
+                .take(wpb)
+                .collect();
             if free.len() < wpb {
                 return Ok(());
             }
@@ -323,7 +341,12 @@ impl<'a> Engine<'a> {
             let tpb = self.launch.threads_per_block();
             for (w, &slot) in free.iter().enumerate() {
                 let threads = (tpb - w * self.cfg.warp_size).min(self.cfg.warp_size);
-                self.regfile.allocate_warp_with(WarpSlot(slot), self.num_regs, &self.initial_reg, self.now)?;
+                self.regfile.allocate_warp_with(
+                    WarpSlot(slot),
+                    self.num_regs,
+                    &self.initial_reg,
+                    self.now,
+                )?;
                 self.warps[slot] = Some(WarpState::new(slot, block, w, threads, self.launch_seq));
                 self.launch_seq += 1;
             }
@@ -366,13 +389,16 @@ impl<'a> Engine<'a> {
     fn schedule_order(&self, s: usize) -> Vec<usize> {
         let mut slots: Vec<usize> = (0..self.warps.len())
             .filter(|&slot| slot % self.cfg.num_schedulers == s)
-            .filter(|&slot| {
-                matches!(&self.warps[slot], Some(w) if !w.is_done() && !w.blocked)
-            })
+            .filter(|&slot| matches!(&self.warps[slot], Some(w) if !w.is_done() && !w.blocked))
             .collect();
         match self.cfg.scheduler {
             SchedulerPolicy::Gto => {
-                slots.sort_by_key(|&slot| self.warps[slot].as_ref().map(|w| w.launch_seq).unwrap_or(u64::MAX));
+                slots.sort_by_key(|&slot| {
+                    self.warps[slot]
+                        .as_ref()
+                        .map(|w| w.launch_seq)
+                        .unwrap_or(u64::MAX)
+                });
                 if let Some(last) = self.sched_last[s] {
                     if let Some(pos) = slots.iter().position(|&x| x == last) {
                         let greedy = slots.remove(pos);
@@ -393,8 +419,12 @@ impl<'a> Engine<'a> {
 
     /// Attempts to issue one instruction from the warp in `slot`.
     fn try_issue(&mut self, slot: usize) -> bool {
-        let Some(warp) = self.warps[slot].as_ref() else { return false };
-        let Some(pc) = warp.stack.pc() else { return false };
+        let Some(warp) = self.warps[slot].as_ref() else {
+            return false;
+        };
+        let Some(pc) = warp.stack.pc() else {
+            return false;
+        };
         let instr = *self.kernel.instr(pc).expect("pc validated by Kernel");
         let mask = warp.stack.mask();
         let divergent = warp.is_divergent();
@@ -411,7 +441,10 @@ impl<'a> Engine<'a> {
         let (actual, actual_mask, synthetic) = if inject {
             let d = instr.dst().expect("inject requires a destination");
             (
-                Instruction::Mov { dst: d, src: Operand::Reg(d) },
+                Instruction::Mov {
+                    dst: d,
+                    src: Operand::Reg(d),
+                },
                 self.warps[slot].as_ref().expect("checked").full_mask,
                 true,
             )
@@ -493,7 +526,9 @@ impl<'a> Engine<'a> {
 
     fn collector_stage(&mut self) -> Result<(), SimError> {
         for ci in 0..self.collectors.len() {
-            let Some(mut c) = self.collectors[ci].take() else { continue };
+            let Some(mut c) = self.collectors[ci].take() else {
+                continue;
+            };
             self.fetch_operands(&mut c);
             if c.fetches.iter().all(|f| f.value.is_some()) {
                 self.dispatch(c)?;
@@ -529,7 +564,9 @@ impl<'a> Engine<'a> {
             if compressed {
                 self.decomp_starts += 1;
                 self.stats.decompressor_activations += 1;
-                c.decomp_extra = c.decomp_extra.max(self.cfg.compression.decompression_latency);
+                c.decomp_extra = c
+                    .decomp_extra
+                    .max(self.cfg.compression.decompression_latency);
             }
         }
     }
@@ -537,9 +574,14 @@ impl<'a> Engine<'a> {
     fn dispatch(&mut self, c: Collector) -> Result<(), SimError> {
         let srcs: Vec<usize> = c.fetches.iter().map(|f| f.reg).collect();
         self.scoreboard.release_reads(c.slot, &srcs);
-        let values: HashMap<usize, WarpRegister> =
-            c.fetches.iter().map(|f| (f.reg, f.value.expect("dispatch requires all operands"))).collect();
-        let warp = self.warps[c.slot].as_ref().expect("warp alive while in flight");
+        let values: HashMap<usize, WarpRegister> = c
+            .fetches
+            .iter()
+            .map(|f| (f.reg, f.value.expect("dispatch requires all operands")))
+            .collect();
+        let warp = self.warps[c.slot]
+            .as_ref()
+            .expect("warp alive while in flight");
         let warp_size = self.cfg.warp_size;
 
         let eval = |op: Operand, lane: usize| -> u32 {
@@ -603,7 +645,11 @@ impl<'a> Engine<'a> {
                 warp.inflight -= 1;
                 warp.pending_mem -= 1;
             }
-            Instruction::Bra { pred, target, reconv } => {
+            Instruction::Bra {
+                pred,
+                target,
+                reconv,
+            } => {
                 let pv = &values[&pred.index()];
                 let mut taken = 0u32;
                 for lane in 0..warp_size {
@@ -686,17 +732,29 @@ impl<'a> Engine<'a> {
                 self.comp_starts += 1;
                 self.stats.compressor_activations += 1;
                 let compressed = self.codec.compress(&e.result);
-                e.state = WbState::Compressing { done_at: self.now + comp.compression_latency, compressed };
+                e.state = WbState::Compressing {
+                    done_at: self.now + comp.compression_latency,
+                    compressed,
+                };
                 StepOutcome::Progress
             }
-            WbState::Compressing { done_at, compressed } => {
+            WbState::Compressing {
+                done_at,
+                compressed,
+            } => {
                 if self.now < *done_at {
                     return StepOutcome::Stalled;
                 }
-                e.state = WbState::Ready { compressed: compressed.clone(), not_before: self.now };
+                e.state = WbState::Ready {
+                    compressed: *compressed,
+                    not_before: self.now,
+                };
                 StepOutcome::Progress
             }
-            WbState::Ready { compressed, not_before } => {
+            WbState::Ready {
+                compressed,
+                not_before,
+            } => {
                 if self.now < *not_before {
                     return StepOutcome::Stalled;
                 }
@@ -706,14 +764,19 @@ impl<'a> Engine<'a> {
                 if !self.ports.try_write(bank_base..bank_base + banks) {
                     return StepOutcome::Stalled;
                 }
-                match self.regfile.write(WarpSlot(e.slot), e.reg, compressed.clone(), self.now) {
+                match self
+                    .regfile
+                    .write(WarpSlot(e.slot), e.reg, *compressed, self.now)
+                {
                     Ok(_) => {
                         self.retire_write(e, compressed.is_compressed());
                         StepOutcome::Retired
                     }
                     Err(WriteError::NotReady { ready_at }) => {
-                        e.state =
-                            WbState::Ready { compressed: compressed.clone(), not_before: ready_at };
+                        e.state = WbState::Ready {
+                            compressed: *compressed,
+                            not_before: ready_at,
+                        };
                         StepOutcome::Stalled
                     }
                     Err(WriteError::Unallocated) => {
@@ -773,9 +836,15 @@ impl<'a> Engine<'a> {
                 self.stats.nondiv_stored_bytes += stored;
             }
         }
-        (self.observer)(&WriteEvent { value: e.result, divergent: e.divergent, synthetic: e.synthetic });
+        (self.observer)(&WriteEvent {
+            value: e.result,
+            divergent: e.divergent,
+            synthetic: e.synthetic,
+        });
         self.scoreboard.release_write(e.slot, e.reg);
-        let warp = self.warps[e.slot].as_mut().expect("warp alive while in flight");
+        let warp = self.warps[e.slot]
+            .as_mut()
+            .expect("warp alive while in flight");
         warp.inflight -= 1;
     }
 
@@ -785,7 +854,9 @@ impl<'a> Engine<'a> {
 
     fn sample_census(&mut self) {
         for slot in 0..self.warps.len() {
-            let Some(w) = self.warps[slot].as_ref() else { continue };
+            let Some(w) = self.warps[slot].as_ref() else {
+                continue;
+            };
             if w.is_done() {
                 continue;
             }
@@ -830,7 +901,9 @@ mod tests {
         launch: &LaunchConfig,
         memory: &mut GlobalMemory,
     ) -> SimResult {
-        GpuSim::new(cfg).run(kernel, launch, memory).expect("simulation succeeds")
+        GpuSim::new(cfg)
+            .run(kernel, launch, memory)
+            .expect("simulation succeeds")
     }
 
     /// mem[gtid] = gtid * 2 + 1
@@ -848,7 +921,12 @@ mod tests {
     fn straight_line_kernel_computes_correctly_baseline() {
         let kernel = affine_kernel();
         let mut mem = GlobalMemory::zeroed(128);
-        run_kernel(GpuConfig::baseline(), &kernel, &LaunchConfig::new(2, 64), &mut mem);
+        run_kernel(
+            GpuConfig::baseline(),
+            &kernel,
+            &LaunchConfig::new(2, 64),
+            &mut mem,
+        );
         for i in 0..128 {
             assert_eq!(mem.word(i), (i * 2 + 1) as u32, "word {i}");
         }
@@ -858,7 +936,12 @@ mod tests {
     fn straight_line_kernel_computes_correctly_compressed() {
         let kernel = affine_kernel();
         let mut mem = GlobalMemory::zeroed(128);
-        let r = run_kernel(GpuConfig::warped_compression(), &kernel, &LaunchConfig::new(2, 64), &mut mem);
+        let r = run_kernel(
+            GpuConfig::warped_compression(),
+            &kernel,
+            &LaunchConfig::new(2, 64),
+            &mut mem,
+        );
         for i in 0..128 {
             assert_eq!(mem.word(i), (i * 2 + 1) as u32, "word {i}");
         }
@@ -903,7 +986,12 @@ mod tests {
         let kernel = b.build().unwrap();
 
         let mut mem = GlobalMemory::zeroed(32);
-        let r = run_kernel(GpuConfig::warped_compression(), &kernel, &LaunchConfig::new(1, 32), &mut mem);
+        let r = run_kernel(
+            GpuConfig::warped_compression(),
+            &kernel,
+            &LaunchConfig::new(1, 32),
+            &mut mem,
+        );
         for i in 0..32 {
             assert_eq!(mem.word(i), if i < 16 { 1 } else { 2 }, "word {i}");
         }
@@ -931,7 +1019,12 @@ mod tests {
         let kernel = b.build().unwrap();
 
         let mut mem = GlobalMemory::zeroed(32);
-        let r = run_kernel(GpuConfig::warped_compression(), &kernel, &LaunchConfig::new(1, 32), &mut mem);
+        let r = run_kernel(
+            GpuConfig::warped_compression(),
+            &kernel,
+            &LaunchConfig::new(1, 32),
+            &mut mem,
+        );
         assert!(r.stats.synthetic_movs > 0, "expected injected MOVs");
         for i in 0..32u32 {
             assert_eq!(mem.word(i as usize), if i < 8 { i * i } else { 7 });
@@ -954,7 +1047,12 @@ mod tests {
         b.exit();
         let kernel = b.build().unwrap();
         let mut mem = GlobalMemory::zeroed(1);
-        let r = run_kernel(GpuConfig::baseline(), &kernel, &LaunchConfig::new(1, 32), &mut mem);
+        let r = run_kernel(
+            GpuConfig::baseline(),
+            &kernel,
+            &LaunchConfig::new(1, 32),
+            &mut mem,
+        );
         assert_eq!(r.stats.synthetic_movs, 0);
     }
 
@@ -976,7 +1074,12 @@ mod tests {
         b.exit();
         let kernel = b.build().unwrap();
         let mut mem = GlobalMemory::zeroed(32);
-        let r = run_kernel(GpuConfig::warped_compression(), &kernel, &LaunchConfig::new(1, 32), &mut mem);
+        let r = run_kernel(
+            GpuConfig::warped_compression(),
+            &kernel,
+            &LaunchConfig::new(1, 32),
+            &mut mem,
+        );
         for i in 0..32 {
             assert_eq!(mem.word(i), 45);
         }
@@ -1012,7 +1115,12 @@ mod tests {
     fn many_blocks_round_robin_through_slots() {
         let kernel = affine_kernel();
         let mut mem = GlobalMemory::zeroed(32 * 64);
-        run_kernel(GpuConfig::warped_compression(), &kernel, &LaunchConfig::new(64, 32), &mut mem);
+        run_kernel(
+            GpuConfig::warped_compression(),
+            &kernel,
+            &LaunchConfig::new(64, 32),
+            &mut mem,
+        );
         for i in 0..(32 * 64) {
             assert_eq!(mem.word(i), (i * 2 + 1) as u32);
         }
@@ -1036,7 +1144,9 @@ mod tests {
         let mut mem = GlobalMemory::zeroed(32);
         let mut events = Vec::new();
         GpuSim::new(GpuConfig::warped_compression())
-            .run_observed(&kernel, &LaunchConfig::new(1, 32), &mut mem, &mut |e| events.push(*e))
+            .run_observed(&kernel, &LaunchConfig::new(1, 32), &mut mem, &mut |e| {
+                events.push(*e)
+            })
             .unwrap();
         assert_eq!(events.len() as u64, 3); // three register-writing instructions
         assert!(events.iter().all(|e| !e.divergent && !e.synthetic));

@@ -155,7 +155,12 @@ mod tests {
 
     #[test]
     fn census_fractions() {
-        let c = CensusStats { nondiv_compressed: 75, nondiv_total: 100, div_compressed: 10, div_total: 40 };
+        let c = CensusStats {
+            nondiv_compressed: 75,
+            nondiv_total: 100,
+            div_compressed: 10,
+            div_total: 40,
+        };
         assert!((c.nondiv_fraction() - 0.75).abs() < 1e-12);
         assert!((c.div_fraction().unwrap() - 0.25).abs() < 1e-12);
         let none = CensusStats::default();

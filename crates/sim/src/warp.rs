@@ -31,9 +31,19 @@ pub struct WarpState {
 
 impl WarpState {
     /// Creates a warp ready to run from pc 0.
-    pub fn new(slot: usize, block: usize, warp_in_block: usize, threads: usize, launch_seq: u64) -> Self {
+    pub fn new(
+        slot: usize,
+        block: usize,
+        warp_in_block: usize,
+        threads: usize,
+        launch_seq: u64,
+    ) -> Self {
         assert!((1..=32).contains(&threads), "warp needs 1..=32 threads");
-        let full_mask = if threads == 32 { u32::MAX } else { (1u32 << threads) - 1 };
+        let full_mask = if threads == 32 {
+            u32::MAX
+        } else {
+            (1u32 << threads) - 1
+        };
         WarpState {
             slot,
             block,

@@ -5,9 +5,7 @@
 //! simulation must be deterministic.
 
 use bdi::ChoiceSet;
-use gpu_sim::{
-    CompressionConfig, DivergencePolicy, GlobalMemory, GpuConfig, GpuSim, LaunchConfig,
-};
+use gpu_sim::{CompressionConfig, DivergencePolicy, GlobalMemory, GpuConfig, GpuSim, LaunchConfig};
 use proptest::prelude::*;
 use simt_isa::{AluOp, Kernel, Operand, Reg, Special};
 
@@ -17,11 +15,28 @@ const NUM_REGS: u8 = 8;
 
 #[derive(Clone, Debug)]
 enum Stmt {
-    Alu { op: AluOp, dst: u8, a: Src, b: Src },
-    Load { dst: u8 },
-    Store { src: u8 },
-    IfThenElse { cmp: AluOp, threshold: i32, then_s: Vec<Stmt>, else_s: Vec<Stmt> },
-    Loop { trips: u8, body: Vec<Stmt> },
+    Alu {
+        op: AluOp,
+        dst: u8,
+        a: Src,
+        b: Src,
+    },
+    Load {
+        dst: u8,
+    },
+    Store {
+        src: u8,
+    },
+    IfThenElse {
+        cmp: AluOp,
+        threshold: i32,
+        then_s: Vec<Stmt>,
+        else_s: Vec<Stmt>,
+    },
+    Loop {
+        trips: u8,
+        body: Vec<Stmt>,
+    },
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -36,8 +51,13 @@ fn arb_src() -> impl Strategy<Value = Src> {
     prop_oneof![
         (2u8..NUM_REGS).prop_map(Src::Reg),
         (-100i32..100).prop_map(Src::Imm),
-        prop::sample::select(vec![Special::Tid, Special::Bid, Special::LaneId, Special::GlobalTid])
-            .prop_map(Src::Special),
+        prop::sample::select(vec![
+            Special::Tid,
+            Special::Bid,
+            Special::LaneId,
+            Special::GlobalTid
+        ])
+        .prop_map(Src::Special),
         (0u8..3).prop_map(Src::Param),
     ]
 }
@@ -66,18 +86,24 @@ fn arb_cmp() -> impl Strategy<Value = AluOp> {
 /// `in_loop` forbids nested `Loop`s: all loops share the r1 counter, and
 /// an inner loop resetting r1 would make the outer loop infinite.
 fn arb_stmt(depth: u32, in_loop: bool) -> BoxedStrategy<Stmt> {
-    let leaf = prop_oneof![
-        (arb_alu(), 2u8..NUM_REGS, arb_src(), arb_src())
-            .prop_map(|(op, dst, a, b)| Stmt::Alu { op, dst, a, b }),
-        (2u8..NUM_REGS).prop_map(|dst| Stmt::Load { dst }),
-        (2u8..NUM_REGS).prop_map(|src| Stmt::Store { src }),
-    ];
+    let leaf =
+        prop_oneof![
+            (arb_alu(), 2u8..NUM_REGS, arb_src(), arb_src())
+                .prop_map(|(op, dst, a, b)| Stmt::Alu { op, dst, a, b }),
+            (2u8..NUM_REGS).prop_map(|dst| Stmt::Load { dst }),
+            (2u8..NUM_REGS).prop_map(|src| Stmt::Store { src }),
+        ];
     if depth == 0 {
         leaf.boxed()
     } else {
         let if_body = prop::collection::vec(arb_stmt(depth - 1, in_loop), 1..4);
         let ite = (arb_cmp(), -20i32..60, if_body.clone(), if_body).prop_map(
-            |(cmp, threshold, then_s, else_s)| Stmt::IfThenElse { cmp, threshold, then_s, else_s },
+            |(cmp, threshold, then_s, else_s)| Stmt::IfThenElse {
+                cmp,
+                threshold,
+                then_s,
+                else_s,
+            },
         );
         if in_loop {
             prop_oneof![4 => leaf, 1 => ite].boxed()
@@ -142,7 +168,12 @@ fn lower(p: &Program) -> Kernel {
                 Stmt::Store { src } => {
                     b.st(Reg(0), 0, Reg(*src));
                 }
-                Stmt::IfThenElse { cmp, threshold, then_s, else_s } => {
+                Stmt::IfThenElse {
+                    cmp,
+                    threshold,
+                    then_s,
+                    else_s,
+                } => {
                     // Predicate goes in r2, never r1: r1 is the loop
                     // counter and clobbering it inside a loop body would
                     // change (or unbound) the trip count. The branch
@@ -172,7 +203,12 @@ fn lower(p: &Program) -> Kernel {
                     // use a dedicated compare into r2? Keep it simple and
                     // compare in place: counter < trips.
                     let exit = b.label();
-                    b.alu(AluOp::SetLt, Reg(2), pred.into(), Operand::Imm(i32::from(*trips)));
+                    b.alu(
+                        AluOp::SetLt,
+                        Reg(2),
+                        pred.into(),
+                        Operand::Imm(i32::from(*trips)),
+                    );
                     b.bra(Reg(2), head, exit);
                     b.bind(exit);
                 }
@@ -184,7 +220,12 @@ fn lower(p: &Program) -> Kernel {
     b.mov(Reg(0), Operand::Special(Special::GlobalTid));
     // Give the data registers deterministic, thread-varying initials.
     for r in 2..NUM_REGS {
-        b.alu(AluOp::Add, Reg(r), Reg(0).into(), Operand::Imm(i32::from(r)));
+        b.alu(
+            AluOp::Add,
+            Reg(r),
+            Reg(0).into(),
+            Operand::Imm(i32::from(r)),
+        );
     }
     emit(&mut b, &p.stmts);
     b.st(Reg(0), 0, Reg(2));
@@ -213,8 +254,10 @@ fn dmr_config() -> GpuConfig {
 
 fn single_choice_config() -> GpuConfig {
     let mut cfg = GpuConfig::warped_compression();
-    cfg.compression =
-        CompressionConfig { choices: ChoiceSet::only(bdi::FixedChoice::Delta1), ..cfg.compression };
+    cfg.compression = CompressionConfig {
+        choices: ChoiceSet::only(bdi::FixedChoice::Delta1),
+        ..cfg.compression
+    };
     cfg
 }
 

@@ -20,12 +20,7 @@ pub fn random_words(salt: u64, n: usize, lo: u32, hi: u32) -> Vec<u32> {
 /// Emits `if (pred != 0) { body }` with proper reconvergence.
 ///
 /// `tmp` is clobbered with the inverted predicate.
-pub fn if_then(
-    b: &mut KernelBuilder,
-    pred: Reg,
-    tmp: Reg,
-    body: impl FnOnce(&mut KernelBuilder),
-) {
+pub fn if_then(b: &mut KernelBuilder, pred: Reg, tmp: Reg, body: impl FnOnce(&mut KernelBuilder)) {
     let merge = b.label();
     b.alu(AluOp::SetEq, tmp, pred.into(), Operand::Imm(0));
     b.bra(tmp, merge, merge);
@@ -121,7 +116,9 @@ mod tests {
     fn rng_is_deterministic_and_salted() {
         assert_eq!(random_words(1, 8, 0, 100), random_words(1, 8, 0, 100));
         assert_ne!(random_words(1, 8, 0, 100), random_words(2, 8, 0, 100));
-        assert!(random_words(3, 100, 5, 10).iter().all(|&w| (5..10).contains(&w)));
+        assert!(random_words(3, 100, 5, 10)
+            .iter()
+            .all(|&w| (5..10).contains(&w)));
     }
 
     #[test]

@@ -28,8 +28,12 @@ pub fn build() -> Workload {
     let mut words = vec![0u32; MEM_WORDS];
     words[..256].copy_from_slice(&random_words(0x11, 256, 0, 1 << 24));
     words[256..256 + ROUNDS].copy_from_slice(&random_words(0x12, ROUNDS, 0, u32::MAX));
-    words[STATE_OFF as usize..STATE_OFF as usize + N]
-        .copy_from_slice(&random_words(0x13, N, 0, u32::MAX));
+    words[STATE_OFF as usize..STATE_OFF as usize + N].copy_from_slice(&random_words(
+        0x13,
+        N,
+        0,
+        u32::MAX,
+    ));
     let launch = LaunchConfig::new(BLOCKS, BLOCK).with_params(vec![ROUNDS as u32]);
     Workload::new(
         "aes",
@@ -87,7 +91,11 @@ mod tests {
         assert_eq!(r.stats.compression_ratio_div(), None, "no divergent writes");
         // Much of the state stream is random; the ratio should be far
         // below a similarity-heavy benchmark like lib.
-        assert!(r.stats.compression_ratio_nondiv() < 2.0, "ratio {}", r.stats.compression_ratio_nondiv());
+        assert!(
+            r.stats.compression_ratio_nondiv() < 2.0,
+            "ratio {}",
+            r.stats.compression_ratio_nondiv()
+        );
         // Output actually changed.
         let out = &mem.words()[OUT_OFF as usize..OUT_OFF as usize + N];
         assert!(out.iter().any(|&v| v != 0));

@@ -25,8 +25,7 @@ pub fn build() -> Workload {
     let mut words = vec![0u32; MEM_WORDS];
     words[..INPUTS * N].copy_from_slice(&random_words(0x41, INPUTS * N, 0, 16));
     words[INPUTS * N..INPUTS * N + INPUTS].copy_from_slice(&random_words(0x42, INPUTS, 0, 8));
-    let launch = LaunchConfig::new(BLOCKS, BLOCK)
-        .with_params(vec![INPUTS as u32, N as u32]);
+    let launch = LaunchConfig::new(BLOCKS, BLOCK).with_params(vec![INPUTS as u32, N as u32]);
     Workload::new(
         "backprop",
         "Rodinia backprop layer: strided weight addressing (affine in tid), small operand ranges, fully convergent",

@@ -36,7 +36,9 @@ pub fn build() -> Workload {
     }
     let edges = random_words(0x22, total as usize, 0, N as u32);
     let mut frontier_rng = rng(0x23);
-    let frontier: Vec<u32> = (0..N).map(|_| u32::from(frontier_rng.gen_bool(0.6))).collect();
+    let frontier: Vec<u32> = (0..N)
+        .map(|_| u32::from(frontier_rng.gen_bool(0.6)))
+        .collect();
 
     let mem_words = EDGES_OFF as usize + total as usize;
     let mut words = vec![0u32; mem_words];
@@ -119,6 +121,6 @@ mod tests {
         );
         // Some nodes were visited (cost set to level+1 = 2).
         let cost = &mem.words()[COST_OFF as usize..COST_OFF as usize + N];
-        assert!(cost.iter().any(|&c| c == 2));
+        assert!(cost.contains(&2));
     }
 }

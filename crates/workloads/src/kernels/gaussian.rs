@@ -25,8 +25,7 @@ pub fn build() -> Workload {
     words[..COLS].copy_from_slice(&random_words(0x61, COLS, 1, 100));
     words[COLS..COLS + ROWS * COLS].copy_from_slice(&random_words(0x62, ROWS * COLS, 0, 1000));
     words[MULT_OFF as usize..].copy_from_slice(&random_words(0x63, ROWS, 1, 8));
-    let launch = LaunchConfig::new(BLOCKS, BLOCK)
-        .with_params(vec![ROWS as u32, COLS as u32]);
+    let launch = LaunchConfig::new(BLOCKS, BLOCK).with_params(vec![ROWS as u32, COLS as u32]);
     Workload::new(
         "gaussian",
         "Rodinia Gaussian elimination: uniform pivot multipliers, affine row addressing, fully convergent",
@@ -75,7 +74,8 @@ mod tests {
     fn eliminates_rows_without_divergence() {
         let w = build();
         let mut mem = w.fresh_memory();
-        let before: Vec<u32> = mem.words()[MAT_OFF as usize..MAT_OFF as usize + ROWS * COLS].to_vec();
+        let before: Vec<u32> =
+            mem.words()[MAT_OFF as usize..MAT_OFF as usize + ROWS * COLS].to_vec();
         let r = GpuSim::new(GpuConfig::warped_compression())
             .run(w.kernel(), w.launch(), &mut mem)
             .unwrap();

@@ -33,8 +33,8 @@ pub fn build() -> Workload {
     for (w, r) in words[..N * ITEMS].iter_mut().zip(&raw) {
         *w = if r % 5 == 0 { *r } else { r % 97 };
     }
-    let launch = LaunchConfig::new(BLOCKS, BLOCK)
-        .with_params(vec![ITEMS as u32, (BINS - 1) as u32]);
+    let launch =
+        LaunchConfig::new(BLOCKS, BLOCK).with_params(vec![ITEMS as u32, (BINS - 1) as u32]);
     Workload::new(
         "histo",
         "Parboil histogram: scattered data-dependent bin stores with a saturation branch (moderate divergence)",
@@ -110,8 +110,14 @@ mod tests {
                 }
             }
         }
-        assert_eq!(&mem.words()[FLAG_OFF as usize..FLAG_OFF as usize + BINS], &expected_flags[..]);
+        assert_eq!(
+            &mem.words()[FLAG_OFF as usize..FLAG_OFF as usize + BINS],
+            &expected_flags[..]
+        );
         assert_eq!(&mem.words()[SAT_OFF as usize..], &expected_sat[..]);
-        assert!(r.stats.divergent_instructions > 0, "saturation branch must diverge");
+        assert!(
+            r.stats.divergent_instructions > 0,
+            "saturation branch must diverge"
+        );
     }
 }

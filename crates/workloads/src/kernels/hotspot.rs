@@ -25,8 +25,7 @@ pub fn build() -> Workload {
     let mut words = vec![0u32; MEM_WORDS];
     words[..N].copy_from_slice(&random_words(0x31, N, 3000, 3100));
     words[N..2 * N].copy_from_slice(&random_words(0x32, N, 0, 50));
-    let launch = LaunchConfig::new(BLOCKS, BLOCK)
-        .with_params(vec![STEPS as u32, N as u32]);
+    let launch = LaunchConfig::new(BLOCKS, BLOCK).with_params(vec![STEPS as u32, N as u32]);
     Workload::new(
         "hotspot",
         "Rodinia HotSpot stencil: narrow-band temperatures, neighbour averaging, boundary-only divergence",
@@ -90,9 +89,16 @@ mod tests {
             .run(w.kernel(), w.launch(), &mut mem)
             .unwrap();
         let out = &mem.words()[OUT_OFF as usize..];
-        assert!(out.iter().all(|&v| (2000..4200).contains(&v)), "temperature diverged numerically");
+        assert!(
+            out.iter().all(|&v| (2000..4200).contains(&v)),
+            "temperature diverged numerically"
+        );
         // Narrow dynamic range => strong compression.
-        assert!(r.stats.compression_ratio_nondiv() > 1.5, "ratio {}", r.stats.compression_ratio_nondiv());
+        assert!(
+            r.stats.compression_ratio_nondiv() > 1.5,
+            "ratio {}",
+            r.stats.compression_ratio_nondiv()
+        );
         assert!(r.stats.nondivergent_ratio() > 0.7);
     }
 }

@@ -59,7 +59,7 @@ fn kernel() -> simt_isa::Kernel {
     b.mov(best_k, Operand::Imm(0));
     counted_loop(&mut b, k, tmp, Operand::Param(0), |b| {
         b.ld(c, k, CENT_OFF); // uniform
-        // d = |x - c| via max(x-c, c-x)
+                              // d = |x - c| via max(x-c, c-x)
         b.alu(AluOp::Sub, d, x.into(), c.into());
         b.alu(AluOp::Sub, neg, c.into(), x.into());
         b.alu(AluOp::Max, d, d.into(), neg.into());
@@ -99,14 +99,17 @@ mod tests {
         GpuSim::new(GpuConfig::warped_compression())
             .run(w.kernel(), w.launch(), &mut mem)
             .unwrap();
-        for p in 0..N {
+        for (p, &feat) in feats.iter().enumerate() {
             let expected = (0..K)
-                .min_by_key(|&k| (feats[p] as i64 - cents[k] as i64).abs())
+                .min_by_key(|&k| (feat as i64 - cents[k] as i64).abs())
                 .unwrap() as u32;
             let got = mem.word(ASSIGN_OFF as usize + p);
-            let d_exp = (feats[p] as i64 - cents[expected as usize] as i64).abs();
-            let d_got = (feats[p] as i64 - cents[got as usize] as i64).abs();
-            assert_eq!(d_got, d_exp, "point {p}: got centroid {got}, expected {expected}");
+            let d_exp = (feat as i64 - cents[expected as usize] as i64).abs();
+            let d_got = (feat as i64 - cents[got as usize] as i64).abs();
+            assert_eq!(
+                d_got, d_exp,
+                "point {p}: got centroid {got}, expected {expected}"
+            );
         }
     }
 }

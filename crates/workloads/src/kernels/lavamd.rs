@@ -26,8 +26,12 @@ const MEM_WORDS: usize = FORCE_OFF as usize + N;
 pub fn build() -> Workload {
     let mut words = vec![0u32; MEM_WORDS];
     words[..N].copy_from_slice(&random_words(0xF7, N, 0, 256));
-    words[NBR_OFF as usize..NBR_OFF as usize + N * NEIGHBOURS]
-        .copy_from_slice(&random_words(0xF8, N * NEIGHBOURS, 0, N as u32));
+    words[NBR_OFF as usize..NBR_OFF as usize + N * NEIGHBOURS].copy_from_slice(&random_words(
+        0xF8,
+        N * NEIGHBOURS,
+        0,
+        N as u32,
+    ));
     let launch = LaunchConfig::new(BLOCKS, BLOCK).with_params(vec![NEIGHBOURS as u32]);
     Workload::new(
         "lavamd",
@@ -58,7 +62,12 @@ fn kernel() -> simt_isa::Kernel {
     b.mov(force, Operand::Imm(0));
     counted_loop(&mut b, i, tmp, Operand::Param(0), |b| {
         // nbr = neighbours[gtid*NEIGHBOURS + i]; npos = pos[nbr]
-        b.alu(AluOp::Mul, addr, gtid.into(), Operand::Imm(NEIGHBOURS as i32));
+        b.alu(
+            AluOp::Mul,
+            addr,
+            gtid.into(),
+            Operand::Imm(NEIGHBOURS as i32),
+        );
         b.alu(AluOp::Add, addr, addr.into(), i.into());
         b.ld(nbr, addr, NBR_OFF);
         b.ld(npos, nbr, POS_OFF);

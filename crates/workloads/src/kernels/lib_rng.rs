@@ -29,8 +29,7 @@ pub fn build() -> Workload {
     // Zero dynamic range: constant initial forward rates and vols.
     words[..MATURITIES].fill(50);
     words[MATURITIES..2 * MATURITIES].fill(3);
-    let launch =
-        LaunchConfig::new(BLOCKS, BLOCK).with_params(vec![MATURITIES as u32]);
+    let launch = LaunchConfig::new(BLOCKS, BLOCK).with_params(vec![MATURITIES as u32]);
     Workload::new(
         "lib",
         "LIBOR Monte Carlo with constant-initialised inputs (zero dynamic range): near-perfect <4,0> compression",

@@ -24,8 +24,7 @@ pub fn build() -> Workload {
     let mut words = vec![0u32; MEM_WORDS];
     words[..STEPS * COLS].copy_from_slice(&random_words(0x81, STEPS * COLS, 1, 1000));
     words[STEPS * COLS..STEPS * COLS + STEPS].copy_from_slice(&random_words(0x82, STEPS, 2, 9));
-    let launch = LaunchConfig::new(BLOCKS, BLOCK)
-        .with_params(vec![STEPS as u32, COLS as u32]);
+    let launch = LaunchConfig::new(BLOCKS, BLOCK).with_params(vec![STEPS as u32, COLS as u32]);
     Workload::new(
         "lud",
         "Rodinia LUD perimeter update: divide-by-pivot chains (SFU heavy), affine addressing, convergent",

@@ -27,9 +27,9 @@ const MEM_WORDS: usize = QR_OFF as usize + N;
 pub fn build() -> Workload {
     let mut words = vec![0u32; MEM_WORDS];
     // A discretised half-sine: smooth, narrow second differences.
-    for i in 0..TABLE {
+    for (i, word) in words.iter_mut().enumerate().take(TABLE) {
         let x = i as f64 / TABLE as f64 * std::f64::consts::PI;
-        words[i] = (x.sin() * 2000.0) as u32;
+        *word = (x.sin() * 2000.0) as u32;
     }
     words[KX_OFF as usize..KX_OFF as usize + SAMPLES]
         .copy_from_slice(&random_words(0xE1, SAMPLES, 1, 64));
@@ -62,9 +62,14 @@ fn kernel() -> simt_isa::Kernel {
     b.mov(qr, Operand::Imm(0));
     counted_loop(&mut b, s, tmp, Operand::Param(0), |b| {
         b.ld(kx, s, KX_OFF); // uniform sample frequency
-        // phase = kx * x; idx = phase mod TABLE; qr += sin[idx]
+                             // phase = kx * x; idx = phase mod TABLE; qr += sin[idx]
         b.alu(AluOp::Mul, phase, kx.into(), x.into());
-        b.alu(AluOp::And, idx, phase.into(), Operand::Imm((TABLE - 1) as i32));
+        b.alu(
+            AluOp::And,
+            idx,
+            phase.into(),
+            Operand::Imm((TABLE - 1) as i32),
+        );
         b.ld(sv, idx, SIN_OFF);
         b.alu(AluOp::Add, qr, qr.into(), sv.into());
     });
@@ -97,6 +102,8 @@ mod tests {
         }
         assert_eq!(r.stats.divergent_instructions, 0);
         // Accumulators stay mid-range: bounded by SAMPLES * 2000.
-        assert!(mem.words()[QR_OFF as usize..].iter().all(|&q| q <= (SAMPLES as u32) * 2000));
+        assert!(mem.words()[QR_OFF as usize..]
+            .iter()
+            .all(|&q| q <= (SAMPLES as u32) * 2000));
     }
 }

@@ -26,10 +26,8 @@ const MEM_WORDS: usize = SCORE_OFF as usize + N;
 pub fn build() -> Workload {
     let mut words = vec![0u32; MEM_WORDS];
     words[..DIAGS * N].copy_from_slice(&random_words(0x91, DIAGS * N, 0, 15));
-    words[PREV_OFF as usize..PREV_OFF as usize + N]
-        .copy_from_slice(&random_words(0x92, N, 0, 30));
-    let launch = LaunchConfig::new(BLOCKS, BLOCK)
-        .with_params(vec![DIAGS as u32, N as u32]);
+    words[PREV_OFF as usize..PREV_OFF as usize + N].copy_from_slice(&random_words(0x92, N, 0, 30));
+    let launch = LaunchConfig::new(BLOCKS, BLOCK).with_params(vec![DIAGS as u32, N as u32]);
     Workload::new(
         "nw",
         "Rodinia Needleman-Wunsch: max-of-three DP recurrence with small scores; boundary threads diverge per diagonal",
@@ -61,7 +59,7 @@ fn kernel() -> simt_isa::Kernel {
         if_then(b, cond, tmp, |b| {
             b.ld(left, gtid, PREV_OFF - 1);
             b.ld(diag, gtid, PREV_OFF - 1); // previous-diag approximation
-            // sim = ref[d*N + gtid]
+                                            // sim = ref[d*N + gtid]
             b.alu(AluOp::Mul, addr, d.into(), Operand::Param(1));
             b.alu(AluOp::Add, addr, addr.into(), gtid.into());
             b.ld(sim, addr, REF_OFF);
@@ -93,7 +91,10 @@ mod tests {
         let scores = &mem.words()[SCORE_OFF as usize..];
         // DP scores stay in a narrow band: at most prev(30) + 30 + 15.
         assert!(scores.iter().all(|&s| s <= 30 + 30 + 15));
-        assert!(r.stats.divergent_instructions > 0, "boundary guard must diverge");
+        assert!(
+            r.stats.divergent_instructions > 0,
+            "boundary guard must diverge"
+        );
         assert!(r.stats.nondivergent_ratio() > 0.5);
     }
 }

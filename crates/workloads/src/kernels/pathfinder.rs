@@ -28,8 +28,12 @@ pub fn build() -> Workload {
     let kernel = build_kernel();
     let mut words = vec![0u32; MEM_WORDS];
     words[..COLS].copy_from_slice(&random_words(0x01, COLS, 0, 10));
-    words[COLS..COLS + ITERATIONS * COLS]
-        .copy_from_slice(&random_words(0x02, ITERATIONS * COLS, 0, 10));
+    words[COLS..COLS + ITERATIONS * COLS].copy_from_slice(&random_words(
+        0x02,
+        ITERATIONS * COLS,
+        0,
+        10,
+    ));
     let launch = LaunchConfig::new(BLOCKS, BLOCK).with_params(vec![
         ITERATIONS as u32, // param 0: iteration
         COLS as u32,       // param 1: cols
@@ -70,7 +74,12 @@ fn build_kernel() -> simt_isa::Kernel {
     b.mov(tx, Operand::Special(Special::Tid));
     b.mov(bx, Operand::Special(Special::Bid));
     // small_block_cols = BLOCK - iteration*HALO*2 (uniform).
-    b.alu(AluOp::Mul, tmp, Operand::Param(0), Operand::Imm((HALO * 2) as i32));
+    b.alu(
+        AluOp::Mul,
+        tmp,
+        Operand::Param(0),
+        Operand::Imm((HALO * 2) as i32),
+    );
     b.alu(AluOp::Sub, tmp, Operand::Imm(BLOCK as i32), tmp.into());
     // blkX = small_block_cols*bx - border(=iteration); xidx = blkX + tx.
     b.alu(AluOp::Mul, xidx, tmp.into(), bx.into());
@@ -132,7 +141,10 @@ mod tests {
         // Interior results are min(prev neighbours) + wall cost: both 0..9.
         let results = &mem.words()[RESULT_OFF as usize..RESULT_OFF as usize + COLS];
         assert!(results.iter().all(|&v| v <= 18), "cost out of range");
-        assert!(results.iter().any(|&v| v > 0), "all-zero result is suspicious");
+        assert!(
+            results.iter().any(|&v| v > 0),
+            "all-zero result is suspicious"
+        );
         // Edge guard diverges a little, but most instructions are convergent.
         assert!(r.stats.divergent_instructions > 0);
         assert!(r.stats.nondivergent_ratio() > 0.5);

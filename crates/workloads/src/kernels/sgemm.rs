@@ -28,13 +28,17 @@ pub fn build() -> Workload {
     let mut words = vec![0u32; MEM_WORDS];
     // Signed fixed-point entries stored biased into u32 (the kernel uses
     // wrapping arithmetic, so the bias cancels in differences).
-    let a: Vec<u32> =
-        random_words(0xD1, (N / COLS) * K, 0, 100).iter().map(|v| v.wrapping_sub(50)).collect();
-    let b: Vec<u32> = random_words(0xD2, K * COLS, 0, 60).iter().map(|v| v.wrapping_sub(30)).collect();
+    let a: Vec<u32> = random_words(0xD1, (N / COLS) * K, 0, 100)
+        .iter()
+        .map(|v| v.wrapping_sub(50))
+        .collect();
+    let b: Vec<u32> = random_words(0xD2, K * COLS, 0, 60)
+        .iter()
+        .map(|v| v.wrapping_sub(30))
+        .collect();
     words[..a.len()].copy_from_slice(&a);
     words[B_OFF as usize..B_OFF as usize + b.len()].copy_from_slice(&b);
-    let launch = LaunchConfig::new(BLOCKS, BLOCK)
-        .with_params(vec![K as u32, COLS as u32]);
+    let launch = LaunchConfig::new(BLOCKS, BLOCK).with_params(vec![K as u32, COLS as u32]);
     Workload::new(
         "sgemm",
         "Parboil SGEMM (element per thread): dual strided operand streams, signed fixed-point accumulation, convergent",

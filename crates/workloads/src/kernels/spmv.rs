@@ -20,8 +20,8 @@ const PTR_OFF: i32 = N as i32; // row start[N]
 const X_OFF: i32 = 2 * N as i32; // x[N] in 0..100
 const Y_OFF: i32 = 3 * N as i32; // y[N]
 const VAL_OFF: i32 = 4 * N as i32; // values[total], 0..50
-// col[total] lives right after values; its offset is computed at build
-// time and passed as param 2.
+                                   // col[total] lives right after values; its offset is computed at build
+                                   // time and passed as param 2.
 
 /// Builds the spmv workload.
 pub fn build() -> Workload {
@@ -128,6 +128,9 @@ mod tests {
                 .sum();
             assert_eq!(mem.word(Y_OFF as usize + row), expected, "row {row}");
         }
-        assert!(r.stats.nondivergent_ratio() < 0.85, "ragged rows must diverge");
+        assert!(
+            r.stats.nondivergent_ratio() < 0.85,
+            "ragged rows must diverge"
+        );
     }
 }

@@ -24,8 +24,7 @@ const MEM_WORDS: usize = 3 * N;
 pub fn build() -> Workload {
     let mut words = vec![0u32; MEM_WORDS];
     words[..N].copy_from_slice(&random_words(0xA1, N, 10, 250));
-    let launch = LaunchConfig::new(BLOCKS, BLOCK)
-        .with_params(vec![ITERS as u32, N as u32]);
+    let launch = LaunchConfig::new(BLOCKS, BLOCK).with_params(vec![ITERS as u32, N as u32]);
     Workload::new(
         "srad",
         "Rodinia SRAD diffusion: 8-bit image stencil with a saturating-coefficient branch (moderate divergence)",

@@ -26,8 +26,7 @@ const MEM_WORDS: usize = 2 * N;
 pub fn build() -> Workload {
     let mut words = vec![0u32; MEM_WORDS];
     words[..N].copy_from_slice(&random_words(0xB1, N, 100, 160));
-    let launch = LaunchConfig::new(BLOCKS, BLOCK)
-        .with_params(vec![STEPS as u32, N as u32]);
+    let launch = LaunchConfig::new(BLOCKS, BLOCK).with_params(vec![STEPS as u32, N as u32]);
     Workload::new(
         "stencil",
         "Parboil 7-point stencil: multi-stride affine neighbour addressing over a narrow-band field",

@@ -38,7 +38,14 @@ impl Workload {
         memory: GlobalMemory,
         divergence: DivergenceProfile,
     ) -> Self {
-        Workload { name, description, kernel, launch, memory, divergence }
+        Workload {
+            name,
+            description,
+            kernel,
+            launch,
+            memory,
+            divergence,
+        }
     }
 
     /// Benchmark name as it appears in the paper's figures.

@@ -12,7 +12,12 @@ fn all_suite_kernels_round_trip_through_the_assembler() {
         let back = assemble(&text).unwrap_or_else(|e| {
             panic!("{}: re-assembly failed: {e}\n--- asm ---\n{text}", w.name())
         });
-        assert_eq!(&back, w.kernel(), "{}: assembler round trip changed the kernel", w.name());
+        assert_eq!(
+            &back,
+            w.kernel(),
+            "{}: assembler round trip changed the kernel",
+            w.name()
+        );
     }
 }
 
@@ -21,8 +26,10 @@ fn suite_kernels_disassemble_with_stable_length() {
     for w in gpu_workloads::suite() {
         let text = to_asm(w.kernel());
         // One line per instruction plus header and label lines.
-        let instr_lines =
-            text.lines().filter(|l| !l.starts_with('@') && !l.starts_with(".kernel")).count();
+        let instr_lines = text
+            .lines()
+            .filter(|l| !l.starts_with('@') && !l.starts_with(".kernel"))
+            .count();
         assert_eq!(instr_lines, w.kernel().len(), "{}", w.name());
     }
 }

@@ -32,7 +32,12 @@ const SOURCE: &str = r#"
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let kernel = warped_compression_suite::isa::assemble(SOURCE)?;
-    println!("assembled `{}` ({} instructions):\n{}", kernel.name(), kernel.len(), kernel.disassemble());
+    println!(
+        "assembled `{}` ({} instructions):\n{}",
+        kernel.name(),
+        kernel.len(),
+        kernel.disassemble()
+    );
 
     let n = 8 * 64;
     let launch = LaunchConfig::new(8, 64).with_params(vec![n as u32]);
@@ -48,9 +53,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &mut |e| trace.record(e),
     )?;
 
-    println!("cycles: {}   warp instructions: {}", result.stats.cycles, result.stats.instructions);
-    println!("non-divergent: {:.1}%", result.stats.nondivergent_ratio() * 100.0);
-    println!("online compression ratio: {:.3}", result.stats.compression_ratio());
+    println!(
+        "cycles: {}   warp instructions: {}",
+        result.stats.cycles, result.stats.instructions
+    );
+    println!(
+        "non-divergent: {:.1}%",
+        result.stats.nondivergent_ratio() * 100.0
+    );
+    println!(
+        "online compression ratio: {:.3}",
+        result.stats.compression_ratio()
+    );
 
     // Offline design-space evaluation from the captured trace: no
     // re-simulation needed to ask what each choice set would achieve.
@@ -66,8 +80,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Sanity: the blur must actually have blurred.
     let mut changed = 0;
-    for i in 1..n - 1 {
-        if memory.word(i) != image[i] {
+    for (i, &orig) in image.iter().enumerate().take(n - 1).skip(1) {
+        if memory.word(i) != orig {
             changed += 1;
         }
     }

@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let base_e = energy_of(&base.stats, &params);
 
     // --- compression-parameter choices (Figs. 15/16) -------------------
-    println!("{:<28} {:>8} {:>12} {:>10}", "design", "ratio", "energy", "cycles");
+    println!(
+        "{:<28} {:>8} {:>12} {:>10}",
+        "design", "ratio", "energy", "cycles"
+    );
     for point in [
         DesignPoint::Only(FixedChoice::Delta0),
         DesignPoint::Only(FixedChoice::Delta1),
@@ -41,13 +44,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\ncomp/decomp energy scaling (Fig. 17):");
     for scale in [1.0, 1.5, 2.0, 2.5] {
         let p = EnergyParams::paper_table3().with_comp_decomp_scale(scale);
-        println!("  {scale:.1}x -> normalised energy {:.3}", energy_of(&wc.stats, &p).normalized_to(&base_e));
+        println!(
+            "  {scale:.1}x -> normalised energy {:.3}",
+            energy_of(&wc.stats, &p).normalized_to(&base_e)
+        );
     }
     println!("wire activity sweep (Fig. 19):");
     for activity in [0.0, 0.25, 0.5, 0.75, 1.0] {
         let p = EnergyParams::paper_table3().with_wire_activity(activity);
         let norm = energy_of(&wc.stats, &p).normalized_to(&energy_of(&base.stats, &p));
-        println!("  {:>3.0}% -> normalised energy {:.3}", activity * 100.0, norm);
+        println!(
+            "  {:>3.0}% -> normalised energy {:.3}",
+            activity * 100.0,
+            norm
+        );
     }
 
     // --- latency sweeps (Figs. 20/21) -----------------------------------
@@ -58,9 +68,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         print!("  {label}:");
         for (c, d) in points {
-            let run = run_workload(&DesignPoint::Latency { compression: c, decompression: d }.config(), &w)?;
+            let run = run_workload(
+                &DesignPoint::Latency {
+                    compression: c,
+                    decompression: d,
+                }
+                .config(),
+                &w,
+            )?;
             let knob = if label == "compression" { c } else { d };
-            print!("  {knob} cyc -> {:.3}", run.stats.cycles as f64 / base.stats.cycles as f64);
+            print!(
+                "  {knob} cyc -> {:.3}",
+                run.stats.cycles as f64 / base.stats.cycles as f64
+            );
         }
         println!();
     }

@@ -34,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .map(|r| format!("{r:.2}"))
             .unwrap_or_else(|| "N/A".into())
     );
-    println!("dummy MOV fraction: {:.2}%", wc.stats.mov_fraction() * 100.0);
+    println!(
+        "dummy MOV fraction: {:.2}%",
+        wc.stats.mov_fraction() * 100.0
+    );
     Ok(())
 }
 
@@ -43,9 +46,17 @@ fn print_run(label: &str, run: &RunOutput, params: &EnergyParams) {
     println!("\n== {label} ==");
     println!("  cycles:            {}", run.stats.cycles);
     println!("  warp instructions: {}", run.stats.instructions);
-    println!("  bank reads/writes: {} / {}", run.stats.regfile.total_reads(), run.stats.regfile.total_writes());
-    println!("  gated bank-cycles: {}", run.stats.regfile.gated_cycles.iter().sum::<u64>());
-    println!("  energy (nJ): dynamic {:.1}, leakage {:.1}, comp {:.1}, decomp {:.1}, total {:.1}",
+    println!(
+        "  bank reads/writes: {} / {}",
+        run.stats.regfile.total_reads(),
+        run.stats.regfile.total_writes()
+    );
+    println!(
+        "  gated bank-cycles: {}",
+        run.stats.regfile.gated_cycles.iter().sum::<u64>()
+    );
+    println!(
+        "  energy (nJ): dynamic {:.1}, leakage {:.1}, comp {:.1}, decomp {:.1}, total {:.1}",
         e.dynamic_pj / 1000.0,
         e.leakage_pj / 1000.0,
         e.compression_pj / 1000.0,

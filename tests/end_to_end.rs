@@ -21,7 +21,11 @@ fn every_workload_runs_under_both_designs() {
         // Program instruction counts must match: compression never
         // changes the executed program, only injects MOVs.
         assert_eq!(b.stats.instructions, w.stats.instructions, "{}", b.name);
-        assert_eq!(b.stats.synthetic_movs, 0, "{}: baseline must not inject MOVs", b.name);
+        assert_eq!(
+            b.stats.synthetic_movs, 0,
+            "{}: baseline must not inject MOVs",
+            b.name
+        );
     }
 }
 
@@ -59,7 +63,10 @@ fn headline_claim_negligible_performance_impact() {
         .map(|(b, w)| w.stats.cycles as f64 / b.stats.cycles as f64)
         .collect();
     let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
-    assert!(avg < 1.05, "average slowdown {avg:.3} too large: {ratios:?}");
+    assert!(
+        avg < 1.05,
+        "average slowdown {avg:.3} too large: {ratios:?}"
+    );
     for (r, b) in ratios.iter().zip(&base) {
         assert!(*r < 1.15, "{}: slowdown {r:.3}", b.name);
     }
@@ -70,12 +77,21 @@ fn divergent_compression_ratio_is_lower() {
     // Paper Fig. 8: non-divergent ~2.5, divergent ~1.3 — measured under
     // the decompress-merge-recompress assumption as the paper does.
     let wc = run_all(DesignPoint::DecompressMergeRecompress);
-    let nondiv: Vec<f64> = wc.iter().map(|r| r.stats.compression_ratio_nondiv()).collect();
-    let div: Vec<f64> = wc.iter().filter_map(|r| r.stats.compression_ratio_div()).collect();
+    let nondiv: Vec<f64> = wc
+        .iter()
+        .map(|r| r.stats.compression_ratio_nondiv())
+        .collect();
+    let div: Vec<f64> = wc
+        .iter()
+        .filter_map(|r| r.stats.compression_ratio_div())
+        .collect();
     let nondiv_avg = nondiv.iter().sum::<f64>() / nondiv.len() as f64;
     let div_avg = div.iter().sum::<f64>() / div.len() as f64;
     assert!(nondiv_avg > 1.8, "non-divergent ratio {nondiv_avg:.2}");
-    assert!(div_avg < nondiv_avg, "divergent {div_avg:.2} should be below non-divergent {nondiv_avg:.2}");
+    assert!(
+        div_avg < nondiv_avg,
+        "divergent {div_avg:.2} should be below non-divergent {nondiv_avg:.2}"
+    );
 }
 
 #[test]
@@ -87,7 +103,12 @@ fn mov_overhead_is_small() {
     let wc = run_all(DesignPoint::WarpedCompression);
     let mut fractions: Vec<f64> = Vec::new();
     for r in &wc {
-        assert!(r.stats.mov_fraction() < 0.06, "{}: MOV fraction {:.3}", r.name, r.stats.mov_fraction());
+        assert!(
+            r.stats.mov_fraction() < 0.06,
+            "{}: MOV fraction {:.3}",
+            r.name,
+            r.stats.mov_fraction()
+        );
         fractions.push(r.stats.mov_fraction());
     }
     let avg = fractions.iter().sum::<f64>() / fractions.len() as f64;
@@ -102,14 +123,27 @@ fn divergence_profiles_hold() {
         let nondiv = r.stats.nondivergent_ratio();
         match w.divergence() {
             DivergenceProfile::None => {
-                assert_eq!(r.stats.divergent_instructions, 0, "{} must not diverge", w.name())
+                assert_eq!(
+                    r.stats.divergent_instructions,
+                    0,
+                    "{} must not diverge",
+                    w.name()
+                )
             }
             DivergenceProfile::Low => {
-                assert!(r.stats.divergent_instructions > 0, "{} should diverge a little", w.name());
+                assert!(
+                    r.stats.divergent_instructions > 0,
+                    "{} should diverge a little",
+                    w.name()
+                );
                 assert!(nondiv > 0.5, "{}: nondiv {nondiv:.2}", w.name());
             }
             DivergenceProfile::High => {
-                assert!(nondiv < 0.9, "{}: expected heavy divergence, nondiv {nondiv:.2}", w.name())
+                assert!(
+                    nondiv < 0.9,
+                    "{}: expected heavy divergence, nondiv {nondiv:.2}",
+                    w.name()
+                )
             }
         }
     }
@@ -161,7 +195,10 @@ fn dmr_policy_matches_results_and_avoids_movs() {
             .run(w.kernel(), w.launch(), &mut m_dmr)
             .unwrap();
         assert_eq!(m_uw, m_dmr, "{name}: divergence policy changed results");
-        assert_eq!(dmr.stats.synthetic_movs, 0, "{name}: DMR must not inject MOVs");
+        assert_eq!(
+            dmr.stats.synthetic_movs, 0,
+            "{name}: DMR must not inject MOVs"
+        );
         assert!(uw.stats.synthetic_movs > 0, "{name}: UW should inject MOVs");
     }
 }

@@ -1,0 +1,201 @@
+//! Minimal wall-clock benchmark harness with criterion 0.5's API shape.
+//!
+//! Supports the subset the workspace's benches use: `benchmark_group`,
+//! `sample_size`, `bench_function`, `bench_with_input`, `Bencher::iter`,
+//! `BenchmarkId::{new, from_parameter}`, and the `criterion_group!` /
+//! `criterion_main!` macros. Each benchmark is calibrated briefly and
+//! then timed for a handful of short samples; the median ns/iter is
+//! printed in a `name/id: time` line.
+//!
+//! Two knobs keep `cargo test` fast (cargo runs `harness = false` bench
+//! binaries during plain test runs): passing `--test` (what cargo does
+//! in test mode) or setting `CRITERION_FAST=1` reduces every benchmark
+//! to a single calibration iteration.
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    fast: bool,
+}
+
+impl Criterion {
+    /// Create a harness, honouring test-mode args and `CRITERION_FAST`.
+    pub fn from_args() -> Self {
+        let fast =
+            std::env::args().any(|a| a == "--test") || std::env::var_os("CRITERION_FAST").is_some();
+        Criterion { fast }
+    }
+
+    /// Begin a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            fast: self.fast,
+            _c: self,
+        }
+    }
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` compound id.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Id that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    fast: bool,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmark a routine with no per-benchmark input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.id, &mut |b| f(b));
+        self
+    }
+
+    /// Benchmark a routine against a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.id, &mut |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (printing is incremental; nothing left to do).
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        // Calibration pass: find an iteration count that runs ~2ms.
+        f(&mut b);
+        if self.fast {
+            println!("{}/{}: ok (fast mode, 1 iter)", self.name, id);
+            return;
+        }
+        let per_iter = b.elapsed.max(Duration::from_nanos(1));
+        let target = Duration::from_millis(2);
+        let iters = (target.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.iters = iters;
+            f(&mut b);
+            samples_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        let median = samples_ns[samples_ns.len() / 2];
+        println!(
+            "{}/{}: {} ({} samples x {} iters)",
+            self.name,
+            id,
+            format_ns(median),
+            self.sample_size,
+            iters
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us/iter", ns / 1_000.0)
+    } else {
+        format!("{:.3} ms/iter", ns / 1_000_000.0)
+    }
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over this sample's iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declare a benchmark group runner, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

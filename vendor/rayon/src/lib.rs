@@ -1,0 +1,286 @@
+//! Scoped-thread stand-in for the slice of `rayon` this workspace uses:
+//! `slice.par_iter().map(f).collect::<Vec<_>>()` (and collecting into
+//! `Result<Vec<_>, E>`).
+//!
+//! Semantics preserved from real rayon:
+//!
+//! - **Deterministic output order.** Results are returned in input
+//!   order regardless of which worker computed them (workers tag each
+//!   result with its index and the collector sorts).
+//! - **`RAYON_NUM_THREADS`** caps the worker count (`1` forces serial
+//!   execution, which is the reproducible-timing mode DESIGN.md
+//!   documents).
+//! - **Panic propagation.** A panic in a worker propagates to the
+//!   caller via `std::thread::scope`.
+//! - **No oversubscription under nesting.** A process-wide permit
+//!   counter bounds the total number of extra worker threads, so a
+//!   parallel campaign that calls a parallel `run_suite` degrades to
+//!   serial inner loops instead of spawning threads quadratically
+//!   (rayon achieves the same with a shared global pool).
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Maximum worker threads for the whole process (including the caller).
+fn max_threads() -> usize {
+    static MAX: OnceLock<usize> = OnceLock::new();
+    *MAX.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// Permits for *extra* threads beyond each call site's own thread.
+fn permits() -> &'static AtomicIsize {
+    static PERMITS: OnceLock<AtomicIsize> = OnceLock::new();
+    PERMITS.get_or_init(|| AtomicIsize::new(max_threads() as isize - 1))
+}
+
+/// Try to reserve up to `want` extra worker threads; returns how many
+/// were granted (possibly 0, in which case the caller runs serially).
+fn acquire(want: usize) -> usize {
+    let permits = permits();
+    let mut granted = 0;
+    while granted < want {
+        let cur = permits.load(Ordering::Relaxed);
+        if cur <= 0 {
+            break;
+        }
+        if permits
+            .compare_exchange(cur, cur - 1, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            granted += 1;
+        }
+    }
+    granted
+}
+
+fn release(n: usize) {
+    permits().fetch_add(n as isize, Ordering::Relaxed);
+}
+
+/// Run `f` over every item, on `1 + extra` threads with index stealing,
+/// returning results in input order.
+fn run_ordered<'data, T, R, F>(items: &'data [T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'data T) -> R + Sync,
+{
+    let n = items.len();
+    if n <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let extra = acquire(n.min(max_threads()).saturating_sub(1));
+    if extra == 0 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let worker = |out: &mut Vec<(usize, R)>| loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            break;
+        }
+        out.push((i, f(&items[i])));
+    };
+    let mut tagged: Vec<(usize, R)> = Vec::with_capacity(n);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..extra)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out = Vec::new();
+                    worker(&mut out);
+                    out
+                })
+            })
+            .collect();
+        worker(&mut tagged);
+        for h in handles {
+            // A worker panic surfaces here and unwinds through the scope.
+            tagged.extend(h.join().expect("rayon-shim worker panicked"));
+        }
+    });
+    release(extra);
+    tagged.sort_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Mirror of `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParallelIterator};
+}
+
+/// `par_iter()` entry point for `&[T]` / `&Vec<T>`.
+pub trait IntoParallelRefIterator<'data> {
+    /// Element type yielded by the parallel iterator.
+    type Item: 'data;
+    /// Borrow `self` as a parallel iterator.
+    fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Borrowed parallel iterator over a slice.
+pub struct ParIter<'data, T> {
+    items: &'data [T],
+}
+
+/// Mapped parallel iterator: the only adapter this shim provides.
+pub struct ParMap<'data, T, F> {
+    items: &'data [T],
+    f: F,
+}
+
+/// Collect targets for [`ParallelIterator::collect`].
+pub trait FromParallelResults<R>: Sized {
+    /// Build the collection from results in input order.
+    fn from_ordered_results(results: Vec<R>) -> Self;
+}
+
+impl<R> FromParallelResults<R> for Vec<R> {
+    fn from_ordered_results(results: Vec<R>) -> Self {
+        results
+    }
+}
+
+impl<T, E> FromParallelResults<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_ordered_results(results: Vec<Result<T, E>>) -> Self {
+        results.into_iter().collect()
+    }
+}
+
+/// The subset of rayon's `ParallelIterator` the workspace relies on.
+pub trait ParallelIterator: Sized {
+    /// Item produced by this iterator.
+    type Item;
+
+    /// Map every element through `f` in parallel.
+    fn map<R, F>(self, f: F) -> impl ParallelIterator<Item = R>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync;
+
+    /// Execute and gather results, preserving input order.
+    fn collect<C: FromParallelResults<Self::Item>>(self) -> C
+    where
+        Self::Item: Send;
+}
+
+impl<'data, T: Sync> ParallelIterator for ParIter<'data, T> {
+    type Item = &'data T;
+
+    fn map<R, F>(self, f: F) -> impl ParallelIterator<Item = R>
+    where
+        R: Send,
+        F: Fn(&'data T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    fn collect<C: FromParallelResults<&'data T>>(self) -> C
+    where
+        &'data T: Send,
+    {
+        C::from_ordered_results(run_ordered(self.items, |t: &'data T| t))
+    }
+}
+
+impl<'data, T: Sync, R: Send, F: Fn(&'data T) -> R + Sync> ParallelIterator
+    for ParMap<'data, T, F>
+{
+    type Item = R;
+
+    fn map<R2, F2>(self, f2: F2) -> impl ParallelIterator<Item = R2>
+    where
+        R2: Send,
+        F2: Fn(R) -> R2 + Sync,
+    {
+        let f = self.f;
+        ParMap {
+            items: self.items,
+            f: move |t: &'data T| f2(f(t)),
+        }
+    }
+
+    fn collect<C: FromParallelResults<R>>(self) -> C {
+        C::from_ordered_results(run_ordered(self.items, self.f))
+    }
+}
+
+/// Current effective thread cap (useful for logging/bench metadata).
+pub fn current_num_threads() -> usize {
+    max_threads()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ordered_collect_matches_serial() {
+        let xs: Vec<u64> = (0..257).collect();
+        let par: Vec<u64> = xs.par_iter().map(|&x| x * 3 + 1).collect();
+        let ser: Vec<u64> = xs.iter().map(|&x| x * 3 + 1).collect();
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn result_collect_short_circuits_to_first_error() {
+        let xs: Vec<u32> = (0..64).collect();
+        let r: Result<Vec<u32>, String> = xs
+            .par_iter()
+            .map(|&x| {
+                if x == 40 {
+                    Err(format!("bad {x}"))
+                } else {
+                    Ok(x)
+                }
+            })
+            .collect();
+        assert_eq!(r, Err("bad 40".into()));
+    }
+
+    #[test]
+    fn nested_parallelism_completes() {
+        let outer: Vec<u32> = (0..8).collect();
+        let totals: Vec<u64> = outer
+            .par_iter()
+            .map(|&o| {
+                let inner: Vec<u32> = (0..100).collect();
+                inner
+                    .par_iter()
+                    .map(|&i| (o as u64) + (i as u64))
+                    .collect::<Vec<u64>>()
+                    .into_iter()
+                    .sum()
+            })
+            .collect();
+        for (o, t) in totals.iter().enumerate() {
+            assert_eq!(*t, 100 * o as u64 + 4950);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Trait-only stand-in for `serde`, for fully offline builds.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public data
+//! types as forward-looking API surface, but contains no serialiser, so
+//! marker traits with blanket impls are behaviourally sufficient. The
+//! derive macros re-exported here (from the vendored `serde_derive`)
+//! expand to nothing. If a future PR adds a real serialisation consumer,
+//! replace this shim with the real crates via a vendored registry.
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all
+/// types so derived annotations and generic bounds compile unchanged.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// sized types.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Mirror of `serde::de` far enough for `DeserializeOwned` imports.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Mirror of `serde::ser` far enough for `Serialize` imports.
+pub mod ser {
+    pub use crate::Serialize;
+}

@@ -1,0 +1,24 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! This workspace only *annotates* types with `#[derive(Serialize,
+//! Deserialize)]`; nothing actually serialises (there is no
+//! `serde_json`-style consumer in the tree, and the build environment is
+//! fully offline). The vendored `serde` shim provides blanket trait
+//! impls, so these derives merely need to exist and accept the `serde`
+//! helper attribute — they expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` helpers) and
+/// expands to nothing; `vendor/serde`'s blanket impl supplies the trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and `#[serde(...)]` helpers) and
+/// expands to nothing; `vendor/serde`'s blanket impl supplies the trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
