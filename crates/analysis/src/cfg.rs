@@ -1,0 +1,330 @@
+//! Control-flow graph construction over raw instruction sequences.
+//!
+//! The CFG works on `&[Instruction]` rather than a validated
+//! [`simt_isa::Kernel`] so the lint driver can analyse unvalidated
+//! sequences (that is what the negative lints exist for). Callers must
+//! run the structural checks first: `build` assumes every branch/jump
+//! target is in range and that execution cannot fall off the end.
+
+use simt_isa::{ControlFlow, Instruction};
+
+/// A maximal straight-line run of instructions `[start, end)`.
+///
+/// Leaders are: pc 0, every branch/jump target, every reconvergence
+/// point (reconvergence pcs are where the SIMT stack pops, so keeping
+/// them block-initial makes divergence regions unions of whole blocks),
+/// and the instruction after any control transfer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// First pc of the block.
+    pub start: usize,
+    /// One past the last pc of the block.
+    pub end: usize,
+    /// Successor block ids (derived from the last instruction).
+    pub succs: Vec<usize>,
+    /// Predecessor block ids.
+    pub preds: Vec<usize>,
+}
+
+/// Control-flow graph of one kernel: per-pc edges, basic blocks, the
+/// branch → reconvergence relation, and entry reachability.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    succs: Vec<Vec<usize>>,
+    preds: Vec<Vec<usize>>,
+    reachable: Vec<bool>,
+    blocks: Vec<BasicBlock>,
+    block_of: Vec<usize>,
+    reconv_edges: Vec<(usize, usize)>,
+}
+
+impl Cfg {
+    /// Builds the CFG.
+    ///
+    /// Requires a structurally sound sequence: every target in range and
+    /// no fall-through past the end (the lint driver checks this before
+    /// calling).
+    pub fn build(instrs: &[Instruction]) -> Cfg {
+        let n = instrs.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        let mut reconv_edges = Vec::new();
+        for (pc, instr) in instrs.iter().enumerate() {
+            match instr.control_flow() {
+                ControlFlow::FallThrough => succs[pc].push(pc + 1),
+                ControlFlow::Branch { target, reconv } => {
+                    succs[pc].push(target);
+                    if target != pc + 1 {
+                        succs[pc].push(pc + 1);
+                    }
+                    reconv_edges.push((pc, reconv));
+                }
+                ControlFlow::Jump { target } => succs[pc].push(target),
+                ControlFlow::Exit => {}
+            }
+        }
+        for (pc, ss) in succs.iter().enumerate() {
+            for &s in ss {
+                preds[s].push(pc);
+            }
+        }
+
+        let mut reachable = vec![false; n];
+        let mut work = vec![0usize];
+        if n > 0 {
+            reachable[0] = true;
+        }
+        while let Some(pc) = work.pop() {
+            for &s in &succs[pc] {
+                if !reachable[s] {
+                    reachable[s] = true;
+                    work.push(s);
+                }
+            }
+        }
+
+        // Basic blocks: mark leaders, then carve runs.
+        let mut leader = vec![false; n];
+        if n > 0 {
+            leader[0] = true;
+        }
+        for (pc, instr) in instrs.iter().enumerate() {
+            match instr.control_flow() {
+                ControlFlow::Branch { target, reconv } => {
+                    leader[target] = true;
+                    if reconv < n {
+                        leader[reconv] = true;
+                    }
+                    if pc + 1 < n {
+                        leader[pc + 1] = true;
+                    }
+                }
+                ControlFlow::Jump { target } => {
+                    leader[target] = true;
+                    if pc + 1 < n {
+                        leader[pc + 1] = true;
+                    }
+                }
+                ControlFlow::Exit => {
+                    if pc + 1 < n {
+                        leader[pc + 1] = true;
+                    }
+                }
+                ControlFlow::FallThrough => {}
+            }
+        }
+        let mut blocks = Vec::new();
+        let mut block_of = vec![0usize; n];
+        let mut start = 0;
+        for (pc, &is_leader) in leader.iter().enumerate() {
+            if pc > start && is_leader {
+                blocks.push(BasicBlock {
+                    start,
+                    end: pc,
+                    succs: Vec::new(),
+                    preds: Vec::new(),
+                });
+                start = pc;
+            }
+        }
+        if n > 0 {
+            blocks.push(BasicBlock {
+                start,
+                end: n,
+                succs: Vec::new(),
+                preds: Vec::new(),
+            });
+        }
+        for (id, b) in blocks.iter().enumerate() {
+            block_of[b.start..b.end].fill(id);
+        }
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for (id, b) in blocks.iter().enumerate() {
+            for &s in &succs[b.end - 1] {
+                edges.push((id, block_of[s]));
+            }
+        }
+        for (from, to) in edges {
+            blocks[from].succs.push(to);
+            blocks[to].preds.push(from);
+        }
+
+        Cfg {
+            succs,
+            preds,
+            reachable,
+            blocks,
+            block_of,
+            reconv_edges,
+        }
+    }
+
+    /// Successor pcs of `pc` (reconvergence points are not successors).
+    pub fn succs(&self, pc: usize) -> &[usize] {
+        &self.succs[pc]
+    }
+
+    /// Predecessor pcs of `pc`.
+    pub fn preds(&self, pc: usize) -> &[usize] {
+        &self.preds[pc]
+    }
+
+    /// Whether `pc` is reachable from the kernel entry.
+    pub fn is_reachable(&self, pc: usize) -> bool {
+        self.reachable[pc]
+    }
+
+    /// Number of pcs in the underlying sequence.
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// The basic blocks in program order.
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// The id of the block containing `pc`.
+    pub fn block_of(&self, pc: usize) -> usize {
+        self.block_of[pc]
+    }
+
+    /// `(branch pc, reconvergence pc)` pairs, in program order.
+    pub fn reconv_edges(&self) -> &[(usize, usize)] {
+        &self.reconv_edges
+    }
+
+    /// Forward reachability from `seeds`, never entering `stop`.
+    ///
+    /// This is the "divergence region" of a branch when seeded with its
+    /// taken target and fall-through and stopped at its reconvergence
+    /// point: the pcs a thread can sit at while the warp's other half is
+    /// parked waiting at `stop`.
+    pub fn region(&self, seeds: &[usize], stop: usize) -> Vec<bool> {
+        let mut seen = vec![false; self.len()];
+        let mut work: Vec<usize> = seeds
+            .iter()
+            .copied()
+            .filter(|&s| s != stop && s < self.len())
+            .collect();
+        for &s in &work {
+            seen[s] = true;
+        }
+        while let Some(pc) = work.pop() {
+            for &s in &self.succs[pc] {
+                if s != stop && !seen[s] {
+                    seen[s] = true;
+                    work.push(s);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Backward reachability: the pcs from which some pc in `seeds` is
+    /// reachable (seeds included).
+    pub fn reaches_any(&self, seeds: &[usize]) -> Vec<bool> {
+        let mut seen = vec![false; self.len()];
+        let mut work = Vec::new();
+        for &s in seeds {
+            if s < self.len() && !seen[s] {
+                seen[s] = true;
+                work.push(s);
+            }
+        }
+        while let Some(pc) = work.pop() {
+            for &p in &self.preds[pc] {
+                if !seen[p] {
+                    seen[p] = true;
+                    work.push(p);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simt_isa::{AluOp, Operand, Reg};
+
+    fn add(dst: u8, a: u8) -> Instruction {
+        Instruction::Alu {
+            op: AluOp::Add,
+            dst: Reg(dst),
+            a: Operand::Reg(Reg(a)),
+            b: Operand::Imm(1),
+        }
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let instrs = vec![add(0, 0), add(1, 0), Instruction::Exit];
+        let cfg = Cfg::build(&instrs);
+        assert_eq!(cfg.blocks().len(), 1);
+        assert_eq!(cfg.blocks()[0].start, 0);
+        assert_eq!(cfg.blocks()[0].end, 3);
+        assert!(cfg.is_reachable(2));
+        assert!(cfg.succs(2).is_empty());
+    }
+
+    #[test]
+    fn diamond_blocks_and_edges() {
+        // 0: bra r0 -> 3 (reconv 4)
+        // 1: add           (else)
+        // 2: jmp 4
+        // 3: add           (then)
+        // 4: exit          (merge)
+        let instrs = vec![
+            Instruction::Bra {
+                pred: Reg(0),
+                target: 3,
+                reconv: 4,
+            },
+            add(1, 1),
+            Instruction::Jmp { target: 4 },
+            add(1, 1),
+            Instruction::Exit,
+        ];
+        let cfg = Cfg::build(&instrs);
+        assert_eq!(cfg.blocks().len(), 4);
+        assert_eq!(cfg.succs(0), &[3, 1]);
+        assert_eq!(cfg.preds(4), &[2, 3]);
+        assert_eq!(cfg.reconv_edges(), &[(0, 4)]);
+        let merge_block = cfg.block_of(4);
+        assert_eq!(cfg.blocks()[merge_block].preds.len(), 2);
+        // Divergence region of the branch: pcs 1..=3, not the merge.
+        let region = cfg.region(&[3, 1], 4);
+        assert_eq!(region, vec![false, true, true, true, false]);
+    }
+
+    #[test]
+    fn unreachable_tail_detected() {
+        let instrs = vec![Instruction::Jmp { target: 2 }, add(0, 0), Instruction::Exit];
+        let cfg = Cfg::build(&instrs);
+        assert!(!cfg.is_reachable(1));
+        assert!(cfg.is_reachable(2));
+    }
+
+    #[test]
+    fn backward_reachability() {
+        let instrs = vec![
+            add(0, 0),
+            Instruction::Bra {
+                pred: Reg(0),
+                target: 0,
+                reconv: 2,
+            },
+            Instruction::Exit,
+        ];
+        let cfg = Cfg::build(&instrs);
+        let r = cfg.reaches_any(&[2]);
+        assert_eq!(r, vec![true, true, true]);
+    }
+}

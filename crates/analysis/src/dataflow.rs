@@ -1,0 +1,290 @@
+//! Dataflow substrate: register bitsets and reaching definitions.
+//!
+//! Both analyses here are classic iterative dataflow over the
+//! instruction-level CFG. Kernels in this ISA are tiny (tens of
+//! instructions), so per-pc fixpoints are exact and cheap; there is no
+//! need for block-level gen/kill summaries.
+
+use simt_isa::Instruction;
+
+use crate::cfg::Cfg;
+
+/// A set of register indices as a fixed 256-bit bitmask (`Reg` is a
+/// `u8`, so every possible register fits).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RegSet {
+    words: [u64; 4],
+}
+
+impl RegSet {
+    /// The empty set.
+    pub const EMPTY: RegSet = RegSet { words: [0; 4] };
+
+    /// Inserts `reg`; returns whether the set changed.
+    pub fn insert(&mut self, reg: u8) -> bool {
+        let (w, b) = (usize::from(reg) / 64, usize::from(reg) % 64);
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !had
+    }
+
+    /// Removes `reg`.
+    pub fn remove(&mut self, reg: u8) {
+        let (w, b) = (usize::from(reg) / 64, usize::from(reg) % 64);
+        self.words[w] &= !(1 << b);
+    }
+
+    /// Whether `reg` is in the set.
+    pub fn contains(&self, reg: u8) -> bool {
+        let (w, b) = (usize::from(reg) / 64, usize::from(reg) % 64);
+        self.words[w] & (1 << b) != 0
+    }
+
+    /// Unions `other` into `self`; returns whether `self` changed.
+    pub fn union_with(&mut self, other: &RegSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(other.words) {
+            let next = *a | b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
+    /// Number of registers in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates the register indices in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u8> + '_ {
+        (0u16..256).filter_map(|r| {
+            let r = r as u8;
+            self.contains(r).then_some(r)
+        })
+    }
+}
+
+/// A growable bitset keyed by definition-site id.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    pub(crate) fn new(capacity: usize) -> Self {
+        BitSet {
+            words: vec![0; capacity.div_ceil(64)],
+        }
+    }
+
+    pub(crate) fn insert(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    pub(crate) fn contains(&self, i: usize) -> bool {
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// `self |= other`; returns whether `self` changed.
+    pub(crate) fn union_with(&mut self, other: &BitSet) -> bool {
+        let mut changed = false;
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            let next = *a | b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
+    /// `self &= !other`.
+    pub(crate) fn subtract(&mut self, other: &BitSet) {
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+}
+
+/// One definition site: either a real write at `pc`, or the synthetic
+/// entry definition every register has (the simulator zero-initialises
+/// the register file, so "uninitialised" reads are *defined* — but
+/// almost always a kernel bug, which is what the use-before-def lint
+/// reports).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DefSite {
+    /// Pc of the write, or `None` for the synthetic entry definition.
+    pub pc: Option<usize>,
+    /// The register defined.
+    pub reg: u8,
+}
+
+/// Reaching definitions: for every pc, which definition sites may reach
+/// it along some path from entry.
+#[derive(Clone, Debug)]
+pub struct ReachingDefs {
+    sites: Vec<DefSite>,
+    ins: Vec<BitSet>,
+}
+
+impl ReachingDefs {
+    /// Runs the forward may-analysis to fixpoint.
+    pub fn compute(instrs: &[Instruction], num_regs: u8, cfg: &Cfg) -> ReachingDefs {
+        let n = instrs.len();
+        // Site ids: 0..num_regs are the entry pseudo-definitions, then
+        // one per defining instruction in program order.
+        let mut sites: Vec<DefSite> = (0..num_regs)
+            .map(|r| DefSite { pc: None, reg: r })
+            .collect();
+        let mut site_of_pc: Vec<Option<usize>> = vec![None; n];
+        for (pc, instr) in instrs.iter().enumerate() {
+            if let Some(dst) = instr.dst() {
+                site_of_pc[pc] = Some(sites.len());
+                sites.push(DefSite {
+                    pc: Some(pc),
+                    reg: dst.index() as u8,
+                });
+            }
+        }
+        let nsites = sites.len();
+        // Kill set per register: every site defining that register.
+        let mut kills_of_reg: Vec<BitSet> = vec![BitSet::new(nsites); 256];
+        for (id, s) in sites.iter().enumerate() {
+            kills_of_reg[usize::from(s.reg)].insert(id);
+        }
+
+        let mut ins = vec![BitSet::new(nsites); n];
+        if n > 0 {
+            for id in 0..usize::from(num_regs) {
+                ins[0].insert(id);
+            }
+        }
+        let mut work: Vec<usize> = (0..n).filter(|&pc| cfg.is_reachable(pc)).collect();
+        while let Some(pc) = work.pop() {
+            let mut out = ins[pc].clone();
+            if let Some(site) = site_of_pc[pc] {
+                out.subtract(&kills_of_reg[usize::from(sites[site].reg)]);
+                out.insert(site);
+            }
+            for &s in cfg.succs(pc) {
+                if ins[s].union_with(&out) {
+                    work.push(s);
+                }
+            }
+        }
+        ReachingDefs { sites, ins }
+    }
+
+    /// Whether the synthetic entry definition of `reg` (i.e. "no real
+    /// write yet on some path") reaches `pc`.
+    pub fn entry_def_reaches(&self, pc: usize, reg: u8) -> bool {
+        // Entry pseudo-defs occupy site ids 0..num_regs in register order.
+        self.sites
+            .iter()
+            .position(|s| s.pc.is_none() && s.reg == reg)
+            .is_some_and(|id| self.ins[pc].contains(id))
+    }
+
+    /// The definition sites of `reg` that may reach `pc`.
+    pub fn defs_reaching(&self, pc: usize, reg: u8) -> Vec<DefSite> {
+        self.sites
+            .iter()
+            .enumerate()
+            .filter(|&(id, s)| s.reg == reg && self.ins[pc].contains(id))
+            .map(|(_, &s)| s)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simt_isa::{AluOp, Operand, Reg};
+
+    #[test]
+    fn regset_basics() {
+        let mut s = RegSet::EMPTY;
+        assert!(s.is_empty());
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        s.insert(200);
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(3) && s.contains(200));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 200]);
+        s.remove(3);
+        assert!(!s.contains(3));
+        let mut t = RegSet::EMPTY;
+        assert!(t.union_with(&s));
+        assert!(!t.union_with(&s));
+        assert!(t.contains(200));
+    }
+
+    #[test]
+    fn reaching_defs_through_a_diamond() {
+        // 0: mov r1, 1
+        // 1: bra r0 -> 3 (reconv 4)
+        // 2: mov r1, 2        (fall-through redefines r1)
+        // 3: mov r2, 0        (taken path leaves r1 alone)
+        // 4: exit
+        let instrs = vec![
+            Instruction::Mov {
+                dst: Reg(1),
+                src: Operand::Imm(1),
+            },
+            Instruction::Bra {
+                pred: Reg(0),
+                target: 3,
+                reconv: 4,
+            },
+            Instruction::Mov {
+                dst: Reg(1),
+                src: Operand::Imm(2),
+            },
+            Instruction::Mov {
+                dst: Reg(2),
+                src: Operand::Imm(0),
+            },
+            Instruction::Exit,
+        ];
+        let cfg = Cfg::build(&instrs);
+        let rd = ReachingDefs::compute(&instrs, 3, &cfg);
+        // At exit both the pc-0 and pc-2 definitions of r1 may reach
+        // (note instruction 3 is a *successor* path, pc 2 falls to 3?
+        // No: succs(1) = [3, 2], succs(2) = [3], succs(3) = [4]).
+        let defs: Vec<Option<usize>> = rd.defs_reaching(4, 1).iter().map(|d| d.pc).collect();
+        assert!(defs.contains(&Some(0)) && defs.contains(&Some(2)));
+        // r0 is never written: only its entry def reaches its use at 1.
+        assert!(rd.entry_def_reaches(1, 0));
+        // r1 is written before the branch reads anything of it.
+        assert!(!rd.entry_def_reaches(1, 1));
+        // r2's entry def still reaches pc 2 (taken path not yet merged).
+        assert!(rd.entry_def_reaches(2, 2));
+    }
+
+    #[test]
+    fn alu_op_defs_tracked() {
+        let instrs = vec![
+            Instruction::Alu {
+                op: AluOp::Add,
+                dst: Reg(0),
+                a: Operand::Imm(1),
+                b: Operand::Imm(2),
+            },
+            Instruction::Exit,
+        ];
+        let cfg = Cfg::build(&instrs);
+        let rd = ReachingDefs::compute(&instrs, 1, &cfg);
+        assert!(!rd.entry_def_reaches(1, 0));
+        assert_eq!(
+            rd.defs_reaching(1, 0),
+            vec![DefSite {
+                pc: Some(0),
+                reg: 0
+            }]
+        );
+    }
+}

@@ -1,0 +1,337 @@
+//! Static verification and dataflow analysis for `simt-isa` kernels.
+//!
+//! The 18 hand-written workload kernels are this project's substitute
+//! for the paper's Rodinia/Parboil binaries, which makes their
+//! correctness load-bearing for every reproduced figure. This crate is
+//! the correctness gate: it builds a control-flow graph from a kernel
+//! ([`cfg::Cfg`]: basic blocks plus branch and reconvergence edges) and
+//! runs classic dataflow on top —
+//!
+//! * [reaching definitions](dataflow::ReachingDefs), from which
+//!   use-before-def reads are reported,
+//! * [backward register liveness](liveness::Liveness) per program
+//!   point, from which dead writes are reported and a GREENER-style
+//!   [`LivenessSummary`] (live-register histogram, max simultaneously
+//!   live, dead-register fraction) is produced for the energy model,
+//! * structural lints: branch targets in range, register indices below
+//!   `num_regs`, `exit` reachability, unreachable code, and balanced
+//!   divergence/reconvergence nesting (no path stuck inside a
+//!   divergence region, no inner branch reconverging outside it).
+//!
+//! Everything is reported as a machine-readable [`LintReport`] of
+//! [`Diagnostic`]s (severity, pc, register).
+//!
+//! The entry points accept raw `&[Instruction]` slices
+//! ([`analyze_instrs`]) as well as validated kernels ([`analyze`]):
+//! [`simt_isa::Kernel::new`] already rejects out-of-range targets and
+//! registers, so the negative paths of those lints are only observable
+//! on unvalidated sequences.
+//!
+//! # Example
+//!
+//! ```
+//! use simt_isa::{Instruction, Operand, Reg};
+//!
+//! let instrs = vec![
+//!     // Dead write: overwritten at the next instruction, never read.
+//!     Instruction::Mov { dst: Reg(0), src: Operand::Imm(1) },
+//!     Instruction::Mov { dst: Reg(0), src: Operand::Imm(2) },
+//!     // r1 is read but never written anywhere.
+//!     Instruction::St { base: Reg(0), offset: 0, src: Reg(1) },
+//!     Instruction::Exit,
+//! ];
+//! let analysis = simt_analysis::analyze_instrs("demo", &instrs, 2);
+//! assert_eq!(analysis.report.warning_count(), 2);
+//! assert!(!analysis.report.has_errors());
+//! let live = analysis.liveness.unwrap();
+//! assert_eq!(live.max_live, 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cfg;
+pub mod dataflow;
+pub mod lint;
+pub mod liveness;
+
+use simt_isa::{ControlFlow, Instruction, Kernel};
+
+pub use cfg::{BasicBlock, Cfg};
+pub use dataflow::{DefSite, ReachingDefs, RegSet};
+pub use lint::{Diagnostic, LintKind, LintReport, Severity};
+pub use liveness::{Liveness, LivenessSummary};
+
+use serde::{Deserialize, Serialize};
+
+/// The verifier's full output for one kernel.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct KernelAnalysis {
+    /// Every lint finding.
+    pub report: LintReport,
+    /// Liveness statistics; `None` when structural errors made the
+    /// dataflow passes meaningless (bad targets, fall-off-the-end, …).
+    pub liveness: Option<LivenessSummary>,
+}
+
+/// Analyses a validated kernel.
+///
+/// Structural lints cannot fire here (construction already enforces
+/// them), but all dataflow and divergence lints apply, and
+/// `liveness` is always `Some`.
+pub fn analyze(kernel: &Kernel) -> KernelAnalysis {
+    analyze_instrs(kernel.name(), kernel.instrs(), kernel.num_regs())
+}
+
+/// Analyses a raw, possibly invalid instruction sequence.
+///
+/// Structural checks run first; if any fail, the dataflow passes are
+/// skipped (their results would be meaningless) and `liveness` is
+/// `None`.
+pub fn analyze_instrs(name: &str, instrs: &[Instruction], num_regs: u8) -> KernelAnalysis {
+    let mut diags = Vec::new();
+    structural_lints(instrs, num_regs, &mut diags);
+    if !diags.is_empty() {
+        return KernelAnalysis {
+            report: LintReport::new(name, diags),
+            liveness: None,
+        };
+    }
+
+    let cfg = Cfg::build(instrs);
+    reachability_lints(instrs, &cfg, &mut diags);
+    divergence_lints(instrs, &cfg, &mut diags);
+
+    let rd = ReachingDefs::compute(instrs, num_regs, &cfg);
+    use_before_def_lints(instrs, &cfg, &rd, &mut diags);
+    let lv = Liveness::compute(instrs, &cfg);
+    dead_write_lints(instrs, &cfg, &lv, &mut diags);
+
+    // Stable order: whole-kernel findings first, then by pc.
+    diags.sort_by_key(|d| d.pc.map_or((0, 0), |pc| (1, pc)));
+
+    let liveness = LivenessSummary::collect(name, num_regs, &cfg, &lv);
+    KernelAnalysis {
+        report: LintReport::new(name, diags),
+        liveness: Some(liveness),
+    }
+}
+
+/// The lints `Kernel::new` also enforces: emptiness, target and
+/// register ranges, and falling off the end.
+fn structural_lints(instrs: &[Instruction], num_regs: u8, diags: &mut Vec<Diagnostic>) {
+    if instrs.is_empty() {
+        diags.push(Diagnostic::new(
+            LintKind::EmptyKernel,
+            None,
+            None,
+            "kernel has no instructions".into(),
+        ));
+        return;
+    }
+    for (pc, instr) in instrs.iter().enumerate() {
+        let mut regs = instr.src_regs();
+        regs.extend(instr.dst());
+        for r in regs {
+            if r.index() >= usize::from(num_regs) {
+                diags.push(Diagnostic::new(
+                    LintKind::RegisterOutOfRange,
+                    Some(pc),
+                    Some(r.index() as u8),
+                    format!(
+                        "references r{} but the kernel declares {num_regs} registers",
+                        r.index()
+                    ),
+                ));
+            }
+        }
+        let targets: Vec<usize> = match instr.control_flow() {
+            ControlFlow::Branch { target, reconv } => vec![target, reconv],
+            ControlFlow::Jump { target } => vec![target],
+            _ => Vec::new(),
+        };
+        for t in targets {
+            if t >= instrs.len() {
+                diags.push(Diagnostic::new(
+                    LintKind::TargetOutOfRange,
+                    Some(pc),
+                    None,
+                    format!("targets out-of-range pc @{t}"),
+                ));
+            }
+        }
+    }
+    let last = instrs.len() - 1;
+    if matches!(
+        instrs[last].control_flow(),
+        ControlFlow::FallThrough | ControlFlow::Branch { .. }
+    ) {
+        diags.push(Diagnostic::new(
+            LintKind::FallsOffEnd,
+            Some(last),
+            None,
+            "execution can fall off the end of the kernel".into(),
+        ));
+    }
+}
+
+/// `exit` reachability and unreachable-code runs.
+fn reachability_lints(instrs: &[Instruction], cfg: &Cfg, diags: &mut Vec<Diagnostic>) {
+    let any_exit_reachable = instrs
+        .iter()
+        .enumerate()
+        .any(|(pc, i)| matches!(i, Instruction::Exit) && cfg.is_reachable(pc));
+    if !any_exit_reachable {
+        diags.push(Diagnostic::new(
+            LintKind::ExitUnreachable,
+            None,
+            None,
+            "no `exit` is reachable from entry: every warp would hang".into(),
+        ));
+    }
+    // One diagnostic per contiguous unreachable run, not per pc.
+    let mut pc = 0;
+    while pc < instrs.len() {
+        if cfg.is_reachable(pc) {
+            pc += 1;
+            continue;
+        }
+        let start = pc;
+        while pc < instrs.len() && !cfg.is_reachable(pc) {
+            pc += 1;
+        }
+        diags.push(Diagnostic::new(
+            LintKind::UnreachableCode,
+            Some(start),
+            None,
+            format!(
+                "{} instruction(s) at @{start}..@{} can never execute",
+                pc - start,
+                pc - 1
+            ),
+        ));
+    }
+}
+
+/// Balanced divergence/reconvergence nesting.
+///
+/// For each reachable branch, the *divergence region* is everything
+/// reachable from its two successors without passing through its
+/// reconvergence pc — the pcs one half of the warp can occupy while the
+/// other half is parked at `reconv`. Two things must hold:
+///
+/// * every pc in the region can still reach `reconv` or an `exit`
+///   (otherwise the parked half waits forever: deadlock),
+/// * no branch inside the region can carry its threads *across* the
+///   outer reconvergence point while its own (different) reconvergence
+///   entry sits on top of the SIMT stack — the stack pops in LIFO
+///   order, so crossing an outer reconvergence pc under an inner entry
+///   means the parked outer half is never merged with.
+fn divergence_lints(instrs: &[Instruction], cfg: &Cfg, diags: &mut Vec<Diagnostic>) {
+    let exits: Vec<usize> = instrs
+        .iter()
+        .enumerate()
+        .filter_map(|(pc, i)| matches!(i, Instruction::Exit).then_some(pc))
+        .collect();
+    for &(bra_pc, reconv) in cfg.reconv_edges() {
+        if !cfg.is_reachable(bra_pc) {
+            continue;
+        }
+        let ControlFlow::Branch { target, .. } = instrs[bra_pc].control_flow() else {
+            continue;
+        };
+        let region = cfg.region(&[target, bra_pc + 1], reconv);
+        let mut escape_seeds = exits.clone();
+        escape_seeds.push(reconv);
+        let can_escape = cfg.reaches_any(&escape_seeds);
+        if let Some(stuck) = (0..instrs.len()).find(|&q| region[q] && !can_escape[q]) {
+            diags.push(Diagnostic::new(
+                LintKind::DivergenceDeadlock,
+                Some(bra_pc),
+                None,
+                format!(
+                    "divergent path reaches @{stuck}, which can reach neither the \
+                     reconvergence point @{reconv} nor an exit"
+                ),
+            ));
+        }
+        for q in 0..instrs.len() {
+            if !region[q] || q == bra_pc {
+                continue;
+            }
+            let ControlFlow::Branch {
+                target: inner_target,
+                reconv: inner_reconv,
+            } = instrs[q].control_flow()
+            else {
+                continue;
+            };
+            if inner_reconv == reconv {
+                continue;
+            }
+            // Pcs the inner branch's threads can occupy while its entry
+            // (reconv `inner_reconv`) is on top of the stack. If the
+            // outer reconvergence point is among them, threads cross it
+            // without popping down to the outer entry.
+            let inner_region = cfg.region(&[inner_target, q + 1], inner_reconv);
+            if inner_region[reconv] {
+                diags.push(Diagnostic::new(
+                    LintKind::ReconvergenceEscape,
+                    Some(q),
+                    None,
+                    format!(
+                        "divergent threads of this branch (reconv @{inner_reconv}) can \
+                         cross @{reconv}, the reconvergence point of the enclosing \
+                         branch at @{bra_pc}, breaking stack-ordered reconvergence"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Reads of registers whose entry (zero) definition may still reach.
+fn use_before_def_lints(
+    instrs: &[Instruction],
+    cfg: &Cfg,
+    rd: &ReachingDefs,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for (pc, instr) in instrs.iter().enumerate() {
+        if !cfg.is_reachable(pc) {
+            continue;
+        }
+        let mut seen = RegSet::EMPTY;
+        for r in instr.src_regs() {
+            let reg = r.index() as u8;
+            if seen.insert(reg) && rd.entry_def_reaches(pc, reg) {
+                diags.push(Diagnostic::new(
+                    LintKind::UseBeforeDef,
+                    Some(pc),
+                    Some(reg),
+                    format!("r{reg} may be read before any instruction writes it"),
+                ));
+            }
+        }
+    }
+}
+
+/// Writes whose value no future instruction can observe.
+fn dead_write_lints(instrs: &[Instruction], cfg: &Cfg, lv: &Liveness, diags: &mut Vec<Diagnostic>) {
+    for (pc, instr) in instrs.iter().enumerate() {
+        if !cfg.is_reachable(pc) {
+            continue;
+        }
+        if let Some(dst) = instr.dst() {
+            let reg = dst.index() as u8;
+            if !lv.live_out(pc).contains(reg) {
+                diags.push(Diagnostic::new(
+                    LintKind::DeadWrite,
+                    Some(pc),
+                    Some(reg),
+                    format!("r{reg} is written here but the value is never read"),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Machine-readable lint diagnostics.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// How bad a diagnostic is.
+///
+/// Errors describe kernels the simulator would mis-execute or hang on
+/// (invalid targets, unreachable `exit`, divergence deadlock); warnings
+/// describe well-defined but almost-certainly-buggy code (reads of
+/// never-written registers, dead writes, unreachable instructions).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// Suspicious but well-defined.
+    Warning,
+    /// Structurally broken.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// The individual checks the verifier runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LintKind {
+    /// The kernel has no instructions.
+    EmptyKernel,
+    /// A branch/jump target or reconvergence pc is past the end.
+    TargetOutOfRange,
+    /// An instruction references a register ≥ `num_regs`.
+    RegisterOutOfRange,
+    /// Execution can fall off the end of the instruction sequence.
+    FallsOffEnd,
+    /// No `exit` instruction is reachable from entry: every warp hangs.
+    ExitUnreachable,
+    /// An instruction can never execute.
+    UnreachableCode,
+    /// A register is read before any instruction has written it on some
+    /// path (the register file zero-initialises, so this is defined —
+    /// and almost always a bug).
+    UseBeforeDef,
+    /// A register write no future instruction can observe.
+    DeadWrite,
+    /// Some pc inside a divergence region can reach neither the
+    /// branch's reconvergence point nor an `exit`: the parked warp half
+    /// waits forever.
+    DivergenceDeadlock,
+    /// A branch inside a divergence region reconverges *outside* that
+    /// region, breaking stack-ordered (properly nested) reconvergence.
+    ReconvergenceEscape,
+}
+
+impl LintKind {
+    /// The severity this lint always reports at.
+    pub fn severity(self) -> Severity {
+        match self {
+            LintKind::EmptyKernel
+            | LintKind::TargetOutOfRange
+            | LintKind::RegisterOutOfRange
+            | LintKind::FallsOffEnd
+            | LintKind::ExitUnreachable
+            | LintKind::DivergenceDeadlock
+            | LintKind::ReconvergenceEscape => Severity::Error,
+            LintKind::UnreachableCode | LintKind::UseBeforeDef | LintKind::DeadWrite => {
+                Severity::Warning
+            }
+        }
+    }
+
+    /// Short stable name, for tables and filtering.
+    pub fn name(self) -> &'static str {
+        match self {
+            LintKind::EmptyKernel => "empty-kernel",
+            LintKind::TargetOutOfRange => "target-out-of-range",
+            LintKind::RegisterOutOfRange => "register-out-of-range",
+            LintKind::FallsOffEnd => "falls-off-end",
+            LintKind::ExitUnreachable => "exit-unreachable",
+            LintKind::UnreachableCode => "unreachable-code",
+            LintKind::UseBeforeDef => "use-before-def",
+            LintKind::DeadWrite => "dead-write",
+            LintKind::DivergenceDeadlock => "divergence-deadlock",
+            LintKind::ReconvergenceEscape => "reconvergence-escape",
+        }
+    }
+}
+
+/// One finding: what, where, and which register (when applicable).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Which check fired.
+    pub kind: LintKind,
+    /// Error or warning (always `kind.severity()`).
+    pub severity: Severity,
+    /// The offending pc, when the finding is tied to one instruction.
+    pub pc: Option<usize>,
+    /// The offending register index, when the finding is about one.
+    pub reg: Option<u8>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic; severity is derived from `kind`.
+    pub fn new(kind: LintKind, pc: Option<usize>, reg: Option<u8>, message: String) -> Diagnostic {
+        Diagnostic {
+            kind,
+            severity: kind.severity(),
+            pc,
+            reg,
+            message,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.severity, self.kind.name())?;
+        if let Some(pc) = self.pc {
+            write!(f, " @{pc}")?;
+        }
+        if let Some(reg) = self.reg {
+            write!(f, " r{reg}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// Everything the verifier found for one kernel.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LintReport {
+    /// Kernel name.
+    pub kernel: String,
+    /// All findings, in pc order where applicable.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// Wraps a diagnostics list.
+    pub fn new(kernel: impl Into<String>, diagnostics: Vec<Diagnostic>) -> LintReport {
+        LintReport {
+            kernel: kernel.into(),
+            diagnostics,
+        }
+    }
+
+    /// Whether no lint fired at all.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
+
+    /// Whether any error-severity finding is present.
+    pub fn has_errors(&self) -> bool {
+        self.error_count() > 0
+    }
+
+    /// The findings of a given kind.
+    pub fn of_kind(&self, kind: LintKind) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(move |d| d.kind == kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_and_prints() {
+        assert!(Severity::Warning < Severity::Error);
+        assert_eq!(Severity::Error.to_string(), "error");
+    }
+
+    #[test]
+    fn diagnostic_display_includes_location() {
+        let d = Diagnostic::new(
+            LintKind::DeadWrite,
+            Some(7),
+            Some(3),
+            "value never read".into(),
+        );
+        let s = d.to_string();
+        assert!(s.contains("warning"));
+        assert!(s.contains("dead-write"));
+        assert!(s.contains("@7"));
+        assert!(s.contains("r3"));
+        assert_eq!(d.severity, Severity::Warning);
+    }
+
+    #[test]
+    fn report_counts() {
+        let r = LintReport::new(
+            "k",
+            vec![
+                Diagnostic::new(LintKind::DeadWrite, Some(0), Some(0), "x".into()),
+                Diagnostic::new(LintKind::ExitUnreachable, None, None, "y".into()),
+            ],
+        );
+        assert!(!r.is_clean());
+        assert!(r.has_errors());
+        assert_eq!(r.error_count(), 1);
+        assert_eq!(r.warning_count(), 1);
+        assert_eq!(r.of_kind(LintKind::DeadWrite).count(), 1);
+    }
+}

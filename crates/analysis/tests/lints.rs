@@ -1,0 +1,321 @@
+//! One failing kernel per lint: each check must fire on a minimal
+//! offending sequence, with the right severity, pc and register, and
+//! nothing else may fire alongside it (diagnostic precision matters as
+//! much as recall — noisy lints would get ignored).
+
+use simt_analysis::{analyze, analyze_instrs, KernelAnalysis, LintKind, Severity};
+use simt_isa::{AluOp, Instruction, Kernel, Operand, Reg};
+
+fn mov(dst: u8, imm: i32) -> Instruction {
+    Instruction::Mov {
+        dst: Reg(dst),
+        src: Operand::Imm(imm),
+    }
+}
+
+/// Asserts the analysis found exactly one diagnostic, of `kind`, and
+/// returns it.
+fn single(a: &KernelAnalysis, kind: LintKind) -> simt_analysis::Diagnostic {
+    assert_eq!(
+        a.report.diagnostics.len(),
+        1,
+        "expected exactly one diagnostic, got: {:?}",
+        a.report.diagnostics
+    );
+    let d = a.report.diagnostics[0].clone();
+    assert_eq!(d.kind, kind);
+    assert_eq!(d.severity, kind.severity());
+    d
+}
+
+#[test]
+fn use_before_def_detected() {
+    // r0 is read at pc 0 but never written anywhere.
+    let instrs = vec![
+        Instruction::Alu {
+            op: AluOp::Add,
+            dst: Reg(1),
+            a: Operand::Reg(Reg(0)),
+            b: Operand::Imm(1),
+        },
+        Instruction::St {
+            base: Reg(1),
+            offset: 0,
+            src: Reg(1),
+        },
+        Instruction::Exit,
+    ];
+    let a = analyze_instrs("ubd", &instrs, 2);
+    let d = single(&a, LintKind::UseBeforeDef);
+    assert_eq!(d.severity, Severity::Warning);
+    assert_eq!(d.pc, Some(0));
+    assert_eq!(d.reg, Some(0));
+    assert!(a.liveness.is_some());
+}
+
+#[test]
+fn use_before_def_respects_all_paths() {
+    // r1 is written on the fall-through path only; the read after the
+    // merge is still flagged because the taken path skips the write.
+    let instrs = vec![
+        mov(0, 1),
+        Instruction::Bra {
+            pred: Reg(0),
+            target: 3,
+            reconv: 3,
+        },
+        mov(1, 7),
+        Instruction::St {
+            base: Reg(0),
+            offset: 0,
+            src: Reg(1),
+        },
+        Instruction::Exit,
+    ];
+    let a = analyze_instrs("ubd-path", &instrs, 2);
+    let d = single(&a, LintKind::UseBeforeDef);
+    assert_eq!((d.pc, d.reg), (Some(3), Some(1)));
+}
+
+#[test]
+fn dead_write_detected() {
+    // The first write to r0 is overwritten before any read.
+    let instrs = vec![
+        mov(0, 1),
+        mov(0, 2),
+        Instruction::St {
+            base: Reg(0),
+            offset: 0,
+            src: Reg(0),
+        },
+        Instruction::Exit,
+    ];
+    let a = analyze_instrs("deadwrite", &instrs, 1);
+    let d = single(&a, LintKind::DeadWrite);
+    assert_eq!(d.severity, Severity::Warning);
+    assert_eq!((d.pc, d.reg), (Some(0), Some(0)));
+}
+
+#[test]
+fn write_live_around_back_edge_is_not_dead() {
+    // Regression guard for the bfs hash-loop shape: a write read only
+    // via the loop back edge is live.
+    let instrs = vec![
+        mov(0, 0), // accumulator
+        Instruction::Alu {
+            op: AluOp::Add,
+            dst: Reg(0),
+            a: Operand::Reg(Reg(0)),
+            b: Operand::Imm(1),
+        },
+        Instruction::Alu {
+            op: AluOp::SetLt,
+            dst: Reg(1),
+            a: Operand::Reg(Reg(0)),
+            b: Operand::Imm(5),
+        },
+        Instruction::Bra {
+            pred: Reg(1),
+            target: 1,
+            reconv: 4,
+        },
+        Instruction::St {
+            base: Reg(0),
+            offset: 0,
+            src: Reg(0),
+        },
+        Instruction::Exit,
+    ];
+    let a = analyze_instrs("backedge", &instrs, 2);
+    assert!(
+        a.report.is_clean(),
+        "unexpected diagnostics: {:?}",
+        a.report.diagnostics
+    );
+}
+
+#[test]
+fn bad_branch_target_detected() {
+    let instrs = vec![
+        Instruction::Bra {
+            pred: Reg(0),
+            target: 9,
+            reconv: 1,
+        },
+        Instruction::Exit,
+    ];
+    let a = analyze_instrs("badtarget", &instrs, 1);
+    let d = single(&a, LintKind::TargetOutOfRange);
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.pc, Some(0));
+    // Structural errors block the dataflow passes.
+    assert!(a.liveness.is_none());
+}
+
+#[test]
+fn bad_reconvergence_target_detected() {
+    let instrs = vec![
+        Instruction::Bra {
+            pred: Reg(0),
+            target: 1,
+            reconv: 42,
+        },
+        Instruction::Exit,
+    ];
+    let a = analyze_instrs("badreconv", &instrs, 1);
+    assert_eq!(single(&a, LintKind::TargetOutOfRange).pc, Some(0));
+}
+
+#[test]
+fn register_out_of_range_detected() {
+    let instrs = vec![mov(5, 1), Instruction::Exit];
+    let a = analyze_instrs("badreg", &instrs, 2);
+    let d = single(&a, LintKind::RegisterOutOfRange);
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!((d.pc, d.reg), (Some(0), Some(5)));
+    assert!(a.liveness.is_none());
+}
+
+#[test]
+fn falls_off_end_detected() {
+    let a = analyze_instrs("fall", &[mov(0, 1)], 1);
+    let d = single(&a, LintKind::FallsOffEnd);
+    assert_eq!(d.pc, Some(0));
+}
+
+#[test]
+fn empty_kernel_detected() {
+    let a = analyze_instrs("empty", &[], 1);
+    single(&a, LintKind::EmptyKernel);
+    assert!(a.liveness.is_none());
+}
+
+#[test]
+fn unreachable_exit_detected() {
+    let a = analyze_instrs("noexit", &[Instruction::Jmp { target: 0 }], 1);
+    let d = single(&a, LintKind::ExitUnreachable);
+    assert_eq!(d.severity, Severity::Error);
+    assert!(a.liveness.is_some());
+}
+
+#[test]
+fn unreachable_code_detected() {
+    let instrs = vec![Instruction::Jmp { target: 2 }, mov(0, 1), Instruction::Exit];
+    let a = analyze_instrs("skip", &instrs, 1);
+    let d = single(&a, LintKind::UnreachableCode);
+    assert_eq!(d.severity, Severity::Warning);
+    assert_eq!(d.pc, Some(1));
+}
+
+#[test]
+fn divergence_deadlock_detected() {
+    // The taken path of the branch spins at @3 forever, so the threads
+    // parked at the reconvergence point @4 never see it arrive. This
+    // kernel passes `Kernel::new` validation — only the analysis pass
+    // catches it.
+    let k = Kernel::new(
+        "deadlock",
+        vec![
+            mov(0, 1),
+            Instruction::Bra {
+                pred: Reg(0),
+                target: 3,
+                reconv: 4,
+            },
+            Instruction::Jmp { target: 4 },
+            Instruction::Jmp { target: 3 },
+            Instruction::Exit,
+        ],
+        1,
+    )
+    .unwrap();
+    let a = analyze(&k);
+    let d = single(&a, LintKind::DivergenceDeadlock);
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.pc, Some(1));
+    assert!(d.message.contains("@3"));
+}
+
+#[test]
+fn unbalanced_reconvergence_detected() {
+    // The outer branch at @1 reconverges at @4. The inner branch at @3
+    // reconverges at @6, and its fall-through path runs straight
+    // *through* @4 with the inner stack entry still on top — the outer
+    // parked half is never merged with. Structurally valid; only the
+    // analysis pass catches it.
+    let k = Kernel::new(
+        "escape",
+        vec![
+            mov(0, 1),
+            Instruction::Bra {
+                pred: Reg(0),
+                target: 3,
+                reconv: 4,
+            },
+            Instruction::Jmp { target: 4 },
+            Instruction::Bra {
+                pred: Reg(0),
+                target: 5,
+                reconv: 6,
+            },
+            Instruction::St {
+                base: Reg(0),
+                offset: 0,
+                src: Reg(0),
+            },
+            Instruction::St {
+                base: Reg(0),
+                offset: 1,
+                src: Reg(0),
+            },
+            Instruction::Exit,
+        ],
+        1,
+    )
+    .unwrap();
+    let a = analyze(&k);
+    let d = single(&a, LintKind::ReconvergenceEscape);
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.pc, Some(3));
+    assert!(d.message.contains("@1"));
+    assert!(d.message.contains("@4"));
+}
+
+#[test]
+fn properly_nested_divergence_is_clean() {
+    // if/else with a nested if on the then-path: stack-ordered
+    // reconvergence, no findings.
+    let k = Kernel::new(
+        "nested",
+        vec![
+            mov(0, 1),
+            Instruction::Bra {
+                pred: Reg(0),
+                target: 4,
+                reconv: 6,
+            },
+            mov(1, 2),
+            Instruction::Jmp { target: 6 },
+            Instruction::Bra {
+                pred: Reg(0),
+                target: 5,
+                reconv: 5,
+            },
+            mov(1, 3),
+            Instruction::St {
+                base: Reg(0),
+                offset: 0,
+                src: Reg(1),
+            },
+            Instruction::Exit,
+        ],
+        2,
+    )
+    .unwrap();
+    let a = analyze(&k);
+    assert!(
+        a.report.is_clean(),
+        "unexpected diagnostics: {:?}",
+        a.report.diagnostics
+    );
+}

@@ -45,6 +45,14 @@ pub enum Command {
         /// Design point to simulate.
         design: DesignPoint,
     },
+    /// `wcsim analyze <workload|--all> [--deny-warnings]` — run the
+    /// static verifier and liveness pass without simulating.
+    Analyze {
+        /// Benchmark name; `None` analyses the whole suite (`--all`).
+        workload: Option<String>,
+        /// Treat warnings as failures (CI gate).
+        deny_warnings: bool,
+    },
     /// `wcsim --help`.
     Help,
 }
@@ -69,6 +77,8 @@ USAGE:
   wcsim designs                      list design points for --design
   wcsim run <workload|all> [--design D]
   wcsim compare <workload>           baseline vs warped-compression
+  wcsim analyze <workload|--all> [--deny-warnings]
+                                     static lint + liveness report
   wcsim kernel <file.s> --blocks N --tpb N --mem WORDS
                [--param X]... [--design D]
 ";
@@ -154,6 +164,20 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                 design: take_design(&rest)?,
             })
         }
+        "analyze" => {
+            let deny_warnings = rest.contains(&"--deny-warnings");
+            let workload = rest
+                .iter()
+                .find(|a| !a.starts_with("--"))
+                .map(|s| s.to_string());
+            if workload.is_none() && !rest.contains(&"--all") {
+                return Err(ParseError("analyze needs a workload name or --all".into()));
+            }
+            Ok(Command::Analyze {
+                workload,
+                deny_warnings,
+            })
+        }
         "compare" => {
             let workload = rest
                 .first()
@@ -234,6 +258,66 @@ pub fn run_cli(cmd: &Command, out: &mut dyn fmt::Write) -> Result<(), Box<dyn Er
             for w in &workloads {
                 let run = run_workload(&design.config(), w)?;
                 writeln!(out, "{}", format_run(&run, *design))?;
+            }
+        }
+        Command::Analyze {
+            workload,
+            deny_warnings,
+        } => {
+            let workloads = match workload {
+                None => gpu_workloads::suite(),
+                Some(name) => vec![gpu_workloads::by_name(name)
+                    .ok_or_else(|| ParseError(format!("unknown workload `{name}`")))?],
+            };
+            let mut errors = 0usize;
+            let mut warnings = 0usize;
+            let mut rows = Vec::new();
+            for w in &workloads {
+                let analysis = simt_analysis::analyze(w.kernel());
+                for d in &analysis.report.diagnostics {
+                    writeln!(out, "{}: {d}", w.name())?;
+                }
+                errors += analysis.report.error_count();
+                warnings += analysis.report.warning_count();
+                let (max_live, avg_live, dead) = match &analysis.liveness {
+                    Some(l) => (
+                        l.max_live.to_string(),
+                        format!("{:.2}", l.avg_live),
+                        format!("{:.1}%", l.dead_fraction() * 100.0),
+                    ),
+                    None => ("-".into(), "-".into(), "-".into()),
+                };
+                rows.push(vec![
+                    w.name().to_string(),
+                    w.kernel().len().to_string(),
+                    w.kernel().num_regs().to_string(),
+                    max_live,
+                    avg_live,
+                    dead,
+                    analysis.report.error_count().to_string(),
+                    analysis.report.warning_count().to_string(),
+                ]);
+            }
+            let table = wc_bench::FigureTable::new(
+                "analyze",
+                "Static kernel verification and liveness",
+                [
+                    "kernel", "instrs", "regs", "max live", "avg live", "dead", "errors",
+                    "warnings",
+                ]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+                rows,
+            );
+            writeln!(out, "{}", table.to_markdown())?;
+            if errors > 0 {
+                return Err(format!("analyze found {errors} error(s)").into());
+            }
+            if *deny_warnings && warnings > 0 {
+                return Err(
+                    format!("analyze found {warnings} warning(s) with --deny-warnings").into(),
+                );
             }
         }
         Command::Compare { workload } => {
@@ -347,6 +431,72 @@ mod tests {
     #[test]
     fn kernel_requires_geometry() {
         assert!(parse(&["kernel", "k.s", "--blocks", "2"]).is_err());
+    }
+
+    #[test]
+    fn parses_analyze_variants() {
+        assert_eq!(
+            parse(&["analyze", "bfs"]).unwrap(),
+            Command::Analyze {
+                workload: Some("bfs".into()),
+                deny_warnings: false
+            }
+        );
+        assert_eq!(
+            parse(&["analyze", "--all", "--deny-warnings"]).unwrap(),
+            Command::Analyze {
+                workload: None,
+                deny_warnings: true
+            }
+        );
+        assert!(parse(&["analyze"]).is_err());
+    }
+
+    #[test]
+    fn analyze_all_reports_every_kernel_clean() {
+        let mut out = String::new();
+        run_cli(
+            &Command::Analyze {
+                workload: None,
+                deny_warnings: true,
+            },
+            &mut out,
+        )
+        .expect("suite kernels must be lint clean");
+        for name in gpu_workloads::names() {
+            assert!(out.contains(name), "missing {name}");
+        }
+        assert!(out.contains("max live"));
+    }
+
+    #[test]
+    fn analyze_single_workload_prints_summary() {
+        let mut out = String::new();
+        run_cli(
+            &Command::Analyze {
+                workload: Some("bfs".into()),
+                deny_warnings: false,
+            },
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("bfs"));
+        assert!(out.contains("dead"));
+        assert!(!out.contains("backprop"));
+    }
+
+    #[test]
+    fn analyze_unknown_workload_is_an_error() {
+        let mut out = String::new();
+        let err = run_cli(
+            &Command::Analyze {
+                workload: Some("nope".into()),
+                deny_warnings: false,
+            },
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("nope"));
     }
 
     #[test]

@@ -61,7 +61,23 @@ pub fn assemble(source: &str) -> Result<Kernel, AsmError> {
 /// The round trip `assemble(to_asm(&k))? == k` holds for every valid
 /// kernel (property-tested).
 pub fn to_asm(kernel: &Kernel) -> String {
-    use fmt::Write;
+    let mut out = String::new();
+    // Writing into a String is infallible, and every label `write_asm`
+    // looks up comes from the same kernel, so this cannot fail.
+    let _ = write_asm(kernel, &mut out);
+    out
+}
+
+/// Renders a kernel as assembler syntax into any [`fmt::Write`] sink.
+///
+/// This is the panic-free core of [`to_asm`]: formatter errors propagate
+/// through `?` instead of being unwrapped.
+///
+/// # Errors
+///
+/// Propagates errors from the underlying writer (writing to a `String`
+/// cannot fail).
+pub fn write_asm<W: fmt::Write>(kernel: &Kernel, out: &mut W) -> fmt::Result {
     // Collect every pc that is a branch/jump target or reconvergence
     // point and give it a label.
     let mut targets: Vec<usize> = kernel
@@ -80,12 +96,14 @@ pub fn to_asm(kernel: &Kernel) -> String {
         .enumerate()
         .map(|(n, &pc)| (pc, format!("L{n}")))
         .collect();
+    // Every target was just harvested from the kernel, so the lookup is
+    // total; `fmt::Error` here would indicate a bug, not a user error.
+    let label = |pc: usize| label_of.get(&pc).ok_or(fmt::Error);
 
-    let mut out = String::new();
-    writeln!(out, ".kernel {} regs {}", kernel.name(), kernel.num_regs()).unwrap();
+    writeln!(out, ".kernel {} regs {}", kernel.name(), kernel.num_regs())?;
     for (pc, instr) in kernel.instrs().iter().enumerate() {
         if let Some(l) = label_of.get(&pc) {
-            writeln!(out, "@{l}:").unwrap();
+            writeln!(out, "@{l}:")?;
         }
         match *instr {
             Instruction::Bra {
@@ -96,17 +114,17 @@ pub fn to_asm(kernel: &Kernel) -> String {
                 writeln!(
                     out,
                     "    bra {pred}, @{}, @{}",
-                    label_of[&target], label_of[&reconv]
-                )
-                .unwrap();
+                    label(target)?,
+                    label(reconv)?
+                )?;
             }
             Instruction::Jmp { target } => {
-                writeln!(out, "    jmp @{}", label_of[&target]).unwrap();
+                writeln!(out, "    jmp @{}", label(target)?)?;
             }
-            ref other => writeln!(out, "    {other}").unwrap(),
+            ref other => writeln!(out, "    {other}")?,
         }
     }
-    out
+    Ok(())
 }
 
 /// Assembly failures, with 1-based source line numbers.
@@ -230,6 +248,11 @@ impl<'a> Assembler<'a> {
             BuildError::UnboundLabel(_) => AsmError {
                 line: 0,
                 kind: AsmErrorKind::UndefinedLabel("<unknown>".into()),
+            },
+            // Unreachable: duplicate labels are rejected before binding.
+            BuildError::Rebound(_) => AsmError {
+                line: 0,
+                kind: AsmErrorKind::DuplicateLabel("<unknown>".into()),
             },
             BuildError::Invalid(k) => AsmError {
                 line: 0,

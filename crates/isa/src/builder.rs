@@ -42,6 +42,9 @@ pub struct KernelBuilder {
     num_regs: u8,
     instrs: Vec<PendingInstr>,
     bound: HashMap<usize, usize>,
+    /// Labels bound more than once, reported as an error at `build` time
+    /// (the first binding wins until then).
+    rebound: Vec<Label>,
     next_label: usize,
 }
 
@@ -67,6 +70,7 @@ impl KernelBuilder {
             num_regs,
             instrs: Vec::new(),
             bound: HashMap::new(),
+            rebound: Vec::new(),
             next_label: 0,
         }
     }
@@ -87,13 +91,17 @@ impl KernelBuilder {
 
     /// Binds `label` to the next instruction emitted.
     ///
-    /// # Panics
+    /// Rebinding an already-bound label is always a bug in the kernel
+    /// under construction; it is recorded here (the first binding wins)
+    /// and surfaced as [`BuildError::Rebound`] when [`build`] is called.
     ///
-    /// Panics if the label is already bound — rebinding is always a bug in
-    /// the kernel under construction.
+    /// [`build`]: KernelBuilder::build
     pub fn bind(&mut self, label: Label) {
-        let prev = self.bound.insert(label.0, self.instrs.len());
-        assert!(prev.is_none(), "label {label:?} bound twice");
+        if self.bound.contains_key(&label.0) {
+            self.rebound.push(label);
+        } else {
+            self.bound.insert(label.0, self.instrs.len());
+        }
     }
 
     /// Emits `mov dst, src`.
@@ -161,8 +169,12 @@ impl KernelBuilder {
     /// # Errors
     ///
     /// [`BuildError::UnboundLabel`] if a referenced label was never bound;
+    /// [`BuildError::Rebound`] if a label was bound more than once;
     /// [`BuildError::Invalid`] if the resolved kernel fails validation.
     pub fn build(&self) -> Result<Kernel, BuildError> {
+        if let Some(&l) = self.rebound.first() {
+            return Err(BuildError::Rebound(l));
+        }
         let resolve = |l: Label| {
             self.bound
                 .get(&l.0)
@@ -196,6 +208,8 @@ impl KernelBuilder {
 pub enum BuildError {
     /// A branch referenced a label that was never bound.
     UnboundLabel(Label),
+    /// A label was bound to more than one position.
+    Rebound(Label),
     /// The resolved instruction sequence failed kernel validation.
     Invalid(KernelError),
 }
@@ -204,6 +218,7 @@ impl fmt::Display for BuildError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BuildError::UnboundLabel(l) => write!(f, "label {l:?} referenced but never bound"),
+            BuildError::Rebound(l) => write!(f, "label {l:?} bound twice"),
             BuildError::Invalid(e) => write!(f, "invalid kernel: {e}"),
         }
     }
@@ -213,7 +228,7 @@ impl Error for BuildError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             BuildError::Invalid(e) => Some(e),
-            BuildError::UnboundLabel(_) => None,
+            BuildError::UnboundLabel(_) | BuildError::Rebound(_) => None,
         }
     }
 }
@@ -249,13 +264,15 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "bound twice")]
-    fn rebinding_panics() {
+    fn rebinding_errors_at_build() {
         let mut b = KernelBuilder::new("dup", 1);
         let l = b.label();
         b.bind(l);
         b.exit();
         b.bind(l);
+        b.exit();
+        assert_eq!(b.build().unwrap_err(), BuildError::Rebound(l));
+        assert!(b.build().unwrap_err().to_string().contains("bound twice"));
     }
 
     #[test]

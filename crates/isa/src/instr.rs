@@ -194,6 +194,32 @@ pub enum Instruction {
     Exit,
 }
 
+/// How an instruction transfers control, as seen by static analyses.
+///
+/// This is the view `simt-analysis` builds its control-flow graph from:
+/// it separates the taken edge of a branch from its reconvergence point
+/// (which the SIMT stack uses, but which is *not* a successor edge).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ControlFlow {
+    /// Execution continues at `pc + 1`.
+    FallThrough,
+    /// Divergent branch: successors are `target` and `pc + 1`; `reconv`
+    /// is where the warp re-joins.
+    Branch {
+        /// Taken-path target pc.
+        target: usize,
+        /// Reconvergence pc.
+        reconv: usize,
+    },
+    /// Unconditional jump: single successor `target`.
+    Jump {
+        /// Target pc.
+        target: usize,
+    },
+    /// Warp terminates: no successors.
+    Exit,
+}
+
 impl Instruction {
     /// Destination register, if the instruction writes one. Register
     /// writes are exactly the events warped-compression compresses.
@@ -237,6 +263,16 @@ impl Instruction {
             self,
             Instruction::Bra { .. } | Instruction::Jmp { .. } | Instruction::Exit
         )
+    }
+
+    /// The control transfer this instruction performs, for CFG builders.
+    pub fn control_flow(&self) -> ControlFlow {
+        match *self {
+            Instruction::Bra { target, reconv, .. } => ControlFlow::Branch { target, reconv },
+            Instruction::Jmp { target } => ControlFlow::Jump { target },
+            Instruction::Exit => ControlFlow::Exit,
+            _ => ControlFlow::FallThrough,
+        }
     }
 }
 
@@ -346,6 +382,34 @@ mod tests {
         };
         assert_eq!(ld.latency_class(), LatencyClass::Memory);
         assert!(Instruction::Exit.is_control());
+    }
+
+    #[test]
+    fn control_flow_classification() {
+        let add = Instruction::Alu {
+            op: AluOp::Add,
+            dst: Reg(0),
+            a: Operand::Imm(1),
+            b: Operand::Imm(2),
+        };
+        assert_eq!(add.control_flow(), ControlFlow::FallThrough);
+        let bra = Instruction::Bra {
+            pred: Reg(0),
+            target: 3,
+            reconv: 5,
+        };
+        assert_eq!(
+            bra.control_flow(),
+            ControlFlow::Branch {
+                target: 3,
+                reconv: 5
+            }
+        );
+        assert_eq!(
+            Instruction::Jmp { target: 2 }.control_flow(),
+            ControlFlow::Jump { target: 2 }
+        );
+        assert_eq!(Instruction::Exit.control_flow(), ControlFlow::Exit);
     }
 
     #[test]

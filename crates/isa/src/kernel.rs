@@ -5,7 +5,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use crate::instr::Instruction;
+use crate::instr::{ControlFlow, Instruction};
 
 /// A validated kernel: what a CUDA `__global__` function compiles to in
 /// this ISA.
@@ -64,9 +64,11 @@ impl Kernel {
                 _ => {}
             }
         }
-        match instrs.last().expect("non-empty checked above") {
-            Instruction::Exit | Instruction::Jmp { .. } => {}
-            _ => return Err(KernelError::FallsOffEnd),
+        match instrs.last() {
+            Some(Instruction::Exit | Instruction::Jmp { .. }) => {}
+            // `None` is unreachable (emptiness checked above), but treating
+            // it as FallsOffEnd keeps this arm panic-free.
+            Some(_) | None => return Err(KernelError::FallsOffEnd),
         }
         Ok(Kernel {
             name,
@@ -107,14 +109,41 @@ impl Kernel {
         self.num_regs
     }
 
+    /// The pcs execution can continue at after the instruction at `pc`.
+    ///
+    /// Reconvergence points are SIMT-stack metadata, not successor edges,
+    /// so they are *not* included. `Exit` and out-of-range pcs have no
+    /// successors. Branches whose taken target equals the fall-through pc
+    /// report it once.
+    pub fn successors(&self, pc: usize) -> Vec<usize> {
+        match self.instrs.get(pc).map(Instruction::control_flow) {
+            Some(ControlFlow::FallThrough) => vec![pc + 1],
+            Some(ControlFlow::Branch { target, .. }) if target == pc + 1 => vec![pc + 1],
+            Some(ControlFlow::Branch { target, .. }) => vec![target, pc + 1],
+            Some(ControlFlow::Jump { target }) => vec![target],
+            Some(ControlFlow::Exit) | None => Vec::new(),
+        }
+    }
+
+    /// Writes a human-readable disassembly listing into `out`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from the underlying writer; writing to a
+    /// `String` cannot fail.
+    pub fn write_disassembly<W: fmt::Write>(&self, out: &mut W) -> fmt::Result {
+        writeln!(out, ".kernel {} (regs: {})", self.name, self.num_regs)?;
+        for (pc, i) in self.instrs.iter().enumerate() {
+            writeln!(out, "  @{pc:<4} {i}")?;
+        }
+        Ok(())
+    }
+
     /// A human-readable disassembly listing.
     pub fn disassemble(&self) -> String {
-        use fmt::Write;
         let mut out = String::new();
-        writeln!(out, ".kernel {} (regs: {})", self.name, self.num_regs).unwrap();
-        for (pc, i) in self.instrs.iter().enumerate() {
-            writeln!(out, "  @{pc:<4} {i}").unwrap();
-        }
+        // Writing into a String is infallible.
+        let _ = self.write_disassembly(&mut out);
         out
     }
 }
@@ -272,6 +301,40 @@ mod tests {
         assert!(text.contains("@0"));
         assert!(text.contains("mov r0, 3"));
         assert!(text.contains("exit"));
+    }
+
+    #[test]
+    fn successor_edges() {
+        let k = Kernel::new(
+            "s",
+            vec![
+                Instruction::Mov {
+                    dst: Reg(0),
+                    src: Operand::Imm(1),
+                },
+                Instruction::Bra {
+                    pred: Reg(0),
+                    target: 3,
+                    reconv: 4,
+                },
+                Instruction::Jmp { target: 4 },
+                Instruction::Bra {
+                    pred: Reg(0),
+                    target: 4,
+                    reconv: 4,
+                },
+                exit(),
+            ],
+            1,
+        )
+        .unwrap();
+        assert_eq!(k.successors(0), vec![1]);
+        assert_eq!(k.successors(1), vec![3, 2]);
+        assert_eq!(k.successors(2), vec![4]);
+        // Taken target == fall-through: reported once.
+        assert_eq!(k.successors(3), vec![4]);
+        assert_eq!(k.successors(4), Vec::<usize>::new());
+        assert_eq!(k.successors(99), Vec::<usize>::new());
     }
 
     #[test]

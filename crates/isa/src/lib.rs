@@ -43,8 +43,8 @@ mod instr;
 mod kernel;
 mod operand;
 
-pub use asm::{assemble, to_asm, AsmError, AsmErrorKind};
+pub use asm::{assemble, to_asm, write_asm, AsmError, AsmErrorKind};
 pub use builder::{BuildError, KernelBuilder, Label};
-pub use instr::{AluOp, Instruction, LatencyClass};
+pub use instr::{AluOp, ControlFlow, Instruction, LatencyClass};
 pub use kernel::{Kernel, KernelError};
 pub use operand::{Operand, Reg, Special};

@@ -41,10 +41,12 @@
 
 mod activity;
 mod model;
+mod occupancy;
 mod params;
 mod report;
 
 pub use activity::{ActivityCounts, LowPowerKind};
 pub use model::EnergyModel;
+pub use occupancy::OccupancyComparison;
 pub use params::EnergyParams;
 pub use report::EnergyReport;

@@ -43,10 +43,14 @@ mod arbiter;
 mod bank;
 mod config;
 mod file;
+#[cfg(feature = "sanitize")]
+mod shadow;
 mod stats;
 
 pub use arbiter::BankPorts;
 pub use bank::{Bank, PowerState};
 pub use config::{GatingMode, RegFileConfig};
 pub use file::{ReadResult, RegFileError, RegisterFile, WarpSlot, WriteError};
+#[cfg(feature = "sanitize")]
+pub use shadow::ShadowRegisterFile;
 pub use stats::RegFileStats;

@@ -1,0 +1,153 @@
+//! Shadow (uncompressed) register file for `sanitize` builds.
+//!
+//! The real [`RegisterFile`](crate::RegisterFile) stores registers in
+//! compressed form, and the simulator decompresses them on every read.
+//! If the codec, the bank footprint bookkeeping, or the writeback merge
+//! ever corrupted a value, the simulation would silently compute wrong
+//! figures. The shadow file keeps every register in plain uncompressed
+//! form, mirrors every architectural write, and asserts that each
+//! decompressed read is bit-exact against it — turning a silent wrong
+//! answer into an immediate panic at the first corrupted lane.
+//!
+//! Nothing here touches banks, ports or power state: the shadow is a
+//! purely functional mirror, so it cannot perturb any timing or energy
+//! statistic.
+
+use bdi::{WarpRegister, WARP_SIZE};
+
+use crate::WarpSlot;
+
+/// Uncompressed mirror of every allocated (warp slot, register) pair.
+#[derive(Clone, Debug, Default)]
+pub struct ShadowRegisterFile {
+    warps: Vec<Option<Vec<WarpRegister>>>,
+}
+
+impl ShadowRegisterFile {
+    /// An empty shadow file.
+    pub fn new() -> Self {
+        ShadowRegisterFile::default()
+    }
+
+    /// Mirrors a warp allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is already allocated — the real file would
+    /// have rejected the allocation, so reaching here is a wiring bug.
+    pub fn allocate_warp(&mut self, slot: WarpSlot, num_regs: usize, initial: WarpRegister) {
+        if self.warps.len() <= slot.0 {
+            self.warps.resize(slot.0 + 1, None);
+        }
+        assert!(
+            self.warps[slot.0].is_none(),
+            "sanitize: shadow slot {} allocated twice",
+            slot.0
+        );
+        self.warps[slot.0] = Some(vec![initial; num_regs]);
+    }
+
+    /// Mirrors a warp release.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot was not allocated.
+    pub fn free_warp(&mut self, slot: WarpSlot) {
+        let freed = self.warps.get_mut(slot.0).and_then(Option::take);
+        assert!(
+            freed.is_some(),
+            "sanitize: shadow slot {} freed while unallocated",
+            slot.0
+        );
+    }
+
+    /// Mirrors an architectural register write (the full post-merge
+    /// value, exactly what the compressed file is asked to store).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the (slot, reg) pair is unallocated.
+    pub fn record_write(&mut self, slot: WarpSlot, reg: usize, value: &WarpRegister) {
+        *self.reg_mut(slot, reg) = *value;
+    }
+
+    /// Asserts that a decompressed read matches the shadow bit-exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the slot, register and first mismatching lane if the
+    /// decompressed value differs from the mirrored one.
+    pub fn check_read(&self, slot: WarpSlot, reg: usize, decompressed: &WarpRegister) {
+        let expected = self.reg(slot, reg);
+        if expected != decompressed {
+            let lane = (0..WARP_SIZE)
+                .find(|&l| expected.lane(l) != decompressed.lane(l))
+                .expect("registers differ in some lane");
+            panic!(
+                "sanitize: decompressed read of slot {} r{reg} differs from shadow \
+                 at lane {lane}: expected {:#010x}, got {:#010x}",
+                slot.0,
+                expected.lane(lane),
+                decompressed.lane(lane),
+            );
+        }
+    }
+
+    fn reg(&self, slot: WarpSlot, reg: usize) -> &WarpRegister {
+        self.warps
+            .get(slot.0)
+            .and_then(Option::as_ref)
+            .and_then(|regs| regs.get(reg))
+            .unwrap_or_else(|| panic!("sanitize: shadow slot {} r{reg} unallocated", slot.0))
+    }
+
+    fn reg_mut(&mut self, slot: WarpSlot, reg: usize) -> &mut WarpRegister {
+        self.warps
+            .get_mut(slot.0)
+            .and_then(Option::as_mut)
+            .and_then(|regs| regs.get_mut(reg))
+            .unwrap_or_else(|| panic!("sanitize: shadow slot {} r{reg} unallocated", slot.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mirror_round_trip() {
+        let mut sh = ShadowRegisterFile::new();
+        sh.allocate_warp(WarpSlot(2), 4, WarpRegister::ZERO);
+        sh.check_read(WarpSlot(2), 3, &WarpRegister::ZERO);
+        let v = WarpRegister::from_fn(|t| t as u32 * 3);
+        sh.record_write(WarpSlot(2), 3, &v);
+        sh.check_read(WarpSlot(2), 3, &v);
+    }
+
+    #[test]
+    #[should_panic(expected = "lane 7")]
+    fn mismatch_reports_first_bad_lane() {
+        let mut sh = ShadowRegisterFile::new();
+        sh.allocate_warp(WarpSlot(0), 1, WarpRegister::ZERO);
+        let mut bad = WarpRegister::ZERO;
+        bad.set_lane(7, 0xdead_beef);
+        sh.check_read(WarpSlot(0), 0, &bad);
+    }
+
+    #[test]
+    #[should_panic(expected = "allocated twice")]
+    fn double_allocation_panics() {
+        let mut sh = ShadowRegisterFile::new();
+        sh.allocate_warp(WarpSlot(0), 1, WarpRegister::ZERO);
+        sh.allocate_warp(WarpSlot(0), 1, WarpRegister::ZERO);
+    }
+
+    #[test]
+    fn free_allows_reuse() {
+        let mut sh = ShadowRegisterFile::new();
+        sh.allocate_warp(WarpSlot(1), 2, WarpRegister::splat(9));
+        sh.free_warp(WarpSlot(1));
+        sh.allocate_warp(WarpSlot(1), 2, WarpRegister::ZERO);
+        sh.check_read(WarpSlot(1), 0, &WarpRegister::ZERO);
+    }
+}

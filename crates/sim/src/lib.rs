@@ -50,6 +50,8 @@ mod chip;
 mod config;
 mod launch;
 mod memory;
+#[cfg(feature = "sanitize")]
+mod sanitize;
 mod scoreboard;
 mod simt_stack;
 mod sm;

@@ -1,0 +1,130 @@
+//! Independent hazard oracle for `sanitize` builds.
+//!
+//! The pipeline's [`Scoreboard`](crate::scoreboard::Scoreboard) is what
+//! *prevents* RAW/WAW/WAR hazards; this oracle re-derives the same
+//! pending-read/pending-write state from the issue, operand-capture and
+//! writeback events and panics if an instruction ever issues into a
+//! hazard the scoreboard should have blocked. Because it is fed by the
+//! events themselves (not by the scoreboard's internal state), a
+//! scoreboard bookkeeping bug cannot hide from it.
+
+/// Per-(warp slot, register) pending-access counters.
+#[derive(Clone, Debug)]
+pub(crate) struct HazardOracle {
+    /// `pending_reads[slot][reg]`: operands issued but not yet captured.
+    pending_reads: Vec<Vec<u32>>,
+    /// `pending_writes[slot][reg]`: results issued but not yet retired.
+    pending_writes: Vec<Vec<u32>>,
+}
+
+impl HazardOracle {
+    pub(crate) fn new(max_slots: usize, num_regs: usize) -> Self {
+        HazardOracle {
+            pending_reads: vec![vec![0; num_regs]; max_slots],
+            pending_writes: vec![vec![0; num_regs]; max_slots],
+        }
+    }
+
+    /// Checks an issuing instruction against the three hazard classes,
+    /// then registers its reservations.
+    pub(crate) fn on_issue(&mut self, slot: usize, srcs: &[usize], dst: Option<usize>) {
+        for &r in srcs {
+            assert_eq!(
+                self.pending_writes[slot][r], 0,
+                "sanitize: RAW hazard — slot {slot} issues a read of r{r} with a write in flight"
+            );
+        }
+        if let Some(d) = dst {
+            assert_eq!(
+                self.pending_writes[slot][d], 0,
+                "sanitize: WAW hazard — slot {slot} issues a write of r{d} with a write in flight"
+            );
+            assert_eq!(
+                self.pending_reads[slot][d], 0,
+                "sanitize: WAR hazard — slot {slot} issues a write of r{d} with a read in flight"
+            );
+        }
+        for &r in srcs {
+            self.pending_reads[slot][r] += 1;
+        }
+        if let Some(d) = dst {
+            self.pending_writes[slot][d] += 1;
+        }
+    }
+
+    /// The collector captured the operand values (WAR window closes).
+    pub(crate) fn on_capture(&mut self, slot: usize, srcs: &[usize]) {
+        for &r in srcs {
+            assert!(
+                self.pending_reads[slot][r] > 0,
+                "sanitize: slot {slot} captures r{r} with no read in flight"
+            );
+            self.pending_reads[slot][r] -= 1;
+        }
+    }
+
+    /// The result reached the register file (RAW/WAW windows close).
+    pub(crate) fn on_retire_write(&mut self, slot: usize, reg: usize) {
+        assert!(
+            self.pending_writes[slot][reg] > 0,
+            "sanitize: slot {slot} retires a write of r{reg} with no write in flight"
+        );
+        self.pending_writes[slot][reg] -= 1;
+    }
+
+    /// A warp slot is being freed: nothing may still be in flight.
+    pub(crate) fn on_warp_free(&self, slot: usize) {
+        let reads: u32 = self.pending_reads[slot].iter().sum();
+        let writes: u32 = self.pending_writes[slot].iter().sum();
+        assert!(
+            reads == 0 && writes == 0,
+            "sanitize: slot {slot} freed with {reads} read(s) and {writes} write(s) in flight"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_sequence_passes() {
+        let mut o = HazardOracle::new(2, 4);
+        o.on_issue(0, &[1, 2], Some(3));
+        o.on_capture(0, &[1, 2]);
+        o.on_retire_write(0, 3);
+        o.on_warp_free(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "RAW hazard")]
+    fn raw_hazard_caught() {
+        let mut o = HazardOracle::new(1, 4);
+        o.on_issue(0, &[], Some(2));
+        o.on_issue(0, &[2], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "WAW hazard")]
+    fn waw_hazard_caught() {
+        let mut o = HazardOracle::new(1, 4);
+        o.on_issue(0, &[], Some(1));
+        o.on_issue(0, &[], Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "WAR hazard")]
+    fn war_hazard_caught() {
+        let mut o = HazardOracle::new(1, 4);
+        o.on_issue(0, &[3], None);
+        o.on_issue(0, &[], Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "in flight")]
+    fn premature_free_caught() {
+        let mut o = HazardOracle::new(1, 4);
+        o.on_issue(0, &[], Some(0));
+        o.on_warp_free(0);
+    }
+}

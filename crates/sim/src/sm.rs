@@ -229,6 +229,12 @@ struct Engine<'a> {
     initial_reg: CompressedRegister,
     stats: SimStats,
     last_progress: u64,
+    /// Uncompressed mirror every decompressed read is checked against.
+    #[cfg(feature = "sanitize")]
+    shadow: gpu_regfile::ShadowRegisterFile,
+    /// Independent RAW/WAW/WAR re-check of every issue/capture/retire.
+    #[cfg(feature = "sanitize")]
+    oracle: crate::sanitize::HazardOracle,
 }
 
 /// Declare a deadlock after this many cycles without an issue or retire.
@@ -276,6 +282,10 @@ impl<'a> Engine<'a> {
             initial_reg,
             stats: SimStats::default(),
             last_progress: 0,
+            #[cfg(feature = "sanitize")]
+            shadow: gpu_regfile::ShadowRegisterFile::new(),
+            #[cfg(feature = "sanitize")]
+            oracle: crate::sanitize::HazardOracle::new(max_resident, num_regs),
             cfg,
             kernel,
             launch,
@@ -347,6 +357,12 @@ impl<'a> Engine<'a> {
                     &self.initial_reg,
                     self.now,
                 )?;
+                #[cfg(feature = "sanitize")]
+                self.shadow.allocate_warp(
+                    WarpSlot(slot),
+                    self.num_regs,
+                    self.codec.decompress(&self.initial_reg),
+                );
                 self.warps[slot] = Some(WarpState::new(slot, block, w, threads, self.launch_seq));
                 self.launch_seq += 1;
             }
@@ -362,6 +378,11 @@ impl<'a> Engine<'a> {
             };
             if let Some(s) = drained_slot {
                 debug_assert!(self.scoreboard.is_warp_idle(s));
+                #[cfg(feature = "sanitize")]
+                {
+                    self.oracle.on_warp_free(s);
+                    self.shadow.free_warp(WarpSlot(s));
+                }
                 self.regfile.free_warp(WarpSlot(s), self.now);
                 self.warps[s] = None;
             }
@@ -483,6 +504,8 @@ impl<'a> Engine<'a> {
                     return false;
                 };
                 self.scoreboard.issue(slot, &srcs, dst);
+                #[cfg(feature = "sanitize")]
+                self.oracle.on_issue(slot, &srcs, dst);
                 let warp = self.warps[slot].as_mut().expect("checked");
                 warp.inflight += 1;
                 if is_mem {
@@ -560,6 +583,8 @@ impl<'a> Engine<'a> {
             }
             let read = self.regfile.read(WarpSlot(c.slot), f.reg, self.now);
             let value = self.codec.decompress(read.register);
+            #[cfg(feature = "sanitize")]
+            self.shadow.check_read(WarpSlot(c.slot), f.reg, &value);
             f.value = Some(value);
             if compressed {
                 self.decomp_starts += 1;
@@ -574,6 +599,8 @@ impl<'a> Engine<'a> {
     fn dispatch(&mut self, c: Collector) -> Result<(), SimError> {
         let srcs: Vec<usize> = c.fetches.iter().map(|f| f.reg).collect();
         self.scoreboard.release_reads(c.slot, &srcs);
+        #[cfg(feature = "sanitize")]
+        self.oracle.on_capture(c.slot, &srcs);
         let values: HashMap<usize, WarpRegister> = c
             .fetches
             .iter()
@@ -769,6 +796,8 @@ impl<'a> Engine<'a> {
                     .write(WarpSlot(e.slot), e.reg, *compressed, self.now)
                 {
                     Ok(_) => {
+                        #[cfg(feature = "sanitize")]
+                        self.shadow.record_write(WarpSlot(e.slot), e.reg, &e.result);
                         self.retire_write(e, compressed.is_compressed());
                         StepOutcome::Retired
                     }
@@ -814,6 +843,8 @@ impl<'a> Engine<'a> {
                 .expect("destination register is allocated");
             self.codec.decompress(stored)
         };
+        #[cfg(feature = "sanitize")]
+        self.shadow.check_read(WarpSlot(e.slot), e.reg, &old);
         e.result = old.merge_masked(&e.result, e.mask);
     }
 
@@ -842,6 +873,8 @@ impl<'a> Engine<'a> {
             synthetic: e.synthetic,
         });
         self.scoreboard.release_write(e.slot, e.reg);
+        #[cfg(feature = "sanitize")]
+        self.oracle.on_retire_write(e.slot, e.reg);
         let warp = self.warps[e.slot]
             .as_mut()
             .expect("warp alive while in flight");

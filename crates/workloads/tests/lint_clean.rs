@@ -1,0 +1,56 @@
+//! Every workload kernel must pass the static verifier with zero
+//! diagnostics — errors *and* warnings. The 18 kernels stand in for the
+//! paper's benchmark binaries, so a dead write or use-before-def in one
+//! of them silently skews every reproduced figure. This is the same
+//! gate CI runs via `wcsim analyze --all --deny-warnings`.
+
+use gpu_workloads::suite;
+use simt_analysis::analyze;
+
+#[test]
+fn all_workload_kernels_are_lint_clean() {
+    let mut failures = Vec::new();
+    for w in suite() {
+        let a = analyze(w.kernel());
+        if !a.report.is_clean() {
+            let mut msg = format!("{}:\n", w.name());
+            for d in &a.report.diagnostics {
+                msg.push_str(&format!("  {d}\n"));
+            }
+            failures.push(msg);
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "workload kernels with diagnostics:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn liveness_summaries_are_sane() {
+    for w in suite() {
+        let a = analyze(w.kernel());
+        let live = a
+            .liveness
+            .unwrap_or_else(|| panic!("{}: liveness missing", w.name()));
+        let num_regs = usize::from(w.kernel().num_regs());
+        assert!(
+            live.max_live <= num_regs,
+            "{}: max_live {} > num_regs {}",
+            w.name(),
+            live.max_live,
+            num_regs
+        );
+        assert!(
+            live.max_live >= 1,
+            "{}: a kernel that stores results must keep something live",
+            w.name()
+        );
+        assert!(
+            (0.0..=1.0).contains(&live.dead_fraction()),
+            "{}: dead_fraction out of range",
+            w.name()
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! Sanitizer smoke test (`cargo test --features sanitize`).
+//!
+//! With the `sanitize` feature on, the simulator carries an
+//! uncompressed shadow register file that checks every decompressed
+//! read bit-exact, and a hazard oracle that re-verifies the scoreboard
+//! on every issue/capture/retire. Any violation panics mid-run, so
+//! "the run completes" *is* the assertion of zero violations.
+//!
+//! `bfs` is the designated workload: it is the suite's most divergent
+//! kernel, so it exercises the partial-write merge path, the dummy-MOV
+//! injection of §5.2, and the deepest SIMT stack activity — the places
+//! a compression bug would corrupt values.
+
+#![cfg(feature = "sanitize")]
+
+use gpu_sim::GpuSim;
+use gpu_workloads::by_name;
+use warped_compression_suite::prelude::*;
+
+fn run_sanitized(name: &str, point: DesignPoint) {
+    let w = by_name(name).expect("workload exists");
+    let mut memory = w.fresh_memory();
+    let result = GpuSim::new(point.config())
+        .run(w.kernel(), w.launch(), &mut memory)
+        .unwrap_or_else(|e| panic!("{name} under {point:?}: {e}"));
+    assert!(result.stats.instructions > 0);
+}
+
+#[test]
+fn bfs_runs_clean_under_warped_compression() {
+    run_sanitized("bfs", DesignPoint::WarpedCompression);
+}
+
+#[test]
+fn bfs_runs_clean_under_baseline() {
+    run_sanitized("bfs", DesignPoint::Baseline);
+}
