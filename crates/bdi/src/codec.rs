@@ -3,6 +3,7 @@
 use crate::choice::ChoiceSet;
 use crate::compressed::CompressedRegister;
 use crate::deltas::DeltaArray;
+use crate::error::DecodeError;
 use crate::layout::{BaseSize, ChunkLayout};
 use crate::register::{WarpRegister, WARP_REGISTER_BYTES, WARP_SIZE};
 
@@ -119,6 +120,17 @@ impl BdiCodec {
     /// (§4), which is why the paper budgets only one cycle for it.
     pub fn decompress(&self, compressed: &CompressedRegister) -> WarpRegister {
         decompress(compressed)
+    }
+
+    /// Fallible decompression: validates the stored form first and
+    /// surfaces corruption (e.g. from fault injection) as a typed
+    /// [`DecodeError`] instead of reconstructing garbage.
+    pub fn try_decompress(
+        &self,
+        compressed: &CompressedRegister,
+    ) -> Result<WarpRegister, DecodeError> {
+        compressed.validate()?;
+        Ok(decompress(compressed))
     }
 }
 

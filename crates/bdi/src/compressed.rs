@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::choice::CompressionIndicator;
 use crate::deltas::DeltaArray;
+use crate::error::DecodeError;
 use crate::layout::{ChunkLayout, BANK_BYTES};
 use crate::register::{WarpRegister, WARP_REGISTER_BYTES};
 
@@ -72,6 +73,30 @@ impl CompressedRegister {
             None => CompressionIndicator::Uncompressed,
             Some(layout) => CompressionIndicator::from_layout(layout)
                 .unwrap_or(CompressionIndicator::Uncompressed),
+        }
+    }
+
+    /// Structural validity check: the delta count must match the layout's
+    /// chunk count − 1.
+    ///
+    /// Registers produced by [`BdiCodec`](crate::BdiCodec) always pass;
+    /// this exists so decode paths can reject corrupted stored forms (as
+    /// produced by fault injection) with a typed
+    /// [`DecodeError`](crate::DecodeError) instead of silently
+    /// reconstructing garbage or panicking.
+    pub fn validate(&self) -> Result<(), DecodeError> {
+        match self {
+            CompressedRegister::Uncompressed(_) => Ok(()),
+            CompressedRegister::Compressed { layout, deltas, .. } => {
+                let expected = layout.chunk_count() - 1;
+                if deltas.len() != expected {
+                    return Err(DecodeError::DeltaCountMismatch {
+                        expected,
+                        got: deltas.len(),
+                    });
+                }
+                Ok(())
+            }
         }
     }
 }

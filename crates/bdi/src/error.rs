@@ -27,6 +27,63 @@ impl fmt::Display for LayoutError {
 
 impl Error for LayoutError {}
 
+/// A stored compressed register failed structural validation on decode.
+///
+/// A well-formed [`CompressedRegister`](crate::CompressedRegister) can
+/// never produce these — they arise when the stored bits have been
+/// corrupted (e.g. by an injected fault) or when a byte image is parsed
+/// under the wrong layout. Decoding surfaces them as `Err` instead of
+/// panicking so a simulator can treat corruption as a *detected* fault
+/// rather than a process abort.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The delta count does not match the layout's chunk count − 1.
+    DeltaCountMismatch {
+        /// Deltas the layout requires (chunk count − 1).
+        expected: usize,
+        /// Deltas actually present.
+        got: usize,
+    },
+    /// A byte image is shorter than the layout's stored form.
+    TruncatedPayload {
+        /// Bytes the layout's stored form occupies.
+        needed: usize,
+        /// Bytes available.
+        got: usize,
+    },
+    /// The 2-bit indicator named a layout this decoder cannot parse.
+    UnsupportedLayout {
+        /// Base width in bytes of the offending layout.
+        base_bytes: usize,
+        /// Delta width in bytes of the offending layout.
+        delta_bytes: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::DeltaCountMismatch { expected, got } => write!(
+                f,
+                "corrupt compressed register: layout requires {expected} deltas, found {got}"
+            ),
+            DecodeError::TruncatedPayload { needed, got } => write!(
+                f,
+                "corrupt compressed register: stored form needs {needed} bytes, only {got} available"
+            ),
+            DecodeError::UnsupportedLayout {
+                base_bytes,
+                delta_bytes,
+            } => write!(
+                f,
+                "cannot decode layout <{base_bytes},{delta_bytes}>: not a runtime choice"
+            ),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -40,5 +97,23 @@ mod tests {
         let msg = e.to_string();
         assert!(msg.contains("<4,4>"));
         assert!(msg.contains("narrower"));
+    }
+
+    #[test]
+    fn decode_error_display_names_the_failure() {
+        let m = DecodeError::DeltaCountMismatch {
+            expected: 31,
+            got: 30,
+        }
+        .to_string();
+        assert!(m.contains("31") && m.contains("30"));
+        let t = DecodeError::TruncatedPayload { needed: 35, got: 4 }.to_string();
+        assert!(t.contains("35") && t.contains("4"));
+        let u = DecodeError::UnsupportedLayout {
+            base_bytes: 8,
+            delta_bytes: 1,
+        }
+        .to_string();
+        assert!(u.contains("<8,1>"));
     }
 }

@@ -51,7 +51,7 @@ pub use choice::{ChoiceSet, CompressionIndicator, FixedChoice};
 pub use codec::BdiCodec;
 pub use compressed::CompressedRegister;
 pub use deltas::{DeltaArray, MAX_STORED_DELTAS};
-pub use error::LayoutError;
+pub use error::{DecodeError, LayoutError};
 pub use explorer::{
     explore_best_choice, explore_best_choice_reference, BestChoice, EXPLORER_CHOICES,
 };

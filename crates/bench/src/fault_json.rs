@@ -1,0 +1,176 @@
+//! Hand-rolled, deterministic JSON rendering of fault-campaign reports
+//! (`faults` feature).
+//!
+//! The `wcsim faults` report (`results/BENCH_faults.json`) must be
+//! byte-identical across runs with the same seed — including runs
+//! resumed from a checkpoint directory — so the rendering here is fully
+//! deterministic: fixed key order, no maps, floats through Rust's
+//! shortest-round-trip formatter, and one self-contained fragment per
+//! kernel that doubles as the checkpoint unit.
+
+use warped_compression::{KernelFaultReport, RunRecord, RunStatus};
+
+fn esc(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            '\r' => "\\r".chars().collect(),
+            '\t' => "\\t".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// One kernel's fragment: the per-kernel checkpoint unit, reused
+/// verbatim on `--resume`.
+pub fn fault_record_json(record: &RunRecord<KernelFaultReport>) -> String {
+    let mut out = String::new();
+    out.push_str("    {\n");
+    out.push_str(&format!("      \"kernel\": \"{}\",\n", esc(&record.name)));
+    out.push_str(&format!(
+        "      \"status\": \"{}\",\n",
+        record.status.label()
+    ));
+    match (&record.status, &record.output) {
+        (RunStatus::Completed { .. }, Some(k)) => {
+            out.push_str(&format!("      \"seed\": {},\n", k.seed));
+            out.push_str(&format!(
+                "      \"protection\": \"{}\",\n",
+                k.protection.name()
+            ));
+            out.push_str(&format!("      \"completed\": {},\n", k.completed));
+            match &k.error {
+                Some(e) => out.push_str(&format!("      \"error\": \"{}\",\n", esc(e))),
+                None => out.push_str("      \"error\": null,\n"),
+            }
+            out.push_str(&format!(
+                "      \"outcomes\": {{\"not_triggered\": {}, \"masked\": {}, \
+                 \"corrected\": {}, \"detected\": {}, \"silent_corruption\": {}}},\n",
+                k.log.not_triggered(),
+                k.log.masked(),
+                k.log.corrected(),
+                k.log.detected(),
+                k.log.silent(),
+            ));
+            out.push_str("      \"events\": [\n");
+            for (i, e) in k.log.events.iter().enumerate() {
+                let comma = if i + 1 < k.log.events.len() { "," } else { "" };
+                out.push_str(&format!(
+                    "        {{\"id\": {}, \"kind\": \"{}\", \"target\": \"{}\", \
+                     \"outcome\": \"{}\", \"note\": \"{}\"}}{comma}\n",
+                    e.spec_id,
+                    e.kind.name(),
+                    e.target.name(),
+                    e.outcome.name(),
+                    esc(e.note),
+                ));
+            }
+            out.push_str("      ],\n");
+            out.push_str(&format!(
+                "      \"writes\": {}, \"reads\": {},\n",
+                k.log.writes, k.log.reads
+            ));
+            out.push_str(&format!(
+                "      \"stuck\": {{\"masked_by_slack\": {}, \"redirected\": {}, \
+                 \"applied\": {}}},\n",
+                k.log.stuck_masked_by_slack, k.log.stuck_redirected, k.log.stuck_applied,
+            ));
+            out.push_str(&format!(
+                "      \"redirection\": {{\"total_reads\": {}, \"slack_only_coverage\": {}, \
+                 \"redirection_coverage\": {}}},\n",
+                k.redirection.total_reads,
+                k.redirection.slack_only_coverage,
+                k.redirection.redirection_coverage,
+            ));
+            out.push_str(&format!("      \"energy_scale\": {},\n", k.energy_scale));
+            match k.energy_pj {
+                Some(pj) => out.push_str(&format!("      \"energy_pj\": {pj}\n")),
+                None => out.push_str("      \"energy_pj\": null\n"),
+            }
+        }
+        (RunStatus::Panicked { message, .. }, _) => {
+            out.push_str(&format!("      \"message\": \"{}\"\n", esc(message)));
+        }
+        (RunStatus::Failed { error }, _) => {
+            out.push_str(&format!("      \"message\": \"{}\"\n", esc(error)));
+        }
+        (RunStatus::TimedOut { budget }, _) => {
+            out.push_str(&format!("      \"cycle_budget\": {budget}\n"));
+        }
+        // Completed always carries an output; keep the renderer total.
+        (RunStatus::Completed { .. }, None) => {
+            out.push_str("      \"message\": \"completed without output\"\n");
+        }
+    }
+    out.push_str("    }");
+    out
+}
+
+/// The whole `BENCH_faults.json` document from per-kernel fragments
+/// (freshly rendered or loaded verbatim from checkpoints).
+pub fn fault_campaign_json(
+    campaign_seed: u64,
+    injections: usize,
+    protection: &str,
+    fragments: &[String],
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"seed\": {campaign_seed},\n"));
+    out.push_str(&format!("  \"injections_per_kernel\": {injections},\n"));
+    out.push_str(&format!("  \"protection\": \"{}\",\n", esc(protection)));
+    out.push_str("  \"kernels\": [\n");
+    for (i, frag) in fragments.iter().enumerate() {
+        out.push_str(frag);
+        out.push_str(if i + 1 < fragments.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warped_compression::RunPolicy;
+
+    #[test]
+    fn rendering_is_deterministic_and_structured() {
+        let workloads = vec![gpu_workloads::by_name("lib").unwrap()];
+        let render = || {
+            let records = warped_compression::run_fault_campaign(
+                &workloads,
+                gpu_faults::ProtectionModel::SecDed,
+                4,
+                42,
+                &RunPolicy::default(),
+            );
+            let frags: Vec<String> = records.iter().map(fault_record_json).collect();
+            fault_campaign_json(42, 4, "secded", &frags)
+        };
+        let a = render();
+        let b = render();
+        assert_eq!(a, b, "same seed must render byte-identically");
+        assert!(a.contains("\"kernel\": \"lib\""));
+        assert!(a.contains("\"status\": \"ok\""));
+        assert!(a.contains("\"silent_corruption\": 0"));
+        assert!(a.contains("\"injections_per_kernel\": 4"));
+    }
+
+    #[test]
+    fn failed_records_render_their_message() {
+        let record: RunRecord<KernelFaultReport> = RunRecord {
+            name: "doomed".into(),
+            status: RunStatus::Panicked {
+                message: "say \"hi\"\nbye".into(),
+                backtrace: String::new(),
+            },
+            output: None,
+        };
+        let json = fault_record_json(&record);
+        assert!(json.contains("\"status\": \"panic\""));
+        assert!(json.contains("say \\\"hi\\\"\\nbye"));
+    }
+}

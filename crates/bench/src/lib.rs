@@ -19,8 +19,12 @@
 #![warn(missing_docs)]
 
 mod campaign;
+mod checkpoint;
+#[cfg(feature = "faults")]
+pub mod fault_json;
 pub mod figures;
 mod table;
 
-pub use campaign::Campaign;
+pub use campaign::{Campaign, DEFAULT_SEED};
+pub use checkpoint::CheckpointStore;
 pub use table::FigureTable;

@@ -37,6 +37,22 @@ impl FigureTable {
         }
     }
 
+    /// Appends a `status` column (e.g. `ok` / `timeout` / `failed` /
+    /// `panic`) to every row — how partial campaign results degrade into
+    /// a full-width table instead of a truncated one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `statuses` and the row count disagree.
+    pub fn with_status_column(mut self, statuses: &[&str]) -> Self {
+        assert_eq!(statuses.len(), self.rows.len(), "one status per table row");
+        self.headers.push("status".into());
+        for (row, status) in self.rows.iter_mut().zip(statuses) {
+            row.push((*status).into());
+        }
+        self
+    }
+
     /// GitHub-flavoured markdown rendering.
     pub fn to_markdown(&self) -> String {
         let mut out = format!("### {} — {}\n\n", self.id, self.title);
@@ -102,5 +118,14 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(fmt(2.4999), "2.500");
         assert_eq!(pct(0.253), "25.3%");
+    }
+
+    #[test]
+    fn status_column_extends_headers_and_rows() {
+        let t = sample().with_status_column(&["ok", "panic"]);
+        assert_eq!(t.headers.last().map(String::as_str), Some("status"));
+        assert_eq!(t.rows[0].last().map(String::as_str), Some("ok"));
+        assert_eq!(t.rows[1].last().map(String::as_str), Some("panic"));
+        assert!(t.to_csv().contains("b,2,panic"));
     }
 }

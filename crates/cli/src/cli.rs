@@ -5,8 +5,10 @@ use std::fmt;
 use std::fs;
 
 use bdi::FixedChoice;
+use gpu_faults::ProtectionModel;
 use gpu_sim::{GlobalMemory, GpuSim, LaunchConfig};
-use warped_compression::{run_workload, DesignPoint};
+use warped_compression::{run_workload, DesignPoint, RunPolicy};
+use wc_bench::{Campaign, CheckpointStore, DEFAULT_SEED};
 
 use crate::report::{format_comparison, format_run};
 
@@ -53,6 +55,26 @@ pub enum Command {
         /// Treat warnings as failures (CI gate).
         deny_warnings: bool,
     },
+    /// `wcsim faults <workload|--all> [--injections N] [--seed S]
+    /// [--protection none|parity|secded] [--budget CYCLES]
+    /// [--resume DIR] [--out FILE]` — seeded fault-injection campaign.
+    Faults {
+        /// Benchmark name; `None` runs the whole suite (`--all`).
+        workload: Option<String>,
+        /// Planned faults per kernel.
+        injections: usize,
+        /// Campaign seed; per-kernel plans derive from it. Default 42.
+        seed: u64,
+        /// Register-protection scheme to model.
+        protection: ProtectionModel,
+        /// Watchdog cycle budget per run (`None` = simulator default).
+        budget: Option<u64>,
+        /// Checkpoint directory: completed kernels are skipped and their
+        /// saved fragments reused verbatim.
+        resume: Option<String>,
+        /// Report path (default `results/BENCH_faults.json`).
+        out: Option<String>,
+    },
     /// `wcsim --help`.
     Help,
 }
@@ -79,6 +101,13 @@ USAGE:
   wcsim compare <workload>           baseline vs warped-compression
   wcsim analyze <workload|--all> [--deny-warnings]
                                      static lint + liveness report
+  wcsim faults <workload|--all> [--injections N] [--seed S]
+               [--protection none|parity|secded] [--budget CYCLES]
+               [--resume DIR] [--out FILE]
+                                     seeded fault-injection campaign
+                                     (defaults: 8 injections, seed 42,
+                                     secded; fails if ECC lets any fault
+                                     through silently)
   wcsim kernel <file.s> --blocks N --tpb N --mem WORDS
                [--param X]... [--design D]
 ";
@@ -185,6 +214,68 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                 .ok_or_else(|| ParseError("compare needs a workload name".into()))?
                 .to_string();
             Ok(Command::Compare { workload })
+        }
+        "faults" => {
+            let flag = |name: &str| -> Option<&str> {
+                rest.iter()
+                    .position(|&a| a == name)
+                    .and_then(|i| rest.get(i + 1))
+                    .copied()
+            };
+            let flag_values: Vec<&str> = [
+                "--injections",
+                "--seed",
+                "--protection",
+                "--budget",
+                "--resume",
+                "--out",
+            ]
+            .iter()
+            .filter_map(|f| flag(f))
+            .collect();
+            let workload = rest
+                .iter()
+                .find(|a| !a.starts_with("--") && !flag_values.contains(*a))
+                .map(|s| s.to_string());
+            if workload.is_none() && !rest.contains(&"--all") {
+                return Err(ParseError("faults needs a workload name or --all".into()));
+            }
+            let injections = match flag("--injections") {
+                None => 8,
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| ParseError("--injections must be a number".into()))?,
+            };
+            let seed = match flag("--seed") {
+                None => DEFAULT_SEED,
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| ParseError("--seed must be a u64".into()))?,
+            };
+            let protection = match flag("--protection") {
+                None => ProtectionModel::SecDed,
+                Some(v) => ProtectionModel::parse(v).ok_or_else(|| {
+                    ParseError(format!(
+                        "unknown protection `{v}`; try: none, parity, secded"
+                    ))
+                })?,
+            };
+            let budget = match flag("--budget") {
+                None => None,
+                Some(v) => Some(
+                    v.parse()
+                        .map_err(|_| ParseError("--budget must be a cycle count".into()))?,
+                ),
+            };
+            Ok(Command::Faults {
+                workload,
+                injections,
+                seed,
+                protection,
+                budget,
+                resume: flag("--resume").map(str::to_string),
+                out: flag("--out").map(str::to_string),
+            })
         }
         "kernel" => {
             let path = rest
@@ -327,6 +418,117 @@ pub fn run_cli(cmd: &Command, out: &mut dyn fmt::Write) -> Result<(), Box<dyn Er
             let wc = run_workload(&DesignPoint::WarpedCompression.config(), &w)?;
             writeln!(out, "{}", format_comparison(&base, &wc))?;
         }
+        Command::Faults {
+            workload,
+            injections,
+            seed,
+            protection,
+            budget,
+            resume,
+            out: out_file,
+        } => {
+            let workloads = match workload {
+                None => gpu_workloads::suite(),
+                Some(name) => vec![gpu_workloads::by_name(name)
+                    .ok_or_else(|| ParseError(format!("unknown workload `{name}`")))?],
+            };
+            let policy = RunPolicy {
+                cycle_budget: *budget,
+                ..RunPolicy::default()
+            };
+            let store = resume.as_ref().map(CheckpointStore::new);
+            let design_label = DesignPoint::WarpedCompression.label();
+
+            // Split into checkpointed kernels (fragment reused verbatim,
+            // keeping resumed reports byte-identical) and pending ones.
+            let mut resumed: Vec<(String, String)> = Vec::new();
+            let mut pending: Vec<gpu_workloads::Workload> = Vec::new();
+            for w in &workloads {
+                match store.as_ref().and_then(|s| s.load(&design_label, w.name())) {
+                    Some(frag) => resumed.push((w.name().to_string(), frag)),
+                    None => pending.push(w.clone()),
+                }
+            }
+
+            // Fresh runs: the seeded campaign, panic-isolated per kernel.
+            let mut fresh: Vec<(String, String)> = Vec::new();
+            if !pending.is_empty() {
+                let campaign = Campaign::new(pending).with_seed(*seed);
+                for record in campaign.fault_reports(*protection, *injections, &policy) {
+                    let frag = wc_bench::fault_json::fault_record_json(&record);
+                    if let Some(s) = &store {
+                        s.save(&design_label, &record.name, &frag)?;
+                    }
+                    fresh.push((record.name, frag));
+                }
+            }
+
+            // Assemble in suite order and summarise.
+            let mut fragments = Vec::new();
+            let mut rows = Vec::new();
+            let mut statuses = Vec::new();
+            let mut silent_total = 0u64;
+            for w in &workloads {
+                let frag = resumed
+                    .iter()
+                    .chain(fresh.iter())
+                    .find(|(n, _)| n == w.name())
+                    .map(|(_, f)| f.clone())
+                    .expect("every kernel is either resumed or freshly run");
+                let silent = frag_u64_field(&frag, "silent_corruption").unwrap_or(0);
+                silent_total += silent;
+                let cell = |key: &str| {
+                    frag_u64_field(&frag, key).map_or_else(|| "-".to_string(), |v| v.to_string())
+                };
+                rows.push(vec![
+                    w.name().to_string(),
+                    cell("masked"),
+                    cell("corrected"),
+                    cell("detected"),
+                    cell("silent_corruption"),
+                ]);
+                statuses.push(frag_str_field(&frag, "status").unwrap_or_else(|| "unknown".into()));
+                fragments.push(frag);
+            }
+            let doc = wc_bench::fault_json::fault_campaign_json(
+                *seed,
+                *injections,
+                protection.name(),
+                &fragments,
+            );
+            let out_path = out_file
+                .clone()
+                .unwrap_or_else(|| "results/BENCH_faults.json".to_string());
+            if let Some(parent) = std::path::Path::new(&out_path).parent() {
+                if !parent.as_os_str().is_empty() {
+                    fs::create_dir_all(parent)?;
+                }
+            }
+            fs::write(&out_path, &doc)?;
+
+            let status_refs: Vec<&str> = statuses.iter().map(String::as_str).collect();
+            let table = wc_bench::FigureTable::new(
+                "faults",
+                format!(
+                    "Fault campaign (seed {seed}, {injections} injections/kernel, {})",
+                    protection.name()
+                ),
+                ["kernel", "masked", "corrected", "detected", "silent"]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+                rows,
+            )
+            .with_status_column(&status_refs);
+            writeln!(out, "{}", table.to_markdown())?;
+            writeln!(out, "report written to {out_path}")?;
+            // The CI gate: SEC-DED must never let a fault through silently.
+            if *protection == ProtectionModel::SecDed && silent_total > 0 {
+                return Err(
+                    format!("{silent_total} silent corruption(s) slipped past SEC-DED").into(),
+                );
+            }
+        }
         Command::Kernel {
             path,
             blocks,
@@ -358,6 +560,27 @@ pub fn run_cli(cmd: &Command, out: &mut dyn fmt::Write) -> Result<(), Box<dyn Er
         }
     }
     Ok(())
+}
+
+/// Extracts `"key": <u64>` from a rendered fault fragment. The fragments
+/// come from `wc_bench::fault_json`, whose key spelling and `": "`
+/// separator are fixed, so a string search is exact — no JSON parser
+/// dependency needed.
+fn frag_u64_field(frag: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\": ");
+    let start = frag.find(&pat)? + pat.len();
+    let digits: String = frag[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// Extracts `"key": "<string>"` from a rendered fault fragment.
+fn frag_str_field(frag: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = frag.find(&pat)? + pat.len();
+    frag[start..].split('"').next().map(str::to_string)
 }
 
 #[cfg(test)]
@@ -558,6 +781,115 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn parses_faults_variants() {
+        assert_eq!(
+            parse(&["faults", "--all"]).unwrap(),
+            Command::Faults {
+                workload: None,
+                injections: 8,
+                seed: 42,
+                protection: ProtectionModel::SecDed,
+                budget: None,
+                resume: None,
+                out: None,
+            }
+        );
+        assert_eq!(
+            parse(&[
+                "faults",
+                "bfs",
+                "--injections",
+                "16",
+                "--seed",
+                "7",
+                "--protection",
+                "parity",
+                "--budget",
+                "50000",
+                "--resume",
+                "ckpt",
+                "--out",
+                "r.json",
+            ])
+            .unwrap(),
+            Command::Faults {
+                workload: Some("bfs".into()),
+                injections: 16,
+                seed: 7,
+                protection: ProtectionModel::Parity,
+                budget: Some(50_000),
+                resume: Some("ckpt".into()),
+                out: Some("r.json".into()),
+            }
+        );
+        assert!(parse(&["faults"]).is_err());
+        assert!(parse(&["faults", "bfs", "--protection", "tmr"]).is_err());
+        assert!(parse(&["faults", "bfs", "--seed", "abc"]).is_err());
+    }
+
+    fn faults_cmd(seed: u64, out: &std::path::Path, resume: Option<String>) -> Command {
+        Command::Faults {
+            workload: Some("lib".into()),
+            injections: 6,
+            seed,
+            protection: ProtectionModel::SecDed,
+            budget: None,
+            resume,
+            out: Some(out.to_string_lossy().into_owned()),
+        }
+    }
+
+    #[test]
+    fn faults_report_is_byte_identical_across_runs() {
+        let dir = std::env::temp_dir().join(format!("wcsim-faults-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let (p1, p2) = (dir.join("a.json"), dir.join("b.json"));
+        let mut o = String::new();
+        run_cli(&faults_cmd(42, &p1, None), &mut o).unwrap();
+        run_cli(&faults_cmd(42, &p2, None), &mut o).unwrap();
+        let (a, b) = (fs::read(&p1).unwrap(), fs::read(&p2).unwrap());
+        assert_eq!(a, b, "same seed must produce byte-identical reports");
+        assert!(o.contains("| lib |"));
+        assert!(o.contains("| ok |"));
+
+        // A different seed changes the report.
+        let p3 = dir.join("c.json");
+        run_cli(&faults_cmd(43, &p3, None), &mut o).unwrap();
+        assert_ne!(a, fs::read(&p3).unwrap());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn faults_resume_reuses_fragments_byte_identically() {
+        let dir = std::env::temp_dir().join(format!("wcsim-resume-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("ckpt").to_string_lossy().into_owned();
+        let (fresh, resumed) = (dir.join("fresh.json"), dir.join("resumed.json"));
+        let mut o = String::new();
+        // First run populates the checkpoint directory.
+        run_cli(&faults_cmd(42, &fresh, Some(ckpt.clone())), &mut o).unwrap();
+        // Second run resumes: every kernel is checkpointed, so nothing
+        // re-runs and the report must be byte-identical.
+        run_cli(&faults_cmd(42, &resumed, Some(ckpt)), &mut o).unwrap();
+        assert_eq!(
+            fs::read(&fresh).unwrap(),
+            fs::read(&resumed).unwrap(),
+            "resumed report must be byte-identical to the uninterrupted one"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn frag_field_extractors_find_exact_keys() {
+        let frag = "{\"status\": \"ok\", \"outcomes\": {\"masked\": 3, \
+                    \"silent_corruption\": 0}, \"stuck\": {\"masked_by_slack\": 9}}";
+        assert_eq!(frag_u64_field(frag, "masked"), Some(3));
+        assert_eq!(frag_u64_field(frag, "silent_corruption"), Some(0));
+        assert_eq!(frag_u64_field(frag, "missing"), None);
+        assert_eq!(frag_str_field(frag, "status").as_deref(), Some("ok"));
     }
 
     #[test]

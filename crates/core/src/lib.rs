@@ -42,11 +42,19 @@
 pub mod design;
 pub mod experiment;
 pub mod explorer;
+#[cfg(feature = "faults")]
+pub mod fault_campaign;
+pub mod resilient;
 pub mod similarity;
 pub mod trace;
 
 pub use design::DesignPoint;
 pub use experiment::{energy_of, run_suite, run_workload, RunOutput};
 pub use explorer::ChoiceBreakdown;
+#[cfg(feature = "faults")]
+pub use fault_campaign::{
+    kernel_seed, run_fault_campaign, run_kernel_faults, KernelFaultReport, DEFAULT_FAULT_SEED,
+};
+pub use resilient::{run_many_resilient, run_suite_resilient, RunPolicy, RunRecord, RunStatus};
 pub use similarity::{SimilarityBin, SimilarityHistogram};
 pub use trace::WriteTrace;

@@ -1,0 +1,186 @@
+//! Physical byte-image model of a stored register.
+//!
+//! The register file stores a [`CompressedRegister`] as typed Rust data,
+//! but a soft error strikes *bits in SRAM cells*. This module maps between
+//! the two views: [`stored_image`] serializes the stored form into the
+//! 128-byte physical cluster row it would occupy in hardware (compressed
+//! payload in the low banks, stale/gated bytes zeroed), and
+//! [`parse_image`] reinterprets such a row under a 2-bit compression
+//! indicator — including an indicator the fault injector has flipped, which
+//! is exactly how metadata corruption manifests: the *same* row decoded
+//! under the *wrong* layout.
+
+use bdi::{
+    BdiCodec, CompressedRegister, CompressionIndicator, DeltaArray, FixedChoice, WarpRegister,
+    WARP_REGISTER_BYTES,
+};
+
+/// Bytes in one physical cluster row (8 banks × 16 bytes).
+pub const ROW_BYTES: usize = WARP_REGISTER_BYTES;
+
+/// The 2-bit indicator plus the physical row — everything the hardware
+/// stores for one warp register, and therefore everything a fault can
+/// touch.
+pub type StoredBits = (u8, [u8; ROW_BYTES]);
+
+/// Serializes a stored register into its 2-bit indicator and the 128-byte
+/// physical row it occupies.
+///
+/// Compressed forms place the base chunk at offset 0 (little-endian)
+/// followed by the truncated two's-complement deltas; bytes past the
+/// stored length model the power-gated slack banks and read as zero.
+/// Non-runtime layouts (8-byte bases from the explorer) have no hardware
+/// indicator, so they serialize through their decompressed form, matching
+/// [`CompressedRegister::indicator`].
+pub fn stored_image(reg: &CompressedRegister) -> StoredBits {
+    let ind = reg.indicator();
+    let mut row = [0u8; ROW_BYTES];
+    match reg {
+        CompressedRegister::Uncompressed(r) => row = r.to_bytes(),
+        CompressedRegister::Compressed {
+            layout,
+            base,
+            deltas,
+        } => {
+            if ind == CompressionIndicator::Uncompressed {
+                // Explorer-only layout: the hardware would store it raw.
+                row = BdiCodec::default().decompress(reg).to_bytes();
+            } else {
+                let bb = layout.base().bytes();
+                row[..bb].copy_from_slice(&base.to_le_bytes()[..bb]);
+                let db = layout.delta_bytes();
+                if db > 0 {
+                    for (i, d) in deltas.iter().enumerate() {
+                        let off = bb + i * db;
+                        row[off..off + db].copy_from_slice(&(d as u64).to_le_bytes()[..db]);
+                    }
+                }
+            }
+        }
+    }
+    (ind.bits(), row)
+}
+
+/// Reinterprets a physical row under an indicator.
+///
+/// This is the decompressor's-eye view: given 128 raw bytes and a 2-bit
+/// range indicator, reconstruct the typed stored form. Never fails
+/// structurally — a full row always holds enough bytes for any runtime
+/// layout — which mirrors hardware, where a flipped indicator silently
+/// re-frames the same cells rather than raising an error.
+pub fn parse_image(ind: CompressionIndicator, row: &[u8; ROW_BYTES]) -> CompressedRegister {
+    let layout = match ind {
+        CompressionIndicator::Uncompressed => {
+            return CompressedRegister::Uncompressed(WarpRegister::from_bytes(row));
+        }
+        CompressionIndicator::Delta0 => FixedChoice::Delta0.layout(),
+        CompressionIndicator::Delta1 => FixedChoice::Delta1.layout(),
+        CompressionIndicator::Delta2 => FixedChoice::Delta2.layout(),
+    };
+    let bb = layout.base().bytes();
+    let mut base_buf = [0u8; 8];
+    base_buf[..bb].copy_from_slice(&row[..bb]);
+    let base = u64::from_le_bytes(base_buf);
+    let db = layout.delta_bytes();
+    let count = layout.chunk_count() - 1;
+    let deltas = if db == 0 {
+        DeltaArray::zeros(count)
+    } else {
+        let mut vals = [0i32; DeltaArray::CAPACITY];
+        for (i, slot) in vals.iter_mut().take(count).enumerate() {
+            let off = bb + i * db;
+            let mut raw: u64 = 0;
+            for (b, &byte) in row[off..off + db].iter().enumerate() {
+                raw |= u64::from(byte) << (8 * b);
+            }
+            let shift = 64 - (db as u32 * 8);
+            *slot = (((raw << shift) as i64) >> shift) as i32;
+        }
+        DeltaArray::from_stored(&vals[..count])
+    };
+    CompressedRegister::Compressed {
+        layout,
+        base,
+        deltas,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdi::ChoiceSet;
+
+    fn codec() -> BdiCodec {
+        BdiCodec::new(ChoiceSet::warped_compression())
+    }
+
+    fn round_trip(reg: &WarpRegister) {
+        let stored = codec().compress(reg);
+        let (ind, row) = stored_image(&stored);
+        let parsed = parse_image(CompressionIndicator::from_bits(ind), &row);
+        assert_eq!(parsed, stored, "image round trip must be lossless");
+        assert_eq!(codec().decompress(&parsed), *reg);
+    }
+
+    #[test]
+    fn images_round_trip_for_every_runtime_form() {
+        round_trip(&WarpRegister::splat(0xDEAD_BEEF)); // <4,0>
+        round_trip(&WarpRegister::from_fn(|t| 40 + t as u32)); // <4,1>
+        round_trip(&WarpRegister::from_fn(|t| 9000 + 300 * t as u32)); // <4,2>
+        round_trip(&WarpRegister::from_fn(|t| {
+            (t as u32).wrapping_mul(0x9E37_79B9)
+        })); // uncompressed
+        round_trip(&WarpRegister::from_fn(|t| {
+            10_000u32.wrapping_sub(3 * t as u32)
+        }));
+    }
+
+    #[test]
+    fn slack_bytes_are_zero() {
+        let stored = codec().compress(&WarpRegister::splat(7));
+        let (_, row) = stored_image(&stored);
+        assert!(row[stored.stored_len()..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn delta0_row_reinterpreted_as_delta1_is_value_preserving() {
+        // The stale delta bytes of a <4,0> row are zero, so widening the
+        // indicator to <4,1> decodes the same warp register — the
+        // "masked metadata flip" case the injector relies on.
+        let reg = WarpRegister::splat(0x1234_5678);
+        let stored = codec().compress(&reg);
+        let (ind, row) = stored_image(&stored);
+        assert_eq!(ind, CompressionIndicator::Delta0.bits());
+        let widened = parse_image(CompressionIndicator::Delta1, &row);
+        assert_eq!(BdiCodec::default().decompress(&widened), reg);
+    }
+
+    #[test]
+    fn delta1_row_reinterpreted_as_delta0_drops_deltas() {
+        // Narrowing the indicator discards real payload: silent
+        // corruption unless every delta happened to be zero.
+        let reg = WarpRegister::from_fn(|t| 40 + t as u32);
+        let stored = codec().compress(&reg);
+        let (_, row) = stored_image(&stored);
+        let narrowed = parse_image(CompressionIndicator::Delta0, &row);
+        assert_ne!(BdiCodec::default().decompress(&narrowed), reg);
+    }
+
+    #[test]
+    fn explorer_layout_serializes_through_decompressed_form() {
+        use bdi::{BaseSize, ChunkLayout};
+        let layout = ChunkLayout::new(BaseSize::B8, 1).unwrap();
+        let stored = CompressedRegister::Compressed {
+            layout,
+            base: 0x77,
+            deltas: DeltaArray::filled(15, 1),
+        };
+        let (ind, row) = stored_image(&stored);
+        assert_eq!(ind, CompressionIndicator::Uncompressed.bits());
+        let parsed = parse_image(CompressionIndicator::from_bits(ind), &row);
+        assert_eq!(
+            BdiCodec::default().decompress(&parsed),
+            BdiCodec::default().decompress(&stored)
+        );
+    }
+}

@@ -1,0 +1,760 @@
+//! The runtime fault injector wired into the register file.
+//!
+//! The injector sits beside `BankedRegisterFile` storage: writes pass
+//! through [`FaultInjector::on_write`] (which counts write ordinals,
+//! strikes planned transients, and activates stuck-at faults) and reads
+//! pass through [`FaultInjector::on_read`], which merges all live
+//! corruption into the stored byte image, runs the configured
+//! [`ProtectionModel`], classifies the outcome, and hands back the value
+//! the hardware would actually deliver.
+//!
+//! Outcome taxonomy (per fault):
+//!
+//! * **masked** — the corruption never became architecturally visible:
+//!   overwritten before a read, confined to slack banks, latent at the
+//!   end of the run, or semantically neutral (the corrupted image decodes
+//!   to the same warp register).
+//! * **corrected** — SEC-DED restored the exact written bits.
+//! * **detected** — parity or a SEC-DED double-error syndrome flagged the
+//!   read; surfaces as an `Err` so the simulator aborts the run the way a
+//!   machine-check would.
+//! * **silent corruption** — a different warp register was delivered with
+//!   no indication; the worst case, and the one the CI gate forbids
+//!   under SEC-DED.
+
+use std::collections::HashMap;
+
+use bdi::{BdiCodec, CompressedRegister, CompressionIndicator};
+
+use crate::image::{parse_image, stored_image, ROW_BYTES};
+use crate::plan::{FaultKind, FaultPlan, FaultSpec, FaultTarget};
+use crate::protect::{ProtectionModel, VerifyOutcome};
+
+/// Bytes per register bank (the cluster row is 8 of these).
+const BANK_BYTES: usize = ROW_BYTES / 8;
+
+/// How an injected fault ultimately resolved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// The planned write ordinal was never reached.
+    NotTriggered,
+    /// Architecturally invisible (see module docs for the sub-cases).
+    Masked,
+    /// SEC-DED restored the written bits on read.
+    Corrected,
+    /// Protection flagged the read; the run aborted with an error.
+    Detected,
+    /// A wrong value was silently delivered.
+    SilentCorruption,
+}
+
+impl FaultOutcome {
+    /// Report spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultOutcome::NotTriggered => "not-triggered",
+            FaultOutcome::Masked => "masked",
+            FaultOutcome::Corrected => "corrected",
+            FaultOutcome::Detected => "detected",
+            FaultOutcome::SilentCorruption => "silent-corruption",
+        }
+    }
+}
+
+/// The resolution record of one planned fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// [`FaultSpec::id`] this event resolves.
+    pub spec_id: usize,
+    /// Temporal class of the fault.
+    pub kind: FaultKind,
+    /// Target class of the fault.
+    pub target: FaultTarget,
+    /// How it resolved.
+    pub outcome: FaultOutcome,
+    /// Human-readable sub-case (e.g. `"overwritten before read"`).
+    pub note: &'static str,
+}
+
+/// What the injector did to one faulty read that still returned a value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReadDisposition {
+    /// Corruption was present but the delivered value decodes
+    /// identically to the written one.
+    Masked,
+    /// SEC-DED corrected the bits; the clean value is delivered.
+    Corrected,
+    /// A semantically different value is being delivered undetected.
+    SilentCorruption,
+}
+
+/// Marker error: protection detected an uncorrectable pattern on read.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DetectedFault;
+
+impl std::fmt::Display for DetectedFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "uncorrectable bit error detected by register protection")
+    }
+}
+
+impl std::error::Error for DetectedFault {}
+
+/// Aggregate record of one faulted run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultLog {
+    /// One event per planned fault (same order as the plan).
+    pub events: Vec<FaultEvent>,
+    /// Register-file writes observed.
+    pub writes: u64,
+    /// Register-file reads observed.
+    pub reads: u64,
+    /// Stuck-at read encounters confined to slack banks freed by
+    /// compression (no redirection needed).
+    pub stuck_masked_by_slack: u64,
+    /// Stuck-at read encounters remapped into a slack bank by RRCD
+    /// redirection.
+    pub stuck_redirected: u64,
+    /// Stuck-at read encounters that corrupted live data.
+    pub stuck_applied: u64,
+    /// Histogram of read footprints in banks (`footprint_reads[n]` =
+    /// reads of registers occupying `n` banks); feeds the RRCD coverage
+    /// report.
+    pub footprint_reads: [u64; 9],
+}
+
+impl FaultLog {
+    fn count(&self, outcome: FaultOutcome) -> u64 {
+        self.events.iter().filter(|e| e.outcome == outcome).count() as u64
+    }
+
+    /// Faults whose write ordinal was never reached.
+    pub fn not_triggered(&self) -> u64 {
+        self.count(FaultOutcome::NotTriggered)
+    }
+
+    /// Faults that stayed architecturally invisible.
+    pub fn masked(&self) -> u64 {
+        self.count(FaultOutcome::Masked)
+    }
+
+    /// Faults corrected by SEC-DED.
+    pub fn corrected(&self) -> u64 {
+        self.count(FaultOutcome::Corrected)
+    }
+
+    /// Faults detected (run aborted).
+    pub fn detected(&self) -> u64 {
+        self.count(FaultOutcome::Detected)
+    }
+
+    /// Faults that silently corrupted architectural state.
+    pub fn silent(&self) -> u64 {
+        self.count(FaultOutcome::SilentCorruption)
+    }
+}
+
+/// Transient corruption written over one stored register, waiting to be
+/// observed by a read.
+#[derive(Clone, Debug)]
+struct Pending {
+    spec_idx: usize,
+    ind: u8,
+    row: [u8; ROW_BYTES],
+    /// Set once the first read classified this fault (the event exists);
+    /// the corruption itself persists until overwritten.
+    resolved: bool,
+}
+
+/// An activated permanent fault.
+#[derive(Clone, Debug)]
+struct ActiveStuck {
+    spec_idx: usize,
+    bank: u8,
+    bit: u8,
+    value: bool,
+    /// Set once an event has been recorded for this fault.
+    recorded: bool,
+    /// Whether it ever landed in slack / was redirected (for the final
+    /// masked note when it never corrupts live data).
+    saw_slack: bool,
+    saw_redirect: bool,
+}
+
+/// Seed-driven fault injector; one per simulation run.
+///
+/// `Clone` so it can live inside a clonable register file; cloning mid-run
+/// forks the fault state, which campaign code never does.
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    protection: ProtectionModel,
+    redirection: bool,
+    codec: BdiCodec,
+    writes: u64,
+    reads: u64,
+    next_spec: usize,
+    pending: HashMap<(u32, u16), Pending>,
+    stuck: Vec<ActiveStuck>,
+    triggered: Vec<bool>,
+    events: Vec<FaultEvent>,
+    stuck_masked_by_slack: u64,
+    stuck_redirected: u64,
+    stuck_applied: u64,
+    footprint_reads: [u64; 9],
+}
+
+impl FaultInjector {
+    /// Creates an injector for one run.
+    pub fn new(plan: FaultPlan, protection: ProtectionModel, redirection: bool) -> Self {
+        let n = plan.specs.len();
+        FaultInjector {
+            plan,
+            protection,
+            redirection,
+            codec: BdiCodec::default(),
+            writes: 0,
+            reads: 0,
+            next_spec: 0,
+            pending: HashMap::new(),
+            stuck: Vec::new(),
+            triggered: vec![false; n],
+            events: Vec::new(),
+            stuck_masked_by_slack: 0,
+            stuck_redirected: 0,
+            stuck_applied: 0,
+            footprint_reads: [0; 9],
+        }
+    }
+
+    /// The configured protection model.
+    pub fn protection(&self) -> ProtectionModel {
+        self.protection
+    }
+
+    /// Whether RRCD-style bank redirection is enabled.
+    pub fn redirection(&self) -> bool {
+        self.redirection
+    }
+
+    /// Observes a register write: resolves any unread corruption of the
+    /// overwritten cell as masked, then strikes every planned fault whose
+    /// write ordinal is this write.
+    pub fn on_write(&mut self, slot: u32, reg: u16, value: &CompressedRegister) {
+        self.writes += 1;
+        if let Some(p) = self.pending.remove(&(slot, reg)) {
+            if !p.resolved {
+                self.record(p.spec_idx, FaultOutcome::Masked, "overwritten before read");
+            }
+        }
+        while self.next_spec < self.plan.specs.len()
+            && self.plan.specs[self.next_spec].at_write <= self.writes
+        {
+            let spec = self.plan.specs[self.next_spec];
+            self.next_spec += 1;
+            self.triggered[spec.id] = true;
+            match spec.kind {
+                FaultKind::StuckAt => self.stuck.push(ActiveStuck {
+                    spec_idx: spec.id,
+                    bank: spec.stuck_bank,
+                    bit: spec.stuck_bit,
+                    value: spec.stuck_value,
+                    recorded: false,
+                    saw_slack: false,
+                    saw_redirect: false,
+                }),
+                FaultKind::TransientSingle | FaultKind::TransientDouble => {
+                    self.strike_transient(slot, reg, value, spec);
+                }
+            }
+        }
+    }
+
+    /// Flips the planned bits over the current stored image of
+    /// `(slot, reg)` — layering onto earlier unread corruption, as real
+    /// back-to-back upsets would.
+    fn strike_transient(&mut self, slot: u32, reg: u16, value: &CompressedRegister, s: FaultSpec) {
+        let prior = self
+            .pending
+            .get(&(slot, reg))
+            .map(|p| (p.ind, p.row, p.resolved));
+        let (mut ind, mut row) = match prior {
+            Some((ind, row, resolved)) => {
+                if !resolved {
+                    let overlaid = self.pending[&(slot, reg)].spec_idx;
+                    self.record(overlaid, FaultOutcome::Masked, "overlaid by a later fault");
+                }
+                (ind, row)
+            }
+            None => stored_image(value),
+        };
+        let domain = match s.target {
+            FaultTarget::RawCell => (ROW_BYTES * 8) as u32,
+            FaultTarget::Payload => (value.stored_len() * 8).max(1) as u32,
+            FaultTarget::Metadata => 2,
+        };
+        let mut flip = |bit: u32| match s.target {
+            FaultTarget::Metadata => ind ^= 1 << bit,
+            _ => row[(bit / 8) as usize] ^= 1 << (bit % 8),
+        };
+        let a = s.bit_a % domain;
+        flip(a);
+        if s.kind == FaultKind::TransientDouble {
+            let mut b = s.bit_b % domain;
+            if b == a {
+                b = (b + 1) % domain;
+            }
+            flip(b);
+        }
+        self.pending.insert(
+            (slot, reg),
+            Pending {
+                spec_idx: s.id,
+                ind,
+                row,
+                resolved: false,
+            },
+        );
+    }
+
+    /// Observes a read of the clean stored value; returns the value the
+    /// hardware delivers.
+    ///
+    /// * `Ok(None)` — no corruption visible; the caller serves `clean`.
+    /// * `Ok(Some((value, disposition)))` — corruption was present;
+    ///   serve `value` (equal to the clean one for
+    ///   [`ReadDisposition::Corrected`], possibly different for the
+    ///   others).
+    /// * `Err(DetectedFault)` — protection detected an uncorrectable
+    ///   error; the read must fail.
+    pub fn on_read(
+        &mut self,
+        slot: u32,
+        reg: u16,
+        clean: &CompressedRegister,
+    ) -> Result<Option<(CompressedRegister, ReadDisposition)>, DetectedFault> {
+        self.reads += 1;
+        let footprint = clean.banks_required();
+        self.footprint_reads[footprint] += 1;
+
+        let (clean_ind, clean_row) = stored_image(clean);
+        let (mut ind, mut row, pending_spec) = match self.pending.get(&(slot, reg)) {
+            Some(p) => (p.ind, p.row, (!p.resolved).then_some(p.spec_idx)),
+            None => (clean_ind, clean_row, None),
+        };
+
+        // Permanent faults afflict every read whose physical row they
+        // intersect; compression shrinks the footprint, turning faulty
+        // banks into harmless slack (or RRCD redirection targets).
+        let mut stuck_hits: Vec<usize> = Vec::new();
+        for i in 0..self.stuck.len() {
+            let (bank, bit, value) = {
+                let s = &self.stuck[i];
+                (s.bank as usize, s.bit as usize, s.value)
+            };
+            if bank >= footprint {
+                self.stuck_masked_by_slack += 1;
+                self.stuck[i].saw_slack = true;
+                continue;
+            }
+            if self.redirection && footprint < 8 {
+                // RRCD: the compressed register leaves >= 1 slack bank in
+                // the cluster; the faulty bank's content is remapped there.
+                self.stuck_redirected += 1;
+                self.stuck[i].saw_redirect = true;
+                continue;
+            }
+            let byte = bank * BANK_BYTES + bit / 8;
+            let mask = 1u8 << (bit % 8);
+            let forced = if value {
+                row[byte] | mask
+            } else {
+                row[byte] & !mask
+            };
+            if forced != row[byte] {
+                row[byte] = forced;
+                self.stuck_applied += 1;
+                if !self.stuck[i].recorded {
+                    stuck_hits.push(i);
+                }
+            }
+        }
+
+        if ind == clean_ind && row == clean_row {
+            // Nothing visible this read (e.g. a stuck-at agreeing with the
+            // stored bit). A pending transient can only get here if a
+            // stuck-at forced its flipped bit back — call that masked.
+            if let Some(spec) = pending_spec {
+                self.record(spec, FaultOutcome::Masked, "cancelled by a permanent fault");
+                self.mark_resolved(slot, reg);
+            }
+            return Ok(None);
+        }
+
+        // Run the protection the hardware would run on this read. The
+        // check code is whatever was computed at write time; recomputing
+        // from the clean value is equivalent and avoids storing codes.
+        let code = self.protection.encode(clean_ind, &clean_row);
+        match self.protection.verify(&mut ind, &mut row, &code) {
+            VerifyOutcome::Uncorrectable => {
+                self.resolve_read(
+                    slot,
+                    reg,
+                    pending_spec,
+                    &stuck_hits,
+                    FaultOutcome::Detected,
+                    "uncorrectable under protection",
+                );
+                return Err(DetectedFault);
+            }
+            VerifyOutcome::Corrected { .. } if ind == clean_ind && row == clean_row => {
+                self.resolve_read(
+                    slot,
+                    reg,
+                    pending_spec,
+                    &stuck_hits,
+                    FaultOutcome::Corrected,
+                    "restored by SEC-DED",
+                );
+                // Correction scrubs the transient from the cell.
+                self.pending.remove(&(slot, reg));
+                return Ok(Some((*clean, ReadDisposition::Corrected)));
+            }
+            // Clean verify (parity satisfied / unprotected) or a SEC-DED
+            // miscorrection that "fixed" the word to the wrong bits: the
+            // corruption reaches the decompressor.
+            VerifyOutcome::Clean | VerifyOutcome::Corrected { .. } => {}
+        }
+
+        let delivered = parse_image(CompressionIndicator::from_bits(ind & 0b11), &row);
+        if self.codec.decompress(&delivered) == self.codec.decompress(clean) {
+            self.resolve_read(
+                slot,
+                reg,
+                pending_spec,
+                &stuck_hits,
+                FaultOutcome::Masked,
+                "decodes to the written value",
+            );
+            Ok(Some((delivered, ReadDisposition::Masked)))
+        } else {
+            self.resolve_read(
+                slot,
+                reg,
+                pending_spec,
+                &stuck_hits,
+                FaultOutcome::SilentCorruption,
+                "wrong value delivered undetected",
+            );
+            Ok(Some((delivered, ReadDisposition::SilentCorruption)))
+        }
+    }
+
+    /// Observes a warp being freed: its unread corruption becomes latent.
+    pub fn on_free(&mut self, slot: u32) {
+        let keys: Vec<(u32, u16)> = self
+            .pending
+            .keys()
+            .filter(|(s, _)| *s == slot)
+            .copied()
+            .collect();
+        for key in keys {
+            if let Some(p) = self.pending.remove(&key) {
+                if !p.resolved {
+                    self.record(p.spec_idx, FaultOutcome::Masked, "warp freed before read");
+                }
+            }
+        }
+    }
+
+    fn mark_resolved(&mut self, slot: u32, reg: u16) {
+        if let Some(p) = self.pending.get_mut(&(slot, reg)) {
+            p.resolved = true;
+        }
+    }
+
+    /// Records the same read outcome for the pending transient (if any)
+    /// and every first-time stuck-at contributor.
+    fn resolve_read(
+        &mut self,
+        slot: u32,
+        reg: u16,
+        pending_spec: Option<usize>,
+        stuck_hits: &[usize],
+        outcome: FaultOutcome,
+        note: &'static str,
+    ) {
+        if let Some(spec) = pending_spec {
+            self.record(spec, outcome, note);
+            self.mark_resolved(slot, reg);
+        }
+        for &i in stuck_hits {
+            let spec = self.stuck[i].spec_idx;
+            self.stuck[i].recorded = true;
+            self.record(spec, outcome, note);
+        }
+    }
+
+    fn record(&mut self, spec_idx: usize, outcome: FaultOutcome, note: &'static str) {
+        let spec = self.plan.specs.iter().find(|s| s.id == spec_idx).copied();
+        let (kind, target) = spec
+            .map(|s| (s.kind, s.target))
+            .unwrap_or((FaultKind::TransientSingle, FaultTarget::RawCell));
+        self.events.push(FaultEvent {
+            spec_id: spec_idx,
+            kind,
+            target,
+            outcome,
+            note,
+        });
+    }
+
+    /// Closes the run: unresolved corruption becomes latent-masked, never
+    /// -triggered specs are recorded as such, and the log is produced.
+    pub fn finish(mut self) -> FaultLog {
+        let latent: Vec<usize> = self
+            .pending
+            .values()
+            .filter(|p| !p.resolved)
+            .map(|p| p.spec_idx)
+            .collect();
+        for spec in latent {
+            self.record(spec, FaultOutcome::Masked, "latent at end of run");
+        }
+        for i in 0..self.stuck.len() {
+            if !self.stuck[i].recorded {
+                let s = &self.stuck[i];
+                let note = if s.saw_redirect {
+                    "remapped into slack banks (RRCD)"
+                } else if s.saw_slack {
+                    "confined to slack banks freed by compression"
+                } else {
+                    "never intersected a live footprint"
+                };
+                let spec = self.stuck[i].spec_idx;
+                self.record(spec, FaultOutcome::Masked, note);
+            }
+        }
+        let untriggered: Vec<usize> = (0..self.triggered.len())
+            .filter(|&id| !self.triggered[id])
+            .collect();
+        for id in untriggered {
+            self.record(
+                id,
+                FaultOutcome::NotTriggered,
+                "write ordinal never reached",
+            );
+        }
+        self.events.sort_by_key(|e| e.spec_id);
+        FaultLog {
+            events: self.events,
+            writes: self.writes,
+            reads: self.reads,
+            stuck_masked_by_slack: self.stuck_masked_by_slack,
+            stuck_redirected: self.stuck_redirected,
+            stuck_applied: self.stuck_applied,
+            footprint_reads: self.footprint_reads,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdi::{ChoiceSet, WarpRegister};
+
+    fn codec() -> BdiCodec {
+        BdiCodec::new(ChoiceSet::warped_compression())
+    }
+
+    fn single_flip_plan(target: FaultTarget, bit: u32) -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            specs: vec![FaultSpec {
+                id: 0,
+                at_write: 1,
+                target,
+                kind: FaultKind::TransientSingle,
+                bit_a: bit,
+                bit_b: 0,
+                stuck_bank: 0,
+                stuck_bit: 0,
+                stuck_value: false,
+            }],
+        }
+    }
+
+    #[test]
+    fn unprotected_payload_flip_is_silent_corruption() {
+        let mut inj = FaultInjector::new(
+            single_flip_plan(FaultTarget::Payload, 0),
+            ProtectionModel::Unprotected,
+            false,
+        );
+        let value = codec().compress(&WarpRegister::from_fn(|t| 50 + t as u32));
+        inj.on_write(0, 0, &value);
+        let out = inj.on_read(0, 0, &value).unwrap();
+        let (delivered, disp) = out.expect("corruption must be visible");
+        assert_eq!(disp, ReadDisposition::SilentCorruption);
+        assert_ne!(codec().decompress(&delivered), codec().decompress(&value));
+        let log = inj.finish();
+        assert_eq!(log.silent(), 1);
+        assert_eq!(log.events.len(), 1);
+    }
+
+    #[test]
+    fn secded_corrects_single_payload_flip() {
+        let mut inj = FaultInjector::new(
+            single_flip_plan(FaultTarget::Payload, 13),
+            ProtectionModel::SecDed,
+            false,
+        );
+        let value = codec().compress(&WarpRegister::from_fn(|t| 50 + t as u32));
+        inj.on_write(0, 0, &value);
+        let (delivered, disp) = inj.on_read(0, 0, &value).unwrap().unwrap();
+        assert_eq!(disp, ReadDisposition::Corrected);
+        assert_eq!(delivered, value);
+        let log = inj.finish();
+        assert_eq!(log.corrected(), 1);
+        assert_eq!(log.silent(), 0);
+    }
+
+    #[test]
+    fn parity_detects_single_flip() {
+        let mut inj = FaultInjector::new(
+            single_flip_plan(FaultTarget::Payload, 13),
+            ProtectionModel::Parity,
+            false,
+        );
+        let value = codec().compress(&WarpRegister::from_fn(|t| 50 + t as u32));
+        inj.on_write(0, 0, &value);
+        assert_eq!(inj.on_read(0, 0, &value), Err(DetectedFault));
+        let log = inj.finish();
+        assert_eq!(log.detected(), 1);
+    }
+
+    #[test]
+    fn metadata_widening_flip_is_masked_for_uniform_register() {
+        // <4,0> stored; flipping indicator 0b01 -> 0b11 reinterprets as
+        // <4,2> whose stale delta bytes are zero: same value.
+        let mut inj = FaultInjector::new(
+            single_flip_plan(FaultTarget::Metadata, 1),
+            ProtectionModel::Unprotected,
+            false,
+        );
+        let value = codec().compress(&WarpRegister::splat(9));
+        assert_eq!(value.indicator(), CompressionIndicator::Delta0);
+        inj.on_write(0, 0, &value);
+        let (_, disp) = inj.on_read(0, 0, &value).unwrap().unwrap();
+        assert_eq!(disp, ReadDisposition::Masked);
+        assert_eq!(inj.finish().masked(), 1);
+    }
+
+    #[test]
+    fn overwrite_before_read_masks_the_fault() {
+        let mut inj = FaultInjector::new(
+            single_flip_plan(FaultTarget::Payload, 0),
+            ProtectionModel::Unprotected,
+            false,
+        );
+        let value = codec().compress(&WarpRegister::splat(1));
+        inj.on_write(0, 0, &value); // struck here
+        inj.on_write(0, 0, &value); // overwritten
+        assert_eq!(inj.on_read(0, 0, &value).unwrap(), None);
+        let log = inj.finish();
+        assert_eq!(log.masked(), 1);
+        assert_eq!(log.events[0].note, "overwritten before read");
+    }
+
+    #[test]
+    fn untriggered_spec_reports_not_triggered() {
+        let mut plan = single_flip_plan(FaultTarget::Payload, 0);
+        plan.specs[0].at_write = 100;
+        let mut inj = FaultInjector::new(plan, ProtectionModel::Unprotected, false);
+        let value = codec().compress(&WarpRegister::splat(1));
+        inj.on_write(0, 0, &value);
+        let log = inj.finish();
+        assert_eq!(log.not_triggered(), 1);
+    }
+
+    fn stuck_plan(bank: u8, value: bool) -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            specs: vec![FaultSpec {
+                id: 0,
+                at_write: 1,
+                target: FaultTarget::RawCell,
+                kind: FaultKind::StuckAt,
+                bit_a: 0,
+                bit_b: 0,
+                stuck_bank: bank,
+                stuck_bit: 5,
+                stuck_value: value,
+            }],
+        }
+    }
+
+    #[test]
+    fn stuck_bank_in_slack_is_masked_by_compression() {
+        let mut inj = FaultInjector::new(stuck_plan(7, true), ProtectionModel::Unprotected, false);
+        let value = codec().compress(&WarpRegister::splat(3)); // 1 bank
+        inj.on_write(0, 0, &value);
+        assert_eq!(inj.on_read(0, 0, &value).unwrap(), None);
+        let log = inj.finish();
+        assert_eq!(log.stuck_masked_by_slack, 1);
+        assert_eq!(log.masked(), 1);
+    }
+
+    #[test]
+    fn redirection_remaps_faulty_bank_when_footprint_leaves_slack() {
+        let mut inj = FaultInjector::new(stuck_plan(0, true), ProtectionModel::Unprotected, true);
+        let value = codec().compress(&WarpRegister::from_fn(|t| 50 + t as u32)); // 3 banks
+        inj.on_write(0, 0, &value);
+        assert_eq!(inj.on_read(0, 0, &value).unwrap(), None);
+        let log = inj.finish();
+        assert_eq!(log.stuck_redirected, 1);
+        assert_eq!(log.stuck_applied, 0);
+    }
+
+    #[test]
+    fn stuck_bank_without_redirection_corrupts_live_data() {
+        let mut inj = FaultInjector::new(stuck_plan(0, true), ProtectionModel::Unprotected, false);
+        // Base word all-zeros so forcing a bit to 1 definitely changes it.
+        let value = codec().compress(&WarpRegister::splat(0));
+        inj.on_write(0, 0, &value);
+        let (_, disp) = inj.on_read(0, 0, &value).unwrap().unwrap();
+        assert_eq!(disp, ReadDisposition::SilentCorruption);
+        let log = inj.finish();
+        assert_eq!(log.stuck_applied, 1);
+        assert_eq!(log.silent(), 1);
+    }
+
+    #[test]
+    fn uncompressed_register_cannot_be_redirected() {
+        let mut inj = FaultInjector::new(stuck_plan(0, true), ProtectionModel::Unprotected, true);
+        let raw = WarpRegister::from_fn(|t| (t as u32).wrapping_mul(0x9E37_79B9));
+        let value = codec().compress(&raw);
+        assert_eq!(value.banks_required(), 8);
+        inj.on_write(0, 0, &value);
+        // Bit 5 of bank 0 belongs to lane 1's low byte region; whether it
+        // changes depends on the data — force a deterministic check.
+        let _ = inj.on_read(0, 0, &value).unwrap();
+        let log = inj.finish();
+        assert_eq!(log.stuck_redirected, 0);
+    }
+
+    #[test]
+    fn same_plan_same_outcomes() {
+        let plan = FaultPlan::generate(42, 8, 50);
+        let run = |plan: FaultPlan| {
+            let mut inj = FaultInjector::new(plan, ProtectionModel::SecDed, false);
+            let value = codec().compress(&WarpRegister::from_fn(|t| 7 * t as u32));
+            for w in 0..50u64 {
+                inj.on_write((w % 4) as u32, (w % 8) as u16, &value);
+                let _ = inj.on_read((w % 4) as u32, (w % 8) as u16, &value);
+            }
+            inj.finish()
+        };
+        assert_eq!(run(plan.clone()), run(plan));
+    }
+}

@@ -1,0 +1,60 @@
+//! Fault injection, register protection, and RRCD redirection for the
+//! Warped-Compression register file.
+//!
+//! Compression *amplifies* soft-error blast radius: a flipped bit in an
+//! uncompressed register corrupts one lane of one thread, but a flipped
+//! bit in a ⟨4,0⟩ base word corrupts **all 32 lanes** on decompression,
+//! and a flipped compression-indicator bit re-frames the entire stored
+//! row under the wrong layout. This crate quantifies that trade and the
+//! mitigations:
+//!
+//! * [`FaultPlan`] — deterministic, seed-driven fault campaigns
+//!   (transient single/double flips, permanent stuck-at cells) targeted
+//!   at raw bank cells, live compressed payload bytes, or the 2-bit BDI
+//!   metadata;
+//! * [`FaultInjector`] — the runtime hook the register file calls on
+//!   every write/read, classifying each fault as masked / corrected /
+//!   detected / silent corruption;
+//! * [`ProtectionModel`] — per-word parity and SEC-DED Hamming (72,64)
+//!   over the stored bits, with the energy overhead exposed for
+//!   `gpu-power`;
+//! * [`RedirectionReport`] — RRCD-style coverage: how often compression
+//!   slack lets a permanently faulty bank be remapped instead of killing
+//!   the cluster.
+//!
+//! # Example
+//!
+//! ```
+//! use bdi::{BdiCodec, WarpRegister};
+//! use gpu_faults::{FaultInjector, FaultPlan, ProtectionModel, ReadDisposition};
+//!
+//! let plan = FaultPlan::generate(42, 4, 100);
+//! let mut injector = FaultInjector::new(plan, ProtectionModel::SecDed, false);
+//! let codec = BdiCodec::default();
+//! let value = codec.compress(&WarpRegister::from_fn(|t| 10 + t as u32));
+//! injector.on_write(0, 0, &value);
+//! match injector.on_read(0, 0, &value) {
+//!     Ok(None) => {}                       // no fault landed here
+//!     Ok(Some((_, disp))) => assert_ne!(disp, ReadDisposition::SilentCorruption),
+//!     Err(detected) => println!("aborted: {detected}"),
+//! }
+//! let log = injector.finish();
+//! assert_eq!(log.silent(), 0, "SEC-DED admits no silent single-bit flips");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod image;
+mod inject;
+mod plan;
+mod protect;
+mod redirect;
+
+pub use image::{parse_image, stored_image, StoredBits, ROW_BYTES};
+pub use inject::{
+    DetectedFault, FaultEvent, FaultInjector, FaultLog, FaultOutcome, ReadDisposition,
+};
+pub use plan::{FaultKind, FaultPlan, FaultSpec, FaultTarget};
+pub use protect::{CheckCode, ProtectionModel, VerifyOutcome, PROTECT_WORDS};
+pub use redirect::RedirectionReport;

@@ -1,0 +1,189 @@
+//! Deterministic, seed-driven fault plans.
+//!
+//! A [`FaultPlan`] is drawn up front from a single `u64` seed, so a
+//! campaign is byte-reproducible: the same seed always yields the same
+//! specs, struck at the same global write ordinals, flipping the same
+//! bits. Nothing about injection consults a clock or ambient randomness.
+
+use rand::prelude::*;
+
+/// What part of the stored register a transient fault strikes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultTarget {
+    /// Any bit of the 128-byte physical cluster row, including the
+    /// stale bytes in gated slack banks.
+    RawCell,
+    /// A bit inside the live compressed payload (`stored_len` bytes) —
+    /// guaranteed to hit base or delta bits, the error-amplifying case.
+    Payload,
+    /// One of the 2 compression-indicator bits in the bank arbiter.
+    Metadata,
+}
+
+impl FaultTarget {
+    /// Report spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultTarget::RawCell => "raw-cell",
+            FaultTarget::Payload => "payload",
+            FaultTarget::Metadata => "metadata",
+        }
+    }
+}
+
+/// The temporal class of an injected fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// One bit flips once (soft error); repaired by any overwrite.
+    TransientSingle,
+    /// Two distinct bits flip at once (multi-cell upset).
+    TransientDouble,
+    /// A bank cell is permanently stuck at a value from its activation
+    /// write onward; candidates for RRCD-style redirection.
+    StuckAt,
+}
+
+impl FaultKind {
+    /// Report spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::TransientSingle => "single",
+            FaultKind::TransientDouble => "double",
+            FaultKind::StuckAt => "stuck-at",
+        }
+    }
+}
+
+/// One planned fault.
+///
+/// Transient faults strike the register written by global write number
+/// `at_write`; `bit_a`/`bit_b` are reduced modulo the target domain at
+/// injection time (the domain depends on the victim's compressed form,
+/// which is unknown when the plan is drawn). Stuck-at faults activate at
+/// `at_write` and then afflict every read whose footprint covers
+/// `stuck_bank`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Index in the plan (stable across runs for a given seed).
+    pub id: usize,
+    /// Global write ordinal (1-based) this fault strikes/activates at.
+    pub at_write: u64,
+    /// Target class (ignored for stuck-at faults).
+    pub target: FaultTarget,
+    /// Temporal class.
+    pub kind: FaultKind,
+    /// Primary bit pick (reduced mod the target domain at injection).
+    pub bit_a: u32,
+    /// Secondary bit pick, used by double flips.
+    pub bit_b: u32,
+    /// Cluster-relative bank index (0..8) for stuck-at faults.
+    pub stuck_bank: u8,
+    /// Bit within the stuck bank's 16-byte row (0..128).
+    pub stuck_bit: u8,
+    /// The value the cell is stuck at.
+    pub stuck_value: bool,
+}
+
+/// A deterministic set of faults for one simulation run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The seed the plan was drawn from (recorded for reports).
+    pub seed: u64,
+    /// Specs in ascending `at_write` order.
+    pub specs: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// Draws `injections` faults over the first `write_horizon` register
+    /// writes.
+    ///
+    /// Mix: 60% single transients, 20% double transients, 20% stuck-at;
+    /// transient targets split 40% raw cell / 40% payload / 20%
+    /// metadata. Sorted by `at_write` so the injector can walk them in
+    /// write order.
+    pub fn generate(seed: u64, injections: usize, write_horizon: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let horizon = write_horizon.max(1);
+        let mut specs: Vec<FaultSpec> = (0..injections)
+            .map(|id| {
+                let at_write = rng.gen_range(1..=horizon);
+                let kind = match rng.gen_range(0u32..10) {
+                    0..=5 => FaultKind::TransientSingle,
+                    6..=7 => FaultKind::TransientDouble,
+                    _ => FaultKind::StuckAt,
+                };
+                let target = match rng.gen_range(0u32..10) {
+                    0..=3 => FaultTarget::RawCell,
+                    4..=7 => FaultTarget::Payload,
+                    _ => FaultTarget::Metadata,
+                };
+                FaultSpec {
+                    id,
+                    at_write,
+                    target,
+                    kind,
+                    bit_a: rng.gen_range(0u32..u32::MAX),
+                    bit_b: rng.gen_range(0u32..u32::MAX),
+                    stuck_bank: rng.gen_range(0u8..8),
+                    stuck_bit: rng.gen_range(0u8..128),
+                    stuck_value: rng.gen_bool(0.5),
+                }
+            })
+            .collect();
+        specs.sort_by_key(|s| s.at_write);
+        FaultPlan { seed, specs }
+    }
+
+    /// An empty plan (no faults, pure observation run).
+    pub fn empty(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            specs: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_plan() {
+        let a = FaultPlan::generate(42, 16, 1000);
+        let b = FaultPlan::generate(42, 16, 1000);
+        assert_eq!(a, b);
+        assert_eq!(a.specs.len(), 16);
+    }
+
+    #[test]
+    fn different_seed_different_plan() {
+        assert_ne!(
+            FaultPlan::generate(42, 16, 1000),
+            FaultPlan::generate(43, 16, 1000)
+        );
+    }
+
+    #[test]
+    fn specs_are_sorted_and_within_horizon() {
+        let plan = FaultPlan::generate(7, 64, 500);
+        assert!(plan
+            .specs
+            .windows(2)
+            .all(|w| w[0].at_write <= w[1].at_write));
+        assert!(plan
+            .specs
+            .iter()
+            .all(|s| (1..=500).contains(&s.at_write) && s.stuck_bank < 8 && s.stuck_bit < 128));
+    }
+
+    #[test]
+    fn plan_mixes_kinds_and_targets() {
+        let plan = FaultPlan::generate(1, 256, 10_000);
+        let kinds: std::collections::HashSet<_> =
+            plan.specs.iter().map(|s| s.kind.name()).collect();
+        let targets: std::collections::HashSet<_> =
+            plan.specs.iter().map(|s| s.target.name()).collect();
+        assert_eq!(kinds.len(), 3, "all three kinds should appear");
+        assert_eq!(targets.len(), 3, "all three targets should appear");
+    }
+}

@@ -1,0 +1,374 @@
+//! Parity and SEC-DED ECC protection over the stored register bits.
+//!
+//! Protection covers the full stored state of one warp register: the
+//! 2-bit compression indicator plus the 128-byte physical row, packed
+//! into 17 little-endian 64-bit words (`[indicator byte ‖ row ‖ zero
+//! pad]`). Each word carries its own check bits, matching how SRAM
+//! macros protect at word granularity:
+//!
+//! * **Parity** — 1 check bit per 64-bit word. Detects any odd number of
+//!   flips in a word; corrects nothing; an even number of flips passes
+//!   unseen.
+//! * **SEC-DED** — an extended Hamming (72,64) code per word: corrects
+//!   any single-bit error, detects (but cannot correct) double-bit
+//!   errors, and — like real SEC-DED — may *miscorrect* a triple flip,
+//!   which is the realistic silent-corruption path that remains even
+//!   under ECC.
+//!
+//! The fault model never targets the check bits themselves (they are
+//! assumed to live in hardened cells; see DESIGN.md §8), so the decoder
+//! treats stored check bits as ground truth.
+
+use std::fmt;
+
+/// 64-bit words protected per register: ⌈(1 + 128) / 8⌉.
+pub const PROTECT_WORDS: usize = 17;
+
+/// Per-register check bits: one check byte per protected word.
+///
+/// For parity only bit 0 of each byte is used; for SEC-DED all 8 bits
+/// are (7 Hamming parities + 1 overall parity).
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct CheckCode(pub [u8; PROTECT_WORDS]);
+
+impl fmt::Debug for CheckCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CheckCode({:02x?})", self.0)
+    }
+}
+
+/// Outcome of verifying (and possibly correcting) a protected register.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VerifyOutcome {
+    /// Every word matched its check bits.
+    Clean,
+    /// SEC-DED corrected this many single-bit word errors in place.
+    Corrected {
+        /// Number of words that needed a single-bit correction.
+        words: u32,
+    },
+    /// At least one word holds an error the code can detect but not
+    /// correct (parity mismatch, or a SEC-DED double-error syndrome).
+    Uncorrectable,
+}
+
+/// The error-protection scheme applied to stored registers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ProtectionModel {
+    /// No check bits; every surviving flip reaches the decompressor.
+    #[default]
+    Unprotected,
+    /// 1 parity bit per 64-bit word (detect-only).
+    Parity,
+    /// Extended Hamming (72,64) SEC-DED per 64-bit word.
+    SecDed,
+}
+
+impl ProtectionModel {
+    /// Parses the CLI spelling (`none` / `parity` / `secded`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "none" => Some(ProtectionModel::Unprotected),
+            "parity" => Some(ProtectionModel::Parity),
+            "secded" => Some(ProtectionModel::SecDed),
+            _ => None,
+        }
+    }
+
+    /// The CLI / report spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtectionModel::Unprotected => "none",
+            ProtectionModel::Parity => "parity",
+            ProtectionModel::SecDed => "secded",
+        }
+    }
+
+    /// Check bits stored per 64-bit data word.
+    pub fn check_bits_per_word(self) -> u32 {
+        match self {
+            ProtectionModel::Unprotected => 0,
+            ProtectionModel::Parity => 1,
+            ProtectionModel::SecDed => 8,
+        }
+    }
+
+    /// Multiplier on bank-access energy from reading/writing the check
+    /// bits alongside the data: `(64 + check bits) / 64`. Fed into
+    /// `gpu-power` so protected designs pay for their redundancy.
+    pub fn bank_access_energy_scale(self) -> f64 {
+        (64.0 + f64::from(self.check_bits_per_word())) / 64.0
+    }
+
+    /// Computes the check code for a stored register at write time.
+    pub fn encode(self, ind: u8, row: &[u8; super::ROW_BYTES]) -> CheckCode {
+        let words = pack_words(ind, row);
+        let mut code = [0u8; PROTECT_WORDS];
+        for (c, &w) in code.iter_mut().zip(&words) {
+            *c = match self {
+                ProtectionModel::Unprotected => 0,
+                ProtectionModel::Parity => (w.count_ones() & 1) as u8,
+                ProtectionModel::SecDed => secded_encode(w),
+            };
+        }
+        CheckCode(code)
+    }
+
+    /// Verifies a (possibly corrupted) stored register against the check
+    /// code computed at write time, correcting `ind`/`row` in place when
+    /// the code allows it.
+    pub fn verify(
+        self,
+        ind: &mut u8,
+        row: &mut [u8; super::ROW_BYTES],
+        code: &CheckCode,
+    ) -> VerifyOutcome {
+        if self == ProtectionModel::Unprotected {
+            return VerifyOutcome::Clean;
+        }
+        let mut words = pack_words(*ind, row);
+        let mut corrected = 0u32;
+        for (w, &c) in words.iter_mut().zip(&code.0) {
+            match self {
+                ProtectionModel::Unprotected => unreachable!(),
+                ProtectionModel::Parity => {
+                    if (w.count_ones() & 1) as u8 != c {
+                        return VerifyOutcome::Uncorrectable;
+                    }
+                }
+                ProtectionModel::SecDed => match secded_check(*w, c) {
+                    WordCheck::Clean | WordCheck::CheckBitsOnly => {}
+                    WordCheck::Corrected(fixed) => {
+                        *w = fixed;
+                        corrected += 1;
+                    }
+                    WordCheck::Uncorrectable => return VerifyOutcome::Uncorrectable,
+                },
+            }
+        }
+        if corrected == 0 {
+            VerifyOutcome::Clean
+        } else {
+            let (new_ind, new_row) = unpack_words(&words);
+            *ind = new_ind;
+            *row = new_row;
+            VerifyOutcome::Corrected { words: corrected }
+        }
+    }
+}
+
+/// Packs `[ind ‖ row]` into 17 little-endian words (7 pad bytes zero).
+fn pack_words(ind: u8, row: &[u8; super::ROW_BYTES]) -> [u64; PROTECT_WORDS] {
+    let mut buf = [0u8; PROTECT_WORDS * 8];
+    buf[0] = ind;
+    buf[1..1 + super::ROW_BYTES].copy_from_slice(row);
+    let mut words = [0u64; PROTECT_WORDS];
+    for (i, w) in words.iter_mut().enumerate() {
+        *w = u64::from_le_bytes(buf[i * 8..i * 8 + 8].try_into().unwrap());
+    }
+    words
+}
+
+fn unpack_words(words: &[u64; PROTECT_WORDS]) -> (u8, [u8; super::ROW_BYTES]) {
+    let mut buf = [0u8; PROTECT_WORDS * 8];
+    for (i, w) in words.iter().enumerate() {
+        buf[i * 8..i * 8 + 8].copy_from_slice(&w.to_le_bytes());
+    }
+    let mut row = [0u8; super::ROW_BYTES];
+    row.copy_from_slice(&buf[1..1 + super::ROW_BYTES]);
+    (buf[0], row)
+}
+
+/// Hamming parity positions inside the 71-position codeword.
+const PARITY_POSITIONS: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+/// Per-word SEC-DED decode result.
+enum WordCheck {
+    /// Word and check bits agree.
+    Clean,
+    /// Single-bit error located in the check bits; data is intact.
+    CheckBitsOnly,
+    /// Single-bit data error corrected; the fixed word.
+    Corrected(u64),
+    /// Double-error syndrome (or invalid position): detected, not
+    /// correctable.
+    Uncorrectable,
+}
+
+/// Encodes the 8 check bits of the extended Hamming (72,64) code.
+///
+/// Data bits occupy codeword positions 1..=71 that are not powers of
+/// two (64 of them); bits 0..=6 of the result are the Hamming parities
+/// for positions 1,2,4,...,64; bit 7 is the overall parity over data
+/// and Hamming bits.
+fn secded_encode(word: u64) -> u8 {
+    let mut check = 0u8;
+    for (k, &p) in PARITY_POSITIONS.iter().enumerate() {
+        if data_parity_for(word, p) {
+            check |= 1 << k;
+        }
+    }
+    let overall = (word.count_ones() + u32::from(check).count_ones()) & 1;
+    check | ((overall as u8) << 7)
+}
+
+/// XOR of the data bits whose codeword position has bit `p` set.
+fn data_parity_for(word: u64, p: usize) -> bool {
+    let mut parity = false;
+    let mut j = 0;
+    for pos in 1..=71usize {
+        if pos.is_power_of_two() {
+            continue;
+        }
+        if pos & p != 0 {
+            parity ^= (word >> j) & 1 == 1;
+        }
+        j += 1;
+    }
+    parity
+}
+
+fn secded_check(word: u64, stored: u8) -> WordCheck {
+    let mut syndrome = 0usize;
+    for (k, &p) in PARITY_POSITIONS.iter().enumerate() {
+        let mut parity = data_parity_for(word, p);
+        parity ^= (stored >> k) & 1 == 1;
+        if parity {
+            syndrome |= p;
+        }
+    }
+    // Overall parity across data, Hamming bits and the overall bit
+    // itself: even when everything (including the error count) is even.
+    let overall = (word.count_ones() + u32::from(stored).count_ones()) & 1 == 1;
+    match (syndrome, overall) {
+        (0, false) => WordCheck::Clean,
+        // Overall-parity bit flipped by itself; data intact.
+        (0, true) => WordCheck::CheckBitsOnly,
+        (s, true) => {
+            if s > 71 {
+                return WordCheck::Uncorrectable;
+            }
+            if s.is_power_of_two() {
+                // A Hamming check bit flipped; data intact.
+                return WordCheck::CheckBitsOnly;
+            }
+            WordCheck::Corrected(word ^ (1u64 << data_index_of(s)))
+        }
+        // Non-zero syndrome with even overall parity: two flips.
+        (_, false) => WordCheck::Uncorrectable,
+    }
+}
+
+/// Data-bit index (0..64) of a non-power-of-two codeword position.
+fn data_index_of(pos: usize) -> usize {
+    (1..pos).filter(|p| !p.is_power_of_two()).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ROW: [u8; crate::ROW_BYTES] = [0xA5; crate::ROW_BYTES];
+
+    #[test]
+    fn clean_data_verifies_clean_under_every_model() {
+        for model in [
+            ProtectionModel::Unprotected,
+            ProtectionModel::Parity,
+            ProtectionModel::SecDed,
+        ] {
+            let code = model.encode(0b10, &ROW);
+            let mut ind = 0b10;
+            let mut row = ROW;
+            assert_eq!(
+                model.verify(&mut ind, &mut row, &code),
+                VerifyOutcome::Clean
+            );
+            assert_eq!((ind, row), (0b10, ROW));
+        }
+    }
+
+    #[test]
+    fn secded_corrects_every_single_bit_flip() {
+        let code = ProtectionModel::SecDed.encode(0b01, &ROW);
+        for bit in 0..(crate::ROW_BYTES * 8) {
+            let mut row = ROW;
+            row[bit / 8] ^= 1 << (bit % 8);
+            let mut ind = 0b01;
+            let out = ProtectionModel::SecDed.verify(&mut ind, &mut row, &code);
+            assert_eq!(out, VerifyOutcome::Corrected { words: 1 }, "bit {bit}");
+            assert_eq!((ind, row), (0b01, ROW), "bit {bit} not restored");
+        }
+        // Indicator bits too.
+        for bit in 0..2 {
+            let mut ind = 0b01u8 ^ (1 << bit);
+            let mut row = ROW;
+            let out = ProtectionModel::SecDed.verify(&mut ind, &mut row, &code);
+            assert_eq!(out, VerifyOutcome::Corrected { words: 1 });
+            assert_eq!(ind, 0b01);
+        }
+    }
+
+    #[test]
+    fn secded_detects_double_flips_in_one_word() {
+        let code = ProtectionModel::SecDed.encode(0, &ROW);
+        let mut row = ROW;
+        row[8] ^= 0b11; // two flips inside word 1
+        let mut ind = 0;
+        assert_eq!(
+            ProtectionModel::SecDed.verify(&mut ind, &mut row, &code),
+            VerifyOutcome::Uncorrectable
+        );
+    }
+
+    #[test]
+    fn secded_corrects_one_flip_per_word_independently() {
+        let code = ProtectionModel::SecDed.encode(0, &ROW);
+        let mut row = ROW;
+        row[10] ^= 0x10; // word 1
+        row[100] ^= 0x01; // word 12
+        let mut ind = 0;
+        assert_eq!(
+            ProtectionModel::SecDed.verify(&mut ind, &mut row, &code),
+            VerifyOutcome::Corrected { words: 2 }
+        );
+        assert_eq!(row, ROW);
+    }
+
+    #[test]
+    fn parity_detects_odd_flips_and_misses_even_ones() {
+        let code = ProtectionModel::Parity.encode(0, &ROW);
+        let mut row = ROW;
+        row[3] ^= 0x04;
+        let mut ind = 0;
+        assert_eq!(
+            ProtectionModel::Parity.verify(&mut ind, &mut row, &code),
+            VerifyOutcome::Uncorrectable
+        );
+        // Second flip in the same word restores even parity: undetected.
+        row[4] ^= 0x04;
+        assert_eq!(
+            ProtectionModel::Parity.verify(&mut ind, &mut row, &code),
+            VerifyOutcome::Clean
+        );
+    }
+
+    #[test]
+    fn energy_scales_reflect_check_bit_overhead() {
+        assert_eq!(ProtectionModel::Unprotected.bank_access_energy_scale(), 1.0);
+        assert!((ProtectionModel::Parity.bank_access_energy_scale() - 65.0 / 64.0).abs() < 1e-12);
+        assert!((ProtectionModel::SecDed.bank_access_energy_scale() - 1.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parse_round_trips_names() {
+        for m in [
+            ProtectionModel::Unprotected,
+            ProtectionModel::Parity,
+            ProtectionModel::SecDed,
+        ] {
+            assert_eq!(ProtectionModel::parse(m.name()), Some(m));
+        }
+        assert_eq!(ProtectionModel::parse("chipkill"), None);
+    }
+}

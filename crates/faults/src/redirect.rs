@@ -1,0 +1,86 @@
+//! RRCD-style redirection coverage reporting.
+//!
+//! RRCD (see PAPERS.md) observes that the same compression headroom that
+//! saves energy also tolerates *permanent* faults: when a register's
+//! compressed footprint leaves slack banks in its cluster, a faulty bank
+//! can be remapped into the slack. This module turns the injector's
+//! footprint histogram into the coverage numbers a campaign reports.
+
+/// Redirection coverage derived from one run's read-footprint histogram.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RedirectionReport {
+    /// Total register reads observed.
+    pub total_reads: u64,
+    /// Probability a uniformly placed faulty bank falls in slack for a
+    /// random read (no redirection hardware): `E[(8 − footprint) / 8]`.
+    pub slack_only_coverage: f64,
+    /// Probability a random read tolerates a faulty bank *with*
+    /// redirection: any footprint < 8 leaves at least one slack bank to
+    /// remap into, so this is `P(footprint < 8)`.
+    pub redirection_coverage: f64,
+}
+
+impl RedirectionReport {
+    /// Computes coverage from `footprint_reads[n]` = number of reads of
+    /// registers occupying `n` banks.
+    pub fn from_footprints(footprint_reads: &[u64; 9]) -> Self {
+        let total: u64 = footprint_reads.iter().sum();
+        if total == 0 {
+            return RedirectionReport::default();
+        }
+        let mut slack_weight = 0.0f64;
+        let mut redirectable = 0u64;
+        for (footprint, &reads) in footprint_reads.iter().enumerate() {
+            slack_weight += reads as f64 * (8 - footprint.min(8)) as f64 / 8.0;
+            if footprint < 8 {
+                redirectable += reads;
+            }
+        }
+        RedirectionReport {
+            total_reads: total,
+            slack_only_coverage: slack_weight / total as f64,
+            redirection_coverage: redirectable as f64 / total as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_yields_zero_coverage() {
+        let r = RedirectionReport::from_footprints(&[0; 9]);
+        assert_eq!(r.total_reads, 0);
+        assert_eq!(r.redirection_coverage, 0.0);
+    }
+
+    #[test]
+    fn all_uncompressed_reads_cannot_be_covered() {
+        let mut h = [0u64; 9];
+        h[8] = 10;
+        let r = RedirectionReport::from_footprints(&h);
+        assert_eq!(r.redirection_coverage, 0.0);
+        assert_eq!(r.slack_only_coverage, 0.0);
+    }
+
+    #[test]
+    fn all_delta0_reads_are_fully_redirectable() {
+        let mut h = [0u64; 9];
+        h[1] = 10;
+        let r = RedirectionReport::from_footprints(&h);
+        assert_eq!(r.redirection_coverage, 1.0);
+        assert!((r.slack_only_coverage - 7.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_footprints_interpolate() {
+        let mut h = [0u64; 9];
+        h[1] = 5; // slack 7/8 each
+        h[8] = 5; // slack 0
+        let r = RedirectionReport::from_footprints(&h);
+        assert!((r.redirection_coverage - 0.5).abs() < 1e-12);
+        assert!((r.slack_only_coverage - 7.0 / 16.0).abs() < 1e-12);
+        assert_eq!(r.total_reads, 10);
+    }
+}

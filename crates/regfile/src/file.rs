@@ -40,6 +40,62 @@ pub struct ReadResult<'a> {
     pub banks_accessed: usize,
 }
 
+/// Result of a fallible register read ([`RegisterFile::try_read`]).
+///
+/// Owns the register value instead of borrowing it: under fault
+/// injection the delivered value may differ from the stored one, so no
+/// reference into storage can represent it.
+#[derive(Clone, Copy, Debug)]
+pub struct ReadSample {
+    /// The delivered (possibly compressed, possibly corrupted) register.
+    pub register: CompressedRegister,
+    /// Number of banks the arbiter had to access (1/3/5/8).
+    pub banks_accessed: usize,
+    /// What fault injection did to this read, if anything.
+    pub fault: Option<FaultDisposition>,
+}
+
+/// What the fault injector did to a read that still delivered a value.
+///
+/// Mirrors `gpu_faults::ReadDisposition`, but is always compiled so
+/// [`ReadSample`] has one shape with and without the `faults` feature.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultDisposition {
+    /// Corruption present but semantically invisible.
+    Masked,
+    /// SEC-DED restored the written bits.
+    Corrected,
+    /// A wrong value is being delivered undetected.
+    SilentCorruption,
+}
+
+/// Read failures ([`RegisterFile::try_read`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReadError {
+    /// The (slot, reg) pair was never allocated.
+    Unallocated,
+    /// The stored form failed structural validation — corrupted state
+    /// reached the decoder.
+    Corrupted(bdi::DecodeError),
+    /// Register protection detected an uncorrectable bit error (the
+    /// machine-check case; only reachable with fault injection armed).
+    Uncorrectable,
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadError::Unallocated => f.write_str("register read from unallocated warp slot"),
+            ReadError::Corrupted(e) => write!(f, "register read returned corrupt state: {e}"),
+            ReadError::Uncorrectable => {
+                f.write_str("uncorrectable bit error detected on register read")
+            }
+        }
+    }
+}
+
+impl Error for ReadError {}
+
 /// Allocation failures.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RegFileError {
@@ -113,6 +169,9 @@ pub struct RegisterFile {
     cfg: RegFileConfig,
     banks: Vec<Bank>,
     warps: Vec<Option<WarpAlloc>>,
+    /// Armed fault injector, if any ([`arm_faults`](Self::arm_faults)).
+    #[cfg(feature = "faults")]
+    injector: Option<gpu_faults::FaultInjector>,
 }
 
 impl RegisterFile {
@@ -125,7 +184,26 @@ impl RegisterFile {
             cfg,
             banks,
             warps: Vec::new(),
+            #[cfg(feature = "faults")]
+            injector: None,
         }
+    }
+
+    /// Arms fault injection: every subsequent write and
+    /// [`try_read`](Self::try_read) passes through the injector. The
+    /// plain [`read`](Self::read) path stays fault-free (it is the
+    /// golden reference).
+    #[cfg(feature = "faults")]
+    pub fn arm_faults(&mut self, injector: gpu_faults::FaultInjector) {
+        self.injector = Some(injector);
+    }
+
+    /// Disarms the injector and produces its event log (unread
+    /// corruption resolves as latent, untriggered specs as such).
+    /// Returns `None` if faults were never armed.
+    #[cfg(feature = "faults")]
+    pub fn take_fault_log(&mut self) -> Option<gpu_faults::FaultLog> {
+        self.injector.take().map(gpu_faults::FaultInjector::finish)
     }
 
     /// The configured geometry.
@@ -228,6 +306,10 @@ impl RegisterFile {
                     .remove_valid(now, self.cfg.gating.is_enabled());
             }
         }
+        #[cfg(feature = "faults")]
+        if let Some(injector) = self.injector.as_mut() {
+            injector.on_free(slot.0 as u32);
+        }
     }
 
     /// The 2-bit compression-range indicator the bank arbiter consults
@@ -273,6 +355,66 @@ impl RegisterFile {
             register: &alloc.regs[reg].value,
             banks_accessed: footprint,
         }
+    }
+
+    /// Fallible read: like [`read`](Self::read) but surfaces unallocated
+    /// registers and corrupted/uncorrectable state as a typed
+    /// [`ReadError`] instead of panicking, and routes the access through
+    /// the fault injector when one is armed — so the value delivered may
+    /// legitimately differ from the value stored.
+    pub fn try_read(
+        &mut self,
+        slot: WarpSlot,
+        reg: usize,
+        now: u64,
+    ) -> Result<ReadSample, ReadError> {
+        let cluster = slot.0 % self.cfg.num_clusters();
+        let bank_base = cluster * self.cfg.banks_per_cluster;
+        let Some(stored) = self.stored(slot, reg) else {
+            return Err(ReadError::Unallocated);
+        };
+        let footprint = stored.footprint;
+        let value = stored.value;
+        for b in 0..footprint {
+            debug_assert!(
+                self.banks[bank_base + b].is_ready(now),
+                "read hit a gated bank"
+            );
+        }
+        for b in 0..footprint {
+            self.banks[bank_base + b].record_read();
+        }
+        #[cfg(feature = "faults")]
+        if let Some(injector) = self.injector.as_mut() {
+            return match injector.on_read(slot.0 as u32, reg as u16, &value) {
+                Ok(None) => Ok(ReadSample {
+                    register: value,
+                    banks_accessed: footprint,
+                    fault: None,
+                }),
+                Ok(Some((delivered, disposition))) => {
+                    delivered.validate().map_err(ReadError::Corrupted)?;
+                    Ok(ReadSample {
+                        register: delivered,
+                        banks_accessed: footprint,
+                        fault: Some(match disposition {
+                            gpu_faults::ReadDisposition::Masked => FaultDisposition::Masked,
+                            gpu_faults::ReadDisposition::Corrected => FaultDisposition::Corrected,
+                            gpu_faults::ReadDisposition::SilentCorruption => {
+                                FaultDisposition::SilentCorruption
+                            }
+                        }),
+                    })
+                }
+                Err(gpu_faults::DetectedFault) => Err(ReadError::Uncorrectable),
+            };
+        }
+        value.validate().map_err(ReadError::Corrupted)?;
+        Ok(ReadSample {
+            register: value,
+            banks_accessed: footprint,
+            fault: None,
+        })
     }
 
     /// Writes a register value (already compressed or not by the caller's
@@ -332,6 +474,12 @@ impl RegisterFile {
         }
         for b in 0..new_footprint {
             self.banks[bank_base + b].record_write();
+        }
+        #[cfg(feature = "faults")]
+        if let Some(injector) = self.injector.as_mut() {
+            // The stored value stays clean; any injected corruption lives
+            // in the injector and is merged in on try_read.
+            injector.on_write(slot.0 as u32, reg as u16, &value);
         }
         Ok(new_footprint)
     }
@@ -647,6 +795,116 @@ mod tests {
         assert_eq!(rf.write(WarpSlot(0), 0, v, 0), Err(WriteError::Unallocated));
         rf.allocate_warp(WarpSlot(0), 2, 0).unwrap();
         assert_eq!(rf.write(WarpSlot(0), 5, v, 0), Err(WriteError::Unallocated));
+    }
+
+    #[test]
+    fn try_read_returns_typed_error_for_unallocated() {
+        let mut rf = wc_file();
+        assert_eq!(
+            rf.try_read(WarpSlot(0), 0, 0).unwrap_err(),
+            ReadError::Unallocated
+        );
+        rf.allocate_warp(WarpSlot(0), 2, 0).unwrap();
+        assert_eq!(
+            rf.try_read(WarpSlot(0), 5, 0).unwrap_err(),
+            ReadError::Unallocated
+        );
+    }
+
+    #[test]
+    fn try_read_matches_read_and_counts_banks() {
+        let mut rf = wc_file();
+        rf.allocate_warp_with(WarpSlot(0), 2, &compressed_zero(), 0)
+            .unwrap();
+        let codec = BdiCodec::default();
+        let v = WarpRegister::from_fn(|t| 11 + t as u32);
+        write_retry(&mut rf, WarpSlot(0), 1, codec.compress(&v), 0);
+        let sample = rf.try_read(WarpSlot(0), 1, 20).unwrap();
+        assert_eq!(sample.banks_accessed, 3);
+        assert_eq!(sample.fault, None);
+        assert_eq!(codec.decompress(&sample.register), v);
+        // Bank read counters were charged exactly like read().
+        assert_eq!(rf.stats(20).bank_reads[0], 1);
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn armed_injector_corrupts_try_read_but_not_read() {
+        use gpu_faults::{
+            FaultInjector, FaultKind, FaultPlan, FaultSpec, FaultTarget, ProtectionModel,
+        };
+        let plan = FaultPlan {
+            seed: 0,
+            specs: vec![FaultSpec {
+                id: 0,
+                at_write: 1,
+                target: FaultTarget::Payload,
+                kind: FaultKind::TransientSingle,
+                bit_a: 1, // bit 1 of the base word: changes every lane
+                bit_b: 0,
+                stuck_bank: 0,
+                stuck_bit: 0,
+                stuck_value: false,
+            }],
+        };
+        let mut rf = wc_file();
+        rf.arm_faults(FaultInjector::new(
+            plan,
+            ProtectionModel::Unprotected,
+            false,
+        ));
+        rf.allocate_warp_with(WarpSlot(0), 1, &compressed_zero(), 0)
+            .unwrap();
+        let codec = BdiCodec::default();
+        let v = WarpRegister::splat(4);
+        write_retry(&mut rf, WarpSlot(0), 0, codec.compress(&v), 0);
+        let sample = rf.try_read(WarpSlot(0), 0, 20).unwrap();
+        assert_eq!(sample.fault, Some(FaultDisposition::SilentCorruption));
+        assert_ne!(codec.decompress(&sample.register), v);
+        // The golden read path still sees the clean stored value.
+        let clean = rf.read(WarpSlot(0), 0, 21);
+        assert_eq!(codec.decompress(clean.register), v);
+        let log = rf.take_fault_log().unwrap();
+        assert_eq!(log.silent(), 1);
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn secded_armed_injector_detects_double_flip() {
+        use gpu_faults::{
+            FaultInjector, FaultKind, FaultPlan, FaultSpec, FaultTarget, ProtectionModel,
+        };
+        let plan = FaultPlan {
+            seed: 0,
+            specs: vec![FaultSpec {
+                id: 0,
+                at_write: 1,
+                target: FaultTarget::Payload,
+                kind: FaultKind::TransientDouble,
+                bit_a: 1,
+                bit_b: 2, // same 64-bit word as bit 1: double-error syndrome
+                stuck_bank: 0,
+                stuck_bit: 0,
+                stuck_value: false,
+            }],
+        };
+        let mut rf = wc_file();
+        rf.arm_faults(FaultInjector::new(plan, ProtectionModel::SecDed, false));
+        rf.allocate_warp_with(WarpSlot(0), 1, &compressed_zero(), 0)
+            .unwrap();
+        let codec = BdiCodec::default();
+        write_retry(
+            &mut rf,
+            WarpSlot(0),
+            0,
+            codec.compress(&WarpRegister::splat(4)),
+            0,
+        );
+        assert_eq!(
+            rf.try_read(WarpSlot(0), 0, 20).unwrap_err(),
+            ReadError::Uncorrectable
+        );
+        assert_eq!(rf.take_fault_log().unwrap().detected(), 1);
     }
 
     #[test]

@@ -50,7 +50,10 @@ mod stats;
 pub use arbiter::BankPorts;
 pub use bank::{Bank, PowerState};
 pub use config::{GatingMode, RegFileConfig};
-pub use file::{ReadResult, RegFileError, RegisterFile, WarpSlot, WriteError};
+pub use file::{
+    FaultDisposition, ReadError, ReadResult, ReadSample, RegFileError, RegisterFile, WarpSlot,
+    WriteError,
+};
 #[cfg(feature = "sanitize")]
 pub use shadow::ShadowRegisterFile;
 pub use stats::RegFileStats;

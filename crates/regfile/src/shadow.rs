@@ -71,6 +71,17 @@ impl ShadowRegisterFile {
         *self.reg_mut(slot, reg) = *value;
     }
 
+    /// Whether a decompressed read matches the shadow bit-exactly —
+    /// the non-panicking form `faults` builds use to cross-check the
+    /// injector's own masked/silent classification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the (slot, reg) pair is unallocated.
+    pub fn matches(&self, slot: WarpSlot, reg: usize, decompressed: &WarpRegister) -> bool {
+        self.reg(slot, reg) == decompressed
+    }
+
     /// Asserts that a decompressed read matches the shadow bit-exactly.
     ///
     /// # Panics

@@ -43,6 +43,17 @@ pub enum SimError {
     },
     /// Register file rejected an allocation (geometry exhausted).
     RegFile(RegFileError),
+    /// An operand read failed: the stored form was structurally corrupt,
+    /// or register protection flagged an uncorrectable bit error (only
+    /// reachable with fault injection armed).
+    Read {
+        /// Warp slot whose read failed.
+        slot: usize,
+        /// Architectural register index.
+        reg: usize,
+        /// The underlying register-file failure.
+        source: gpu_regfile::ReadError,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -59,6 +70,9 @@ impl fmt::Display for SimError {
                 "block needs {warps_needed} warps but only {slots_available} slots fit this kernel"
             ),
             SimError::RegFile(e) => write!(f, "register file: {e}"),
+            SimError::Read { slot, reg, source } => {
+                write!(f, "read of slot {slot} r{reg} failed: {source}")
+            }
         }
     }
 }
@@ -68,6 +82,7 @@ impl Error for SimError {
         match self {
             SimError::Memory(m) => Some(m),
             SimError::RegFile(e) => Some(e),
+            SimError::Read { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -150,6 +165,43 @@ impl GpuSim {
         observer: &mut dyn FnMut(&WriteEvent),
     ) -> Result<SimResult, SimError> {
         Engine::new(&self.cfg, kernel, launch, memory, range, observer)?.run()
+    }
+
+    /// Runs a kernel with the given fault injector armed in the register
+    /// file. Unlike [`run`](Self::run), the fault event log is returned
+    /// even when the simulation fails — a detected uncorrectable error
+    /// surfaces as `Err(SimError::Read { .. })` *and* the log records the
+    /// detection, so campaigns can account for every injected fault.
+    #[cfg(feature = "faults")]
+    pub fn run_faulted(
+        &self,
+        kernel: &Kernel,
+        launch: &LaunchConfig,
+        memory: &mut GlobalMemory,
+        injector: gpu_faults::FaultInjector,
+    ) -> (Result<SimResult, SimError>, gpu_faults::FaultLog) {
+        let mut observer = |_: &WriteEvent| {};
+        let engine = Engine::new(
+            self.config(),
+            kernel,
+            launch,
+            memory,
+            0..launch.blocks(),
+            &mut observer,
+        );
+        match engine {
+            Ok(mut engine) => {
+                engine.regfile.arm_faults(injector);
+                let result = engine.run_loop();
+                let log = engine
+                    .regfile
+                    .take_fault_log()
+                    .expect("injector armed above");
+                (result, log)
+            }
+            // Launch never started: every planned fault is untriggered.
+            Err(e) => (Err(e), injector.finish()),
+        }
     }
 }
 
@@ -297,12 +349,19 @@ impl<'a> Engine<'a> {
     }
 
     fn run(mut self) -> Result<SimResult, SimError> {
+        self.run_loop()
+    }
+
+    /// The main cycle loop, separated from [`run`](Self::run) so
+    /// `run_faulted` can recover the fault log from the register file
+    /// after an `Err` return.
+    fn run_loop(&mut self) -> Result<SimResult, SimError> {
         self.launch_blocks()?;
         while !self.is_done() {
             self.ports.begin_cycle();
             self.comp_starts = 0;
             self.decomp_starts = 0;
-            self.writeback_stage();
+            self.writeback_stage()?;
             self.collector_stage()?;
             self.issue_stage();
             if self.cfg.census_interval > 0 && self.now.is_multiple_of(self.cfg.census_interval) {
@@ -323,7 +382,9 @@ impl<'a> Engine<'a> {
         self.stats.cycles = self.now;
         self.stats.regfile = self.regfile.stats(self.now);
         self.stats.gating = self.cfg.regfile.gating;
-        Ok(SimResult { stats: self.stats })
+        Ok(SimResult {
+            stats: mem::take(&mut self.stats),
+        })
     }
 
     fn is_done(&self) -> bool {
@@ -552,7 +613,7 @@ impl<'a> Engine<'a> {
             let Some(mut c) = self.collectors[ci].take() else {
                 continue;
             };
-            self.fetch_operands(&mut c);
+            self.fetch_operands(&mut c)?;
             if c.fetches.iter().all(|f| f.value.is_some()) {
                 self.dispatch(c)?;
                 self.last_progress = self.now;
@@ -563,7 +624,7 @@ impl<'a> Engine<'a> {
         Ok(())
     }
 
-    fn fetch_operands(&mut self, c: &mut Collector) {
+    fn fetch_operands(&mut self, c: &mut Collector) -> Result<(), SimError> {
         let cluster = c.slot % self.cfg.regfile.num_clusters();
         let bank_base = cluster * self.cfg.regfile.banks_per_cluster;
         for f in c.fetches.iter_mut().filter(|f| f.value.is_none()) {
@@ -581,10 +642,39 @@ impl<'a> Engine<'a> {
                 self.stats.collector_retry_cycles += 1;
                 continue;
             }
-            let read = self.regfile.read(WarpSlot(c.slot), f.reg, self.now);
-            let value = self.codec.decompress(read.register);
+            let sample = self
+                .regfile
+                .try_read(WarpSlot(c.slot), f.reg, self.now)
+                .map_err(|source| SimError::Read {
+                    slot: c.slot,
+                    reg: f.reg,
+                    source,
+                })?;
+            let value =
+                self.codec
+                    .try_decompress(&sample.register)
+                    .map_err(|e| SimError::Read {
+                        slot: c.slot,
+                        reg: f.reg,
+                        source: gpu_regfile::ReadError::Corrupted(e),
+                    })?;
             #[cfg(feature = "sanitize")]
-            self.shadow.check_read(WarpSlot(c.slot), f.reg, &value);
+            {
+                use gpu_regfile::FaultDisposition;
+                if sample.fault == Some(FaultDisposition::SilentCorruption) {
+                    // The injector claims the delivered value is wrong;
+                    // the shadow must agree, or the classification lies.
+                    assert!(
+                        !self.shadow.matches(WarpSlot(c.slot), f.reg, &value),
+                        "sanitize: injector reported silent corruption of slot {} r{} \
+                         but the delivered value matches the shadow",
+                        c.slot,
+                        f.reg,
+                    );
+                } else {
+                    self.shadow.check_read(WarpSlot(c.slot), f.reg, &value);
+                }
+            }
             f.value = Some(value);
             if compressed {
                 self.decomp_starts += 1;
@@ -594,6 +684,7 @@ impl<'a> Engine<'a> {
                     .max(self.cfg.compression.decompression_latency);
             }
         }
+        Ok(())
     }
 
     fn dispatch(&mut self, c: Collector) -> Result<(), SimError> {
@@ -712,11 +803,11 @@ impl<'a> Engine<'a> {
     // Writeback: merge → compress → bank write
     // -----------------------------------------------------------------
 
-    fn writeback_stage(&mut self) {
+    fn writeback_stage(&mut self) -> Result<(), SimError> {
         let entries = mem::take(&mut self.writebacks);
         for mut e in entries {
             loop {
-                match self.step_writeback(&mut e) {
+                match self.step_writeback(&mut e)? {
                     StepOutcome::Progress => continue,
                     StepOutcome::Stalled => {
                         self.writebacks.push(e);
@@ -729,16 +820,17 @@ impl<'a> Engine<'a> {
                 }
             }
         }
+        Ok(())
     }
 
-    fn step_writeback(&mut self, e: &mut WbEntry) -> StepOutcome {
+    fn step_writeback(&mut self, e: &mut WbEntry) -> Result<StepOutcome, SimError> {
         let comp = &self.cfg.compression;
         match &e.state {
             WbState::Await { done_at } => {
                 if self.now < *done_at {
-                    return StepOutcome::Stalled;
+                    return Ok(StepOutcome::Stalled);
                 }
-                self.merge_result(e);
+                self.merge_result(e)?;
                 let skip_compressor = !comp.is_enabled()
                     || e.synthetic
                     || (e.divergent && comp.divergence == DivergencePolicy::UncompressedWrites);
@@ -750,11 +842,11 @@ impl<'a> Engine<'a> {
                 } else {
                     WbState::NeedCompressor
                 };
-                StepOutcome::Progress
+                Ok(StepOutcome::Progress)
             }
             WbState::NeedCompressor => {
                 if self.comp_starts >= comp.num_compressors {
-                    return StepOutcome::Stalled;
+                    return Ok(StepOutcome::Stalled);
                 }
                 self.comp_starts += 1;
                 self.stats.compressor_activations += 1;
@@ -763,33 +855,33 @@ impl<'a> Engine<'a> {
                     done_at: self.now + comp.compression_latency,
                     compressed,
                 };
-                StepOutcome::Progress
+                Ok(StepOutcome::Progress)
             }
             WbState::Compressing {
                 done_at,
                 compressed,
             } => {
                 if self.now < *done_at {
-                    return StepOutcome::Stalled;
+                    return Ok(StepOutcome::Stalled);
                 }
                 e.state = WbState::Ready {
                     compressed: *compressed,
                     not_before: self.now,
                 };
-                StepOutcome::Progress
+                Ok(StepOutcome::Progress)
             }
             WbState::Ready {
                 compressed,
                 not_before,
             } => {
                 if self.now < *not_before {
-                    return StepOutcome::Stalled;
+                    return Ok(StepOutcome::Stalled);
                 }
                 let cluster = e.slot % self.cfg.regfile.num_clusters();
                 let bank_base = cluster * self.cfg.regfile.banks_per_cluster;
                 let banks = compressed.banks_required();
                 if !self.ports.try_write(bank_base..bank_base + banks) {
-                    return StepOutcome::Stalled;
+                    return Ok(StepOutcome::Stalled);
                 }
                 match self
                     .regfile
@@ -799,14 +891,14 @@ impl<'a> Engine<'a> {
                         #[cfg(feature = "sanitize")]
                         self.shadow.record_write(WarpSlot(e.slot), e.reg, &e.result);
                         self.retire_write(e, compressed.is_compressed());
-                        StepOutcome::Retired
+                        Ok(StepOutcome::Retired)
                     }
                     Err(WriteError::NotReady { ready_at }) => {
                         e.state = WbState::Ready {
                             compressed: *compressed,
                             not_before: ready_at,
                         };
-                        StepOutcome::Stalled
+                        Ok(StepOutcome::Stalled)
                     }
                     Err(WriteError::Unallocated) => {
                         unreachable!("warp cannot drain with writes in flight")
@@ -818,9 +910,14 @@ impl<'a> Engine<'a> {
 
     /// Folds the old register value into the inactive lanes of a partial
     /// write, charging energy according to the divergence policy.
-    fn merge_result(&mut self, e: &mut WbEntry) {
+    ///
+    /// The merge read deliberately bypasses the fault injector: the
+    /// injection point is operand fetch, and a pending corruption of the
+    /// destination is about to be overwritten (the injector resolves it
+    /// as masked on the subsequent write).
+    fn merge_result(&mut self, e: &mut WbEntry) -> Result<(), SimError> {
         if e.mask == u32::MAX {
-            return;
+            return Ok(());
         }
         let comp = &self.cfg.compression;
         let use_counted_read = comp.is_enabled()
@@ -834,18 +931,42 @@ impl<'a> Engine<'a> {
             if read.register.is_compressed() {
                 self.stats.decompressor_activations += 1;
             }
-            self.codec.decompress(read.register)
+            let register = *read.register;
+            self.try_decompress(e.slot, e.reg, &register)?
         } else {
             // Per-lane write enables: merging costs nothing.
-            let stored = self
-                .regfile
-                .peek(WarpSlot(e.slot), e.reg)
-                .expect("destination register is allocated");
-            self.codec.decompress(stored)
+            let stored =
+                self.regfile
+                    .peek(WarpSlot(e.slot), e.reg)
+                    .copied()
+                    .ok_or(SimError::Read {
+                        slot: e.slot,
+                        reg: e.reg,
+                        source: gpu_regfile::ReadError::Unallocated,
+                    })?;
+            self.try_decompress(e.slot, e.reg, &stored)?
         };
         #[cfg(feature = "sanitize")]
         self.shadow.check_read(WarpSlot(e.slot), e.reg, &old);
         e.result = old.merge_masked(&e.result, e.mask);
+        Ok(())
+    }
+
+    /// Decode with the stored-form validation of [`BdiCodec::try_decompress`],
+    /// lifting failures into [`SimError::Read`].
+    fn try_decompress(
+        &self,
+        slot: usize,
+        reg: usize,
+        stored: &CompressedRegister,
+    ) -> Result<WarpRegister, SimError> {
+        self.codec
+            .try_decompress(stored)
+            .map_err(|e| SimError::Read {
+                slot,
+                reg,
+                source: gpu_regfile::ReadError::Corrupted(e),
+            })
     }
 
     fn retire_write(&mut self, e: &WbEntry, compressed: bool) {
@@ -1201,6 +1322,58 @@ mod tests {
         let fast = run_at(2, 1);
         let slow = run_at(8, 8);
         assert!(slow >= fast, "slow {slow} < fast {fast}");
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn run_faulted_accounts_for_every_fault_and_is_deterministic() {
+        use gpu_faults::{FaultInjector, FaultPlan, ProtectionModel};
+        let kernel = affine_kernel();
+        let run_once = || {
+            let plan = FaultPlan::generate(7, 16, 64);
+            let inj = FaultInjector::new(plan, ProtectionModel::SecDed, true);
+            let mut mem = GlobalMemory::zeroed(128);
+            GpuSim::new(GpuConfig::warped_compression()).run_faulted(
+                &kernel,
+                &LaunchConfig::new(2, 64),
+                &mut mem,
+                inj,
+            )
+        };
+        let (r1, log1) = run_once();
+        let (r2, log2) = run_once();
+        assert_eq!(r1, r2, "same plan must give the same outcome");
+        assert_eq!(log1, log2, "same plan must give the same fault log");
+        assert_eq!(log1.events.len(), 16, "every planned fault resolves");
+        // SEC-DED: nothing slips through silently.
+        assert_eq!(log1.silent(), 0);
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn run_faulted_unprotected_still_completes_or_reports() {
+        use gpu_faults::{FaultInjector, FaultPlan, ProtectionModel};
+        let kernel = affine_kernel();
+        let plan = FaultPlan::generate(42, 32, 128);
+        let inj = FaultInjector::new(plan, ProtectionModel::Unprotected, false);
+        let mut mem = GlobalMemory::zeroed(128);
+        let (result, log) = GpuSim::new(GpuConfig::warped_compression()).run_faulted(
+            &kernel,
+            &LaunchConfig::new(2, 64),
+            &mut mem,
+            inj,
+        );
+        assert_eq!(log.events.len(), 32);
+        // Unprotected: nothing is ever corrected or flagged.
+        assert_eq!(log.corrected() + log.detected(), 0);
+        if let Err(e) = result {
+            // A corrupted stored form may fail decode, and a silently
+            // corrupted address register may fault in memory downstream.
+            assert!(
+                matches!(e, SimError::Read { .. } | SimError::Memory(_)),
+                "unexpected: {e}"
+            );
+        }
     }
 
     #[test]
