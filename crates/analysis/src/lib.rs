@@ -50,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod absint;
 pub mod cfg;
 pub mod dataflow;
 pub mod lint;
@@ -57,6 +58,10 @@ pub mod liveness;
 
 use simt_isa::{ControlFlow, Instruction, Kernel};
 
+pub use absint::{
+    interpret, AbsVal, AbsintAnalysis, BranchVerdict, KernelPrediction, LaunchInfo, Range,
+    SitePrediction,
+};
 pub use cfg::{BasicBlock, Cfg};
 pub use dataflow::{DefSite, ReachingDefs, RegSet};
 pub use lint::{Diagnostic, LintKind, LintReport, Severity};
@@ -72,29 +77,51 @@ pub struct KernelAnalysis {
     /// Liveness statistics; `None` when structural errors made the
     /// dataflow passes meaningless (bad targets, fall-off-the-end, …).
     pub liveness: Option<LivenessSummary>,
+    /// Static compressibility prediction from the warp-value abstract
+    /// interpretation; `None` under the same structural-error
+    /// conditions as `liveness`.
+    pub prediction: Option<KernelPrediction>,
 }
 
 /// Analyses a validated kernel.
 ///
 /// Structural lints cannot fire here (construction already enforces
 /// them), but all dataflow and divergence lints apply, and
-/// `liveness` is always `Some`.
+/// `liveness` and `prediction` are always `Some`.
 pub fn analyze(kernel: &Kernel) -> KernelAnalysis {
     analyze_instrs(kernel.name(), kernel.instrs(), kernel.num_regs())
+}
+
+/// Like [`analyze`], with launch facts sharpening the abstract
+/// interpretation (concrete parameters and grid geometry).
+pub fn analyze_with_launch(kernel: &Kernel, launch: Option<&LaunchInfo>) -> KernelAnalysis {
+    analyze_instrs_with_launch(kernel.name(), kernel.instrs(), kernel.num_regs(), launch)
 }
 
 /// Analyses a raw, possibly invalid instruction sequence.
 ///
 /// Structural checks run first; if any fail, the dataflow passes are
-/// skipped (their results would be meaningless) and `liveness` is
-/// `None`.
+/// skipped (their results would be meaningless) and `liveness` and
+/// `prediction` are `None`.
 pub fn analyze_instrs(name: &str, instrs: &[Instruction], num_regs: u8) -> KernelAnalysis {
+    analyze_instrs_with_launch(name, instrs, num_regs, None)
+}
+
+/// Like [`analyze_instrs`], with launch facts for the abstract
+/// interpretation.
+pub fn analyze_instrs_with_launch(
+    name: &str,
+    instrs: &[Instruction],
+    num_regs: u8,
+    launch: Option<&LaunchInfo>,
+) -> KernelAnalysis {
     let mut diags = Vec::new();
     structural_lints(instrs, num_regs, &mut diags);
     if !diags.is_empty() {
         return KernelAnalysis {
             report: LintReport::new(name, diags),
             liveness: None,
+            prediction: None,
         };
     }
 
@@ -107,6 +134,9 @@ pub fn analyze_instrs(name: &str, instrs: &[Instruction], num_regs: u8) -> Kerne
     let lv = Liveness::compute(instrs, &cfg);
     dead_write_lints(instrs, &cfg, &lv, &mut diags);
 
+    let absint = interpret(name, instrs, usize::from(num_regs), &cfg, launch);
+    uniform_branch_lints(&absint.prediction, &mut diags);
+
     // Stable order: whole-kernel findings first, then by pc.
     diags.sort_by_key(|d| d.pc.map_or((0, 0), |pc| (1, pc)));
 
@@ -114,6 +144,24 @@ pub fn analyze_instrs(name: &str, instrs: &[Instruction], num_regs: u8) -> Kerne
     KernelAnalysis {
         report: LintReport::new(name, diags),
         liveness: Some(liveness),
+        prediction: Some(absint.prediction),
+    }
+}
+
+/// Info-severity findings for branches whose condition is provably
+/// warp-uniform: the hardware never diverges on them, so the SIMT
+/// stack push and the divergent-write compression penalty are both
+/// avoidable.
+fn uniform_branch_lints(prediction: &KernelPrediction, diags: &mut Vec<Diagnostic>) {
+    for v in &prediction.branches {
+        if v.uniform {
+            diags.push(Diagnostic::new(
+                LintKind::UniformBranch,
+                Some(v.pc),
+                None,
+                "branch condition is provably warp-uniform: this branch never diverges".into(),
+            ));
+        }
     }
 }
 

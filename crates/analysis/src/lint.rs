@@ -9,9 +9,13 @@ use serde::{Deserialize, Serialize};
 /// Errors describe kernels the simulator would mis-execute or hang on
 /// (invalid targets, unreachable `exit`, divergence deadlock); warnings
 /// describe well-defined but almost-certainly-buggy code (reads of
-/// never-written registers, dead writes, unreachable instructions).
+/// never-written registers, dead writes, unreachable instructions);
+/// info findings are observations that are not problems at all (e.g. a
+/// provably warp-uniform branch the hardware never diverges on).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Severity {
+    /// A fact worth surfacing, not a defect.
+    Info,
     /// Suspicious but well-defined.
     Warning,
     /// Structurally broken.
@@ -21,6 +25,7 @@ pub enum Severity {
 impl fmt::Display for Severity {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
+            Severity::Info => "info",
             Severity::Warning => "warning",
             Severity::Error => "error",
         })
@@ -55,6 +60,10 @@ pub enum LintKind {
     /// A branch inside a divergence region reconverges *outside* that
     /// region, breaking stack-ordered (properly nested) reconvergence.
     ReconvergenceEscape,
+    /// A branch whose condition is provably warp-uniform under the
+    /// abstract warp-value domain: every lane takes the same side, so
+    /// the branch never diverges at runtime.
+    UniformBranch,
 }
 
 impl LintKind {
@@ -71,6 +80,7 @@ impl LintKind {
             LintKind::UnreachableCode | LintKind::UseBeforeDef | LintKind::DeadWrite => {
                 Severity::Warning
             }
+            LintKind::UniformBranch => Severity::Info,
         }
     }
 
@@ -87,6 +97,7 @@ impl LintKind {
             LintKind::DeadWrite => "dead-write",
             LintKind::DivergenceDeadlock => "divergence-deadlock",
             LintKind::ReconvergenceEscape => "reconvergence-escape",
+            LintKind::UniformBranch => "uniform-branch",
         }
     }
 }
@@ -150,9 +161,13 @@ impl LintReport {
         }
     }
 
-    /// Whether no lint fired at all.
+    /// Whether no warning- or error-severity lint fired. Info findings
+    /// (e.g. `uniform-branch`) are observations, not defects, and do not
+    /// make a kernel unclean.
     pub fn is_clean(&self) -> bool {
-        self.diagnostics.is_empty()
+        self.diagnostics
+            .iter()
+            .all(|d| d.severity == Severity::Info)
     }
 
     /// Number of error-severity findings.
@@ -168,6 +183,14 @@ impl LintReport {
         self.diagnostics
             .iter()
             .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
+
+    /// Number of info-severity findings.
+    pub fn info_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Info)
             .count()
     }
 
@@ -188,8 +211,29 @@ mod tests {
 
     #[test]
     fn severity_orders_and_prints() {
+        assert!(Severity::Info < Severity::Warning);
         assert!(Severity::Warning < Severity::Error);
         assert_eq!(Severity::Error.to_string(), "error");
+        assert_eq!(Severity::Info.to_string(), "info");
+    }
+
+    #[test]
+    fn info_findings_do_not_dirty_a_report() {
+        let r = LintReport::new(
+            "k",
+            vec![Diagnostic::new(
+                LintKind::UniformBranch,
+                Some(2),
+                None,
+                "never diverges".into(),
+            )],
+        );
+        assert!(r.is_clean());
+        assert_eq!(r.info_count(), 1);
+        assert_eq!(r.warning_count(), 0);
+        assert_eq!(r.error_count(), 0);
+        assert_eq!(LintKind::UniformBranch.severity(), Severity::Info);
+        assert_eq!(LintKind::UniformBranch.name(), "uniform-branch");
     }
 
     #[test]

@@ -114,6 +114,101 @@ impl FromIterator<FixedChoice> for ChoiceSet {
     }
 }
 
+/// The four-way compression-class taxonomy of the paper: which of the
+/// three runtime ⟨4,·⟩ choices a warp register landed in, or none.
+///
+/// This is the vocabulary shared by the codec (what a register *was*
+/// stored as), the Fig. 5 explorer (what the best full-BDI choice *would
+/// have been*) and the static predictor in `simt-analysis` (what a write
+/// site *must* compress to on every execution). Variants are ordered by
+/// bank footprint, so `Ord` means "at most as expensive as" and
+/// `a.max(b)` is the conservative join of two observations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CompressionClass {
+    /// ⟨4,0⟩ — all 32 lanes identical; 1 bank.
+    Delta0,
+    /// ⟨4,1⟩ — deltas from lane 0 fit a signed byte; 3 banks.
+    Delta1,
+    /// ⟨4,2⟩ — deltas from lane 0 fit a signed 16-bit value; 5 banks.
+    Delta2,
+    /// No runtime choice fits; the register occupies all 8 banks.
+    Uncompressed,
+}
+
+impl CompressionClass {
+    /// All four classes, cheapest bank footprint first.
+    pub const ALL: [CompressionClass; 4] = [
+        CompressionClass::Delta0,
+        CompressionClass::Delta1,
+        CompressionClass::Delta2,
+        CompressionClass::Uncompressed,
+    ];
+
+    /// Number of 16-byte register banks a register of this class occupies
+    /// (§5: 1, 3, 5 or all 8).
+    pub fn banks(self) -> usize {
+        match self {
+            CompressionClass::Delta0 => 1,
+            CompressionClass::Delta1 => 3,
+            CompressionClass::Delta2 => 5,
+            CompressionClass::Uncompressed => 8,
+        }
+    }
+
+    /// Stable lower-case label, used in reports and JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            CompressionClass::Delta0 => "delta0",
+            CompressionClass::Delta1 => "delta1",
+            CompressionClass::Delta2 => "delta2",
+            CompressionClass::Uncompressed => "uncompressed",
+        }
+    }
+
+    /// Whether this class denotes a compressed register.
+    pub fn is_compressed(self) -> bool {
+        self != CompressionClass::Uncompressed
+    }
+}
+
+impl fmt::Display for CompressionClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl From<FixedChoice> for CompressionClass {
+    fn from(choice: FixedChoice) -> Self {
+        match choice {
+            FixedChoice::Delta0 => CompressionClass::Delta0,
+            FixedChoice::Delta1 => CompressionClass::Delta1,
+            FixedChoice::Delta2 => CompressionClass::Delta2,
+        }
+    }
+}
+
+impl From<CompressionIndicator> for CompressionClass {
+    fn from(ind: CompressionIndicator) -> Self {
+        match ind {
+            CompressionIndicator::Uncompressed => CompressionClass::Uncompressed,
+            CompressionIndicator::Delta0 => CompressionClass::Delta0,
+            CompressionIndicator::Delta1 => CompressionClass::Delta1,
+            CompressionIndicator::Delta2 => CompressionClass::Delta2,
+        }
+    }
+}
+
+impl From<CompressionClass> for CompressionIndicator {
+    fn from(class: CompressionClass) -> Self {
+        match class {
+            CompressionClass::Uncompressed => CompressionIndicator::Uncompressed,
+            CompressionClass::Delta0 => CompressionIndicator::Delta0,
+            CompressionClass::Delta1 => CompressionIndicator::Delta1,
+            CompressionClass::Delta2 => CompressionIndicator::Delta2,
+        }
+    }
+}
+
 /// The 2-bit compression-range indicator kept per warp register in the
 /// bank arbiter (§4): tells the arbiter how many banks hold the register.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -157,12 +252,12 @@ impl CompressionIndicator {
     /// Number of register banks the arbiter must access for a register in
     /// this state (§5: 1, 3, 5 or all 8).
     pub fn banks_accessed(self) -> usize {
-        match self {
-            CompressionIndicator::Uncompressed => 8,
-            CompressionIndicator::Delta0 => 1,
-            CompressionIndicator::Delta1 => 3,
-            CompressionIndicator::Delta2 => 5,
-        }
+        self.class().banks()
+    }
+
+    /// The compression class this indicator denotes.
+    pub fn class(self) -> CompressionClass {
+        CompressionClass::from(self)
     }
 
     /// Maps a layout back to its indicator, if it is one of the three
@@ -252,5 +347,38 @@ mod tests {
     #[test]
     fn display_uses_paper_notation() {
         assert_eq!(FixedChoice::Delta1.to_string(), "<4,1>");
+    }
+
+    #[test]
+    fn class_banks_match_indicator() {
+        for ind in [
+            CompressionIndicator::Uncompressed,
+            CompressionIndicator::Delta0,
+            CompressionIndicator::Delta1,
+            CompressionIndicator::Delta2,
+        ] {
+            assert_eq!(ind.class().banks(), ind.banks_accessed());
+            assert_eq!(CompressionIndicator::from(ind.class()), ind);
+        }
+    }
+
+    #[test]
+    fn class_order_is_footprint_order() {
+        let banks: Vec<usize> = CompressionClass::ALL.iter().map(|c| c.banks()).collect();
+        assert!(banks.windows(2).all(|w| w[0] < w[1]));
+        assert!(CompressionClass::Delta0 < CompressionClass::Uncompressed);
+        assert_eq!(
+            CompressionClass::Delta1.max(CompressionClass::Delta2),
+            CompressionClass::Delta2
+        );
+    }
+
+    #[test]
+    fn class_names_are_stable() {
+        assert_eq!(CompressionClass::Delta0.name(), "delta0");
+        assert_eq!(CompressionClass::Uncompressed.to_string(), "uncompressed");
+        assert!(CompressionClass::Delta2.is_compressed());
+        assert!(!CompressionClass::Uncompressed.is_compressed());
+        assert_eq!(CompressionClass::from(FixedChoice::Delta2).banks(), 5);
     }
 }

@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::choice::CompressionIndicator;
+use crate::choice::{CompressionClass, CompressionIndicator};
 use crate::deltas::DeltaArray;
 use crate::error::DecodeError;
 use crate::layout::{ChunkLayout, BANK_BYTES};
@@ -76,6 +76,14 @@ impl CompressedRegister {
         }
     }
 
+    /// The compression class of the stored form — the shared taxonomy the
+    /// static predictor in `simt-analysis` is validated against. Follows
+    /// [`indicator`](Self::indicator): explorer-only 8-byte-base layouts
+    /// class as `Uncompressed` since the hardware never stores them.
+    pub fn class(&self) -> CompressionClass {
+        self.indicator().class()
+    }
+
     /// Structural validity check: the delta count must match the layout's
     /// chunk count − 1.
     ///
@@ -138,5 +146,18 @@ mod tests {
             deltas: DeltaArray::filled(15, 0),
         };
         assert_eq!(c.indicator(), CompressionIndicator::Uncompressed);
+        assert_eq!(c.class(), CompressionClass::Uncompressed);
+    }
+
+    #[test]
+    fn class_matches_banks_required_for_runtime_choices() {
+        let layout = ChunkLayout::new(BaseSize::B4, 2).unwrap();
+        let c = CompressedRegister::Compressed {
+            layout,
+            base: 7,
+            deltas: DeltaArray::filled(31, -3),
+        };
+        assert_eq!(c.class(), CompressionClass::Delta2);
+        assert_eq!(c.class().banks(), c.banks_required());
     }
 }

@@ -47,7 +47,7 @@ pub mod fpc;
 mod layout;
 mod register;
 
-pub use choice::{ChoiceSet, CompressionIndicator, FixedChoice};
+pub use choice::{ChoiceSet, CompressionClass, CompressionIndicator, FixedChoice};
 pub use codec::BdiCodec;
 pub use compressed::CompressedRegister;
 pub use deltas::{DeltaArray, MAX_STORED_DELTAS};

@@ -1,0 +1,224 @@
+//! Hand-rolled, deterministic JSON rendering of static-analysis and
+//! compressibility-prediction reports.
+//!
+//! `wcsim analyze --json` and `wcsim predict` write machine-readable
+//! reports (`results/BENCH_predict.json`) that CI archives and diffs
+//! across runs, so the rendering follows the same discipline as
+//! [`crate::fault_json`]: fixed key order, no maps, floats through
+//! Rust's shortest-round-trip formatter.
+
+use simt_analysis::KernelAnalysis;
+use warped_compression::PredictReport;
+
+use crate::jsonfmt::esc;
+
+/// One kernel's analysis fragment: lint findings, liveness summary and
+/// the static compressibility prediction.
+pub fn analysis_record_json(name: &str, a: &KernelAnalysis) -> String {
+    let mut out = String::new();
+    out.push_str("    {\n");
+    out.push_str(&format!("      \"kernel\": \"{}\",\n", esc(name)));
+    out.push_str("      \"diagnostics\": [\n");
+    for (i, d) in a.report.diagnostics.iter().enumerate() {
+        let comma = if i + 1 < a.report.diagnostics.len() {
+            ","
+        } else {
+            ""
+        };
+        out.push_str(&format!(
+            "        {{\"kind\": \"{}\", \"severity\": \"{}\", \"pc\": {}, \
+             \"reg\": {}, \"message\": \"{}\"}}{comma}\n",
+            d.kind.name(),
+            d.severity,
+            opt_num(d.pc.map(|p| p as u64)),
+            opt_num(d.reg.map(u64::from)),
+            esc(&d.message),
+        ));
+    }
+    out.push_str("      ],\n");
+    match &a.liveness {
+        Some(l) => {
+            let hist: Vec<String> = l.histogram.iter().map(|h| h.to_string()).collect();
+            out.push_str(&format!(
+                "      \"liveness\": {{\"num_regs\": {}, \"max_live\": {}, \
+                 \"avg_live\": {}, \"histogram\": [{}]}},\n",
+                l.num_regs,
+                l.max_live,
+                l.avg_live,
+                hist.join(", "),
+            ));
+        }
+        None => out.push_str("      \"liveness\": null,\n"),
+    }
+    match &a.prediction {
+        Some(p) => {
+            out.push_str("      \"prediction\": {\n");
+            out.push_str("        \"sites\": [\n");
+            for (i, s) in p.sites.iter().enumerate() {
+                let comma = if i + 1 < p.sites.len() { "," } else { "" };
+                out.push_str(&format!(
+                    "          {{\"pc\": {}, \"reg\": {}, \"class\": \"{}\", \
+                     \"banks\": {}, \"divergent_region\": {}, \"value\": \"{}\"}}{comma}\n",
+                    s.pc,
+                    s.reg,
+                    s.class.name(),
+                    s.class.banks(),
+                    s.divergent_region,
+                    esc(&s.value.to_string()),
+                ));
+            }
+            out.push_str("        ],\n");
+            out.push_str("        \"branches\": [\n");
+            for (i, b) in p.branches.iter().enumerate() {
+                let comma = if i + 1 < p.branches.len() { "," } else { "" };
+                out.push_str(&format!(
+                    "          {{\"pc\": {}, \"uniform\": {}}}{comma}\n",
+                    b.pc, b.uniform
+                ));
+            }
+            out.push_str("        ],\n");
+            out.push_str(&format!(
+                "        \"informative_fraction\": {},\n",
+                p.informative_fraction()
+            ));
+            out.push_str(&format!(
+                "        \"compressed_fraction\": {},\n",
+                p.compressed_fraction()
+            ));
+            out.push_str(&format!(
+                "        \"min_gateable_banks\": {}\n",
+                p.min_gateable_banks()
+            ));
+            out.push_str("      }\n");
+        }
+        None => out.push_str("      \"prediction\": null\n"),
+    }
+    out.push_str("    }");
+    out
+}
+
+/// The whole `analyze --json` document.
+pub fn analysis_json(entries: &[(String, KernelAnalysis)]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"kernels\": [\n");
+    for (i, (name, a)) in entries.iter().enumerate() {
+        out.push_str(&analysis_record_json(name, a));
+        out.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// One kernel's static-vs-dynamic validation fragment.
+pub fn predict_record_json(r: &PredictReport) -> String {
+    let mut out = String::new();
+    out.push_str("    {\n");
+    out.push_str(&format!("      \"kernel\": \"{}\",\n", esc(&r.kernel)));
+    out.push_str("      \"sites\": [\n");
+    for (i, s) in r.sites.iter().enumerate() {
+        let comma = if i + 1 < r.sites.len() { "," } else { "" };
+        let (measured, measured_banks) = match s.measured {
+            Some(m) => (format!("\"{}\"", m.name()), m.banks().to_string()),
+            None => ("null".into(), "null".into()),
+        };
+        out.push_str(&format!(
+            "        {{\"pc\": {}, \"reg\": {}, \"predicted\": \"{}\", \
+             \"predicted_banks\": {}, \"measured\": {measured}, \
+             \"measured_banks\": {measured_banks}, \"executions\": {}, \
+             \"outcome\": \"{}\"}}{comma}\n",
+            s.pc,
+            s.reg,
+            s.predicted.name(),
+            s.predicted.banks(),
+            s.executions,
+            s.outcome.label(),
+        ));
+    }
+    out.push_str("      ],\n");
+    out.push_str(&format!(
+        "      \"outcomes\": {{\"exact\": {}, \"conservative\": {}, \
+         \"unsound_miss\": {}}},\n",
+        r.exact_count(),
+        r.conservative_count(),
+        r.unsound_count(),
+    ));
+    out.push_str(&format!(
+        "      \"exact_fraction\": {},\n",
+        r.exact_fraction()
+    ));
+    out.push_str(&format!(
+        "      \"informative_fraction\": {},\n",
+        r.prediction.informative_fraction()
+    ));
+    out.push_str(&format!(
+        "      \"static_gateable_banks_per_write\": {},\n",
+        r.comparison.static_gateable_banks_per_write
+    ));
+    out.push_str(&format!(
+        "      \"measured_gated_banks_per_write\": {},\n",
+        r.comparison.measured_gated_banks_per_write
+    ));
+    out.push_str(&format!(
+        "      \"gating_headroom\": {},\n",
+        r.comparison.gating_headroom()
+    ));
+    out.push_str(&format!("      \"sound\": {}\n", r.is_sound()));
+    out.push_str("    }");
+    out
+}
+
+/// The whole `BENCH_predict.json` document.
+pub fn predict_json(reports: &[PredictReport]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"kernels\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        out.push_str(&predict_record_json(r));
+        out.push_str(if i + 1 < reports.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn opt_num(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".into(), |v| v.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warped_compression::predict_workload;
+
+    #[test]
+    fn analysis_rendering_is_deterministic() {
+        let render = || {
+            let entries: Vec<(String, KernelAnalysis)> = ["lib", "bfs"]
+                .iter()
+                .map(|n| {
+                    let w = gpu_workloads::by_name(n).unwrap();
+                    (n.to_string(), simt_analysis::analyze(w.kernel()))
+                })
+                .collect();
+            analysis_json(&entries)
+        };
+        let a = render();
+        assert_eq!(a, render(), "analysis JSON must be byte-identical");
+        assert!(a.contains("\"kernel\": \"lib\""));
+        assert!(a.contains("\"liveness\": {"));
+        assert!(a.contains("\"prediction\": {"));
+        assert!(a.contains("\"min_gateable_banks\""));
+    }
+
+    #[test]
+    fn predict_rendering_is_deterministic_and_structured() {
+        let render = || {
+            let w = gpu_workloads::by_name("lib").unwrap();
+            predict_json(&[predict_workload(&w).unwrap()])
+        };
+        let a = render();
+        assert_eq!(a, render(), "predict JSON must be byte-identical");
+        assert!(a.contains("\"kernel\": \"lib\""));
+        assert!(a.contains("\"unsound_miss\": 0"));
+        assert!(a.contains("\"sound\": true"));
+        assert!(a.contains("\"outcome\": \"exact\""));
+    }
+}

@@ -10,19 +10,7 @@
 
 use warped_compression::{KernelFaultReport, RunRecord, RunStatus};
 
-fn esc(s: &str) -> String {
-    s.chars()
-        .flat_map(|c| match c {
-            '"' => "\\\"".chars().collect::<Vec<_>>(),
-            '\\' => "\\\\".chars().collect(),
-            '\n' => "\\n".chars().collect(),
-            '\r' => "\\r".chars().collect(),
-            '\t' => "\\t".chars().collect(),
-            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
-            c => vec![c],
-        })
-        .collect()
-}
+use crate::jsonfmt::esc;
 
 /// One kernel's fragment: the per-kernel checkpoint unit, reused
 /// verbatim on `--resume`.

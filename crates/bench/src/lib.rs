@@ -18,11 +18,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis_json;
 mod campaign;
 mod checkpoint;
 #[cfg(feature = "faults")]
 pub mod fault_json;
 pub mod figures;
+mod jsonfmt;
 mod table;
 
 pub use campaign::{Campaign, DEFAULT_SEED};

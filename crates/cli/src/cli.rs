@@ -47,13 +47,23 @@ pub enum Command {
         /// Design point to simulate.
         design: DesignPoint,
     },
-    /// `wcsim analyze <workload|--all> [--deny-warnings]` — run the
-    /// static verifier and liveness pass without simulating.
+    /// `wcsim analyze <workload|--all> [--deny-warnings] [--json FILE]`
+    /// — run the static verifier and liveness pass without simulating.
     Analyze {
         /// Benchmark name; `None` analyses the whole suite (`--all`).
         workload: Option<String>,
         /// Treat warnings as failures (CI gate).
         deny_warnings: bool,
+        /// Write the full machine-readable report to this path.
+        json: Option<String>,
+    },
+    /// `wcsim predict <workload|--all> [--out FILE]` — static
+    /// compressibility prediction validated against a traced run.
+    Predict {
+        /// Benchmark name; `None` predicts the whole suite (`--all`).
+        workload: Option<String>,
+        /// Report path (default `results/BENCH_predict.json`).
+        out: Option<String>,
     },
     /// `wcsim faults <workload|--all> [--injections N] [--seed S]
     /// [--protection none|parity|secded] [--budget CYCLES]
@@ -99,8 +109,13 @@ USAGE:
   wcsim designs                      list design points for --design
   wcsim run <workload|all> [--design D]
   wcsim compare <workload>           baseline vs warped-compression
-  wcsim analyze <workload|--all> [--deny-warnings]
+  wcsim analyze <workload|--all> [--deny-warnings] [--json FILE]
                                      static lint + liveness report
+  wcsim predict <workload|--all> [--out FILE]
+                                     static compressibility prediction
+                                     joined against a traced run; fails
+                                     on any unsound site (default out:
+                                     results/BENCH_predict.json)
   wcsim faults <workload|--all> [--injections N] [--seed S]
                [--protection none|parity|secded] [--budget CYCLES]
                [--resume DIR] [--out FILE]
@@ -195,9 +210,19 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
         }
         "analyze" => {
             let deny_warnings = rest.contains(&"--deny-warnings");
+            let json = rest
+                .iter()
+                .position(|&a| a == "--json")
+                .map(|i| {
+                    rest.get(i + 1)
+                        .filter(|v| !v.starts_with("--"))
+                        .map(|v| v.to_string())
+                        .ok_or_else(|| ParseError("--json needs a file path".into()))
+                })
+                .transpose()?;
             let workload = rest
                 .iter()
-                .find(|a| !a.starts_with("--"))
+                .find(|a| !a.starts_with("--") && Some(**a) != json.as_deref())
                 .map(|s| s.to_string());
             if workload.is_none() && !rest.contains(&"--all") {
                 return Err(ParseError("analyze needs a workload name or --all".into()));
@@ -205,7 +230,28 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
             Ok(Command::Analyze {
                 workload,
                 deny_warnings,
+                json,
             })
+        }
+        "predict" => {
+            let out = rest
+                .iter()
+                .position(|&a| a == "--out")
+                .map(|i| {
+                    rest.get(i + 1)
+                        .filter(|v| !v.starts_with("--"))
+                        .map(|v| v.to_string())
+                        .ok_or_else(|| ParseError("--out needs a file path".into()))
+                })
+                .transpose()?;
+            let workload = rest
+                .iter()
+                .find(|a| !a.starts_with("--") && Some(**a) != out.as_deref())
+                .map(|s| s.to_string());
+            if workload.is_none() && !rest.contains(&"--all") {
+                return Err(ParseError("predict needs a workload name or --all".into()));
+            }
+            Ok(Command::Predict { workload, out })
         }
         "compare" => {
             let workload = rest
@@ -354,6 +400,7 @@ pub fn run_cli(cmd: &Command, out: &mut dyn fmt::Write) -> Result<(), Box<dyn Er
         Command::Analyze {
             workload,
             deny_warnings,
+            json,
         } => {
             let workloads = match workload {
                 None => gpu_workloads::suite(),
@@ -363,6 +410,7 @@ pub fn run_cli(cmd: &Command, out: &mut dyn fmt::Write) -> Result<(), Box<dyn Er
             let mut errors = 0usize;
             let mut warnings = 0usize;
             let mut rows = Vec::new();
+            let mut entries = Vec::new();
             for w in &workloads {
                 let analysis = simt_analysis::analyze(w.kernel());
                 for d in &analysis.report.diagnostics {
@@ -388,6 +436,7 @@ pub fn run_cli(cmd: &Command, out: &mut dyn fmt::Write) -> Result<(), Box<dyn Er
                     analysis.report.error_count().to_string(),
                     analysis.report.warning_count().to_string(),
                 ]);
+                entries.push((w.name().to_string(), analysis));
             }
             let table = wc_bench::FigureTable::new(
                 "analyze",
@@ -402,12 +451,81 @@ pub fn run_cli(cmd: &Command, out: &mut dyn fmt::Write) -> Result<(), Box<dyn Er
                 rows,
             );
             writeln!(out, "{}", table.to_markdown())?;
+            if let Some(path) = json {
+                write_report(path, &wc_bench::analysis_json::analysis_json(&entries))?;
+                writeln!(out, "report written to {path}")?;
+            }
             if errors > 0 {
                 return Err(format!("analyze found {errors} error(s)").into());
             }
             if *deny_warnings && warnings > 0 {
                 return Err(
                     format!("analyze found {warnings} warning(s) with --deny-warnings").into(),
+                );
+            }
+        }
+        Command::Predict {
+            workload,
+            out: out_file,
+        } => {
+            let workloads = match workload {
+                None => gpu_workloads::suite(),
+                Some(name) => vec![gpu_workloads::by_name(name)
+                    .ok_or_else(|| ParseError(format!("unknown workload `{name}`")))?],
+            };
+            let reports = warped_compression::predict_suite(&workloads)?;
+            let mut rows = Vec::new();
+            let mut unsound_total = 0usize;
+            for r in &reports {
+                unsound_total += r.unsound_count();
+                rows.push(vec![
+                    r.kernel.clone(),
+                    r.sites.len().to_string(),
+                    r.exact_count().to_string(),
+                    r.conservative_count().to_string(),
+                    r.unsound_count().to_string(),
+                    format!("{:.1}%", r.exact_fraction() * 100.0),
+                    format!("{:.1}%", r.prediction.informative_fraction() * 100.0),
+                    format!("{:.2}", r.comparison.static_gateable_banks_per_write),
+                    format!("{:.2}", r.comparison.measured_gated_banks_per_write),
+                ]);
+            }
+            let table = wc_bench::FigureTable::new(
+                "predict",
+                "Static compressibility prediction vs. traced run",
+                [
+                    "kernel",
+                    "sites",
+                    "exact",
+                    "conserv",
+                    "unsound",
+                    "exact%",
+                    "informative%",
+                    "static gate",
+                    "measured gate",
+                ]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+                rows,
+            );
+            writeln!(out, "{}", table.to_markdown())?;
+            let out_path = out_file
+                .clone()
+                .unwrap_or_else(|| "results/BENCH_predict.json".to_string());
+            write_report(&out_path, &wc_bench::analysis_json::predict_json(&reports))?;
+            writeln!(out, "report written to {out_path}")?;
+            // The CI gate: the abstract domain must never under-predict
+            // a stored footprint.
+            if unsound_total > 0 {
+                return Err(format!(
+                    "{unsound_total} write site(s) stored a larger form than statically predicted"
+                )
+                .into());
+            }
+            if let Some(r) = reports.iter().find(|r| !r.is_sound()) {
+                return Err(
+                    format!("kernel `{}` broke the static gateable-bank bound", r.kernel).into(),
                 );
             }
         }
@@ -499,12 +617,7 @@ pub fn run_cli(cmd: &Command, out: &mut dyn fmt::Write) -> Result<(), Box<dyn Er
             let out_path = out_file
                 .clone()
                 .unwrap_or_else(|| "results/BENCH_faults.json".to_string());
-            if let Some(parent) = std::path::Path::new(&out_path).parent() {
-                if !parent.as_os_str().is_empty() {
-                    fs::create_dir_all(parent)?;
-                }
-            }
-            fs::write(&out_path, &doc)?;
+            write_report(&out_path, &doc)?;
 
             let status_refs: Vec<&str> = statuses.iter().map(String::as_str).collect();
             let table = wc_bench::FigureTable::new(
@@ -559,6 +672,17 @@ pub fn run_cli(cmd: &Command, out: &mut dyn fmt::Write) -> Result<(), Box<dyn Er
             writeln!(out, "  mem[0..16]:        {shown:?}")?;
         }
     }
+    Ok(())
+}
+
+/// Writes a rendered report, creating the parent directory if needed.
+fn write_report(path: &str, doc: &str) -> Result<(), Box<dyn Error>> {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    fs::write(path, doc)?;
     Ok(())
 }
 
@@ -662,17 +786,93 @@ mod tests {
             parse(&["analyze", "bfs"]).unwrap(),
             Command::Analyze {
                 workload: Some("bfs".into()),
-                deny_warnings: false
+                deny_warnings: false,
+                json: None,
             }
         );
         assert_eq!(
             parse(&["analyze", "--all", "--deny-warnings"]).unwrap(),
             Command::Analyze {
                 workload: None,
-                deny_warnings: true
+                deny_warnings: true,
+                json: None,
+            }
+        );
+        // The --json value must not be mistaken for a workload name.
+        assert_eq!(
+            parse(&["analyze", "--all", "--json", "report.json"]).unwrap(),
+            Command::Analyze {
+                workload: None,
+                deny_warnings: false,
+                json: Some("report.json".into()),
             }
         );
         assert!(parse(&["analyze"]).is_err());
+        assert!(parse(&["analyze", "--all", "--json"]).is_err());
+    }
+
+    #[test]
+    fn parses_predict_variants() {
+        assert_eq!(
+            parse(&["predict", "lib"]).unwrap(),
+            Command::Predict {
+                workload: Some("lib".into()),
+                out: None,
+            }
+        );
+        assert_eq!(
+            parse(&["predict", "--all", "--out", "p.json"]).unwrap(),
+            Command::Predict {
+                workload: None,
+                out: Some("p.json".into()),
+            }
+        );
+        assert!(parse(&["predict"]).is_err());
+        assert!(parse(&["predict", "--all", "--out"]).is_err());
+    }
+
+    #[test]
+    fn predict_command_reports_and_writes_sound_json() {
+        let dir = std::env::temp_dir().join(format!("wcsim-predict-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("p.json");
+        let mut out = String::new();
+        run_cli(
+            &Command::Predict {
+                workload: Some("lib".into()),
+                out: Some(path.to_string_lossy().into_owned()),
+            },
+            &mut out,
+        )
+        .expect("lib prediction must be sound");
+        assert!(out.contains("| lib |"));
+        assert!(out.contains("report written to"));
+        let doc = fs::read_to_string(&path).unwrap();
+        assert!(doc.contains("\"unsound_miss\": 0"));
+        assert!(doc.contains("\"sound\": true"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn analyze_json_report_is_written_and_deterministic() {
+        let dir = std::env::temp_dir().join(format!("wcsim-analyze-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let (p1, p2) = (dir.join("a.json"), dir.join("b.json"));
+        let cmd = |p: &std::path::Path| Command::Analyze {
+            workload: Some("bfs".into()),
+            deny_warnings: false,
+            json: Some(p.to_string_lossy().into_owned()),
+        };
+        let mut out = String::new();
+        run_cli(&cmd(&p1), &mut out).unwrap();
+        run_cli(&cmd(&p2), &mut out).unwrap();
+        let (a, b) = (fs::read(&p1).unwrap(), fs::read(&p2).unwrap());
+        assert_eq!(a, b, "analysis JSON must be byte-identical across runs");
+        let doc = String::from_utf8(a).unwrap();
+        assert!(doc.contains("\"kernel\": \"bfs\""));
+        assert!(doc.contains("\"liveness\": {"));
+        assert!(doc.contains("\"prediction\": {"));
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -682,6 +882,7 @@ mod tests {
             &Command::Analyze {
                 workload: None,
                 deny_warnings: true,
+                json: None,
             },
             &mut out,
         )
@@ -699,6 +900,7 @@ mod tests {
             &Command::Analyze {
                 workload: Some("bfs".into()),
                 deny_warnings: false,
+                json: None,
             },
             &mut out,
         )
@@ -715,6 +917,7 @@ mod tests {
             &Command::Analyze {
                 workload: Some("nope".into()),
                 deny_warnings: false,
+                json: None,
             },
             &mut out,
         )

@@ -109,7 +109,9 @@ mod tests {
 
     fn event(value: WarpRegister) -> WriteEvent {
         WriteEvent {
+            pc: 0,
             value,
+            class: bdi::CompressionClass::Uncompressed,
             divergent: false,
             synthetic: false,
         }
@@ -151,9 +153,8 @@ mod tests {
     fn synthetic_ignored_and_merge_works() {
         let mut a = ChoiceBreakdown::new();
         a.record(&WriteEvent {
-            value: WarpRegister::splat(0),
-            divergent: false,
             synthetic: true,
+            ..event(WarpRegister::splat(0))
         });
         assert_eq!(a.total(), 0);
         let mut b = ChoiceBreakdown::new();

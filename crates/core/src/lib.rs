@@ -44,6 +44,7 @@ pub mod experiment;
 pub mod explorer;
 #[cfg(feature = "faults")]
 pub mod fault_campaign;
+pub mod predict;
 pub mod resilient;
 pub mod similarity;
 pub mod trace;
@@ -54,6 +55,9 @@ pub use explorer::ChoiceBreakdown;
 #[cfg(feature = "faults")]
 pub use fault_campaign::{
     kernel_seed, run_fault_campaign, run_kernel_faults, KernelFaultReport, DEFAULT_FAULT_SEED,
+};
+pub use predict::{
+    predict_suite, predict_workload, PredictError, PredictReport, SiteOutcome, SiteValidation,
 };
 pub use resilient::{run_many_resilient, run_suite_resilient, RunPolicy, RunRecord, RunStatus};
 pub use similarity::{SimilarityBin, SimilarityHistogram};

@@ -1,0 +1,281 @@
+//! Static-vs-dynamic compressibility validation (`wcsim predict`).
+//!
+//! The abstract interpreter in [`simt_analysis::absint`] assigns every
+//! register write site a worst-case [`CompressionClass`] before the
+//! kernel ever runs. This module runs the kernel under the
+//! warped-compression design point with per-write tracing and joins the
+//! two views per write site:
+//!
+//! * **exact** — the static class matches the worst form the run
+//!   actually stored at that site,
+//! * **conservative** — the static class over-approximates (predicts a
+//!   larger footprint than any stored write needed, or the site never
+//!   executed),
+//! * **unsound miss** — the run stored a form *larger* than the static
+//!   class allows. This must never happen: any occurrence is a bug in
+//!   the abstract domain and is surfaced as a hard error by the CLI.
+
+use bdi::CompressionClass;
+use gpu_power::CompressibilityComparison;
+use gpu_sim::SimError;
+use gpu_workloads::Workload;
+use rayon::prelude::*;
+use serde::Serialize;
+use simt_analysis::{analyze_with_launch, KernelPrediction, LaunchInfo};
+
+use crate::design::DesignPoint;
+
+/// How a static site prediction compared against the simulated run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum SiteOutcome {
+    /// Static class equals the worst class stored at this site.
+    Exact,
+    /// Static class over-approximates (or the site never executed).
+    Conservative,
+    /// The run stored a larger footprint than the static class allows.
+    UnsoundMiss,
+}
+
+impl SiteOutcome {
+    /// Stable lower-case label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            SiteOutcome::Exact => "exact",
+            SiteOutcome::Conservative => "conservative",
+            SiteOutcome::UnsoundMiss => "unsound-miss",
+        }
+    }
+}
+
+/// One write site's static prediction joined with what the run stored.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct SiteValidation {
+    /// Program counter of the writing instruction.
+    pub pc: usize,
+    /// Destination register.
+    pub reg: u8,
+    /// The statically predicted worst-case class.
+    pub predicted: CompressionClass,
+    /// The worst (largest-footprint) class the run stored at this pc,
+    /// or `None` if the site never retired a write.
+    pub measured: Option<CompressionClass>,
+    /// Non-synthetic writes the site retired.
+    pub executions: u64,
+    /// The per-site verdict.
+    pub outcome: SiteOutcome,
+}
+
+/// A full static-vs-dynamic compressibility report for one kernel.
+#[derive(Clone, Debug, Serialize)]
+pub struct PredictReport {
+    /// Benchmark name.
+    pub kernel: String,
+    /// The static prediction the sites were validated against.
+    pub prediction: KernelPrediction,
+    /// Per-write-site validation verdicts, in pc order.
+    pub sites: Vec<SiteValidation>,
+    /// Static gateable-bank bound vs. measured mean gated banks.
+    pub comparison: CompressibilityComparison,
+}
+
+impl PredictReport {
+    /// Sites whose static class matched the measured worst class.
+    pub fn exact_count(&self) -> usize {
+        self.count(SiteOutcome::Exact)
+    }
+
+    /// Sites where the static class over-approximated.
+    pub fn conservative_count(&self) -> usize {
+        self.count(SiteOutcome::Conservative)
+    }
+
+    /// Sites where the run beat the static guarantee — must be zero.
+    pub fn unsound_count(&self) -> usize {
+        self.count(SiteOutcome::UnsoundMiss)
+    }
+
+    fn count(&self, outcome: SiteOutcome) -> usize {
+        self.sites.iter().filter(|s| s.outcome == outcome).count()
+    }
+
+    /// Fraction of write sites predicted exactly (1.0 for a kernel with
+    /// no write sites).
+    pub fn exact_fraction(&self) -> f64 {
+        if self.sites.is_empty() {
+            return 1.0;
+        }
+        self.exact_count() as f64 / self.sites.len() as f64
+    }
+
+    /// Whether the report is sound: no site stored a larger form than
+    /// its static class allows, and the static gateable-bank bound
+    /// stayed below the measured figure.
+    pub fn is_sound(&self) -> bool {
+        self.unsound_count() == 0 && self.comparison.measured_within_static_bound()
+    }
+}
+
+/// Prediction failures.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PredictError {
+    /// The simulation failed.
+    Sim(SimError),
+    /// The kernel has structural errors, so no prediction exists.
+    Static {
+        /// Benchmark name.
+        kernel: String,
+    },
+}
+
+impl std::fmt::Display for PredictError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PredictError::Sim(e) => write!(f, "simulation failed: {e}"),
+            PredictError::Static { kernel } => {
+                write!(f, "kernel `{kernel}` has structural errors; no prediction")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PredictError {}
+
+impl From<SimError> for PredictError {
+    fn from(e: SimError) -> Self {
+        PredictError::Sim(e)
+    }
+}
+
+/// Runs the abstract interpreter and the simulator on one workload and
+/// joins the two per write site.
+///
+/// The simulation uses the paper's warped-compression design point, the
+/// configuration whose stored forms the static classes model.
+///
+/// # Errors
+///
+/// [`PredictError::Static`] if the kernel fails verification (no
+/// workload in this repository does), [`PredictError::Sim`] if the
+/// simulation fails.
+pub fn predict_workload(workload: &Workload) -> Result<PredictReport, PredictError> {
+    let launch = workload.launch();
+    let info = LaunchInfo {
+        params: launch.params().to_vec(),
+        blocks: u32::try_from(launch.blocks()).ok(),
+        threads_per_block: u32::try_from(launch.threads_per_block()).ok(),
+    };
+    let analysis = analyze_with_launch(workload.kernel(), Some(&info));
+    let prediction = analysis.prediction.ok_or_else(|| PredictError::Static {
+        kernel: workload.name().to_string(),
+    })?;
+
+    // Trace the run: per-pc worst stored class and execution count,
+    // plus the mean stored footprint in banks. Synthetic dummy MOVs
+    // rewrite existing values and are not program write sites.
+    let num_pcs = workload.kernel().instrs().len();
+    let mut worst: Vec<Option<CompressionClass>> = vec![None; num_pcs];
+    let mut execs: Vec<u64> = vec![0; num_pcs];
+    let mut total_banks: u64 = 0;
+    let mut total_writes: u64 = 0;
+    let mut memory = workload.fresh_memory();
+    gpu_sim::GpuSim::new(DesignPoint::WarpedCompression.config()).run_observed(
+        workload.kernel(),
+        launch,
+        &mut memory,
+        &mut |event| {
+            if event.synthetic {
+                return;
+            }
+            execs[event.pc] += 1;
+            total_banks += event.class.banks() as u64;
+            total_writes += 1;
+            worst[event.pc] = Some(match worst[event.pc] {
+                Some(prev) if prev.banks() >= event.class.banks() => prev,
+                _ => event.class,
+            });
+        },
+    )?;
+
+    let sites = prediction
+        .sites
+        .iter()
+        .map(|site| {
+            let measured = worst[site.pc];
+            let outcome = match measured {
+                None => SiteOutcome::Conservative,
+                Some(m) if m.banks() > site.class.banks() => SiteOutcome::UnsoundMiss,
+                Some(m) if m.banks() == site.class.banks() => SiteOutcome::Exact,
+                Some(_) => SiteOutcome::Conservative,
+            };
+            SiteValidation {
+                pc: site.pc,
+                reg: site.reg,
+                predicted: site.class,
+                measured,
+                executions: execs[site.pc],
+                outcome,
+            }
+        })
+        .collect();
+
+    let mean_footprint = if total_writes == 0 {
+        CompressionClass::Uncompressed.banks() as f64
+    } else {
+        total_banks as f64 / total_writes as f64
+    };
+    let comparison = CompressibilityComparison::new(&prediction, mean_footprint);
+
+    Ok(PredictReport {
+        kernel: workload.name().to_string(),
+        prediction,
+        sites,
+        comparison,
+    })
+}
+
+/// Predicts and validates every workload, in parallel, in suite order.
+///
+/// # Errors
+///
+/// Fails on the earliest workload (in suite order) that errors.
+pub fn predict_suite(workloads: &[Workload]) -> Result<Vec<PredictReport>, PredictError> {
+    workloads.par_iter().map(predict_workload).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lib_is_sound_and_mostly_exact() {
+        let w = gpu_workloads::by_name("lib").unwrap();
+        let r = predict_workload(&w).unwrap();
+        assert_eq!(r.kernel, "lib");
+        assert_eq!(r.unsound_count(), 0, "unsound sites: {:?}", r.sites);
+        assert!(r.is_sound());
+        assert!(!r.sites.is_empty());
+        assert_eq!(
+            r.exact_count() + r.conservative_count(),
+            r.sites.len(),
+            "every site gets a verdict"
+        );
+    }
+
+    #[test]
+    fn divergent_kernel_stays_conservative() {
+        // bfs diverges; divergent-region sites are pinned to
+        // Uncompressed statically and the run stores them raw, so the
+        // join stays sound.
+        let w = gpu_workloads::by_name("bfs").unwrap();
+        let r = predict_workload(&w).unwrap();
+        assert_eq!(r.unsound_count(), 0, "unsound sites: {:?}", r.sites);
+        assert!(r.comparison.measured_within_static_bound());
+    }
+
+    #[test]
+    fn executed_sites_count_executions() {
+        let w = gpu_workloads::by_name("lib").unwrap();
+        let r = predict_workload(&w).unwrap();
+        assert!(r.sites.iter().any(|s| s.executions > 0));
+    }
+}

@@ -137,7 +137,9 @@ mod tests {
 
     fn event(value: WarpRegister, divergent: bool) -> WriteEvent {
         WriteEvent {
+            pc: 0,
             value,
+            class: bdi::CompressionClass::Uncompressed,
             divergent,
             synthetic: false,
         }
@@ -183,9 +185,8 @@ mod tests {
     fn synthetic_writes_are_ignored() {
         let mut h = SimilarityHistogram::new();
         h.record(&WriteEvent {
-            value: WarpRegister::splat(0),
-            divergent: false,
             synthetic: true,
+            ..event(WarpRegister::splat(0), false)
         });
         assert_eq!(h.total(false), 0);
     }

@@ -6,7 +6,7 @@
 //! [`ChoiceSet`] offline — the paper's §6.6 style design-space questions
 //! ("what would ⟨4,1⟩-only compress?") answered without re-simulating.
 
-use bdi::{BdiCodec, ChoiceSet, WarpRegister, WARP_REGISTER_BYTES};
+use bdi::{BdiCodec, ChoiceSet, CompressionClass, WarpRegister, WARP_REGISTER_BYTES};
 use gpu_sim::WriteEvent;
 use serde::{Deserialize, Serialize};
 
@@ -76,11 +76,7 @@ impl WriteTrace {
     pub fn similarity(&self) -> SimilarityHistogram {
         let mut h = SimilarityHistogram::new();
         for (value, divergent) in self.iter() {
-            h.record(&WriteEvent {
-                value: *value,
-                divergent,
-                synthetic: false,
-            });
+            h.record(&replay_event(*value, divergent));
         }
         h
     }
@@ -89,13 +85,21 @@ impl WriteTrace {
     pub fn breakdown(&self) -> ChoiceBreakdown {
         let mut b = ChoiceBreakdown::new();
         for (value, divergent) in self.iter() {
-            b.record(&WriteEvent {
-                value: *value,
-                divergent,
-                synthetic: false,
-            });
+            b.record(&replay_event(*value, divergent));
         }
         b
+    }
+}
+
+/// Traces record only what the offline collectors consume; pc and the
+/// stored compression class are meaningful only during a live run.
+fn replay_event(value: WarpRegister, divergent: bool) -> WriteEvent {
+    WriteEvent {
+        pc: 0,
+        value,
+        class: CompressionClass::Uncompressed,
+        divergent,
+        synthetic: false,
     }
 }
 
@@ -113,11 +117,7 @@ mod tests {
     use bdi::FixedChoice;
 
     fn event(value: WarpRegister, divergent: bool) -> WriteEvent {
-        WriteEvent {
-            value,
-            divergent,
-            synthetic: false,
-        }
+        replay_event(value, divergent)
     }
 
     fn sample_trace() -> WriteTrace {
@@ -144,9 +144,8 @@ mod tests {
     fn synthetic_events_are_skipped() {
         let mut t = WriteTrace::new();
         t.record(&WriteEvent {
-            value: WarpRegister::ZERO,
-            divergent: false,
             synthetic: true,
+            ..replay_event(WarpRegister::ZERO, false)
         });
         assert!(t.is_empty());
     }

@@ -40,12 +40,14 @@
 #![warn(missing_docs)]
 
 mod activity;
+mod compressibility;
 mod model;
 mod occupancy;
 mod params;
 mod report;
 
 pub use activity::{ActivityCounts, LowPowerKind};
+pub use compressibility::CompressibilityComparison;
 pub use model::EnergyModel;
 pub use occupancy::OccupancyComparison;
 pub use params::EnergyParams;

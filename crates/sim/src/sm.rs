@@ -6,7 +6,7 @@ use std::error::Error;
 use std::fmt;
 use std::mem;
 
-use bdi::{BdiCodec, CompressedRegister, WarpRegister};
+use bdi::{BdiCodec, CompressedRegister, CompressionClass, WarpRegister};
 use gpu_regfile::{BankPorts, RegFileError, RegisterFile, WarpSlot, WriteError};
 use simt_isa::{Instruction, Kernel, LatencyClass, Operand, Special};
 
@@ -218,6 +218,7 @@ struct Fetch {
 #[derive(Clone, Debug)]
 struct Collector {
     slot: usize,
+    pc: usize,
     instr: Instruction,
     mask: u32,
     divergent: bool,
@@ -249,6 +250,7 @@ enum WbState {
 #[derive(Clone, Debug)]
 struct WbEntry {
     slot: usize,
+    pc: usize,
     reg: usize,
     result: WarpRegister,
     mask: u32,
@@ -580,6 +582,7 @@ impl<'a> Engine<'a> {
                 let fetches = srcs.iter().map(|&reg| Fetch { reg, value: None }).collect();
                 self.collectors[ci] = Some(Collector {
                     slot,
+                    pc,
                     instr: actual,
                     mask: actual_mask,
                     divergent,
@@ -790,6 +793,7 @@ impl<'a> Engine<'a> {
     fn push_writeback(&mut self, c: &Collector, reg: usize, result: WarpRegister, done_at: u64) {
         self.writebacks.push(WbEntry {
             slot: c.slot,
+            pc: c.pc,
             reg,
             result,
             mask: c.mask,
@@ -890,7 +894,7 @@ impl<'a> Engine<'a> {
                     Ok(_) => {
                         #[cfg(feature = "sanitize")]
                         self.shadow.record_write(WarpSlot(e.slot), e.reg, &e.result);
-                        self.retire_write(e, compressed.is_compressed());
+                        self.retire_write(e, compressed.class());
                         Ok(StepOutcome::Retired)
                     }
                     Err(WriteError::NotReady { ready_at }) => {
@@ -969,9 +973,9 @@ impl<'a> Engine<'a> {
             })
     }
 
-    fn retire_write(&mut self, e: &WbEntry, compressed: bool) {
+    fn retire_write(&mut self, e: &WbEntry, class: CompressionClass) {
         self.stats.writes += 1;
-        if compressed {
+        if class.is_compressed() {
             self.stats.writes_compressed += 1;
         }
         if !e.synthetic {
@@ -989,7 +993,9 @@ impl<'a> Engine<'a> {
             }
         }
         (self.observer)(&WriteEvent {
+            pc: e.pc,
             value: e.result,
+            class,
             divergent: e.divergent,
             synthetic: e.synthetic,
         });

@@ -1,18 +1,26 @@
 //! Simulation statistics and the register-write observation hook.
 
-use bdi::WarpRegister;
+use bdi::{CompressionClass, WarpRegister};
 use gpu_regfile::{GatingMode, RegFileStats};
 use serde::{Deserialize, Serialize};
 
 /// One retired register write, delivered to the observer callback.
 ///
 /// The `warped-compression` crate uses this stream for the value
-/// similarity characterisation (Fig. 2) and the full-BDI breakdown
-/// (Fig. 5).
+/// similarity characterisation (Fig. 2), the full-BDI breakdown
+/// (Fig. 5), and — via `pc` and `class` — the per-write-site
+/// validation of the static compressibility predictions
+/// (`wcsim predict`).
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct WriteEvent {
+    /// The pc of the producing instruction (for injected dummy MOVs,
+    /// the pc of the program instruction they shadow).
+    pub pc: usize,
     /// The full merged register value as stored.
     pub value: WarpRegister,
+    /// The compression class of the form actually stored in the
+    /// register file banks.
+    pub class: CompressionClass,
     /// Whether the producing instruction executed divergently.
     pub divergent: bool,
     /// Whether this was an injected dummy MOV rather than program code.

@@ -9,6 +9,8 @@
 //! * [`sim`] — the cycle-level SIMT core simulator,
 //! * [`power`] — the Table 3 energy model,
 //! * [`workloads`] — the 14 synthetic benchmarks,
+//! * [`analysis`] — static kernel verification, liveness and warp-value
+//!   abstract interpretation,
 //! * [`wc`] — the warped-compression experiment layer (design points,
 //!   similarity characterisation, energy pricing).
 //!
@@ -28,6 +30,7 @@ pub use gpu_power as power;
 pub use gpu_regfile as regfile;
 pub use gpu_sim as sim;
 pub use gpu_workloads as workloads;
+pub use simt_analysis as analysis;
 pub use simt_isa as isa;
 pub use warped_compression as wc;
 
@@ -51,6 +54,7 @@ mod tests {
         let _ = crate::regfile::RegFileConfig::paper_baseline();
         let _ = crate::sim::GpuConfig::baseline();
         let _ = crate::power::EnergyParams::paper_table3();
+        let _ = crate::analysis::AbsVal::zero();
         assert_eq!(crate::workloads::names().len(), 18);
         let _ = crate::wc::DesignPoint::WarpedCompression;
     }
