@@ -55,6 +55,7 @@ pub mod cfg;
 pub mod dataflow;
 pub mod lint;
 pub mod liveness;
+pub mod perfbound;
 
 use simt_isa::{ControlFlow, Instruction, Kernel};
 
@@ -66,6 +67,9 @@ pub use cfg::{BasicBlock, Cfg};
 pub use dataflow::{DefSite, ReachingDefs, RegSet};
 pub use lint::{Diagnostic, LintKind, LintReport, Severity};
 pub use liveness::{Liveness, LivenessSummary};
+pub use perfbound::{
+    bound_kernel, BlockBound, ConflictSite, PerfLaunch, PerfMachine, PerfPrediction,
+};
 
 use serde::{Deserialize, Serialize};
 

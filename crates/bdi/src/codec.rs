@@ -1,6 +1,6 @@
 //! The compression/decompression engine (paper Fig. 7).
 
-use crate::choice::ChoiceSet;
+use crate::choice::{ChoiceSet, CompressionClass};
 use crate::compressed::CompressedRegister;
 use crate::deltas::DeltaArray;
 use crate::error::DecodeError;
@@ -96,6 +96,20 @@ impl BdiCodec {
             }
         }
         CompressedRegister::Uncompressed(*reg)
+    }
+
+    /// The compression class `reg` would be stored under, without
+    /// keeping the compressed form. Static analyses use this to ask
+    /// "how would this value be stored?" for values they can prove.
+    pub fn classify(&self, reg: &WarpRegister) -> CompressionClass {
+        self.compress(reg).class()
+    }
+
+    /// The number of 16-byte banks `reg` would occupy as stored —
+    /// 1/3/5 for the compressed classes, 8 uncompressed. The static
+    /// bank-access bounds are built from exactly this footprint.
+    pub fn footprint(&self, reg: &WarpRegister) -> usize {
+        self.compress(reg).banks_required()
     }
 
     /// Reference multi-pass compressor: tries each choice independently,
@@ -250,6 +264,24 @@ mod tests {
         let c = codec().compress(&WarpRegister::splat(123));
         assert_eq!(c.layout().unwrap().delta_bytes(), 0);
         assert_eq!(c.banks_required(), 1);
+    }
+
+    #[test]
+    fn classify_and_footprint_match_the_stored_form() {
+        let c = codec();
+        for reg in [
+            WarpRegister::splat(7),
+            WarpRegister::from_fn(|t| t as u32),
+            WarpRegister::from_fn(|t| 1_000_000 + 1000 * t as u32),
+            WarpRegister::from_fn(|t| (t as u32).wrapping_mul(0x9E37_79B9)),
+        ] {
+            let stored = c.compress(&reg);
+            assert_eq!(c.classify(&reg), stored.class());
+            assert_eq!(c.footprint(&reg), stored.banks_required());
+        }
+        let disabled = BdiCodec::new(ChoiceSet::disabled());
+        assert_eq!(disabled.footprint(&WarpRegister::splat(7)), 8);
+        assert!(!disabled.classify(&WarpRegister::splat(7)).is_compressed());
     }
 
     #[test]

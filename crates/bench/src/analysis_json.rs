@@ -1,186 +1,160 @@
-//! Hand-rolled, deterministic JSON rendering of static-analysis and
-//! compressibility-prediction reports.
+//! Deterministic JSON rendering of static-analysis and
+//! compressibility-prediction reports, on the shared
+//! [`jsonfmt`](crate::jsonfmt) builder.
 //!
 //! `wcsim analyze --json` and `wcsim predict` write machine-readable
 //! reports (`results/BENCH_predict.json`) that CI archives and diffs
-//! across runs, so the rendering follows the same discipline as
-//! [`crate::fault_json`]: fixed key order, no maps, floats through
-//! Rust's shortest-round-trip formatter.
+//! across runs: fixed key order, no maps, floats through Rust's
+//! shortest-round-trip formatter.
 
 use simt_analysis::KernelAnalysis;
 use warped_compression::PredictReport;
 
-use crate::jsonfmt::esc;
+use crate::jsonfmt::{block_list, inline, inline_list, opt_display, quoted, JsonObject};
 
 /// One kernel's analysis fragment: lint findings, liveness summary and
 /// the static compressibility prediction.
 pub fn analysis_record_json(name: &str, a: &KernelAnalysis) -> String {
-    let mut out = String::new();
-    out.push_str("    {\n");
-    out.push_str(&format!("      \"kernel\": \"{}\",\n", esc(name)));
-    out.push_str("      \"diagnostics\": [\n");
-    for (i, d) in a.report.diagnostics.iter().enumerate() {
-        let comma = if i + 1 < a.report.diagnostics.len() {
-            ","
-        } else {
-            ""
-        };
-        out.push_str(&format!(
-            "        {{\"kind\": \"{}\", \"severity\": \"{}\", \"pc\": {}, \
-             \"reg\": {}, \"message\": \"{}\"}}{comma}\n",
-            d.kind.name(),
-            d.severity,
-            opt_num(d.pc.map(|p| p as u64)),
-            opt_num(d.reg.map(u64::from)),
-            esc(&d.message),
-        ));
-    }
-    out.push_str("      ],\n");
-    match &a.liveness {
-        Some(l) => {
-            let hist: Vec<String> = l.histogram.iter().map(|h| h.to_string()).collect();
-            out.push_str(&format!(
-                "      \"liveness\": {{\"num_regs\": {}, \"max_live\": {}, \
-                 \"avg_live\": {}, \"histogram\": [{}]}},\n",
-                l.num_regs,
-                l.max_live,
-                l.avg_live,
-                hist.join(", "),
-            ));
-        }
-        None => out.push_str("      \"liveness\": null,\n"),
-    }
-    match &a.prediction {
+    let diags: Vec<String> = a
+        .report
+        .diagnostics
+        .iter()
+        .map(|d| {
+            format!(
+                "        {}",
+                inline(&[
+                    ("kind", quoted(d.kind.name())),
+                    ("severity", quoted(&d.severity.to_string())),
+                    ("pc", opt_display(d.pc.map(|p| p as u64))),
+                    ("reg", opt_display(d.reg.map(u64::from))),
+                    ("message", quoted(&d.message)),
+                ])
+            )
+        })
+        .collect();
+    let liveness = match &a.liveness {
+        Some(l) => inline(&[
+            ("num_regs", l.num_regs.to_string()),
+            ("max_live", l.max_live.to_string()),
+            ("avg_live", l.avg_live.to_string()),
+            ("histogram", inline_list(l.histogram.iter())),
+        ]),
+        None => "null".into(),
+    };
+    let prediction = match &a.prediction {
         Some(p) => {
-            out.push_str("      \"prediction\": {\n");
-            out.push_str("        \"sites\": [\n");
-            for (i, s) in p.sites.iter().enumerate() {
-                let comma = if i + 1 < p.sites.len() { "," } else { "" };
-                out.push_str(&format!(
-                    "          {{\"pc\": {}, \"reg\": {}, \"class\": \"{}\", \
-                     \"banks\": {}, \"divergent_region\": {}, \"value\": \"{}\"}}{comma}\n",
-                    s.pc,
-                    s.reg,
-                    s.class.name(),
-                    s.class.banks(),
-                    s.divergent_region,
-                    esc(&s.value.to_string()),
-                ));
-            }
-            out.push_str("        ],\n");
-            out.push_str("        \"branches\": [\n");
-            for (i, b) in p.branches.iter().enumerate() {
-                let comma = if i + 1 < p.branches.len() { "," } else { "" };
-                out.push_str(&format!(
-                    "          {{\"pc\": {}, \"uniform\": {}}}{comma}\n",
-                    b.pc, b.uniform
-                ));
-            }
-            out.push_str("        ],\n");
-            out.push_str(&format!(
-                "        \"informative_fraction\": {},\n",
-                p.informative_fraction()
-            ));
-            out.push_str(&format!(
-                "        \"compressed_fraction\": {},\n",
-                p.compressed_fraction()
-            ));
-            out.push_str(&format!(
-                "        \"min_gateable_banks\": {}\n",
-                p.min_gateable_banks()
-            ));
-            out.push_str("      }\n");
+            let sites: Vec<String> = p
+                .sites
+                .iter()
+                .map(|s| {
+                    format!(
+                        "          {}",
+                        inline(&[
+                            ("pc", s.pc.to_string()),
+                            ("reg", s.reg.to_string()),
+                            ("class", quoted(s.class.name())),
+                            ("banks", s.class.banks().to_string()),
+                            ("divergent_region", s.divergent_region.to_string()),
+                            ("value", quoted(&s.value.to_string())),
+                        ])
+                    )
+                })
+                .collect();
+            let branches: Vec<String> = p
+                .branches
+                .iter()
+                .map(|b| {
+                    format!(
+                        "          {}",
+                        inline(&[("pc", b.pc.to_string()), ("uniform", b.uniform.to_string()),])
+                    )
+                })
+                .collect();
+            JsonObject::new(6)
+                .field("sites", block_list(8, &sites))
+                .field("branches", block_list(8, &branches))
+                .display("informative_fraction", p.informative_fraction())
+                .display("compressed_fraction", p.compressed_fraction())
+                .display("min_gateable_banks", p.min_gateable_banks())
+                .render()
         }
-        None => out.push_str("      \"prediction\": null\n"),
-    }
-    out.push_str("    }");
-    out
+        None => "null".into(),
+    };
+    JsonObject::new(4)
+        .string("kernel", name)
+        .field("diagnostics", block_list(6, &diags))
+        .field("liveness", liveness)
+        .field("prediction", prediction)
+        .render_fragment()
 }
 
 /// The whole `analyze --json` document.
 pub fn analysis_json(entries: &[(String, KernelAnalysis)]) -> String {
-    let mut out = String::new();
-    out.push_str("{\n  \"kernels\": [\n");
-    for (i, (name, a)) in entries.iter().enumerate() {
-        out.push_str(&analysis_record_json(name, a));
-        out.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
-    }
-    out.push_str("  ]\n}\n");
-    out
+    let fragments: Vec<String> = entries
+        .iter()
+        .map(|(name, a)| analysis_record_json(name, a))
+        .collect();
+    JsonObject::new(0)
+        .field("kernels", block_list(2, &fragments))
+        .render_document()
 }
 
 /// One kernel's static-vs-dynamic validation fragment.
 pub fn predict_record_json(r: &PredictReport) -> String {
-    let mut out = String::new();
-    out.push_str("    {\n");
-    out.push_str(&format!("      \"kernel\": \"{}\",\n", esc(&r.kernel)));
-    out.push_str("      \"sites\": [\n");
-    for (i, s) in r.sites.iter().enumerate() {
-        let comma = if i + 1 < r.sites.len() { "," } else { "" };
-        let (measured, measured_banks) = match s.measured {
-            Some(m) => (format!("\"{}\"", m.name()), m.banks().to_string()),
-            None => ("null".into(), "null".into()),
-        };
-        out.push_str(&format!(
-            "        {{\"pc\": {}, \"reg\": {}, \"predicted\": \"{}\", \
-             \"predicted_banks\": {}, \"measured\": {measured}, \
-             \"measured_banks\": {measured_banks}, \"executions\": {}, \
-             \"outcome\": \"{}\"}}{comma}\n",
-            s.pc,
-            s.reg,
-            s.predicted.name(),
-            s.predicted.banks(),
-            s.executions,
-            s.outcome.label(),
-        ));
-    }
-    out.push_str("      ],\n");
-    out.push_str(&format!(
-        "      \"outcomes\": {{\"exact\": {}, \"conservative\": {}, \
-         \"unsound_miss\": {}}},\n",
-        r.exact_count(),
-        r.conservative_count(),
-        r.unsound_count(),
-    ));
-    out.push_str(&format!(
-        "      \"exact_fraction\": {},\n",
-        r.exact_fraction()
-    ));
-    out.push_str(&format!(
-        "      \"informative_fraction\": {},\n",
-        r.prediction.informative_fraction()
-    ));
-    out.push_str(&format!(
-        "      \"static_gateable_banks_per_write\": {},\n",
-        r.comparison.static_gateable_banks_per_write
-    ));
-    out.push_str(&format!(
-        "      \"measured_gated_banks_per_write\": {},\n",
-        r.comparison.measured_gated_banks_per_write
-    ));
-    out.push_str(&format!(
-        "      \"gating_headroom\": {},\n",
-        r.comparison.gating_headroom()
-    ));
-    out.push_str(&format!("      \"sound\": {}\n", r.is_sound()));
-    out.push_str("    }");
-    out
+    let sites: Vec<String> = r
+        .sites
+        .iter()
+        .map(|s| {
+            format!(
+                "        {}",
+                inline(&[
+                    ("pc", s.pc.to_string()),
+                    ("reg", s.reg.to_string()),
+                    ("predicted", quoted(s.predicted.name())),
+                    ("predicted_banks", s.predicted.banks().to_string()),
+                    (
+                        "measured",
+                        opt_display(s.measured.map(|m| quoted(m.name())))
+                    ),
+                    ("measured_banks", opt_display(s.measured.map(|m| m.banks()))),
+                    ("executions", s.executions.to_string()),
+                    ("outcome", quoted(s.outcome.label())),
+                ])
+            )
+        })
+        .collect();
+    JsonObject::new(4)
+        .string("kernel", &r.kernel)
+        .field("sites", block_list(6, &sites))
+        .field(
+            "outcomes",
+            inline(&[
+                ("exact", r.exact_count().to_string()),
+                ("conservative", r.conservative_count().to_string()),
+                ("unsound_miss", r.unsound_count().to_string()),
+            ]),
+        )
+        .display("exact_fraction", r.exact_fraction())
+        .display("informative_fraction", r.prediction.informative_fraction())
+        .display(
+            "static_gateable_banks_per_write",
+            r.comparison.static_gateable_banks_per_write,
+        )
+        .display(
+            "measured_gated_banks_per_write",
+            r.comparison.measured_gated_banks_per_write,
+        )
+        .display("gating_headroom", r.comparison.gating_headroom())
+        .display("sound", r.is_sound())
+        .render_fragment()
 }
 
 /// The whole `BENCH_predict.json` document.
 pub fn predict_json(reports: &[PredictReport]) -> String {
-    let mut out = String::new();
-    out.push_str("{\n  \"kernels\": [\n");
-    for (i, r) in reports.iter().enumerate() {
-        out.push_str(&predict_record_json(r));
-        out.push_str(if i + 1 < reports.len() { ",\n" } else { "\n" });
-    }
-    out.push_str("  ]\n}\n");
-    out
-}
-
-fn opt_num(v: Option<u64>) -> String {
-    v.map_or_else(|| "null".into(), |v| v.to_string())
+    let fragments: Vec<String> = reports.iter().map(predict_record_json).collect();
+    JsonObject::new(0)
+        .field("kernels", block_list(2, &fragments))
+        .render_document()
 }
 
 #[cfg(test)]

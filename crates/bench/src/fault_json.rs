@@ -1,100 +1,97 @@
-//! Hand-rolled, deterministic JSON rendering of fault-campaign reports
-//! (`faults` feature).
+//! Deterministic JSON rendering of fault-campaign reports (`faults`
+//! feature), on the shared [`jsonfmt`](crate::jsonfmt) builder.
 //!
 //! The `wcsim faults` report (`results/BENCH_faults.json`) must be
 //! byte-identical across runs with the same seed — including runs
-//! resumed from a checkpoint directory — so the rendering here is fully
+//! resumed from a checkpoint directory — so the rendering is fully
 //! deterministic: fixed key order, no maps, floats through Rust's
 //! shortest-round-trip formatter, and one self-contained fragment per
 //! kernel that doubles as the checkpoint unit.
 
 use warped_compression::{KernelFaultReport, RunRecord, RunStatus};
 
-use crate::jsonfmt::esc;
+use crate::jsonfmt::{block_list, inline, opt_display, quoted, JsonObject};
 
 /// One kernel's fragment: the per-kernel checkpoint unit, reused
 /// verbatim on `--resume`.
 pub fn fault_record_json(record: &RunRecord<KernelFaultReport>) -> String {
-    let mut out = String::new();
-    out.push_str("    {\n");
-    out.push_str(&format!("      \"kernel\": \"{}\",\n", esc(&record.name)));
-    out.push_str(&format!(
-        "      \"status\": \"{}\",\n",
-        record.status.label()
-    ));
+    let obj = JsonObject::new(4)
+        .string("kernel", &record.name)
+        .string("status", record.status.label());
     match (&record.status, &record.output) {
         (RunStatus::Completed { .. }, Some(k)) => {
-            out.push_str(&format!("      \"seed\": {},\n", k.seed));
-            out.push_str(&format!(
-                "      \"protection\": \"{}\",\n",
-                k.protection.name()
-            ));
-            out.push_str(&format!("      \"completed\": {},\n", k.completed));
-            match &k.error {
-                Some(e) => out.push_str(&format!("      \"error\": \"{}\",\n", esc(e))),
-                None => out.push_str("      \"error\": null,\n"),
-            }
-            out.push_str(&format!(
-                "      \"outcomes\": {{\"not_triggered\": {}, \"masked\": {}, \
-                 \"corrected\": {}, \"detected\": {}, \"silent_corruption\": {}}},\n",
-                k.log.not_triggered(),
-                k.log.masked(),
-                k.log.corrected(),
-                k.log.detected(),
-                k.log.silent(),
-            ));
-            out.push_str("      \"events\": [\n");
-            for (i, e) in k.log.events.iter().enumerate() {
-                let comma = if i + 1 < k.log.events.len() { "," } else { "" };
-                out.push_str(&format!(
-                    "        {{\"id\": {}, \"kind\": \"{}\", \"target\": \"{}\", \
-                     \"outcome\": \"{}\", \"note\": \"{}\"}}{comma}\n",
-                    e.spec_id,
-                    e.kind.name(),
-                    e.target.name(),
-                    e.outcome.name(),
-                    esc(e.note),
-                ));
-            }
-            out.push_str("      ],\n");
-            out.push_str(&format!(
-                "      \"writes\": {}, \"reads\": {},\n",
-                k.log.writes, k.log.reads
-            ));
-            out.push_str(&format!(
-                "      \"stuck\": {{\"masked_by_slack\": {}, \"redirected\": {}, \
-                 \"applied\": {}}},\n",
-                k.log.stuck_masked_by_slack, k.log.stuck_redirected, k.log.stuck_applied,
-            ));
-            out.push_str(&format!(
-                "      \"redirection\": {{\"total_reads\": {}, \"slack_only_coverage\": {}, \
-                 \"redirection_coverage\": {}}},\n",
-                k.redirection.total_reads,
-                k.redirection.slack_only_coverage,
-                k.redirection.redirection_coverage,
-            ));
-            out.push_str(&format!("      \"energy_scale\": {},\n", k.energy_scale));
-            match k.energy_pj {
-                Some(pj) => out.push_str(&format!("      \"energy_pj\": {pj}\n")),
-                None => out.push_str("      \"energy_pj\": null\n"),
-            }
+            let events: Vec<String> = k
+                .log
+                .events
+                .iter()
+                .map(|e| {
+                    format!(
+                        "        {}",
+                        inline(&[
+                            ("id", e.spec_id.to_string()),
+                            ("kind", quoted(e.kind.name())),
+                            ("target", quoted(e.target.name())),
+                            ("outcome", quoted(e.outcome.name())),
+                            ("note", quoted(e.note)),
+                        ])
+                    )
+                })
+                .collect();
+            obj.display("seed", k.seed)
+                .string("protection", k.protection.name())
+                .display("completed", k.completed)
+                .field("error", opt_display(k.error.as_deref().map(quoted)))
+                .field(
+                    "outcomes",
+                    inline(&[
+                        ("not_triggered", k.log.not_triggered().to_string()),
+                        ("masked", k.log.masked().to_string()),
+                        ("corrected", k.log.corrected().to_string()),
+                        ("detected", k.log.detected().to_string()),
+                        ("silent_corruption", k.log.silent().to_string()),
+                    ]),
+                )
+                .field("events", block_list(6, &events))
+                .display("writes", k.log.writes)
+                .display("reads", k.log.reads)
+                .field(
+                    "stuck",
+                    inline(&[
+                        ("masked_by_slack", k.log.stuck_masked_by_slack.to_string()),
+                        ("redirected", k.log.stuck_redirected.to_string()),
+                        ("applied", k.log.stuck_applied.to_string()),
+                    ]),
+                )
+                .field(
+                    "redirection",
+                    inline(&[
+                        ("total_reads", k.redirection.total_reads.to_string()),
+                        (
+                            "slack_only_coverage",
+                            k.redirection.slack_only_coverage.to_string(),
+                        ),
+                        (
+                            "redirection_coverage",
+                            k.redirection.redirection_coverage.to_string(),
+                        ),
+                    ]),
+                )
+                .display("energy_scale", k.energy_scale)
+                .field("energy_pj", opt_display(k.energy_pj))
+                .render_fragment()
         }
         (RunStatus::Panicked { message, .. }, _) => {
-            out.push_str(&format!("      \"message\": \"{}\"\n", esc(message)));
+            obj.string("message", message).render_fragment()
         }
-        (RunStatus::Failed { error }, _) => {
-            out.push_str(&format!("      \"message\": \"{}\"\n", esc(error)));
-        }
+        (RunStatus::Failed { error }, _) => obj.string("message", error).render_fragment(),
         (RunStatus::TimedOut { budget }, _) => {
-            out.push_str(&format!("      \"cycle_budget\": {budget}\n"));
+            obj.display("cycle_budget", budget).render_fragment()
         }
         // Completed always carries an output; keep the renderer total.
-        (RunStatus::Completed { .. }, None) => {
-            out.push_str("      \"message\": \"completed without output\"\n");
-        }
+        (RunStatus::Completed { .. }, None) => obj
+            .string("message", "completed without output")
+            .render_fragment(),
     }
-    out.push_str("    }");
-    out
 }
 
 /// The whole `BENCH_faults.json` document from per-kernel fragments
@@ -105,18 +102,12 @@ pub fn fault_campaign_json(
     protection: &str,
     fragments: &[String],
 ) -> String {
-    let mut out = String::new();
-    out.push_str("{\n");
-    out.push_str(&format!("  \"seed\": {campaign_seed},\n"));
-    out.push_str(&format!("  \"injections_per_kernel\": {injections},\n"));
-    out.push_str(&format!("  \"protection\": \"{}\",\n", esc(protection)));
-    out.push_str("  \"kernels\": [\n");
-    for (i, frag) in fragments.iter().enumerate() {
-        out.push_str(frag);
-        out.push_str(if i + 1 < fragments.len() { ",\n" } else { "\n" });
-    }
-    out.push_str("  ]\n}\n");
-    out
+    JsonObject::new(0)
+        .display("seed", campaign_seed)
+        .display("injections_per_kernel", injections)
+        .string("protection", protection)
+        .field("kernels", block_list(2, fragments))
+        .render_document()
 }
 
 #[cfg(test)]

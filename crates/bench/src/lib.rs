@@ -25,6 +25,7 @@ mod checkpoint;
 pub mod fault_json;
 pub mod figures;
 mod jsonfmt;
+pub mod perf_json;
 mod table;
 
 pub use campaign::{Campaign, DEFAULT_SEED};

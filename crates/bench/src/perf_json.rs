@@ -1,0 +1,88 @@
+//! Deterministic JSON rendering of static-vs-measured performance
+//! bounds (`wcsim perf`), on the shared [`jsonfmt`](crate::jsonfmt)
+//! builder.
+//!
+//! `results/BENCH_perf.json` is the CI artifact of the perfbound
+//! soundness gate: per kernel, the static cycle / bank-access / energy
+//! floors next to the measured counters, the per-conflict-site stall
+//! floors, and the per-kernel soundness verdict.
+
+use warped_compression::PerfReport;
+
+use crate::jsonfmt::{block_list, inline, JsonObject};
+
+/// One kernel's static-vs-measured performance fragment.
+pub fn perf_record_json(r: &PerfReport) -> String {
+    let conflicts: Vec<String> = r
+        .conflict_checks
+        .iter()
+        .map(|c| {
+            format!(
+                "        {}",
+                inline(&[
+                    ("pc", c.pc.to_string()),
+                    ("sources", c.sources.to_string()),
+                    ("static_min_stalls", c.static_min_stalls.to_string()),
+                    ("measured_stalls", c.measured_stalls.to_string()),
+                    ("sound", c.is_sound().to_string()),
+                ])
+            )
+        })
+        .collect();
+    JsonObject::new(4)
+        .string("kernel", &r.kernel)
+        .display("sound", r.is_sound())
+        .display("static_cycles", r.comparison.static_cycles)
+        .display("measured_cycles", r.comparison.measured_cycles)
+        .display("cycle_tightness", r.comparison.cycle_tightness())
+        .display("issue_bound", r.prediction.issue_bound)
+        .display("chain_bound", r.prediction.chain_bound)
+        .display("compressor_bound", r.prediction.compressor_bound)
+        .display("min_instructions", r.prediction.min_instructions)
+        .display("measured_instructions", r.measured_instructions)
+        .display("static_bank_accesses", r.comparison.static_bank_accesses)
+        .display(
+            "measured_bank_accesses",
+            r.comparison.measured_bank_accesses,
+        )
+        .display("access_tightness", r.comparison.access_tightness())
+        .display("static_energy_pj", r.comparison.static_energy_pj)
+        .display("measured_energy_pj", r.comparison.measured_energy_pj)
+        .display("energy_tightness", r.comparison.energy_tightness())
+        .display("exact_warps", r.prediction.exact_warps)
+        .display("approx_warps", r.prediction.approx_warps)
+        .field("conflicts", block_list(6, &conflicts))
+        .render_fragment()
+}
+
+/// The whole `BENCH_perf.json` document.
+pub fn perf_json(design: &str, reports: &[PerfReport]) -> String {
+    let fragments: Vec<String> = reports.iter().map(perf_record_json).collect();
+    JsonObject::new(0)
+        .string("design", design)
+        .display("sound", reports.iter().all(PerfReport::is_sound))
+        .field("kernels", block_list(2, &fragments))
+        .render_document()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warped_compression::{perf_workload, DesignPoint};
+
+    #[test]
+    fn rendering_is_deterministic_and_structured() {
+        let render = || {
+            let w = gpu_workloads::by_name("lib").unwrap();
+            let r = perf_workload(&w, DesignPoint::WarpedCompression).unwrap();
+            perf_json("warped-compression", &[r])
+        };
+        let a = render();
+        assert_eq!(a, render(), "perf JSON must be byte-identical");
+        assert!(a.contains("\"design\": \"warped-compression\""));
+        assert!(a.contains("\"kernel\": \"lib\""));
+        assert!(a.contains("\"sound\": true"));
+        assert!(a.contains("\"static_cycles\""));
+        assert!(a.contains("\"static_min_stalls\""));
+    }
+}

@@ -7,7 +7,7 @@ use std::fs;
 use bdi::FixedChoice;
 use gpu_faults::ProtectionModel;
 use gpu_sim::{GlobalMemory, GpuSim, LaunchConfig};
-use warped_compression::{run_workload, DesignPoint, RunPolicy};
+use warped_compression::{perf_suite, perf_workload, run_workload, DesignPoint, RunPolicy};
 use wc_bench::{Campaign, CheckpointStore, DEFAULT_SEED};
 
 use crate::report::{format_comparison, format_run};
@@ -85,6 +85,17 @@ pub enum Command {
         /// Report path (default `results/BENCH_faults.json`).
         out: Option<String>,
     },
+    /// `wcsim perf <workload|--all> [--design D] [--out FILE]` — static
+    /// cycle / bank-access / energy lower bounds validated against a
+    /// simulated run.
+    Perf {
+        /// Benchmark name; `None` bounds the whole suite (`--all`).
+        workload: Option<String>,
+        /// Design point to bound and simulate.
+        design: DesignPoint,
+        /// Report path (default `results/BENCH_perf.json`).
+        out: Option<String>,
+    },
     /// `wcsim --help`.
     Help,
 }
@@ -123,6 +134,12 @@ USAGE:
                                      (defaults: 8 injections, seed 42,
                                      secded; fails if ECC lets any fault
                                      through silently)
+  wcsim perf <workload|--all> [--design D] [--out FILE]
+                                     static cycle/bank/energy lower
+                                     bounds validated against the
+                                     simulator; fails if any measurement
+                                     beats a static bound (default out:
+                                     results/BENCH_perf.json)
   wcsim kernel <file.s> --blocks N --tpb N --mem WORDS
                [--param X]... [--design D]
 ";
@@ -154,6 +171,49 @@ const DESIGN_NAMES: &[&str] = &[
     "baseline-lrr",
     "drowsy",
 ];
+
+/// Extracts the value of a `--flag PATH` pair, erroring when the flag
+/// is present without a value.
+fn take_path_flag(rest: &[&str], name: &str) -> Result<Option<String>, ParseError> {
+    rest.iter()
+        .position(|&a| a == name)
+        .map(|i| {
+            rest.get(i + 1)
+                .filter(|v| !v.starts_with("--"))
+                .map(|v| (*v).to_string())
+                .ok_or_else(|| ParseError(format!("{name} needs a file path")))
+        })
+        .transpose()
+}
+
+/// Parses the `<workload|--all>` positional shared by the whole-suite
+/// subcommands (`analyze`, `predict`, `faults`, `perf`): the first
+/// non-flag argument that is not a flag's value, or `None` under
+/// `--all`. `flag_values` lists the arguments already consumed as flag
+/// values so they are not mistaken for the positional.
+fn workload_or_all(
+    cmd: &str,
+    rest: &[&str],
+    flag_values: &[&str],
+) -> Result<Option<String>, ParseError> {
+    let workload = rest
+        .iter()
+        .find(|a| !a.starts_with("--") && !flag_values.contains(*a))
+        .map(|s| (*s).to_string());
+    if workload.is_none() && !rest.contains(&"--all") {
+        return Err(ParseError(format!("{cmd} needs a workload name or --all")));
+    }
+    Ok(workload)
+}
+
+/// Resolves a parsed `<workload|--all>` into concrete workloads.
+fn resolve_workloads(workload: Option<&str>) -> Result<Vec<gpu_workloads::Workload>, ParseError> {
+    match workload {
+        None => Ok(gpu_workloads::suite()),
+        Some(name) => Ok(vec![gpu_workloads::by_name(name)
+            .ok_or_else(|| ParseError(format!("unknown workload `{name}`")))?]),
+    }
+}
 
 /// Parses command-line arguments (without the program name).
 ///
@@ -210,23 +270,9 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
         }
         "analyze" => {
             let deny_warnings = rest.contains(&"--deny-warnings");
-            let json = rest
-                .iter()
-                .position(|&a| a == "--json")
-                .map(|i| {
-                    rest.get(i + 1)
-                        .filter(|v| !v.starts_with("--"))
-                        .map(|v| v.to_string())
-                        .ok_or_else(|| ParseError("--json needs a file path".into()))
-                })
-                .transpose()?;
-            let workload = rest
-                .iter()
-                .find(|a| !a.starts_with("--") && Some(**a) != json.as_deref())
-                .map(|s| s.to_string());
-            if workload.is_none() && !rest.contains(&"--all") {
-                return Err(ParseError("analyze needs a workload name or --all".into()));
-            }
+            let json = take_path_flag(&rest, "--json")?;
+            let flag_values: Vec<&str> = json.iter().map(String::as_str).collect();
+            let workload = workload_or_all("analyze", &rest, &flag_values)?;
             Ok(Command::Analyze {
                 workload,
                 deny_warnings,
@@ -234,24 +280,26 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
             })
         }
         "predict" => {
-            let out = rest
-                .iter()
-                .position(|&a| a == "--out")
-                .map(|i| {
-                    rest.get(i + 1)
-                        .filter(|v| !v.starts_with("--"))
-                        .map(|v| v.to_string())
-                        .ok_or_else(|| ParseError("--out needs a file path".into()))
-                })
-                .transpose()?;
-            let workload = rest
-                .iter()
-                .find(|a| !a.starts_with("--") && Some(**a) != out.as_deref())
-                .map(|s| s.to_string());
-            if workload.is_none() && !rest.contains(&"--all") {
-                return Err(ParseError("predict needs a workload name or --all".into()));
-            }
+            let out = take_path_flag(&rest, "--out")?;
+            let flag_values: Vec<&str> = out.iter().map(String::as_str).collect();
+            let workload = workload_or_all("predict", &rest, &flag_values)?;
             Ok(Command::Predict { workload, out })
+        }
+        "perf" => {
+            let out = take_path_flag(&rest, "--out")?;
+            let design_value = rest
+                .iter()
+                .position(|&a| a == "--design")
+                .and_then(|i| rest.get(i + 1))
+                .copied();
+            let flag_values: Vec<&str> =
+                out.iter().map(String::as_str).chain(design_value).collect();
+            let workload = workload_or_all("perf", &rest, &flag_values)?;
+            Ok(Command::Perf {
+                workload,
+                design: take_design(&rest)?,
+                out,
+            })
         }
         "compare" => {
             let workload = rest
@@ -279,13 +327,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
             .iter()
             .filter_map(|f| flag(f))
             .collect();
-            let workload = rest
-                .iter()
-                .find(|a| !a.starts_with("--") && !flag_values.contains(*a))
-                .map(|s| s.to_string());
-            if workload.is_none() && !rest.contains(&"--all") {
-                return Err(ParseError("faults needs a workload name or --all".into()));
-            }
+            let workload = workload_or_all("faults", &rest, &flag_values)?;
             let injections = match flag("--injections") {
                 None => 8,
                 Some(v) => v
@@ -402,11 +444,7 @@ pub fn run_cli(cmd: &Command, out: &mut dyn fmt::Write) -> Result<(), Box<dyn Er
             deny_warnings,
             json,
         } => {
-            let workloads = match workload {
-                None => gpu_workloads::suite(),
-                Some(name) => vec![gpu_workloads::by_name(name)
-                    .ok_or_else(|| ParseError(format!("unknown workload `{name}`")))?],
-            };
+            let workloads = resolve_workloads(workload.as_deref())?;
             let mut errors = 0usize;
             let mut warnings = 0usize;
             let mut rows = Vec::new();
@@ -468,11 +506,7 @@ pub fn run_cli(cmd: &Command, out: &mut dyn fmt::Write) -> Result<(), Box<dyn Er
             workload,
             out: out_file,
         } => {
-            let workloads = match workload {
-                None => gpu_workloads::suite(),
-                Some(name) => vec![gpu_workloads::by_name(name)
-                    .ok_or_else(|| ParseError(format!("unknown workload `{name}`")))?],
-            };
+            let workloads = resolve_workloads(workload.as_deref())?;
             let reports = warped_compression::predict_suite(&workloads)?;
             let mut rows = Vec::new();
             let mut unsound_total = 0usize;
@@ -545,11 +579,7 @@ pub fn run_cli(cmd: &Command, out: &mut dyn fmt::Write) -> Result<(), Box<dyn Er
             resume,
             out: out_file,
         } => {
-            let workloads = match workload {
-                None => gpu_workloads::suite(),
-                Some(name) => vec![gpu_workloads::by_name(name)
-                    .ok_or_else(|| ParseError(format!("unknown workload `{name}`")))?],
-            };
+            let workloads = resolve_workloads(workload.as_deref())?;
             let policy = RunPolicy {
                 cycle_budget: *budget,
                 ..RunPolicy::default()
@@ -640,6 +670,81 @@ pub fn run_cli(cmd: &Command, out: &mut dyn fmt::Write) -> Result<(), Box<dyn Er
                 return Err(
                     format!("{silent_total} silent corruption(s) slipped past SEC-DED").into(),
                 );
+            }
+        }
+        Command::Perf {
+            workload,
+            design,
+            out: out_file,
+        } => {
+            let workloads = resolve_workloads(workload.as_deref())?;
+            // The suite runner fixes the design point (it parallelises
+            // the default CI sweep); other designs go kernel-by-kernel.
+            let reports = if *design == DesignPoint::WarpedCompression {
+                perf_suite(&workloads)?
+            } else {
+                workloads
+                    .iter()
+                    .map(|w| perf_workload(w, *design))
+                    .collect::<Result<Vec<_>, _>>()?
+            };
+            let mut rows = Vec::new();
+            let mut statuses = Vec::new();
+            for r in &reports {
+                rows.push(vec![
+                    r.kernel.clone(),
+                    r.comparison.static_cycles.to_string(),
+                    r.comparison.measured_cycles.to_string(),
+                    format!("{:.1}%", r.cycle_tightness() * 100.0),
+                    r.comparison.static_bank_accesses.to_string(),
+                    r.comparison.measured_bank_accesses.to_string(),
+                    format!("{:.0}", r.comparison.static_energy_pj),
+                    format!("{:.0}", r.comparison.measured_energy_pj),
+                    r.conflict_checks.len().to_string(),
+                ]);
+                statuses.push(if r.is_sound() { "ok" } else { "UNSOUND" });
+            }
+            let table = wc_bench::FigureTable::new(
+                "perf",
+                format!(
+                    "Static performance lower bounds vs. measured ({})",
+                    design.label()
+                ),
+                [
+                    "kernel",
+                    "static cyc",
+                    "measured cyc",
+                    "tight",
+                    "static acc",
+                    "measured acc",
+                    "static pJ",
+                    "measured pJ",
+                    "conflicts",
+                ]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+                rows,
+            )
+            .with_status_column(&statuses);
+            writeln!(out, "{}", table.to_markdown())?;
+            let out_path = out_file
+                .clone()
+                .unwrap_or_else(|| "results/BENCH_perf.json".to_string());
+            write_report(
+                &out_path,
+                &wc_bench::perf_json::perf_json(&design.label(), &reports),
+            )?;
+            writeln!(out, "report written to {out_path}")?;
+            // The CI gate: no measurement may beat a static lower bound.
+            if let Some(r) = reports.iter().find(|r| !r.is_sound()) {
+                let sites = r.unsound_sites();
+                return Err(format!(
+                    "kernel `{}` beat a static lower bound ({} unsound conflict site(s))",
+                    r.kernel,
+                    sites.len()
+                )
+                .into());
             }
         }
         Command::Kernel {
@@ -1093,6 +1198,69 @@ mod tests {
         assert_eq!(frag_u64_field(frag, "silent_corruption"), Some(0));
         assert_eq!(frag_u64_field(frag, "missing"), None);
         assert_eq!(frag_str_field(frag, "status").as_deref(), Some("ok"));
+    }
+
+    #[test]
+    fn parses_perf_variants() {
+        assert_eq!(
+            parse(&["perf", "lib"]).unwrap(),
+            Command::Perf {
+                workload: Some("lib".into()),
+                design: DesignPoint::WarpedCompression,
+                out: None,
+            }
+        );
+        assert_eq!(
+            parse(&["perf", "--all", "--design", "baseline", "--out", "p.json"]).unwrap(),
+            Command::Perf {
+                workload: None,
+                design: DesignPoint::Baseline,
+                out: Some("p.json".into()),
+            }
+        );
+        assert!(parse(&["perf"]).is_err());
+        assert!(parse(&["perf", "--all", "--out"]).is_err());
+        assert!(parse(&["perf", "lib", "--design", "warp9"]).is_err());
+    }
+
+    #[test]
+    fn perf_command_reports_and_writes_sound_json() {
+        let dir = std::env::temp_dir().join(format!("wcsim-perf-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let (p1, p2) = (dir.join("a.json"), dir.join("b.json"));
+        let cmd = |p: &std::path::Path| Command::Perf {
+            workload: Some("lib".into()),
+            design: DesignPoint::WarpedCompression,
+            out: Some(p.to_string_lossy().into_owned()),
+        };
+        let mut out = String::new();
+        run_cli(&cmd(&p1), &mut out).expect("lib bounds must be sound");
+        run_cli(&cmd(&p2), &mut out).unwrap();
+        let (a, b) = (fs::read(&p1).unwrap(), fs::read(&p2).unwrap());
+        assert_eq!(a, b, "perf JSON must be byte-identical across runs");
+        assert!(out.contains("| lib |"));
+        assert!(out.contains("| ok |"));
+        assert!(out.contains("report written to"));
+        let doc = String::from_utf8(a).unwrap();
+        assert!(doc.contains("\"design\": \"warped-compression\""));
+        assert!(doc.contains("\"sound\": true"));
+        assert!(doc.contains("\"static_cycles\""));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn perf_unknown_workload_is_an_error() {
+        let mut out = String::new();
+        let err = run_cli(
+            &Command::Perf {
+                workload: Some("nope".into()),
+                design: DesignPoint::WarpedCompression,
+                out: None,
+            },
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("nope"));
     }
 
     #[test]

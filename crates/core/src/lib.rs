@@ -44,6 +44,7 @@ pub mod experiment;
 pub mod explorer;
 #[cfg(feature = "faults")]
 pub mod fault_campaign;
+pub mod perfbound;
 pub mod predict;
 pub mod resilient;
 pub mod similarity;
@@ -56,6 +57,7 @@ pub use explorer::ChoiceBreakdown;
 pub use fault_campaign::{
     kernel_seed, run_fault_campaign, run_kernel_faults, KernelFaultReport, DEFAULT_FAULT_SEED,
 };
+pub use perfbound::{perf_machine, perf_suite, perf_workload, ConflictCheck, PerfReport};
 pub use predict::{
     predict_suite, predict_workload, PredictError, PredictReport, SiteOutcome, SiteValidation,
 };

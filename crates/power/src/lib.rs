@@ -44,6 +44,7 @@ mod compressibility;
 mod model;
 mod occupancy;
 mod params;
+mod perf;
 mod report;
 
 pub use activity::{ActivityCounts, LowPowerKind};
@@ -51,4 +52,5 @@ pub use compressibility::CompressibilityComparison;
 pub use model::EnergyModel;
 pub use occupancy::OccupancyComparison;
 pub use params::EnergyParams;
+pub use perf::PerfComparison;
 pub use report::EnergyReport;

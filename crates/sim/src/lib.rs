@@ -64,4 +64,4 @@ pub use launch::LaunchConfig;
 pub use memory::{GlobalMemory, MemoryFault};
 pub use simt_stack::SimtStack;
 pub use sm::{GpuSim, SimError, SimResult};
-pub use stats::{CensusStats, SimStats, WriteEvent};
+pub use stats::{CensusStats, PcStalls, SimStats, StallCause, StallStats, WriteEvent};

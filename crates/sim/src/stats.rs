@@ -1,5 +1,7 @@
 //! Simulation statistics and the register-write observation hook.
 
+use std::collections::BTreeMap;
+
 use bdi::{CompressionClass, WarpRegister};
 use gpu_regfile::{GatingMode, RegFileStats};
 use serde::{Deserialize, Serialize};
@@ -63,6 +65,135 @@ fn fraction(num: u64, den: u64) -> f64 {
     }
 }
 
+/// Why a pipeline opportunity was lost for one cycle.
+///
+/// Each variant maps to exactly one stall site in the engine, so the
+/// per-cause totals partition cleanly: the legacy aggregate
+/// `collector_retry_cycles` equals `BankConflict + Decompressor` by
+/// construction (tested below), and the static analyzer's per-PC
+/// conflict bounds are compared against exactly that pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum StallCause {
+    /// An operand fetch lost the bank read-port arbitration.
+    BankConflict,
+    /// An operand fetch of a compressed register hit the per-cycle
+    /// decompressor limit.
+    Decompressor,
+    /// Issue blocked on a scoreboard hazard (RAW/WAW/WAR) or on LSU
+    /// memory ordering.
+    Scoreboard,
+    /// Issue found no free operand collector.
+    CollectorFull,
+    /// Writeback lost the bank write-port arbitration (or the target
+    /// bank was still waking up).
+    WritebackPort,
+}
+
+impl StallCause {
+    /// All causes, in the order stall tables render them.
+    pub const ALL: [StallCause; 5] = [
+        StallCause::BankConflict,
+        StallCause::Decompressor,
+        StallCause::Scoreboard,
+        StallCause::CollectorFull,
+        StallCause::WritebackPort,
+    ];
+
+    /// Stable snake_case name (used by the JSON reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            StallCause::BankConflict => "bank_conflict",
+            StallCause::Decompressor => "decompressor",
+            StallCause::Scoreboard => "scoreboard",
+            StallCause::CollectorFull => "collector_full",
+            StallCause::WritebackPort => "writeback_port",
+        }
+    }
+}
+
+/// Per-cause stall cycles charged to one program counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PcStalls {
+    /// Operand-fetch bank-port losses.
+    pub bank_conflict: u64,
+    /// Operand-fetch decompressor-limit losses.
+    pub decompressor: u64,
+    /// Scoreboard / memory-ordering issue blocks.
+    pub scoreboard: u64,
+    /// Collector-full issue blocks.
+    pub collector_full: u64,
+    /// Writeback write-port losses.
+    pub writeback_port: u64,
+}
+
+impl PcStalls {
+    /// Count for one cause.
+    pub fn get(&self, cause: StallCause) -> u64 {
+        match cause {
+            StallCause::BankConflict => self.bank_conflict,
+            StallCause::Decompressor => self.decompressor,
+            StallCause::Scoreboard => self.scoreboard,
+            StallCause::CollectorFull => self.collector_full,
+            StallCause::WritebackPort => self.writeback_port,
+        }
+    }
+
+    fn slot_mut(&mut self, cause: StallCause) -> &mut u64 {
+        match cause {
+            StallCause::BankConflict => &mut self.bank_conflict,
+            StallCause::Decompressor => &mut self.decompressor,
+            StallCause::Scoreboard => &mut self.scoreboard,
+            StallCause::CollectorFull => &mut self.collector_full,
+            StallCause::WritebackPort => &mut self.writeback_port,
+        }
+    }
+
+    /// Stalls charged to this pc across every cause.
+    pub fn total(&self) -> u64 {
+        StallCause::ALL.iter().map(|&c| self.get(c)).sum()
+    }
+
+    /// The operand-fetch retry portion — the pair the legacy aggregate
+    /// counter and the static conflict bound both refer to.
+    pub fn operand_fetch(&self) -> u64 {
+        self.bank_conflict + self.decompressor
+    }
+}
+
+/// Per-PC, per-cause stall attribution for a whole run.
+///
+/// Keyed by the pc of the stalled instruction (for injected dummy MOVs,
+/// the pc of the program instruction they shadow — same convention as
+/// [`WriteEvent::pc`]). The `BTreeMap` keeps report iteration
+/// deterministic.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StallStats {
+    /// Stall counters per program counter.
+    pub by_pc: BTreeMap<usize, PcStalls>,
+}
+
+impl StallStats {
+    /// Charges one lost cycle at `pc` to `cause`.
+    pub fn record(&mut self, pc: usize, cause: StallCause) {
+        *self.by_pc.entry(pc).or_default().slot_mut(cause) += 1;
+    }
+
+    /// The counters charged to `pc` (zero if it never stalled).
+    pub fn at(&self, pc: usize) -> PcStalls {
+        self.by_pc.get(&pc).copied().unwrap_or_default()
+    }
+
+    /// Run-wide total for one cause.
+    pub fn total(&self, cause: StallCause) -> u64 {
+        self.by_pc.values().map(|p| p.get(cause)).sum()
+    }
+
+    /// Run-wide total across all causes.
+    pub fn grand_total(&self) -> u64 {
+        self.by_pc.values().map(PcStalls::total).sum()
+    }
+}
+
 /// Aggregate statistics of one simulation run.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct SimStats {
@@ -92,8 +223,11 @@ pub struct SimStats {
     /// Decompressor-unit activations.
     pub decompressor_activations: u64,
     /// Cycles an issue opportunity was lost to bank-port conflicts
-    /// (operand fetch retries).
+    /// (operand fetch retries). Kept as the aggregate of the
+    /// `bank_conflict` and `decompressor` causes in [`SimStats::stalls`].
     pub collector_retry_cycles: u64,
+    /// Per-PC, per-cause stall attribution.
+    pub stalls: StallStats,
     /// The Fig. 12 census samples.
     pub census: CensusStats,
     /// Register file bank counters (reads/writes/gating).
@@ -194,6 +328,40 @@ mod tests {
         assert!((s.compression_ratio_div().unwrap() - 1.0).abs() < 1e-12);
         assert!((s.compression_ratio() - 1408.0 / 640.0).abs() < 1e-12);
         assert_eq!(s.total_instructions(), 102);
+    }
+
+    #[test]
+    fn stall_stats_record_and_total() {
+        let mut s = StallStats::default();
+        s.record(3, StallCause::BankConflict);
+        s.record(3, StallCause::BankConflict);
+        s.record(3, StallCause::Decompressor);
+        s.record(7, StallCause::Scoreboard);
+        s.record(9, StallCause::WritebackPort);
+        s.record(9, StallCause::CollectorFull);
+        assert_eq!(s.at(3).bank_conflict, 2);
+        assert_eq!(s.at(3).operand_fetch(), 3);
+        assert_eq!(s.at(7).scoreboard, 1);
+        assert_eq!(s.at(42), PcStalls::default());
+        assert_eq!(s.total(StallCause::BankConflict), 2);
+        assert_eq!(s.grand_total(), 6);
+        let per_cause: u64 = StallCause::ALL.iter().map(|&c| s.total(c)).sum();
+        assert_eq!(per_cause, s.grand_total(), "causes partition the total");
+    }
+
+    #[test]
+    fn stall_cause_names_are_stable() {
+        let names: Vec<&str> = StallCause::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "bank_conflict",
+                "decompressor",
+                "scoreboard",
+                "collector_full",
+                "writeback_port"
+            ]
+        );
     }
 
     #[test]
