@@ -98,6 +98,13 @@ impl ChoiceSet {
     pub fn is_disabled(&self) -> bool {
         self.choices.is_empty()
     }
+
+    /// The widest delta width (bytes) any choice in the set accepts, or
+    /// `None` for a disabled set. Early-exit classification stops
+    /// folding as soon as this bound is exceeded.
+    pub(crate) fn max_delta_bytes(&self) -> Option<usize> {
+        self.choices.iter().map(|c| c.layout().delta_bytes()).max()
+    }
 }
 
 impl Default for ChoiceSet {

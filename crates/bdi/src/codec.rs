@@ -1,11 +1,14 @@
 //! The compression/decompression engine (paper Fig. 7).
 
+use std::fmt;
+
 use crate::choice::{ChoiceSet, CompressionClass};
 use crate::compressed::CompressedRegister;
-use crate::deltas::DeltaArray;
+use crate::deltas::{DeltaArray, MAX_STORED_DELTAS};
 use crate::error::DecodeError;
 use crate::layout::{BaseSize, ChunkLayout};
 use crate::register::{WarpRegister, WARP_REGISTER_BYTES, WARP_SIZE};
+use crate::simd::{kernels, kernels_for, scalar, Kernels, SimdTier};
 
 /// A BDI compressor/decompressor pair configured with a [`ChoiceSet`].
 ///
@@ -26,15 +29,37 @@ use crate::register::{WarpRegister, WARP_REGISTER_BYTES, WARP_SIZE};
 /// assert_eq!(c.banks_required(), 1); // <4,0>
 /// assert_eq!(codec.decompress(&c), uniform);
 /// ```
-#[derive(Clone, Debug, Default, PartialEq)]
+#[derive(Clone)]
 pub struct BdiCodec {
     choices: ChoiceSet,
+    /// The SIMD kernel table the hot paths run on — resolved once at
+    /// construction from the process-wide dispatcher (or pinned by
+    /// [`with_tier`](BdiCodec::with_tier)).
+    kernels: &'static Kernels,
 }
 
 impl BdiCodec {
-    /// Creates a codec that tries the given choices in order.
+    /// Creates a codec that tries the given choices in order, running on
+    /// the runtime-dispatched kernel tier (AVX2/NEON when the CPU has
+    /// them, scalar otherwise or under `WC_FORCE_SCALAR`).
     pub fn new(choices: ChoiceSet) -> Self {
-        BdiCodec { choices }
+        BdiCodec {
+            choices,
+            kernels: kernels(),
+        }
+    }
+
+    /// Creates a codec pinned to a specific kernel tier, or `None` when
+    /// the current CPU cannot run it. All tiers are bit-exact, so this
+    /// only exists for the dispatch-pinning tests and the scalar-vs-SIMD
+    /// benches.
+    pub fn with_tier(choices: ChoiceSet, tier: SimdTier) -> Option<Self> {
+        kernels_for(tier).map(|kernels| BdiCodec { choices, kernels })
+    }
+
+    /// The kernel tier this codec runs on.
+    pub fn tier(&self) -> SimdTier {
+        self.kernels.tier
     }
 
     /// The configured choice set.
@@ -46,51 +71,34 @@ impl BdiCodec {
     /// returns it uncompressed when no choice fits (or the set is
     /// disabled).
     ///
-    /// This is a single pass over the 32 lanes, the software analog of the
-    /// hardware's parallel subtractor/comparator array (Fig. 7): every
-    /// lane is subtracted from the base exactly once, two bitwise folds
-    /// classify the narrowest delta width that fits *all* lanes, and the
-    /// first choice at least that wide wins — without re-reading any
-    /// lane. Valid because every runtime choice uses a 4-byte base (so
-    /// all choices see the same deltas) and delta fit is monotone in
-    /// width (the nested-fit property of §4). No heap allocation occurs.
+    /// This is a single sweep over the 32 lanes — the software analog of
+    /// the hardware's parallel subtractor/comparator array (Fig. 7),
+    /// running 8 lanes per instruction on AVX2 (4 on NEON): every lane is
+    /// subtracted from the base exactly once, two bitwise folds classify
+    /// the narrowest delta width that fits *all* lanes, and the first
+    /// choice at least that wide wins — without re-reading any lane.
+    /// Valid because every runtime choice uses a 4-byte base (so all
+    /// choices see the same deltas) and delta fit is monotone in width
+    /// (the nested-fit property of §4). No heap allocation occurs, and
+    /// every kernel tier produces bit-identical output.
     pub fn compress(&self, reg: &WarpRegister) -> CompressedRegister {
         let lanes = reg.as_lanes();
-        let base = lanes[0];
-        let mut vals = [0i32; WARP_SIZE - 1];
-        // `any_bits` detects exact-zero deltas; `magnitude` folds the
-        // sign-folded pattern `d ^ (d >> 31)` (= d for d >= 0, !d for
-        // d < 0), which is < 2^(8w-1) exactly when d fits a w-byte
-        // signed delta. One subtract and two ORs per lane.
-        let mut any_bits = 0u32;
-        let mut magnitude = 0u32;
-        for (slot, &lane) in vals.iter_mut().zip(&lanes[1..]) {
-            let d = lane.wrapping_sub(base) as i32;
-            *slot = d;
-            any_bits |= d as u32;
-            magnitude |= (d ^ (d >> 31)) as u32;
-        }
-        let min_width = if any_bits == 0 {
-            0
-        } else if magnitude < 0x80 {
-            1
-        } else if magnitude < 0x8000 {
-            2
-        } else {
-            // A 4-byte delta would not shrink a 4-byte-base register.
-            usize::MAX
-        };
+        let mut vals = [0i32; MAX_STORED_DELTAS];
+        let (any_bits, magnitude) = self.kernels.sweep4(lanes, &mut vals);
+        // `None` means not even 2-byte deltas fit — a 4-byte delta would
+        // not shrink a 4-byte-base register.
+        let min_width = scalar::width4_of_fold(any_bits, magnitude);
         for choice in self.choices.choices() {
             let layout = choice.layout();
-            if layout.delta_bytes() >= min_width {
+            if min_width.is_some_and(|w| layout.delta_bytes() >= w) {
                 let deltas = if layout.delta_bytes() == 0 {
                     DeltaArray::zeros(WARP_SIZE - 1)
                 } else {
-                    DeltaArray::from_stored(&vals)
+                    DeltaArray::from_raw(vals, (WARP_SIZE - 1) as u8)
                 };
                 return CompressedRegister::Compressed {
                     layout,
-                    base: u64::from(base),
+                    base: u64::from(lanes[0]),
                     deltas,
                 };
             }
@@ -99,17 +107,40 @@ impl BdiCodec {
     }
 
     /// The compression class `reg` would be stored under, without
-    /// keeping the compressed form. Static analyses use this to ask
-    /// "how would this value be stored?" for values they can prove.
+    /// keeping the compressed form. Static analyses and the per-write
+    /// sim instrumentation use this to ask "how would this value be
+    /// stored?" for values they can prove.
+    ///
+    /// Cheaper than [`compress`](BdiCodec::compress): no deltas are
+    /// materialised, and the bounded fold bails out at the first 8-lane
+    /// block that already rules out every width the choice set accepts
+    /// (e.g. a disabled codec classifies without reading any lane, and
+    /// incompressible data is rejected after the first over-budget
+    /// block).
     pub fn classify(&self, reg: &WarpRegister) -> CompressionClass {
-        self.compress(reg).class()
+        let class = match self.choices.max_delta_bytes() {
+            None => CompressionClass::Uncompressed,
+            Some(max_width) => match self.kernels.width4_bounded(reg.as_lanes(), max_width) {
+                None => CompressionClass::Uncompressed,
+                Some(w) => self
+                    .choices
+                    .choices()
+                    .iter()
+                    .find(|c| c.layout().delta_bytes() >= w)
+                    .map(|&c| CompressionClass::from(c))
+                    .unwrap_or(CompressionClass::Uncompressed),
+            },
+        };
+        debug_assert_eq!(class, self.compress(reg).class(), "early-exit classify");
+        class
     }
 
     /// The number of 16-byte banks `reg` would occupy as stored —
     /// 1/3/5 for the compressed classes, 8 uncompressed. The static
-    /// bank-access bounds are built from exactly this footprint.
+    /// bank-access bounds are built from exactly this footprint. Shares
+    /// the early-exit fold of [`classify`](BdiCodec::classify).
     pub fn footprint(&self, reg: &WarpRegister) -> usize {
-        self.compress(reg).banks_required()
+        self.classify(reg).banks()
     }
 
     /// Reference multi-pass compressor: tries each choice independently,
@@ -131,9 +162,10 @@ impl BdiCodec {
     /// Reconstructs the original warp register.
     ///
     /// Decompression is a single wrapping add of each delta to the base
-    /// (§4), which is why the paper budgets only one cycle for it.
+    /// (§4), which is why the paper budgets only one cycle for it — and
+    /// why it vectorises into four adds on AVX2.
     pub fn decompress(&self, compressed: &CompressedRegister) -> WarpRegister {
-        decompress(compressed)
+        decompress_with(self.kernels, compressed)
     }
 
     /// Fallible decompression: validates the stored form first and
@@ -144,9 +176,36 @@ impl BdiCodec {
         compressed: &CompressedRegister,
     ) -> Result<WarpRegister, DecodeError> {
         compressed.validate()?;
-        Ok(decompress(compressed))
+        Ok(decompress_with(self.kernels, compressed))
     }
 }
+
+impl Default for BdiCodec {
+    fn default() -> Self {
+        BdiCodec::new(ChoiceSet::default())
+    }
+}
+
+impl fmt::Debug for BdiCodec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BdiCodec")
+            .field("choices", &self.choices)
+            .field("tier", &self.kernels.tier)
+            .finish()
+    }
+}
+
+/// Codecs compare by configuration: choice set and kernel tier. (Manual
+/// impl because comparing the function table by pointer would be both
+/// meaningless and a clippy `unpredictable_function_pointer_comparisons`
+/// hazard.)
+impl PartialEq for BdiCodec {
+    fn eq(&self, other: &Self) -> bool {
+        self.choices == other.choices && self.kernels.tier == other.kernels.tier
+    }
+}
+
+impl Eq for BdiCodec {}
 
 /// Attempts to compress `reg` with one specific ⟨base, delta⟩ layout.
 ///
@@ -194,7 +253,13 @@ pub(crate) fn compress_with_layout(
 
 /// Decompresses any [`CompressedRegister`] (free function so callers
 /// without a codec, e.g. the decompressor unit model, can use it too).
+/// Runs on the process-wide dispatched kernel tier.
 pub(crate) fn decompress(compressed: &CompressedRegister) -> WarpRegister {
+    decompress_with(kernels(), compressed)
+}
+
+/// [`decompress`] on an explicit kernel table.
+fn decompress_with(k: &Kernels, compressed: &CompressedRegister) -> WarpRegister {
     match compressed {
         CompressedRegister::Uncompressed(reg) => *reg,
         CompressedRegister::Compressed {
@@ -202,6 +267,17 @@ pub(crate) fn decompress(compressed: &CompressedRegister) -> WarpRegister {
             base,
             deltas,
         } => {
+            // The three runtime choices all land here: a 4-byte base
+            // with the full 31 deltas takes the vector kernel. (The
+            // `raw_vals` buffer is valid in both storage forms — the
+            // zeros form is all zeros.) Everything else — the explorer's
+            // B8/B2/B1 layouts and fault-truncated delta arrays — keeps
+            // the generic chunk loop below, preserving its behaviour on
+            // malformed registers. The u32 cast of the base matches the
+            // generic path's 4-byte chunk mask.
+            if layout.base() == BaseSize::B4 && deltas.len() == WARP_SIZE - 1 {
+                return WarpRegister::new(k.decompress4(*base as u32, deltas.raw_vals()));
+            }
             let chunk_bytes = layout.base().bytes();
             let mut bytes = [0u8; WARP_REGISTER_BYTES];
             write_chunk(&mut bytes[..chunk_bytes], *base);

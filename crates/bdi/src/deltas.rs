@@ -191,6 +191,27 @@ impl DeltaArray {
     pub fn as_stored(&self) -> &[i32] {
         &self.vals[..usize::from(self.stored)]
     }
+
+    /// Stored form adopting a full sweep buffer without re-copying it —
+    /// the constructor the SIMD compress path uses. Slots past `len`
+    /// must already be zero (the sweep kernels only write `len` slots
+    /// into a zero-initialised buffer), preserving the invariant that
+    /// unused slots are zero.
+    pub(crate) fn from_raw(vals: [i32; MAX_STORED_DELTAS], len: u8) -> Self {
+        debug_assert!(vals[usize::from(len)..].iter().all(|&d| d == 0));
+        DeltaArray {
+            logical: len,
+            stored: len,
+            vals,
+        }
+    }
+
+    /// The full inline buffer, valid in both forms: zeros form holds all
+    /// zeros, stored form zero-fills past `len()`. Lets the SIMD
+    /// decompress kernel load fixed-width blocks without bounds checks.
+    pub(crate) fn raw_vals(&self) -> &[i32; MAX_STORED_DELTAS] {
+        &self.vals
+    }
 }
 
 impl Default for DeltaArray {

@@ -11,7 +11,8 @@ use serde::Serialize;
 
 use crate::codec::{compress_with_layout, decompress};
 use crate::layout::{BaseSize, ChunkLayout};
-use crate::register::{WarpRegister, WARP_SIZE};
+use crate::register::WarpRegister;
+use crate::simd::{kernels, scalar};
 
 /// The seven ⟨base, delta⟩ parameter pairs the paper's explorer evaluates
 /// on every register write (§4): `<4,0>, <4,1>, <4,2>, <8,0>, <8,1>,
@@ -60,56 +61,22 @@ impl BestChoice {
 /// assert_eq!(best.delta_bytes(), 1);
 /// ```
 pub fn explore_best_choice(reg: &WarpRegister) -> BestChoice {
-    // Single fused pass: each lane is read once, feeding both the 4-byte
-    // width folds (chunks == lanes) and, in pairs, the 8-byte width
-    // folds. `bits` detects exact-zero deltas; `mag` folds the
+    // Two width folds over the register — 4-byte chunks (== lanes) and
+    // 8-byte chunks (lane pairs) — on the runtime-dispatched kernel
+    // tier: `bits` detects exact-zero deltas; `mag` folds the
     // sign-folded pattern `d ^ (d >> n-1)`, which is < 2^(8w-1) exactly
     // when every delta fits a w-byte signed value — the software analog
-    // of the hardware's parallel comparator array (Fig. 7).
+    // of the hardware's parallel comparator array (Fig. 7). The fold→
+    // width decision lives in one shared scalar helper per chunk size,
+    // the same one the codec's compress path uses.
     let lanes = reg.as_lanes();
-    let base4 = lanes[0];
-    let base8 = u64::from(lanes[0]) | (u64::from(lanes[1]) << 32);
-    let (mut bits4, mut mag4) = (0u32, 0u32);
-    let (mut bits8, mut mag8) = (0u64, 0u64);
-    // Lane 1 shares chunk 0 with the base lane, so it only feeds the
-    // 4-byte folds.
-    let d = lanes[1].wrapping_sub(base4) as i32;
-    bits4 |= d as u32;
-    mag4 |= (d ^ (d >> 31)) as u32;
-    for pair in 1..WARP_SIZE / 2 {
-        let (lo, hi) = (lanes[2 * pair], lanes[2 * pair + 1]);
-        for lane in [lo, hi] {
-            let d = lane.wrapping_sub(base4) as i32;
-            bits4 |= d as u32;
-            mag4 |= (d ^ (d >> 31)) as u32;
-        }
-        let chunk = u64::from(lo) | (u64::from(hi) << 32);
-        let d8 = chunk.wrapping_sub(base8) as i64;
-        bits8 |= d8 as u64;
-        mag8 |= (d8 ^ (d8 >> 63)) as u64;
-    }
+    let k = kernels();
+    let (bits4, mag4) = k.fold4(lanes);
+    let (bits8, mag8) = k.fold8(lanes);
     // Narrowest fitting delta width per base; any wider same-base layout
     // is strictly larger, so only these two candidates can win.
-    let width4 = if bits4 == 0 {
-        Some(0)
-    } else if mag4 < 0x80 {
-        Some(1)
-    } else if mag4 < 0x8000 {
-        Some(2)
-    } else {
-        None
-    };
-    let width8 = if bits8 == 0 {
-        Some(0)
-    } else if mag8 < 0x80 {
-        Some(1)
-    } else if mag8 < 0x8000 {
-        Some(2)
-    } else if mag8 < 0x8000_0000 {
-        Some(4)
-    } else {
-        None
-    };
+    let width4 = scalar::width4_of_fold(bits4, mag4);
+    let width8 = scalar::width8_of_fold(bits8, mag8);
     let layout = |base, w: Option<usize>| {
         w.map(|w| ChunkLayout::new(base, w).expect("explorer widths are valid"))
     };

@@ -1,0 +1,243 @@
+//! AVX2 kernels: 8 lanes per `__m256i`, four vector blocks per warp
+//! register.
+//!
+//! # Bit-exactness
+//!
+//! Every kernel performs the same wrapping-subtract / XOR / OR
+//! arithmetic as [`scalar`](super::scalar), just 8 lanes at a time:
+//! integer SIMD has no rounding modes, so lane-for-lane results are
+//! identical by construction. Lane 0 is folded along with the rest (its
+//! delta is `0`, the OR-fold identity), which is what lets the kernels
+//! consume the register as four aligned-width loads.
+//!
+//! # Safety
+//!
+//! The `#[target_feature(enable = "avx2")]` implementations sit in the
+//! dispatch table as raw `unsafe fn` pointers (a safe-wrapper layer
+//! would add a second, non-inlinable call per kernel), and the table is
+//! only handed out after `is_x86_feature_detected!("avx2")` succeeded
+//! (see [`super::select`]/[`super::kernels_for`]). Loads and stores use
+//! the unaligned `loadu`/`storeu` forms on pointers derived from
+//! in-bounds Rust references, with all offsets bounded by the fixed
+//! array sizes.
+#![allow(unsafe_code)]
+
+use core::arch::x86_64::*;
+
+use crate::deltas::MAX_STORED_DELTAS;
+use crate::fpc::PREFIX_BITS;
+use crate::register::WARP_SIZE;
+
+use super::{scalar, KernelFns, Kernels, SimdTier};
+
+/// The AVX2 kernel table. Only installed after runtime detection.
+pub(crate) static KERNELS: Kernels = Kernels::new(
+    SimdTier::Avx2,
+    KernelFns {
+        fold4: fold4_avx2,
+        fold8: fold8_avx2,
+        sweep4: sweep4_avx2,
+        width4_bounded: width4_bounded_avx2,
+        decompress4: decompress4_avx2,
+        fpc_scan: fpc_scan_avx2,
+    },
+);
+
+/// OR-reduction of eight 32-bit lanes.
+#[target_feature(enable = "avx2")]
+unsafe fn or_reduce_u32(v: __m256i) -> u32 {
+    let x = _mm_or_si128(_mm256_castsi256_si128(v), _mm256_extracti128_si256::<1>(v));
+    let x = _mm_or_si128(x, _mm_shuffle_epi32::<0b00_00_11_10>(x));
+    let x = _mm_or_si128(x, _mm_shuffle_epi32::<0b00_00_00_01>(x));
+    _mm_cvtsi128_si32(x) as u32
+}
+
+/// OR-reduction of four 64-bit lanes.
+#[target_feature(enable = "avx2")]
+unsafe fn or_reduce_u64(v: __m256i) -> u64 {
+    let x = _mm_or_si128(_mm256_castsi256_si128(v), _mm256_extracti128_si256::<1>(v));
+    let x = _mm_or_si128(x, _mm_unpackhi_epi64(x, x));
+    _mm_cvtsi128_si64(x) as u64
+}
+
+/// Add-reduction of eight 32-bit lanes.
+#[target_feature(enable = "avx2")]
+unsafe fn add_reduce_u32(v: __m256i) -> u32 {
+    let x = _mm_add_epi32(_mm256_castsi256_si128(v), _mm256_extracti128_si256::<1>(v));
+    let x = _mm_add_epi32(x, _mm_shuffle_epi32::<0b00_00_11_10>(x));
+    let x = _mm_add_epi32(x, _mm_shuffle_epi32::<0b00_00_00_01>(x));
+    _mm_cvtsi128_si32(x) as u32
+}
+
+/// `d ^ (d >> 31)` per 32-bit lane — the sign-fold of the scalar sweep.
+#[target_feature(enable = "avx2")]
+unsafe fn sign_fold_epi32(d: __m256i) -> __m256i {
+    _mm256_xor_si256(d, _mm256_srai_epi32::<31>(d))
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn fold4_avx2(lanes: &[u32; WARP_SIZE]) -> (u32, u32) {
+    let p = lanes.as_ptr() as *const __m256i;
+    let base = _mm256_set1_epi32(lanes[0] as i32);
+    let mut bits = _mm256_setzero_si256();
+    let mut mag = _mm256_setzero_si256();
+    for i in 0..WARP_SIZE / 8 {
+        let d = _mm256_sub_epi32(_mm256_loadu_si256(p.add(i)), base);
+        bits = _mm256_or_si256(bits, d);
+        mag = _mm256_or_si256(mag, sign_fold_epi32(d));
+    }
+    (or_reduce_u32(bits), or_reduce_u32(mag))
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn fold8_avx2(lanes: &[u32; WARP_SIZE]) -> (u64, u64) {
+    let p = lanes.as_ptr() as *const __m256i;
+    let base = _mm256_set1_epi64x((u64::from(lanes[0]) | (u64::from(lanes[1]) << 32)) as i64);
+    let zero = _mm256_setzero_si256();
+    let mut bits = zero;
+    let mut mag = zero;
+    for i in 0..WARP_SIZE / 8 {
+        let d = _mm256_sub_epi64(_mm256_loadu_si256(p.add(i)), base);
+        bits = _mm256_or_si256(bits, d);
+        // No 64-bit arithmetic shift in AVX2; `0 > d` builds the same
+        // all-ones-when-negative mask as `d >> 63`.
+        mag = _mm256_or_si256(mag, _mm256_xor_si256(d, _mm256_cmpgt_epi64(zero, d)));
+    }
+    (or_reduce_u64(bits), or_reduce_u64(mag))
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn sweep4_avx2(lanes: &[u32; WARP_SIZE], vals: &mut [i32; MAX_STORED_DELTAS]) -> (u32, u32) {
+    let p = lanes.as_ptr() as *const __m256i;
+    let base = _mm256_set1_epi32(lanes[0] as i32);
+    let vp = vals.as_mut_ptr();
+    // Deltas of lanes 1..32 land in vals[0..31]: the first block is
+    // rotated left one lane before storing (its tail slot is then
+    // overwritten by the next store), later blocks store at `8i − 1`.
+    let rot = _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0);
+    let mut bits = _mm256_setzero_si256();
+    let mut mag = _mm256_setzero_si256();
+    for i in 0..WARP_SIZE / 8 {
+        let d = _mm256_sub_epi32(_mm256_loadu_si256(p.add(i)), base);
+        if i == 0 {
+            _mm256_storeu_si256(vp as *mut __m256i, _mm256_permutevar8x32_epi32(d, rot));
+        } else {
+            _mm256_storeu_si256(vp.add(8 * i - 1) as *mut __m256i, d);
+        }
+        bits = _mm256_or_si256(bits, d);
+        mag = _mm256_or_si256(mag, sign_fold_epi32(d));
+    }
+    (or_reduce_u32(bits), or_reduce_u32(mag))
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn width4_bounded_avx2(lanes: &[u32; WARP_SIZE], max_width: usize) -> Option<usize> {
+    let p = lanes.as_ptr() as *const __m256i;
+    let base = _mm256_set1_epi32(lanes[0] as i32);
+    // A lane with any bit under the over-budget mask set rules every
+    // allowed width out: all bits for width 0, `>= 0x80` after the
+    // sign-fold for width 1, `>= 0x8000` for width 2.
+    let over_mask = _mm256_set1_epi32(match max_width {
+        0 => -1i32,
+        1 => !0x7F,
+        _ => !0x7FFF,
+    });
+    let mut bits = _mm256_setzero_si256();
+    let mut mag = _mm256_setzero_si256();
+    for i in 0..WARP_SIZE / 8 {
+        let d = _mm256_sub_epi32(_mm256_loadu_si256(p.add(i)), base);
+        bits = _mm256_or_si256(bits, d);
+        mag = _mm256_or_si256(mag, sign_fold_epi32(d));
+        let probe = if max_width == 0 { bits } else { mag };
+        if _mm256_testz_si256(probe, over_mask) == 0 {
+            return None;
+        }
+    }
+    scalar::width4_of_fold(or_reduce_u32(bits), or_reduce_u32(mag)).filter(|&w| w <= max_width)
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn decompress4_avx2(base: u32, vals: &[i32; MAX_STORED_DELTAS]) -> [u32; WARP_SIZE] {
+    let mut out = [0u32; WARP_SIZE];
+    let b = _mm256_set1_epi32(base as i32);
+    let vp = vals.as_ptr();
+    let op = out.as_mut_ptr();
+    // 31 deltas: three 8-wide blocks into out[1..25], one 4-wide block
+    // into out[25..29], scalar tail. Disjoint stores only — an
+    // overlapping final vector store makes LLVM spill the whole block
+    // through the stack, which costs more than the three tail adds.
+    for i in 0..3 {
+        let d = _mm256_loadu_si256(vp.add(8 * i) as *const __m256i);
+        _mm256_storeu_si256(op.add(8 * i + 1) as *mut __m256i, _mm256_add_epi32(b, d));
+    }
+    let d = _mm_loadu_si128(vp.add(24) as *const __m128i);
+    _mm_storeu_si128(
+        op.add(25) as *mut __m128i,
+        _mm_add_epi32(_mm256_castsi256_si128(b), d),
+    );
+    out[0] = base;
+    for lane in 29..WARP_SIZE {
+        out[lane] = base.wrapping_add(vals[lane - 1] as u32);
+    }
+    out
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn fpc_scan_avx2(words: &[u32; WARP_SIZE]) -> (u32, u32) {
+    let p = words.as_ptr() as *const __m256i;
+    let zero = _mm256_setzero_si256();
+    // Rotate each 32-bit word's bytes left by one (per 128-bit lane
+    // indices): a word equals its rotation iff all four bytes match.
+    let rot8 = _mm256_setr_epi8(
+        1, 2, 3, 0, 5, 6, 7, 4, 9, 10, 11, 8, 13, 14, 15, 12, //
+        1, 2, 3, 0, 5, 6, 7, 4, 9, 10, 11, 8, 13, 14, 15, 12,
+    );
+    // `v` fits a signed k-bit value iff `(v + 2^(k-1)) & !(2^k - 1)` is
+    // zero — the vector form of the scalar `fits_se` check.
+    let fits_se = |v: __m256i, bias: i32, keep: i32| {
+        _mm256_cmpeq_epi32(
+            _mm256_and_si256(
+                _mm256_add_epi32(v, _mm256_set1_epi32(bias)),
+                _mm256_set1_epi32(keep),
+            ),
+            zero,
+        )
+    };
+    let mut total = zero;
+    let mut zmask = 0u32;
+    for i in 0..WARP_SIZE / 8 {
+        let v = _mm256_loadu_si256(p.add(i));
+        let is_zero = _mm256_cmpeq_epi32(v, zero);
+        zmask |= (_mm256_movemask_ps(_mm256_castsi256_ps(is_zero)) as u32) << (8 * i);
+        let se4 = fits_se(v, 0x8, !0xF);
+        let se8 = fits_se(v, 0x80, !0xFF);
+        let se16 = fits_se(v, 0x8000, !0xFFFF);
+        let padded = _mm256_cmpeq_epi32(
+            _mm256_and_si256(v, _mm256_set1_epi32(0xFFFF_0000u32 as i32)),
+            zero,
+        );
+        // Both 16-bit halves fit signed 8 bits: the same biased-mask
+        // check in 16-bit lanes, then both halves of a word must pass.
+        let halves = _mm256_cmpeq_epi16(
+            _mm256_and_si256(
+                _mm256_add_epi16(v, _mm256_set1_epi16(0x80)),
+                _mm256_set1_epi16(0xFF00u16 as i16),
+            ),
+            zero,
+        );
+        let two = _mm256_cmpeq_epi32(halves, _mm256_set1_epi32(-1));
+        let rep = _mm256_cmpeq_epi32(v, _mm256_shuffle_epi8(v, rot8));
+        // Payload bits, applied in reverse priority so the first
+        // matching pattern of the scalar classifier wins.
+        let mut cost = _mm256_set1_epi32(32);
+        cost = _mm256_blendv_epi8(cost, _mm256_set1_epi32(8), rep);
+        cost = _mm256_blendv_epi8(cost, _mm256_set1_epi32(16), two);
+        cost = _mm256_blendv_epi8(cost, _mm256_set1_epi32(16), padded);
+        cost = _mm256_blendv_epi8(cost, _mm256_set1_epi32(16), se16);
+        cost = _mm256_blendv_epi8(cost, _mm256_set1_epi32(8), se8);
+        cost = _mm256_blendv_epi8(cost, _mm256_set1_epi32(4), se4);
+        cost = _mm256_add_epi32(cost, _mm256_set1_epi32(PREFIX_BITS as i32));
+        total = _mm256_add_epi32(total, _mm256_andnot_si256(is_zero, cost));
+    }
+    (add_reduce_u32(total), zmask)
+}

@@ -1,0 +1,417 @@
+//! Runtime-dispatched SIMD kernels for the BDI hot paths.
+//!
+//! The 128-byte warp register is 32 lanes of 4 bytes — exactly the lane
+//! vector a host SIMD unit operates on, and the software analogue of the
+//! parallel subtractor/comparator array of Fig. 7. This module holds one
+//! kernel table per implementation *tier*:
+//!
+//! * **scalar** — the portable single-pass sweeps every platform gets
+//!   ([`scalar`]); also the single source of truth for the width-fold
+//!   arithmetic the vector tiers must reproduce bit-exactly.
+//! * **avx2** — 8-lane `__m256i` kernels on `x86_64`, selected when
+//!   `is_x86_feature_detected!("avx2")` reports support.
+//! * **neon** — 4-lane `uint32x4_t` kernels on `aarch64`.
+//!
+//! Dispatch is resolved **once** per process (a [`OnceLock`]): the first
+//! codec call probes the CPU, honours the `WC_FORCE_SCALAR` environment
+//! variable (any value other than `0`/empty forces the scalar tier — the
+//! escape hatch the scalar-forced CI job uses), and caches a
+//! `&'static Kernels` function table. Every tier computes the *same*
+//! wrapping-subtract / sign-fold arithmetic over the same lanes, so the
+//! compressed bytes, compression classes and bank footprints are
+//! bit-identical across tiers — the property-test pins in
+//! `tests/simd_dispatch.rs` and the scalar-forced CI job enforce this.
+
+use std::sync::OnceLock;
+
+use crate::deltas::MAX_STORED_DELTAS;
+use crate::register::WARP_SIZE;
+
+pub(crate) mod scalar;
+
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod avx2;
+
+#[cfg(target_arch = "aarch64")]
+pub(crate) mod neon;
+
+/// One implementation tier of the BDI kernels.
+///
+/// All variants exist on every platform so portable code (benches, the
+/// dispatch-pinning tests) can enumerate them; [`is_available`] reports
+/// whether the current CPU can actually run a tier.
+///
+/// [`is_available`]: SimdTier::is_available
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SimdTier {
+    /// Portable single-pass scalar sweeps (always available).
+    Scalar,
+    /// 256-bit AVX2 kernels (`x86_64` with runtime AVX2 support).
+    Avx2,
+    /// 128-bit NEON kernels (`aarch64`).
+    Neon,
+}
+
+impl SimdTier {
+    /// Every tier, portable first.
+    pub const ALL: [SimdTier; 3] = [SimdTier::Scalar, SimdTier::Avx2, SimdTier::Neon];
+
+    /// Whether this tier can run on the current CPU.
+    pub fn is_available(self) -> bool {
+        match self {
+            SimdTier::Scalar => true,
+            SimdTier::Avx2 => avx2_available(),
+            SimdTier::Neon => neon_available(),
+        }
+    }
+
+    /// The tier the runtime dispatcher selected for this process —
+    /// the widest available one, unless `WC_FORCE_SCALAR` pinned the
+    /// scalar tier.
+    pub fn active() -> SimdTier {
+        kernels().tier
+    }
+
+    /// Stable lower-case label, used in reports, benches and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdTier::Scalar => "scalar",
+            SimdTier::Avx2 => "avx2",
+            SimdTier::Neon => "neon",
+        }
+    }
+}
+
+impl std::fmt::Display for SimdTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn avx2_available() -> bool {
+    std::arch::is_x86_feature_detected!("avx2")
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn avx2_available() -> bool {
+    false
+}
+
+#[cfg(target_arch = "aarch64")]
+fn neon_available() -> bool {
+    std::arch::is_aarch64_feature_detected!("neon")
+}
+
+#[cfg(not(target_arch = "aarch64"))]
+fn neon_available() -> bool {
+    false
+}
+
+/// The kernel function table one tier exports.
+///
+/// Every entry must be bit-exact against the scalar tier: same folds,
+/// same deltas, same early-exit decisions. The vector tiers fold lane 0
+/// into the accumulators too (its delta is definitionally zero, which is
+/// the OR-fold identity), so "all 32 lanes" and "lanes 1.." describe the
+/// same arithmetic.
+///
+/// Entries are `unsafe fn` pointers targeting the `#[target_feature]`
+/// implementations *directly* — a safe-wrapper layer would cost a second
+/// call per kernel invocation, since target-feature functions cannot
+/// inline into feature-less wrappers. Safety is restored at the table
+/// granularity: a table is only ever handed out by [`select`] /
+/// [`kernels_for`] after its tier's CPU feature was detected, so the
+/// safe accessor methods below may call the pointers unconditionally.
+#[derive(Debug)]
+pub(crate) struct Kernels {
+    /// Which tier this table implements.
+    pub tier: SimdTier,
+    fold4: unsafe fn(&[u32; WARP_SIZE]) -> (u32, u32),
+    fold8: unsafe fn(&[u32; WARP_SIZE]) -> (u64, u64),
+    sweep4: unsafe fn(&[u32; WARP_SIZE], &mut [i32; MAX_STORED_DELTAS]) -> (u32, u32),
+    width4_bounded: unsafe fn(&[u32; WARP_SIZE], usize) -> Option<usize>,
+    decompress4: unsafe fn(u32, &[i32; MAX_STORED_DELTAS]) -> [u32; WARP_SIZE],
+    fpc_scan: unsafe fn(&[u32; WARP_SIZE]) -> (u32, u32),
+}
+
+/// The six kernel entry points of one tier, prior to the availability
+/// guarantee. Built by the tier modules; wrapped by [`Kernels`].
+pub(crate) struct KernelFns {
+    pub fold4: unsafe fn(&[u32; WARP_SIZE]) -> (u32, u32),
+    pub fold8: unsafe fn(&[u32; WARP_SIZE]) -> (u64, u64),
+    pub sweep4: unsafe fn(&[u32; WARP_SIZE], &mut [i32; MAX_STORED_DELTAS]) -> (u32, u32),
+    pub width4_bounded: unsafe fn(&[u32; WARP_SIZE], usize) -> Option<usize>,
+    pub decompress4: unsafe fn(u32, &[i32; MAX_STORED_DELTAS]) -> [u32; WARP_SIZE],
+    pub fpc_scan: unsafe fn(&[u32; WARP_SIZE]) -> (u32, u32),
+}
+
+impl Kernels {
+    /// Builds a tier's table. Callers (the three tier modules) guarantee
+    /// the entries are sound to call whenever the tier's
+    /// [`is_available`](SimdTier::is_available) holds — the dispatch
+    /// functions below enforce that before handing a table out.
+    pub(crate) const fn new(tier: SimdTier, fns: KernelFns) -> Self {
+        Kernels {
+            tier,
+            fold4: fns.fold4,
+            fold8: fns.fold8,
+            sweep4: fns.sweep4,
+            width4_bounded: fns.width4_bounded,
+            decompress4: fns.decompress4,
+            fpc_scan: fns.fpc_scan,
+        }
+    }
+}
+
+// SAFETY (whole impl): every `Kernels` value reachable outside this
+// module came from `select`/`kernels`/`kernels_for`, which only return a
+// tier after detecting its CPU feature (scalar needs none); the target-
+// feature preconditions of the pointed-to kernels therefore hold.
+#[allow(unsafe_code)]
+impl Kernels {
+    /// Width fold vs `lanes[0]`: `(any_bits, magnitude)` — `any_bits`
+    /// ORs the raw 4-byte deltas (zero ⇔ ⟨4,0⟩ fits), `magnitude` ORs
+    /// the sign-folded pattern `d ^ (d >> 31)` (< 2^(8w−1) ⇔ every
+    /// delta fits a `w`-byte signed value).
+    pub fn fold4(&self, lanes: &[u32; WARP_SIZE]) -> (u32, u32) {
+        unsafe { (self.fold4)(lanes) }
+    }
+
+    /// The same fold over 8-byte chunks (lane pairs) vs chunk 0, for
+    /// the full-BDI explorer.
+    pub fn fold8(&self, lanes: &[u32; WARP_SIZE]) -> (u64, u64) {
+        unsafe { (self.fold8)(lanes) }
+    }
+
+    /// [`fold4`](Kernels::fold4) that additionally stores the 31
+    /// non-base deltas into `vals[0..31]` (slots `31..` are left
+    /// untouched), feeding [`DeltaArray`](crate::DeltaArray) directly.
+    pub fn sweep4(
+        &self,
+        lanes: &[u32; WARP_SIZE],
+        vals: &mut [i32; MAX_STORED_DELTAS],
+    ) -> (u32, u32) {
+        unsafe { (self.sweep4)(lanes, vals) }
+    }
+
+    /// Early-exit bounded classification: the narrowest delta width
+    /// (0/1/2) that fits every lane, or `None` as soon as the fold
+    /// proves no width `<= max_width` can fit. The fold accumulators
+    /// only grow, so bailing at the first over-budget block is exact.
+    pub fn width4_bounded(&self, lanes: &[u32; WARP_SIZE], max_width: usize) -> Option<usize> {
+        unsafe { (self.width4_bounded)(lanes, max_width) }
+    }
+
+    /// 4-byte-base decompression: `out[0] = base`,
+    /// `out[i+1] = base + vals[i]` (wrapping), one add per lane.
+    pub fn decompress4(&self, base: u32, vals: &[i32; MAX_STORED_DELTAS]) -> [u32; WARP_SIZE] {
+        unsafe { (self.decompress4)(base, vals) }
+    }
+
+    /// FPC scan: total encoded bits of the non-zero words (prefix +
+    /// payload each) and the bitmask of zero words (bit *i* ⇔ word *i*
+    /// is zero), from which the zero-run cost is computed scalar-side.
+    pub fn fpc_scan(&self, words: &[u32; WARP_SIZE]) -> (u32, u32) {
+        unsafe { (self.fpc_scan)(words) }
+    }
+}
+
+/// Whether `WC_FORCE_SCALAR` requests the scalar tier. Read once per
+/// process when the dispatch table is first resolved.
+fn force_scalar_env() -> bool {
+    std::env::var_os("WC_FORCE_SCALAR").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Selects the kernel table: scalar when forced, otherwise the widest
+/// tier the CPU supports.
+fn select(force_scalar: bool) -> &'static Kernels {
+    if force_scalar {
+        return &scalar::KERNELS;
+    }
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        return &avx2::KERNELS;
+    }
+    #[cfg(target_arch = "aarch64")]
+    if neon_available() {
+        return &neon::KERNELS;
+    }
+    &scalar::KERNELS
+}
+
+/// The process-wide dispatched kernel table (detected once, cached).
+pub(crate) fn kernels() -> &'static Kernels {
+    static ACTIVE: OnceLock<&'static Kernels> = OnceLock::new();
+    ACTIVE.get_or_init(|| select(force_scalar_env()))
+}
+
+/// The kernel table for a specific tier, or `None` when the current CPU
+/// cannot run it. Benches and the dispatch-pinning tests use this to
+/// exercise every tier in-process.
+pub(crate) fn kernels_for(tier: SimdTier) -> Option<&'static Kernels> {
+    if !tier.is_available() {
+        return None;
+    }
+    match tier {
+        SimdTier::Scalar => Some(&scalar::KERNELS),
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Avx2 => Some(&avx2::KERNELS),
+        #[cfg(target_arch = "aarch64")]
+        SimdTier::Neon => Some(&neon::KERNELS),
+        #[allow(unreachable_patterns)]
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::register::WarpRegister;
+    use proptest::prelude::*;
+
+    /// Every tier the current CPU can actually run.
+    fn available_tiers() -> Vec<&'static Kernels> {
+        SimdTier::ALL
+            .iter()
+            .filter_map(|&t| kernels_for(t))
+            .collect()
+    }
+
+    #[test]
+    fn forcing_scalar_selects_the_scalar_tier() {
+        assert_eq!(select(true).tier, SimdTier::Scalar);
+    }
+
+    #[test]
+    fn unforced_selection_matches_cpu_detection() {
+        let expected = if avx2_available() {
+            SimdTier::Avx2
+        } else if neon_available() {
+            SimdTier::Neon
+        } else {
+            SimdTier::Scalar
+        };
+        assert_eq!(select(false).tier, expected);
+    }
+
+    #[test]
+    fn active_tier_honours_the_environment() {
+        // The process-wide cache resolves from the real environment, so
+        // this is the in-process mirror of the scalar-forced CI job.
+        assert_eq!(SimdTier::active(), select(force_scalar_env()).tier);
+    }
+
+    #[test]
+    fn scalar_is_always_available() {
+        assert!(SimdTier::Scalar.is_available());
+        assert!(kernels_for(SimdTier::Scalar).is_some());
+        for tier in SimdTier::ALL {
+            assert_eq!(kernels_for(tier).is_some(), tier.is_available());
+            if let Some(k) = kernels_for(tier) {
+                assert_eq!(k.tier, tier);
+            }
+        }
+    }
+
+    #[test]
+    fn tier_names_are_stable() {
+        assert_eq!(SimdTier::Scalar.name(), "scalar");
+        assert_eq!(SimdTier::Avx2.name(), "avx2");
+        assert_eq!(SimdTier::Neon.to_string(), "neon");
+    }
+
+    /// Exhaustive-ish corner patterns: every fold boundary the width
+    /// classification can sit on, plus wraparound and mixed-width data.
+    fn corner_registers() -> Vec<WarpRegister> {
+        let mut regs = vec![
+            WarpRegister::ZERO,
+            WarpRegister::splat(u32::MAX),
+            WarpRegister::splat(0xABCD),
+            WarpRegister::from_fn(|t| t as u32),
+            WarpRegister::from_fn(|t| 5000 + t as u32),
+            WarpRegister::from_fn(|t| 1000 * t as u32),
+            WarpRegister::from_fn(|t| u32::MAX.wrapping_add(t as u32)),
+            WarpRegister::from_fn(|t| (t as u32).wrapping_mul(0x9E37_79B9)),
+            WarpRegister::from_fn(|t| if t % 2 == 0 { 0 } else { 0x7000_0000 }),
+        ];
+        for (lane, value) in [
+            (1, 127u32),
+            (1, 128),
+            (31, 127),
+            (31, 128),
+            (7, 0x7FFF),
+            (7, 0x8000),
+            (30, (-128i32) as u32),
+            (30, (-129i32) as u32),
+            (1, 0x8000_0000),
+        ] {
+            let mut reg = WarpRegister::splat(0);
+            reg.set_lane(lane, value);
+            regs.push(reg);
+        }
+        regs
+    }
+
+    fn assert_tiers_agree(reg: &WarpRegister) {
+        let scalar = &scalar::KERNELS;
+        let mut scalar_vals = [0i32; MAX_STORED_DELTAS];
+        let scalar_sweep = scalar.sweep4(reg.as_lanes(), &mut scalar_vals);
+        for k in available_tiers() {
+            assert_eq!(k.fold4(reg.as_lanes()), scalar.fold4(reg.as_lanes()));
+            assert_eq!(k.fold8(reg.as_lanes()), scalar.fold8(reg.as_lanes()));
+            let mut vals = [0i32; MAX_STORED_DELTAS];
+            assert_eq!(k.sweep4(reg.as_lanes(), &mut vals), scalar_sweep);
+            assert_eq!(vals, scalar_vals, "{:?} deltas", k.tier);
+            for width in 0..=2 {
+                assert_eq!(
+                    k.width4_bounded(reg.as_lanes(), width),
+                    scalar.width4_bounded(reg.as_lanes(), width),
+                    "{:?} width4_bounded({width})",
+                    k.tier
+                );
+            }
+            assert_eq!(
+                k.decompress4(reg.lane(0), &scalar_vals),
+                scalar.decompress4(reg.lane(0), &scalar_vals)
+            );
+            assert_eq!(
+                k.fpc_scan(reg.as_lanes()),
+                scalar.fpc_scan(reg.as_lanes()),
+                "{:?} fpc_scan",
+                k.tier
+            );
+        }
+    }
+
+    #[test]
+    fn all_tiers_agree_on_corner_patterns() {
+        for reg in corner_registers() {
+            assert_tiers_agree(&reg);
+        }
+    }
+
+    proptest! {
+        /// Every available tier reproduces the scalar kernels bit-exactly
+        /// on uniformly random registers.
+        #[test]
+        fn all_tiers_agree_on_random_registers(lanes in prop::array::uniform32(any::<u32>())) {
+            assert_tiers_agree(&WarpRegister::new(lanes));
+        }
+
+        /// ... and on the similarity-biased distribution that actually
+        /// lands in the compressed classes (mixed widths, sign
+        /// boundaries).
+        #[test]
+        fn all_tiers_agree_on_similar_registers(
+            base in any::<u32>(),
+            stride in -300i64..300,
+            jitter in prop::array::uniform32(-4i64..4),
+        ) {
+            let reg = WarpRegister::from_fn(|t| {
+                (base as i64 + stride * t as i64 + jitter[t % WARP_SIZE]) as u32
+            });
+            assert_tiers_agree(&reg);
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! NEON kernels: 4 lanes per `uint32x4_t`, eight vector blocks per warp
+//! register.
+//!
+//! Mirrors [`scalar`](super::scalar) lane for lane — integer NEON has no
+//! rounding modes, so the wrapping-subtract / XOR / OR arithmetic is
+//! bit-identical by construction. Lane 0 folds along with the rest (its
+//! delta is `0`, the OR identity).
+//!
+//! # Safety
+//!
+//! The `#[target_feature(enable = "neon")]` implementations sit in the
+//! dispatch table as raw `unsafe fn` pointers (a safe-wrapper layer
+//! would add a second, non-inlinable call per kernel), and the table is
+//! only handed out after `is_aarch64_feature_detected!("neon")`
+//! succeeded (see [`super::select`]/[`super::kernels_for`]). All
+//! loads/stores go through pointers derived from in-bounds Rust
+//! references with offsets bounded by the fixed array sizes.
+#![allow(unsafe_code)]
+
+use core::arch::aarch64::*;
+
+use crate::deltas::MAX_STORED_DELTAS;
+use crate::fpc::PREFIX_BITS;
+use crate::register::WARP_SIZE;
+
+use super::{scalar, KernelFns, Kernels, SimdTier};
+
+/// The NEON kernel table. Only installed after runtime detection.
+pub(crate) static KERNELS: Kernels = Kernels::new(
+    SimdTier::Neon,
+    KernelFns {
+        fold4: fold4_neon,
+        fold8: fold8_neon,
+        sweep4: sweep4_neon,
+        width4_bounded: width4_bounded_neon,
+        decompress4: decompress4_neon,
+        fpc_scan: fpc_scan_neon,
+    },
+);
+
+/// `d ^ (d >> 31)` per 32-bit lane — the sign-fold of the scalar sweep.
+#[target_feature(enable = "neon")]
+unsafe fn sign_fold_s32(d: int32x4_t) -> uint32x4_t {
+    vreinterpretq_u32_s32(veorq_s32(d, vshrq_n_s32::<31>(d)))
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn fold4_neon(lanes: &[u32; WARP_SIZE]) -> (u32, u32) {
+    let p = lanes.as_ptr();
+    let base = vdupq_n_u32(lanes[0]);
+    let mut bits = vdupq_n_u32(0);
+    let mut mag = vdupq_n_u32(0);
+    for i in 0..WARP_SIZE / 4 {
+        let d = vsubq_u32(vld1q_u32(p.add(4 * i)), base);
+        bits = vorrq_u32(bits, d);
+        mag = vorrq_u32(mag, sign_fold_s32(vreinterpretq_s32_u32(d)));
+    }
+    (vorr_fold(bits), vorr_fold(mag))
+}
+
+/// OR-reduction of four 32-bit lanes.
+#[target_feature(enable = "neon")]
+unsafe fn vorr_fold(v: uint32x4_t) -> u32 {
+    let x = vorr_u32(vget_low_u32(v), vget_high_u32(v));
+    let x = vorr_u32(x, vext_u32::<1>(x, x));
+    vget_lane_u32::<0>(x)
+}
+
+/// OR-reduction of two 64-bit lanes.
+#[target_feature(enable = "neon")]
+unsafe fn vorr_fold64(v: uint64x2_t) -> u64 {
+    vgetq_lane_u64::<0>(v) | vgetq_lane_u64::<1>(v)
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn fold8_neon(lanes: &[u32; WARP_SIZE]) -> (u64, u64) {
+    let p = lanes.as_ptr() as *const u64;
+    let base = vdupq_n_u64(u64::from(lanes[0]) | (u64::from(lanes[1]) << 32));
+    let mut bits = vdupq_n_u64(0);
+    let mut mag = vdupq_n_u64(0);
+    for i in 0..WARP_SIZE / 4 {
+        let d = vsubq_u64(vld1q_u64(p.add(2 * i)), base);
+        bits = vorrq_u64(bits, d);
+        let s = vreinterpretq_s64_u64(d);
+        mag = vorrq_u64(
+            mag,
+            vreinterpretq_u64_s64(veorq_s64(s, vshrq_n_s64::<63>(s))),
+        );
+    }
+    (vorr_fold64(bits), vorr_fold64(mag))
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn sweep4_neon(lanes: &[u32; WARP_SIZE], vals: &mut [i32; MAX_STORED_DELTAS]) -> (u32, u32) {
+    let p = lanes.as_ptr();
+    let base = vdupq_n_u32(lanes[0]);
+    let vp = vals.as_mut_ptr();
+    let mut bits = vdupq_n_u32(0);
+    let mut mag = vdupq_n_u32(0);
+    for i in 0..WARP_SIZE / 4 {
+        let d = vsubq_u32(vld1q_u32(p.add(4 * i)), base);
+        let sd = vreinterpretq_s32_u32(d);
+        if i == 0 {
+            // Lane 0's delta is not stored; extract lanes 1..4.
+            *vp = vgetq_lane_s32::<1>(sd);
+            *vp.add(1) = vgetq_lane_s32::<2>(sd);
+            *vp.add(2) = vgetq_lane_s32::<3>(sd);
+        } else {
+            vst1q_s32(vp.add(4 * i - 1), sd);
+        }
+        bits = vorrq_u32(bits, d);
+        mag = vorrq_u32(mag, sign_fold_s32(sd));
+    }
+    (vorr_fold(bits), vorr_fold(mag))
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn width4_bounded_neon(lanes: &[u32; WARP_SIZE], max_width: usize) -> Option<usize> {
+    let p = lanes.as_ptr();
+    let base = vdupq_n_u32(lanes[0]);
+    // A lane with any bit under the over-budget mask set rules every
+    // allowed width out (see the scalar kernel).
+    let over_mask = vdupq_n_u32(match max_width {
+        0 => !0u32,
+        1 => !0x7F,
+        _ => !0x7FFF,
+    });
+    let mut bits = vdupq_n_u32(0);
+    let mut mag = vdupq_n_u32(0);
+    for i in 0..WARP_SIZE / 4 {
+        let d = vsubq_u32(vld1q_u32(p.add(4 * i)), base);
+        bits = vorrq_u32(bits, d);
+        mag = vorrq_u32(mag, sign_fold_s32(vreinterpretq_s32_u32(d)));
+        // Check every other block (8 lanes), matching the scalar
+        // early-exit granularity.
+        if i % 2 == 1 {
+            let probe = if max_width == 0 { bits } else { mag };
+            if vmaxvq_u32(vandq_u32(probe, over_mask)) != 0 {
+                return None;
+            }
+        }
+    }
+    scalar::width4_of_fold(vorr_fold(bits), vorr_fold(mag)).filter(|&w| w <= max_width)
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn decompress4_neon(base: u32, vals: &[i32; MAX_STORED_DELTAS]) -> [u32; WARP_SIZE] {
+    let mut out = [0u32; WARP_SIZE];
+    let b = vdupq_n_u32(base);
+    let vp = vals.as_ptr();
+    let op = out.as_mut_ptr();
+    // 31 deltas: seven 4-wide blocks into out[1..29], scalar tail.
+    // Disjoint stores only — an overlapping final vector store makes
+    // LLVM spill the block through the stack (see the AVX2 kernel).
+    for i in 0..7 {
+        let d = vreinterpretq_u32_s32(vld1q_s32(vp.add(4 * i)));
+        vst1q_u32(op.add(4 * i + 1), vaddq_u32(b, d));
+    }
+    out[0] = base;
+    for lane in 29..WARP_SIZE {
+        out[lane] = base.wrapping_add(vals[lane - 1] as u32);
+    }
+    out
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn fpc_scan_neon(words: &[u32; WARP_SIZE]) -> (u32, u32) {
+    let p = words.as_ptr();
+    let zero = vdupq_n_u32(0);
+    // Per-lane bit weights turn a cmpeq mask into a 4-bit group mask.
+    let pow2 = {
+        let w: [u32; 4] = [1, 2, 4, 8];
+        vld1q_u32(w.as_ptr())
+    };
+    // `v` fits a signed k-bit value iff `(v + 2^(k-1)) & !(2^k - 1) == 0`.
+    let fits_se = |v: uint32x4_t, bias: u32, keep: u32| {
+        vceqq_u32(
+            vandq_u32(vaddq_u32(v, vdupq_n_u32(bias)), vdupq_n_u32(keep)),
+            zero,
+        )
+    };
+    let mut total = vdupq_n_u32(0);
+    let mut zmask = 0u32;
+    for i in 0..WARP_SIZE / 4 {
+        let v = vld1q_u32(p.add(4 * i));
+        let is_zero = vceqq_u32(v, zero);
+        zmask |= vaddvq_u32(vandq_u32(is_zero, pow2)) << (4 * i);
+        let se4 = fits_se(v, 0x8, !0xF);
+        let se8 = fits_se(v, 0x80, !0xFF);
+        let se16 = fits_se(v, 0x8000, !0xFFFF);
+        let padded = vceqq_u32(vandq_u32(v, vdupq_n_u32(0xFFFF_0000)), zero);
+        // Both 16-bit halves fit signed 8 bits.
+        let halves = vceqq_u16(
+            vandq_u16(
+                vaddq_u16(vreinterpretq_u16_u32(v), vdupq_n_u16(0x80)),
+                vdupq_n_u16(0xFF00),
+            ),
+            vdupq_n_u16(0),
+        );
+        let two = vceqq_u32(vreinterpretq_u32_u16(halves), vdupq_n_u32(!0));
+        // All four bytes equal: the word equals its low byte replicated.
+        let rep = vceqq_u32(
+            v,
+            vmulq_u32(vandq_u32(v, vdupq_n_u32(0xFF)), vdupq_n_u32(0x0101_0101)),
+        );
+        // Payload bits, applied in reverse priority so the first
+        // matching pattern of the scalar classifier wins.
+        let mut cost = vdupq_n_u32(32);
+        cost = vbslq_u32(rep, vdupq_n_u32(8), cost);
+        cost = vbslq_u32(two, vdupq_n_u32(16), cost);
+        cost = vbslq_u32(padded, vdupq_n_u32(16), cost);
+        cost = vbslq_u32(se16, vdupq_n_u32(16), cost);
+        cost = vbslq_u32(se8, vdupq_n_u32(8), cost);
+        cost = vbslq_u32(se4, vdupq_n_u32(4), cost);
+        cost = vaddq_u32(cost, vdupq_n_u32(PREFIX_BITS as u32));
+        total = vaddq_u32(total, vbicq_u32(cost, is_zero));
+    }
+    (vaddvq_u32(total), zmask)
+}

@@ -1,0 +1,200 @@
+//! Dispatch-tier pinning: every SIMD tier the host CPU can run must be
+//! bit-exact against the multi-pass reference oracles and against the
+//! scalar tier, through the public API.
+//!
+//! The in-crate unit tests (`src/simd/mod.rs`) pin the raw kernel
+//! tables; this suite pins the *composed* behaviour — `compress`,
+//! `decompress`, `classify`, `footprint`, the explorer and the FPC scan
+//! — across tiers, over random, similarity-biased and adversarial
+//! (mixed-width, sign-boundary) registers. The `WC_FORCE_SCALAR=1` CI
+//! job re-runs all of this with the process-wide dispatcher pinned to
+//! scalar, covering the environment path end to end.
+
+use bdi::{
+    explore_best_choice, explore_best_choice_reference, fpc, BdiCodec, ChoiceSet, FixedChoice,
+    SimdTier, WarpRegister, WARP_SIZE,
+};
+use proptest::prelude::*;
+
+/// One codec per tier the current CPU can run, for a given choice set.
+fn codecs(choices: &ChoiceSet) -> Vec<BdiCodec> {
+    SimdTier::ALL
+        .iter()
+        .filter_map(|&tier| BdiCodec::with_tier(choices.clone(), tier))
+        .collect()
+}
+
+/// The choice sets the repo's experiments actually configure.
+fn choice_sets() -> Vec<ChoiceSet> {
+    vec![
+        ChoiceSet::warped_compression(),
+        ChoiceSet::only(FixedChoice::Delta0),
+        ChoiceSet::only(FixedChoice::Delta1),
+        ChoiceSet::only(FixedChoice::Delta2),
+        ChoiceSet::disabled(),
+    ]
+}
+
+/// Pins every tier against the reference oracle and scalar on one
+/// register: compressed form, round trip, class and footprint.
+fn assert_all_tiers_pin(reg: &WarpRegister) {
+    for choices in choice_sets() {
+        let reference = BdiCodec::new(choices.clone()).compress_reference(reg);
+        for codec in codecs(&choices) {
+            let compressed = codec.compress(reg);
+            assert_eq!(
+                compressed,
+                reference,
+                "tier {} disagrees with the multi-pass oracle",
+                codec.tier()
+            );
+            assert_eq!(
+                codec.decompress(&compressed),
+                *reg,
+                "tier {} round trip",
+                codec.tier()
+            );
+            assert_eq!(
+                codec.try_decompress(&compressed).as_ref(),
+                Ok(reg),
+                "tier {} validated round trip",
+                codec.tier()
+            );
+            assert_eq!(
+                codec.classify(reg),
+                compressed.class(),
+                "tier {} early-exit classify",
+                codec.tier()
+            );
+            assert_eq!(
+                codec.footprint(reg),
+                compressed.banks_required(),
+                "tier {} footprint",
+                codec.tier()
+            );
+        }
+    }
+    assert_eq!(
+        explore_best_choice(reg),
+        explore_best_choice_reference(reg),
+        "explorer oracle"
+    );
+    assert_eq!(
+        fpc::compressed_bits(reg.as_lanes()),
+        fpc::compressed_bits_reference(reg.as_lanes()),
+        "fpc scan oracle"
+    );
+}
+
+/// Adversarial fixtures: every width boundary the classification can sit
+/// on, wraparound bases, mixed-width lanes and zero-run shapes for FPC.
+fn adversarial_registers() -> Vec<WarpRegister> {
+    let mut regs = vec![
+        WarpRegister::ZERO,
+        WarpRegister::splat(u32::MAX),
+        WarpRegister::splat(0x8000_0000),
+        WarpRegister::from_fn(|t| t as u32),
+        WarpRegister::from_fn(|t| u32::MAX.wrapping_add(t as u32)),
+        WarpRegister::from_fn(|t| (t as u32).wrapping_mul(0x9E37_79B9)),
+        // Mixed widths: alternating 1-byte and 2-byte deltas.
+        WarpRegister::from_fn(|t| 600 + if t % 2 == 0 { t as u32 } else { 400 + t as u32 }),
+        // Pairwise 64-bit similarity (exercises the explorer's B8 path).
+        WarpRegister::from_fn(|t| if t % 2 == 0 { 0 } else { 0x7000_0000 }),
+        // FPC zero runs split across the 8-word vector blocks.
+        WarpRegister::from_fn(|t| if (4..23).contains(&t) { 0 } else { 77 }),
+        WarpRegister::from_fn(|t| if t % 3 == 0 { 0 } else { 0x0045_FFFF }),
+    ];
+    // A single outlier lane at each signed-width boundary, in lanes that
+    // sit at vector-block edges (0/1, 7/8, 30/31).
+    for lane in [1usize, 7, 8, 30, 31] {
+        for outlier in [
+            127u32,
+            128,
+            0x7FFF,
+            0x8000,
+            -128i32 as u32,
+            -129i32 as u32,
+            -32768i32 as u32,
+            -32769i32 as u32,
+        ] {
+            let mut reg = WarpRegister::splat(1000);
+            reg.set_lane(lane, 1000u32.wrapping_add(outlier));
+            regs.push(reg);
+        }
+    }
+    regs
+}
+
+#[test]
+fn every_available_tier_pins_on_adversarial_registers() {
+    for reg in adversarial_registers() {
+        assert_all_tiers_pin(&reg);
+    }
+}
+
+#[test]
+fn active_tier_is_available_and_named() {
+    let active = SimdTier::active();
+    assert!(active.is_available());
+    assert!(["scalar", "avx2", "neon"].contains(&active.name()));
+    // The default codec runs on the dispatched tier.
+    assert_eq!(BdiCodec::default().tier(), active);
+}
+
+#[test]
+fn force_scalar_env_pins_the_default_codec() {
+    // This cannot mutate the environment (the dispatch cache is
+    // process-wide), but under the scalar-forced CI job it asserts the
+    // escape hatch took effect.
+    if std::env::var_os("WC_FORCE_SCALAR").is_some_and(|v| !v.is_empty() && v != "0") {
+        assert_eq!(SimdTier::active(), SimdTier::Scalar);
+    }
+}
+
+#[test]
+fn unavailable_tiers_refuse_construction() {
+    for tier in SimdTier::ALL {
+        assert_eq!(
+            BdiCodec::with_tier(ChoiceSet::default(), tier).is_some(),
+            tier.is_available()
+        );
+    }
+}
+
+proptest! {
+    /// Random registers: all tiers bit-exact vs the oracle, round trips,
+    /// class/footprint agreement, explorer and FPC pins.
+    #[test]
+    fn tiers_pin_on_random_registers(lanes in prop::array::uniform32(any::<u32>())) {
+        assert_all_tiers_pin(&WarpRegister::new(lanes));
+    }
+
+    /// Similarity-biased registers (stride + jitter), the distribution
+    /// that actually lands in the compressed classes.
+    #[test]
+    fn tiers_pin_on_similar_registers(
+        base in any::<u32>(),
+        stride in -300i64..300,
+        jitter in prop::array::uniform32(-4i64..4),
+    ) {
+        let reg = WarpRegister::from_fn(|t| {
+            (base as i64 + stride * t as i64 + jitter[t % WARP_SIZE]) as u32
+        });
+        assert_all_tiers_pin(&reg);
+    }
+
+    /// Sign-boundary adversary: a splat with one outlier lane whose
+    /// delta is drawn tightly around the 1-/2-byte signed limits.
+    #[test]
+    fn tiers_pin_on_sign_boundary_outliers(
+        base in any::<u32>(),
+        lane in 1usize..WARP_SIZE,
+        boundary in prop::sample::select(vec![0i64, 127, 128, 255, 32767, 32768, 65535]),
+        sign in any::<bool>(),
+    ) {
+        let delta = if sign { -boundary } else { boundary };
+        let mut reg = WarpRegister::splat(base);
+        reg.set_lane(lane, base.wrapping_add(delta as u32));
+        assert_all_tiers_pin(&reg);
+    }
+}

@@ -1,0 +1,160 @@
+//! Records the SIMD-vs-scalar codec numbers into
+//! `results/BENCH_simd.json`, continuing the perf trajectory started by
+//! `results/BENCH_pr1.json`.
+//!
+//! For each input pattern and each hot path (`compress`, `decompress`,
+//! `classify`, the explorer fold and the FPC scan) this measures
+//! registers/second on the dispatched SIMD tier and on the pinned
+//! scalar tier, plus the retained multi-pass `compress_reference`
+//! oracle — so the document carries both the *SIMD vs scalar* ratio
+//! (this PR) and the *SIMD vs reference* ratio (cumulative since PR 1).
+//!
+//! The JSON shape is deterministic (rates are measured, so the values
+//! move run to run, but keys, ordering and formatting are fixed by
+//! `wc_bench::jsonfmt`). `WC_BENCH_FAST=1` shortens the timing windows
+//! for CI smoke runs.
+
+use std::fs;
+use std::hint::black_box;
+use std::time::Instant;
+
+use bdi::{BdiCodec, ChoiceSet, SimdTier, WarpRegister};
+use wc_bench::jsonfmt::{block_list, inline, JsonObject};
+
+/// Operations per second of `f`, timed over a calibrated window.
+fn ops_per_sec(window_ms: u128, mut f: impl FnMut()) -> f64 {
+    let mut batch = 1u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        let elapsed = start.elapsed();
+        if elapsed.as_millis() >= window_ms {
+            return batch as f64 / elapsed.as_secs_f64();
+        }
+        batch *= 4;
+    }
+}
+
+fn patterns() -> Vec<(&'static str, WarpRegister)> {
+    vec![
+        ("uniform", WarpRegister::splat(0xABCD)),
+        ("lane-affine", WarpRegister::from_fn(|t| 5000 + t as u32)),
+        ("narrow-range", WarpRegister::from_fn(|t| 1000 * t as u32)),
+        (
+            "incompressible",
+            WarpRegister::from_fn(|t| (t as u32 + 1).wrapping_mul(0x9E37_79B9)),
+        ),
+    ]
+}
+
+fn rate(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+fn ratio(num: f64, den: f64) -> String {
+    format!("{:.2}", num / den)
+}
+
+fn main() {
+    let fast = std::env::var_os("WC_BENCH_FAST").is_some();
+    let window_ms: u128 = if fast { 5 } else { 150 };
+
+    let active = SimdTier::active();
+    let simd = BdiCodec::new(ChoiceSet::warped_compression());
+    let scalar = BdiCodec::with_tier(ChoiceSet::warped_compression(), SimdTier::Scalar)
+        .expect("scalar tier is always available");
+    eprintln!("dispatched tier: {active}");
+
+    let mut entries = Vec::new();
+    for (name, reg) in &patterns() {
+        // The compressed bytes are identical across tiers by construction
+        // (and pinned by the test suite); assert anyway before timing.
+        let compressed = simd.compress(reg);
+        assert_eq!(compressed, scalar.compress(reg), "tiers must be bit-exact");
+        assert_eq!(compressed, simd.compress_reference(reg), "oracle pin");
+
+        let c_simd = ops_per_sec(window_ms, || {
+            black_box(simd.compress(black_box(reg)));
+        });
+        let c_scalar = ops_per_sec(window_ms, || {
+            black_box(scalar.compress(black_box(reg)));
+        });
+        let c_reference = ops_per_sec(window_ms, || {
+            black_box(simd.compress_reference(black_box(reg)));
+        });
+        let d_simd = ops_per_sec(window_ms, || {
+            black_box(simd.decompress(black_box(&compressed)));
+        });
+        let d_scalar = ops_per_sec(window_ms, || {
+            black_box(scalar.decompress(black_box(&compressed)));
+        });
+        let k_simd = ops_per_sec(window_ms, || {
+            black_box(simd.classify(black_box(reg)));
+        });
+        let k_scalar = ops_per_sec(window_ms, || {
+            black_box(scalar.classify(black_box(reg)));
+        });
+        eprintln!(
+            "{name}: compress {active} {c_simd:.0}/s vs scalar {c_scalar:.0}/s \
+             ({:.2}x), vs reference {:.2}x; classify {:.2}x",
+            c_simd / c_scalar,
+            c_simd / c_reference,
+            k_simd / k_scalar,
+        );
+        let obj = JsonObject::new(4)
+            .string("pattern", name)
+            .string("class", compressed.class().name())
+            .field(
+                "compress",
+                inline(&[
+                    ("simd_regs_per_sec", rate(c_simd)),
+                    ("scalar_regs_per_sec", rate(c_scalar)),
+                    ("reference_regs_per_sec", rate(c_reference)),
+                    ("speedup_vs_scalar", ratio(c_simd, c_scalar)),
+                    ("speedup_vs_reference", ratio(c_simd, c_reference)),
+                ]),
+            )
+            .field(
+                "decompress",
+                inline(&[
+                    ("simd_regs_per_sec", rate(d_simd)),
+                    ("scalar_regs_per_sec", rate(d_scalar)),
+                    ("speedup_vs_scalar", ratio(d_simd, d_scalar)),
+                ]),
+            )
+            .field(
+                "classify",
+                inline(&[
+                    ("simd_regs_per_sec", rate(k_simd)),
+                    ("scalar_regs_per_sec", rate(k_scalar)),
+                    ("speedup_vs_scalar", ratio(k_simd, k_scalar)),
+                ]),
+            );
+        entries.push(obj.render_fragment());
+    }
+
+    // The explorer and FPC scan ride the same dispatch; record them on
+    // one representative compressible pattern.
+    let reg = WarpRegister::from_fn(|t| 5000 + t as u32);
+    let explorer = ops_per_sec(window_ms, || {
+        black_box(bdi::explore_best_choice(black_box(&reg)));
+    });
+    let fpc = ops_per_sec(window_ms, || {
+        black_box(bdi::fpc::compressed_bits(black_box(reg.as_lanes())));
+    });
+
+    let doc = JsonObject::new(0)
+        .string("bench", "simd-codec")
+        .string("dispatched_tier", active.name())
+        .display("avx2_available", SimdTier::Avx2.is_available())
+        .display("neon_available", SimdTier::Neon.is_available())
+        .field("patterns", block_list(2, &entries))
+        .field("explorer", inline(&[("regs_per_sec", rate(explorer))]))
+        .field("fpc_scan", inline(&[("regs_per_sec", rate(fpc))]))
+        .render_document();
+    fs::create_dir_all("results").expect("create results dir");
+    fs::write("results/BENCH_simd.json", &doc).expect("write results/BENCH_simd.json");
+    println!("{doc}");
+}

@@ -8,12 +8,13 @@
 //! keys, `": "` separators, two-space indentation, floats through
 //! Rust's shortest-round-trip formatter — so a document is
 //! byte-identical across runs and resumed checkpoint fragments can be
-//! spliced in verbatim.
+//! spliced in verbatim. Public so the workspace's report-writing
+//! binaries (e.g. `bench_simd`) share it too.
 
 use std::fmt::Display;
 
 /// Escapes a string for embedding in a JSON string literal.
-pub(crate) fn esc(s: &str) -> String {
+pub fn esc(s: &str) -> String {
     s.chars()
         .flat_map(|c| match c {
             '"' => "\\\"".chars().collect::<Vec<_>>(),
@@ -28,18 +29,18 @@ pub(crate) fn esc(s: &str) -> String {
 }
 
 /// A quoted, escaped JSON string literal.
-pub(crate) fn quoted(s: &str) -> String {
+pub fn quoted(s: &str) -> String {
     format!("\"{}\"", esc(s))
 }
 
 /// `Some(v)` through `Display`, `None` as `null`.
-pub(crate) fn opt_display<D: Display>(v: Option<D>) -> String {
+pub fn opt_display<D: Display>(v: Option<D>) -> String {
     v.map_or_else(|| "null".into(), |v| v.to_string())
 }
 
 /// A single-line object: `{"k": v, "k2": v2}`. Values arrive already
 /// rendered (via [`quoted`], `to_string`, [`inline_list`], …).
-pub(crate) fn inline(fields: &[(&str, String)]) -> String {
+pub fn inline(fields: &[(&str, String)]) -> String {
     let body: Vec<String> = fields
         .iter()
         .map(|(k, v)| format!("\"{k}\": {v}"))
@@ -48,7 +49,7 @@ pub(crate) fn inline(fields: &[(&str, String)]) -> String {
 }
 
 /// A single-line array: `[a, b, c]`.
-pub(crate) fn inline_list<D: Display>(items: impl IntoIterator<Item = D>) -> String {
+pub fn inline_list<D: Display>(items: impl IntoIterator<Item = D>) -> String {
     let body: Vec<String> = items.into_iter().map(|v| v.to_string()).collect();
     format!("[{}]", body.join(", "))
 }
@@ -57,7 +58,7 @@ pub(crate) fn inline_list<D: Display>(items: impl IntoIterator<Item = D>) -> Str
 /// carrying its own leading indentation; `indent` places the closing
 /// bracket. An empty list renders as `[\n<indent>]`, matching the
 /// writers' historical shape.
-pub(crate) fn block_list(indent: usize, items: &[String]) -> String {
+pub fn block_list(indent: usize, items: &[String]) -> String {
     let mut out = String::from("[\n");
     for (i, item) in items.iter().enumerate() {
         out.push_str(item);
@@ -72,7 +73,7 @@ pub(crate) fn block_list(indent: usize, items: &[String]) -> String {
 /// per line at `indent + 2`, the braces at `indent`. Values arrive
 /// already rendered, so objects, arrays and scalars nest freely.
 #[derive(Clone, Debug, Default)]
-pub(crate) struct JsonObject {
+pub struct JsonObject {
     indent: usize,
     fields: Vec<(String, String)>,
 }

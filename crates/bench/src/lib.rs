@@ -24,7 +24,7 @@ mod checkpoint;
 #[cfg(feature = "faults")]
 pub mod fault_json;
 pub mod figures;
-mod jsonfmt;
+pub mod jsonfmt;
 pub mod perf_json;
 mod table;
 

@@ -1,11 +1,12 @@
 //! Minimal wall-clock benchmark harness with criterion 0.5's API shape.
 //!
 //! Supports the subset the workspace's benches use: `benchmark_group`,
-//! `sample_size`, `bench_function`, `bench_with_input`, `Bencher::iter`,
-//! `BenchmarkId::{new, from_parameter}`, and the `criterion_group!` /
-//! `criterion_main!` macros. Each benchmark is calibrated briefly and
-//! then timed for a handful of short samples; the median ns/iter is
-//! printed in a `name/id: time` line.
+//! `sample_size`, `throughput`, `bench_function`, `bench_with_input`,
+//! `Bencher::iter`, `BenchmarkId::{new, from_parameter}`, and the
+//! `criterion_group!` / `criterion_main!` macros. Each benchmark is
+//! calibrated briefly and then timed for a handful of short samples; the
+//! median ns/iter is printed in a `name/id: time` line, with a GiB/s or
+//! Melem/s rate appended when the group declares a [`Throughput`].
 //!
 //! Two knobs keep `cargo test` fast (cargo runs `harness = false` bench
 //! binaries during plain test runs): passing `--test` (what cargo does
@@ -37,8 +38,34 @@ impl Criterion {
         BenchmarkGroup {
             name: name.into(),
             sample_size: 20,
+            throughput: None,
             fast: self.fast,
             _c: self,
+        }
+    }
+}
+
+/// Per-iteration work a group processes, mirroring
+/// `criterion::Throughput`; turns the median time into a rate line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration (reported as GiB/s).
+    Bytes(u64),
+    /// Elements processed per iteration (reported as Melem/s).
+    Elements(u64),
+}
+
+impl Throughput {
+    fn rate(self, ns_per_iter: f64) -> String {
+        match self {
+            Throughput::Bytes(n) => {
+                let gib_s = n as f64 / ns_per_iter * 1e9 / (1u64 << 30) as f64;
+                format!("{gib_s:.3} GiB/s")
+            }
+            Throughput::Elements(n) => {
+                let melem_s = n as f64 / ns_per_iter * 1e9 / 1e6;
+                format!("{melem_s:.3} Melem/s")
+            }
         }
     }
 }
@@ -81,6 +108,7 @@ impl From<String> for BenchmarkId {
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
+    throughput: Option<Throughput>,
     fast: bool,
     _c: &'a mut Criterion,
 }
@@ -89,6 +117,13 @@ impl BenchmarkGroup<'_> {
     /// Set the number of timed samples per benchmark.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declare how much work one iteration performs; subsequent
+    /// benchmarks in the group report a derived rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
         self
     }
 
@@ -141,11 +176,15 @@ impl BenchmarkGroup<'_> {
         }
         samples_ns.sort_by(|a, b| a.total_cmp(b));
         let median = samples_ns[samples_ns.len() / 2];
+        let rate = self
+            .throughput
+            .map_or_else(String::new, |t| format!(" = {}", t.rate(median)));
         println!(
-            "{}/{}: {} ({} samples x {} iters)",
+            "{}/{}: {}{} ({} samples x {} iters)",
             self.name,
             id,
             format_ns(median),
+            rate,
             self.sample_size,
             iters
         );
