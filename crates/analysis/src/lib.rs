@@ -56,6 +56,8 @@ pub mod dataflow;
 pub mod lint;
 pub mod liveness;
 pub mod perfbound;
+pub mod schedule;
+pub mod trace;
 
 use simt_isa::{ControlFlow, Instruction, Kernel};
 
@@ -70,6 +72,7 @@ pub use liveness::{Liveness, LivenessSummary};
 pub use perfbound::{
     bound_kernel, BlockBound, ConflictSite, PerfLaunch, PerfMachine, PerfPrediction,
 };
+pub use schedule::{schedule_kernel, IssuePlan, PlannedInstr, ScheduleBail, WarpPlan};
 
 use serde::{Deserialize, Serialize};
 
@@ -140,6 +143,7 @@ pub fn analyze_instrs_with_launch(
 
     let absint = interpret(name, instrs, usize::from(num_regs), &cfg, launch);
     uniform_branch_lints(&absint.prediction, &mut diags);
+    unschedulable_region_lints(instrs, &cfg, &rd, &absint.prediction, launch, &mut diags);
 
     // Stable order: whole-kernel findings first, then by pc.
     diags.sort_by_key(|d| d.pc.map_or((0, 0), |pc| (1, pc)));
@@ -164,6 +168,85 @@ fn uniform_branch_lints(prediction: &KernelPrediction, diags: &mut Vec<Diagnosti
                 Some(v.pc),
                 None,
                 "branch condition is provably warp-uniform: this branch never diverges".into(),
+            ));
+        }
+    }
+}
+
+/// Info-severity findings for branches the ahead-of-time issue
+/// scheduler ([`schedule_kernel`]) provably cannot resolve: predicates
+/// (transitively) data-dependent on memory loads.
+///
+/// A load-taint fixpoint over the reaching definitions
+/// over-approximates the scheduler's per-warp replay losing a register
+/// value: a definition is tainted if it is a load, if any source
+/// register has a tainted reaching definition, or — when the write can
+/// execute under a partial thread mask (a divergent region, or any
+/// launch with partial trailing warps) — if the *merged-over* old value
+/// of the destination has a tainted reaching definition. Every
+/// [`ScheduleBail::UnknownPredicate`] pc is flagged here (the converse
+/// does not hold: the scheduler may still resolve a tainted predicate
+/// through the abstract per-lane range, and fuel exhaustion is a
+/// dynamic property no taint analysis sees).
+fn unschedulable_region_lints(
+    instrs: &[Instruction],
+    cfg: &Cfg,
+    rd: &ReachingDefs,
+    prediction: &KernelPrediction,
+    launch: Option<&LaunchInfo>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    // With a launch whose blocks split into full warps only, partial
+    // masks require divergence; otherwise the trailing warp of every
+    // block merges every write.
+    let partial_warps = launch
+        .and_then(|l| l.threads_per_block)
+        .is_none_or(|t| t % bdi::WARP_SIZE as u32 != 0);
+    let mut tainted = vec![false; instrs.len()];
+    let def_tainted = |tainted: &[bool], at: usize, reg: u8| {
+        rd.defs_reaching(at, reg)
+            .iter()
+            .any(|d| d.pc.is_some_and(|p| tainted[p]))
+    };
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (pc, instr) in instrs.iter().enumerate() {
+            if tainted[pc] || !cfg.is_reachable(pc) {
+                continue;
+            }
+            let Some(dst) = instr.dst() else {
+                continue;
+            };
+            let src_taint = instr
+                .src_regs()
+                .into_iter()
+                .any(|r| def_tainted(&tainted, pc, r.index() as u8));
+            let masked_merge =
+                partial_warps || prediction.site_at(pc).is_some_and(|s| s.divergent_region);
+            let merge_taint = masked_merge && def_tainted(&tainted, pc, dst.index() as u8);
+            if matches!(instr, Instruction::Ld { .. }) || src_taint || merge_taint {
+                tainted[pc] = true;
+                changed = true;
+            }
+        }
+    }
+    for (pc, instr) in instrs.iter().enumerate() {
+        let Instruction::Bra { pred, .. } = instr else {
+            continue;
+        };
+        if !cfg.is_reachable(pc) {
+            continue;
+        }
+        if def_tainted(&tainted, pc, pred.index() as u8) {
+            diags.push(Diagnostic::new(
+                LintKind::UnschedulableRegion,
+                Some(pc),
+                Some(pred.index() as u8),
+                "branch predicate depends on loaded data: the static issue \
+                 scheduler cannot resolve this region and falls back to the \
+                 dynamic core"
+                    .into(),
             ));
         }
     }

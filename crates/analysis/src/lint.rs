@@ -64,6 +64,11 @@ pub enum LintKind {
     /// abstract warp-value domain: every lane takes the same side, so
     /// the branch never diverges at runtime.
     UniformBranch,
+    /// A branch whose predicate is (transitively) data-dependent on a
+    /// memory load, so its trip count/taken mask is not statically
+    /// determined: the ahead-of-time issue scheduler must bail on the
+    /// kernel and fall back to the dynamic core.
+    UnschedulableRegion,
 }
 
 impl LintKind {
@@ -80,7 +85,7 @@ impl LintKind {
             LintKind::UnreachableCode | LintKind::UseBeforeDef | LintKind::DeadWrite => {
                 Severity::Warning
             }
-            LintKind::UniformBranch => Severity::Info,
+            LintKind::UniformBranch | LintKind::UnschedulableRegion => Severity::Info,
         }
     }
 
@@ -98,6 +103,7 @@ impl LintKind {
             LintKind::DivergenceDeadlock => "divergence-deadlock",
             LintKind::ReconvergenceEscape => "reconvergence-escape",
             LintKind::UniformBranch => "uniform-branch",
+            LintKind::UnschedulableRegion => "unschedulable-region",
         }
     }
 }

@@ -47,22 +47,16 @@
 
 use std::collections::BTreeMap;
 
-use bdi::{BdiCodec, ChoiceSet, CompressionClass, WarpRegister, WARP_SIZE};
+use bdi::{BdiCodec, ChoiceSet, CompressionClass, WARP_SIZE};
 use serde::{Deserialize, Serialize};
-use simt_isa::{Instruction, Kernel, LatencyClass, Operand, Special};
+use simt_isa::{Instruction, Kernel, LatencyClass};
 
 use crate::absint::{interpret, AbsintAnalysis, LaunchInfo};
 use crate::cfg::Cfg;
 use crate::dataflow::ReachingDefs;
-
-/// Banks occupied by an uncompressed 128-byte warp register.
-const UNCOMPRESSED_BANKS: usize = 8;
-
-/// Per-warp instruction budget of the concrete tracer. A warp that
-/// executes more instructions than this (an extreme trip count, or an
-/// absint-driven branch that never makes concrete progress) falls back
-/// to the serialized-path floor instead of tracing on.
-const TRACE_FUEL: u64 = 1_000_000;
+use crate::trace::{
+    unique_srcs, StepOutcome, TimingState, TraceStep, WarpReplay, UNCOMPRESSED_BANKS,
+};
 
 /// The pipeline parameters the bounds are derived from — the subset of
 /// the simulator's configuration that is architecturally visible to a
@@ -124,7 +118,7 @@ impl PerfMachine {
         !self.choices.is_disabled()
     }
 
-    fn latency_of(&self, class: LatencyClass) -> u64 {
+    pub(crate) fn latency_of(&self, class: LatencyClass) -> u64 {
         match class {
             LatencyClass::Sfu => self.sfu_latency,
             LatencyClass::Memory => self.mem_latency,
@@ -163,15 +157,18 @@ impl PerfLaunch {
         self
     }
 
-    fn param(&self, i: usize) -> u32 {
+    /// The `i`-th scalar parameter (missing slots read as 0, mirroring
+    /// the simulator's `LaunchConfig::param`).
+    pub fn param(&self, i: usize) -> u32 {
         self.params.get(i).copied().unwrap_or(0)
     }
 
-    fn warps_per_block(&self) -> usize {
+    /// Warps per block at the architectural warp size.
+    pub fn warps_per_block(&self) -> usize {
         self.threads_per_block.div_ceil(WARP_SIZE)
     }
 
-    fn absint_info(&self) -> LaunchInfo {
+    pub(crate) fn absint_info(&self) -> LaunchInfo {
         LaunchInfo {
             params: self.params.clone(),
             blocks: Some(self.blocks as u32),
@@ -455,114 +452,10 @@ fn block_bounds(
             start: b.start,
             end: b.end,
             instructions: (b.end - b.start) as u64,
-            chain_cycles: timing.end + 1,
+            chain_cycles: timing.end() + 1,
         });
     }
     out
-}
-
-// ---------------------------------------------------------------------
-// Scoreboard / pipeline timing relaxation
-// ---------------------------------------------------------------------
-
-/// The relaxed pipeline schedule: every constraint here is one the real
-/// engine also enforces, so the minimal feasible schedule this DP
-/// computes can only finish earlier than the simulator.
-#[derive(Clone, Debug)]
-struct TimingState {
-    /// Earliest cycle the next instruction can issue (one issue per
-    /// warp per cycle; branches block issue until they dispatch).
-    next_issue: u64,
-    /// Per register: retire cycle of the last write (RAW/WAW — the
-    /// scoreboard releases writes at retire, same-cycle reissue ok).
-    avail_write: Vec<u64>,
-    /// Per register: latest dispatch of a read since the last write
-    /// (WAR — reads release at operand capture).
-    reader_release: Vec<u64>,
-    /// Dispatch cycle of the last memory instruction (the LSU keeps
-    /// per-warp program order until dispatch).
-    mem_release: u64,
-    /// Latest scheduled event (the makespan).
-    end: u64,
-}
-
-impl TimingState {
-    fn new(num_regs: usize) -> Self {
-        TimingState {
-            next_issue: 0,
-            avail_write: vec![0; num_regs],
-            reader_release: vec![0; num_regs],
-            mem_release: 0,
-            end: 0,
-        }
-    }
-
-    /// Schedules one instruction at its earliest feasible cycles.
-    /// `decomp_extra` is the guaranteed decompression latency of its
-    /// operands, `comp_pass` the guaranteed compressor latency of its
-    /// writeback (0 when the write provably bypasses the compressor).
-    fn step(
-        &mut self,
-        instr: &Instruction,
-        machine: &PerfMachine,
-        decomp_extra: u64,
-        comp_pass: u64,
-    ) {
-        let srcs = unique_srcs(instr);
-        let mut t = self.next_issue;
-        for &s in &srcs {
-            t = t.max(self.avail_write[s]);
-        }
-        if let Some(d) = instr.dst() {
-            t = t
-                .max(self.avail_write[d.index()])
-                .max(self.reader_release[d.index()]);
-        }
-        let is_mem = instr.latency_class() == LatencyClass::Memory;
-        if is_mem {
-            t = t.max(self.mem_release);
-        }
-        match instr {
-            Instruction::Jmp { .. } | Instruction::Exit => {
-                // Issues without a collector and completes immediately.
-                self.next_issue = t + 1;
-                self.end = self.end.max(t);
-                return;
-            }
-            _ => {}
-        }
-        // Operand collection: at most one fetch succeeds per cycle
-        // (cluster-base conflict), so dispatch is k cycles after issue;
-        // collectors are visited from the cycle after issue even with
-        // no operands to fetch.
-        let dispatch = t + (srcs.len() as u64).max(1);
-        for &s in &srcs {
-            self.reader_release[s] = self.reader_release[s].max(dispatch);
-        }
-        if is_mem {
-            self.mem_release = dispatch;
-        }
-        match instr {
-            Instruction::Bra { .. } => {
-                // The warp stays blocked until the branch resolves at
-                // dispatch; issue can resume the same cycle.
-                self.next_issue = dispatch;
-                self.end = self.end.max(dispatch);
-            }
-            Instruction::St { .. } => {
-                self.next_issue = t + 1;
-                self.end = self.end.max(dispatch);
-            }
-            _ => {
-                let lat = machine.latency_of(instr.latency_class());
-                let retire = dispatch + lat + decomp_extra + comp_pass;
-                let d = instr.dst().expect("remaining instructions write").index();
-                self.avail_write[d] = retire;
-                self.next_issue = t + 1;
-                self.end = self.end.max(retire);
-            }
-        }
-    }
 }
 
 // ---------------------------------------------------------------------
@@ -595,33 +488,16 @@ struct TraceOutput {
     exact: bool,
 }
 
-/// What the tracer knows about one architectural register.
-#[derive(Clone, Debug)]
-struct RegState {
-    /// The full 32-lane value, when every lane is known.
-    value: Option<WarpRegister>,
-    /// Banks the stored form occupies, when the stored form is known.
-    banks: Option<usize>,
-    /// Whether the stored form is compressed, when known.
-    compressed: Option<bool>,
-}
-
+/// The perfbound driver over the shared [`WarpReplay`]: accumulates the
+/// guaranteed activity counts and the per-warp timing floor, falling
+/// back to the serialized-path floor when the replay loses precision.
 struct WarpTracer<'a> {
     machine: &'a PerfMachine,
-    codec: &'a BdiCodec,
-    launch: &'a PerfLaunch,
-    absint: &'a AbsintAnalysis,
     dist: &'a [u64],
-    instrs: &'a [Instruction],
-    block: usize,
-    warp_in_block: usize,
-    full_mask: u32,
-    stack: MirrorStack,
-    regs: Vec<RegState>,
+    replay: WarpReplay<'a>,
     timing: TimingState,
     totals: Totals,
     exec_counts: BTreeMap<usize, u64>,
-    fuel: u64,
 }
 
 impl<'a> WarpTracer<'a> {
@@ -638,59 +514,40 @@ impl<'a> WarpTracer<'a> {
         warp_in_block: usize,
         threads: usize,
     ) -> Self {
-        let full_mask = if threads >= WARP_SIZE {
-            u32::MAX
-        } else {
-            (1u32 << threads) - 1
-        };
-        let initial = if machine.compression_enabled() {
-            let c = codec.compress(&WarpRegister::ZERO);
-            RegState {
-                value: Some(WarpRegister::ZERO),
-                banks: Some(c.banks_required()),
-                compressed: Some(c.is_compressed()),
-            }
-        } else {
-            RegState {
-                value: Some(WarpRegister::ZERO),
-                banks: Some(UNCOMPRESSED_BANKS),
-                compressed: Some(false),
-            }
-        };
         WarpTracer {
             machine,
-            codec,
-            launch,
-            absint,
             dist,
-            instrs,
-            block,
-            warp_in_block,
-            full_mask,
-            stack: MirrorStack::new(full_mask),
-            regs: vec![initial; num_regs],
+            replay: WarpReplay::new(
+                machine,
+                codec,
+                launch,
+                absint,
+                instrs,
+                num_regs,
+                block,
+                warp_in_block,
+                threads,
+            ),
             timing: TimingState::new(num_regs),
             totals: Totals::default(),
             exec_counts: BTreeMap::new(),
-            fuel: TRACE_FUEL,
         }
     }
 
     fn run(&mut self) -> TraceOutput {
-        while let Some(pc) = self.stack.pc() {
-            if self.fuel == 0 {
-                return self.fallback(pc);
+        loop {
+            match self.replay.step() {
+                StepOutcome::Done => {
+                    return TraceOutput {
+                        totals: self.totals,
+                        chain: self.timing.end() + 1,
+                        exec_counts: std::mem::take(&mut self.exec_counts),
+                        exact: true,
+                    }
+                }
+                StepOutcome::Lost(reason) => return self.fallback(reason.pc()),
+                StepOutcome::Step(step) => self.count(&step),
             }
-            self.fuel -= 1;
-            if !self.step(pc) {
-                return self.fallback(pc);
-            }
-        }
-        TraceOutput {
-            totals: self.totals,
-            chain: self.timing.end + 1,
-            exec_counts: std::mem::take(&mut self.exec_counts),
-            exact: true,
         }
     }
 
@@ -703,266 +560,37 @@ impl<'a> WarpTracer<'a> {
         self.totals.instructions += d;
         TraceOutput {
             totals: self.totals,
-            chain: (self.timing.end + 1).max(self.timing.next_issue + d),
+            chain: (self.timing.end() + 1).max(self.timing.next_issue() + d),
             exec_counts: std::mem::take(&mut self.exec_counts),
             exact: false,
         }
     }
 
-    /// Replays the instruction at `pc`; `false` means precision was
-    /// lost (unknown branch predicate) and the caller must fall back.
-    fn step(&mut self, pc: usize) -> bool {
-        let instr = self.instrs[pc];
-        let mask = self.stack.mask();
-        // Exactly the engine's divergence predicate at issue.
-        let divergent = self.stack.is_diverged() || mask != self.full_mask;
-
-        if let Instruction::Bra { pred, .. } = instr {
-            if self.taken_mask(pc, pred.index(), mask).is_none() {
-                return false;
-            }
-        }
-
-        self.count(pc, &instr, divergent);
-        match instr {
-            Instruction::Jmp { target } => self.stack.jump(target),
-            Instruction::Exit => self.stack.exit_threads(),
-            Instruction::Bra {
-                pred,
-                target,
-                reconv,
-            } => {
-                let taken = self
-                    .taken_mask(pc, pred.index(), mask)
-                    .expect("checked above");
-                self.stack.branch(taken, target, reconv);
-            }
-            Instruction::St { .. } => self.stack.advance(),
-            Instruction::Mov { dst, src } => {
-                let result = self.eval(src);
-                self.write(dst.index(), result, mask, divergent);
-                self.stack.advance();
-            }
-            Instruction::Alu { op, dst, a, b } => {
-                let result = match (self.eval(a), self.eval(b)) {
-                    (Some(va), Some(vb)) => Some(WarpRegister::from_fn(|lane| {
-                        op.apply(va.lane(lane), vb.lane(lane))
-                    })),
-                    _ => None,
-                };
-                self.write(dst.index(), result, mask, divergent);
-                self.stack.advance();
-            }
-            Instruction::Ld { dst, .. } => {
-                // Memory contents are outside the static model.
-                self.write(dst.index(), None, mask, divergent);
-                self.stack.advance();
-            }
-        }
-        true
-    }
-
-    /// Charges the instruction's guaranteed counts and timing.
-    fn count(&mut self, pc: usize, instr: &Instruction, divergent: bool) {
+    /// Charges one replayed instruction's guaranteed counts and timing.
+    fn count(&mut self, step: &TraceStep) {
         self.totals.instructions += 1;
-        *self.exec_counts.entry(pc).or_insert(0) += 1;
+        *self.exec_counts.entry(step.pc).or_insert(0) += 1;
         let enabled = self.machine.compression_enabled();
+        let floor = if enabled { 1 } else { UNCOMPRESSED_BANKS };
         let mut decomp_extra = 0;
-        for &s in &unique_srcs(instr) {
-            let floor = if enabled { 1 } else { UNCOMPRESSED_BANKS };
-            self.totals.bank_reads += self.regs[s].banks.unwrap_or(floor) as u64;
-            if self.regs[s].compressed == Some(true) {
+        for f in &step.sources {
+            self.totals.bank_reads += f.banks.unwrap_or(floor) as u64;
+            if f.compressed == Some(true) {
                 self.totals.decompressor_activations += 1;
                 decomp_extra = self.machine.decompression_latency;
             }
         }
-        let comp_pass = if instr.dst().is_some() && self.write_compresses(divergent) {
+        let comp_pass = if step.compresses {
             self.totals.compressor_activations += 1;
             self.machine.compression_latency
         } else {
             0
         };
+        if step.dst.is_some() {
+            self.totals.bank_writes += step.dst_banks.unwrap_or(floor) as u64;
+        }
         self.timing
-            .step(instr, self.machine, decomp_extra, comp_pass);
-    }
-
-    /// Whether a (non-synthetic) write at this divergence state passes
-    /// through the compressor.
-    fn write_compresses(&self, divergent: bool) -> bool {
-        self.machine.compression_enabled()
-            && !(divergent && self.machine.uncompressed_divergent_writes)
-    }
-
-    /// Applies a register write: lane merge under a partial mask, then
-    /// the stored form the writeback path guarantees.
-    fn write(&mut self, dst: usize, result: Option<WarpRegister>, mask: u32, divergent: bool) {
-        let merged = if mask == u32::MAX {
-            result
-        } else {
-            match (&self.regs[dst].value, result) {
-                (Some(old), Some(new)) => Some(old.merge_masked(&new, mask)),
-                _ => None,
-            }
-        };
-        let state = if !self.write_compresses(divergent) {
-            // Baseline, or a divergent write under the dummy-MOV
-            // policy: stored uncompressed, 8 banks, guaranteed.
-            RegState {
-                value: merged,
-                banks: Some(UNCOMPRESSED_BANKS),
-                compressed: Some(false),
-            }
-        } else {
-            match merged {
-                Some(v) => {
-                    let c = self.codec.compress(&v);
-                    RegState {
-                        value: Some(v),
-                        banks: Some(c.banks_required()),
-                        compressed: Some(c.is_compressed()),
-                    }
-                }
-                None => RegState {
-                    value: None,
-                    banks: None,
-                    compressed: None,
-                },
-            }
-        };
-        let enabled = self.machine.compression_enabled();
-        let floor = if enabled { 1 } else { UNCOMPRESSED_BANKS };
-        self.totals.bank_writes += state.banks.unwrap_or(floor) as u64;
-        self.regs[dst] = state;
-    }
-
-    /// The branch's taken mask within `mask`, from concrete predicate
-    /// lanes or — when the value is unknown — from the absint per-lane
-    /// range at this pc ("can never be zero" / "is always zero").
-    fn taken_mask(&self, pc: usize, pred: usize, mask: u32) -> Option<u32> {
-        if let Some(v) = &self.regs[pred].value {
-            let mut taken = 0u32;
-            for lane in 0..WARP_SIZE {
-                if mask & (1 << lane) != 0 && v.lane(lane) != 0 {
-                    taken |= 1 << lane;
-                }
-            }
-            return Some(taken);
-        }
-        let range = self.absint.state_at(pc)?.get(pred)?.per_lane_range()?;
-        if !range.contains(0) {
-            Some(mask)
-        } else if range.as_singleton() == Some(0) {
-            Some(0)
-        } else {
-            None
-        }
-    }
-
-    /// Mirror of the engine's operand evaluation, launch-specialised.
-    fn eval(&self, op: Operand) -> Option<WarpRegister> {
-        let tpb = self.launch.threads_per_block as u32;
-        match op {
-            Operand::Reg(r) => self.regs[r.index()].value,
-            Operand::Imm(v) => Some(WarpRegister::splat(v as u32)),
-            Operand::Param(i) => Some(WarpRegister::splat(self.launch.param(i as usize))),
-            Operand::Special(s) => Some(WarpRegister::from_fn(|lane| {
-                let tid = (self.warp_in_block * WARP_SIZE + lane) as u32;
-                match s {
-                    Special::Tid => tid,
-                    Special::Bid => self.block as u32,
-                    Special::BlockDim => tpb,
-                    Special::GridDim => self.launch.blocks as u32,
-                    Special::GlobalTid => self.block as u32 * tpb + tid,
-                    Special::LaneId => lane as u32,
-                    Special::WarpId => self.warp_in_block as u32,
-                }
-            })),
-        }
-    }
-}
-
-// ---------------------------------------------------------------------
-// SIMT stack mirror
-// ---------------------------------------------------------------------
-
-/// Bit-exact mirror of the simulator's SIMT reconvergence stack
-/// (`gpu_sim::SimtStack`), which this crate cannot import (the
-/// dependency points the other way). `tests/perfbound_soundness.rs`
-/// replays random kernels through the real pipeline to pin the two
-/// together.
-#[derive(Clone, Debug)]
-struct MirrorStack {
-    entries: Vec<(usize, u32, usize)>, // (pc, mask, reconv)
-}
-
-const TOP_LEVEL: usize = usize::MAX;
-
-impl MirrorStack {
-    fn new(initial_mask: u32) -> Self {
-        MirrorStack {
-            entries: vec![(0, initial_mask, TOP_LEVEL)],
-        }
-    }
-
-    fn pc(&self) -> Option<usize> {
-        self.entries.last().map(|e| e.0)
-    }
-
-    fn mask(&self) -> u32 {
-        self.entries.last().map(|e| e.1).unwrap_or(0)
-    }
-
-    fn is_diverged(&self) -> bool {
-        self.entries.len() > 1
-    }
-
-    fn advance(&mut self) {
-        if let Some(top) = self.entries.last_mut() {
-            top.0 += 1;
-        }
-        self.pop_reconverged();
-    }
-
-    fn jump(&mut self, target: usize) {
-        if let Some(top) = self.entries.last_mut() {
-            top.0 = target;
-        }
-        self.pop_reconverged();
-    }
-
-    fn branch(&mut self, taken_mask: u32, target: usize, reconv: usize) {
-        let &(pc, mask, _) = self.entries.last().expect("branch on finished warp");
-        let fall_mask = mask & !taken_mask;
-        let fall_pc = pc + 1;
-        if taken_mask == 0 || fall_mask == 0 {
-            let top = self.entries.last_mut().expect("checked non-empty");
-            top.0 = if taken_mask != 0 { target } else { fall_pc };
-        } else {
-            let top = self.entries.last_mut().expect("checked non-empty");
-            top.0 = reconv;
-            self.entries.push((fall_pc, fall_mask, reconv));
-            self.entries.push((target, taken_mask, reconv));
-        }
-        self.pop_reconverged();
-    }
-
-    fn exit_threads(&mut self) {
-        let mask = self.mask();
-        for e in &mut self.entries {
-            e.1 &= !mask;
-        }
-        self.entries.retain(|e| e.1 != 0);
-        self.pop_reconverged();
-    }
-
-    fn pop_reconverged(&mut self) {
-        while let Some(&(pc, _, reconv)) = self.entries.last() {
-            if self.entries.len() > 1 && pc == reconv {
-                self.entries.pop();
-            } else {
-                break;
-            }
-        }
+            .step(&step.instr, self.machine, decomp_extra, comp_pass);
     }
 }
 
@@ -1000,22 +628,10 @@ fn min_instructions_to_exit(instrs: &[Instruction], cfg: &Cfg) -> Vec<u64> {
     dist
 }
 
-/// Unique source registers, in first-use order (the engine's
-/// `unique_srcs` — one collector fetch per distinct register).
-fn unique_srcs(instr: &Instruction) -> Vec<usize> {
-    let mut srcs: Vec<usize> = Vec::new();
-    for r in instr.src_regs() {
-        if !srcs.contains(&r.index()) {
-            srcs.push(r.index());
-        }
-    }
-    srcs
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use simt_isa::{AluOp, KernelBuilder, Operand, Reg};
+    use simt_isa::{AluOp, KernelBuilder, Operand, Reg, Special};
 
     fn straight_kernel() -> Kernel {
         // r0 = gtid; r1 = r0 * 2; r2 = r1 + r0; st [r0], r2

@@ -26,6 +26,7 @@ pub mod fault_json;
 pub mod figures;
 pub mod jsonfmt;
 pub mod perf_json;
+pub mod schedule_json;
 mod table;
 
 pub use campaign::{Campaign, DEFAULT_SEED};

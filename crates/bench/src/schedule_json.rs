@@ -1,0 +1,96 @@
+//! Deterministic JSON rendering of static-schedule-vs-dynamic reports
+//! (`wcsim schedule`), on the shared [`jsonfmt`](crate::jsonfmt)
+//! builder.
+//!
+//! `results/BENCH_schedule.json` is the CI artifact of the scheduling
+//! soundness gate: per kernel, whether the scheduler closed it
+//! statically or fell back (and why), the scheduled makespan next to
+//! the perfbound floor and the dynamic runtime with its slack budget,
+//! the energy comparison, and the per-kernel soundness verdict.
+
+use warped_compression::{ScheduleMode, ScheduleReport};
+
+use crate::jsonfmt::{block_list, JsonObject};
+
+/// One kernel's schedule-vs-dynamic fragment.
+pub fn schedule_record_json(r: &ScheduleReport) -> String {
+    let (mode, reason) = match &r.mode {
+        ScheduleMode::Static => ("static", String::new()),
+        ScheduleMode::DynamicFallback { reason } => ("dynamic-fallback", reason.clone()),
+    };
+    JsonObject::new(4)
+        .string("kernel", &r.kernel)
+        .display("sound", r.is_sound())
+        .string("mode", mode)
+        .string("fallback_reason", &reason)
+        .display("static_floor_cycles", r.static_floor_cycles)
+        .display("scheduled_cycles", r.scheduled_cycles)
+        .display("dynamic_cycles", r.dynamic_cycles)
+        .display("slack_cycles", r.slack_cycles)
+        .display("registers_match", r.registers_match)
+        .display("memory_matches", r.memory_matches)
+        .display("scheduled_instructions", r.scheduled_instructions)
+        .display("dynamic_instructions", r.dynamic_instructions)
+        .display("cycle_ratio", r.comparison.cycle_ratio())
+        .display("scheduled_energy_pj", r.comparison.scheduled_energy_pj)
+        .display("dynamic_energy_pj", r.comparison.dynamic_energy_pj)
+        .display("energy_savings", r.comparison.energy_savings())
+        .display(
+            "scheduled_compressor_activations",
+            r.comparison.scheduled_compressor_activations,
+        )
+        .display(
+            "dynamic_compressor_activations",
+            r.comparison.dynamic_compressor_activations,
+        )
+        .display(
+            "scheduled_decompressor_activations",
+            r.comparison.scheduled_decompressor_activations,
+        )
+        .display(
+            "dynamic_decompressor_activations",
+            r.comparison.dynamic_decompressor_activations,
+        )
+        .render_fragment()
+}
+
+/// The whole `BENCH_schedule.json` document.
+pub fn schedule_json(design: &str, reports: &[ScheduleReport]) -> String {
+    let fragments: Vec<String> = reports.iter().map(schedule_record_json).collect();
+    let static_kernels = reports.iter().filter(|r| r.mode.is_static()).count();
+    JsonObject::new(0)
+        .string("design", design)
+        .display("sound", reports.iter().all(ScheduleReport::is_sound))
+        .display("static_kernels", static_kernels)
+        .display("fallback_kernels", reports.len() - static_kernels)
+        .field("kernels", block_list(2, &fragments))
+        .render_document()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warped_compression::{schedule_workload, DesignPoint};
+
+    #[test]
+    fn rendering_is_deterministic_and_structured() {
+        let render = || {
+            let lib = gpu_workloads::by_name("lib").unwrap();
+            let bfs = gpu_workloads::by_name("bfs").unwrap();
+            let rs = [
+                schedule_workload(&lib, DesignPoint::WarpedCompression).unwrap(),
+                schedule_workload(&bfs, DesignPoint::WarpedCompression).unwrap(),
+            ];
+            schedule_json("warped-compression", &rs)
+        };
+        let a = render();
+        assert_eq!(a, render(), "schedule JSON must be byte-identical");
+        assert!(a.contains("\"design\": \"warped-compression\""));
+        assert!(a.contains("\"mode\": \"static\""));
+        assert!(a.contains("\"mode\": \"dynamic-fallback\""));
+        assert!(a.contains("\"sound\": true"));
+        assert!(a.contains("\"static_kernels\": 1"));
+        assert!(a.contains("\"fallback_kernels\": 1"));
+        assert!(a.contains("\"slack_cycles\""));
+    }
+}

@@ -7,7 +7,10 @@ use std::fs;
 use bdi::FixedChoice;
 use gpu_faults::ProtectionModel;
 use gpu_sim::{GlobalMemory, GpuSim, LaunchConfig};
-use warped_compression::{perf_suite, perf_workload, run_workload, DesignPoint, RunPolicy};
+use warped_compression::{
+    perf_suite, perf_workload, run_workload, schedule_suite, schedule_workload, DesignPoint,
+    RunPolicy,
+};
 use wc_bench::{Campaign, CheckpointStore, DEFAULT_SEED};
 
 use crate::report::{format_comparison, format_run};
@@ -96,6 +99,17 @@ pub enum Command {
         /// Report path (default `results/BENCH_perf.json`).
         out: Option<String>,
     },
+    /// `wcsim schedule <workload|--all> [--design D] [--out FILE]` —
+    /// ahead-of-time issue scheduling replayed on the scheduled backend
+    /// and machine-checked against the dynamic core.
+    Schedule {
+        /// Benchmark name; `None` schedules the whole suite (`--all`).
+        workload: Option<String>,
+        /// Design point to schedule and replay.
+        design: DesignPoint,
+        /// Report path (default `results/BENCH_schedule.json`).
+        out: Option<String>,
+    },
     /// `wcsim --help`.
     Help,
 }
@@ -140,6 +154,14 @@ USAGE:
                                      simulator; fails if any measurement
                                      beats a static bound (default out:
                                      results/BENCH_perf.json)
+  wcsim schedule <workload|--all> [--design D] [--out FILE]
+                                     compile a static issue plan, replay
+                                     it with the scoreboard bypassed and
+                                     check bit identity, the perfbound
+                                     floor and the slack bound against
+                                     the dynamic core; fails on any
+                                     unsound kernel (default out:
+                                     results/BENCH_schedule.json)
   wcsim kernel <file.s> --blocks N --tpb N --mem WORDS
                [--param X]... [--design D]
 ";
@@ -296,6 +318,22 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                 out.iter().map(String::as_str).chain(design_value).collect();
             let workload = workload_or_all("perf", &rest, &flag_values)?;
             Ok(Command::Perf {
+                workload,
+                design: take_design(&rest)?,
+                out,
+            })
+        }
+        "schedule" => {
+            let out = take_path_flag(&rest, "--out")?;
+            let design_value = rest
+                .iter()
+                .position(|&a| a == "--design")
+                .and_then(|i| rest.get(i + 1))
+                .copied();
+            let flag_values: Vec<&str> =
+                out.iter().map(String::as_str).chain(design_value).collect();
+            let workload = workload_or_all("schedule", &rest, &flag_values)?;
+            Ok(Command::Schedule {
                 workload,
                 design: take_design(&rest)?,
                 out,
@@ -743,6 +781,85 @@ pub fn run_cli(cmd: &Command, out: &mut dyn fmt::Write) -> Result<(), Box<dyn Er
                     "kernel `{}` beat a static lower bound ({} unsound conflict site(s))",
                     r.kernel,
                     sites.len()
+                )
+                .into());
+            }
+        }
+        Command::Schedule {
+            workload,
+            design,
+            out: out_file,
+        } => {
+            let workloads = resolve_workloads(workload.as_deref())?;
+            // The suite runner fixes the design point (it parallelises
+            // the default CI sweep); other designs go kernel-by-kernel.
+            let reports = if *design == DesignPoint::WarpedCompression {
+                schedule_suite(&workloads)?
+            } else {
+                workloads
+                    .iter()
+                    .map(|w| schedule_workload(w, *design))
+                    .collect::<Result<Vec<_>, _>>()?
+            };
+            let mut rows = Vec::new();
+            let mut statuses = Vec::new();
+            for r in &reports {
+                rows.push(vec![
+                    r.kernel.clone(),
+                    if r.mode.is_static() {
+                        "static".to_string()
+                    } else {
+                        "fallback".to_string()
+                    },
+                    r.static_floor_cycles.to_string(),
+                    r.scheduled_cycles.to_string(),
+                    r.dynamic_cycles.to_string(),
+                    r.slack_cycles.to_string(),
+                    format!("{:.3}", r.comparison.cycle_ratio()),
+                    format!("{:.0}", r.comparison.scheduled_energy_pj),
+                    format!("{:.0}", r.comparison.dynamic_energy_pj),
+                ]);
+                statuses.push(if r.is_sound() { "ok" } else { "UNSOUND" });
+            }
+            let table = wc_bench::FigureTable::new(
+                "schedule",
+                format!(
+                    "Static issue schedule vs. dynamic core ({})",
+                    design.label()
+                ),
+                [
+                    "kernel",
+                    "mode",
+                    "floor cyc",
+                    "sched cyc",
+                    "dyn cyc",
+                    "slack",
+                    "ratio",
+                    "sched pJ",
+                    "dyn pJ",
+                ]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+                rows,
+            )
+            .with_status_column(&statuses);
+            writeln!(out, "{}", table.to_markdown())?;
+            let out_path = out_file
+                .clone()
+                .unwrap_or_else(|| "results/BENCH_schedule.json".to_string());
+            write_report(
+                &out_path,
+                &wc_bench::schedule_json::schedule_json(&design.label(), &reports),
+            )?;
+            writeln!(out, "report written to {out_path}")?;
+            // The CI gate: every kernel must replay bit-identically
+            // within [floor, dynamic + slack], or fall back explicitly.
+            if let Some(r) = reports.iter().find(|r| !r.is_sound()) {
+                return Err(format!(
+                    "kernel `{}` is unsound under the static schedule: {}",
+                    r.kernel,
+                    r.violations().join("; ")
                 )
                 .into());
             }
@@ -1261,6 +1378,59 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn parses_schedule_variants() {
+        assert_eq!(
+            parse(&["schedule", "lib"]).unwrap(),
+            Command::Schedule {
+                workload: Some("lib".into()),
+                design: DesignPoint::WarpedCompression,
+                out: None,
+            }
+        );
+        assert_eq!(
+            parse(&["schedule", "--all", "--design", "baseline", "--out", "s.json"]).unwrap(),
+            Command::Schedule {
+                workload: None,
+                design: DesignPoint::Baseline,
+                out: Some("s.json".into()),
+            }
+        );
+        assert!(parse(&["schedule"]).is_err());
+        assert!(parse(&["schedule", "--all", "--out"]).is_err());
+        assert!(parse(&["schedule", "lib", "--design", "warp9"]).is_err());
+    }
+
+    #[test]
+    fn schedule_command_reports_and_writes_sound_json() {
+        let dir = std::env::temp_dir().join(format!("wcsim-sched-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let (p1, p2) = (dir.join("a.json"), dir.join("b.json"));
+        let cmd = |w: &str, p: &std::path::Path| Command::Schedule {
+            workload: Some(w.into()),
+            design: DesignPoint::WarpedCompression,
+            out: Some(p.to_string_lossy().into_owned()),
+        };
+        let mut out = String::new();
+        run_cli(&cmd("lib", &p1), &mut out).expect("lib schedule must be sound");
+        run_cli(&cmd("lib", &p2), &mut out).unwrap();
+        let (a, b) = (fs::read(&p1).unwrap(), fs::read(&p2).unwrap());
+        assert_eq!(a, b, "schedule JSON must be byte-identical across runs");
+        assert!(out.contains("| lib |"));
+        assert!(out.contains("| static |"));
+        assert!(out.contains("| ok |"));
+        let doc = String::from_utf8(a).unwrap();
+        assert!(doc.contains("\"mode\": \"static\""));
+        assert!(doc.contains("\"sound\": true"));
+        assert!(doc.contains("\"registers_match\": true"));
+        // A data-dependent kernel falls back, stays sound, and says why.
+        run_cli(&cmd("bfs", &p1), &mut out).expect("fallback must be sound");
+        let doc = fs::read_to_string(&p1).unwrap();
+        assert!(doc.contains("\"mode\": \"dynamic-fallback\""));
+        assert!(doc.contains("\"sound\": true"));
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

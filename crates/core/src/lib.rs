@@ -47,6 +47,7 @@ pub mod fault_campaign;
 pub mod perfbound;
 pub mod predict;
 pub mod resilient;
+pub mod schedule;
 pub mod similarity;
 pub mod trace;
 
@@ -62,5 +63,8 @@ pub use predict::{
     predict_suite, predict_workload, PredictError, PredictReport, SiteOutcome, SiteValidation,
 };
 pub use resilient::{run_many_resilient, run_suite_resilient, RunPolicy, RunRecord, RunStatus};
+pub use schedule::{
+    schedule_slack, schedule_suite, schedule_workload, ScheduleMode, ScheduleReport,
+};
 pub use similarity::{SimilarityBin, SimilarityHistogram};
 pub use trace::WriteTrace;

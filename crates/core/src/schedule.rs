@@ -1,0 +1,326 @@
+//! Static issue scheduling, validated end to end (`wcsim schedule`).
+//!
+//! The scheduler in [`simt_analysis::schedule`] compiles a kernel into
+//! an [`simt_analysis::IssuePlan`]: per warp and per pc, the exact
+//! cycle every instruction issues, dispatches and retires, with all
+//! RAW/WAW/WAR hazards, compression latencies and operand-collector
+//! port conflicts resolved ahead of time. The scheduled backend in
+//! `gpu-sim` replays that plan with the scoreboard and collector
+//! arbitration bypassed. This module joins the two against the dynamic
+//! core and machine-checks three soundness properties per kernel:
+//!
+//! 1. **bit identity** — every warp's final architectural register
+//!    values (and all of global memory) match the dynamic core
+//!    bit for bit,
+//! 2. **floor** — the scheduled makespan never beats the perfbound
+//!    static cycle lower bound (the schedule cannot be faster than a
+//!    proven floor),
+//! 3. **slack** — the scheduled makespan never exceeds the dynamic
+//!    runtime by more than [`schedule_slack`] (a static schedule that
+//!    loses badly to dynamic arbitration is a scheduling bug, not a
+//!    modelling choice).
+//!
+//! Kernels the scheduler cannot close statically (data-dependent
+//! branch predicates, replay fuel) fall back to the dynamic engine;
+//! the report records the bail reason and the three checks hold
+//! trivially. Any violation is surfaced as a hard error by the CLI —
+//! this is the `wcsim schedule` CI gate.
+
+use gpu_power::{ActivityCounts, EnergyModel, EnergyParams, ScheduleComparison};
+use gpu_sim::{GpuSim, SimError, SimStats};
+use gpu_workloads::Workload;
+use rayon::prelude::*;
+use serde::Serialize;
+use simt_analysis::{bound_kernel, schedule_kernel, PerfLaunch};
+
+use crate::design::DesignPoint;
+use crate::perfbound::perf_machine;
+
+/// Fixed slack head-room: covers drain/launch edge effects that do
+/// not scale with run length.
+pub const SCHEDULE_SLACK_BASE: u64 = 64;
+
+/// Proportional slack divisor: the schedule may trail the dynamic
+/// core by at most one quarter of the dynamic runtime. The greedy
+/// list scheduler serialises same-cycle issue ties that the dynamic
+/// operand collectors overlap; across the 18-workload suite the
+/// worst measured scheduled/dynamic ratio is ~1.19 (`lib`), so a 25 %
+/// proportional budget bounds it with margin while still catching a
+/// scheduler regression that loses to dynamic arbitration outright.
+pub const SCHEDULE_SLACK_DIVISOR: u64 = 4;
+
+/// The maximum number of cycles a sound static schedule may trail the
+/// dynamic core on the same launch:
+/// `SCHEDULE_SLACK_BASE + dynamic_cycles / SCHEDULE_SLACK_DIVISOR`.
+pub fn schedule_slack(dynamic_cycles: u64) -> u64 {
+    SCHEDULE_SLACK_BASE + dynamic_cycles / SCHEDULE_SLACK_DIVISOR
+}
+
+/// How a kernel was executed for its schedule report.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub enum ScheduleMode {
+    /// The scheduler closed the kernel statically and the plan was
+    /// replayed on the scheduled backend.
+    Static,
+    /// The scheduler bailed; the dynamic engine ran instead and the
+    /// soundness checks hold trivially.
+    DynamicFallback {
+        /// The scheduler's bail reason, human-readable.
+        reason: String,
+    },
+}
+
+impl ScheduleMode {
+    /// Whether the kernel actually replayed a static plan.
+    pub fn is_static(&self) -> bool {
+        matches!(self, ScheduleMode::Static)
+    }
+}
+
+/// A full static-schedule-vs-dynamic report for one kernel under one
+/// design point.
+#[derive(Clone, Debug, Serialize)]
+pub struct ScheduleReport {
+    /// Benchmark name.
+    pub kernel: String,
+    /// Design-point label the runs used.
+    pub design: String,
+    /// Static plan replayed, or dynamic fallback with the bail reason.
+    pub mode: ScheduleMode,
+    /// Perfbound static cycle lower bound for the same launch.
+    pub static_floor_cycles: u64,
+    /// Makespan of the scheduled replay (dynamic cycles when the
+    /// kernel fell back).
+    pub scheduled_cycles: u64,
+    /// Cycles the dynamic core took.
+    pub dynamic_cycles: u64,
+    /// Slack budget the scheduled run had to stay within.
+    pub slack_cycles: u64,
+    /// Program instructions the scheduled replay issued (the plan's
+    /// count; the dynamic count when the kernel fell back).
+    pub scheduled_instructions: u64,
+    /// Program instructions the dynamic core issued (excludes
+    /// injected dummy MOVs).
+    pub dynamic_instructions: u64,
+    /// Final architectural register values bit-identical to the
+    /// dynamic core (soundness check 1a).
+    pub registers_match: bool,
+    /// Global memory bit-identical after both runs (soundness
+    /// check 1b).
+    pub memory_matches: bool,
+    /// Scheduled vs. dynamic activity priced through the Table 3
+    /// energy model.
+    pub comparison: ScheduleComparison,
+}
+
+impl ScheduleReport {
+    /// Soundness check 2: the schedule never beats the proven floor.
+    pub fn floor_holds(&self) -> bool {
+        self.static_floor_cycles <= self.scheduled_cycles
+    }
+
+    /// Soundness check 3: the schedule stays within slack of the
+    /// dynamic core.
+    pub fn slack_holds(&self) -> bool {
+        self.scheduled_cycles <= self.dynamic_cycles + self.slack_cycles
+    }
+
+    /// All three machine-checked soundness properties — the invariant
+    /// `wcsim schedule` gates CI on.
+    pub fn is_sound(&self) -> bool {
+        self.registers_match && self.memory_matches && self.floor_holds() && self.slack_holds()
+    }
+
+    /// Which soundness checks failed, as human-readable labels.
+    pub fn violations(&self) -> Vec<&'static str> {
+        let mut v = Vec::new();
+        if !self.registers_match {
+            v.push("final registers differ from the dynamic core");
+        }
+        if !self.memory_matches {
+            v.push("global memory differs from the dynamic core");
+        }
+        if !self.floor_holds() {
+            v.push("scheduled cycles beat the static floor");
+        }
+        if !self.slack_holds() {
+            v.push("scheduled cycles exceed dynamic + slack");
+        }
+        v
+    }
+}
+
+fn activity_of(stats: &SimStats) -> ActivityCounts {
+    ActivityCounts::from_regfile_with_mode(
+        &stats.regfile,
+        stats.compressor_activations,
+        stats.decompressor_activations,
+        stats.gating.into(),
+    )
+}
+
+/// Schedules one workload statically, replays the plan on the
+/// scheduled backend, and validates bit identity, the perfbound floor
+/// and the slack bound against a dynamic run under the same `design`.
+/// Falls back to the dynamic engine when the scheduler bails.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from either engine — including
+/// `SimError::Plan` when the replayer catches the plan contradicting
+/// the machine, which is itself a soundness failure.
+pub fn schedule_workload(
+    workload: &Workload,
+    design: DesignPoint,
+) -> Result<ScheduleReport, SimError> {
+    let cfg = design.config();
+    let machine = perf_machine(&cfg);
+    let sim = GpuSim::new(cfg);
+    let kernel = workload.kernel();
+    let launch = workload.launch();
+    let perf_launch = PerfLaunch {
+        blocks: launch.blocks(),
+        threads_per_block: launch.threads_per_block(),
+        params: launch.params().to_vec(),
+    };
+    let floor = bound_kernel(kernel, &perf_launch, &machine).cycle_lower_bound;
+
+    let mut dyn_mem = workload.fresh_memory();
+    let (dyn_result, dyn_regs) = sim.run_capturing(kernel, launch, &mut dyn_mem)?;
+    let dynamic_cycles = dyn_result.stats.cycles;
+    let model = EnergyModel::new(EnergyParams::paper_table3());
+    let dyn_activity = activity_of(&dyn_result.stats);
+
+    let residency = sim.max_resident_warps(kernel);
+    let report = match schedule_kernel(kernel, &perf_launch, &machine, residency) {
+        Ok(plan) => {
+            let mut sched_mem = workload.fresh_memory();
+            let sched = sim.run_scheduled(kernel, &plan, launch, &mut sched_mem)?;
+            ScheduleReport {
+                kernel: workload.name().to_string(),
+                design: design.label(),
+                mode: ScheduleMode::Static,
+                static_floor_cycles: floor,
+                scheduled_cycles: sched.stats.cycles,
+                dynamic_cycles,
+                slack_cycles: schedule_slack(dynamic_cycles),
+                scheduled_instructions: sched.stats.instructions,
+                dynamic_instructions: dyn_result.stats.instructions,
+                registers_match: sched.final_regs == dyn_regs,
+                memory_matches: sched_mem == dyn_mem,
+                comparison: ScheduleComparison::new(
+                    workload.name(),
+                    &model,
+                    &activity_of(&sched.stats),
+                    &dyn_activity,
+                ),
+            }
+        }
+        Err(bail) => ScheduleReport {
+            kernel: workload.name().to_string(),
+            design: design.label(),
+            mode: ScheduleMode::DynamicFallback {
+                reason: bail.to_string(),
+            },
+            static_floor_cycles: floor,
+            scheduled_cycles: dynamic_cycles,
+            dynamic_cycles,
+            slack_cycles: schedule_slack(dynamic_cycles),
+            scheduled_instructions: dyn_result.stats.instructions,
+            dynamic_instructions: dyn_result.stats.instructions,
+            registers_match: true,
+            memory_matches: true,
+            comparison: ScheduleComparison::new(
+                workload.name(),
+                &model,
+                &dyn_activity,
+                &dyn_activity,
+            ),
+        },
+    };
+    Ok(report)
+}
+
+/// Schedules and validates every workload under the warped-compression
+/// design point, in parallel, in suite order.
+///
+/// # Errors
+///
+/// Fails on the earliest workload (in suite order) that errors.
+pub fn schedule_suite(workloads: &[Workload]) -> Result<Vec<ScheduleReport>, SimError> {
+    workloads
+        .par_iter()
+        .map(|w| schedule_workload(w, DesignPoint::WarpedCompression))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[ignore = "diagnostic"]
+    fn dump_suite_numbers() {
+        for w in gpu_workloads::suite() {
+            let r = schedule_workload(&w, DesignPoint::WarpedCompression).unwrap();
+            println!(
+                "{:>12} mode={:?} floor={} sched={} dyn={} ratio={:.3}",
+                r.kernel,
+                r.mode.is_static(),
+                r.static_floor_cycles,
+                r.scheduled_cycles,
+                r.dynamic_cycles,
+                r.scheduled_cycles as f64 / r.dynamic_cycles as f64
+            );
+        }
+    }
+
+    #[test]
+    fn slack_is_base_plus_a_quarter() {
+        assert_eq!(schedule_slack(0), SCHEDULE_SLACK_BASE);
+        assert_eq!(schedule_slack(800), SCHEDULE_SLACK_BASE + 200);
+    }
+
+    #[test]
+    fn lib_schedules_statically_and_is_sound() {
+        let w = gpu_workloads::by_name("lib").unwrap();
+        let r = schedule_workload(&w, DesignPoint::WarpedCompression).unwrap();
+        assert!(
+            r.mode.is_static(),
+            "lib must close statically: {:?}",
+            r.mode
+        );
+        assert!(
+            r.is_sound(),
+            "violations: {:?} (floor {} scheduled {} dynamic {} slack {})",
+            r.violations(),
+            r.static_floor_cycles,
+            r.scheduled_cycles,
+            r.dynamic_cycles,
+            r.slack_cycles
+        );
+        assert!(r.registers_match && r.memory_matches);
+        assert!(r.comparison.scheduled_energy_pj > 0.0);
+    }
+
+    #[test]
+    fn lib_baseline_design_is_also_sound() {
+        let w = gpu_workloads::by_name("lib").unwrap();
+        let r = schedule_workload(&w, DesignPoint::Baseline).unwrap();
+        assert!(r.mode.is_static(), "{:?}", r.mode);
+        assert!(r.is_sound(), "violations: {:?}", r.violations());
+        assert_eq!(r.comparison.scheduled_compressor_activations, 0);
+    }
+
+    #[test]
+    fn data_dependent_branches_fall_back_soundly() {
+        let w = gpu_workloads::by_name("bfs").unwrap();
+        let r = schedule_workload(&w, DesignPoint::WarpedCompression).unwrap();
+        assert!(
+            !r.mode.is_static(),
+            "bfs branches on loaded data; expected a fallback"
+        );
+        assert!(r.is_sound());
+        assert_eq!(r.scheduled_cycles, r.dynamic_cycles);
+    }
+}

@@ -46,6 +46,7 @@ mod occupancy;
 mod params;
 mod perf;
 mod report;
+mod schedule;
 
 pub use activity::{ActivityCounts, LowPowerKind};
 pub use compressibility::CompressibilityComparison;
@@ -54,3 +55,4 @@ pub use occupancy::OccupancyComparison;
 pub use params::EnergyParams;
 pub use perf::PerfComparison;
 pub use report::EnergyReport;
+pub use schedule::ScheduleComparison;

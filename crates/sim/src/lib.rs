@@ -52,6 +52,7 @@ mod launch;
 mod memory;
 #[cfg(feature = "sanitize")]
 mod sanitize;
+mod scheduled;
 mod scoreboard;
 mod simt_stack;
 mod sm;
@@ -62,6 +63,7 @@ pub use chip::ChipResult;
 pub use config::{CompressionConfig, DivergencePolicy, GpuConfig, SchedulerPolicy};
 pub use launch::LaunchConfig;
 pub use memory::{GlobalMemory, MemoryFault};
+pub use scheduled::ScheduledResult;
 pub use simt_stack::SimtStack;
-pub use sm::{GpuSim, SimError, SimResult};
+pub use sm::{FinalRegs, GpuSim, SimError, SimResult};
 pub use stats::{CensusStats, PcStalls, SimStats, StallCause, StallStats, WriteEvent};

@@ -1,7 +1,7 @@
 //! The streaming-multiprocessor pipeline: issue → operand collection →
 //! execution → compression-aware writeback.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::error::Error;
 use std::fmt;
 use std::mem;
@@ -54,6 +54,13 @@ pub enum SimError {
         /// The underlying register-file failure.
         source: gpu_regfile::ReadError,
     },
+    /// A static issue plan failed validation or diverged from the
+    /// machine state during scheduled replay — the plan does not
+    /// soundly describe this kernel × launch × configuration.
+    Plan {
+        /// What the plan got wrong.
+        message: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -73,6 +80,7 @@ impl fmt::Display for SimError {
             SimError::Read { slot, reg, source } => {
                 write!(f, "read of slot {slot} r{reg} failed: {source}")
             }
+            SimError::Plan { message } => write!(f, "unsound issue plan: {message}"),
         }
     }
 }
@@ -107,6 +115,12 @@ pub struct SimResult {
     pub stats: SimStats,
 }
 
+/// Final architectural register state of every warp, keyed by
+/// `(block, warp_in_block)` and captured (decompressed) at the instant
+/// the warp drains, just before its slot is freed. This is the
+/// bit-identity witness the scheduled backend is checked against.
+pub type FinalRegs = BTreeMap<(usize, usize), Vec<WarpRegister>>;
+
 /// The simulator front-end: configure once, run kernels.
 #[derive(Clone, Debug)]
 pub struct GpuSim {
@@ -122,6 +136,17 @@ impl GpuSim {
     /// The active configuration.
     pub fn config(&self) -> &GpuConfig {
         &self.cfg
+    }
+
+    /// Resident-warp slots this configuration offers `kernel`: the
+    /// SM's warp-slot count capped by register-file capacity. An
+    /// ahead-of-time issue plan must be laid out for exactly this
+    /// residency to replay here.
+    pub fn max_resident_warps(&self, kernel: &Kernel) -> usize {
+        let num_regs = kernel.num_regs().max(1) as usize;
+        self.cfg
+            .max_warps_per_sm
+            .min(RegisterFile::new(self.cfg.regfile).max_slots(num_regs))
     }
 
     /// Runs a kernel to completion.
@@ -152,6 +177,37 @@ impl GpuSim {
         observer: &mut dyn FnMut(&WriteEvent),
     ) -> Result<SimResult, SimError> {
         self.run_block_range(kernel, launch, memory, 0..launch.blocks(), observer)
+    }
+
+    /// Runs a kernel and additionally captures every warp's final
+    /// architectural register values (decompressed) at drain time.
+    ///
+    /// The scheduled backend replays an ahead-of-time issue plan with
+    /// the scoreboard bypassed; this method provides the dynamic-core
+    /// ground truth its bit-identity soundness check compares against.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`].
+    pub fn run_capturing(
+        &self,
+        kernel: &Kernel,
+        launch: &LaunchConfig,
+        memory: &mut GlobalMemory,
+    ) -> Result<(SimResult, FinalRegs), SimError> {
+        let mut observer = |_: &WriteEvent| {};
+        let mut engine = Engine::new(
+            &self.cfg,
+            kernel,
+            launch,
+            memory,
+            0..launch.blocks(),
+            &mut observer,
+        )?;
+        engine.capture = Some(FinalRegs::new());
+        let result = engine.run_loop()?;
+        let regs = engine.capture.take().expect("armed above");
+        Ok((result, regs))
     }
 
     /// Runs only the blocks in `range` of the launch on this SM — the
@@ -283,6 +339,9 @@ struct Engine<'a> {
     initial_reg: CompressedRegister,
     stats: SimStats,
     last_progress: u64,
+    /// When armed, drained warps deposit their decompressed registers
+    /// here just before the slot is freed.
+    capture: Option<FinalRegs>,
     /// Uncompressed mirror every decompressed read is checked against.
     #[cfg(feature = "sanitize")]
     shadow: gpu_regfile::ShadowRegisterFile,
@@ -336,6 +395,7 @@ impl<'a> Engine<'a> {
             initial_reg,
             stats: SimStats::default(),
             last_progress: 0,
+            capture: None,
             #[cfg(feature = "sanitize")]
             shadow: gpu_regfile::ShadowRegisterFile::new(),
             #[cfg(feature = "sanitize")]
@@ -445,6 +505,17 @@ impl<'a> Engine<'a> {
                 {
                     self.oracle.on_warp_free(s);
                     self.shadow.free_warp(WarpSlot(s));
+                }
+                if let Some(cap) = self.capture.as_mut() {
+                    let w = self.warps[s].as_ref().expect("drained warp present");
+                    let regs = (0..self.num_regs)
+                        .map(|r| {
+                            let stored =
+                                self.regfile.peek(WarpSlot(s), r).expect("still allocated");
+                            self.codec.decompress(stored)
+                        })
+                        .collect();
+                    cap.insert((w.block, w.warp_in_block), regs);
                 }
                 self.regfile.free_warp(WarpSlot(s), self.now);
                 self.warps[s] = None;
@@ -1047,7 +1118,7 @@ enum StepOutcome {
 }
 
 /// Unique source registers of an instruction, in first-use order.
-fn unique_srcs(instr: &Instruction) -> Vec<usize> {
+pub(crate) fn unique_srcs(instr: &Instruction) -> Vec<usize> {
     let mut srcs: Vec<usize> = Vec::new();
     for r in instr.src_regs() {
         if !srcs.contains(&r.index()) {

@@ -37,6 +37,8 @@
 
 mod builders;
 mod kernels;
+#[cfg(feature = "testgen")]
+pub mod testgen;
 mod workload;
 
 pub use workload::{DivergenceProfile, Workload};

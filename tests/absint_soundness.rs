@@ -1,103 +1,27 @@
 //! Soundness property test for the warp-value abstract interpreter.
 //!
-//! For randomly generated kernels — straight-line and single-branch —
-//! every concretely observed register write must lie inside the
-//! abstract value the interpreter computed for that write site
-//! (`AbsVal::contains`), and the form the simulator actually stored
-//! must never need more banks than the statically predicted class.
-//! This is the γ-membership obligation of the abstract domain checked
-//! end to end through the real pipeline: divergence, partial-write
-//! merges and dummy-MOV injection included.
+//! For randomly generated kernels — straight-line, single-branch and
+//! guaranteed-divergent, drawn from the shared
+//! [`gpu_workloads::testgen`] generator — every concretely observed
+//! register write must lie inside the abstract value the interpreter
+//! computed for that write site (`AbsVal::contains`), and the form the
+//! simulator actually stored must never need more banks than the
+//! statically predicted class. This is the γ-membership obligation of
+//! the abstract domain checked end to end through the real pipeline:
+//! divergence, partial-write merges and dummy-MOV injection included.
 
+use gpu_workloads::testgen::{
+    kernel_of, lane_split, raw_instr, skip_if_zero, straight_line, NUM_REGS,
+};
 use proptest::prelude::*;
 use simt_analysis::{analyze_instrs_with_launch, LaunchInfo};
-use simt_isa::{AluOp, Instruction, Kernel, Operand, Reg, Special};
+use simt_isa::Instruction;
 use warped_compression_suite::prelude::*;
-
-const NUM_REGS: u8 = 4;
-
-/// Deterministic mapping from generated bytes to an ALU op.
-fn op_of(sel: u8) -> AluOp {
-    const OPS: [AluOp; 16] = [
-        AluOp::Add,
-        AluOp::Sub,
-        AluOp::Mul,
-        AluOp::Div,
-        AluOp::Rem,
-        AluOp::Min,
-        AluOp::Max,
-        AluOp::And,
-        AluOp::Or,
-        AluOp::Xor,
-        AluOp::Shl,
-        AluOp::Shr,
-        AluOp::SetLt,
-        AluOp::SetLe,
-        AluOp::SetEq,
-        AluOp::SetNe,
-    ];
-    OPS[usize::from(sel) % OPS.len()]
-}
-
-fn special_of(sel: u8) -> Special {
-    const SPECIALS: [Special; 7] = [
-        Special::Tid,
-        Special::Bid,
-        Special::BlockDim,
-        Special::GridDim,
-        Special::GlobalTid,
-        Special::LaneId,
-        Special::WarpId,
-    ];
-    SPECIALS[usize::from(sel) % SPECIALS.len()]
-}
-
-fn operand_of(sel: u8, imm: i32) -> Operand {
-    match sel % 3 {
-        0 => Operand::Imm(imm),
-        1 => Operand::Reg(Reg(sel % NUM_REGS)),
-        _ => Operand::Special(special_of(sel)),
-    }
-}
-
-/// One generated compute instruction, from raw bytes.
-type RawInstr = (u8, u8, u8, i32, u8, u8);
-
-/// The vendored proptest shim has no `Arbitrary` for tuples; a tuple of
-/// strategies is itself a strategy, which is all this needs.
-fn raw_instr() -> impl Strategy<Value = RawInstr> {
-    (
-        any::<u8>(),
-        any::<u8>(),
-        any::<u8>(),
-        any::<i32>(),
-        any::<u8>(),
-        any::<u8>(),
-    )
-}
-
-fn instr_of(&(kind, dst, op, imm, a, b): &RawInstr) -> Instruction {
-    let dst = Reg(dst % NUM_REGS);
-    if kind % 2 == 0 {
-        Instruction::Mov {
-            dst,
-            src: operand_of(a, imm),
-        }
-    } else {
-        Instruction::Alu {
-            op: op_of(op),
-            dst,
-            a: operand_of(a, imm),
-            b: operand_of(b, imm.wrapping_add(1)),
-        }
-    }
-}
 
 /// Runs one generated kernel through the simulator and checks every
 /// observed write against the abstract interpretation.
 fn check_soundness(instrs: Vec<Instruction>) {
-    let kernel = Kernel::new("prop", instrs.clone(), NUM_REGS)
-        .expect("generated kernels are structurally valid");
+    let kernel = kernel_of(instrs.clone());
     let launch = LaunchConfig::new(1, 32);
     let mut memory = GlobalMemory::zeroed(4);
     let mut events: Vec<(usize, WarpRegister, bdi::CompressionClass)> = Vec::new();
@@ -150,9 +74,7 @@ proptest! {
     fn straight_line_kernels_stay_inside_abstract_values(
         raw in prop::collection::vec(raw_instr(), 1..10),
     ) {
-        let mut instrs: Vec<Instruction> = raw.iter().map(instr_of).collect();
-        instrs.push(Instruction::Exit);
-        check_soundness(instrs);
+        check_soundness(straight_line(&raw, true));
     }
 
     #[test]
@@ -162,19 +84,15 @@ proptest! {
         suffix in prop::collection::vec(raw_instr(), 0..4),
         pred in any::<u8>(),
     ) {
-        // The skip_if_zero shape every divergent workload uses: taken
-        // lanes jump straight to the reconvergence pc, fall-through
-        // lanes execute the body first.
-        let mut instrs: Vec<Instruction> = prefix.iter().map(instr_of).collect();
-        let merge = instrs.len() + 1 + body.len();
-        instrs.push(Instruction::Bra {
-            pred: Reg(pred % NUM_REGS),
-            target: merge,
-            reconv: merge,
-        });
-        instrs.extend(body.iter().map(instr_of));
-        instrs.extend(suffix.iter().map(instr_of));
-        instrs.push(Instruction::Exit);
-        check_soundness(instrs);
+        check_soundness(skip_if_zero(&prefix, &body, &suffix, pred, true));
+    }
+
+    #[test]
+    fn guaranteed_divergence_stays_inside_abstract_values(
+        split in any::<u8>(),
+        body in prop::collection::vec(raw_instr(), 1..5),
+        suffix in prop::collection::vec(raw_instr(), 0..4),
+    ) {
+        check_soundness(lane_split(split, &body, &suffix, true));
     }
 }

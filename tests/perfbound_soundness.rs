@@ -1,91 +1,30 @@
 //! Soundness property test for the static performance bounds.
 //!
-//! For randomly generated kernels — straight-line and uniform
-//! single-loop — the static pipeline-interference analysis must stay
-//! a true lower bound when the same kernel runs through the real
-//! simulator: the cycle bound never exceeds measured cycles, the bank
-//! access floor never exceeds measured accesses, the instruction floor
-//! never exceeds retired instructions, and every guaranteed-conflict
-//! site's stall floor is met by the per-PC stall attribution. Checked
-//! under both the baseline and warped-compression design points, so
+//! For randomly generated kernels — straight-line, uniform single-loop
+//! and uniform nested loops, drawn from the shared
+//! [`gpu_workloads::testgen`] generator — the static
+//! pipeline-interference analysis must stay a true lower bound when
+//! the same kernel runs through the real simulator: the cycle bound
+//! never exceeds measured cycles, the bank access floor never exceeds
+//! measured accesses, the instruction floor never exceeds retired
+//! instructions, and every guaranteed-conflict site's stall floor is
+//! met by the per-PC stall attribution. Checked under both the
+//! baseline and warped-compression design points, so
 //! compression/decompression latencies and bank gating are exercised.
 
+use gpu_workloads::testgen::{
+    counted_loop, kernel_of, nested_counted_loops, raw_instr, straight_line,
+};
 use proptest::prelude::*;
 use simt_analysis::{bound_kernel, PerfLaunch};
-use simt_isa::{AluOp, Instruction, Kernel, Operand, Reg};
+use simt_isa::Instruction;
 use warped_compression::perf_machine;
 use warped_compression_suite::prelude::*;
-
-const NUM_REGS: u8 = 4;
-/// The loop counter lives here; generated bodies write r0..r2 only.
-const COUNTER: u8 = 3;
-
-/// Deterministic mapping from generated bytes to an ALU op.
-fn op_of(sel: u8) -> AluOp {
-    const OPS: [AluOp; 16] = [
-        AluOp::Add,
-        AluOp::Sub,
-        AluOp::Mul,
-        AluOp::Div,
-        AluOp::Rem,
-        AluOp::Min,
-        AluOp::Max,
-        AluOp::And,
-        AluOp::Or,
-        AluOp::Xor,
-        AluOp::Shl,
-        AluOp::Shr,
-        AluOp::SetLt,
-        AluOp::SetLe,
-        AluOp::SetEq,
-        AluOp::SetNe,
-    ];
-    OPS[usize::from(sel) % OPS.len()]
-}
-
-fn operand_of(sel: u8, imm: i32) -> Operand {
-    match sel % 2 {
-        0 => Operand::Imm(imm),
-        _ => Operand::Reg(Reg(sel % NUM_REGS)),
-    }
-}
-
-/// One generated compute instruction, from raw bytes.
-type RawInstr = (u8, u8, u8, i32, u8, u8);
-
-fn raw_instr() -> impl Strategy<Value = RawInstr> {
-    (
-        any::<u8>(),
-        any::<u8>(),
-        any::<u8>(),
-        any::<i32>(),
-        any::<u8>(),
-        any::<u8>(),
-    )
-}
-
-fn instr_of(&(kind, dst, op, imm, a, b): &RawInstr) -> Instruction {
-    let dst = Reg(dst % COUNTER);
-    if kind % 2 == 0 {
-        Instruction::Mov {
-            dst,
-            src: operand_of(a, imm),
-        }
-    } else {
-        Instruction::Alu {
-            op: op_of(op),
-            dst,
-            a: operand_of(a, imm),
-            b: operand_of(b, imm.wrapping_add(1)),
-        }
-    }
-}
 
 /// Runs one generated kernel under one design point and checks every
 /// static floor against the measured run.
 fn check_design(instrs: &[Instruction], design: DesignPoint) {
-    let kernel = Kernel::new("prop", instrs.to_vec(), NUM_REGS)
-        .expect("generated kernels are structurally valid");
+    let kernel = kernel_of(instrs.to_vec());
     let launch = LaunchConfig::new(1, 32);
     let mut memory = GlobalMemory::zeroed(4);
     let cfg = design.config();
@@ -142,9 +81,7 @@ proptest! {
     fn straight_line_bounds_stay_below_measurement(
         raw in prop::collection::vec(raw_instr(), 1..10),
     ) {
-        let mut instrs: Vec<Instruction> = raw.iter().map(instr_of).collect();
-        instrs.push(Instruction::Exit);
-        check_soundness(instrs);
+        check_soundness(straight_line(&raw, false));
     }
 
     #[test]
@@ -153,29 +90,19 @@ proptest! {
         suffix in prop::collection::vec(raw_instr(), 0..4),
         trips in 1i32..4,
     ) {
-        // A uniform counted loop: every lane sees the same counter, so
-        // the branch is non-divergent and the tracer can resolve trip
-        // counts concretely; the suffix exercises the post-loop path.
-        let mut instrs = vec![Instruction::Mov {
-            dst: Reg(COUNTER),
-            src: Operand::Imm(trips),
-        }];
-        let head = instrs.len();
-        instrs.extend(body.iter().map(instr_of));
-        instrs.push(Instruction::Alu {
-            op: AluOp::Sub,
-            dst: Reg(COUNTER),
-            a: Operand::Reg(Reg(COUNTER)),
-            b: Operand::Imm(1),
-        });
-        let reconv = instrs.len() + 1;
-        instrs.push(Instruction::Bra {
-            pred: Reg(COUNTER),
-            target: head,
-            reconv,
-        });
-        instrs.extend(suffix.iter().map(instr_of));
-        instrs.push(Instruction::Exit);
-        check_soundness(instrs);
+        check_soundness(counted_loop(&body, trips, &suffix, false));
+    }
+
+    #[test]
+    fn nested_loop_bounds_stay_below_measurement(
+        outer_body in prop::collection::vec(raw_instr(), 0..3),
+        inner_body in prop::collection::vec(raw_instr(), 1..4),
+        outer_trips in 1i32..3,
+        inner_trips in 1i32..4,
+        suffix in prop::collection::vec(raw_instr(), 0..3),
+    ) {
+        check_soundness(nested_counted_loops(
+            &outer_body, &inner_body, outer_trips, inner_trips, &suffix, false,
+        ));
     }
 }
