@@ -165,11 +165,19 @@ pub enum ScheduleBail {
     UnknownPredicate {
         /// The branch pc.
         pc: usize,
+        /// Block whose replay hit the unresolvable branch.
+        block: usize,
+        /// Warp index within that block.
+        warp: usize,
     },
     /// The replay's instruction budget ran out (extreme trip counts).
     FuelExhausted {
         /// The pc the replay stopped at.
         pc: usize,
+        /// Block whose replay ran out of fuel.
+        block: usize,
+        /// Warp index within that block.
+        warp: usize,
     },
     /// One block needs more register-file slots than the machine has.
     BlockTooLarge {
@@ -184,7 +192,9 @@ impl ScheduleBail {
     /// The pc precision was lost at, for the predicate-driven reasons.
     pub fn pc(&self) -> Option<usize> {
         match *self {
-            ScheduleBail::UnknownPredicate { pc } | ScheduleBail::FuelExhausted { pc } => Some(pc),
+            ScheduleBail::UnknownPredicate { pc, .. } | ScheduleBail::FuelExhausted { pc, .. } => {
+                Some(pc)
+            }
             ScheduleBail::BlockTooLarge { .. } => None,
         }
     }
@@ -193,11 +203,12 @@ impl ScheduleBail {
 impl fmt::Display for ScheduleBail {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
-            ScheduleBail::UnknownPredicate { pc } => {
-                write!(f, "branch predicate at @{pc} is not statically resolvable")
-            }
-            ScheduleBail::FuelExhausted { pc } => {
-                write!(f, "replay fuel exhausted at @{pc}")
+            ScheduleBail::UnknownPredicate { pc, block, warp } => write!(
+                f,
+                "branch predicate at @{pc} (block {block}, warp {warp}) is not statically resolvable"
+            ),
+            ScheduleBail::FuelExhausted { pc, block, warp } => {
+                write!(f, "replay fuel exhausted at @{pc} (block {block}, warp {warp})")
             }
             ScheduleBail::BlockTooLarge {
                 warps_needed,
@@ -212,10 +223,10 @@ impl fmt::Display for ScheduleBail {
 
 impl std::error::Error for ScheduleBail {}
 
-fn bail_of(reason: LossReason) -> ScheduleBail {
+fn bail_of(reason: LossReason, block: usize, warp: usize) -> ScheduleBail {
     match reason {
-        LossReason::UnknownPredicate { pc } => ScheduleBail::UnknownPredicate { pc },
-        LossReason::FuelExhausted { pc } => ScheduleBail::FuelExhausted { pc },
+        LossReason::UnknownPredicate { pc } => ScheduleBail::UnknownPredicate { pc, block, warp },
+        LossReason::FuelExhausted { pc } => ScheduleBail::FuelExhausted { pc, block, warp },
     }
 }
 
@@ -320,7 +331,7 @@ pub fn schedule_kernel(
                 let pending = match replay.step() {
                     StepOutcome::Done => None,
                     StepOutcome::Step(s) => Some(s),
-                    StepOutcome::Lost(r) => return Err(bail_of(r)),
+                    StepOutcome::Lost(r) => return Err(bail_of(r, next_block, w)),
                 };
                 slots[slot].occupied = true;
                 residents[slot] = Some(Resident {
@@ -412,7 +423,9 @@ pub fn schedule_kernel(
                 match r.replay.step() {
                     StepOutcome::Step(s) => r.pending = Some(s),
                     StepOutcome::Done => r.pending = None,
-                    StepOutcome::Lost(reason) => return Err(bail_of(reason)),
+                    StepOutcome::Lost(reason) => {
+                        return Err(bail_of(reason, r.block, r.warp_in_block))
+                    }
                 }
                 let drained = r.pending.is_none();
                 if drained {
@@ -597,7 +610,14 @@ mod tests {
         let launch = PerfLaunch::new(1, 32);
         let machine = PerfMachine::warped_compression();
         let err = schedule_kernel(&k, &launch, &machine, 48).unwrap_err();
-        assert_eq!(err, ScheduleBail::UnknownPredicate { pc: 2 });
+        assert_eq!(
+            err,
+            ScheduleBail::UnknownPredicate {
+                pc: 2,
+                block: 0,
+                warp: 0
+            }
+        );
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! Deterministic JSON rendering of fuzz-campaign reports (`fuzz`
+//! feature), on the shared [`jsonfmt`](crate::jsonfmt) builder.
+//!
+//! The `wcsim fuzz` report (`results/BENCH_fuzz.json`) must be
+//! byte-identical across runs with the same seed and case count —
+//! including runs resumed from a checkpoint directory — so the
+//! rendering is fully deterministic: fixed key order, no maps, no
+//! wall-clock facts, and one self-contained fragment per case that
+//! doubles as the checkpoint unit. Only per-case cycle measurements
+//! (which are themselves deterministic) appear.
+
+use warped_compression::{CaseReport, SmokeOutcome};
+
+use crate::jsonfmt::{block_list, inline, opt_display, quoted, JsonObject};
+
+/// One case's fragment: the per-case checkpoint unit, reused verbatim
+/// on `--resume`.
+pub fn fuzz_case_json(report: &CaseReport) -> String {
+    let obj = JsonObject::new(4)
+        .display("case", report.index)
+        .field("case_seed", format!("\"{:#018x}\"", report.case_seed))
+        .display("instructions", report.kernel_instructions)
+        .field(
+            "launch",
+            inline(&[
+                ("blocks", report.blocks.to_string()),
+                ("threads_per_block", report.threads_per_block.to_string()),
+                ("mem_words", report.mem_words.to_string()),
+            ]),
+        );
+    match &report.finding {
+        None => obj
+            .string("status", "ok")
+            .display("dynamic_cycles", report.stats.dynamic_cycles)
+            .display("dynamic_instructions", report.stats.instructions)
+            .display("static_close", report.stats.static_close)
+            .render_fragment(),
+        Some(f) => obj
+            .string("status", "finding")
+            .string("category", f.category.label())
+            .string("detail", &f.detail)
+            .field(
+                "shrunk",
+                inline(&[
+                    ("instructions", f.shrunk_instructions.to_string()),
+                    ("blocks", f.shrunk_blocks.to_string()),
+                    ("threads_per_block", f.shrunk_threads_per_block.to_string()),
+                ]),
+            )
+            .render_fragment(),
+    }
+}
+
+/// One smoke outcome as an inline object.
+fn smoke_json(outcome: &SmokeOutcome) -> String {
+    format!(
+        "    {}",
+        inline(&[
+            ("mutation", quoted(outcome.mutation.name())),
+            ("expected", quoted(outcome.expected.label())),
+            ("cases_scanned", outcome.cases_scanned.to_string()),
+            ("passed", outcome.passed().to_string()),
+            (
+                "shrunk_instructions",
+                opt_display(
+                    outcome
+                        .caught
+                        .as_ref()
+                        .and_then(|r| r.finding.as_ref())
+                        .map(|f| f.shrunk_instructions),
+                ),
+            ),
+        ])
+    )
+}
+
+/// The whole `BENCH_fuzz.json` document from per-case fragments
+/// (freshly rendered or loaded verbatim from checkpoints) plus the
+/// mutation-smoke outcomes.
+pub fn fuzz_campaign_json(
+    campaign_seed: u64,
+    cycle_budget: u64,
+    findings: usize,
+    fragments: &[String],
+    smoke: &[SmokeOutcome],
+) -> String {
+    let smoke_rows: Vec<String> = smoke.iter().map(smoke_json).collect();
+    JsonObject::new(0)
+        .display("seed", campaign_seed)
+        .display("cases", fragments.len())
+        .display("cycle_budget", cycle_budget)
+        .display("findings", findings)
+        .display("smoke_passed", smoke.iter().all(SmokeOutcome::passed))
+        .field("smoke", block_list(2, &smoke_rows))
+        .field("case_reports", block_list(2, fragments))
+        .render_document()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warped_compression::{mutation_smoke, run_case, FuzzConfig};
+
+    #[test]
+    fn rendering_is_deterministic_and_structured() {
+        let cfg = FuzzConfig::default();
+        let render = || {
+            let frags: Vec<String> = (0..6).map(|i| fuzz_case_json(&run_case(&cfg, i))).collect();
+            let smoke = mutation_smoke(cfg.seed, cfg.cycle_budget, 32);
+            let findings = frags.iter().filter(|f| f.contains("\"finding\"")).count();
+            fuzz_campaign_json(cfg.seed, cfg.cycle_budget, findings, &frags, &smoke)
+        };
+        let a = render();
+        let b = render();
+        assert_eq!(a, b, "same seed must render byte-identically");
+        assert!(a.contains("\"status\": \"ok\""));
+        assert!(a.contains("\"findings\": 0"));
+        assert!(a.contains("\"smoke_passed\": true"));
+        assert!(a.contains("\"mutation\": \"flip-hazard-window\""));
+    }
+
+    #[test]
+    fn finding_fragments_carry_the_triage() {
+        let cfg = FuzzConfig {
+            mutation: Some(warped_compression::Mutation::InjectPanic),
+            ..FuzzConfig::default()
+        };
+        let json = fuzz_case_json(&run_case(&cfg, 0));
+        assert!(json.contains("\"status\": \"finding\""));
+        assert!(json.contains("\"category\": \"panic\""));
+        assert!(json.contains("\"shrunk\""));
+    }
+}

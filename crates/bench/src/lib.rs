@@ -24,6 +24,8 @@ mod checkpoint;
 #[cfg(feature = "faults")]
 pub mod fault_json;
 pub mod figures;
+#[cfg(feature = "fuzz")]
+pub mod fuzz_json;
 pub mod jsonfmt;
 pub mod perf_json;
 pub mod schedule_json;

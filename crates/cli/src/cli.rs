@@ -88,6 +88,24 @@ pub enum Command {
         /// Report path (default `results/BENCH_faults.json`).
         out: Option<String>,
     },
+    /// `wcsim fuzz [--cases N] [--seed S] [--budget CYCLES]
+    /// [--resume DIR] [--out FILE] [--repro DIR]` — differential kernel
+    /// fuzzing with crash triage and automatic shrinking.
+    Fuzz {
+        /// Number of generated cases.
+        cases: usize,
+        /// Campaign seed; per-case streams derive from it. Default 42.
+        seed: u64,
+        /// Per-case cycle watchdog.
+        budget: u64,
+        /// Checkpoint directory: completed cases are skipped and their
+        /// saved fragments reused verbatim.
+        resume: Option<String>,
+        /// Report path (default `results/BENCH_fuzz.json`).
+        out: Option<String>,
+        /// Directory for shrunk reproducers (default `results/fuzz`).
+        repro: Option<String>,
+    },
     /// `wcsim perf <workload|--all> [--design D] [--out FILE]` — static
     /// cycle / bank-access / energy lower bounds validated against a
     /// simulated run.
@@ -148,6 +166,17 @@ USAGE:
                                      (defaults: 8 injections, seed 42,
                                      secded; fails if ECC lets any fault
                                      through silently)
+  wcsim fuzz [--cases N] [--seed S] [--budget CYCLES]
+             [--resume DIR] [--out FILE] [--repro DIR]
+                                     differential kernel fuzzing: seeded
+                                     testgen kernels through dynamic vs
+                                     scheduled replay, absint, perfbound
+                                     and the panic/watchdog harness; any
+                                     finding is shrunk to a reproducer
+                                     under --repro and fails the run
+                                     (defaults: 300 cases, seed 42, out:
+                                     results/BENCH_fuzz.json; also runs
+                                     the mutation smoke test)
   wcsim perf <workload|--all> [--design D] [--out FILE]
                                      static cycle/bank/energy lower
                                      bounds validated against the
@@ -401,6 +430,38 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
                 budget,
                 resume: flag("--resume").map(str::to_string),
                 out: flag("--out").map(str::to_string),
+            })
+        }
+        "fuzz" => {
+            let flag = |name: &str| -> Option<&str> {
+                rest.iter()
+                    .position(|&a| a == name)
+                    .and_then(|i| rest.get(i + 1))
+                    .copied()
+            };
+            let parse_num = |name: &str, v: &str| -> Result<u64, ParseError> {
+                v.parse()
+                    .map_err(|_| ParseError(format!("{name} must be a number")))
+            };
+            let cases = match flag("--cases") {
+                None => 300,
+                Some(v) => parse_num("--cases", v)? as usize,
+            };
+            let seed = match flag("--seed") {
+                None => DEFAULT_SEED,
+                Some(v) => parse_num("--seed", v)?,
+            };
+            let budget = match flag("--budget") {
+                None => warped_compression::DEFAULT_CYCLE_BUDGET,
+                Some(v) => parse_num("--budget", v)?,
+            };
+            Ok(Command::Fuzz {
+                cases,
+                seed,
+                budget,
+                resume: flag("--resume").map(str::to_string),
+                out: flag("--out").map(str::to_string),
+                repro: flag("--repro").map(str::to_string),
             })
         }
         "kernel" => {
@@ -710,6 +771,155 @@ pub fn run_cli(cmd: &Command, out: &mut dyn fmt::Write) -> Result<(), Box<dyn Er
                 );
             }
         }
+        Command::Fuzz {
+            cases,
+            seed,
+            budget,
+            resume,
+            out: out_file,
+            repro,
+        } => {
+            let store = resume.as_ref().map(CheckpointStore::new);
+            // The checkpoint namespace carries everything that changes a
+            // case's outcome, so stale fragments from a different
+            // campaign cannot be resumed by accident.
+            let label = format!("seed{seed}-budget{budget}");
+            let cfg = warped_compression::FuzzConfig {
+                seed: *seed,
+                cycle_budget: *budget,
+                mutation: None,
+            };
+            let repro_dir = repro.clone().unwrap_or_else(|| "results/fuzz".to_string());
+
+            let mut fragments = Vec::with_capacity(*cases);
+            let mut resumed_count = 0usize;
+            for index in 0..*cases {
+                let key = format!("case{index:06}");
+                if let Some(frag) = store.as_ref().and_then(|s| s.load(&label, &key)) {
+                    resumed_count += 1;
+                    fragments.push(frag);
+                    continue;
+                }
+                let report = warped_compression::run_case(&cfg, index);
+                if let Some(f) = &report.finding {
+                    // Reproducers are written once, at first discovery;
+                    // a resumed campaign keeps the original files.
+                    let path = format!("{repro_dir}/seed{seed}-case{index:06}.s");
+                    write_report(&path, &f.reproducer)?;
+                    writeln!(out, "case {index}: {} — {}", f.category.label(), f.detail)?;
+                    writeln!(out, "  reproducer written to {path}")?;
+                }
+                let frag = wc_bench::fuzz_json::fuzz_case_json(&report);
+                if let Some(s) = &store {
+                    s.save(&label, &key, &frag)?;
+                }
+                fragments.push(frag);
+            }
+
+            // Classify uniformly from the fragments so resumed and
+            // fresh cases are summarised identically.
+            let mut findings: Vec<(usize, String, String)> = Vec::new();
+            let mut static_count = 0usize;
+            for (index, frag) in fragments.iter().enumerate() {
+                if frag_str_field(frag, "status").as_deref() == Some("finding") {
+                    findings.push((
+                        index,
+                        frag_str_field(frag, "category").unwrap_or_else(|| "unknown".into()),
+                        frag_str_field(frag, "detail").unwrap_or_default(),
+                    ));
+                } else if frag.contains("\"static_close\": true") {
+                    static_count += 1;
+                }
+            }
+
+            // Self-validation: every injected bug must be caught,
+            // correctly classified and shrunk.
+            let smoke = warped_compression::mutation_smoke(*seed, *budget, 64);
+            let smoke_passed = smoke.iter().all(warped_compression::SmokeOutcome::passed);
+
+            let doc = wc_bench::fuzz_json::fuzz_campaign_json(
+                *seed,
+                *budget,
+                findings.len(),
+                &fragments,
+                &smoke,
+            );
+            let out_path = out_file
+                .clone()
+                .unwrap_or_else(|| "results/BENCH_fuzz.json".to_string());
+            write_report(&out_path, &doc)?;
+
+            let summary = wc_bench::FigureTable::new(
+                "fuzz",
+                format!("Differential fuzz campaign (seed {seed}, budget {budget})"),
+                [
+                    "cases",
+                    "ok",
+                    "findings",
+                    "static close",
+                    "resumed",
+                    "smoke",
+                ]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+                vec![vec![
+                    cases.to_string(),
+                    (*cases - findings.len()).to_string(),
+                    findings.len().to_string(),
+                    static_count.to_string(),
+                    resumed_count.to_string(),
+                    if smoke_passed {
+                        "pass".into()
+                    } else {
+                        "FAIL".into()
+                    },
+                ]],
+            );
+            writeln!(out, "{}", summary.to_markdown())?;
+            let smoke_rows: Vec<Vec<String>> = smoke
+                .iter()
+                .map(|o| {
+                    vec![
+                        o.mutation.name().to_string(),
+                        o.expected.label().to_string(),
+                        o.cases_scanned.to_string(),
+                        o.caught
+                            .as_ref()
+                            .and_then(|r| r.finding.as_ref())
+                            .map_or_else(|| "-".into(), |f| f.shrunk_instructions.to_string()),
+                        if o.passed() {
+                            "pass".into()
+                        } else {
+                            "FAIL".into()
+                        },
+                    ]
+                })
+                .collect();
+            let smoke_table = wc_bench::FigureTable::new(
+                "fuzz-smoke",
+                "Mutation smoke test (one injected bug per finding category)",
+                ["mutation", "expected", "scanned", "shrunk", "status"]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+                smoke_rows,
+            );
+            writeln!(out, "{}", smoke_table.to_markdown())?;
+            writeln!(out, "report written to {out_path}")?;
+            // The CI gate: zero findings and a fully passing smoke.
+            if !findings.is_empty() {
+                let (index, category, _) = &findings[0];
+                return Err(format!(
+                    "{} finding(s); first: case {index} ({category}) — reproducers under {repro_dir}",
+                    findings.len()
+                )
+                .into());
+            }
+            if !smoke_passed {
+                return Err("mutation smoke test failed: an injected bug went undetected".into());
+            }
+        }
         Command::Perf {
             workload,
             design,
@@ -874,7 +1084,8 @@ pub fn run_cli(cmd: &Command, out: &mut dyn fmt::Write) -> Result<(), Box<dyn Er
         } => {
             let source = fs::read_to_string(path)?;
             let kernel = simt_isa::assemble(&source)?;
-            let launch = LaunchConfig::new(*blocks, *threads_per_block).with_params(params.clone());
+            let launch =
+                LaunchConfig::try_new(*blocks, *threads_per_block)?.with_params(params.clone());
             let mut memory = GlobalMemory::zeroed(*mem_words);
             let result = GpuSim::new(design.config()).run(&kernel, &launch, &mut memory)?;
             writeln!(out, "kernel `{}` under {}:", kernel.name(), design.label())?;
@@ -1315,6 +1526,97 @@ mod tests {
         assert_eq!(frag_u64_field(frag, "silent_corruption"), Some(0));
         assert_eq!(frag_u64_field(frag, "missing"), None);
         assert_eq!(frag_str_field(frag, "status").as_deref(), Some("ok"));
+    }
+
+    #[test]
+    fn parses_fuzz_variants() {
+        assert_eq!(
+            parse(&["fuzz"]).unwrap(),
+            Command::Fuzz {
+                cases: 300,
+                seed: 42,
+                budget: warped_compression::DEFAULT_CYCLE_BUDGET,
+                resume: None,
+                out: None,
+                repro: None,
+            }
+        );
+        assert_eq!(
+            parse(&[
+                "fuzz", "--cases", "50", "--seed", "7", "--budget", "9000", "--resume", "ckpt",
+                "--out", "f.json", "--repro", "rdir",
+            ])
+            .unwrap(),
+            Command::Fuzz {
+                cases: 50,
+                seed: 7,
+                budget: 9000,
+                resume: Some("ckpt".into()),
+                out: Some("f.json".into()),
+                repro: Some("rdir".into()),
+            }
+        );
+        assert!(parse(&["fuzz", "--cases", "abc"]).is_err());
+        assert!(parse(&["fuzz", "--seed", "-1"]).is_err());
+    }
+
+    fn fuzz_cmd(seed: u64, out: &std::path::Path, resume: Option<String>) -> Command {
+        Command::Fuzz {
+            cases: 24,
+            seed,
+            budget: warped_compression::DEFAULT_CYCLE_BUDGET,
+            resume,
+            out: Some(out.to_string_lossy().into_owned()),
+            repro: Some(
+                out.parent()
+                    .unwrap()
+                    .join("repro")
+                    .to_string_lossy()
+                    .into_owned(),
+            ),
+        }
+    }
+
+    #[test]
+    fn fuzz_campaign_is_clean_and_byte_identical() {
+        let dir = std::env::temp_dir().join(format!("wcsim-fuzz-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let (p1, p2) = (dir.join("a.json"), dir.join("b.json"));
+        let mut o = String::new();
+        run_cli(&fuzz_cmd(42, &p1, None), &mut o).expect("campaign must be finding-free");
+        run_cli(&fuzz_cmd(42, &p2, None), &mut o).unwrap();
+        let (a, b) = (fs::read(&p1).unwrap(), fs::read(&p2).unwrap());
+        assert_eq!(a, b, "same seed must produce byte-identical reports");
+        assert!(o.contains("| pass |"));
+        let doc = String::from_utf8(a).unwrap();
+        assert!(doc.contains("\"findings\": 0"));
+        assert!(doc.contains("\"smoke_passed\": true"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fuzz_resume_reuses_fragments_byte_identically() {
+        let dir = std::env::temp_dir().join(format!("wcsim-fuzz-resume-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("ckpt").to_string_lossy().into_owned();
+        let (fresh, resumed) = (dir.join("fresh.json"), dir.join("resumed.json"));
+        let mut o = String::new();
+        // First run populates the checkpoint directory.
+        run_cli(&fuzz_cmd(42, &fresh, Some(ckpt.clone())), &mut o).unwrap();
+        // Drop some fragments to simulate an interrupt mid-campaign;
+        // the survivors must be reused verbatim.
+        let frag_dir = dir.join("ckpt").join("seed42-budget200000");
+        for index in [3usize, 11, 19] {
+            fs::remove_file(frag_dir.join(format!("case{index:06}.json"))).unwrap();
+        }
+        run_cli(&fuzz_cmd(42, &resumed, Some(ckpt)), &mut o).unwrap();
+        assert_eq!(
+            fs::read(&fresh).unwrap(),
+            fs::read(&resumed).unwrap(),
+            "resumed report must be byte-identical to the uninterrupted one"
+        );
+        assert!(o.contains("| 21 |"), "21 of 24 cases resume: {o}");
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

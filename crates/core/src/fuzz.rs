@@ -1,0 +1,997 @@
+//! Differential kernel fuzzer with crash triage and automatic
+//! shrinking (feature `fuzz`).
+//!
+//! Every soundness gate in this repo — bit-identical scheduled replay,
+//! absint compressibility predictions, perfbound cycle floors, the
+//! sanitize hazard oracle — is stated over the 18 curated workloads.
+//! This module re-states them over *arbitrary* kernels: a seeded
+//! generator draws [`gpu_workloads::testgen`] shapes (straight-line,
+//! counted loops, loop nests, data- and lane-divergence, value
+//! patterns, in-warp memory aliasing) and [`check_case`] drives each
+//! one through every backend pair:
+//!
+//! 1. **dynamic vs scheduled** — when the static scheduler closes the
+//!    kernel, the replayed plan must match the dynamic core bit for bit
+//!    (registers and memory), beat no perfbound floor, and stay within
+//!    [`schedule_slack`](crate::schedule::schedule_slack) of the
+//!    dynamic runtime; a scheduler bail is a benign dynamic fallback,
+//!    mirroring [`ScheduleMode::DynamicFallback`](crate::schedule::ScheduleMode),
+//! 2. **absint vs trace** — no traced write may exceed its statically
+//!    predicted bank footprint,
+//! 3. **perfbound vs measurement** — the dynamic run may not beat the
+//!    static cycle or instruction floor,
+//! 4. **panic freedom** — any panic (including a `sanitize:` oracle
+//!    assertion) is caught via [`catch_panic`] and triaged, never
+//!    propagated,
+//! 5. **watchdog** — the simulator's `max_cycles` is clamped to the
+//!    case budget, so a runaway kernel reports
+//!    [`FindingCategory::Timeout`] deterministically.
+//!
+//! Any disagreement is classified into a typed [`Finding`] and the
+//! offending case is delta-debug **shrunk** ([`shrink_case`]): first
+//! the launch geometry, then ddmin over the instruction list (branch
+//! targets remapped, candidates re-validated by `Kernel::new`), always
+//! re-checking that the *same* finding category still reproduces. The
+//! result renders as a standalone assemblable reproducer
+//! ([`render_reproducer`]).
+//!
+//! The fuzzer validates itself with [`mutation_smoke`]: one deliberate
+//! bug injection per finding category (a flipped hazard window, an
+//! off-by-one bank footprint, a corrupted replay register, …) must be
+//! caught, classified and shrunk — proving every detector actually
+//! fires.
+
+use gpu_sim::{GlobalMemory, GpuSim, LaunchConfig, SimError};
+use gpu_workloads::testgen;
+use rand::prelude::{Rng, SeedableRng, StdRng};
+use simt_analysis::{
+    analyze_with_launch, bound_kernel, schedule_kernel, IssuePlan, LaunchInfo, PerfLaunch,
+};
+use simt_isa::{to_asm, Instruction, Kernel};
+
+use crate::design::DesignPoint;
+use crate::perfbound::perf_machine;
+use crate::resilient::catch_panic;
+use crate::schedule::schedule_slack;
+
+/// Default per-case cycle watchdog: far above anything the bounded
+/// generator can legitimately produce, far below "hung".
+pub const DEFAULT_CYCLE_BUDGET: u64 = 200_000;
+
+/// Launch geometries the generator draws from (blocks, threads per
+/// block) — small enough to keep a case under a millisecond, varied
+/// enough to cover partial warps and multi-block residency.
+const LAUNCHES: [(usize, usize); 6] = [(1, 32), (1, 64), (2, 32), (2, 48), (4, 32), (1, 48)];
+
+/// A deliberate bug injection for the self-validation smoke test: each
+/// variant breaks exactly one invariant the fuzzer claims to check, and
+/// must be caught as its [`expected_category`](Mutation::expected_category).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mutation {
+    /// Panic outright inside the checker (panic isolation path).
+    InjectPanic,
+    /// Panic with the sanitize oracle's message prefix (triage path).
+    InjectSanitizePanic,
+    /// Clamp the cycle budget to 1 so the watchdog must fire.
+    StarveWatchdog,
+    /// Run with zero global memory so memory kernels must fault.
+    ShrinkMemory,
+    /// Bump one planned step's issue cycle, breaking the plan's
+    /// serialized-fetch dispatch equation — the replayer must reject.
+    FlipHazardWindow,
+    /// Flip one bit of the scheduled replay's final registers — the
+    /// bit-identity check must fire.
+    CorruptReplayMemory,
+    /// Raise the static cycle floor above the measurement.
+    RaiseCycleFloor,
+    /// Treat the schedule slack budget as zero.
+    ZeroSlack,
+    /// Lower one write site's predicted bank footprint below the
+    /// traced measurement.
+    ShrinkBankPrediction,
+}
+
+impl Mutation {
+    /// Every mutation, one per finding category.
+    pub const ALL: [Mutation; 9] = [
+        Mutation::InjectPanic,
+        Mutation::InjectSanitizePanic,
+        Mutation::StarveWatchdog,
+        Mutation::ShrinkMemory,
+        Mutation::FlipHazardWindow,
+        Mutation::CorruptReplayMemory,
+        Mutation::RaiseCycleFloor,
+        Mutation::ZeroSlack,
+        Mutation::ShrinkBankPrediction,
+    ];
+
+    /// Stable kebab-case spelling (CLI / JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            Mutation::InjectPanic => "inject-panic",
+            Mutation::InjectSanitizePanic => "inject-sanitize-panic",
+            Mutation::StarveWatchdog => "starve-watchdog",
+            Mutation::ShrinkMemory => "shrink-memory",
+            Mutation::FlipHazardWindow => "flip-hazard-window",
+            Mutation::CorruptReplayMemory => "corrupt-replay-memory",
+            Mutation::RaiseCycleFloor => "raise-cycle-floor",
+            Mutation::ZeroSlack => "zero-slack",
+            Mutation::ShrinkBankPrediction => "shrink-bank-prediction",
+        }
+    }
+
+    /// Parses the kebab-case spelling back.
+    pub fn parse(text: &str) -> Option<Mutation> {
+        Mutation::ALL.into_iter().find(|m| m.name() == text)
+    }
+
+    /// The finding category this injected bug must be triaged as.
+    pub fn expected_category(self) -> FindingCategory {
+        match self {
+            Mutation::InjectPanic => FindingCategory::Panic,
+            Mutation::InjectSanitizePanic => FindingCategory::SanitizeViolation,
+            Mutation::StarveWatchdog => FindingCategory::Timeout,
+            Mutation::ShrinkMemory => FindingCategory::SimFailure,
+            Mutation::FlipHazardWindow => FindingCategory::PlanRejected,
+            Mutation::CorruptReplayMemory => FindingCategory::ScheduleMismatch,
+            Mutation::RaiseCycleFloor => FindingCategory::FloorViolation,
+            Mutation::ZeroSlack => FindingCategory::SlackViolation,
+            Mutation::ShrinkBankPrediction => FindingCategory::AbsintUnsound,
+        }
+    }
+}
+
+/// The triage taxonomy: every way a fuzz case can disagree with the
+/// invariants, ordered roughly by severity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FindingCategory {
+    /// A panic escaped the simulator or an analysis.
+    Panic,
+    /// The sanitize shadow/hazard oracle tripped (panic message with
+    /// the `sanitize:` prefix).
+    SanitizeViolation,
+    /// The per-case cycle watchdog expired.
+    Timeout,
+    /// The simulator returned an error on a structurally valid case.
+    SimFailure,
+    /// The replayer rejected the scheduler's plan as unsound.
+    PlanRejected,
+    /// Scheduled replay and dynamic run disagree bit-for-bit.
+    ScheduleMismatch,
+    /// A measured run beat a static perfbound floor.
+    FloorViolation,
+    /// The scheduled makespan exceeded dynamic + slack.
+    SlackViolation,
+    /// A traced write exceeded its predicted bank footprint.
+    AbsintUnsound,
+}
+
+impl FindingCategory {
+    /// Stable kebab-case spelling (reports / JSON).
+    pub fn label(self) -> &'static str {
+        match self {
+            FindingCategory::Panic => "panic",
+            FindingCategory::SanitizeViolation => "sanitize-violation",
+            FindingCategory::Timeout => "timeout",
+            FindingCategory::SimFailure => "sim-failure",
+            FindingCategory::PlanRejected => "plan-rejected",
+            FindingCategory::ScheduleMismatch => "schedule-mismatch",
+            FindingCategory::FloorViolation => "floor-violation",
+            FindingCategory::SlackViolation => "slack-violation",
+            FindingCategory::AbsintUnsound => "absint-unsound",
+        }
+    }
+}
+
+/// One triaged disagreement: the category plus a human-readable detail
+/// line (panic message, mismatch description, …).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Which invariant broke.
+    pub category: FindingCategory,
+    /// What exactly disagreed.
+    pub detail: String,
+}
+
+/// One generated fuzz case: a kernel plus its launch geometry and
+/// memory size, reproducible from `(campaign seed, index)` alone.
+#[derive(Clone, Debug)]
+pub struct FuzzCase {
+    /// Case index within the campaign.
+    pub index: usize,
+    /// Per-case seed (splitmix of campaign seed and index), so cases
+    /// are independent of generation order — the resume path depends
+    /// on this.
+    pub seed: u64,
+    /// The generated kernel.
+    pub kernel: Kernel,
+    /// Thread blocks.
+    pub blocks: usize,
+    /// Threads per block.
+    pub threads_per_block: usize,
+    /// Global memory words the case runs with.
+    pub mem_words: usize,
+}
+
+/// SplitMix64 of the campaign seed and case index: each case gets an
+/// independent, well-mixed generator stream.
+fn case_seed(campaign_seed: u64, index: usize) -> u64 {
+    let mut z = campaign_seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn gen_raw(rng: &mut StdRng, len: usize) -> Vec<testgen::RawInstr> {
+    (0..len)
+        .map(|_| {
+            let imm = if rng.gen_bool(0.5) {
+                rng.gen_range(-8i32..=8)
+            } else {
+                rng.gen_range(-100_000i32..=100_000)
+            };
+            (
+                rng.gen_range(0u8..=255),
+                rng.gen_range(0u8..=255),
+                rng.gen_range(0u8..=255),
+                imm,
+                rng.gen_range(0u8..=255),
+                rng.gen_range(0u8..=255),
+            )
+        })
+        .collect()
+}
+
+impl FuzzCase {
+    /// Deterministically generates case `index` of the campaign with
+    /// the given seed, drawing one of the seven testgen shapes with
+    /// bounded bodies, trip counts and launch geometry.
+    pub fn generate(campaign_seed: u64, index: usize) -> FuzzCase {
+        let seed = case_seed(campaign_seed, index);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (blocks, threads_per_block) = LAUNCHES[rng.gen_range(0usize..LAUNCHES.len())];
+        let specials = rng.gen_bool(0.7);
+        let body_len = rng.gen_range(1usize..=6);
+        let body = gen_raw(&mut rng, body_len);
+        let suffix_len = rng.gen_range(0usize..=2);
+        let suffix = gen_raw(&mut rng, suffix_len);
+        let shape = rng.gen_range(0u8..7);
+        let mut mem_words = 4;
+        let instrs = match shape {
+            0 => testgen::straight_line(&body, specials),
+            1 => testgen::counted_loop(&body, rng.gen_range(1i32..=4), &suffix, specials),
+            2 => {
+                let inner_len = rng.gen_range(1usize..=3);
+                let inner = gen_raw(&mut rng, inner_len);
+                testgen::nested_counted_loops(
+                    &body,
+                    &inner,
+                    rng.gen_range(1i32..=3),
+                    rng.gen_range(1i32..=3),
+                    &suffix,
+                    specials,
+                )
+            }
+            3 => {
+                let prefix_len = rng.gen_range(1usize..=3);
+                let prefix = gen_raw(&mut rng, prefix_len);
+                let pred = rng.gen_range(0u8..=255);
+                testgen::skip_if_zero(&prefix, &body, &suffix, pred, specials)
+            }
+            4 => testgen::lane_split(rng.gen_range(0u8..=255), &body, &suffix, specials),
+            5 => testgen::value_pattern(
+                rng.gen_range(0u8..=255),
+                rng.gen_range(-64i32..=64),
+                &body,
+                specials,
+            ),
+            _ => {
+                mem_words = testgen::aliased_mem_words(blocks, threads_per_block);
+                let mask = rng.gen_range(0u8..=255);
+                let split = if rng.gen_bool(0.5) {
+                    rng.gen_range(1u8..=30)
+                } else {
+                    0
+                };
+                let wpb = threads_per_block.div_ceil(32);
+                testgen::aliased_mem(mask, split, &body, wpb, specials)
+            }
+        };
+        let kernel = Kernel::new(format!("fuzz{index}"), instrs, testgen::NUM_REGS)
+            .expect("testgen shapes are structurally valid");
+        FuzzCase {
+            index,
+            seed,
+            kernel,
+            blocks,
+            threads_per_block,
+            mem_words,
+        }
+    }
+
+    fn launch(&self) -> LaunchConfig {
+        LaunchConfig::new(self.blocks, self.threads_per_block)
+    }
+}
+
+/// Measurements from a clean (finding-free) case.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CaseStats {
+    /// Cycles the dynamic core took.
+    pub dynamic_cycles: u64,
+    /// Program instructions the dynamic core issued.
+    pub instructions: u64,
+    /// Whether the static scheduler closed the kernel (vs a benign
+    /// dynamic fallback).
+    pub static_close: bool,
+}
+
+fn finding(category: FindingCategory, detail: impl Into<String>) -> Finding {
+    Finding {
+        category,
+        detail: detail.into(),
+    }
+}
+
+/// Classifies a simulator error from a required run: a clamped
+/// `CycleLimit` is the watchdog, everything else is a sim failure.
+fn sim_finding(err: SimError, stage: &str) -> Finding {
+    match err {
+        SimError::CycleLimit { limit } => finding(
+            FindingCategory::Timeout,
+            format!("{stage}: cycle watchdog expired at {limit}"),
+        ),
+        other => finding(FindingCategory::SimFailure, format!("{stage}: {other}")),
+    }
+}
+
+/// Flips the lowest bit of the first register lane of the scheduled
+/// replay's captured state (the `CorruptReplayMemory` smoke mutation).
+fn corrupt_final_regs(regs: &mut gpu_sim::FinalRegs) -> bool {
+    if let Some(warp) = regs.values_mut().next() {
+        if let Some(reg) = warp.first_mut() {
+            let v = reg.lane(0);
+            reg.set_lane(0, v ^ 1);
+            return true;
+        }
+    }
+    false
+}
+
+/// Bumps the issue cycle of the first dispatching planned step (the
+/// `FlipHazardWindow` smoke mutation): the replayer's serialized-fetch
+/// dispatch equation must then reject the plan. Returns `false` when
+/// the plan has no dispatching step to perturb.
+fn flip_hazard_window(plan: &mut IssuePlan) -> bool {
+    for warp in &mut plan.warps {
+        for step in &mut warp.steps {
+            if step.dispatch.is_some() {
+                step.issue += 1;
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Runs every differential check on one case. `mutation` injects one
+/// deliberate bug for the smoke test; `None` is the production path.
+///
+/// # Errors
+///
+/// The triaged [`Finding`] when any invariant disagrees.
+pub fn check_case(
+    case: &FuzzCase,
+    cycle_budget: u64,
+    mutation: Option<Mutation>,
+) -> Result<CaseStats, Finding> {
+    match catch_panic(|| run_checks(case, cycle_budget, mutation)) {
+        Ok(outcome) => outcome,
+        Err(panic) => {
+            let category = if panic.message.starts_with("sanitize:") {
+                FindingCategory::SanitizeViolation
+            } else {
+                FindingCategory::Panic
+            };
+            Err(finding(category, panic.message))
+        }
+    }
+}
+
+fn run_checks(
+    case: &FuzzCase,
+    cycle_budget: u64,
+    mutation: Option<Mutation>,
+) -> Result<CaseStats, Finding> {
+    match mutation {
+        Some(Mutation::InjectPanic) => panic!("fuzz: injected panic (mutation smoke test)"),
+        Some(Mutation::InjectSanitizePanic) => {
+            panic!("sanitize: injected hazard-oracle violation (mutation smoke test)")
+        }
+        _ => {}
+    }
+    let budget = if mutation == Some(Mutation::StarveWatchdog) {
+        1
+    } else {
+        cycle_budget
+    };
+    let mem_words = if mutation == Some(Mutation::ShrinkMemory) {
+        0
+    } else {
+        case.mem_words
+    };
+    let mut cfg = DesignPoint::WarpedCompression.config();
+    cfg.max_cycles = cfg.max_cycles.min(budget);
+    let kernel = &case.kernel;
+    let launch = case.launch();
+    let machine = perf_machine(&cfg);
+    let perf_launch = PerfLaunch::new(case.blocks, case.threads_per_block);
+    let sim = GpuSim::new(cfg);
+
+    // Static predictions first: they must exist however the run ends.
+    let bound = bound_kernel(kernel, &perf_launch, &machine);
+    let mut floor = bound.cycle_lower_bound;
+    let info = LaunchInfo {
+        params: Vec::new(),
+        blocks: u32::try_from(case.blocks).ok(),
+        threads_per_block: u32::try_from(case.threads_per_block).ok(),
+    };
+    let prediction = analyze_with_launch(kernel, Some(&info)).prediction;
+
+    // Dynamic reference run, traced for per-site write classes.
+    let mut worst: Vec<Option<usize>> = vec![None; kernel.len()];
+    let mut dyn_mem = GlobalMemory::zeroed(mem_words);
+    let mut observer = |event: &gpu_sim::WriteEvent| {
+        if !event.synthetic {
+            let banks = event.class.banks();
+            let slot = &mut worst[event.pc];
+            *slot = Some(slot.map_or(banks, |b: usize| b.max(banks)));
+        }
+    };
+    let dyn_result = sim
+        .run_observed(kernel, &launch, &mut dyn_mem, &mut observer)
+        .map_err(|e| sim_finding(e, "dynamic run"))?;
+    let dynamic_cycles = dyn_result.stats.cycles;
+
+    if mutation == Some(Mutation::RaiseCycleFloor) {
+        floor = dynamic_cycles + 1;
+    }
+    if dynamic_cycles < floor {
+        return Err(finding(
+            FindingCategory::FloorViolation,
+            format!("dynamic run took {dynamic_cycles} cycles, below the static floor {floor}"),
+        ));
+    }
+    if dyn_result.stats.instructions < bound.min_instructions {
+        return Err(finding(
+            FindingCategory::FloorViolation,
+            format!(
+                "dynamic run issued {} instructions, below the static floor {}",
+                dyn_result.stats.instructions, bound.min_instructions
+            ),
+        ));
+    }
+
+    // Absint join: no traced write may exceed its predicted footprint.
+    if let Some(prediction) = &prediction {
+        let mut mutated = mutation == Some(Mutation::ShrinkBankPrediction);
+        for site in &prediction.sites {
+            let Some(measured) = worst.get(site.pc).copied().flatten() else {
+                continue;
+            };
+            let mut predicted = site.class.banks();
+            if mutated && measured >= 1 {
+                predicted = measured - 1;
+                mutated = false;
+            }
+            if measured > predicted {
+                return Err(finding(
+                    FindingCategory::AbsintUnsound,
+                    format!(
+                        "write site pc {} r{} measured {measured} banks, predicted {predicted}",
+                        site.pc, site.reg
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Bit-identity vs the scheduled replay (a scheduler bail is a
+    // benign dynamic fallback, exactly like `wcsim schedule`).
+    let mut static_close = false;
+    let mut cap_mem = GlobalMemory::zeroed(mem_words);
+    let (_, dyn_regs) = sim
+        .run_capturing(kernel, &launch, &mut cap_mem)
+        .map_err(|e| sim_finding(e, "dynamic capture run"))?;
+    let residency = sim.max_resident_warps(kernel);
+    if let Ok(mut plan) = schedule_kernel(kernel, &perf_launch, &machine, residency) {
+        if mutation == Some(Mutation::FlipHazardWindow) && !flip_hazard_window(&mut plan) {
+            // No dispatching step to perturb: the smoke scan moves on.
+            return Ok(CaseStats {
+                dynamic_cycles,
+                instructions: dyn_result.stats.instructions,
+                static_close: false,
+            });
+        }
+        let mut sched_mem = GlobalMemory::zeroed(mem_words);
+        let sched = match sim.run_scheduled(kernel, &plan, &launch, &mut sched_mem) {
+            Ok(sched) => sched,
+            Err(err @ SimError::Plan { .. }) => {
+                return Err(finding(FindingCategory::PlanRejected, err.to_string()));
+            }
+            Err(e) => return Err(sim_finding(e, "scheduled replay")),
+        };
+        static_close = true;
+        let mut sched_regs = sched.final_regs;
+        if mutation == Some(Mutation::CorruptReplayMemory) {
+            corrupt_final_regs(&mut sched_regs);
+        }
+        if sched_regs != dyn_regs {
+            return Err(finding(
+                FindingCategory::ScheduleMismatch,
+                "scheduled replay's final registers differ from the dynamic core",
+            ));
+        }
+        if sched_mem != cap_mem {
+            return Err(finding(
+                FindingCategory::ScheduleMismatch,
+                "scheduled replay's global memory differs from the dynamic core",
+            ));
+        }
+        if sched.stats.cycles < floor {
+            return Err(finding(
+                FindingCategory::FloorViolation,
+                format!(
+                    "scheduled replay took {} cycles, below the static floor {floor}",
+                    sched.stats.cycles
+                ),
+            ));
+        }
+        let slack = if mutation == Some(Mutation::ZeroSlack) {
+            0
+        } else {
+            schedule_slack(dynamic_cycles)
+        };
+        if sched.stats.cycles > dynamic_cycles + slack {
+            return Err(finding(
+                FindingCategory::SlackViolation,
+                format!(
+                    "scheduled replay took {} cycles, dynamic {dynamic_cycles} + slack {slack}",
+                    sched.stats.cycles
+                ),
+            ));
+        }
+    }
+
+    Ok(CaseStats {
+        dynamic_cycles,
+        instructions: dyn_result.stats.instructions,
+        static_close,
+    })
+}
+
+/// Whether `case` still produces a finding of the given category under
+/// the same budget and mutation — the shrinker's oracle.
+fn reproduces(
+    case: &FuzzCase,
+    cycle_budget: u64,
+    mutation: Option<Mutation>,
+    category: FindingCategory,
+) -> bool {
+    matches!(
+        check_case(case, cycle_budget, mutation),
+        Err(f) if f.category == category
+    )
+}
+
+/// Removes instructions `[lo, hi)` and remaps every branch/jump target
+/// across the gap (targets inside it collapse onto `lo`). Returns
+/// `None` for degenerate requests; structurally invalid candidates are
+/// rejected later by `Kernel::new`.
+fn remove_range(instrs: &[Instruction], lo: usize, hi: usize) -> Option<Vec<Instruction>> {
+    let dropped = hi.checked_sub(lo)?;
+    if dropped == 0 || hi > instrs.len() || dropped >= instrs.len() {
+        return None;
+    }
+    let remap = |t: usize| {
+        if t >= hi {
+            t - dropped
+        } else if t >= lo {
+            lo
+        } else {
+            t
+        }
+    };
+    Some(
+        instrs
+            .iter()
+            .enumerate()
+            .filter(|(pc, _)| !(lo..hi).contains(pc))
+            .map(|(_, ins)| match *ins {
+                Instruction::Bra {
+                    pred,
+                    target,
+                    reconv,
+                } => Instruction::Bra {
+                    pred,
+                    target: remap(target),
+                    reconv: remap(reconv),
+                },
+                Instruction::Jmp { target } => Instruction::Jmp {
+                    target: remap(target),
+                },
+                other => other,
+            })
+            .collect(),
+    )
+}
+
+fn with_instrs(case: &FuzzCase, instrs: Vec<Instruction>) -> Option<FuzzCase> {
+    let kernel = Kernel::new(case.kernel.name(), instrs, case.kernel.num_regs()).ok()?;
+    let mut shrunk = case.clone();
+    shrunk.kernel = kernel;
+    Some(shrunk)
+}
+
+/// Delta-debug shrinks a failing case to a minimal reproducer: launch
+/// geometry first, then ddmin over the instruction list (halving chunk
+/// sizes down to single instructions, iterated to a fixpoint), then the
+/// launch again. Every accepted candidate re-reproduces the *same*
+/// finding category, so the returned case is a verified reproducer by
+/// construction. Fully deterministic for a given input.
+pub fn shrink_case(
+    case: &FuzzCase,
+    cycle_budget: u64,
+    mutation: Option<Mutation>,
+    category: FindingCategory,
+) -> FuzzCase {
+    let mut best = case.clone();
+    shrink_launch(&mut best, cycle_budget, mutation, category);
+
+    let mut instrs = best.kernel.instrs().to_vec();
+    let mut chunk = (instrs.len() / 2).max(1);
+    loop {
+        let mut removed = false;
+        let mut lo = 0;
+        while lo < instrs.len() && instrs.len() > 1 {
+            let hi = (lo + chunk).min(instrs.len());
+            let candidate = remove_range(&instrs, lo, hi)
+                .and_then(|cand| with_instrs(&best, cand))
+                .filter(|cand| reproduces(cand, cycle_budget, mutation, category));
+            match candidate {
+                Some(cand) => {
+                    instrs = cand.kernel.instrs().to_vec();
+                    best = cand;
+                    removed = true;
+                }
+                None => lo += chunk,
+            }
+        }
+        if chunk == 1 {
+            if !removed {
+                break;
+            }
+        } else {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+
+    shrink_launch(&mut best, cycle_budget, mutation, category);
+    best
+}
+
+/// Tries smaller launch geometries (fewest warps first), adopting the
+/// first that still reproduces.
+fn shrink_launch(
+    best: &mut FuzzCase,
+    cycle_budget: u64,
+    mutation: Option<Mutation>,
+    category: FindingCategory,
+) {
+    let candidates = [(1, 32), (1, best.threads_per_block), (best.blocks, 32)];
+    for (blocks, threads_per_block) in candidates {
+        let warps = |b: usize, t: usize| b * t.div_ceil(32);
+        if warps(blocks, threads_per_block) >= warps(best.blocks, best.threads_per_block) {
+            continue;
+        }
+        let mut cand = best.clone();
+        cand.blocks = blocks;
+        cand.threads_per_block = threads_per_block;
+        if reproduces(&cand, cycle_budget, mutation, category) {
+            *best = cand;
+            return;
+        }
+    }
+}
+
+/// Renders a failing (already shrunk) case as a standalone reproducer:
+/// a `#`-commented provenance header the assembler ignores, followed by
+/// the kernel in assemblable syntax.
+pub fn render_reproducer(
+    campaign_seed: u64,
+    cycle_budget: u64,
+    mutation: Option<Mutation>,
+    original: &FuzzCase,
+    shrunk: &FuzzCase,
+    found: &Finding,
+) -> String {
+    let mut out = String::new();
+    out.push_str("# wcsim fuzz reproducer\n");
+    out.push_str(&format!(
+        "# campaign seed {campaign_seed}, case {} (case seed {:#018x})\n",
+        original.index, original.seed
+    ));
+    out.push_str(&format!("# category: {}\n", found.category.label()));
+    for line in found.detail.lines() {
+        out.push_str(&format!("# detail: {line}\n"));
+    }
+    if let Some(m) = mutation {
+        out.push_str(&format!("# injected mutation: {}\n", m.name()));
+    }
+    out.push_str(&format!(
+        "# launch: blocks={} threads_per_block={} mem_words={} cycle_budget={cycle_budget}\n",
+        shrunk.blocks, shrunk.threads_per_block, shrunk.mem_words
+    ));
+    out.push_str(&format!(
+        "# shrunk {} -> {} instructions\n",
+        original.kernel.len(),
+        shrunk.kernel.len()
+    ));
+    out.push_str(&to_asm(&shrunk.kernel));
+    out
+}
+
+/// Campaign parameters for [`run_case`] and [`mutation_smoke`].
+#[derive(Clone, Copy, Debug)]
+pub struct FuzzConfig {
+    /// Campaign seed: case `i` derives its stream from
+    /// `splitmix(seed, i)`.
+    pub seed: u64,
+    /// Per-case cycle watchdog (`max_cycles` clamp).
+    pub cycle_budget: u64,
+    /// Deliberate bug injection for the smoke test (`None` in
+    /// production campaigns).
+    pub mutation: Option<Mutation>,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            seed: 42,
+            cycle_budget: DEFAULT_CYCLE_BUDGET,
+            mutation: None,
+        }
+    }
+}
+
+/// The per-case record a campaign persists: generation facts, clean
+/// measurements, and — when a finding was triaged — the shrunk
+/// reproducer.
+#[derive(Clone, Debug)]
+pub struct CaseReport {
+    /// Case index within the campaign.
+    pub index: usize,
+    /// The case's derived seed.
+    pub case_seed: u64,
+    /// Instructions of the generated kernel.
+    pub kernel_instructions: usize,
+    /// Launch blocks.
+    pub blocks: usize,
+    /// Launch threads per block.
+    pub threads_per_block: usize,
+    /// Global memory words.
+    pub mem_words: usize,
+    /// Clean-case measurements (zeroed when a finding aborted the
+    /// checks).
+    pub stats: CaseStats,
+    /// The triaged finding, if any.
+    pub finding: Option<FindingReport>,
+}
+
+/// A triaged finding plus its shrunk reproducer.
+#[derive(Clone, Debug)]
+pub struct FindingReport {
+    /// Which invariant broke.
+    pub category: FindingCategory,
+    /// What exactly disagreed.
+    pub detail: String,
+    /// Instructions left after shrinking.
+    pub shrunk_instructions: usize,
+    /// Launch blocks after shrinking.
+    pub shrunk_blocks: usize,
+    /// Threads per block after shrinking.
+    pub shrunk_threads_per_block: usize,
+    /// The standalone reproducer (header + assemblable kernel).
+    pub reproducer: String,
+}
+
+/// Generates, checks, and — on a finding — shrinks one campaign case.
+pub fn run_case(cfg: &FuzzConfig, index: usize) -> CaseReport {
+    let case = FuzzCase::generate(cfg.seed, index);
+    let mut report = CaseReport {
+        index,
+        case_seed: case.seed,
+        kernel_instructions: case.kernel.len(),
+        blocks: case.blocks,
+        threads_per_block: case.threads_per_block,
+        mem_words: case.mem_words,
+        stats: CaseStats::default(),
+        finding: None,
+    };
+    match check_case(&case, cfg.cycle_budget, cfg.mutation) {
+        Ok(stats) => report.stats = stats,
+        Err(found) => {
+            let shrunk = shrink_case(&case, cfg.cycle_budget, cfg.mutation, found.category);
+            let reproducer = render_reproducer(
+                cfg.seed,
+                cfg.cycle_budget,
+                cfg.mutation,
+                &case,
+                &shrunk,
+                &found,
+            );
+            report.finding = Some(FindingReport {
+                category: found.category,
+                detail: found.detail,
+                shrunk_instructions: shrunk.kernel.len(),
+                shrunk_blocks: shrunk.blocks,
+                shrunk_threads_per_block: shrunk.threads_per_block,
+                reproducer,
+            });
+        }
+    }
+    report
+}
+
+/// The outcome of one smoke mutation: how many cases were scanned
+/// before the injected bug was caught, and the caught case's report
+/// (with its shrunk reproducer) when it was.
+#[derive(Clone, Debug)]
+pub struct SmokeOutcome {
+    /// The injected bug.
+    pub mutation: Mutation,
+    /// The category the bug must be triaged as.
+    pub expected: FindingCategory,
+    /// Case indices scanned (the last one is the catch, when caught).
+    pub cases_scanned: usize,
+    /// The report of the case that caught the bug, `None` if the scan
+    /// budget ran out — a smoke failure.
+    pub caught: Option<CaseReport>,
+}
+
+impl SmokeOutcome {
+    /// Whether the injected bug was caught, correctly classified, and
+    /// shrunk to a reproducer.
+    pub fn passed(&self) -> bool {
+        self.caught.as_ref().is_some_and(|report| {
+            report
+                .finding
+                .as_ref()
+                .is_some_and(|f| f.category == self.expected && !f.reproducer.is_empty())
+        })
+    }
+}
+
+/// Self-validation: injects each [`Mutation`] in turn and scans cases
+/// `0..max_scan` until the bug is caught as its expected category —
+/// proving every finding detector, classifier and the shrinker work
+/// end to end. Fully deterministic for a given seed.
+pub fn mutation_smoke(seed: u64, cycle_budget: u64, max_scan: usize) -> Vec<SmokeOutcome> {
+    Mutation::ALL
+        .into_iter()
+        .map(|mutation| {
+            let cfg = FuzzConfig {
+                seed,
+                cycle_budget,
+                mutation: Some(mutation),
+            };
+            let expected = mutation.expected_category();
+            let mut caught = None;
+            let mut scanned = 0;
+            for index in 0..max_scan {
+                scanned = index + 1;
+                let report = run_case(&cfg, index);
+                if report
+                    .finding
+                    .as_ref()
+                    .is_some_and(|f| f.category == expected)
+                {
+                    caught = Some(report);
+                    break;
+                }
+            }
+            SmokeOutcome {
+                mutation,
+                expected,
+                cases_scanned: scanned,
+                caught,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_are_deterministic_per_seed() {
+        let a = FuzzCase::generate(42, 7);
+        let b = FuzzCase::generate(42, 7);
+        assert_eq!(a.kernel, b.kernel);
+        assert_eq!(
+            (a.blocks, a.threads_per_block),
+            (b.blocks, b.threads_per_block)
+        );
+        let c = FuzzCase::generate(43, 7);
+        assert_ne!(a.seed, c.seed);
+    }
+
+    #[test]
+    fn clean_cases_produce_no_findings() {
+        let cfg = FuzzConfig::default();
+        for index in 0..40 {
+            let report = run_case(&cfg, index);
+            assert!(
+                report.finding.is_none(),
+                "case {index} found {:?}",
+                report.finding
+            );
+        }
+    }
+
+    #[test]
+    fn injected_panic_is_caught_and_shrunk_to_one_instruction() {
+        let cfg = FuzzConfig {
+            mutation: Some(Mutation::InjectPanic),
+            ..FuzzConfig::default()
+        };
+        let report = run_case(&cfg, 0);
+        let finding = report.finding.expect("injected panic must be caught");
+        assert_eq!(finding.category, FindingCategory::Panic);
+        // The panic fires before the kernel matters, so ddmin strips
+        // the kernel to the minimal valid one.
+        assert_eq!(finding.shrunk_instructions, 1);
+        assert!(finding.reproducer.contains("# category: panic"));
+    }
+
+    #[test]
+    fn remove_range_remaps_branches() {
+        use simt_isa::{Operand, Reg};
+        let instrs = vec![
+            Instruction::Mov {
+                dst: Reg(0),
+                src: Operand::Imm(1),
+            },
+            Instruction::Mov {
+                dst: Reg(1),
+                src: Operand::Imm(2),
+            },
+            Instruction::Bra {
+                pred: Reg(0),
+                target: 4,
+                reconv: 4,
+            },
+            Instruction::Mov {
+                dst: Reg(2),
+                src: Operand::Imm(3),
+            },
+            Instruction::Exit,
+        ];
+        let out = remove_range(&instrs, 1, 2).expect("removable");
+        assert_eq!(out.len(), 4);
+        match out[1] {
+            Instruction::Bra { target, reconv, .. } => {
+                assert_eq!(target, 3);
+                assert_eq!(reconv, 3);
+            }
+            ref other => panic!("expected branch, got {other:?}"),
+        }
+        // Removing the range a target points into collapses it to lo.
+        let out = remove_range(&instrs, 3, 5).expect("removable");
+        match out[2] {
+            Instruction::Bra { target, .. } => assert_eq!(target, 3),
+            ref other => panic!("expected branch, got {other:?}"),
+        }
+    }
+}

@@ -44,6 +44,8 @@ pub mod experiment;
 pub mod explorer;
 #[cfg(feature = "faults")]
 pub mod fault_campaign;
+#[cfg(feature = "fuzz")]
+pub mod fuzz;
 pub mod perfbound;
 pub mod predict;
 pub mod resilient;
@@ -58,11 +60,20 @@ pub use explorer::ChoiceBreakdown;
 pub use fault_campaign::{
     kernel_seed, run_fault_campaign, run_kernel_faults, KernelFaultReport, DEFAULT_FAULT_SEED,
 };
+#[cfg(feature = "fuzz")]
+pub use fuzz::{
+    check_case, mutation_smoke, render_reproducer, run_case, shrink_case, CaseReport, CaseStats,
+    Finding, FindingCategory, FindingReport, FuzzCase, FuzzConfig, Mutation, SmokeOutcome,
+    DEFAULT_CYCLE_BUDGET,
+};
 pub use perfbound::{perf_machine, perf_suite, perf_workload, ConflictCheck, PerfReport};
 pub use predict::{
     predict_suite, predict_workload, PredictError, PredictReport, SiteOutcome, SiteValidation,
 };
-pub use resilient::{run_many_resilient, run_suite_resilient, RunPolicy, RunRecord, RunStatus};
+pub use resilient::{
+    catch_panic, run_many_resilient, run_suite_resilient, PanicCapture, RunPolicy, RunRecord,
+    RunStatus,
+};
 pub use schedule::{
     schedule_slack, schedule_suite, schedule_workload, ScheduleMode, ScheduleReport,
 };

@@ -150,21 +150,45 @@ fn install_capture_hook() {
     });
 }
 
-/// One attempt under `catch_unwind`, translating a panic into a status.
-fn attempt<R>(run: impl FnOnce() -> Result<R, SimError>) -> Result<Result<R, SimError>, RunStatus> {
+/// The payload of a panic caught by [`catch_panic`]: the rendered
+/// message (with source location when known) and the backtrace the
+/// chained panic hook captured at unwind time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PanicCapture {
+    /// Panic payload, with source location when known.
+    pub message: String,
+    /// Backtrace captured inside the panic hook.
+    pub backtrace: String,
+}
+
+/// Runs `f` under `catch_unwind`, returning its result or the captured
+/// panic. The process-wide panic hook is chained (installed once), so
+/// panics outside any [`catch_panic`] scope still print normally; inside
+/// one, the message and backtrace are captured silently instead of
+/// spamming stderr. This is the isolation primitive both the resilient
+/// campaign runner and the kernel fuzzer build on.
+pub fn catch_panic<R>(f: impl FnOnce() -> R) -> Result<R, PanicCapture> {
     install_capture_hook();
     CAPTURING.with(|c| *c.borrow_mut() = true);
-    let caught = panic::catch_unwind(AssertUnwindSafe(run));
+    let caught = panic::catch_unwind(AssertUnwindSafe(f));
     CAPTURING.with(|c| *c.borrow_mut() = false);
     match caught {
-        Ok(outcome) => Ok(outcome),
+        Ok(value) => Ok(value),
         Err(_) => {
             let (message, backtrace) = CAPTURE
                 .with(|c| c.borrow_mut().take())
                 .unwrap_or_else(|| ("panic hook captured nothing".into(), String::new()));
-            Err(RunStatus::Panicked { message, backtrace })
+            Err(PanicCapture { message, backtrace })
         }
     }
+}
+
+/// One attempt under `catch_unwind`, translating a panic into a status.
+fn attempt<R>(run: impl FnOnce() -> Result<R, SimError>) -> Result<Result<R, SimError>, RunStatus> {
+    catch_panic(run).map_err(|p| RunStatus::Panicked {
+        message: p.message,
+        backtrace: p.backtrace,
+    })
 }
 
 /// Runs every item through `run` in parallel, isolating panics,

@@ -220,7 +220,7 @@ pub fn schedule_workload(
             kernel: workload.name().to_string(),
             design: design.label(),
             mode: ScheduleMode::DynamicFallback {
-                reason: bail.to_string(),
+                reason: format!("kernel `{}`: {bail}", workload.name()),
             },
             static_floor_cycles: floor,
             scheduled_cycles: dynamic_cycles,

@@ -1,6 +1,33 @@
 //! Kernel launch configuration: grid geometry and scalar parameters.
 
+use std::error::Error;
+use std::fmt;
+
 use serde::{Deserialize, Serialize};
+
+/// A structurally invalid launch geometry, reported by
+/// [`LaunchConfig::try_new`] — the typed path for untrusted input
+/// (CLI arguments, fuzzed cases) where a panic would be wrong.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LaunchError {
+    /// The grid had zero blocks.
+    ZeroBlocks,
+    /// A block had zero threads.
+    ZeroThreads,
+}
+
+impl fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LaunchError::ZeroBlocks => write!(f, "launch needs at least one block"),
+            LaunchError::ZeroThreads => {
+                write!(f, "launch needs at least one thread per block")
+            }
+        }
+    }
+}
+
+impl Error for LaunchError {}
 
 /// A kernel launch: `<<<blocks, threads_per_block>>>(params…)`.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -15,18 +42,35 @@ impl LaunchConfig {
     ///
     /// # Panics
     ///
-    /// Panics if `blocks` or `threads_per_block` is zero.
+    /// Panics if `blocks` or `threads_per_block` is zero. Use
+    /// [`LaunchConfig::try_new`] when the geometry comes from
+    /// untrusted input.
     pub fn new(blocks: usize, threads_per_block: usize) -> Self {
-        assert!(blocks > 0, "launch needs at least one block");
-        assert!(
-            threads_per_block > 0,
-            "launch needs at least one thread per block"
-        );
-        LaunchConfig {
+        match Self::try_new(blocks, threads_per_block) {
+            Ok(launch) => launch,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Validating counterpart of [`LaunchConfig::new`]: returns a typed
+    /// [`LaunchError`] instead of panicking on degenerate geometry.
+    ///
+    /// # Errors
+    ///
+    /// [`LaunchError::ZeroBlocks`] / [`LaunchError::ZeroThreads`] when
+    /// the respective dimension is zero.
+    pub fn try_new(blocks: usize, threads_per_block: usize) -> Result<Self, LaunchError> {
+        if blocks == 0 {
+            return Err(LaunchError::ZeroBlocks);
+        }
+        if threads_per_block == 0 {
+            return Err(LaunchError::ZeroThreads);
+        }
+        Ok(LaunchConfig {
             blocks,
             threads_per_block,
             params: Vec::new(),
-        }
+        })
     }
 
     /// Adds the scalar kernel parameters readable via `Operand::Param(i)`.
@@ -104,5 +148,13 @@ mod tests {
     #[should_panic(expected = "thread per block")]
     fn zero_threads_panics() {
         let _ = LaunchConfig::new(1, 0);
+    }
+
+    #[test]
+    fn try_new_reports_typed_errors() {
+        assert_eq!(LaunchConfig::try_new(0, 32), Err(LaunchError::ZeroBlocks));
+        assert_eq!(LaunchConfig::try_new(1, 0), Err(LaunchError::ZeroThreads));
+        let l = LaunchConfig::try_new(2, 64).unwrap();
+        assert_eq!((l.blocks(), l.threads_per_block()), (2, 64));
     }
 }

@@ -61,7 +61,7 @@ mod warp;
 
 pub use chip::ChipResult;
 pub use config::{CompressionConfig, DivergencePolicy, GpuConfig, SchedulerPolicy};
-pub use launch::LaunchConfig;
+pub use launch::{LaunchConfig, LaunchError};
 pub use memory::{GlobalMemory, MemoryFault};
 pub use scheduled::ScheduledResult;
 pub use simt_stack::SimtStack;

@@ -7,10 +7,16 @@
 //! hazard the scoreboard should have blocked. Because it is fed by the
 //! events themselves (not by the scoreboard's internal state), a
 //! scoreboard bookkeeping bug cannot hide from it.
+//!
+//! Every violation message carries the kernel name plus the offending
+//! slot (and pc at issue) so a fuzzer-shrunk reproducer or triage log is
+//! self-describing without the surrounding run context.
 
 /// Per-(warp slot, register) pending-access counters.
 #[derive(Clone, Debug)]
 pub(crate) struct HazardOracle {
+    /// Kernel name, for self-describing violation messages.
+    kernel: String,
     /// `pending_reads[slot][reg]`: operands issued but not yet captured.
     pending_reads: Vec<Vec<u32>>,
     /// `pending_writes[slot][reg]`: results issued but not yet retired.
@@ -18,8 +24,9 @@ pub(crate) struct HazardOracle {
 }
 
 impl HazardOracle {
-    pub(crate) fn new(max_slots: usize, num_regs: usize) -> Self {
+    pub(crate) fn new(kernel: &str, max_slots: usize, num_regs: usize) -> Self {
         HazardOracle {
+            kernel: kernel.to_string(),
             pending_reads: vec![vec![0; num_regs]; max_slots],
             pending_writes: vec![vec![0; num_regs]; max_slots],
         }
@@ -27,21 +34,22 @@ impl HazardOracle {
 
     /// Checks an issuing instruction against the three hazard classes,
     /// then registers its reservations.
-    pub(crate) fn on_issue(&mut self, slot: usize, srcs: &[usize], dst: Option<usize>) {
+    pub(crate) fn on_issue(&mut self, slot: usize, pc: usize, srcs: &[usize], dst: Option<usize>) {
+        let kernel = &self.kernel;
         for &r in srcs {
             assert_eq!(
                 self.pending_writes[slot][r], 0,
-                "sanitize: RAW hazard — slot {slot} issues a read of r{r} with a write in flight"
+                "sanitize: RAW hazard in kernel `{kernel}` — slot {slot} at pc {pc} issues a read of r{r} with a write in flight"
             );
         }
         if let Some(d) = dst {
             assert_eq!(
                 self.pending_writes[slot][d], 0,
-                "sanitize: WAW hazard — slot {slot} issues a write of r{d} with a write in flight"
+                "sanitize: WAW hazard in kernel `{kernel}` — slot {slot} at pc {pc} issues a write of r{d} with a write in flight"
             );
             assert_eq!(
                 self.pending_reads[slot][d], 0,
-                "sanitize: WAR hazard — slot {slot} issues a write of r{d} with a read in flight"
+                "sanitize: WAR hazard in kernel `{kernel}` — slot {slot} at pc {pc} issues a write of r{d} with a read in flight"
             );
         }
         for &r in srcs {
@@ -57,7 +65,8 @@ impl HazardOracle {
         for &r in srcs {
             assert!(
                 self.pending_reads[slot][r] > 0,
-                "sanitize: slot {slot} captures r{r} with no read in flight"
+                "sanitize: kernel `{}` — slot {slot} captures r{r} with no read in flight",
+                self.kernel
             );
             self.pending_reads[slot][r] -= 1;
         }
@@ -67,7 +76,8 @@ impl HazardOracle {
     pub(crate) fn on_retire_write(&mut self, slot: usize, reg: usize) {
         assert!(
             self.pending_writes[slot][reg] > 0,
-            "sanitize: slot {slot} retires a write of r{reg} with no write in flight"
+            "sanitize: kernel `{}` — slot {slot} retires a write of r{reg} with no write in flight",
+            self.kernel
         );
         self.pending_writes[slot][reg] -= 1;
     }
@@ -78,7 +88,8 @@ impl HazardOracle {
         let writes: u32 = self.pending_writes[slot].iter().sum();
         assert!(
             reads == 0 && writes == 0,
-            "sanitize: slot {slot} freed with {reads} read(s) and {writes} write(s) in flight"
+            "sanitize: kernel `{}` — slot {slot} freed with {reads} read(s) and {writes} write(s) in flight",
+            self.kernel
         );
     }
 }
@@ -89,42 +100,42 @@ mod tests {
 
     #[test]
     fn clean_sequence_passes() {
-        let mut o = HazardOracle::new(2, 4);
-        o.on_issue(0, &[1, 2], Some(3));
+        let mut o = HazardOracle::new("clean", 2, 4);
+        o.on_issue(0, 0, &[1, 2], Some(3));
         o.on_capture(0, &[1, 2]);
         o.on_retire_write(0, 3);
         o.on_warp_free(0);
     }
 
     #[test]
-    #[should_panic(expected = "RAW hazard")]
+    #[should_panic(expected = "RAW hazard in kernel `k`")]
     fn raw_hazard_caught() {
-        let mut o = HazardOracle::new(1, 4);
-        o.on_issue(0, &[], Some(2));
-        o.on_issue(0, &[2], None);
+        let mut o = HazardOracle::new("k", 1, 4);
+        o.on_issue(0, 0, &[], Some(2));
+        o.on_issue(0, 1, &[2], None);
     }
 
     #[test]
     #[should_panic(expected = "WAW hazard")]
     fn waw_hazard_caught() {
-        let mut o = HazardOracle::new(1, 4);
-        o.on_issue(0, &[], Some(1));
-        o.on_issue(0, &[], Some(1));
+        let mut o = HazardOracle::new("k", 1, 4);
+        o.on_issue(0, 0, &[], Some(1));
+        o.on_issue(0, 1, &[], Some(1));
     }
 
     #[test]
-    #[should_panic(expected = "WAR hazard")]
-    fn war_hazard_caught() {
-        let mut o = HazardOracle::new(1, 4);
-        o.on_issue(0, &[3], None);
-        o.on_issue(0, &[], Some(3));
+    #[should_panic(expected = "at pc 7")]
+    fn war_hazard_caught_with_pc() {
+        let mut o = HazardOracle::new("k", 1, 4);
+        o.on_issue(0, 3, &[3], None);
+        o.on_issue(0, 7, &[], Some(3));
     }
 
     #[test]
     #[should_panic(expected = "in flight")]
     fn premature_free_caught() {
-        let mut o = HazardOracle::new(1, 4);
-        o.on_issue(0, &[], Some(0));
+        let mut o = HazardOracle::new("k", 1, 4);
+        o.on_issue(0, 0, &[], Some(0));
         o.on_warp_free(0);
     }
 }

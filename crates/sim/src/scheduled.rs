@@ -69,8 +69,42 @@ pub struct ScheduledResult {
 
 fn plan_err(message: impl Into<String>) -> SimError {
     SimError::Plan {
+        kernel: String::new(),
+        warp: None,
+        pc: None,
         message: message.into(),
     }
+}
+
+/// A plan rejection attributed to one warp (global index).
+fn plan_err_warp(warp: usize, message: impl Into<String>) -> SimError {
+    SimError::Plan {
+        kernel: String::new(),
+        warp: Some(warp),
+        pc: None,
+        message: message.into(),
+    }
+}
+
+/// A plan rejection attributed to one planned step (warp + pc).
+fn plan_err_at(warp: usize, pc: usize, message: impl Into<String>) -> SimError {
+    SimError::Plan {
+        kernel: String::new(),
+        warp: Some(warp),
+        pc: Some(pc),
+        message: message.into(),
+    }
+}
+
+/// Fills the kernel name into a plan rejection bubbling out of
+/// validation or replay, so triage output is self-describing.
+fn tag_plan_kernel(mut err: SimError, name: &str) -> SimError {
+    if let SimError::Plan { kernel, .. } = &mut err {
+        if kernel.is_empty() {
+            name.clone_into(kernel);
+        }
+    }
+    err
 }
 
 impl GpuSim {
@@ -89,8 +123,11 @@ impl GpuSim {
         launch: &LaunchConfig,
         memory: &mut GlobalMemory,
     ) -> Result<ScheduledResult, SimError> {
-        validate_plan(self.config(), kernel, plan, launch)?;
-        Replayer::new(self.config(), kernel, plan, launch, memory).run()
+        validate_plan(self.config(), kernel, plan, launch)
+            .map_err(|e| tag_plan_kernel(e, kernel.name()))?;
+        Replayer::new(self.config(), kernel, plan, launch, memory)
+            .run()
+            .map_err(|e| tag_plan_kernel(e, kernel.name()))
     }
 }
 
@@ -199,25 +236,41 @@ fn validate_plan(
         let mut reader_release = vec![0u64; num_regs];
         let mut mem_release = 0u64;
         for (i, s) in w.steps.iter().enumerate() {
-            let at = format!("warp {gid} step {i} (pc {})", s.pc);
+            let at = format!("step {i}");
             let Some(instr) = instrs.get(s.pc) else {
-                return Err(plan_err(format!("{at}: pc out of range")));
+                return Err(plan_err_at(gid, s.pc, format!("{at}: pc out of range")));
             };
             if s.mask == 0 || s.mask & !full_mask != 0 {
-                return Err(plan_err(format!("{at}: mask {:#x} invalid", s.mask)));
+                return Err(plan_err_at(
+                    gid,
+                    s.pc,
+                    format!("{at}: mask {:#x} invalid", s.mask),
+                ));
             }
             let srcs = unique_srcs(instr);
             if s.sources != srcs {
-                return Err(plan_err(format!("{at}: operand order mismatch")));
+                return Err(plan_err_at(
+                    gid,
+                    s.pc,
+                    format!("{at}: operand order mismatch"),
+                ));
             }
             if s.dst != instr.dst().map(|d| d.index()) {
-                return Err(plan_err(format!("{at}: destination mismatch")));
+                return Err(plan_err_at(
+                    gid,
+                    s.pc,
+                    format!("{at}: destination mismatch"),
+                ));
             }
             let expect_comp = s.dst.is_some()
                 && comp.is_enabled()
                 && !(s.divergent && comp.divergence == DivergencePolicy::UncompressedWrites);
             if s.compresses != expect_comp {
-                return Err(plan_err(format!("{at}: compressor routing mismatch")));
+                return Err(plan_err_at(
+                    gid,
+                    s.pc,
+                    format!("{at}: compressor routing mismatch"),
+                ));
             }
             let want_comp = if s.compresses {
                 comp.compression_latency
@@ -225,10 +278,18 @@ fn validate_plan(
                 0
             };
             if s.comp_cycles != want_comp {
-                return Err(plan_err(format!("{at}: compressor latency mismatch")));
+                return Err(plan_err_at(
+                    gid,
+                    s.pc,
+                    format!("{at}: compressor latency mismatch"),
+                ));
             }
             if s.decomp_cycles != 0 && s.decomp_cycles != comp.decompression_latency {
-                return Err(plan_err(format!("{at}: decompressor latency mismatch")));
+                return Err(plan_err_at(
+                    gid,
+                    s.pc,
+                    format!("{at}: decompressor latency mismatch"),
+                ));
             }
 
             let mut earliest = next_issue;
@@ -255,7 +316,11 @@ fn validate_plan(
             match instr {
                 Instruction::Jmp { .. } | Instruction::Exit => {
                     if s.dispatch.is_some() || s.retire.is_some() {
-                        return Err(plan_err(format!("{at}: control-only step dispatches")));
+                        return Err(plan_err_at(
+                            gid,
+                            s.pc,
+                            format!("{at}: control-only step dispatches"),
+                        ));
                     }
                     next_issue = s.issue + 1;
                 }
@@ -276,13 +341,17 @@ fn validate_plan(
                     match instr {
                         Instruction::Bra { .. } => {
                             if s.retire.is_some() {
-                                return Err(plan_err(format!("{at}: branch retires")));
+                                return Err(plan_err_at(
+                                    gid,
+                                    s.pc,
+                                    format!("{at}: branch retires"),
+                                ));
                             }
                             next_issue = dispatch;
                         }
                         Instruction::St { .. } => {
                             if s.retire.is_some() {
-                                return Err(plan_err(format!("{at}: store retires")));
+                                return Err(plan_err_at(gid, s.pc, format!("{at}: store retires")));
                             }
                             next_issue = s.issue + 1;
                         }
@@ -509,31 +578,42 @@ impl<'a> Replayer<'a> {
         let a = self.active[e.slot]
             .as_mut()
             .filter(|a| a.gid == e.gid)
-            .ok_or_else(|| plan_err(format!("issue for warp {} on a foreign slot", e.gid)))?;
+            .ok_or_else(|| {
+                plan_err_warp(e.gid, format!("issue for warp {} on a foreign slot", e.gid))
+            })?;
         if a.stack.pc() != Some(s.pc) {
-            return Err(plan_err(format!(
-                "warp {} at cycle {}: plan issues pc {}, stack is at {:?}",
+            return Err(plan_err_at(
                 e.gid,
-                e.time,
                 s.pc,
-                a.stack.pc()
-            )));
+                format!(
+                    "warp {} at cycle {}: plan issues pc {}, stack is at {:?}",
+                    e.gid,
+                    e.time,
+                    s.pc,
+                    a.stack.pc()
+                ),
+            ));
         }
         if a.stack.mask() != s.mask {
-            return Err(plan_err(format!(
-                "warp {} pc {}: plan mask {:#x}, stack mask {:#x}",
+            return Err(plan_err_at(
                 e.gid,
                 s.pc,
-                s.mask,
-                a.stack.mask()
-            )));
+                format!(
+                    "warp {} pc {}: plan mask {:#x}, stack mask {:#x}",
+                    e.gid,
+                    s.pc,
+                    s.mask,
+                    a.stack.mask()
+                ),
+            ));
         }
         let divergent = a.stack.is_diverged() || s.mask != a.full_mask;
         if divergent != s.divergent {
-            return Err(plan_err(format!(
-                "warp {} pc {}: divergence state mismatch",
-                e.gid, s.pc
-            )));
+            return Err(plan_err_at(
+                e.gid,
+                s.pc,
+                format!("warp {} pc {}: divergence state mismatch", e.gid, s.pc),
+            ));
         }
         self.stats.instructions += 1;
         if divergent {
@@ -560,11 +640,15 @@ impl<'a> Replayer<'a> {
         for &reg in &s.sources {
             if self.regfile.is_compressed(WarpSlot(e.slot), reg) {
                 if s.decomp_cycles == 0 {
-                    return Err(plan_err(format!(
-                        "warp {} pc {}: r{reg} is stored compressed but the plan \
+                    return Err(plan_err_at(
+                        e.gid,
+                        s.pc,
+                        format!(
+                            "warp {} pc {}: r{reg} is stored compressed but the plan \
                          charged no decompression latency",
-                        e.gid, s.pc
-                    )));
+                            e.gid, s.pc
+                        ),
+                    ));
                 }
                 self.stats.decompressor_activations += 1;
             }
@@ -729,14 +813,19 @@ impl<'a> Replayer<'a> {
             .write(WarpSlot(e.slot), reg, compressed, e.time)
         {
             Ok(_) => Ok(()),
-            Err(WriteError::NotReady { ready_at }) => Err(plan_err(format!(
-                "warp {} pc {}: bank not ready until {ready_at} despite static pre-wake",
-                e.gid, s.pc
-            ))),
-            Err(WriteError::Unallocated) => Err(plan_err(format!(
-                "warp {} pc {}: write to a freed slot",
-                e.gid, s.pc
-            ))),
+            Err(WriteError::NotReady { ready_at }) => Err(plan_err_at(
+                e.gid,
+                s.pc,
+                format!(
+                    "warp {} pc {}: bank not ready until {ready_at} despite static pre-wake",
+                    e.gid, s.pc
+                ),
+            )),
+            Err(WriteError::Unallocated) => Err(plan_err_at(
+                e.gid,
+                s.pc,
+                format!("warp {} pc {}: write to a freed slot", e.gid, s.pc),
+            )),
         }
     }
 
@@ -744,14 +833,19 @@ impl<'a> Replayer<'a> {
         let a = self.active[e.slot]
             .take()
             .filter(|a| a.gid == e.gid)
-            .ok_or_else(|| plan_err(format!("free of warp {} on a foreign slot", e.gid)))?;
+            .ok_or_else(|| {
+                plan_err_warp(e.gid, format!("free of warp {} on a foreign slot", e.gid))
+            })?;
         if !a.stack.is_done() {
-            return Err(plan_err(format!(
-                "warp {} freed at cycle {} with threads still at pc {:?}",
+            return Err(plan_err_warp(
                 e.gid,
-                e.time,
-                a.stack.pc()
-            )));
+                format!(
+                    "warp {} freed at cycle {} with threads still at pc {:?}",
+                    e.gid,
+                    e.time,
+                    a.stack.pc()
+                ),
+            ));
         }
         let regs = (0..self.num_regs)
             .map(|r| {

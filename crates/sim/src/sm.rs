@@ -58,6 +58,14 @@ pub enum SimError {
     /// machine state during scheduled replay — the plan does not
     /// soundly describe this kernel × launch × configuration.
     Plan {
+        /// Name of the kernel whose plan was rejected (empty when not
+        /// yet attributed).
+        kernel: String,
+        /// Global warp index the violation was detected in, if the
+        /// check is warp-specific.
+        warp: Option<usize>,
+        /// Program counter of the offending planned step, if any.
+        pc: Option<usize>,
         /// What the plan got wrong.
         message: String,
     },
@@ -80,7 +88,27 @@ impl fmt::Display for SimError {
             SimError::Read { slot, reg, source } => {
                 write!(f, "read of slot {slot} r{reg} failed: {source}")
             }
-            SimError::Plan { message } => write!(f, "unsound issue plan: {message}"),
+            SimError::Plan {
+                kernel,
+                warp,
+                pc,
+                message,
+            } => {
+                write!(f, "unsound issue plan")?;
+                if !kernel.is_empty() {
+                    write!(f, " for kernel `{kernel}`")?;
+                }
+                if let Some(w) = warp {
+                    write!(f, " (warp {w}")?;
+                    if let Some(p) = pc {
+                        write!(f, ", pc {p}")?;
+                    }
+                    write!(f, ")")?;
+                } else if let Some(p) = pc {
+                    write!(f, " (pc {p})")?;
+                }
+                write!(f, ": {message}")
+            }
         }
     }
 }
@@ -399,7 +427,7 @@ impl<'a> Engine<'a> {
             #[cfg(feature = "sanitize")]
             shadow: gpu_regfile::ShadowRegisterFile::new(),
             #[cfg(feature = "sanitize")]
-            oracle: crate::sanitize::HazardOracle::new(max_resident, num_regs),
+            oracle: crate::sanitize::HazardOracle::new(kernel.name(), max_resident, num_regs),
             cfg,
             kernel,
             launch,
@@ -642,7 +670,7 @@ impl<'a> Engine<'a> {
                 };
                 self.scoreboard.issue(slot, &srcs, dst);
                 #[cfg(feature = "sanitize")]
-                self.oracle.on_issue(slot, &srcs, dst);
+                self.oracle.on_issue(slot, pc, &srcs, dst);
                 let warp = self.warps[slot].as_mut().expect("checked");
                 warp.inflight += 1;
                 if is_mem {

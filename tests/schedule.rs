@@ -190,7 +190,7 @@ fn load_tainted_predicate_is_flagged_at_the_bail_pc() {
     let machine = perf_machine(&DesignPoint::WarpedCompression.config());
     let bail = schedule_kernel(&kernel, &PerfLaunch::new(1, 32), &machine, 48)
         .expect_err("a loaded predicate is not statically resolvable");
-    let ScheduleBail::UnknownPredicate { pc } = bail else {
+    let ScheduleBail::UnknownPredicate { pc, .. } = bail else {
         panic!("expected UnknownPredicate, got {bail:?}");
     };
     assert_eq!(pc, 2);
@@ -227,7 +227,7 @@ fn every_suite_bail_site_is_lint_flagged() {
             params: launch.params().to_vec(),
         };
         let residency = sim.max_resident_warps(w.kernel());
-        let Err(ScheduleBail::UnknownPredicate { pc }) =
+        let Err(ScheduleBail::UnknownPredicate { pc, .. }) =
             schedule_kernel(w.kernel(), &perf_launch, &machine, residency)
         else {
             continue;
