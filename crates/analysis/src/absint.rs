@@ -243,6 +243,88 @@ impl AbsVal {
         matches!(self, AbsVal::Uniform(_))
     }
 
+    /// Adds a compile-time constant to every lane (the `ld`/`st` offset
+    /// fold). Affinity survives base wrapping — the per-lane deltas are
+    /// unchanged — so an affine value keeps its stride and at worst
+    /// loses its base range.
+    pub fn add_const(&self, offset: i32) -> AbsVal {
+        let off = i64::from(offset);
+        match *self {
+            AbsVal::Uniform(r) => {
+                AbsVal::Uniform(Range::checked(r.lo + off, r.hi + off).unwrap_or(Range::FULL))
+            }
+            AbsVal::LaneAffine { base, stride } => AbsVal::affine(
+                Range::checked(base.lo + off, base.hi + off).unwrap_or(Range::FULL),
+                stride,
+            ),
+            AbsVal::NarrowRange(r) => match Range::checked(r.lo + off, r.hi + off) {
+                Some(r) => AbsVal::narrow(r),
+                None => AbsVal::Top,
+            },
+            AbsVal::Top => AbsVal::Top,
+        }
+    }
+
+    /// Mask-aware soundness oracle: whether the active lanes of a
+    /// concrete vector are consistent with this abstract value.
+    /// Inactive lanes are unconstrained (a memory access only produces
+    /// addresses on active lanes).
+    pub fn contains_masked(&self, lanes: &[u32; WARP_SIZE], mask: u32) -> bool {
+        let active = (0..WARP_SIZE).filter(|&i| mask & (1 << i) != 0);
+        match *self {
+            AbsVal::Uniform(r) => {
+                let mut first = None;
+                for i in active {
+                    match first {
+                        None => {
+                            if !r.contains(lanes[i] as i32) {
+                                return false;
+                            }
+                            first = Some(lanes[i]);
+                        }
+                        Some(v) => {
+                            if lanes[i] != v {
+                                return false;
+                            }
+                        }
+                    }
+                }
+                true
+            }
+            AbsVal::LaneAffine { base, stride } => {
+                // Every active lane must agree on one shared base
+                // `lanes[i] − stride·i` (mod 2³²) within the range.
+                let mut shared = None;
+                for i in active {
+                    let b = lanes[i].wrapping_sub((stride as u32).wrapping_mul(i as u32));
+                    match shared {
+                        None => {
+                            if !base.contains(b as i32) {
+                                return false;
+                            }
+                            shared = Some(b);
+                        }
+                        Some(v) => {
+                            if b != v {
+                                return false;
+                            }
+                        }
+                    }
+                }
+                true
+            }
+            AbsVal::NarrowRange(r) => {
+                for i in active {
+                    if !r.contains(lanes[i] as i32) {
+                        return false;
+                    }
+                }
+                true
+            }
+            AbsVal::Top => true,
+        }
+    }
+
     /// A range covering every individual lane's value, when one is
     /// known. `None` means some lane may hold anything (`Top`, and
     /// affine values whose lane-31 value may wrap).
@@ -435,13 +517,16 @@ pub struct LaunchInfo {
     pub blocks: Option<u32>,
     /// Threads per block, when known.
     pub threads_per_block: Option<u32>,
+    /// Global memory size in words, when known (bounds the
+    /// `possible-out-of-bounds` address lint).
+    pub mem_words: Option<u64>,
 }
 
 impl LaunchInfo {
     /// Whether every warp of this launch runs with all 32 lanes
     /// active. Unknown geometry is assumed full-warp (documented
     /// precondition); a known ragged block size returns `false`.
-    fn full_warps(&self) -> bool {
+    pub(crate) fn full_warps(&self) -> bool {
         match self.threads_per_block {
             Some(t) => t > 0 && (t as usize).is_multiple_of(WARP_SIZE),
             None => true,
@@ -541,6 +626,7 @@ impl KernelPrediction {
 #[derive(Clone, Debug)]
 pub struct AbsintAnalysis {
     ins: Vec<Option<Vec<AbsVal>>>,
+    divergent: Vec<bool>,
     /// The distilled per-site report.
     pub prediction: KernelPrediction,
 }
@@ -550,6 +636,16 @@ impl AbsintAnalysis {
     /// `pc` is unreachable.
     pub fn state_at(&self, pc: usize) -> Option<&[AbsVal]> {
         self.ins.get(pc).and_then(|s| s.as_deref())
+    }
+
+    /// Whether `pc` sits inside the divergence region of some
+    /// possibly-non-uniform branch (or the launch has a ragged block
+    /// size), so the instruction may execute under a partial lane
+    /// mask. Mirrors [`SitePrediction::divergent_region`], but covers
+    /// every pc — including loads and stores, which have no write
+    /// site.
+    pub fn divergent_at(&self, pc: usize) -> bool {
+        self.divergent.get(pc).copied().unwrap_or(false)
     }
 }
 
@@ -572,6 +668,43 @@ pub fn interpret(
         num_regs,
         cfg,
         launch,
+        focus: None,
+    }
+    .run(kernel)
+}
+
+/// One specific warp of a concrete launch, pinning the warp-dependent
+/// special registers (`%bid`, `%warpid`, and the bases of `%tid` /
+/// `%gtid`) to singletons. Used by the memory abstract interpretation
+/// ([`memabs`](crate::memabs)) to derive *per-warp* address sets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WarpFocus {
+    /// Block index in the grid.
+    pub block: u32,
+    /// Warp index within the block.
+    pub warp_in_block: u32,
+}
+
+/// Like [`interpret`], but specialised to one warp of the launch: the
+/// warp-dependent specials become singletons, so thread-index-derived
+/// addresses resolve to per-warp affine sets instead of launch-wide
+/// hulls. Requires known grid geometry in `launch` for the focus to
+/// sharpen anything (unknown fields degrade exactly as in
+/// [`interpret`]).
+pub fn interpret_for_warp(
+    kernel: &str,
+    instrs: &[Instruction],
+    num_regs: usize,
+    cfg: &Cfg,
+    launch: &LaunchInfo,
+    focus: WarpFocus,
+) -> AbsintAnalysis {
+    Interp {
+        instrs,
+        num_regs,
+        cfg,
+        launch: Some(launch),
+        focus: Some(focus),
     }
     .run(kernel)
 }
@@ -581,6 +714,7 @@ struct Interp<'a> {
     num_regs: usize,
     cfg: &'a Cfg,
     launch: Option<&'a LaunchInfo>,
+    focus: Option<WarpFocus>,
 }
 
 impl Interp<'_> {
@@ -770,6 +904,28 @@ impl Interp<'_> {
         let blocks = self.launch.and_then(|l| l.blocks);
         let tpb = self.launch.and_then(|l| l.threads_per_block);
         let w = WARP_SIZE as i64;
+        // Warp-focused interpretation: the warp-dependent specials are
+        // concrete for one (block, warp) pair, exactly mirroring the
+        // simulator's dispatch arithmetic (wrapping mod 2³²).
+        if let Some(f) = self.focus {
+            let warp_base = f.warp_in_block.wrapping_mul(WARP_SIZE as u32);
+            match s {
+                Special::Tid => {
+                    return AbsVal::affine(Range::singleton(warp_base as i32), 1);
+                }
+                Special::GlobalTid => {
+                    if let Some(t) = tpb {
+                        let base = f.block.wrapping_mul(t).wrapping_add(warp_base);
+                        return AbsVal::affine(Range::singleton(base as i32), 1);
+                    }
+                }
+                Special::Bid => return AbsVal::Uniform(Range::singleton(f.block as i32)),
+                Special::WarpId => {
+                    return AbsVal::Uniform(Range::singleton(f.warp_in_block as i32))
+                }
+                _ => {}
+            }
+        }
         match s {
             Special::LaneId => AbsVal::affine(Range::singleton(0), 1),
             Special::Tid => {
@@ -849,6 +1005,7 @@ impl Interp<'_> {
             .collect();
         AbsintAnalysis {
             ins,
+            divergent: in_region.to_vec(),
             prediction: KernelPrediction {
                 kernel: kernel.to_string(),
                 sites,
@@ -1302,6 +1459,7 @@ mod tests {
             params: vec![640, 7],
             blocks: Some(10),
             threads_per_block: Some(64),
+            mem_words: None,
         };
         let mut b = KernelBuilder::new("special", 5);
         b.mov(Reg(0), Operand::Special(Special::GlobalTid));
@@ -1338,6 +1496,7 @@ mod tests {
             params: vec![],
             blocks: Some(1),
             threads_per_block: Some(48), // partial tail warp
+            mem_words: None,
         };
         let mut b = KernelBuilder::new("ragged", 1);
         b.mov(Reg(0), Operand::Imm(3));

@@ -55,6 +55,7 @@ pub mod cfg;
 pub mod dataflow;
 pub mod lint;
 pub mod liveness;
+pub mod memabs;
 pub mod perfbound;
 pub mod schedule;
 pub mod trace;
@@ -69,8 +70,9 @@ pub use cfg::{BasicBlock, Cfg};
 pub use dataflow::{DefSite, ReachingDefs, RegSet};
 pub use lint::{Diagnostic, LintKind, LintReport, Severity};
 pub use liveness::{Liveness, LivenessSummary};
+pub use memabs::{analyze_mem, AccessPattern, MemAbs, MemSite, RacePair};
 pub use perfbound::{
-    bound_kernel, BlockBound, ConflictSite, PerfLaunch, PerfMachine, PerfPrediction,
+    bound_kernel, BlockBound, ConflictSite, MemFloor, PerfLaunch, PerfMachine, PerfPrediction,
 };
 pub use schedule::{schedule_kernel, IssuePlan, PlannedInstr, ScheduleBail, WarpPlan};
 
@@ -143,7 +145,17 @@ pub fn analyze_instrs_with_launch(
 
     let absint = interpret(name, instrs, usize::from(num_regs), &cfg, launch);
     uniform_branch_lints(&absint.prediction, &mut diags);
-    unschedulable_region_lints(instrs, &cfg, &rd, &absint.prediction, launch, &mut diags);
+    let mem = memabs::analyze_mem(name, instrs, num_regs, &cfg, launch);
+    mem_lints(&mem, launch, &mut diags);
+    unschedulable_region_lints(
+        instrs,
+        &cfg,
+        &rd,
+        &absint.prediction,
+        launch,
+        &mem,
+        &mut diags,
+    );
 
     // Stable order: whole-kernel findings first, then by pc.
     diags.sort_by_key(|d| d.pc.map_or((0, 0), |pc| (1, pc)));
@@ -173,6 +185,80 @@ fn uniform_branch_lints(prediction: &KernelPrediction, diags: &mut Vec<Diagnosti
     }
 }
 
+/// Findings from the static memory analysis: proven cross-warp
+/// conflicting access pairs (warning), provably uncoalesced strided
+/// accesses (info), and accesses whose entire abstract address range
+/// lies outside the launch's global memory (warning). The
+/// out-of-bounds lint only fires on a *proof* — a range that merely
+/// straddles the bound, or an unknown (`Top`) address, makes no
+/// claim — so imprecision never produces false warnings.
+fn mem_lints(mem: &memabs::MemAbs, launch: Option<&LaunchInfo>, diags: &mut Vec<Diagnostic>) {
+    for race in &mem.races {
+        if !race.must {
+            continue;
+        }
+        let what = if race.other_is_store { "store" } else { "load" };
+        diags.push(Diagnostic::new(
+            LintKind::CrossWarpRace,
+            Some(race.store_pc),
+            None,
+            format!(
+                "store provably touches the same word as the {what} at @{} \
+                 in another warp: the result depends on warp-scheduling order",
+                race.other_pc
+            ),
+        ));
+    }
+    for site in &mem.sites {
+        if site.min_transactions >= 2 {
+            diags.push(Diagnostic::new(
+                LintKind::UncoalescedAccess,
+                Some(site.pc),
+                Some(site.base),
+                format!(
+                    "{} {} (lane stride {}) needs at least {} memory transactions \
+                     per warp dispatch",
+                    site.pattern.name(),
+                    if site.is_store { "store" } else { "load" },
+                    match site.pattern {
+                        memabs::AccessPattern::Strided(s) => s,
+                        _ => 0,
+                    },
+                    site.min_transactions,
+                ),
+            ));
+        }
+        if let Some(mw) = launch.and_then(|l| l.mem_words) {
+            if provably_out_of_bounds(site, mw) {
+                diags.push(Diagnostic::new(
+                    LintKind::PossibleOutOfBounds,
+                    Some(site.pc),
+                    Some(site.base),
+                    format!(
+                        "abstract address {} lies entirely outside global memory \
+                         (0..{mw} words): every dispatch of this access faults",
+                        site.address
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Whether every address the site can generate provably misses
+/// `[0, mem_words)`. Only lane-determined or fully-ranged shapes can
+/// prove this; anything imprecise returns `false`.
+fn provably_out_of_bounds(site: &memabs::MemSite, mem_words: u64) -> bool {
+    let mw = i64::try_from(mem_words).unwrap_or(i64::MAX);
+    match site.address.per_lane_range() {
+        // The whole per-lane range misses [0, mw): negative-only
+        // (reinterpreted as an address ≥ 2³¹, past any memory this
+        // size) or past the end.
+        Some(r) => (r.hi < 0 && mem_words <= 1 << 31) || r.lo >= mw,
+        None => false,
+    }
+}
+
 /// Info-severity findings for branches the ahead-of-time issue
 /// scheduler ([`schedule_kernel`]) provably cannot resolve: predicates
 /// (transitively) data-dependent on memory loads.
@@ -188,12 +274,21 @@ fn uniform_branch_lints(prediction: &KernelPrediction, diags: &mut Vec<Diagnosti
 /// does not hold: the scheduler may still resolve a tainted predicate
 /// through the abstract per-lane range, and fuel exhaustion is a
 /// dynamic property no taint analysis sees).
+///
+/// The memory analysis sharpens the fixpoint: a load the forwarding
+/// analysis proves always reads back its own warp's must-available
+/// store ([`memabs::MemAbs::forwardable`]) is *not* inherently
+/// tainted — the replay resolves it from its shadow memory — so its
+/// taint reduces to that of the matched store's operands. This is
+/// what lets provably non-aliasing load-dependent regions become
+/// statically schedulable.
 fn unschedulable_region_lints(
     instrs: &[Instruction],
     cfg: &Cfg,
     rd: &ReachingDefs,
     prediction: &KernelPrediction,
     launch: Option<&LaunchInfo>,
+    mem: &memabs::MemAbs,
     diags: &mut Vec<Diagnostic>,
 ) {
     // With a launch whose blocks split into full warps only, partial
@@ -225,7 +320,20 @@ fn unschedulable_region_lints(
             let masked_merge =
                 partial_warps || prediction.site_at(pc).is_some_and(|s| s.divergent_region);
             let merge_taint = masked_merge && def_tainted(&tainted, pc, dst.index() as u8);
-            if matches!(instr, Instruction::Ld { .. }) || src_taint || merge_taint {
+            // A statically forwardable load is only as tainted as the
+            // store it forwards from: the replay needs the store's
+            // address and value to populate its shadow.
+            let load_taint = match instr {
+                Instruction::Ld { .. } => match mem.forwardable.get(&pc) {
+                    Some(&s_pc) => instrs[s_pc]
+                        .src_regs()
+                        .into_iter()
+                        .any(|r| def_tainted(&tainted, s_pc, r.index() as u8)),
+                    None => true,
+                },
+                _ => false,
+            };
+            if load_taint || src_taint || merge_taint {
                 tainted[pc] = true;
                 changed = true;
             }

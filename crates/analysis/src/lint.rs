@@ -69,6 +69,20 @@ pub enum LintKind {
     /// determined: the ahead-of-time issue scheduler must bail on the
     /// kernel and fall back to the dynamic core.
     UnschedulableRegion,
+    /// Two warps can provably access the same memory word with at
+    /// least one store involved, with no ordering between them: the
+    /// result depends on warp-scheduling order. Only *must*-conflicts
+    /// (both abstract address sets lane-determined and overlapping)
+    /// fire this; a may-overlap alone is not evidence enough.
+    CrossWarpRace,
+    /// A strided access whose warp touches ≥ 2 memory segments per
+    /// dispatch: the coalescer must issue multiple transactions every
+    /// time, costing guaranteed memory bandwidth.
+    UncoalescedAccess,
+    /// A load/store whose abstract per-lane address range provably
+    /// extends outside the launch's global-memory bounds: some lane
+    /// may fault.
+    PossibleOutOfBounds,
 }
 
 impl LintKind {
@@ -82,10 +96,14 @@ impl LintKind {
             | LintKind::ExitUnreachable
             | LintKind::DivergenceDeadlock
             | LintKind::ReconvergenceEscape => Severity::Error,
-            LintKind::UnreachableCode | LintKind::UseBeforeDef | LintKind::DeadWrite => {
-                Severity::Warning
-            }
-            LintKind::UniformBranch | LintKind::UnschedulableRegion => Severity::Info,
+            LintKind::UnreachableCode
+            | LintKind::UseBeforeDef
+            | LintKind::DeadWrite
+            | LintKind::CrossWarpRace
+            | LintKind::PossibleOutOfBounds => Severity::Warning,
+            LintKind::UniformBranch
+            | LintKind::UnschedulableRegion
+            | LintKind::UncoalescedAccess => Severity::Info,
         }
     }
 
@@ -104,6 +122,9 @@ impl LintKind {
             LintKind::ReconvergenceEscape => "reconvergence-escape",
             LintKind::UniformBranch => "uniform-branch",
             LintKind::UnschedulableRegion => "unschedulable-region",
+            LintKind::CrossWarpRace => "cross-warp-race",
+            LintKind::UncoalescedAccess => "uncoalesced-access",
+            LintKind::PossibleOutOfBounds => "possible-out-of-bounds",
         }
     }
 }

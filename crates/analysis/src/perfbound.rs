@@ -173,6 +173,7 @@ impl PerfLaunch {
             params: self.params.clone(),
             blocks: Some(self.blocks as u32),
             threads_per_block: Some(self.threads_per_block as u32),
+            mem_words: None,
         }
     }
 }
@@ -206,6 +207,32 @@ pub struct ConflictSite {
     /// bounded from above by the absint compression classes of the
     /// reaching definitions (1/3/5/8 per source).
     pub banks_compressed_bound: usize,
+}
+
+/// A statically guaranteed memory-coalescing floor at one load/store
+/// pc: from the abstract per-lane address set, every dispatch of this
+/// instruction must issue at least `min_transactions_per_access`
+/// 32-word-segment transactions, mirroring how [`ConflictSite`] floors
+/// the register-bank stalls.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemFloor {
+    /// The pc of the load/store.
+    pub pc: usize,
+    /// Whether the access is a store.
+    pub is_store: bool,
+    /// Access-pattern name from the address abstraction
+    /// (`uniform` / `coalesced` / `strided` / `scattered`).
+    pub pattern: String,
+    /// Coalescer transactions every single dispatch must issue. Only
+    /// sites proven non-divergent under full warps carry a floor above
+    /// 1 (a partial or divergent mask can touch fewer segments).
+    pub min_transactions_per_access: u64,
+    /// Dispatches the concrete tracer proved must happen (exact-traced
+    /// warps only; approximate warps contribute their exact prefix).
+    pub min_executions: u64,
+    /// `min_transactions_per_access × min_executions` — the per-PC
+    /// floor the simulator's transaction counter is gated against.
+    pub min_transactions: u64,
 }
 
 /// The dependence-DAG cycle bound of one basic block: what a single
@@ -256,6 +283,9 @@ pub struct PerfPrediction {
     pub min_decompressor_activations: u64,
     /// Guaranteed same-cycle bank-conflict sites, in pc order.
     pub conflicts: Vec<ConflictSite>,
+    /// Guaranteed memory-coalescing floors, in pc order (one per
+    /// reachable load/store).
+    pub mem_floors: Vec<MemFloor>,
     /// Per-basic-block dependence-DAG bounds, in block order.
     pub block_bounds: Vec<BlockBound>,
     /// Warps the tracer replayed exactly to completion.
@@ -274,6 +304,11 @@ impl PerfPrediction {
     /// The conflict site at `pc`, if any.
     pub fn conflict_at(&self, pc: usize) -> Option<&ConflictSite> {
         self.conflicts.iter().find(|c| c.pc == pc)
+    }
+
+    /// The memory-coalescing floor at `pc`, if any.
+    pub fn mem_floor_at(&self, pc: usize) -> Option<&MemFloor> {
+        self.mem_floors.iter().find(|m| m.pc == pc)
     }
 
     /// Whether every warp was traced exactly (no serialized-path
@@ -334,6 +369,7 @@ pub fn bound_kernel(kernel: &Kernel, launch: &PerfLaunch, machine: &PerfMachine)
         .compressor_activations
         .div_ceil(machine.num_compressors as u64);
     let conflicts = conflict_sites(instrs, &cfg, &absint, machine, &exec_counts);
+    let mem_floors = mem_floor_sites(kernel, instrs, &cfg, launch, &exec_counts);
     let block_bounds = block_bounds(instrs, &cfg, machine, num_regs);
 
     PerfPrediction {
@@ -348,10 +384,51 @@ pub fn bound_kernel(kernel: &Kernel, launch: &PerfLaunch, machine: &PerfMachine)
         min_compressor_activations: total.compressor_activations,
         min_decompressor_activations: total.decompressor_activations,
         conflicts,
+        mem_floors,
         block_bounds,
         exact_warps,
         approx_warps,
     }
+}
+
+// ---------------------------------------------------------------------
+// Memory-coalescing floors
+// ---------------------------------------------------------------------
+
+fn mem_floor_sites(
+    kernel: &Kernel,
+    instrs: &[Instruction],
+    cfg: &Cfg,
+    launch: &PerfLaunch,
+    exec_counts: &BTreeMap<usize, u64>,
+) -> Vec<MemFloor> {
+    let mem = crate::memabs::analyze_mem(
+        kernel.name(),
+        instrs,
+        kernel.num_regs(),
+        cfg,
+        Some(&launch.absint_info()),
+    );
+    // The abstract per-access floor assumes all 32 lanes are active; a
+    // partial trailing warp touches a subset of the segments, so floors
+    // above 1 are only sound when every warp of the launch is full.
+    // (Divergent sites already carry floor 1 from the abstraction.)
+    let full_warps = launch.threads_per_block.is_multiple_of(WARP_SIZE);
+    mem.sites
+        .iter()
+        .map(|s| {
+            let per_access = if full_warps { s.min_transactions } else { 1 };
+            let execs = exec_counts.get(&s.pc).copied().unwrap_or(0);
+            MemFloor {
+                pc: s.pc,
+                is_store: s.is_store,
+                pattern: s.pattern.name().to_string(),
+                min_transactions_per_access: per_access,
+                min_executions: execs,
+                min_transactions: per_access * execs,
+            }
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -812,6 +889,62 @@ mod tests {
         for bb in &p.block_bounds {
             assert!(bb.chain_cycles >= bb.instructions, "{bb:?}");
         }
+    }
+
+    fn strided_kernel() -> Kernel {
+        // st [gtid * 4] — every lane lands 4 words apart.
+        let mut b = KernelBuilder::new("strided", 2);
+        b.mov(Reg(0), Operand::Special(Special::GlobalTid));
+        b.alu(AluOp::Mul, Reg(1), Reg(0).into(), Operand::Imm(4));
+        b.st(Reg(1), 0, Reg(0));
+        b.exit();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn mem_floors_cover_loads_and_stores() {
+        let k = straight_kernel();
+        let p = bound_kernel(
+            &k,
+            &PerfLaunch::new(1, 32),
+            &PerfMachine::warped_compression(),
+        );
+        let st = p.mem_floor_at(3).expect("store floor");
+        assert!(st.is_store);
+        assert_eq!(st.pattern, "coalesced");
+        assert_eq!(st.min_transactions_per_access, 1);
+        assert_eq!(st.min_executions, 1);
+        assert_eq!(st.min_transactions, 1);
+    }
+
+    #[test]
+    fn strided_store_floors_above_one_transaction() {
+        let k = strided_kernel();
+        let p = bound_kernel(
+            &k,
+            &PerfLaunch::new(2, 64),
+            &PerfMachine::warped_compression(),
+        );
+        let st = p.mem_floor_at(2).expect("store floor");
+        assert_eq!(st.pattern, "strided");
+        assert_eq!(st.min_transactions_per_access, 4);
+        assert_eq!(st.min_executions, 4, "one dispatch per warp");
+        assert_eq!(st.min_transactions, 16);
+    }
+
+    #[test]
+    fn partial_warps_clamp_mem_floors_to_one() {
+        let k = strided_kernel();
+        // 40 threads per block: the trailing warp is partial, so the
+        // per-access floor must degrade to 1.
+        let p = bound_kernel(
+            &k,
+            &PerfLaunch::new(1, 40),
+            &PerfMachine::warped_compression(),
+        );
+        let st = p.mem_floor_at(2).expect("store floor");
+        assert_eq!(st.min_transactions_per_access, 1);
+        assert_eq!(st.min_executions, 2);
     }
 
     #[test]

@@ -287,6 +287,18 @@ pub fn schedule_kernel(
         Some(&launch.absint_info()),
     );
     let codec = BdiCodec::new(machine.choices.clone());
+    // Precision payoff of the address abstraction: when no two warps
+    // can touch the same word with a store involved, each warp's view
+    // of memory is exactly its own stores, so the replay may forward
+    // known stored values into loads instead of going opaque.
+    let mem = crate::memabs::analyze_mem(
+        kernel.name(),
+        instrs,
+        kernel.num_regs(),
+        &cfg,
+        Some(&launch.absint_info()),
+    );
+    let forward_mem = mem.warp_isolated();
 
     let total_warps = launch.blocks * wpb;
     let mut plans: Vec<Option<WarpPlan>> = (0..total_warps).map(|_| None).collect();
@@ -328,6 +340,9 @@ pub fn schedule_kernel(
                 let mut replay = WarpReplay::new(
                     machine, &codec, launch, &absint, instrs, num_regs, next_block, w, threads,
                 );
+                if forward_mem {
+                    replay.enable_memory_forwarding();
+                }
                 let pending = match replay.step() {
                     StepOutcome::Done => None,
                     StepOutcome::Step(s) => Some(s),
@@ -618,6 +633,34 @@ mod tests {
                 warp: 0
             }
         );
+    }
+
+    /// Stores a known value then branches on loading it back: only the
+    /// shadow-memory forwarding (armed by the warp-isolation proof)
+    /// makes the predicate statically known.
+    fn forwarded_branch_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("fwd_branch", 3);
+        b.mov(Reg(0), Operand::Special(Special::GlobalTid));
+        b.mov(Reg(1), Operand::Imm(1));
+        b.st(Reg(0), 0, Reg(1));
+        b.ld(Reg(2), Reg(0), 0);
+        let exit = b.label();
+        b.bra(Reg(2), exit, exit);
+        b.bind(exit);
+        b.exit();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn forwarded_load_branch_schedules_under_warp_isolation() {
+        let k = forwarded_branch_kernel();
+        let launch = PerfLaunch::new(2, 64);
+        let machine = PerfMachine::warped_compression();
+        let plan = schedule_kernel(&k, &launch, &machine, 48).unwrap();
+        check_invariants(&plan, &machine);
+        assert_eq!(plan.warps.len(), 4);
+        let floor = bound_kernel(&k, &launch, &machine);
+        assert!(plan.total_cycles >= floor.cycle_lower_bound);
     }
 
     #[test]

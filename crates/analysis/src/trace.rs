@@ -24,6 +24,8 @@
 //!   [`commit_at`](TimingState::commit_at) (update) so a scheduler can
 //!   interleave global resource constraints between the two.
 
+use std::collections::HashMap;
+
 use bdi::{BdiCodec, WarpRegister, WARP_SIZE};
 use simt_isa::{Instruction, LatencyClass, Operand, Special};
 
@@ -426,6 +428,13 @@ pub struct WarpReplay<'a> {
     stack: MirrorStack,
     regs: Vec<RegState>,
     fuel: u64,
+    /// Whether store→load forwarding through the per-warp shadow memory
+    /// is armed (see [`enable_memory_forwarding`]).
+    ///
+    /// [`enable_memory_forwarding`]: Self::enable_memory_forwarding
+    forward_mem: bool,
+    /// Known memory words written by *this* warp: address → value.
+    shadow_mem: HashMap<u32, u32>,
 }
 
 impl<'a> WarpReplay<'a> {
@@ -476,7 +485,21 @@ impl<'a> WarpReplay<'a> {
             stack: MirrorStack::new(full_mask),
             regs: vec![initial; num_regs],
             fuel: TRACE_FUEL,
+            forward_mem: false,
+            shadow_mem: HashMap::new(),
         }
+    }
+
+    /// Arms store→load forwarding through a per-warp shadow memory:
+    /// a load whose every active lane hits an address this warp itself
+    /// stored a known value to replays that value concretely instead
+    /// of going opaque.
+    ///
+    /// Sound **only** when no other warp can store to any address this
+    /// warp accesses — the caller must hold a
+    /// `memabs::MemAbs::warp_isolated` proof for this kernel × launch.
+    pub fn enable_memory_forwarding(&mut self) {
+        self.forward_mem = true;
     }
 
     /// The active pc, or `None` once the warp has drained.
@@ -543,7 +566,10 @@ impl<'a> WarpReplay<'a> {
                 self.stack.branch(taken, target, reconv);
                 None
             }
-            Instruction::St { .. } => {
+            Instruction::St { base, offset, src } => {
+                if self.forward_mem {
+                    self.shadow_store(base.index(), offset, src.index(), mask);
+                }
                 self.stack.advance();
                 None
             }
@@ -564,9 +590,16 @@ impl<'a> WarpReplay<'a> {
                 self.stack.advance();
                 banks
             }
-            Instruction::Ld { dst, .. } => {
-                // Memory contents are outside the static model.
-                let banks = self.write(dst.index(), None, mask, divergent);
+            Instruction::Ld { dst, base, offset } => {
+                // Memory contents are outside the static model, except
+                // for words this warp itself stored when forwarding is
+                // armed (warp-isolated launches).
+                let result = if self.forward_mem {
+                    self.shadow_load(base.index(), offset, mask)
+                } else {
+                    None
+                };
+                let banks = self.write(dst.index(), result, mask, divergent);
                 self.stack.advance();
                 banks
             }
@@ -637,6 +670,44 @@ impl<'a> WarpReplay<'a> {
         let banks = state.banks;
         self.regs[dst] = state;
         banks
+    }
+
+    /// Applies a store to the shadow memory. An unknown store address
+    /// may overwrite anything, so it clears the whole shadow; a known
+    /// address with an unknown value just evicts that word.
+    fn shadow_store(&mut self, base: usize, offset: i32, src: usize, mask: u32) {
+        let value = self.regs[src].value;
+        let Some(addrs) = &self.regs[base].value else {
+            self.shadow_mem.clear();
+            return;
+        };
+        for lane in 0..WARP_SIZE {
+            if mask & (1 << lane) != 0 {
+                let addr = addrs.lane(lane).wrapping_add(offset as u32);
+                match &value {
+                    Some(v) => {
+                        self.shadow_mem.insert(addr, v.lane(lane));
+                    }
+                    None => {
+                        self.shadow_mem.remove(&addr);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The forwarded load value, when every active lane's address is
+    /// known and hits the shadow memory.
+    fn shadow_load(&self, base: usize, offset: i32, mask: u32) -> Option<WarpRegister> {
+        let addrs = self.regs[base].value.as_ref()?;
+        let mut out = WarpRegister::ZERO;
+        for lane in 0..WARP_SIZE {
+            if mask & (1 << lane) != 0 {
+                let addr = addrs.lane(lane).wrapping_add(offset as u32);
+                out.set_lane(lane, *self.shadow_mem.get(&addr)?);
+            }
+        }
+        Some(out)
     }
 
     /// The branch's taken mask within `mask`, from concrete predicate

@@ -27,6 +27,7 @@ pub mod figures;
 #[cfg(feature = "fuzz")]
 pub mod fuzz_json;
 pub mod jsonfmt;
+pub mod mem_json;
 pub mod perf_json;
 pub mod schedule_json;
 mod table;

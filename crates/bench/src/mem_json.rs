@@ -1,0 +1,115 @@
+//! Deterministic JSON rendering of static-memory-vs-traced reports
+//! (`wcsim mem`), on the shared [`jsonfmt`](crate::jsonfmt) builder.
+//!
+//! `results/BENCH_mem.json` is the CI artifact of the memory-analysis
+//! soundness gate: per kernel, the cross-warp race verdict joined
+//! against the traced conflicts, every load/store site's abstract
+//! containment and transaction-floor checks, and the static issue
+//! scheduler's attribution (closed statically, or the named bail
+//! reason and pc).
+
+use warped_compression::{MemReport, SiteCheck, TracedConflict};
+
+use crate::jsonfmt::{block_list, inline, opt_display, quoted, JsonObject};
+
+fn site_json(s: &SiteCheck) -> String {
+    format!(
+        "      {}",
+        inline(&[
+            ("pc", s.pc.to_string()),
+            ("kind", quoted(if s.is_store { "store" } else { "load" })),
+            ("pattern", quoted(&s.pattern)),
+            ("divergent", s.divergent.to_string()),
+            ("accesses", s.accesses.to_string()),
+            ("transactions", s.transactions.to_string()),
+            ("escapes", s.escapes.to_string()),
+            ("min_transactions", s.min_transactions.to_string()),
+            ("min_executions", s.min_executions.to_string()),
+            ("floor_holds", s.floor_holds().to_string()),
+        ])
+    )
+}
+
+fn conflict_json(c: &TracedConflict) -> String {
+    format!(
+        "      {}",
+        inline(&[
+            ("store_pc", c.store_pc.to_string()),
+            ("other_pc", c.other_pc.to_string()),
+            ("other_is_store", c.other_is_store.to_string()),
+            ("predicted", c.predicted.to_string()),
+        ])
+    )
+}
+
+/// One kernel's static-memory-vs-traced fragment.
+pub fn mem_record_json(r: &MemReport) -> String {
+    let sites: Vec<String> = r.sites.iter().map(site_json).collect();
+    let conflicts: Vec<String> = r.traced_conflicts.iter().map(conflict_json).collect();
+    JsonObject::new(4)
+        .string("kernel", &r.kernel)
+        .display("sound", r.is_sound())
+        .field("race_free", opt_display(r.race_free))
+        .display("static_races", r.static_races)
+        .display("traced_conflicts", r.traced_conflicts.len())
+        .display("missed_conflicts", r.missed_conflicts().len())
+        .display("escapes", r.escape_count())
+        .display("untracked_accesses", r.untracked_accesses)
+        .string(
+            "schedule_mode",
+            if r.schedule.static_mode {
+                "static"
+            } else {
+                "dynamic-fallback"
+            },
+        )
+        .field(
+            "schedule_bail",
+            r.schedule
+                .bail
+                .as_deref()
+                .map_or_else(|| "null".into(), quoted),
+        )
+        .field("schedule_bail_pc", opt_display(r.schedule.bail_pc))
+        .display("forwardable_loads", r.schedule.forwardable_loads)
+        .field("sites", block_list(4, &sites))
+        .field("conflicts", block_list(4, &conflicts))
+        .render_fragment()
+}
+
+/// The whole `BENCH_mem.json` document.
+pub fn mem_json(reports: &[MemReport]) -> String {
+    let fragments: Vec<String> = reports.iter().map(mem_record_json).collect();
+    let race_free = reports.iter().filter(|r| r.race_free == Some(true)).count();
+    let static_kernels = reports.iter().filter(|r| r.schedule.static_mode).count();
+    JsonObject::new(0)
+        .display("sound", reports.iter().all(MemReport::is_sound))
+        .display("race_free_kernels", race_free)
+        .display("static_kernels", static_kernels)
+        .display("fallback_kernels", reports.len() - static_kernels)
+        .field("kernels", block_list(2, &fragments))
+        .render_document()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warped_compression::mem_workload;
+
+    #[test]
+    fn rendering_is_deterministic_and_structured() {
+        let render = || {
+            let lib = gpu_workloads::by_name("lib").unwrap();
+            let bfs = gpu_workloads::by_name("bfs").unwrap();
+            let rs = [mem_workload(&lib).unwrap(), mem_workload(&bfs).unwrap()];
+            mem_json(&rs)
+        };
+        let a = render();
+        assert_eq!(a, render(), "mem JSON must be byte-identical");
+        assert!(a.contains("\"sound\": true"));
+        assert!(a.contains("\"race_free\": "));
+        assert!(a.contains("\"pattern\": "));
+        assert!(a.contains("\"schedule_mode\": "));
+        assert!(a.contains("\"floor_holds\": true"));
+    }
+}

@@ -128,6 +128,15 @@ pub enum Command {
         /// Report path (default `results/BENCH_schedule.json`).
         out: Option<String>,
     },
+    /// `wcsim mem <workload|--all> [--out FILE]` — static memory
+    /// analysis (abstract address sets, cross-warp race verdict,
+    /// transaction floors) machine-checked against a traced run.
+    Mem {
+        /// Benchmark name; `None` checks the whole suite (`--all`).
+        workload: Option<String>,
+        /// Report path (default `results/BENCH_mem.json`).
+        out: Option<String>,
+    },
     /// `wcsim --help`.
     Help,
 }
@@ -191,6 +200,16 @@ USAGE:
                                      the dynamic core; fails on any
                                      unsound kernel (default out:
                                      results/BENCH_schedule.json)
+  wcsim mem <workload|--all> [--out FILE]
+                                     static memory analysis — abstract
+                                     per-warp address sets, the
+                                     cross-warp race verdict and the
+                                     coalescing transaction floors —
+                                     joined against a traced run; fails
+                                     if any address escapes its set, a
+                                     conflict evades the race verdict or
+                                     a floor is undercut (default out:
+                                     results/BENCH_mem.json)
   wcsim kernel <file.s> --blocks N --tpb N --mem WORDS
                [--param X]... [--design D]
 ";
@@ -335,6 +354,12 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Pa
             let flag_values: Vec<&str> = out.iter().map(String::as_str).collect();
             let workload = workload_or_all("predict", &rest, &flag_values)?;
             Ok(Command::Predict { workload, out })
+        }
+        "mem" => {
+            let out = take_path_flag(&rest, "--out")?;
+            let flag_values: Vec<&str> = out.iter().map(String::as_str).collect();
+            let workload = workload_or_all("mem", &rest, &flag_values)?;
+            Ok(Command::Mem { workload, out })
         }
         "perf" => {
             let out = take_path_flag(&rest, "--out")?;
@@ -1074,6 +1099,69 @@ pub fn run_cli(cmd: &Command, out: &mut dyn fmt::Write) -> Result<(), Box<dyn Er
                 .into());
             }
         }
+        Command::Mem {
+            workload,
+            out: out_file,
+        } => {
+            let workloads = resolve_workloads(workload.as_deref())?;
+            let reports = warped_compression::mem_suite(&workloads)?;
+            let mut rows = Vec::new();
+            let mut statuses = Vec::new();
+            for r in &reports {
+                rows.push(vec![
+                    r.kernel.clone(),
+                    r.sites.len().to_string(),
+                    match r.race_free {
+                        Some(true) => "isolated".to_string(),
+                        Some(false) => format!("{} race(s)", r.static_races),
+                        None => "unknown".to_string(),
+                    },
+                    r.traced_conflicts.len().to_string(),
+                    r.escape_count().to_string(),
+                    if r.schedule.static_mode {
+                        "static".to_string()
+                    } else {
+                        r.schedule.bail.clone().unwrap_or_default()
+                    },
+                    r.schedule.forwardable_loads.to_string(),
+                ]);
+                statuses.push(if r.is_sound() { "ok" } else { "UNSOUND" });
+            }
+            let table = wc_bench::FigureTable::new(
+                "mem",
+                "Static memory analysis vs. traced accesses",
+                [
+                    "kernel",
+                    "sites",
+                    "race verdict",
+                    "traced conf",
+                    "escapes",
+                    "schedule",
+                    "fwd loads",
+                ]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+                rows,
+            )
+            .with_status_column(&statuses);
+            writeln!(out, "{}", table.to_markdown())?;
+            let out_path = out_file
+                .clone()
+                .unwrap_or_else(|| "results/BENCH_mem.json".to_string());
+            write_report(&out_path, &wc_bench::mem_json::mem_json(&reports))?;
+            writeln!(out, "report written to {out_path}")?;
+            // The CI gate: the abstract address sets, the race verdict
+            // and the transaction floors must all survive the trace.
+            if let Some(r) = reports.iter().find(|r| !r.is_sound()) {
+                return Err(format!(
+                    "kernel `{}` broke the static memory analysis: {}",
+                    r.kernel,
+                    r.violations().join("; ")
+                )
+                .into());
+            }
+        }
         Command::Kernel {
             path,
             blocks,
@@ -1732,6 +1820,57 @@ mod tests {
         let doc = fs::read_to_string(&p1).unwrap();
         assert!(doc.contains("\"mode\": \"dynamic-fallback\""));
         assert!(doc.contains("\"sound\": true"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parses_mem_variants() {
+        assert_eq!(
+            parse(&["mem", "lib"]).unwrap(),
+            Command::Mem {
+                workload: Some("lib".into()),
+                out: None,
+            }
+        );
+        assert_eq!(
+            parse(&["mem", "--all", "--out", "m.json"]).unwrap(),
+            Command::Mem {
+                workload: None,
+                out: Some("m.json".into()),
+            }
+        );
+        assert!(parse(&["mem"]).is_err());
+        assert!(parse(&["mem", "--all", "--out"]).is_err());
+    }
+
+    #[test]
+    fn mem_command_reports_and_writes_sound_json() {
+        let dir = std::env::temp_dir().join(format!("wcsim-mem-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let (p1, p2) = (dir.join("a.json"), dir.join("b.json"));
+        let cmd = |w: &str, p: &std::path::Path| Command::Mem {
+            workload: Some(w.into()),
+            out: Some(p.to_string_lossy().into_owned()),
+        };
+        let mut out = String::new();
+        run_cli(&cmd("lib", &p1), &mut out).expect("lib memory analysis must be sound");
+        run_cli(&cmd("lib", &p2), &mut out).unwrap();
+        let (a, b) = (fs::read(&p1).unwrap(), fs::read(&p2).unwrap());
+        assert_eq!(a, b, "mem JSON must be byte-identical across runs");
+        assert!(out.contains("| lib |"));
+        assert!(out.contains("| ok |"));
+        assert!(out.contains("report written to"));
+        let doc = String::from_utf8(a).unwrap();
+        assert!(doc.contains("\"sound\": true"));
+        assert!(doc.contains("\"race_free\": "));
+        assert!(doc.contains("\"schedule_mode\": "));
+        // A divergent, data-dependent kernel still joins soundly and
+        // names its scheduler bail.
+        run_cli(&cmd("bfs", &p1), &mut out).expect("bfs memory analysis must be sound");
+        let doc = fs::read_to_string(&p1).unwrap();
+        assert!(doc.contains("\"sound\": true"));
+        assert!(doc.contains("\"schedule_mode\": \"dynamic-fallback\""));
+        assert!(doc.contains("\"schedule_bail\": \""));
         let _ = fs::remove_dir_all(&dir);
     }
 

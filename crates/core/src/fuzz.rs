@@ -25,7 +25,16 @@
 //!    propagated,
 //! 5. **watchdog** — the simulator's `max_cycles` is clamped to the
 //!    case budget, so a runaway kernel reports
-//!    [`FindingCategory::Timeout`] deterministically.
+//!    [`FindingCategory::Timeout`] deterministically,
+//! 6. **memabs vs traced addresses** — every traced memory access
+//!    (per-access [`gpu_sim::MemEvent`]s, collected under *both* the
+//!    baseline and warped-compression design points) must land inside
+//!    its site's per-warp abstract address set, and the cross-warp
+//!    race verdict must survive the trace: no conflict under a
+//!    `race_free` claim, and every traced conflicting pair listed
+//!    when races were predicted. The `aliased_mem` and `lane_split`
+//!    shapes are what drive warps onto overlapping addresses, so they
+//!    exercise the race detector directly.
 //!
 //! Any disagreement is classified into a typed [`Finding`] and the
 //! offending case is delta-debug **shrunk** ([`shrink_case`]): first
@@ -41,11 +50,14 @@
 //! caught, classified and shrunk — proving every detector actually
 //! fires.
 
-use gpu_sim::{GlobalMemory, GpuSim, LaunchConfig, SimError};
+use std::collections::HashMap;
+
+use gpu_sim::{GlobalMemory, GpuSim, LaunchConfig, MemEvent, SimError};
 use gpu_workloads::testgen;
 use rand::prelude::{Rng, SeedableRng, StdRng};
 use simt_analysis::{
-    analyze_with_launch, bound_kernel, schedule_kernel, IssuePlan, LaunchInfo, PerfLaunch,
+    analyze_mem, analyze_with_launch, bound_kernel, schedule_kernel, Cfg, IssuePlan, LaunchInfo,
+    MemAbs, PerfLaunch,
 };
 use simt_isa::{to_asm, Instruction, Kernel};
 
@@ -89,11 +101,15 @@ pub enum Mutation {
     /// Lower one write site's predicted bank footprint below the
     /// traced measurement.
     ShrinkBankPrediction,
+    /// Knock the first traced memory access's addresses out of their
+    /// site's abstract address set — the memabs containment join must
+    /// reject.
+    ShrinkAddressSet,
 }
 
 impl Mutation {
     /// Every mutation, one per finding category.
-    pub const ALL: [Mutation; 9] = [
+    pub const ALL: [Mutation; 10] = [
         Mutation::InjectPanic,
         Mutation::InjectSanitizePanic,
         Mutation::StarveWatchdog,
@@ -103,6 +119,7 @@ impl Mutation {
         Mutation::RaiseCycleFloor,
         Mutation::ZeroSlack,
         Mutation::ShrinkBankPrediction,
+        Mutation::ShrinkAddressSet,
     ];
 
     /// Stable kebab-case spelling (CLI / JSON).
@@ -117,6 +134,7 @@ impl Mutation {
             Mutation::RaiseCycleFloor => "raise-cycle-floor",
             Mutation::ZeroSlack => "zero-slack",
             Mutation::ShrinkBankPrediction => "shrink-bank-prediction",
+            Mutation::ShrinkAddressSet => "shrink-address-set",
         }
     }
 
@@ -137,6 +155,7 @@ impl Mutation {
             Mutation::RaiseCycleFloor => FindingCategory::FloorViolation,
             Mutation::ZeroSlack => FindingCategory::SlackViolation,
             Mutation::ShrinkBankPrediction => FindingCategory::AbsintUnsound,
+            Mutation::ShrinkAddressSet => FindingCategory::MemabsUnsound,
         }
     }
 }
@@ -164,6 +183,9 @@ pub enum FindingCategory {
     SlackViolation,
     /// A traced write exceeded its predicted bank footprint.
     AbsintUnsound,
+    /// A traced memory access escaped its abstract address set, or a
+    /// cross-warp conflict evaded the static race verdict.
+    MemabsUnsound,
 }
 
 impl FindingCategory {
@@ -179,6 +201,7 @@ impl FindingCategory {
             FindingCategory::FloorViolation => "floor-violation",
             FindingCategory::SlackViolation => "slack-violation",
             FindingCategory::AbsintUnsound => "absint-unsound",
+            FindingCategory::MemabsUnsound => "memabs-unsound",
         }
     }
 }
@@ -374,6 +397,127 @@ fn flip_hazard_window(plan: &mut IssuePlan) -> bool {
     false
 }
 
+/// One warp's traced touch of one word, for the fuzzer's race join.
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct Touch {
+    warp: (usize, usize),
+    pc: usize,
+    is_store: bool,
+}
+
+/// The memabs-vs-trace oracle: re-runs the case under `sim` with
+/// per-access tracing and joins every [`MemEvent`] against the static
+/// address abstraction — containment of every active lane's address in
+/// its site's per-warp abstract set, and the cross-warp race verdict
+/// against the conflicts the trace actually produced. The
+/// `ShrinkAddressSet` mutation knocks the first traced access's
+/// addresses far outside any bounded abstract set, which this join
+/// must catch.
+fn memabs_join(
+    case: &FuzzCase,
+    mem_words: usize,
+    mem: &MemAbs,
+    sim: &GpuSim,
+    design: &str,
+    mutation: Option<Mutation>,
+) -> Result<(), Finding> {
+    let mut events: Vec<MemEvent> = Vec::new();
+    let mut memory = GlobalMemory::zeroed(mem_words);
+    sim.run_mem_observed(&case.kernel, &case.launch(), &mut memory, &mut |e| {
+        events.push(*e);
+    })
+    .map_err(|e| sim_finding(e, &format!("{design} mem-traced run")))?;
+
+    let mut inject = mutation == Some(Mutation::ShrinkAddressSet);
+    let mut touches: HashMap<u32, Vec<Touch>> = HashMap::new();
+    for event in &mut events {
+        if inject && event.mask != 0 {
+            for addr in &mut event.addrs {
+                *addr ^= 0x4000_0000;
+            }
+            inject = false;
+        }
+        let Some(site) = mem.site_index(event.pc) else {
+            return Err(finding(
+                FindingCategory::MemabsUnsound,
+                format!(
+                    "{design}: traced access at statically-unreachable pc {}",
+                    event.pc
+                ),
+            ));
+        };
+        let contained = match mem.address_for(
+            site,
+            u32::try_from(event.block).unwrap_or(u32::MAX),
+            u32::try_from(event.warp_in_block).unwrap_or(u32::MAX),
+        ) {
+            None => false,
+            Some(abs) => abs.contains_masked(&event.addrs, event.mask),
+        };
+        if !contained {
+            return Err(finding(
+                FindingCategory::MemabsUnsound,
+                format!(
+                    "{design}: traced address escaped the abstract set at pc {}",
+                    event.pc
+                ),
+            ));
+        }
+        for (_, addr) in event.active_addrs() {
+            let touch = Touch {
+                warp: (event.block, event.warp_in_block),
+                pc: event.pc,
+                is_store: event.is_store,
+            };
+            let slot = touches.entry(addr).or_default();
+            if !slot.contains(&touch) {
+                slot.push(touch);
+            }
+        }
+    }
+
+    let Some(race_free) = mem.race_free else {
+        return Ok(());
+    };
+    for accessors in touches.values() {
+        for a in accessors {
+            if !a.is_store {
+                continue;
+            }
+            for b in accessors {
+                if a.warp == b.warp {
+                    continue;
+                }
+                if race_free {
+                    return Err(finding(
+                        FindingCategory::MemabsUnsound,
+                        format!(
+                            "{design}: traced cross-warp conflict @{} vs @{} under a \
+                             race-free verdict",
+                            a.pc, b.pc
+                        ),
+                    ));
+                }
+                if !mem
+                    .races
+                    .iter()
+                    .any(|r| r.store_pc == a.pc && r.other_pc == b.pc)
+                {
+                    return Err(finding(
+                        FindingCategory::MemabsUnsound,
+                        format!(
+                            "{design}: traced cross-warp conflict @{} vs @{} missing from \
+                             the static race list",
+                            a.pc, b.pc
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Runs every differential check on one case. `mutation` injects one
 /// deliberate bug for the smoke test; `None` is the production path.
 ///
@@ -435,6 +579,7 @@ fn run_checks(
         params: Vec::new(),
         blocks: u32::try_from(case.blocks).ok(),
         threads_per_block: u32::try_from(case.threads_per_block).ok(),
+        mem_words: u64::try_from(mem_words).ok(),
     };
     let prediction = analyze_with_launch(kernel, Some(&info)).prediction;
 
@@ -495,6 +640,30 @@ fn run_checks(
             }
         }
     }
+
+    // Memabs join, under BOTH design points: addresses and the
+    // coalescer are design-independent, so the abstract address sets
+    // and the race verdict must survive the trace of each.
+    let mem_cfg = Cfg::build(kernel.instrs());
+    let memabs = analyze_mem(
+        kernel.name(),
+        kernel.instrs(),
+        kernel.num_regs(),
+        &mem_cfg,
+        Some(&info),
+    );
+    memabs_join(
+        case,
+        mem_words,
+        &memabs,
+        &sim,
+        "warped-compression",
+        mutation,
+    )?;
+    let mut base_cfg = DesignPoint::Baseline.config();
+    base_cfg.max_cycles = base_cfg.max_cycles.min(budget);
+    let base_sim = GpuSim::new(base_cfg);
+    memabs_join(case, mem_words, &memabs, &base_sim, "baseline", mutation)?;
 
     // Bit-identity vs the scheduled replay (a scheduler bail is a
     // benign dynamic fallback, exactly like `wcsim schedule`).
@@ -953,6 +1122,59 @@ mod tests {
         // the kernel to the minimal valid one.
         assert_eq!(finding.shrunk_instructions, 1);
         assert!(finding.reproducer.contains("# category: panic"));
+    }
+
+    #[test]
+    fn shrunk_address_set_is_caught_as_memabs_unsound() {
+        let cfg = FuzzConfig {
+            mutation: Some(Mutation::ShrinkAddressSet),
+            ..FuzzConfig::default()
+        };
+        let caught = (0..64)
+            .map(|index| run_case(&cfg, index))
+            .find_map(|report| {
+                report
+                    .finding
+                    .filter(|f| f.category == FindingCategory::MemabsUnsound)
+            })
+            .expect("the memabs join must catch the knocked-out address set");
+        assert!(caught.reproducer.contains("# category: memabs-unsound"));
+    }
+
+    #[test]
+    fn aliasing_shapes_exercise_the_race_detector() {
+        // Across a modest scan of generated cases, the `aliased_mem`
+        // and `lane_split` shapes must produce both definite verdicts:
+        // some kernels proven warp-isolated, some with a non-empty
+        // cross-warp race list. The memabs join in every clean case
+        // (see `clean_cases_produce_no_findings`) then validates those
+        // verdicts against the traced accesses.
+        let mut raced = 0;
+        let mut isolated = 0;
+        for index in 0..120 {
+            let case = FuzzCase::generate(42, index);
+            let info = LaunchInfo {
+                params: Vec::new(),
+                blocks: u32::try_from(case.blocks).ok(),
+                threads_per_block: u32::try_from(case.threads_per_block).ok(),
+                mem_words: u64::try_from(case.mem_words).ok(),
+            };
+            let cfg = Cfg::build(case.kernel.instrs());
+            let mem = analyze_mem(
+                case.kernel.name(),
+                case.kernel.instrs(),
+                case.kernel.num_regs(),
+                &cfg,
+                Some(&info),
+            );
+            match mem.race_free {
+                Some(false) if !mem.races.is_empty() => raced += 1,
+                Some(true) => isolated += 1,
+                _ => {}
+            }
+        }
+        assert!(raced > 0, "no generated case tripped the race detector");
+        assert!(isolated > 0, "no generated case was proven warp-isolated");
     }
 
     #[test]

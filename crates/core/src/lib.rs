@@ -46,6 +46,7 @@ pub mod explorer;
 pub mod fault_campaign;
 #[cfg(feature = "fuzz")]
 pub mod fuzz;
+pub mod mem;
 pub mod perfbound;
 pub mod predict;
 pub mod resilient;
@@ -66,6 +67,7 @@ pub use fuzz::{
     Finding, FindingCategory, FindingReport, FuzzCase, FuzzConfig, Mutation, SmokeOutcome,
     DEFAULT_CYCLE_BUDGET,
 };
+pub use mem::{mem_suite, mem_workload, MemReport, ScheduleCheck, SiteCheck, TracedConflict};
 pub use perfbound::{perf_machine, perf_suite, perf_workload, ConflictCheck, PerfReport};
 pub use predict::{
     predict_suite, predict_workload, PredictError, PredictReport, SiteOutcome, SiteValidation,

@@ -130,6 +130,7 @@ mod tests {
             min_compressor_activations: 20,
             min_decompressor_activations: 40,
             conflicts: Vec::new(),
+            mem_floors: Vec::new(),
             block_bounds: Vec::new(),
             exact_warps: 4,
             approx_warps: 0,

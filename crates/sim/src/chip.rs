@@ -174,7 +174,7 @@ mod tests {
             .unwrap();
         // ceil(7/3) = 3 blocks on SM0, 3 on SM1, 1 on SM2.
         for i in 0..7 * 32 {
-            assert_eq!(mem.word(i), i as u32 + 5);
+            assert_eq!(mem.word(i).unwrap(), i as u32 + 5);
         }
         let total: u64 = chip.per_sm.iter().map(|r| r.stats.instructions).sum();
         assert_eq!(total, chip.chip.instructions);
@@ -201,7 +201,7 @@ mod tests {
             .count();
         assert!((1..=2).contains(&busy));
         for i in 0..64 {
-            assert_eq!(mem.word(i), i as u32 + 5);
+            assert_eq!(mem.word(i).unwrap(), i as u32 + 5);
         }
     }
 

@@ -38,7 +38,7 @@
 //! let launch = LaunchConfig::new(2, 32);
 //! let result = GpuSim::new(GpuConfig::warped_compression())
 //!     .run(&kernel, &launch, &mut memory)?;
-//! assert_eq!(memory.word(63), 73);
+//! assert_eq!(memory.word(63).unwrap(), 73);
 //! assert!(result.stats.cycles > 0);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
@@ -66,4 +66,7 @@ pub use memory::{GlobalMemory, MemoryFault};
 pub use scheduled::ScheduledResult;
 pub use simt_stack::SimtStack;
 pub use sm::{FinalRegs, GpuSim, SimError, SimResult};
-pub use stats::{CensusStats, PcStalls, SimStats, StallCause, StallStats, WriteEvent};
+pub use stats::{
+    CensusStats, MemEvent, MemTrafficStats, PcMemTraffic, PcStalls, SimStats, StallCause,
+    StallStats, WriteEvent,
+};

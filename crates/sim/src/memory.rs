@@ -89,11 +89,16 @@ impl GlobalMemory {
 
     /// Direct read of a word for test assertions.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if out of range.
-    pub fn word(&self, addr: usize) -> u32 {
-        self.words[addr]
+    /// [`MemoryFault`] when `addr` is out of range — the same typed
+    /// error as [`load`](Self::load), so host-side checks never panic
+    /// on untrusted addresses.
+    pub fn word(&self, addr: usize) -> Result<u32, MemoryFault> {
+        self.words.get(addr).copied().ok_or(MemoryFault {
+            addr: u32::try_from(addr).unwrap_or(u32::MAX),
+            size: self.words.len(),
+        })
     }
 
     /// The full word array.
@@ -116,7 +121,7 @@ mod tests {
         let mut m = GlobalMemory::zeroed(4);
         m.store(2, 99).unwrap();
         assert_eq!(m.load(2), Ok(99));
-        assert_eq!(m.word(2), 99);
+        assert_eq!(m.word(2).unwrap(), 99);
     }
 
     #[test]

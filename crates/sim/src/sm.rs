@@ -14,7 +14,7 @@ use crate::config::{DivergencePolicy, GpuConfig, SchedulerPolicy};
 use crate::launch::LaunchConfig;
 use crate::memory::{GlobalMemory, MemoryFault};
 use crate::scoreboard::Scoreboard;
-use crate::stats::{SimStats, StallCause, WriteEvent};
+use crate::stats::{MemEvent, SimStats, StallCause, WriteEvent};
 use crate::warp::WarpState;
 
 /// Simulation failures.
@@ -22,6 +22,22 @@ use crate::warp::WarpState;
 pub enum SimError {
     /// A thread accessed global memory out of range.
     Memory(MemoryFault),
+    /// A thread accessed global memory out of range, with the faulting
+    /// access site attributed (kernel, warp, pc). The engine raises
+    /// this instead of the bare [`SimError::Memory`] whenever the
+    /// context is known.
+    MemoryAt {
+        /// Kernel the faulting instruction belongs to.
+        kernel: String,
+        /// Block index of the faulting warp.
+        block: usize,
+        /// Warp index within its block.
+        warp_in_block: usize,
+        /// Program counter of the faulting load/store.
+        pc: usize,
+        /// The underlying out-of-range access.
+        fault: MemoryFault,
+    },
     /// The configured cycle cap was exceeded.
     CycleLimit {
         /// The cap that was hit.
@@ -75,6 +91,16 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::Memory(m) => write!(f, "memory fault: {m}"),
+            SimError::MemoryAt {
+                kernel,
+                block,
+                warp_in_block,
+                pc,
+                fault,
+            } => write!(
+                f,
+                "memory fault in kernel `{kernel}` (block {block}, warp {warp_in_block}, pc {pc}): {fault}"
+            ),
             SimError::CycleLimit { limit } => write!(f, "cycle limit of {limit} exceeded"),
             SimError::Deadlock { cycle } => write!(f, "no forward progress by cycle {cycle}"),
             SimError::BlockTooLarge {
@@ -117,6 +143,7 @@ impl Error for SimError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             SimError::Memory(m) => Some(m),
+            SimError::MemoryAt { fault, .. } => Some(fault),
             SimError::RegFile(e) => Some(e),
             SimError::Read { source, .. } => Some(source),
             _ => None,
@@ -133,6 +160,23 @@ impl From<MemoryFault> for SimError {
 impl From<RegFileError> for SimError {
     fn from(e: RegFileError) -> Self {
         SimError::RegFile(e)
+    }
+}
+
+/// Attributes a [`MemoryFault`] to its access site.
+fn mem_fault_at(
+    kernel: &str,
+    block: usize,
+    warp_in_block: usize,
+    pc: usize,
+    fault: MemoryFault,
+) -> SimError {
+    SimError::MemoryAt {
+        kernel: kernel.to_string(),
+        block,
+        warp_in_block,
+        pc,
+        fault,
     }
 }
 
@@ -236,6 +280,36 @@ impl GpuSim {
         let result = engine.run_loop()?;
         let regs = engine.capture.take().expect("armed above");
         Ok((result, regs))
+    }
+
+    /// Runs a kernel, delivering every dispatched global-memory access
+    /// (pc, warp, active mask, per-lane effective addresses) to
+    /// `mem_observer`.
+    ///
+    /// This is the trace the `wcsim mem` soundness gate joins against
+    /// the static address abstraction.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`].
+    pub fn run_mem_observed(
+        &self,
+        kernel: &Kernel,
+        launch: &LaunchConfig,
+        memory: &mut GlobalMemory,
+        mem_observer: &mut dyn FnMut(&MemEvent),
+    ) -> Result<SimResult, SimError> {
+        let mut observer = |_: &WriteEvent| {};
+        let mut engine = Engine::new(
+            &self.cfg,
+            kernel,
+            launch,
+            memory,
+            0..launch.blocks(),
+            &mut observer,
+        )?;
+        engine.mem_observer = Some(mem_observer);
+        engine.run_loop()
     }
 
     /// Runs only the blocks in `range` of the launch on this SM — the
@@ -370,6 +444,9 @@ struct Engine<'a> {
     /// When armed, drained warps deposit their decompressed registers
     /// here just before the slot is freed.
     capture: Option<FinalRegs>,
+    /// When armed, every dispatched load/store delivers a [`MemEvent`]
+    /// (pc, warp, active mask, per-lane addresses) here.
+    mem_observer: Option<&'a mut dyn FnMut(&MemEvent)>,
     /// Uncompressed mirror every decompressed read is checked against.
     #[cfg(feature = "sanitize")]
     shadow: gpu_regfile::ShadowRegisterFile,
@@ -424,6 +501,7 @@ impl<'a> Engine<'a> {
             stats: SimStats::default(),
             last_progress: 0,
             capture: None,
+            mem_observer: None,
             #[cfg(feature = "sanitize")]
             shadow: gpu_regfile::ShadowRegisterFile::new(),
             #[cfg(feature = "sanitize")]
@@ -847,25 +925,40 @@ impl<'a> Engine<'a> {
                 self.push_writeback(&c, dst.index(), result, done_at);
             }
             Instruction::Ld { dst, base, offset } => {
+                let (wblock, wwarp) = (warp.block, warp.warp_in_block);
                 let mut result = WarpRegister::ZERO;
-                for lane in 0..warp_size {
+                let mut addrs = [0u32; 32];
+                for (lane, slot) in addrs.iter_mut().enumerate().take(warp_size) {
                     if c.mask & (1 << lane) != 0 {
                         let addr = values[&base.index()].lane(lane).wrapping_add(offset as u32);
-                        result.set_lane(lane, self.memory.load(addr)?);
+                        *slot = addr;
+                        let word = self.memory.load(addr).map_err(|fault| {
+                            mem_fault_at(self.kernel.name(), wblock, wwarp, c.pc, fault)
+                        })?;
+                        result.set_lane(lane, word);
                     }
                 }
+                self.record_mem(&c, wblock, wwarp, addrs, false);
                 let done_at = self.now + self.cfg.mem_latency + c.decomp_extra;
                 self.push_writeback(&c, dst.index(), result, done_at);
                 let warp = self.warps[c.slot].as_mut().expect("warp alive");
                 warp.pending_mem -= 1;
             }
             Instruction::St { base, offset, src } => {
-                for lane in 0..warp_size {
+                let (wblock, wwarp) = (warp.block, warp.warp_in_block);
+                let mut addrs = [0u32; 32];
+                for (lane, slot) in addrs.iter_mut().enumerate().take(warp_size) {
                     if c.mask & (1 << lane) != 0 {
                         let addr = values[&base.index()].lane(lane).wrapping_add(offset as u32);
-                        self.memory.store(addr, values[&src.index()].lane(lane))?;
+                        *slot = addr;
+                        self.memory
+                            .store(addr, values[&src.index()].lane(lane))
+                            .map_err(|fault| {
+                                mem_fault_at(self.kernel.name(), wblock, wwarp, c.pc, fault)
+                            })?;
                     }
                 }
+                self.record_mem(&c, wblock, wwarp, addrs, true);
                 let warp = self.warps[c.slot].as_mut().expect("warp alive");
                 warp.inflight -= 1;
                 warp.pending_mem -= 1;
@@ -892,6 +985,39 @@ impl<'a> Engine<'a> {
             }
         }
         Ok(())
+    }
+
+    /// Charges coalescer traffic for one dispatched access (distinct
+    /// 32-word segments across the active lanes) and feeds the armed
+    /// memory-trace observer, if any.
+    fn record_mem(
+        &mut self,
+        c: &Collector,
+        block: usize,
+        warp_in_block: usize,
+        addrs: [u32; 32],
+        is_store: bool,
+    ) {
+        if c.mask == 0 {
+            return;
+        }
+        let mut segs: Vec<u32> = (0..self.cfg.warp_size)
+            .filter(|lane| c.mask >> lane & 1 == 1)
+            .map(|lane| addrs[lane] >> 5)
+            .collect();
+        segs.sort_unstable();
+        segs.dedup();
+        self.stats.mem.record(c.pc, segs.len() as u64);
+        if let Some(observer) = self.mem_observer.as_mut() {
+            observer(&MemEvent {
+                pc: c.pc,
+                block,
+                warp_in_block,
+                mask: c.mask,
+                addrs,
+                is_store,
+            });
+        }
     }
 
     fn push_writeback(&mut self, c: &Collector, reg: usize, result: WarpRegister, done_at: u64) {
@@ -1194,7 +1320,7 @@ mod tests {
             &mut mem,
         );
         for i in 0..128 {
-            assert_eq!(mem.word(i), (i * 2 + 1) as u32, "word {i}");
+            assert_eq!(mem.word(i).unwrap(), (i * 2 + 1) as u32, "word {i}");
         }
     }
 
@@ -1209,7 +1335,7 @@ mod tests {
             &mut mem,
         );
         for i in 0..128 {
-            assert_eq!(mem.word(i), (i * 2 + 1) as u32, "word {i}");
+            assert_eq!(mem.word(i).unwrap(), (i * 2 + 1) as u32, "word {i}");
         }
         // Affine values compress; some writes must be compressed.
         assert!(r.stats.writes_compressed > 0);
@@ -1259,7 +1385,7 @@ mod tests {
             &mut mem,
         );
         for i in 0..32 {
-            assert_eq!(mem.word(i), if i < 16 { 1 } else { 2 }, "word {i}");
+            assert_eq!(mem.word(i).unwrap(), if i < 16 { 1 } else { 2 }, "word {i}");
         }
         assert!(r.stats.divergent_instructions > 0);
         assert!(r.stats.nondivergent_ratio() < 1.0);
@@ -1293,7 +1419,7 @@ mod tests {
         );
         assert!(r.stats.synthetic_movs > 0, "expected injected MOVs");
         for i in 0..32u32 {
-            assert_eq!(mem.word(i as usize), if i < 8 { i * i } else { 7 });
+            assert_eq!(mem.word(i as usize).unwrap(), if i < 8 { i * i } else { 7 });
         }
     }
 
@@ -1347,7 +1473,7 @@ mod tests {
             &mut mem,
         );
         for i in 0..32 {
-            assert_eq!(mem.word(i), 45);
+            assert_eq!(mem.word(i).unwrap(), 45);
         }
         assert!(r.stats.instructions >= 4 * 10);
     }
@@ -1394,7 +1520,61 @@ mod tests {
         let err = GpuSim::new(GpuConfig::baseline())
             .run(&kernel, &LaunchConfig::new(1, 32), &mut mem)
             .unwrap_err();
-        assert!(matches!(err, SimError::Memory(_)));
+        match err {
+            SimError::MemoryAt {
+                ref kernel,
+                block,
+                warp_in_block,
+                pc,
+                fault,
+            } => {
+                assert_eq!(kernel, "oob");
+                assert_eq!((block, warp_in_block), (0, 0));
+                assert_eq!(pc, 1);
+                assert_eq!(fault.addr, 1_000_000);
+                let msg = err.to_string();
+                assert!(msg.contains("`oob`"), "context in message: {msg}");
+                assert!(msg.contains("pc 1"), "pc in message: {msg}");
+            }
+            other => panic!("expected attributed memory fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mem_trace_reports_addresses_and_coalescing() {
+        // tid-indexed store (coalesced, 1 transaction) then a strided
+        // load at stride 2 (64 words → 2 segments per access).
+        let mut b = KernelBuilder::new("trace", 3);
+        b.mov(Reg(0), Operand::Special(Special::Tid));
+        b.alu(AluOp::Mul, Reg(1), Operand::Reg(Reg(0)), Operand::Imm(2));
+        b.st(Reg(0), 0, Reg(0));
+        b.ld(Reg(2), Reg(1), 0);
+        b.exit();
+        let kernel = b.build().unwrap();
+        let mut mem = GlobalMemory::zeroed(64);
+        let mut events = Vec::new();
+        let r = GpuSim::new(GpuConfig::baseline())
+            .run_mem_observed(&kernel, &LaunchConfig::new(1, 32), &mut mem, &mut |e| {
+                events.push(*e)
+            })
+            .unwrap();
+        assert_eq!(events.len(), 2);
+        let st = &events[0];
+        assert!(st.is_store);
+        assert_eq!((st.pc, st.block, st.warp_in_block), (2, 0, 0));
+        assert_eq!(st.mask, u32::MAX);
+        let addrs: Vec<u32> = st.active_addrs().map(|(_, a)| a).collect();
+        assert_eq!(addrs, (0..32).collect::<Vec<u32>>());
+        let ld = &events[1];
+        assert!(!ld.is_store);
+        assert_eq!(ld.addrs[5], 10);
+        // Coalescing traffic: the store touches one 32-word segment,
+        // the strided load two.
+        assert_eq!(r.stats.mem.at(2).accesses, 1);
+        assert_eq!(r.stats.mem.at(2).transactions, 1);
+        assert_eq!(r.stats.mem.at(3).accesses, 1);
+        assert_eq!(r.stats.mem.at(3).transactions, 2);
+        assert_eq!(r.stats.mem.total_accesses(), 2);
     }
 
     #[test]
@@ -1419,7 +1599,7 @@ mod tests {
             &mut mem,
         );
         for i in 0..(32 * 64) {
-            assert_eq!(mem.word(i), (i * 2 + 1) as u32);
+            assert_eq!(mem.word(i).unwrap(), (i * 2 + 1) as u32);
         }
     }
 
@@ -1431,7 +1611,7 @@ mod tests {
         let mut mem = GlobalMemory::zeroed(256);
         run_kernel(cfg, &kernel, &LaunchConfig::new(4, 64), &mut mem);
         for i in 0..256 {
-            assert_eq!(mem.word(i), (i * 2 + 1) as u32);
+            assert_eq!(mem.word(i).unwrap(), (i * 2 + 1) as u32);
         }
     }
 
@@ -1513,7 +1693,10 @@ mod tests {
             // A corrupted stored form may fail decode, and a silently
             // corrupted address register may fault in memory downstream.
             assert!(
-                matches!(e, SimError::Read { .. } | SimError::Memory(_)),
+                matches!(
+                    e,
+                    SimError::Read { .. } | SimError::Memory(_) | SimError::MemoryAt { .. }
+                ),
                 "unexpected: {e}"
             );
         }

@@ -29,6 +29,86 @@ pub struct WriteEvent {
     pub synthetic: bool,
 }
 
+/// One retired global-memory access, delivered to the memory-trace
+/// observer callback.
+///
+/// The `warped-compression` crate joins this stream against the static
+/// address abstraction (`simt-analysis::memabs`): every active lane's
+/// address must fall inside the site's abstract access set, and a
+/// kernel judged race-free must never trace a cross-warp conflicting
+/// pair (`wcsim mem`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemEvent {
+    /// The pc of the load/store instruction.
+    pub pc: usize,
+    /// The issuing warp's block index.
+    pub block: usize,
+    /// The issuing warp's index within its block.
+    pub warp_in_block: usize,
+    /// Active-lane mask at dispatch (bit `i` = lane `i`).
+    pub mask: u32,
+    /// Per-lane effective word addresses; only lanes set in `mask`
+    /// are meaningful.
+    pub addrs: [u32; 32],
+    /// Whether the access was a store.
+    pub is_store: bool,
+}
+
+impl MemEvent {
+    /// Iterator over the `(lane, address)` pairs of active lanes.
+    pub fn active_addrs(&self) -> impl Iterator<Item = (usize, u32)> + '_ {
+        (0..32)
+            .filter(|lane| self.mask >> lane & 1 == 1)
+            .map(|lane| (lane, self.addrs[lane]))
+    }
+}
+
+/// Coalescer traffic charged to one program counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PcMemTraffic {
+    /// Dynamic load/store dispatches at this pc.
+    pub accesses: u64,
+    /// 32-word-segment transactions those dispatches required.
+    pub transactions: u64,
+}
+
+/// Per-PC memory transaction counts for a whole run.
+///
+/// An access's transaction count is the number of distinct 32-word
+/// segments its active lanes touch — the same coalescing model the
+/// static analyzer's `min_transactions` floor assumes, so the floor
+/// check is `floor ≤ transactions / accesses` per site.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemTrafficStats {
+    /// Traffic counters per program counter.
+    pub by_pc: BTreeMap<usize, PcMemTraffic>,
+}
+
+impl MemTrafficStats {
+    /// Charges one access issuing `transactions` segment transactions
+    /// at `pc`.
+    pub fn record(&mut self, pc: usize, transactions: u64) {
+        let t = self.by_pc.entry(pc).or_default();
+        t.accesses += 1;
+        t.transactions += transactions;
+    }
+
+    /// The counters charged to `pc` (zero if it never accessed memory).
+    pub fn at(&self, pc: usize) -> PcMemTraffic {
+        self.by_pc.get(&pc).copied().unwrap_or_default()
+    }
+
+    /// Run-wide access count.
+    pub fn total_accesses(&self) -> u64 {
+        self.by_pc.values().map(|t| t.accesses).sum()
+    }
+
+    /// Run-wide transaction count.
+    pub fn total_transactions(&self) -> u64 {
+        self.by_pc.values().map(|t| t.transactions).sum()
+    }
+}
+
 /// The Fig. 12 census: compressed-register counts sampled periodically,
 /// bucketed by the sampled warp's divergence phase.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -228,6 +308,8 @@ pub struct SimStats {
     pub collector_retry_cycles: u64,
     /// Per-PC, per-cause stall attribution.
     pub stalls: StallStats,
+    /// Per-PC memory coalescer traffic.
+    pub mem: MemTrafficStats,
     /// The Fig. 12 census samples.
     pub census: CensusStats,
     /// Register file bank counters (reads/writes/gating).
@@ -347,6 +429,36 @@ mod tests {
         assert_eq!(s.grand_total(), 6);
         let per_cause: u64 = StallCause::ALL.iter().map(|&c| s.total(c)).sum();
         assert_eq!(per_cause, s.grand_total(), "causes partition the total");
+    }
+
+    #[test]
+    fn mem_traffic_record_and_totals() {
+        let mut m = MemTrafficStats::default();
+        m.record(4, 1);
+        m.record(4, 3);
+        m.record(9, 2);
+        assert_eq!(m.at(4).accesses, 2);
+        assert_eq!(m.at(4).transactions, 4);
+        assert_eq!(m.at(42), PcMemTraffic::default());
+        assert_eq!(m.total_accesses(), 3);
+        assert_eq!(m.total_transactions(), 6);
+    }
+
+    #[test]
+    fn mem_event_active_addrs_respects_mask() {
+        let mut addrs = [0u32; 32];
+        addrs[0] = 10;
+        addrs[5] = 50;
+        let e = MemEvent {
+            pc: 2,
+            block: 0,
+            warp_in_block: 1,
+            mask: 1 | 1 << 5,
+            addrs,
+            is_store: false,
+        };
+        let got: Vec<(usize, u32)> = e.active_addrs().collect();
+        assert_eq!(got, vec![(0, 10), (5, 50)]);
     }
 
     #[test]

@@ -135,7 +135,7 @@ mod tests {
         b.exit();
         let mem = run(&b.build().unwrap(), 32, 32);
         for t in 0..32 {
-            assert_eq!(mem.word(t), if t < 4 { 9 } else { 0 }, "tid {t}");
+            assert_eq!(mem.word(t).unwrap(), if t < 4 { 9 } else { 0 }, "tid {t}");
         }
     }
 
@@ -158,7 +158,11 @@ mod tests {
         b.exit();
         let mem = run(&b.build().unwrap(), 32, 32);
         for t in 0..32 {
-            assert_eq!(mem.word(t), if t % 2 == 1 { 111 } else { 222 }, "tid {t}");
+            assert_eq!(
+                mem.word(t).unwrap(),
+                if t % 2 == 1 { 111 } else { 222 },
+                "tid {t}"
+            );
         }
     }
 
@@ -205,7 +209,7 @@ mod tests {
         b.exit();
         let mem = run(&b.build().unwrap(), 32, 32);
         for t in 0..32 {
-            assert_eq!(mem.word(t), (t % 4) as u32, "tid {t}");
+            assert_eq!(mem.word(t).unwrap(), (t % 4) as u32, "tid {t}");
         }
     }
 }

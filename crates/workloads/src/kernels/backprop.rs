@@ -79,7 +79,11 @@ mod tests {
             .unwrap();
         for unit in 0..N {
             let expected: u32 = (0..INPUTS).map(|k| weights[k * N + unit] * xs[k]).sum();
-            assert_eq!(mem.word(OUT_OFF as usize + unit), expected, "unit {unit}");
+            assert_eq!(
+                mem.word(OUT_OFF as usize + unit).unwrap(),
+                expected,
+                "unit {unit}"
+            );
         }
         assert_eq!(r.stats.divergent_instructions, 0);
     }

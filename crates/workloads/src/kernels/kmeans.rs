@@ -103,7 +103,7 @@ mod tests {
             let expected = (0..K)
                 .min_by_key(|&k| (feat as i64 - cents[k] as i64).abs())
                 .unwrap() as u32;
-            let got = mem.word(ASSIGN_OFF as usize + p);
+            let got = mem.word(ASSIGN_OFF as usize + p).unwrap();
             let d_exp = (feat as i64 - cents[expected as usize] as i64).abs();
             let d_got = (feat as i64 - cents[got as usize] as i64).abs();
             assert_eq!(

@@ -110,7 +110,11 @@ mod tests {
                     expected = expected.wrapping_add((CUTOFF_SQ as u32).wrapping_sub(d2));
                 }
             }
-            assert_eq!(mem.word(FORCE_OFF as usize + p), expected, "particle {p}");
+            assert_eq!(
+                mem.word(FORCE_OFF as usize + p).unwrap(),
+                expected,
+                "particle {p}"
+            );
         }
         assert!(r.stats.nondivergent_ratio() < 0.95, "cutoff must diverge");
         assert!(r.stats.divergent_instructions > 0);

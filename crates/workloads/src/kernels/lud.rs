@@ -78,7 +78,7 @@ mod tests {
             .unwrap();
         for s in 0..STEPS {
             for c in 0..COLS {
-                assert_eq!(mem.word(s * COLS + c), a0[s * COLS + c] / piv[s]);
+                assert_eq!(mem.word(s * COLS + c).unwrap(), a0[s * COLS + c] / piv[s]);
             }
         }
         assert_eq!(r.stats.divergent_instructions, 0);

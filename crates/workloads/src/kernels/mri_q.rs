@@ -98,7 +98,11 @@ mod tests {
                 .iter()
                 .map(|&kx| sin[(kx.wrapping_mul(xs[v]) & (TABLE as u32 - 1)) as usize])
                 .sum();
-            assert_eq!(mem.word(QR_OFF as usize + v), expected, "voxel {v}");
+            assert_eq!(
+                mem.word(QR_OFF as usize + v).unwrap(),
+                expected,
+                "voxel {v}"
+            );
         }
         assert_eq!(r.stats.divergent_instructions, 0);
         // Accumulators stay mid-range: bounded by SAMPLES * 2000.

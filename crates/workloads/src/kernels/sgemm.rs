@@ -103,7 +103,11 @@ mod tests {
             let expected: u32 = (0..K)
                 .map(|k| a[row * K + k].wrapping_mul(bm[k * COLS + col]))
                 .fold(0u32, u32::wrapping_add);
-            assert_eq!(mem.word(C_OFF as usize + e), expected, "element {e}");
+            assert_eq!(
+                mem.word(C_OFF as usize + e).unwrap(),
+                expected,
+                "element {e}"
+            );
         }
         assert_eq!(r.stats.divergent_instructions, 0);
     }

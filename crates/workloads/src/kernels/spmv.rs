@@ -126,7 +126,11 @@ mod tests {
                     vals[e] * xs[cols[e] as usize]
                 })
                 .sum();
-            assert_eq!(mem.word(Y_OFF as usize + row), expected, "row {row}");
+            assert_eq!(
+                mem.word(Y_OFF as usize + row).unwrap(),
+                expected,
+                "row {row}"
+            );
         }
         assert!(
             r.stats.nondivergent_ratio() < 0.85,

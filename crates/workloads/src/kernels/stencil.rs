@@ -94,7 +94,7 @@ mod tests {
             .map(|&o| input[(g as i32 + o) as usize])
             .sum::<u32>()
             + 2 * input[g];
-        assert_eq!(mem.word(OUT_OFF as usize + g), acc / 8);
+        assert_eq!(mem.word(OUT_OFF as usize + g).unwrap(), acc / 8);
         assert!(r.stats.nondivergent_ratio() > 0.6);
     }
 }

@@ -81,7 +81,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Sanity: the blur must actually have blurred.
     let mut changed = 0;
     for (i, &orig) in image.iter().enumerate().take(n - 1).skip(1) {
-        if memory.word(i) != orig {
+        if memory.word(i).unwrap() != orig {
             changed += 1;
         }
     }

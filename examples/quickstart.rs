@@ -36,7 +36,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for point in [DesignPoint::Baseline, DesignPoint::WarpedCompression] {
         let mut memory = GlobalMemory::zeroed(256);
         let run = GpuSim::new(point.config()).run(&kernel, &launch, &mut memory)?;
-        assert_eq!(memory.word(100), 307, "kernel result must be correct");
+        assert_eq!(
+            memory.word(100).unwrap(),
+            307,
+            "kernel result must be correct"
+        );
         results.push((point, run.stats));
     }
 

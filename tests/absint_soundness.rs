@@ -37,6 +37,7 @@ fn check_soundness(instrs: Vec<Instruction>) {
         params: Vec::new(),
         blocks: Some(1),
         threads_per_block: Some(32),
+        mem_words: Some(4),
     };
     let analysis = analyze_instrs_with_launch("prop", &instrs, NUM_REGS, Some(&info));
     let prediction = analysis

@@ -1,0 +1,226 @@
+//! End-to-end gates for the static memory analysis (`wcsim mem`).
+//!
+//! Two obligations, machine-checked through the real pipeline:
+//!
+//! 1. **The 18/18 suite gate** — every benchmark's traced accesses
+//!    stay inside their abstract address sets, the cross-warp race
+//!    verdict survives the trace, every perfbound memory floor holds,
+//!    and each scheduler fallback names its bail reason.
+//! 2. **Verdict stability** — the per-kernel race verdicts and
+//!    per-site coalescing patterns are pinned below. They are facts
+//!    about the suite kernels, not tuning knobs: a change here means
+//!    the abstract domain got sharper (update the table deliberately)
+//!    or broke (fix it).
+
+use warped_compression::mem_suite;
+use warped_compression_suite::prelude::*;
+
+/// The documented verdicts: kernel, cross-warp race verdict
+/// (`Some(true)` = proven warp-isolated), and each load/store site's
+/// coalescing pattern in pc order.
+const EXPECTED: [(&str, Option<bool>, &[&str]); 18] = [
+    (
+        "backprop",
+        Some(false),
+        &["coalesced", "uniform", "coalesced"],
+    ),
+    (
+        "bfs",
+        Some(false),
+        &[
+            "coalesced",
+            "coalesced",
+            "coalesced",
+            "scattered",
+            "scattered",
+        ],
+    ),
+    (
+        "dwt2d",
+        Some(false),
+        &[
+            "coalesced",
+            "coalesced",
+            "scattered",
+            "coalesced",
+            "coalesced",
+        ],
+    ),
+    (
+        "gaussian",
+        Some(false),
+        &["coalesced", "uniform", "coalesced", "coalesced"],
+    ),
+    (
+        "histo",
+        Some(false),
+        &["coalesced", "scattered", "coalesced"],
+    ),
+    (
+        "hotspot",
+        Some(true),
+        &[
+            "coalesced",
+            "coalesced",
+            "coalesced",
+            "coalesced",
+            "coalesced",
+        ],
+    ),
+    (
+        "kmeans",
+        Some(false),
+        &[
+            "coalesced",
+            "uniform",
+            "coalesced",
+            "coalesced",
+            "coalesced",
+        ],
+    ),
+    (
+        "lavamd",
+        Some(false),
+        &["coalesced", "strided", "scattered", "coalesced"],
+    ),
+    (
+        "lud",
+        Some(false),
+        &["uniform", "coalesced", "coalesced", "coalesced"],
+    ),
+    (
+        "mri-q",
+        Some(false),
+        &["coalesced", "uniform", "scattered", "coalesced"],
+    ),
+    (
+        "nw",
+        Some(false),
+        &[
+            "coalesced",
+            "coalesced",
+            "coalesced",
+            "scattered",
+            "coalesced",
+        ],
+    ),
+    (
+        "pathfinder",
+        Some(false),
+        &[
+            "coalesced",
+            "coalesced",
+            "coalesced",
+            "scattered",
+            "coalesced",
+        ],
+    ),
+    (
+        "sgemm",
+        Some(false),
+        &["scattered", "scattered", "coalesced"],
+    ),
+    (
+        "srad",
+        Some(false),
+        &[
+            "coalesced",
+            "coalesced",
+            "coalesced",
+            "coalesced",
+            "coalesced",
+        ],
+    ),
+    (
+        "stencil",
+        Some(false),
+        &[
+            "coalesced",
+            "coalesced",
+            "coalesced",
+            "coalesced",
+            "coalesced",
+            "coalesced",
+            "coalesced",
+            "coalesced",
+        ],
+    ),
+    (
+        "spmv",
+        Some(false),
+        &[
+            "coalesced",
+            "coalesced",
+            "scattered",
+            "scattered",
+            "scattered",
+            "coalesced",
+        ],
+    ),
+    (
+        "aes",
+        Some(false),
+        &["coalesced", "scattered", "uniform", "coalesced"],
+    ),
+    ("lib", Some(false), &["uniform", "uniform", "coalesced"]),
+];
+
+#[test]
+fn suite_mem_joins_soundly_18_of_18() {
+    let reports = mem_suite(&suite()).expect("suite simulates cleanly");
+    assert_eq!(reports.len(), 18);
+    for r in &reports {
+        assert!(
+            r.is_sound(),
+            "kernel `{}` broke the static memory analysis: {:?}",
+            r.kernel,
+            r.violations()
+        );
+        // Every traced cross-warp conflict must have been predicted.
+        assert!(
+            r.traced_conflicts.iter().all(|c| c.predicted),
+            "kernel `{}` traced an unpredicted conflict",
+            r.kernel
+        );
+        // Fallbacks attribute themselves to a named bail reason.
+        if !r.schedule.static_mode {
+            assert!(
+                r.schedule.bail.is_some(),
+                "kernel `{}` fell back without naming its bail",
+                r.kernel
+            );
+        }
+    }
+    // The statically scheduled majority must not regress.
+    let static_count = reports.iter().filter(|r| r.schedule.static_mode).count();
+    assert!(
+        static_count >= 12,
+        "only {static_count}/18 kernels scheduled statically"
+    );
+}
+
+#[test]
+fn suite_race_and_coalescing_verdicts_are_stable() {
+    let reports = mem_suite(&suite()).expect("suite simulates cleanly");
+    assert_eq!(reports.len(), EXPECTED.len());
+    for (r, (name, race_free, patterns)) in reports.iter().zip(EXPECTED) {
+        assert_eq!(r.kernel, name, "suite order changed");
+        assert_eq!(
+            r.race_free, race_free,
+            "`{name}`: race verdict changed — update the documented table deliberately"
+        );
+        let got: Vec<&str> = r.sites.iter().map(|s| s.pattern.as_str()).collect();
+        assert_eq!(
+            got, *patterns,
+            "`{name}`: coalescing patterns changed — update the documented table deliberately"
+        );
+    }
+    // The suite covers both definite verdicts and all four patterns.
+    assert!(EXPECTED.iter().any(|(_, rf, _)| *rf == Some(true)));
+    for pattern in ["uniform", "coalesced", "strided", "scattered"] {
+        assert!(
+            EXPECTED.iter().any(|(_, _, ps)| ps.contains(&pattern)),
+            "no suite kernel exhibits a {pattern} access"
+        );
+    }
+}

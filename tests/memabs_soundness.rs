@@ -1,0 +1,136 @@
+//! Soundness property test for the address abstract interpretation.
+//!
+//! For randomly generated kernels — straight-line, guaranteed-divergent
+//! and cross-warp-aliasing, drawn from the shared
+//! [`gpu_workloads::testgen`] generator — every concretely traced
+//! memory access ([`gpu_sim::MemEvent`]) must lie inside the per-warp
+//! abstract address set `simt_analysis::analyze_mem` computed for that
+//! site, and the cross-warp race verdict must survive the trace: a
+//! `race_free` kernel may trace no cross-warp conflicting pair, and
+//! every traced pair must appear in the static race list otherwise.
+//! This is the γ-membership obligation of the address domain checked
+//! end to end through the real simulator's coalescer.
+
+use gpu_workloads::testgen::{
+    aliased_mem, aliased_mem_words, kernel_of, lane_split, raw_instr, straight_line, NUM_REGS,
+};
+use proptest::prelude::*;
+use simt_analysis::{analyze_mem, Cfg, LaunchInfo};
+use simt_isa::Instruction;
+use warped_compression_suite::prelude::*;
+
+/// One traced touch of one word: which warp, at which pc, and whether
+/// it wrote.
+struct Touch {
+    warp: (usize, usize),
+    pc: usize,
+    is_store: bool,
+    addr: u32,
+}
+
+/// Runs one generated kernel with per-access tracing and checks every
+/// traced address and the race verdict against the static analysis.
+fn check_mem_soundness(instrs: Vec<Instruction>, blocks: usize, tpb: usize, mem_words: usize) {
+    let kernel = kernel_of(instrs);
+    let launch = LaunchConfig::new(blocks, tpb);
+    let info = LaunchInfo {
+        params: Vec::new(),
+        blocks: u32::try_from(blocks).ok(),
+        threads_per_block: u32::try_from(tpb).ok(),
+        mem_words: u64::try_from(mem_words).ok(),
+    };
+    let cfg = Cfg::build(kernel.instrs());
+    let mem = analyze_mem(kernel.name(), kernel.instrs(), NUM_REGS, &cfg, Some(&info));
+
+    let mut memory = GlobalMemory::zeroed(mem_words);
+    let mut touches: Vec<Touch> = Vec::new();
+    GpuSim::new(DesignPoint::WarpedCompression.config())
+        .run_mem_observed(&kernel, &launch, &mut memory, &mut |e| {
+            let site = mem
+                .site_index(e.pc)
+                .unwrap_or_else(|| panic!("traced access at statically-unreachable pc {}", e.pc));
+            let abs = mem
+                .address_for(
+                    site,
+                    u32::try_from(e.block).unwrap(),
+                    u32::try_from(e.warp_in_block).unwrap(),
+                )
+                .unwrap_or_else(|| {
+                    panic!(
+                        "warp ({}, {}) traced at pc {} was proven unreachable",
+                        e.block, e.warp_in_block, e.pc
+                    )
+                });
+            assert!(
+                abs.contains_masked(&e.addrs, e.mask),
+                "pc {}: traced addresses escape the abstract set {abs}",
+                e.pc
+            );
+            for (_, addr) in e.active_addrs() {
+                touches.push(Touch {
+                    warp: (e.block, e.warp_in_block),
+                    pc: e.pc,
+                    is_store: e.is_store,
+                    addr,
+                });
+            }
+        })
+        .expect("generated kernels run to completion");
+
+    let Some(race_free) = mem.race_free else {
+        return;
+    };
+    for a in &touches {
+        if !a.is_store {
+            continue;
+        }
+        for b in &touches {
+            if a.warp == b.warp || a.addr != b.addr {
+                continue;
+            }
+            assert!(
+                !race_free,
+                "traced cross-warp conflict @{} vs @{} under a race-free verdict",
+                a.pc, b.pc
+            );
+            assert!(
+                mem.races
+                    .iter()
+                    .any(|r| r.store_pc == a.pc && r.other_pc == b.pc),
+                "traced cross-warp conflict @{} vs @{} missing from the static race list",
+                a.pc,
+                b.pc
+            );
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn straight_line_accesses_stay_inside_abstract_sets(
+        raw in prop::collection::vec(raw_instr(), 1..8),
+    ) {
+        check_mem_soundness(straight_line(&raw, true), 1, 32, 4);
+    }
+
+    #[test]
+    fn divergent_accesses_stay_inside_abstract_sets(
+        split in any::<u8>(),
+        body in prop::collection::vec(raw_instr(), 1..5),
+        suffix in prop::collection::vec(raw_instr(), 0..3),
+    ) {
+        check_mem_soundness(lane_split(split, &body, &suffix, true), 2, 32, 4);
+    }
+
+    #[test]
+    fn aliasing_kernels_respect_the_race_verdict(
+        mask in any::<u8>(),
+        split in 0u8..=30,
+        body in prop::collection::vec(raw_instr(), 1..5),
+    ) {
+        let (blocks, tpb) = (2usize, 64usize);
+        let mem_words = aliased_mem_words(blocks, tpb);
+        let wpb = tpb.div_ceil(32);
+        check_mem_soundness(aliased_mem(mask, split, &body, wpb, true), blocks, tpb, mem_words);
+    }
+}

@@ -199,6 +199,7 @@ fn load_tainted_predicate_is_flagged_at_the_bail_pc() {
         params: Vec::new(),
         blocks: Some(1),
         threads_per_block: Some(32),
+        mem_words: None,
     };
     let analysis = analyze_with_launch(&kernel, Some(&info));
     assert!(
@@ -237,6 +238,7 @@ fn every_suite_bail_site_is_lint_flagged() {
             params: launch.params().to_vec(),
             blocks: Some(launch.blocks() as u32),
             threads_per_block: Some(launch.threads_per_block() as u32),
+            mem_words: None,
         };
         let analysis = analyze_with_launch(w.kernel(), Some(&info));
         assert!(
