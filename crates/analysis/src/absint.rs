@@ -102,7 +102,7 @@ impl Range {
     }
 
     /// A range from bounds known to lie within the 32-bit range.
-    fn of(lo: i64, hi: i64) -> Range {
+    pub(crate) fn of(lo: i64, hi: i64) -> Range {
         debug_assert!(lo <= hi && lo >= I32MIN && hi <= I32MAX);
         Range { lo, hi }
     }
@@ -211,7 +211,7 @@ impl AbsVal {
     /// Normalising per-lane-range constructor: a singleton range pins
     /// every lane to the same value (`Uniform`), and the full range
     /// carries no information (`Top`).
-    fn narrow(r: Range) -> AbsVal {
+    pub(crate) fn narrow(r: Range) -> AbsVal {
         if r.is_full() {
             AbsVal::Top
         } else if r.as_singleton().is_some() {
@@ -520,6 +520,13 @@ pub struct LaunchInfo {
     /// Global memory size in words, when known (bounds the
     /// `possible-out-of-bounds` address lint).
     pub mem_words: Option<u64>,
+    /// The *entire* initial global-memory image, when known. Feeds the
+    /// abstract memory-cell analysis ([`memcell`](crate::memcell)):
+    /// loads from provably store-free words refine to the image's
+    /// value range instead of `Top`. Must cover all of memory
+    /// (`len == mem_words`) — a partial image disables the cell
+    /// domain rather than risking an unsound seed.
+    pub initial_mem: Option<std::sync::Arc<Vec<u32>>>,
 }
 
 impl LaunchInfo {
@@ -669,6 +676,33 @@ pub fn interpret(
         cfg,
         launch,
         focus: None,
+        cells: None,
+    }
+    .run(kernel)
+}
+
+/// Like [`interpret`], but with an abstract memory-cell table
+/// ([`memcell::CellTable`](crate::memcell::CellTable)) refining loads:
+/// a `ld` whose abstract address set lies inside tracked cells takes
+/// the join of the cell values instead of `Top`/`Uniform(full)`. Only
+/// sound against a table whose invariant holds for this kernel and
+/// launch — [`memcell::analyze_cells`](crate::memcell::analyze_cells)
+/// establishes that by post-fixpoint verification.
+pub fn interpret_with_cells(
+    kernel: &str,
+    instrs: &[Instruction],
+    num_regs: usize,
+    cfg: &Cfg,
+    launch: Option<&LaunchInfo>,
+    cells: Option<&crate::memcell::CellTable>,
+) -> AbsintAnalysis {
+    Interp {
+        instrs,
+        num_regs,
+        cfg,
+        launch,
+        focus: None,
+        cells,
     }
     .run(kernel)
 }
@@ -705,6 +739,7 @@ pub fn interpret_for_warp(
         cfg,
         launch: Some(launch),
         focus: Some(focus),
+        cells: None,
     }
     .run(kernel)
 }
@@ -715,6 +750,7 @@ struct Interp<'a> {
     cfg: &'a Cfg,
     launch: Option<&'a LaunchInfo>,
     focus: Option<WarpFocus>,
+    cells: Option<&'a crate::memcell::CellTable>,
 }
 
 impl Interp<'_> {
@@ -863,11 +899,19 @@ impl Interp<'_> {
             // when the address register is warp-uniform (the
             // simulator dispatches one warp instruction atomically),
             // so the loaded value is uniform too — of unknown range.
-            Instruction::Ld { base, .. } => Some(if st[base.index()].is_uniform() {
-                AbsVal::Uniform(Range::FULL)
-            } else {
-                AbsVal::Top
-            }),
+            // An armed memory-cell table sharpens either case: an
+            // in-bounds address set whose words all carry tracked
+            // value ranges bounds the loaded value itself.
+            Instruction::Ld { base, offset, .. } => {
+                let refined = self
+                    .cells
+                    .and_then(|c| c.refine(&st[base.index()].add_const(*offset)));
+                Some(match refined {
+                    Some(v) => v,
+                    None if st[base.index()].is_uniform() => AbsVal::Uniform(Range::FULL),
+                    None => AbsVal::Top,
+                })
+            }
             _ => None,
         };
         if let (Some(new), Some(dst)) = (new, self.instrs[pc].dst()) {
@@ -1460,6 +1504,7 @@ mod tests {
             blocks: Some(10),
             threads_per_block: Some(64),
             mem_words: None,
+            initial_mem: None,
         };
         let mut b = KernelBuilder::new("special", 5);
         b.mov(Reg(0), Operand::Special(Special::GlobalTid));
@@ -1497,6 +1542,7 @@ mod tests {
             blocks: Some(1),
             threads_per_block: Some(48), // partial tail warp
             mem_words: None,
+            initial_mem: None,
         };
         let mut b = KernelBuilder::new("ragged", 1);
         b.mov(Reg(0), Operand::Imm(3));

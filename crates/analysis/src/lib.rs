@@ -56,6 +56,7 @@ pub mod dataflow;
 pub mod lint;
 pub mod liveness;
 pub mod memabs;
+pub mod memcell;
 pub mod perfbound;
 pub mod schedule;
 pub mod trace;
@@ -63,14 +64,15 @@ pub mod trace;
 use simt_isa::{ControlFlow, Instruction, Kernel};
 
 pub use absint::{
-    interpret, AbsVal, AbsintAnalysis, BranchVerdict, KernelPrediction, LaunchInfo, Range,
-    SitePrediction,
+    interpret, interpret_with_cells, AbsVal, AbsintAnalysis, BranchVerdict, KernelPrediction,
+    LaunchInfo, Range, SitePrediction,
 };
 pub use cfg::{BasicBlock, Cfg};
 pub use dataflow::{DefSite, ReachingDefs, RegSet};
 pub use lint::{Diagnostic, LintKind, LintReport, Severity};
 pub use liveness::{Liveness, LivenessSummary};
 pub use memabs::{analyze_mem, AccessPattern, MemAbs, MemSite, RacePair};
+pub use memcell::{analyze_cells, CellTable, MemCells};
 pub use perfbound::{
     bound_kernel, BlockBound, ConflictSite, MemFloor, PerfLaunch, PerfMachine, PerfPrediction,
 };
@@ -143,17 +145,23 @@ pub fn analyze_instrs_with_launch(
     let lv = Liveness::compute(instrs, &cfg);
     dead_write_lints(instrs, &cfg, &lv, &mut diags);
 
-    let absint = interpret(name, instrs, usize::from(num_regs), &cfg, launch);
-    uniform_branch_lints(&absint.prediction, &mut diags);
+    // The memory-cell analysis subsumes the plain abstract
+    // interpretation: without an initial-memory image it degrades to
+    // exactly `interpret`, with one it refines loads through the
+    // verified per-word cell table.
+    let cells = memcell::analyze_cells(name, instrs, usize::from(num_regs), &cfg, launch);
+    uniform_branch_lints(&cells.absint.prediction, &mut diags);
+    refinable_load_lints(&cells, &mut diags);
     let mem = memabs::analyze_mem(name, instrs, num_regs, &cfg, launch);
     mem_lints(&mem, launch, &mut diags);
     unschedulable_region_lints(
         instrs,
         &cfg,
         &rd,
-        &absint.prediction,
+        &cells.absint.prediction,
         launch,
         &mem,
+        &cells,
         &mut diags,
     );
 
@@ -164,7 +172,26 @@ pub fn analyze_instrs_with_launch(
     KernelAnalysis {
         report: LintReport::new(name, diags),
         liveness: Some(liveness),
-        prediction: Some(absint.prediction),
+        prediction: Some(cells.absint.prediction),
+    }
+}
+
+/// Info-severity findings for loads the memory-cell domain refines
+/// statically: the destination value is bounded by the reported range
+/// even though it crossed the load/store boundary. Only fires when a
+/// verified cell table is armed (the launch supplied a full
+/// initial-memory image).
+fn refinable_load_lints(cells: &memcell::MemCells, diags: &mut Vec<Diagnostic>) {
+    for (&pc, value) in &cells.refined {
+        diags.push(Diagnostic::new(
+            LintKind::RefinableLoad,
+            Some(pc),
+            None,
+            format!(
+                "load refines to {value} through the abstract memory cells: \
+                 the loaded value is statically bounded"
+            ),
+        ));
     }
 }
 
@@ -281,7 +308,13 @@ fn provably_out_of_bounds(site: &memabs::MemSite, mem_words: u64) -> bool {
 /// tainted — the replay resolves it from its shadow memory — so its
 /// taint reduces to that of the matched store's operands. This is
 /// what lets provably non-aliasing load-dependent regions become
-/// statically schedulable.
+/// statically schedulable. The memory-cell analysis sharpens it
+/// further: a load whose whole abstract address range is in-bounds and
+/// store-free ([`memcell::MemCells::resolvable`]) resolves every lane
+/// concretely from the initial-memory image, so it is not inherently
+/// tainted either (its taint reduces to that of the address operands,
+/// which `src_taint` already covers).
+#[allow(clippy::too_many_arguments)]
 fn unschedulable_region_lints(
     instrs: &[Instruction],
     cfg: &Cfg,
@@ -289,6 +322,7 @@ fn unschedulable_region_lints(
     prediction: &KernelPrediction,
     launch: Option<&LaunchInfo>,
     mem: &memabs::MemAbs,
+    cells: &memcell::MemCells,
     diags: &mut Vec<Diagnostic>,
 ) {
     // With a launch whose blocks split into full warps only, partial
@@ -324,6 +358,10 @@ fn unschedulable_region_lints(
             // store it forwards from: the replay needs the store's
             // address and value to populate its shadow.
             let load_taint = match instr {
+                // An image-resolvable load is as clean as its address
+                // operands (covered by `src_taint`): the replay reads
+                // every lane straight from the store-free image.
+                Instruction::Ld { .. } if cells.resolvable.contains(&pc) => false,
                 Instruction::Ld { .. } => match mem.forwardable.get(&pc) {
                     Some(&s_pc) => instrs[s_pc]
                         .src_regs()

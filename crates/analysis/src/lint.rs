@@ -83,6 +83,11 @@ pub enum LintKind {
     /// extends outside the launch's global-memory bounds: some lane
     /// may fault.
     PossibleOutOfBounds,
+    /// A load the abstract memory-cell domain statically refines: its
+    /// address set resolves inside tracked cells, so the loaded value
+    /// is bounded by the reported range instead of being unknown.
+    /// These are the loads the issue scheduler can see through.
+    RefinableLoad,
 }
 
 impl LintKind {
@@ -103,7 +108,8 @@ impl LintKind {
             | LintKind::PossibleOutOfBounds => Severity::Warning,
             LintKind::UniformBranch
             | LintKind::UnschedulableRegion
-            | LintKind::UncoalescedAccess => Severity::Info,
+            | LintKind::UncoalescedAccess
+            | LintKind::RefinableLoad => Severity::Info,
         }
     }
 
@@ -125,6 +131,7 @@ impl LintKind {
             LintKind::CrossWarpRace => "cross-warp-race",
             LintKind::UncoalescedAccess => "uncoalesced-access",
             LintKind::PossibleOutOfBounds => "possible-out-of-bounds",
+            LintKind::RefinableLoad => "refinable-load",
         }
     }
 }

@@ -643,6 +643,7 @@ mod tests {
             blocks: Some(blocks),
             threads_per_block: Some(tpb),
             mem_words: None,
+            initial_mem: None,
         }
     }
 

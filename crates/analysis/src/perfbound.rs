@@ -139,6 +139,10 @@ pub struct PerfLaunch {
     /// Scalar kernel parameters (missing slots read as 0, like the
     /// simulator's `LaunchConfig::param`).
     pub params: Vec<u32>,
+    /// The entire initial global-memory image, when captured. Arms the
+    /// abstract memory-cell refinement of loads in the scheduler and
+    /// lint pipeline (see [`LaunchInfo::initial_mem`]).
+    pub initial_mem: Option<std::sync::Arc<Vec<u32>>>,
 }
 
 impl PerfLaunch {
@@ -148,12 +152,19 @@ impl PerfLaunch {
             blocks,
             threads_per_block,
             params: Vec::new(),
+            initial_mem: None,
         }
     }
 
     /// Adds parameter values.
     pub fn with_params(mut self, params: Vec<u32>) -> Self {
         self.params = params;
+        self
+    }
+
+    /// Attaches the full initial-memory image.
+    pub fn with_memory(mut self, image: std::sync::Arc<Vec<u32>>) -> Self {
+        self.initial_mem = Some(image);
         self
     }
 
@@ -173,7 +184,8 @@ impl PerfLaunch {
             params: self.params.clone(),
             blocks: Some(self.blocks as u32),
             threads_per_block: Some(self.threads_per_block as u32),
-            mem_words: None,
+            mem_words: self.initial_mem.as_ref().map(|m| m.len() as u64),
+            initial_mem: self.initial_mem.clone(),
         }
     }
 }

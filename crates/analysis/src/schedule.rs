@@ -55,7 +55,6 @@ use bdi::{BdiCodec, WARP_SIZE};
 use serde::{Deserialize, Serialize};
 use simt_isa::Kernel;
 
-use crate::absint::interpret;
 use crate::cfg::Cfg;
 use crate::perfbound::{PerfLaunch, PerfMachine};
 use crate::trace::{LossReason, StepOutcome, TimingState, TraceStep, WarpReplay};
@@ -279,13 +278,19 @@ pub fn schedule_kernel(
         });
     }
     let cfg = Cfg::build(instrs);
-    let absint = interpret(
+    // The memory-cell analysis carries the absint fixpoint, refined
+    // through the verified per-word value table whenever the launch
+    // supplies its full initial-memory image: loads from never-stored
+    // uniform tables become statically known, so table-driven trip
+    // counts and predicates resolve instead of bailing.
+    let cells = crate::memcell::analyze_cells(
         kernel.name(),
         instrs,
         num_regs,
         &cfg,
         Some(&launch.absint_info()),
     );
+    let absint = &cells.absint;
     let codec = BdiCodec::new(machine.choices.clone());
     // Precision payoff of the address abstraction: when no two warps
     // can touch the same word with a store involved, each warp's view
@@ -338,11 +343,12 @@ pub fn schedule_kernel(
             for (w, &slot) in free.iter().enumerate() {
                 let threads = (launch.threads_per_block - w * WARP_SIZE).min(WARP_SIZE);
                 let mut replay = WarpReplay::new(
-                    machine, &codec, launch, &absint, instrs, num_regs, next_block, w, threads,
+                    machine, &codec, launch, absint, instrs, num_regs, next_block, w, threads,
                 );
                 if forward_mem {
                     replay.enable_memory_forwarding();
                 }
+                replay.enable_initial_image(&cells);
                 let pending = match replay.step() {
                     StepOutcome::Done => None,
                     StepOutcome::Step(s) => Some(s),

@@ -435,6 +435,12 @@ pub struct WarpReplay<'a> {
     forward_mem: bool,
     /// Known memory words written by *this* warp: address → value.
     shadow_mem: HashMap<u32, u32>,
+    /// Verified memory-cell analysis (see [`enable_initial_image`]):
+    /// loads of provably never-stored words resolve concretely from the
+    /// initial-memory image.
+    ///
+    /// [`enable_initial_image`]: Self::enable_initial_image
+    cells: Option<&'a crate::memcell::MemCells>,
 }
 
 impl<'a> WarpReplay<'a> {
@@ -487,6 +493,7 @@ impl<'a> WarpReplay<'a> {
             fuel: TRACE_FUEL,
             forward_mem: false,
             shadow_mem: HashMap::new(),
+            cells: None,
         }
     }
 
@@ -500,6 +507,20 @@ impl<'a> WarpReplay<'a> {
     /// `memabs::MemAbs::warp_isolated` proof for this kernel × launch.
     pub fn enable_memory_forwarding(&mut self) {
         self.forward_mem = true;
+    }
+
+    /// Arms initial-image load resolution through a *verified*
+    /// memory-cell analysis: a load lane whose address the table proves
+    /// no reachable store of **any** warp ever writes replays the
+    /// initial-memory word concretely. Unlike shadow forwarding this
+    /// needs no warp-isolation proof — a launch-wide never-stored word
+    /// holds its image value throughout every execution. Composes with
+    /// shadow forwarding per lane (the domains are disjoint: the shadow
+    /// only holds stored addresses).
+    pub fn enable_initial_image(&mut self, cells: &'a crate::memcell::MemCells) {
+        if cells.enabled {
+            self.cells = Some(cells);
+        }
     }
 
     /// The active pc, or `None` once the warp has drained.
@@ -593,12 +614,10 @@ impl<'a> WarpReplay<'a> {
             Instruction::Ld { dst, base, offset } => {
                 // Memory contents are outside the static model, except
                 // for words this warp itself stored when forwarding is
-                // armed (warp-isolated launches).
-                let result = if self.forward_mem {
-                    self.shadow_load(base.index(), offset, mask)
-                } else {
-                    None
-                };
+                // armed (warp-isolated launches), and never-stored
+                // words of the initial image when the cell analysis is
+                // armed.
+                let result = self.resolve_load(base.index(), offset, mask);
                 let banks = self.write(dst.index(), result, mask, divergent);
                 self.stack.advance();
                 banks
@@ -696,15 +715,27 @@ impl<'a> WarpReplay<'a> {
         }
     }
 
-    /// The forwarded load value, when every active lane's address is
-    /// known and hits the shadow memory.
-    fn shadow_load(&self, base: usize, offset: i32, mask: u32) -> Option<WarpRegister> {
+    /// The statically resolved load value, when every active lane's
+    /// address is known and resolves — from this warp's shadow memory
+    /// (when forwarding is armed) or from the never-stored initial
+    /// image (when the cell analysis is armed). Any unresolved active
+    /// lane makes the whole load opaque.
+    fn resolve_load(&self, base: usize, offset: i32, mask: u32) -> Option<WarpRegister> {
+        if !self.forward_mem && self.cells.is_none() {
+            return None;
+        }
         let addrs = self.regs[base].value.as_ref()?;
         let mut out = WarpRegister::ZERO;
         for lane in 0..WARP_SIZE {
             if mask & (1 << lane) != 0 {
                 let addr = addrs.lane(lane).wrapping_add(offset as u32);
-                out.set_lane(lane, *self.shadow_mem.get(&addr)?);
+                let shadowed = if self.forward_mem {
+                    self.shadow_mem.get(&addr).copied()
+                } else {
+                    None
+                };
+                let v = shadowed.or_else(|| self.cells.and_then(|c| c.read_only_word(addr)))?;
+                out.set_lane(lane, v);
             }
         }
         Some(out)

@@ -298,6 +298,7 @@ fn launch(blocks: u32, threads_per_block: u32, mem_words: u64) -> LaunchInfo {
         blocks: Some(blocks),
         threads_per_block: Some(threads_per_block),
         mem_words: Some(mem_words),
+        initial_mem: None,
     }
 }
 
@@ -381,6 +382,82 @@ fn possible_out_of_bounds_detected() {
     assert_eq!(d.severity, Severity::Warning);
     assert_eq!(d.pc, Some(1));
     assert!(d.message.contains("outside global memory"));
+}
+
+#[test]
+fn refinable_load_reported_at_info() {
+    // The load's address is the uniform word 2, the image is present
+    // and covers memory, and nothing ever stores: the memcell domain
+    // refines the loaded value to the exact image word, reported as an
+    // info observation that leaves the report clean.
+    let instrs = vec![
+        mov(0, 2),
+        Instruction::Ld {
+            dst: Reg(1),
+            base: Reg(0),
+            offset: 0,
+        },
+        Instruction::St {
+            base: Reg(0),
+            offset: 1,
+            src: Reg(1),
+        },
+        Instruction::Exit,
+    ];
+    let mut l = launch(1, 32, 4);
+    l.initial_mem = Some(std::sync::Arc::new(vec![5, 6, 7, 8]));
+    let a = analyze_instrs_with_launch("refine", &instrs, 2, Some(&l));
+    assert!(
+        a.report.is_clean(),
+        "unexpected diagnostics: {:?}",
+        a.report.diagnostics
+    );
+    let d: Vec<_> = a.report.of_kind(LintKind::RefinableLoad).collect();
+    assert_eq!(d.len(), 1, "diagnostics: {:?}", a.report.diagnostics);
+    assert_eq!(d[0].severity, Severity::Info);
+    assert_eq!(d[0].pc, Some(1));
+    assert!(d[0].message.contains("abstract memory cells"));
+}
+
+#[test]
+fn unrefinable_load_stays_silent() {
+    // A store through an unbounded (thread-id shifted by itself)
+    // address may touch any word, so every cell is tainted and the
+    // later load of word 2 must NOT claim a refined value — a false
+    // refinable-load here would be an unsound lint.
+    let instrs = vec![
+        Instruction::Mov {
+            dst: Reg(0),
+            src: Operand::Special(Special::Tid),
+        },
+        Instruction::Alu {
+            op: AluOp::Shl,
+            dst: Reg(0),
+            a: Operand::Reg(Reg(0)),
+            b: Operand::Reg(Reg(0)),
+        },
+        Instruction::St {
+            base: Reg(0),
+            offset: 0,
+            src: Reg(0),
+        },
+        mov(1, 2),
+        Instruction::Ld {
+            dst: Reg(2),
+            base: Reg(1),
+            offset: 0,
+        },
+        Instruction::Exit,
+    ];
+    let mut l = launch(1, 32, 4);
+    l.initial_mem = Some(std::sync::Arc::new(vec![5, 6, 7, 8]));
+    let a = analyze_instrs_with_launch("tainted", &instrs, 3, Some(&l));
+    assert_eq!(
+        a.report.of_kind(LintKind::RefinableLoad).count(),
+        0,
+        "a tainted cell must not refine: {:?}",
+        a.report.diagnostics
+    );
 }
 
 #[test]

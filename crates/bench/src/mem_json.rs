@@ -55,6 +55,8 @@ pub fn mem_record_json(r: &MemReport) -> String {
         .display("missed_conflicts", r.missed_conflicts().len())
         .display("escapes", r.escape_count())
         .display("untracked_accesses", r.untracked_accesses)
+        .display("refined_loads", r.refined_loads)
+        .display("refined_value_escapes", r.refined_value_escapes)
         .string(
             "schedule_mode",
             if r.schedule.static_mode {
@@ -82,11 +84,13 @@ pub fn mem_json(reports: &[MemReport]) -> String {
     let fragments: Vec<String> = reports.iter().map(mem_record_json).collect();
     let race_free = reports.iter().filter(|r| r.race_free == Some(true)).count();
     let static_kernels = reports.iter().filter(|r| r.schedule.static_mode).count();
+    let refined: usize = reports.iter().map(|r| r.refined_loads).sum();
     JsonObject::new(0)
         .display("sound", reports.iter().all(MemReport::is_sound))
         .display("race_free_kernels", race_free)
         .display("static_kernels", static_kernels)
         .display("fallback_kernels", reports.len() - static_kernels)
+        .display("refined_loads", refined)
         .field("kernels", block_list(2, &fragments))
         .render_document()
 }

@@ -574,7 +574,16 @@ pub fn run_cli(cmd: &Command, out: &mut dyn fmt::Write) -> Result<(), Box<dyn Er
             let mut rows = Vec::new();
             let mut entries = Vec::new();
             for w in &workloads {
-                let analysis = simt_analysis::analyze(w.kernel());
+                let launch = w.launch();
+                let image = std::sync::Arc::new(w.fresh_memory().words().to_vec());
+                let info = simt_analysis::LaunchInfo {
+                    params: launch.params().to_vec(),
+                    blocks: u32::try_from(launch.blocks()).ok(),
+                    threads_per_block: u32::try_from(launch.threads_per_block()).ok(),
+                    mem_words: u64::try_from(image.len()).ok(),
+                    initial_mem: Some(image),
+                };
+                let analysis = simt_analysis::analyze_with_launch(w.kernel(), Some(&info));
                 for d in &analysis.report.diagnostics {
                     writeln!(out, "{}: {d}", w.name())?;
                 }
@@ -1124,6 +1133,7 @@ pub fn run_cli(cmd: &Command, out: &mut dyn fmt::Write) -> Result<(), Box<dyn Er
                         r.schedule.bail.clone().unwrap_or_default()
                     },
                     r.schedule.forwardable_loads.to_string(),
+                    r.refined_loads.to_string(),
                 ]);
                 statuses.push(if r.is_sound() { "ok" } else { "UNSOUND" });
             }
@@ -1138,6 +1148,7 @@ pub fn run_cli(cmd: &Command, out: &mut dyn fmt::Write) -> Result<(), Box<dyn Er
                     "escapes",
                     "schedule",
                     "fwd loads",
+                    "refined",
                 ]
                 .iter()
                 .map(|s| s.to_string())

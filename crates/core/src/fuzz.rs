@@ -59,7 +59,7 @@ use simt_analysis::{
     analyze_mem, analyze_with_launch, bound_kernel, schedule_kernel, Cfg, IssuePlan, LaunchInfo,
     MemAbs, PerfLaunch,
 };
-use simt_isa::{to_asm, Instruction, Kernel};
+use simt_isa::{to_asm, Instruction, Kernel, Operand};
 
 use crate::design::DesignPoint;
 use crate::perfbound::perf_machine;
@@ -234,6 +234,11 @@ pub struct FuzzCase {
     pub threads_per_block: usize,
     /// Global memory words the case runs with.
     pub mem_words: usize,
+    /// Initial-memory image prefix (padded with zeroes to
+    /// `mem_words`): the `table_trip_count` shape loads its loop bound
+    /// from here, and every check arms the analysis with the full
+    /// image so the abstract memory cells are exercised on all shapes.
+    pub init_words: Vec<u32>,
 }
 
 /// SplitMix64 of the campaign seed and case index: each case gets an
@@ -278,8 +283,9 @@ impl FuzzCase {
         let body = gen_raw(&mut rng, body_len);
         let suffix_len = rng.gen_range(0usize..=2);
         let suffix = gen_raw(&mut rng, suffix_len);
-        let shape = rng.gen_range(0u8..7);
+        let shape = rng.gen_range(0u8..8);
         let mut mem_words = 4;
+        let mut init_words = Vec::new();
         let instrs = match shape {
             0 => testgen::straight_line(&body, specials),
             1 => testgen::counted_loop(&body, rng.gen_range(1i32..=4), &suffix, specials),
@@ -308,7 +314,7 @@ impl FuzzCase {
                 &body,
                 specials,
             ),
-            _ => {
+            6 => {
                 mem_words = testgen::aliased_mem_words(blocks, threads_per_block);
                 let mask = rng.gen_range(0u8..=255);
                 let split = if rng.gen_bool(0.5) {
@@ -318,6 +324,14 @@ impl FuzzCase {
                 };
                 let wpb = threads_per_block.div_ceil(32);
                 testgen::aliased_mem(mask, split, &body, wpb, specials)
+            }
+            _ => {
+                mem_words = testgen::TRIP_TABLE_WORDS;
+                let raw: Vec<u32> = (0..testgen::TRIP_TABLE_WORDS)
+                    .map(|_| rng.gen_range(0u32..=u32::MAX))
+                    .collect();
+                init_words = testgen::trip_table_image(&raw);
+                testgen::table_trip_count(rng.gen_range(0u8..=255), &body, &suffix, specials)
             }
         };
         let kernel = Kernel::new(format!("fuzz{index}"), instrs, testgen::NUM_REGS)
@@ -329,11 +343,25 @@ impl FuzzCase {
             blocks,
             threads_per_block,
             mem_words,
+            init_words,
         }
     }
 
     fn launch(&self) -> LaunchConfig {
         LaunchConfig::new(self.blocks, self.threads_per_block)
+    }
+
+    /// The case's full initial-memory image at the given size: the
+    /// init words truncated or zero-padded to `mem_words`.
+    fn image(&self, mem_words: usize) -> Vec<u32> {
+        let mut image = self.init_words.clone();
+        image.resize(mem_words, 0);
+        image
+    }
+
+    /// Fresh global memory holding the case's initial image.
+    fn memory(&self, mem_words: usize) -> GlobalMemory {
+        GlobalMemory::from_words(self.image(mem_words))
     }
 }
 
@@ -422,7 +450,7 @@ fn memabs_join(
     mutation: Option<Mutation>,
 ) -> Result<(), Finding> {
     let mut events: Vec<MemEvent> = Vec::new();
-    let mut memory = GlobalMemory::zeroed(mem_words);
+    let mut memory = case.memory(mem_words);
     sim.run_mem_observed(&case.kernel, &case.launch(), &mut memory, &mut |e| {
         events.push(*e);
     })
@@ -569,7 +597,9 @@ fn run_checks(
     let kernel = &case.kernel;
     let launch = case.launch();
     let machine = perf_machine(&cfg);
-    let perf_launch = PerfLaunch::new(case.blocks, case.threads_per_block);
+    let image = std::sync::Arc::new(case.image(mem_words));
+    let perf_launch = PerfLaunch::new(case.blocks, case.threads_per_block)
+        .with_memory(std::sync::Arc::clone(&image));
     let sim = GpuSim::new(cfg);
 
     // Static predictions first: they must exist however the run ends.
@@ -580,12 +610,13 @@ fn run_checks(
         blocks: u32::try_from(case.blocks).ok(),
         threads_per_block: u32::try_from(case.threads_per_block).ok(),
         mem_words: u64::try_from(mem_words).ok(),
+        initial_mem: Some(image),
     };
     let prediction = analyze_with_launch(kernel, Some(&info)).prediction;
 
     // Dynamic reference run, traced for per-site write classes.
     let mut worst: Vec<Option<usize>> = vec![None; kernel.len()];
-    let mut dyn_mem = GlobalMemory::zeroed(mem_words);
+    let mut dyn_mem = case.memory(mem_words);
     let mut observer = |event: &gpu_sim::WriteEvent| {
         if !event.synthetic {
             let banks = event.class.banks();
@@ -668,7 +699,7 @@ fn run_checks(
     // Bit-identity vs the scheduled replay (a scheduler bail is a
     // benign dynamic fallback, exactly like `wcsim schedule`).
     let mut static_close = false;
-    let mut cap_mem = GlobalMemory::zeroed(mem_words);
+    let mut cap_mem = case.memory(mem_words);
     let (_, dyn_regs) = sim
         .run_capturing(kernel, &launch, &mut cap_mem)
         .map_err(|e| sim_finding(e, "dynamic capture run"))?;
@@ -682,7 +713,7 @@ fn run_checks(
                 static_close: false,
             });
         }
-        let mut sched_mem = GlobalMemory::zeroed(mem_words);
+        let mut sched_mem = case.memory(mem_words);
         let sched = match sim.run_scheduled(kernel, &plan, &launch, &mut sched_mem) {
             Ok(sched) => sched,
             Err(err @ SimError::Plan { .. }) => {
@@ -845,8 +876,113 @@ pub fn shrink_case(
         }
     }
 
+    shrink_operands(&mut best, cycle_budget, mutation, category);
     shrink_launch(&mut best, cycle_budget, mutation, category);
     best
+}
+
+/// Candidate simplifications of one operand, most aggressive first:
+/// registers, specials and params collapse to `Imm(0)`; non-zero
+/// immediates try zero, then a halved magnitude.
+fn operand_reductions(op: Operand) -> Vec<Operand> {
+    match op {
+        Operand::Imm(0) => Vec::new(),
+        Operand::Imm(i) => vec![Operand::Imm(0), Operand::Imm(i / 2)],
+        _ => vec![Operand::Imm(0)],
+    }
+}
+
+/// Candidate simplifications of one instruction, one operand slot at a
+/// time. Control flow is left to ddmin; only value operands, load/store
+/// offsets and immediates are reduced toward zero.
+fn instr_reductions(instr: &Instruction) -> Vec<Instruction> {
+    let mut out = Vec::new();
+    match *instr {
+        Instruction::Mov { dst, src } => {
+            out.extend(
+                operand_reductions(src)
+                    .into_iter()
+                    .map(|src| Instruction::Mov { dst, src }),
+            );
+        }
+        Instruction::Alu { op, dst, a, b } => {
+            out.extend(operand_reductions(a).into_iter().map(|a| Instruction::Alu {
+                op,
+                dst,
+                a,
+                b,
+            }));
+            out.extend(operand_reductions(b).into_iter().map(|b| Instruction::Alu {
+                op,
+                dst,
+                a,
+                b,
+            }));
+        }
+        Instruction::Ld { dst, base, offset } if offset != 0 => {
+            out.push(Instruction::Ld {
+                dst,
+                base,
+                offset: 0,
+            });
+            out.push(Instruction::Ld {
+                dst,
+                base,
+                offset: offset / 2,
+            });
+        }
+        Instruction::St { base, offset, src } if offset != 0 => {
+            out.push(Instruction::St {
+                base,
+                offset: 0,
+                src,
+            });
+            out.push(Instruction::St {
+                base,
+                offset: offset / 2,
+                src,
+            });
+        }
+        _ => {}
+    }
+    out
+}
+
+/// Operand-level reduction after ddmin: rewrites each surviving
+/// instruction's operands and immediates toward zero, keeping a rewrite
+/// only when the candidate still reproduces the same finding category.
+/// Iterated to a fixpoint under a bounded pass count so shrinking stays
+/// deterministic and cheap.
+fn shrink_operands(
+    best: &mut FuzzCase,
+    cycle_budget: u64,
+    mutation: Option<Mutation>,
+    category: FindingCategory,
+) {
+    const MAX_PASSES: usize = 4;
+    for _ in 0..MAX_PASSES {
+        let mut changed = false;
+        for pc in 0..best.kernel.len() {
+            for reduced in instr_reductions(&best.kernel.instrs()[pc]) {
+                if best.kernel.instrs()[pc] == reduced {
+                    continue;
+                }
+                let mut instrs = best.kernel.instrs().to_vec();
+                instrs[pc] = reduced;
+                let Some(cand) = with_instrs(best, instrs) else {
+                    continue;
+                };
+                if reproduces(&cand, cycle_budget, mutation, category) {
+                    *best = cand;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
 }
 
 /// Tries smaller launch geometries (fewest warps first), adopting the
@@ -1158,6 +1294,7 @@ mod tests {
                 blocks: u32::try_from(case.blocks).ok(),
                 threads_per_block: u32::try_from(case.threads_per_block).ok(),
                 mem_words: u64::try_from(case.mem_words).ok(),
+                initial_mem: None,
             };
             let cfg = Cfg::build(case.kernel.instrs());
             let mem = analyze_mem(

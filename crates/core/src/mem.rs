@@ -36,7 +36,8 @@ use gpu_workloads::Workload;
 use rayon::prelude::*;
 use serde::Serialize;
 use simt_analysis::{
-    analyze_mem, bound_kernel, schedule_kernel, Cfg, LaunchInfo, MemAbs, PerfLaunch, ScheduleBail,
+    analyze_cells, analyze_mem, bound_kernel, schedule_kernel, Cfg, LaunchInfo, MemAbs, MemCells,
+    PerfLaunch, ScheduleBail,
 };
 
 use crate::design::DesignPoint;
@@ -107,6 +108,8 @@ pub struct ScheduleCheck {
     /// Loads the forwarding analysis proved statically resolvable
     /// from the warp's own must-available store.
     pub forwardable_loads: usize,
+    /// Loads the abstract memory cells refined to a bounded value.
+    pub refined_loads: usize,
 }
 
 /// The full static-vs-traced memory report for one kernel.
@@ -124,6 +127,12 @@ pub struct MemReport {
     /// Traced accesses at pcs the static analysis claims are
     /// unreachable (no site) — must be zero.
     pub untracked_accesses: u64,
+    /// Load pcs the abstract memory cells refined to a bounded value.
+    pub refined_loads: usize,
+    /// Traced load dispatches whose loaded value fell *outside* its
+    /// refined abstract value — must be zero (γ-containment of the
+    /// memcell refinement).
+    pub refined_value_escapes: u64,
     /// Cross-warp conflicting pairs the run actually produced,
     /// deduped by site pair.
     pub traced_conflicts: Vec<TracedConflict>,
@@ -170,6 +179,7 @@ impl MemReport {
     pub fn is_sound(&self) -> bool {
         self.escape_count() == 0
             && self.untracked_accesses == 0
+            && self.refined_value_escapes == 0
             && self.missed_conflicts().is_empty()
             && self.sites.iter().all(SiteCheck::floor_holds)
     }
@@ -187,6 +197,12 @@ impl MemReport {
             v.push(format!(
                 "{} traced access(es) at statically-unreachable pcs",
                 self.untracked_accesses
+            ));
+        }
+        if self.refined_value_escapes > 0 {
+            v.push(format!(
+                "{} traced load dispatch(es) escaped their refined abstract value",
+                self.refined_value_escapes
             ));
         }
         for c in self.missed_conflicts() {
@@ -223,14 +239,25 @@ struct Touch {
 }
 
 /// Joins one traced event against the static report: containment per
-/// active lane, plus the per-address touch map for the race join.
+/// active lane, the per-address touch map for the race join, and — for
+/// loads the memcell domain refined — γ-containment of every active
+/// lane's *loaded value* in the refined abstract value.
 fn join_event(
     mem: &MemAbs,
+    cells: &MemCells,
     event: &MemEvent,
     escapes: &mut BTreeMap<usize, u64>,
+    value_escapes: &mut BTreeMap<usize, u64>,
     untracked: &mut u64,
     touches: &mut BTreeMap<u32, Vec<Touch>>,
 ) {
+    if !event.is_store {
+        if let Some(refined) = cells.refined.get(&event.pc) {
+            if !refined.contains_masked(&event.values, event.mask) {
+                *value_escapes.entry(event.pc).or_default() += 1;
+            }
+        }
+    }
     for (_, addr) in event.active_addrs() {
         let touch = Touch {
             warp: (event.block, event.warp_in_block),
@@ -314,11 +341,13 @@ fn traced_conflicts(mem: &MemAbs, touches: &BTreeMap<u32, Vec<Touch>>) -> Vec<Tr
 pub fn mem_workload(workload: &Workload) -> Result<MemReport, SimError> {
     let kernel = workload.kernel();
     let launch = workload.launch();
+    let image = std::sync::Arc::new(workload.fresh_memory().words().to_vec());
     let info = LaunchInfo {
         params: launch.params().to_vec(),
         blocks: u32::try_from(launch.blocks()).ok(),
         threads_per_block: u32::try_from(launch.threads_per_block()).ok(),
-        mem_words: u64::try_from(workload.fresh_memory().len()).ok(),
+        mem_words: u64::try_from(image.len()).ok(),
+        initial_mem: Some(std::sync::Arc::clone(&image)),
     };
     let cfg = Cfg::build(kernel.instrs());
     let mem = analyze_mem(
@@ -328,23 +357,40 @@ pub fn mem_workload(workload: &Workload) -> Result<MemReport, SimError> {
         &cfg,
         Some(&info),
     );
+    let cells = analyze_cells(
+        kernel.name(),
+        kernel.instrs(),
+        usize::from(kernel.num_regs()),
+        &cfg,
+        Some(&info),
+    );
 
     let perf_launch = PerfLaunch {
         blocks: launch.blocks(),
         threads_per_block: launch.threads_per_block(),
         params: launch.params().to_vec(),
+        initial_mem: Some(std::sync::Arc::clone(&image)),
     };
     let sim_cfg = DesignPoint::WarpedCompression.config();
     let machine = perf_machine(&sim_cfg);
     let prediction = bound_kernel(kernel, &perf_launch, &machine);
 
     let mut escapes: BTreeMap<usize, u64> = BTreeMap::new();
+    let mut value_escapes: BTreeMap<usize, u64> = BTreeMap::new();
     let mut untracked = 0u64;
     let mut touches: BTreeMap<u32, Vec<Touch>> = BTreeMap::new();
     let mut memory = workload.fresh_memory();
     let sim = GpuSim::new(sim_cfg);
     let result = sim.run_mem_observed(kernel, launch, &mut memory, &mut |event| {
-        join_event(&mem, event, &mut escapes, &mut untracked, &mut touches);
+        join_event(
+            &mem,
+            &cells,
+            event,
+            &mut escapes,
+            &mut value_escapes,
+            &mut untracked,
+            &mut touches,
+        );
     })?;
 
     let sites = mem
@@ -374,12 +420,14 @@ pub fn mem_workload(workload: &Workload) -> Result<MemReport, SimError> {
             bail: None,
             bail_pc: None,
             forwardable_loads: mem.forwardable.len(),
+            refined_loads: cells.refined.len(),
         },
         Err(bail) => ScheduleCheck {
             static_mode: false,
             bail: Some(bail_name(&bail).to_string()),
             bail_pc: bail.pc(),
             forwardable_loads: mem.forwardable.len(),
+            refined_loads: cells.refined.len(),
         },
     };
 
@@ -389,6 +437,8 @@ pub fn mem_workload(workload: &Workload) -> Result<MemReport, SimError> {
         static_races: mem.races.len(),
         sites,
         untracked_accesses: untracked,
+        refined_loads: cells.refined.len(),
+        refined_value_escapes: value_escapes.values().sum(),
         traced_conflicts: traced_conflicts(&mem, &touches),
         schedule,
     })

@@ -120,6 +120,7 @@ pub fn perf_workload(workload: &Workload, design: DesignPoint) -> Result<PerfRep
         blocks: launch.blocks(),
         threads_per_block: launch.threads_per_block(),
         params: launch.params().to_vec(),
+        initial_mem: None,
     };
     let prediction = bound_kernel(workload.kernel(), &perf_launch, &machine);
 

@@ -164,6 +164,7 @@ pub fn predict_workload(workload: &Workload) -> Result<PredictReport, PredictErr
         blocks: u32::try_from(launch.blocks()).ok(),
         threads_per_block: u32::try_from(launch.threads_per_block()).ok(),
         mem_words: u64::try_from(workload.fresh_memory().len()).ok(),
+        initial_mem: None,
     };
     let analysis = analyze_with_launch(workload.kernel(), Some(&info));
     let prediction = analysis.prediction.ok_or_else(|| PredictError::Static {

@@ -182,6 +182,9 @@ pub fn schedule_workload(
         blocks: launch.blocks(),
         threads_per_block: launch.threads_per_block(),
         params: launch.params().to_vec(),
+        initial_mem: Some(std::sync::Arc::new(
+            workload.fresh_memory().words().to_vec(),
+        )),
     };
     let floor = bound_kernel(kernel, &perf_launch, &machine).cycle_lower_bound;
 

@@ -928,6 +928,7 @@ impl<'a> Engine<'a> {
                 let (wblock, wwarp) = (warp.block, warp.warp_in_block);
                 let mut result = WarpRegister::ZERO;
                 let mut addrs = [0u32; 32];
+                let mut vals = [0u32; 32];
                 for (lane, slot) in addrs.iter_mut().enumerate().take(warp_size) {
                     if c.mask & (1 << lane) != 0 {
                         let addr = values[&base.index()].lane(lane).wrapping_add(offset as u32);
@@ -936,9 +937,10 @@ impl<'a> Engine<'a> {
                             mem_fault_at(self.kernel.name(), wblock, wwarp, c.pc, fault)
                         })?;
                         result.set_lane(lane, word);
+                        vals[lane] = word;
                     }
                 }
-                self.record_mem(&c, wblock, wwarp, addrs, false);
+                self.record_mem(&c, wblock, wwarp, addrs, vals, false);
                 let done_at = self.now + self.cfg.mem_latency + c.decomp_extra;
                 self.push_writeback(&c, dst.index(), result, done_at);
                 let warp = self.warps[c.slot].as_mut().expect("warp alive");
@@ -947,18 +949,19 @@ impl<'a> Engine<'a> {
             Instruction::St { base, offset, src } => {
                 let (wblock, wwarp) = (warp.block, warp.warp_in_block);
                 let mut addrs = [0u32; 32];
+                let mut vals = [0u32; 32];
                 for (lane, slot) in addrs.iter_mut().enumerate().take(warp_size) {
                     if c.mask & (1 << lane) != 0 {
                         let addr = values[&base.index()].lane(lane).wrapping_add(offset as u32);
                         *slot = addr;
-                        self.memory
-                            .store(addr, values[&src.index()].lane(lane))
-                            .map_err(|fault| {
-                                mem_fault_at(self.kernel.name(), wblock, wwarp, c.pc, fault)
-                            })?;
+                        let word = values[&src.index()].lane(lane);
+                        self.memory.store(addr, word).map_err(|fault| {
+                            mem_fault_at(self.kernel.name(), wblock, wwarp, c.pc, fault)
+                        })?;
+                        vals[lane] = word;
                     }
                 }
-                self.record_mem(&c, wblock, wwarp, addrs, true);
+                self.record_mem(&c, wblock, wwarp, addrs, vals, true);
                 let warp = self.warps[c.slot].as_mut().expect("warp alive");
                 warp.inflight -= 1;
                 warp.pending_mem -= 1;
@@ -990,12 +993,14 @@ impl<'a> Engine<'a> {
     /// Charges coalescer traffic for one dispatched access (distinct
     /// 32-word segments across the active lanes) and feeds the armed
     /// memory-trace observer, if any.
+    #[allow(clippy::too_many_arguments)]
     fn record_mem(
         &mut self,
         c: &Collector,
         block: usize,
         warp_in_block: usize,
         addrs: [u32; 32],
+        values: [u32; 32],
         is_store: bool,
     ) {
         if c.mask == 0 {
@@ -1015,6 +1020,7 @@ impl<'a> Engine<'a> {
                 warp_in_block,
                 mask: c.mask,
                 addrs,
+                values,
                 is_store,
             });
         }

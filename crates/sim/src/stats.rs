@@ -50,6 +50,12 @@ pub struct MemEvent {
     /// Per-lane effective word addresses; only lanes set in `mask`
     /// are meaningful.
     pub addrs: [u32; 32],
+    /// Per-lane data values — loaded words for a load, stored words
+    /// for a store; only lanes set in `mask` are meaningful. Joined
+    /// against the memory-cell value refinement
+    /// (`simt-analysis::memcell`): every active lane of a refined load
+    /// must lie in its abstract value.
+    pub values: [u32; 32],
     /// Whether the access was a store.
     pub is_store: bool,
 }
@@ -60,6 +66,13 @@ impl MemEvent {
         (0..32)
             .filter(|lane| self.mask >> lane & 1 == 1)
             .map(|lane| (lane, self.addrs[lane]))
+    }
+
+    /// Iterator over the `(lane, value)` pairs of active lanes.
+    pub fn active_values(&self) -> impl Iterator<Item = (usize, u32)> + '_ {
+        (0..32)
+            .filter(|lane| self.mask >> lane & 1 == 1)
+            .map(|lane| (lane, self.values[lane]))
     }
 }
 
@@ -449,16 +462,22 @@ mod tests {
         let mut addrs = [0u32; 32];
         addrs[0] = 10;
         addrs[5] = 50;
+        let mut values = [0u32; 32];
+        values[0] = 7;
+        values[5] = 9;
         let e = MemEvent {
             pc: 2,
             block: 0,
             warp_in_block: 1,
             mask: 1 | 1 << 5,
             addrs,
+            values,
             is_store: false,
         };
         let got: Vec<(usize, u32)> = e.active_addrs().collect();
         assert_eq!(got, vec![(0, 10), (5, 50)]);
+        let vals: Vec<(usize, u32)> = e.active_values().collect();
+        assert_eq!(vals, vec![(0, 7), (5, 9)]);
     }
 
     #[test]

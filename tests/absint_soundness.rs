@@ -11,7 +11,8 @@
 //! divergence, partial-write merges and dummy-MOV injection included.
 
 use gpu_workloads::testgen::{
-    kernel_of, lane_split, raw_instr, skip_if_zero, straight_line, NUM_REGS,
+    kernel_of, lane_split, raw_instr, skip_if_zero, straight_line, table_trip_count,
+    trip_table_image, NUM_REGS,
 };
 use proptest::prelude::*;
 use simt_analysis::{analyze_instrs_with_launch, LaunchInfo};
@@ -21,9 +22,17 @@ use warped_compression_suite::prelude::*;
 /// Runs one generated kernel through the simulator and checks every
 /// observed write against the abstract interpretation.
 fn check_soundness(instrs: Vec<Instruction>) {
+    check_soundness_with_image(instrs, vec![0; 4]);
+}
+
+/// As [`check_soundness`], but with a non-trivial initial-memory image
+/// armed on both sides: the simulator starts from it, and the analysis
+/// receives it so the memcell domain refines loads — the γ-membership
+/// check then covers refined values too.
+fn check_soundness_with_image(instrs: Vec<Instruction>, image: Vec<u32>) {
     let kernel = kernel_of(instrs.clone());
     let launch = LaunchConfig::new(1, 32);
-    let mut memory = GlobalMemory::zeroed(4);
+    let mut memory = GlobalMemory::from_words(image.clone());
     let mut events: Vec<(usize, WarpRegister, bdi::CompressionClass)> = Vec::new();
     GpuSim::new(DesignPoint::WarpedCompression.config())
         .run_observed(&kernel, &launch, &mut memory, &mut |e| {
@@ -37,7 +46,8 @@ fn check_soundness(instrs: Vec<Instruction>) {
         params: Vec::new(),
         blocks: Some(1),
         threads_per_block: Some(32),
-        mem_words: Some(4),
+        mem_words: Some(image.len() as u64),
+        initial_mem: Some(std::sync::Arc::new(image)),
     };
     let analysis = analyze_instrs_with_launch("prop", &instrs, NUM_REGS, Some(&info));
     let prediction = analysis
@@ -95,5 +105,21 @@ proptest! {
         suffix in prop::collection::vec(raw_instr(), 0..4),
     ) {
         check_soundness(lane_split(split, &body, &suffix, true));
+    }
+
+    /// Loops whose trip count is *loaded* from the initial-memory
+    /// image: the memcell refinement is what bounds the counter, so
+    /// this shape checks refined loads end to end.
+    #[test]
+    fn table_trip_count_kernels_stay_inside_abstract_values(
+        slot in any::<u8>(),
+        raw_table in prop::collection::vec(any::<u32>(), 4),
+        body in prop::collection::vec(raw_instr(), 1..5),
+        suffix in prop::collection::vec(raw_instr(), 0..4),
+    ) {
+        check_soundness_with_image(
+            table_trip_count(slot, &body, &suffix, true),
+            trip_table_image(&raw_table),
+        );
     }
 }

@@ -68,14 +68,14 @@ fn every_mutation_is_caught_classified_and_shrunk() {
 /// and lands under a fixed instruction budget.
 #[test]
 fn known_injection_shrinks_deterministically_under_budget() {
-    // Case 20 under ZeroSlack is the first slack violation for seed 42:
+    // Case 14 under ZeroSlack is the first slack violation for seed 42:
     // a real kernel-dependent finding (unlike the pre-kernel panics),
     // so the ddmin pass actually has work to do.
     let mutation = Some(Mutation::ZeroSlack);
     let category = Mutation::ZeroSlack.expected_category();
-    let case = FuzzCase::generate(42, 20);
+    let case = FuzzCase::generate(42, 14);
     let found = check_case(&case, DEFAULT_CYCLE_BUDGET, mutation)
-        .expect_err("seed 42 case 20 must violate a zero slack budget");
+        .expect_err("seed 42 case 14 must violate a zero slack budget");
     assert_eq!(found.category, category);
     let a = shrink_case(&case, DEFAULT_CYCLE_BUDGET, mutation, category);
     let b = shrink_case(&case, DEFAULT_CYCLE_BUDGET, mutation, category);
@@ -99,13 +99,13 @@ fn reproducers_reassemble_into_the_shrunk_kernel() {
         mutation: Some(Mutation::ZeroSlack),
         ..FuzzConfig::default()
     };
-    let report = run_case(&cfg, 20);
-    let finding = report.finding.expect("case 20 must violate zero slack");
+    let report = run_case(&cfg, 14);
+    let finding = report.finding.expect("case 14 must violate zero slack");
     let reassembled =
         simt_isa::assemble(&finding.reproducer).expect("reproducer must assemble as-is");
     assert_eq!(reassembled.len(), finding.shrunk_instructions);
     let shrunk = shrink_case(
-        &FuzzCase::generate(cfg.seed, 20),
+        &FuzzCase::generate(cfg.seed, 14),
         cfg.cycle_budget,
         cfg.mutation,
         Mutation::ZeroSlack.expected_category(),

@@ -182,20 +182,51 @@ fn suite_mem_joins_soundly_18_of_18() {
             "kernel `{}` traced an unpredicted conflict",
             r.kernel
         );
-        // Fallbacks attribute themselves to a named bail reason.
+        // Refined loads are machine-checked per lane: any traced value
+        // outside its refined abstract value is an unsound miss.
+        assert_eq!(
+            r.refined_value_escapes, 0,
+            "kernel `{}` traced a load value outside its memcell refinement",
+            r.kernel
+        );
+        // Fallbacks attribute themselves to a named bail reason and pc.
         if !r.schedule.static_mode {
             assert!(
                 r.schedule.bail.is_some(),
                 "kernel `{}` fell back without naming its bail",
                 r.kernel
             );
+            assert!(
+                r.schedule.bail_pc.is_some(),
+                "kernel `{}` fell back without a bail pc",
+                r.kernel
+            );
         }
     }
-    // The statically scheduled majority must not regress.
+    // The memcell refinement must keep the fallback set at the two
+    // genuinely data-dependent kernels — a new fallback is a
+    // capability regression (the pre-memcell scheduler closed 12/18).
+    let fallbacks: Vec<&str> = reports
+        .iter()
+        .filter(|r| !r.schedule.static_mode)
+        .map(|r| r.kernel.as_str())
+        .collect();
+    assert_eq!(
+        fallbacks,
+        ["bfs", "histo"],
+        "the scheduler fallback set regressed"
+    );
     let static_count = reports.iter().filter(|r| r.schedule.static_mode).count();
     assert!(
-        static_count >= 12,
+        static_count >= 16,
         "only {static_count}/18 kernels scheduled statically"
+    );
+    // The refinement itself must stay live: the kernels it converted
+    // (kmeans, lavamd, srad, spmv) all carry refined loads.
+    let refined: usize = reports.iter().map(|r| r.refined_loads).sum();
+    assert!(
+        refined > 0,
+        "no suite load was refined by the memcell domain"
     );
 }
 

@@ -12,10 +12,11 @@
 //! end to end through the real simulator's coalescer.
 
 use gpu_workloads::testgen::{
-    aliased_mem, aliased_mem_words, kernel_of, lane_split, raw_instr, straight_line, NUM_REGS,
+    aliased_mem, aliased_mem_words, kernel_of, lane_split, raw_instr, straight_line,
+    table_trip_count, trip_table_image, NUM_REGS,
 };
 use proptest::prelude::*;
-use simt_analysis::{analyze_mem, Cfg, LaunchInfo};
+use simt_analysis::{analyze_cells, analyze_mem, Cfg, LaunchInfo};
 use simt_isa::Instruction;
 use warped_compression_suite::prelude::*;
 
@@ -31,18 +32,40 @@ struct Touch {
 /// Runs one generated kernel with per-access tracing and checks every
 /// traced address and the race verdict against the static analysis.
 fn check_mem_soundness(instrs: Vec<Instruction>, blocks: usize, tpb: usize, mem_words: usize) {
+    check_mem_soundness_with_image(instrs, blocks, tpb, vec![0; mem_words]);
+}
+
+/// As [`check_mem_soundness`], but starting from a non-trivial
+/// initial-memory image armed on both sides, so the memcell value
+/// refinement is computed — every traced *loaded value* at a refined
+/// pc must then lie inside its refined abstract value (γ-containment
+/// of the value domain, alongside the address-domain checks).
+fn check_mem_soundness_with_image(
+    instrs: Vec<Instruction>,
+    blocks: usize,
+    tpb: usize,
+    image: Vec<u32>,
+) {
     let kernel = kernel_of(instrs);
     let launch = LaunchConfig::new(blocks, tpb);
     let info = LaunchInfo {
         params: Vec::new(),
         blocks: u32::try_from(blocks).ok(),
         threads_per_block: u32::try_from(tpb).ok(),
-        mem_words: u64::try_from(mem_words).ok(),
+        mem_words: u64::try_from(image.len()).ok(),
+        initial_mem: Some(std::sync::Arc::new(image.clone())),
     };
     let cfg = Cfg::build(kernel.instrs());
     let mem = analyze_mem(kernel.name(), kernel.instrs(), NUM_REGS, &cfg, Some(&info));
+    let cells = analyze_cells(
+        kernel.name(),
+        kernel.instrs(),
+        usize::from(NUM_REGS),
+        &cfg,
+        Some(&info),
+    );
 
-    let mut memory = GlobalMemory::zeroed(mem_words);
+    let mut memory = GlobalMemory::from_words(image);
     let mut touches: Vec<Touch> = Vec::new();
     GpuSim::new(DesignPoint::WarpedCompression.config())
         .run_mem_observed(&kernel, &launch, &mut memory, &mut |e| {
@@ -66,6 +89,15 @@ fn check_mem_soundness(instrs: Vec<Instruction>, blocks: usize, tpb: usize, mem_
                 "pc {}: traced addresses escape the abstract set {abs}",
                 e.pc
             );
+            if !e.is_store {
+                if let Some(refined) = cells.refined.get(&e.pc) {
+                    assert!(
+                        refined.contains_masked(&e.values, e.mask),
+                        "pc {}: traced load values escape the refined value {refined}",
+                        e.pc
+                    );
+                }
+            }
             for (_, addr) in e.active_addrs() {
                 touches.push(Touch {
                     warp: (e.block, e.warp_in_block),
@@ -120,6 +152,23 @@ proptest! {
         suffix in prop::collection::vec(raw_instr(), 0..3),
     ) {
         check_mem_soundness(lane_split(split, &body, &suffix, true), 2, 32, 4);
+    }
+
+    /// Loops whose trip count is *loaded* from the initial-memory
+    /// image: the memcell refinement bounds the counter, and every
+    /// traced load value must stay inside its refined abstract value.
+    #[test]
+    fn table_trip_count_values_stay_inside_refined_cells(
+        slot in any::<u8>(),
+        raw_table in prop::collection::vec(any::<u32>(), 4),
+        body in prop::collection::vec(raw_instr(), 1..5),
+        suffix in prop::collection::vec(raw_instr(), 0..3),
+    ) {
+        check_mem_soundness_with_image(
+            table_trip_count(slot, &body, &suffix, true),
+            1, 32,
+            trip_table_image(&raw_table),
+        );
     }
 
     #[test]

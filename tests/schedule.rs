@@ -49,20 +49,41 @@ fn suite_schedules_soundly_18_of_18() {
     }
     // The scheduler must keep closing the statically resolvable
     // majority of the suite — a drop below this floor means a
-    // capability regression, not a soundness bug.
+    // capability regression, not a soundness bug. With the memcell
+    // value refinement, only the two genuinely data-dependent kernels
+    // (bfs, histo) may fall back.
+    let fallbacks: Vec<&str> = reports
+        .iter()
+        .filter(|r| !r.mode.is_static())
+        .map(|r| r.kernel.as_str())
+        .collect();
+    assert_eq!(
+        fallbacks,
+        ["bfs", "histo"],
+        "the scheduler fallback set regressed"
+    );
     let static_count = reports.iter().filter(|r| r.mode.is_static()).count();
     assert!(
-        static_count >= 12,
+        static_count >= 16,
         "only {static_count}/18 kernels scheduled statically"
     );
-    // Data-dependent control flow must keep falling back explicitly.
-    let bfs = reports.iter().find(|r| r.kernel == "bfs").unwrap();
-    assert!(matches!(&bfs.mode, ScheduleMode::DynamicFallback { reason } if !reason.is_empty()));
+    // Data-dependent control flow must keep falling back explicitly,
+    // with a named reason that carries the bail pc.
+    for name in ["bfs", "histo"] {
+        let r = reports.iter().find(|r| r.kernel == name).unwrap();
+        let ScheduleMode::DynamicFallback { reason } = &r.mode else {
+            panic!("`{name}` must fall back dynamically");
+        };
+        assert!(
+            reason.contains("not statically resolvable") && reason.contains('@'),
+            "`{name}` bail must name its reason and pc: {reason}"
+        );
+    }
 }
 
 #[test]
 fn fallback_reports_match_the_dynamic_engine_exactly() {
-    let w = by_name("spmv").unwrap();
+    let w = by_name("histo").unwrap();
     let r = schedule_workload(&w, DesignPoint::WarpedCompression).unwrap();
     assert!(!r.mode.is_static());
     assert_eq!(r.scheduled_cycles, r.dynamic_cycles);
@@ -200,6 +221,7 @@ fn load_tainted_predicate_is_flagged_at_the_bail_pc() {
         blocks: Some(1),
         threads_per_block: Some(32),
         mem_words: None,
+        initial_mem: None,
     };
     let analysis = analyze_with_launch(&kernel, Some(&info));
     assert!(
@@ -222,10 +244,12 @@ fn every_suite_bail_site_is_lint_flagged() {
     let mut bails = 0;
     for w in suite() {
         let launch = w.launch();
+        let image = std::sync::Arc::new(w.fresh_memory().words().to_vec());
         let perf_launch = PerfLaunch {
             blocks: launch.blocks(),
             threads_per_block: launch.threads_per_block(),
             params: launch.params().to_vec(),
+            initial_mem: Some(image.clone()),
         };
         let residency = sim.max_resident_warps(w.kernel());
         let Err(ScheduleBail::UnknownPredicate { pc, .. }) =
@@ -238,7 +262,8 @@ fn every_suite_bail_site_is_lint_flagged() {
             params: launch.params().to_vec(),
             blocks: Some(launch.blocks() as u32),
             threads_per_block: Some(launch.threads_per_block() as u32),
-            mem_words: None,
+            mem_words: Some(image.len() as u64),
+            initial_mem: Some(image),
         };
         let analysis = analyze_with_launch(w.kernel(), Some(&info));
         assert!(
@@ -251,4 +276,57 @@ fn every_suite_bail_site_is_lint_flagged() {
         );
     }
     assert!(bails > 0, "the suite has data-dependent kernels");
+}
+
+/// Suite-wide cross-check of the memcell refinement against the
+/// scheduler's shrunken bail set: every kernel the scheduler closes
+/// *only* when armed with the initial-memory image must carry at least
+/// one `refinable-load` lint (the refinement is what unlocked it), and
+/// the converted set is pinned — losing a conversion is a capability
+/// regression.
+#[test]
+fn refinable_load_lints_cover_the_shrunken_bail_set() {
+    let machine = perf_machine(&DesignPoint::WarpedCompression.config());
+    let sim = GpuSim::new(DesignPoint::WarpedCompression.config());
+    let mut converted = Vec::new();
+    for w in suite() {
+        let launch = w.launch();
+        let image = std::sync::Arc::new(w.fresh_memory().words().to_vec());
+        let residency = sim.max_resident_warps(w.kernel());
+        let bare = PerfLaunch {
+            blocks: launch.blocks(),
+            threads_per_block: launch.threads_per_block(),
+            params: launch.params().to_vec(),
+            initial_mem: None,
+        };
+        let armed = PerfLaunch {
+            initial_mem: Some(image.clone()),
+            ..bare.clone()
+        };
+        let bails_bare = schedule_kernel(w.kernel(), &bare, &machine, residency).is_err();
+        let closes_armed = schedule_kernel(w.kernel(), &armed, &machine, residency).is_ok();
+        if !(bails_bare && closes_armed) {
+            continue;
+        }
+        converted.push(w.name().to_string());
+        let info = LaunchInfo {
+            params: launch.params().to_vec(),
+            blocks: Some(launch.blocks() as u32),
+            threads_per_block: Some(launch.threads_per_block() as u32),
+            mem_words: Some(image.len() as u64),
+            initial_mem: Some(image),
+        };
+        let analysis = analyze_with_launch(w.kernel(), Some(&info));
+        assert!(
+            analysis.report.of_kind(LintKind::RefinableLoad).count() > 0,
+            "`{}` converts to static only with the image, but carries no \
+             refinable-load lint",
+            w.name(),
+        );
+    }
+    assert_eq!(
+        converted,
+        ["kmeans", "lavamd", "srad", "spmv"],
+        "the set of kernels the memcell refinement converts changed"
+    );
 }
